@@ -1,0 +1,79 @@
+// Ablation: the three Portal backends (pattern / JIT / VM) plus the emitted
+// brute-force program, on the same k-NN and KDE workloads. Quantifies what
+// each stage of DESIGN.md Sec. 4's engine ladder buys -- the reproduction's
+// stand-in for "LLVM-generated code vs interpreted IR".
+#include <benchmark/benchmark.h>
+
+#include "core/portal.h"
+#include "data/generators.h"
+
+using namespace portal;
+
+namespace {
+
+const Dataset& knn_data() {
+  static const Dataset data = make_gaussian_mixture(8000, 3, 4, 11);
+  return data;
+}
+
+const Dataset& kde_data() {
+  static const Dataset data = make_gaussian_mixture(8000, 3, 4, 12);
+  return data;
+}
+
+void run_knn(benchmark::State& state, Engine engine) {
+  Storage data(knn_data());
+  for (auto _ : state) {
+    PortalExpr expr;
+    expr.addLayer(PortalOp::FORALL, data);
+    expr.addLayer({PortalOp::KARGMIN, 5}, data, PortalFunc::EUCLIDEAN);
+    PortalConfig config;
+    config.engine = engine;
+    expr.execute(config);
+    benchmark::DoNotOptimize(expr.getOutput());
+  }
+}
+
+void run_kde(benchmark::State& state, Engine engine) {
+  Storage data(kde_data());
+  for (auto _ : state) {
+    PortalExpr expr;
+    expr.addLayer(PortalOp::FORALL, data);
+    expr.addLayer(PortalOp::SUM, data, PortalFunc::gaussian(1.0));
+    PortalConfig config;
+    config.engine = engine;
+    config.tau = 1e-3;
+    expr.execute(config);
+    benchmark::DoNotOptimize(expr.getOutput());
+  }
+}
+
+void BM_Knn_Pattern(benchmark::State& s) { run_knn(s, Engine::Pattern); }
+void BM_Knn_Jit(benchmark::State& s) { run_knn(s, Engine::JIT); }
+void BM_Knn_Vm(benchmark::State& s) { run_knn(s, Engine::VM); }
+void BM_Kde_Pattern(benchmark::State& s) { run_kde(s, Engine::Pattern); }
+void BM_Kde_Jit(benchmark::State& s) { run_kde(s, Engine::JIT); }
+void BM_Kde_Vm(benchmark::State& s) { run_kde(s, Engine::VM); }
+
+void BM_Knn_BruteForceProgram(benchmark::State& state) {
+  Storage data(knn_data());
+  for (auto _ : state) {
+    PortalExpr expr;
+    expr.addLayer(PortalOp::FORALL, data);
+    expr.addLayer({PortalOp::KARGMIN, 5}, data, PortalFunc::EUCLIDEAN);
+    expr.setConfig({});
+    benchmark::DoNotOptimize(expr.executeBruteForce());
+  }
+}
+
+BENCHMARK(BM_Knn_Pattern)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Knn_Jit)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Knn_Vm)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Kde_Pattern)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Kde_Jit)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Kde_Vm)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Knn_BruteForceProgram)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

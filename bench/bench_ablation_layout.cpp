@@ -1,0 +1,39 @@
+// Ablation: the data-layout policy (paper Sec. III-B / IV-F). Low-dimensional
+// data should win with the column-major layout (vectorization across points
+// in the middle base-case loop); high-dimensional data with row-major
+// (vectorization across dimensions in the innermost loop). This bench runs
+// the same k-NN workload under both layouts at d = 3 and d = 32.
+#include <benchmark/benchmark.h>
+
+#include "data/generators.h"
+#include "problems/knn.h"
+
+using namespace portal;
+
+namespace {
+
+Dataset laid_out(index_t dim, Layout layout) {
+  return make_gaussian_mixture(10000, dim, 4, 31 + dim).with_layout(layout);
+}
+
+void run(benchmark::State& state, index_t dim, Layout layout) {
+  const Dataset data = laid_out(dim, layout);
+  KnnOptions options;
+  options.k = 3;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(knn_expert(data, data, options));
+}
+
+void BM_LowDim_ColMajor(benchmark::State& s) { run(s, 3, Layout::ColMajor); }
+void BM_LowDim_RowMajor(benchmark::State& s) { run(s, 3, Layout::RowMajor); }
+void BM_HighDim_ColMajor(benchmark::State& s) { run(s, 32, Layout::ColMajor); }
+void BM_HighDim_RowMajor(benchmark::State& s) { run(s, 32, Layout::RowMajor); }
+
+BENCHMARK(BM_LowDim_ColMajor)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_LowDim_RowMajor)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_HighDim_ColMajor)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_HighDim_RowMajor)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,55 @@
+// Ablation: the algorithmic leaf-size parameter q (paper Sec. V-B: "we also
+// empirically tune the algorithmic parameter, leaf size ... to achieve
+// scalability"). Small leaves prune more but pay traversal overhead; large
+// leaves amortize the base-case kernels better.
+#include <benchmark/benchmark.h>
+
+#include "data/generators.h"
+#include "problems/kde.h"
+#include "problems/knn.h"
+#include "problems/twopoint.h"
+
+using namespace portal;
+
+namespace {
+
+const Dataset& data() {
+  static const Dataset d = make_gaussian_mixture(12000, 3, 5, 21);
+  return d;
+}
+
+void BM_Knn_LeafSize(benchmark::State& state) {
+  KnnOptions options;
+  options.k = 5;
+  options.leaf_size = state.range(0);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(knn_expert(data(), data(), options));
+}
+
+void BM_Kde_LeafSize(benchmark::State& state) {
+  KdeOptions options;
+  options.sigma = 1.0;
+  options.tau = 1e-3;
+  options.leaf_size = state.range(0);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(kde_expert(data(), data(), options));
+}
+
+void BM_TwoPoint_LeafSize(benchmark::State& state) {
+  TwoPointOptions options;
+  options.h = 1.0;
+  options.leaf_size = state.range(0);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(twopoint_expert(data(), options));
+}
+
+BENCHMARK(BM_Knn_LeafSize)->Arg(4)->Arg(8)->Arg(16)->Arg(32)->Arg(64)->Arg(128)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Kde_LeafSize)->Arg(8)->Arg(32)->Arg(128)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_TwoPoint_LeafSize)->Arg(8)->Arg(32)->Arg(128)
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

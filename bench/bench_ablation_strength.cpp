@@ -1,0 +1,127 @@
+// Ablation: the strength-reduction pass (paper Sec. IV-E) -- the primitive
+// costs (pow vs chained multiply, sqrt vs the fast-inverse-sqrt forms), the
+// Barnes-Hut fast-rsqrt accuracy/speed knob, and the end-to-end effect of
+// disabling the pass on a JIT-compiled kernel.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "core/portal.h"
+#include "data/generators.h"
+#include "kernels/fastmath.h"
+#include "problems/barneshut.h"
+#include "util/rng.h"
+
+using namespace portal;
+
+namespace {
+
+std::vector<real_t> inputs() {
+  Rng rng(41);
+  std::vector<real_t> xs(4096);
+  for (real_t& x : xs) x = rng.uniform(1e-3, 1e3);
+  return xs;
+}
+
+void BM_StdPow2(benchmark::State& state) {
+  const std::vector<real_t> xs = inputs();
+  for (auto _ : state) {
+    real_t acc = 0;
+    for (real_t x : xs) acc += std::pow(x, 2.0);
+    benchmark::DoNotOptimize(acc);
+  }
+}
+
+void BM_ChainedMul2(benchmark::State& state) {
+  const std::vector<real_t> xs = inputs();
+  for (auto _ : state) {
+    real_t acc = 0;
+    for (real_t x : xs) acc += x * x;
+    benchmark::DoNotOptimize(acc);
+  }
+}
+
+void BM_StdSqrt(benchmark::State& state) {
+  const std::vector<real_t> xs = inputs();
+  for (auto _ : state) {
+    real_t acc = 0;
+    for (real_t x : xs) acc += std::sqrt(x);
+    benchmark::DoNotOptimize(acc);
+  }
+}
+
+void BM_FastSqrt(benchmark::State& state) {
+  const std::vector<real_t> xs = inputs();
+  for (auto _ : state) {
+    real_t acc = 0;
+    for (real_t x : xs) acc += fast_sqrt(x);
+    benchmark::DoNotOptimize(acc);
+  }
+}
+
+void BM_StdInvSqrt(benchmark::State& state) {
+  const std::vector<real_t> xs = inputs();
+  for (auto _ : state) {
+    real_t acc = 0;
+    for (real_t x : xs) acc += real_t(1) / std::sqrt(x);
+    benchmark::DoNotOptimize(acc);
+  }
+}
+
+void BM_FastInvSqrt(benchmark::State& state) {
+  const std::vector<real_t> xs = inputs();
+  for (auto _ : state) {
+    real_t acc = 0;
+    for (real_t x : xs) acc += fast_inv_sqrt(x);
+    benchmark::DoNotOptimize(acc);
+  }
+}
+
+// Barnes-Hut with and without the fast reciprocal sqrt (the Sec. IV-E knob
+// for approximation problems).
+void run_bh(benchmark::State& state, bool fast) {
+  static const ParticleSet set = make_elliptical(20000, 42);
+  BarnesHutOptions options;
+  options.theta = 0.5;
+  options.fast_rsqrt = fast;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(bh_expert(set.positions, set.masses, options));
+}
+
+void BM_BarnesHut_ExactSqrt(benchmark::State& s) { run_bh(s, false); }
+void BM_BarnesHut_FastRsqrt(benchmark::State& s) { run_bh(s, true); }
+
+// End-to-end: JIT-compiled Mahalanobis-Gaussian KDE with the pass on/off.
+void run_jit_kde(benchmark::State& state, bool strength) {
+  static const Dataset data = make_gaussian_mixture(4000, 3, 3, 43);
+  Storage storage(data);
+  for (auto _ : state) {
+    PortalExpr expr;
+    expr.addLayer(PortalOp::FORALL, storage);
+    expr.addLayer(PortalOp::SUM, storage, PortalFunc::gaussian_maha());
+    PortalConfig config;
+    config.engine = Engine::JIT;
+    config.strength_reduction = strength;
+    config.tau = 1e-3;
+    expr.execute(config);
+    benchmark::DoNotOptimize(expr.getOutput());
+  }
+}
+
+void BM_JitKde_StrengthOn(benchmark::State& s) { run_jit_kde(s, true); }
+void BM_JitKde_StrengthOff(benchmark::State& s) { run_jit_kde(s, false); }
+
+BENCHMARK(BM_StdPow2);
+BENCHMARK(BM_ChainedMul2);
+BENCHMARK(BM_StdSqrt);
+BENCHMARK(BM_FastSqrt);
+BENCHMARK(BM_StdInvSqrt);
+BENCHMARK(BM_FastInvSqrt);
+BENCHMARK(BM_BarnesHut_ExactSqrt)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_BarnesHut_FastRsqrt)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_JitKde_StrengthOn)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_JitKde_StrengthOff)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,35 @@
+// Ablation: tree-type plug-and-play (paper Sec. II: PASCAL "abstracts the
+// tree type"). The same dual-tree k-NN rules run over kd-trees and ball
+// trees across dimensionalities: boxes are tight in low d, balls degrade more
+// gracefully as d grows.
+#include <benchmark/benchmark.h>
+
+#include "data/generators.h"
+#include "problems/knn.h"
+
+using namespace portal;
+
+namespace {
+
+void run(benchmark::State& state, bool ball) {
+  const index_t dim = state.range(0);
+  const Dataset data = make_gaussian_mixture(8000, dim, 4, 51 + dim);
+  KnnOptions options;
+  options.k = 3;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ball ? knn_expert_balltree(data, data, options)
+                                  : knn_expert(data, data, options));
+  }
+}
+
+void BM_Knn_KdTree(benchmark::State& s) { run(s, false); }
+void BM_Knn_BallTree(benchmark::State& s) { run(s, true); }
+
+BENCHMARK(BM_Knn_KdTree)->Arg(3)->Arg(8)->Arg(20)->Arg(40)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Knn_BallTree)->Arg(3)->Arg(8)->Arg(20)->Arg(40)
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,57 @@
+// Portal bench harness -- shared helpers for the per-table/figure binaries.
+//
+// Every binary prints a self-contained report: the paper's reference numbers
+// (where applicable), the measured numbers, and the shape comparison. Sizes
+// scale with the PORTAL_BENCH_SCALE environment variable (default 1 =
+// laptop-scale stand-ins for the paper's datasets; see DESIGN.md Sec. 2).
+#pragma once
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "data/table2.h"
+#include "util/timer.h"
+
+namespace portal::bench {
+
+/// Wall-clock one invocation (the table benches measure full problem runs,
+/// which are long enough that single-shot timing is stable).
+inline double time_once(const std::function<void()>& fn) {
+  Timer timer;
+  fn();
+  return timer.elapsed_s();
+}
+
+/// Best of `reps` runs (used for the shorter ablation measurements).
+inline double time_best(const std::function<void()>& fn, int reps = 3) {
+  double best = 1e300;
+  for (int i = 0; i < reps; ++i) {
+    const double t = time_once(fn);
+    if (t < best) best = t;
+  }
+  return best;
+}
+
+inline void print_header(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("(PORTAL_BENCH_SCALE=%.2f; see EXPERIMENTS.md for interpretation)\n",
+              bench_scale_from_env());
+  std::printf("================================================================\n");
+}
+
+/// Simple fixed-width row printer.
+inline void print_row(const std::vector<std::string>& cells, int width = 14) {
+  for (const std::string& cell : cells) std::printf("%-*s", width, cell.c_str());
+  std::printf("\n");
+}
+
+inline std::string fmt(double value, const char* format = "%.3f") {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), format, value);
+  return buf;
+}
+
+} // namespace portal::bench

@@ -1,0 +1,32 @@
+// Reproduces paper Table II: the six evaluation datasets.
+//
+// Prints the paper's (N, d) next to our laptop-scale stand-in's (N, d), the
+// layout Portal's policy picks, and the kd-tree build characteristics --
+// everything downstream benches consume.
+#include "bench/bench_common.h"
+#include "tree/kdtree.h"
+
+using namespace portal;
+using namespace portal::bench;
+
+int main() {
+  print_header("Table II -- dataset characteristics (paper vs stand-in)");
+  const double scale = bench_scale_from_env();
+
+  print_row({"Dataset", "paper N", "paper d", "ours N", "d", "layout",
+             "tree nodes", "height", "build(s)"});
+  for (const DatasetSpec& spec : table2_specs()) {
+    const Dataset data = make_table2_dataset(spec.name, scale);
+    const KdTree tree(data, kDefaultLeafSize);
+    print_row({spec.name, std::to_string(spec.paper_size),
+               std::to_string(spec.dim), std::to_string(data.size()),
+               std::to_string(data.dim()),
+               data.layout() == Layout::ColMajor ? "col-major" : "row-major",
+               std::to_string(tree.num_nodes()),
+               std::to_string(tree.stats().height),
+               fmt(tree.stats().build_seconds)});
+  }
+  std::printf("\nLayout policy (Sec. III-B): d <= 4 -> column-major, else "
+              "row-major.\n");
+  return 0;
+}

@@ -1,0 +1,350 @@
+// Reproduces paper Table IV: Portal-generated code vs hand-optimized expert
+// (PASCAL-style) implementations for six N-body problems across the five ML
+// datasets. The paper's claim: Portal is within ~5% of expert on average.
+//
+// Both sides run the same algorithm class (kd-tree + multi-tree traversal)
+// end-to-end, including tree construction. Iterative problems (MST, EM)
+// follow the paper's structure: Portal supplies the per-iteration N-body
+// primitive, native C++ drives the loop.
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "bench/bench_common.h"
+#include "core/portal.h"
+#include "data/generators.h"
+#include "problems/em.h"
+#include "problems/emst.h"
+#include "problems/hausdorff.h"
+#include "problems/kde.h"
+#include "problems/knn.h"
+#include "problems/range_search.h"
+#include "kernels/gaussian.h"
+#include "kernels/linalg.h"
+#include "util/rng.h"
+
+using namespace portal;
+using namespace portal::bench;
+
+namespace {
+
+/// Radius giving a workload comparable across datasets: twice the median
+/// 1-NN distance of a small sample.
+real_t estimate_radius(const Dataset& data) {
+  const index_t sample = std::min<index_t>(data.size(), 256);
+  Dataset probe(sample, data.dim(), data.layout());
+  for (index_t i = 0; i < sample; ++i)
+    for (index_t d = 0; d < data.dim(); ++d) probe.coord(i, d) = data.coord(i, d);
+  const KnnResult nn = knn_bruteforce(probe, data, 2); // self + nearest
+  std::vector<real_t> dists(sample);
+  for (index_t i = 0; i < sample; ++i) dists[i] = nn.distances[i * 2 + 1];
+  std::nth_element(dists.begin(), dists.begin() + sample / 2, dists.end());
+  return 2 * std::max(dists[sample / 2], real_t(1e-6));
+}
+
+Dataset capped_dataset(const std::string& name, double scale, index_t cap) {
+  const DatasetSpec& spec = table2_spec(name);
+  const double eff =
+      std::min(scale, static_cast<double>(cap) / spec.default_size);
+  return make_table2_dataset(name, eff);
+}
+
+/// Best-of-2 when the first run is short: single-shot timings of the faster
+/// problems are dominated by first-touch page faults, which bias whichever
+/// side runs first.
+inline double time_adaptive(const std::function<void()>& fn) {
+  const double first = time_once(fn);
+  if (first > 3.0) return first;
+  return std::min(first, time_once(fn));
+}
+
+struct Measurement {
+  double portal_s = 0;
+  double expert_s = 0;
+  double diff_pct() const {
+    return expert_s > 0 ? 100.0 * (portal_s - expert_s) / expert_s : 0;
+  }
+};
+
+// ---- the six problems ------------------------------------------------------
+
+Measurement bench_knn(const Dataset& data) {
+  Measurement m;
+  Storage storage(data);
+  m.portal_s = time_adaptive([&] {
+    PortalExpr expr;
+    expr.addLayer(PortalOp::FORALL, storage);
+    expr.addLayer({PortalOp::KARGMIN, 5}, storage, PortalFunc::EUCLIDEAN);
+    expr.execute();
+  });
+  m.expert_s = time_adaptive([&] {
+    KnnOptions options;
+    options.k = 5;
+    knn_expert(data, data, options);
+  });
+  return m;
+}
+
+Measurement bench_kde(const Dataset& data, real_t sigma) {
+  Measurement m;
+  Storage storage(data);
+  m.portal_s = time_adaptive([&] {
+    PortalExpr expr;
+    expr.addLayer(PortalOp::FORALL, storage);
+    expr.addLayer(PortalOp::SUM, storage, PortalFunc::gaussian(sigma));
+    PortalConfig config;
+    config.tau = 1e-3;
+    expr.execute(config);
+  });
+  m.expert_s = time_adaptive([&] {
+    KdeOptions options;
+    options.sigma = sigma;
+    options.tau = 1e-3;
+    options.normalize = false;
+    kde_expert(data, data, options);
+  });
+  return m;
+}
+
+Measurement bench_rs(const Dataset& data, real_t h) {
+  Measurement m;
+  Storage storage(data);
+  m.portal_s = time_adaptive([&] {
+    PortalExpr expr;
+    expr.addLayer(PortalOp::FORALL, storage);
+    expr.addLayer(PortalOp::UNIONARG, storage,
+                  PortalFunc::indicator(h / 4, h));
+    expr.execute();
+  });
+  m.expert_s = time_adaptive([&] {
+    RangeSearchOptions options;
+    options.h_lo = h / 4;
+    options.h_hi = h;
+    range_search_expert(data, data, options);
+  });
+  return m;
+}
+
+Measurement bench_mst(const Dataset& data) {
+  Measurement m;
+  const index_t n = data.size();
+  m.portal_s = time_once([&] {
+    // The paper's 12-line Portal MST + native Boruvka loop.
+    Storage storage(data);
+    std::vector<index_t> parent(n);
+    std::iota(parent.begin(), parent.end(), 0);
+    const std::function<index_t(index_t)> find = [&](index_t x) {
+      while (parent[x] != x) x = parent[x] = parent[parent[x]];
+      return x;
+    };
+    PortalExpr expr;
+    expr.addLayer(PortalOp::FORALL, storage);
+    expr.addLayer(PortalOp::ARGMIN, storage, PortalFunc::EUCLIDEAN);
+    std::vector<index_t> comp(n);
+    index_t components = n;
+    while (components > 1) {
+      for (index_t i = 0; i < n; ++i) comp[i] = find(i);
+      PortalConfig config;
+      config.exclude_same_label = &comp;
+      expr.execute(config);
+      Storage out = expr.getOutput();
+      std::vector<real_t> best(n, std::numeric_limits<real_t>::max());
+      std::vector<std::pair<index_t, index_t>> edge(n, {-1, -1});
+      for (index_t i = 0; i < n; ++i) {
+        const index_t to = out.index_at(i);
+        if (to < 0) continue;
+        if (out.value(i) < best[comp[i]]) {
+          best[comp[i]] = out.value(i);
+          edge[comp[i]] = {i, to};
+        }
+      }
+      for (index_t c = 0; c < n; ++c) {
+        if (edge[c].first < 0) continue;
+        const index_t a = find(edge[c].first);
+        const index_t b = find(edge[c].second);
+        if (a == b) continue;
+        parent[a] = b;
+        --components;
+      }
+    }
+  });
+  m.expert_s = time_once([&] { emst_expert(data, {}); });
+  // (MST runs are long enough that single-shot timing is stable.)
+  return m;
+}
+
+Measurement bench_em(const Dataset& data) {
+  Measurement m;
+  const index_t K = 3, iters = 3;
+  const index_t n = data.size();
+  const index_t dim = data.dim();
+
+  m.expert_s = time_once([&] {
+    // Exact tree E-step (tau = 0): the comparison then isolates Portal's
+    // per-component program overhead, the analog of the paper's
+    // external-function-call deviation on EM.
+    EmOptions options;
+    options.num_components = K;
+    options.max_iters = iters;
+    options.tol = 0;
+    options.tau = 0;
+    em_expert(data, options);
+  });
+
+  m.portal_s = time_once([&] {
+    // Portal EM: per-component E-step through Portal (forall points x the
+    // component mean, Gaussian-of-Mahalanobis kernel with that component's
+    // covariance), native normalization + M-step. Mirrors the paper's
+    // 30-lines-Portal + 74-lines-native structure -- and like the paper, the
+    // per-component covariance handling is where Portal's overhead lives.
+    Storage points(data);
+    const std::vector<real_t> global_mean = column_mean(data);
+    std::vector<std::vector<real_t>> covs(
+        K, covariance(data, global_mean, 1e-6));
+    std::vector<real_t> means(K * dim);
+    Rng rng(1234);
+    for (index_t k = 0; k < K; ++k) {
+      const index_t pick = static_cast<index_t>(rng.uniform_index(n));
+      for (index_t d = 0; d < dim; ++d) means[k * dim + d] = data.coord(pick, d);
+    }
+    std::vector<real_t> weights(K, real_t(1) / K);
+    std::vector<real_t> resp(static_cast<std::size_t>(n) * K);
+    // One shared tree cache: the per-iteration kernels change (means and
+    // covariances move), but the point-set trees do not.
+    auto trees = std::make_shared<TreeCache>();
+
+    for (index_t iter = 0; iter < iters; ++iter) {
+      // E-step: K Portal programs, one per component.
+      for (index_t k = 0; k < K; ++k) {
+        Storage center(Dataset::from_row_major(means.data() + k * dim, 1, dim));
+        PortalExpr expr;
+        expr.setTreeCache(trees);
+        expr.addLayer(PortalOp::FORALL, points);
+        expr.addLayer(PortalOp::FORALL, center,
+                      PortalFunc::gaussian_maha(covs[k]));
+        PortalConfig config;
+        config.tau = 0; // exact, matching the expert side
+        expr.execute(config);
+        Storage out = expr.getOutput();
+        const MahalanobisContext ctx(covs[k], dim);
+        const real_t norm =
+            std::exp(real_t(-0.5) * (dim * std::log(kTwoPi) + ctx.log_det()));
+        for (index_t i = 0; i < n; ++i)
+          resp[i * K + k] = weights[k] * norm * out.value(i);
+      }
+      // Native normalization + M-step (full covariance).
+      for (index_t i = 0; i < n; ++i) {
+        real_t denom = 0;
+        for (index_t k = 0; k < K; ++k) denom += resp[i * K + k];
+        denom = std::max(denom, real_t(1e-300));
+        for (index_t k = 0; k < K; ++k) resp[i * K + k] /= denom;
+      }
+      std::vector<real_t> nk(K, 0);
+      std::vector<real_t> mu(K * dim, 0);
+      for (index_t i = 0; i < n; ++i)
+        for (index_t k = 0; k < K; ++k) {
+          nk[k] += resp[i * K + k];
+          for (index_t d = 0; d < dim; ++d)
+            mu[k * dim + d] += resp[i * K + k] * data.coord(i, d);
+        }
+      for (index_t k = 0; k < K; ++k)
+        for (index_t d = 0; d < dim; ++d)
+          mu[k * dim + d] /= std::max(nk[k], real_t(1e-10));
+      std::vector<real_t> diff(dim);
+      for (index_t k = 0; k < K; ++k) std::fill(covs[k].begin(), covs[k].end(), real_t(0));
+      for (index_t i = 0; i < n; ++i)
+        for (index_t k = 0; k < K; ++k) {
+          const real_t r = resp[i * K + k];
+          if (r < 1e-12) continue;
+          for (index_t d = 0; d < dim; ++d)
+            diff[d] = data.coord(i, d) - mu[k * dim + d];
+          for (index_t a = 0; a < dim; ++a)
+            for (index_t b = 0; b <= a; ++b)
+              covs[k][a * dim + b] += r * diff[a] * diff[b];
+        }
+      for (index_t k = 0; k < K; ++k) {
+        const real_t denom = std::max(nk[k], real_t(1e-10));
+        for (index_t a = 0; a < dim; ++a)
+          for (index_t b = 0; b <= a; ++b) {
+            covs[k][a * dim + b] /= denom;
+            covs[k][b * dim + a] = covs[k][a * dim + b];
+          }
+        for (index_t d = 0; d < dim; ++d) covs[k][d * dim + d] += 1e-6;
+        weights[k] = nk[k] / n;
+        means = mu;
+      }
+    }
+  });
+  return m;
+}
+
+Measurement bench_hausdorff(const Dataset& data) {
+  // Two halves of the dataset as the two point sets.
+  const index_t half = data.size() / 2;
+  Dataset a(half, data.dim(), data.layout());
+  Dataset b(data.size() - half, data.dim(), data.layout());
+  for (index_t i = 0; i < half; ++i)
+    for (index_t d = 0; d < data.dim(); ++d) a.coord(i, d) = data.coord(i, d);
+  for (index_t i = half; i < data.size(); ++i)
+    for (index_t d = 0; d < data.dim(); ++d)
+      b.coord(i - half, d) = data.coord(i, d);
+
+  Measurement m;
+  Storage sa(a), sb(b);
+  m.portal_s = time_adaptive([&] {
+    for (const auto& [q, r] : {std::pair(&sa, &sb), std::pair(&sb, &sa)}) {
+      PortalExpr expr;
+      expr.addLayer(PortalOp::MAX, *q);
+      expr.addLayer(PortalOp::MIN, *r, PortalFunc::EUCLIDEAN);
+      expr.execute();
+    }
+  });
+  m.expert_s = time_adaptive([&] { hausdorff_expert(a, b, {}); });
+  return m;
+}
+
+} // namespace
+
+int main() {
+  print_header("Table IV -- Portal vs expert (hand-optimized) runtimes");
+  const double scale = bench_scale_from_env();
+
+  const std::vector<std::string> datasets = {"Census", "Yahoo!", "IHEPC",
+                                             "HIGGS", "KDD"};
+  // Paper Table IV %-differences for reference (Census / Yahoo! columns).
+  std::printf("paper reference (%%diff, Census & Yahoo! columns): kNN 4/2, "
+              "KDE 3/4, RS 5/4, MST 4/3, EM 8/8, HD 5/5; average ~5%%\n\n");
+
+  print_row({"Problem", "Dataset", "Portal(s)", "Expert(s)", "%diff"});
+  std::vector<double> diffs;
+  const auto report = [&](const std::string& problem, const std::string& dataset,
+                          const Measurement& m) {
+    diffs.push_back(m.diff_pct());
+    print_row({problem, dataset, fmt(m.portal_s), fmt(m.expert_s),
+               fmt(m.diff_pct(), "%+.1f")});
+  };
+
+  for (const std::string& name : datasets) {
+    const Dataset full = capped_dataset(name, scale, 100000);
+    const Dataset mid = capped_dataset(name, scale, 20000);
+    const Dataset small = capped_dataset(name, scale, 6000);
+    const real_t h = estimate_radius(mid);
+
+    report("k-NN", name, bench_knn(full));
+    report("KDE", name, bench_kde(mid, h));
+    report("RS", name, bench_rs(mid, h));
+    report("MST", name, bench_mst(mid));
+    report("EM", name, bench_em(small));
+    report("HD", name, bench_hausdorff(full));
+  }
+
+  const double avg =
+      std::accumulate(diffs.begin(), diffs.end(), 0.0) / diffs.size();
+  double avg_abs = 0;
+  for (double d : diffs) avg_abs += std::abs(d);
+  avg_abs /= diffs.size();
+  std::printf("\naverage %%diff: %+.1f (mean absolute %.1f); paper reports "
+              "Portal within ~5%% of expert on average\n",
+              avg, avg_abs);
+  return 0;
+}

@@ -1,0 +1,113 @@
+#include "baselines/fdps_like.h"
+
+#include <cmath>
+
+#include "kernels/fastmath.h"
+#include "traversal/singletree.h"
+
+namespace portal {
+namespace {
+
+inline real_t inv_r3(real_t sq, real_t eps_sq, bool fast) {
+  const real_t soft = sq + eps_sq;
+  if (fast) {
+    const real_t inv = fast_inv_sqrt(soft);
+    return inv * inv * inv;
+  }
+  const real_t inv = real_t(1) / std::sqrt(soft);
+  return inv * inv * inv;
+}
+
+/// Per-particle Barnes-Hut walk rules (the classic FDPS-style traversal):
+/// the MAC acceptance is the single-tree `take`, leaves sum directly.
+class MacWalkRules {
+ public:
+  MacWalkRules(const Octree& tree, real_t eps_sq, real_t theta_sq, bool fast)
+      : tree_(tree), eps_sq_(eps_sq), theta_sq_(theta_sq), fast_(fast) {}
+
+  void reset(index_t self, const real_t x[3]) {
+    self_ = self;
+    for (int d = 0; d < 3; ++d) {
+      x_[d] = x[d];
+      acc_[d] = 0;
+    }
+  }
+  const real_t* accel() const { return acc_; }
+
+  bool prune_or_take(index_t node_index) {
+    const OctreeNode& node = tree_.node(node_index);
+    if (node.mass <= 0) return true;
+
+    real_t delta[3];
+    real_t sq = 0;
+    for (int d = 0; d < 3; ++d) {
+      delta[d] = node.com[d] - x_[d];
+      sq += delta[d] * delta[d];
+    }
+    const real_t side = node.side();
+    const bool outside = node.box.min_sq_dist_point(x_) > 0;
+    if (outside && side * side < theta_sq_ * sq) {
+      const real_t scale = node.mass * inv_r3(sq, eps_sq_, fast_);
+      for (int d = 0; d < 3; ++d) acc_[d] += scale * delta[d];
+      return true; // cell consumed through its center of mass
+    }
+    return false;
+  }
+
+  void base_case(index_t node_index) {
+    const OctreeNode& node = tree_.node(node_index);
+    const Dataset& pos = tree_.positions();
+    for (index_t j = node.begin; j < node.end; ++j) {
+      if (j == self_) continue;
+      real_t dj[3];
+      real_t sq = 0;
+      for (int d = 0; d < 3; ++d) {
+        dj[d] = pos.coord(j, d) - x_[d];
+        sq += dj[d] * dj[d];
+      }
+      const real_t scale = tree_.masses()[j] * inv_r3(sq, eps_sq_, fast_);
+      for (int d = 0; d < 3; ++d) acc_[d] += scale * dj[d];
+    }
+  }
+
+ private:
+  const Octree& tree_;
+  real_t eps_sq_;
+  real_t theta_sq_;
+  bool fast_;
+  index_t self_ = -1;
+  real_t x_[3] = {0, 0, 0};
+  real_t acc_[3] = {0, 0, 0};
+};
+
+} // namespace
+
+BarnesHutResult fdps_like_bh(const Dataset& positions,
+                             const std::vector<real_t>& masses,
+                             const BarnesHutOptions& options) {
+  const Octree tree(positions, masses, options.leaf_size);
+  const index_t n = positions.size();
+  const real_t eps_sq = options.softening * options.softening;
+  const real_t theta_sq = options.theta * options.theta;
+
+  BarnesHutResult result;
+  result.accel.assign(3 * n, 0);
+
+#pragma omp parallel if (options.parallel)
+  {
+    MacWalkRules rules(tree, eps_sq, theta_sq, options.fast_rsqrt);
+#pragma omp for schedule(static)
+    for (index_t i = 0; i < n; ++i) {
+      real_t x[3];
+      for (int d = 0; d < 3; ++d) x[d] = tree.positions().coord(i, d);
+      rules.reset(i, x);
+      single_traverse(tree, rules);
+      // Un-permute on the fly: permuted body i is original perm()[i].
+      for (int d = 0; d < 3; ++d)
+        result.accel[3 * tree.perm()[i] + d] = options.G * rules.accel()[d];
+    }
+  }
+  return result;
+}
+
+} // namespace portal

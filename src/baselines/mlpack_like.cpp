@@ -1,0 +1,12 @@
+#include "baselines/mlpack_like.h"
+
+namespace portal {
+
+std::vector<int> mlpack_like_nbc_predict(const NbcModel& model, const Dataset& data) {
+  // The bruteforce predictor is exactly the library-grade loop shape:
+  // per-point, per-class, per-dimension log-density with no precomputation
+  // and no threading.
+  return nbc_predict_bruteforce(model, data);
+}
+
+} // namespace portal

@@ -1,0 +1,27 @@
+// Portal -- scikit-learn-style baseline for 2-point correlation (Table V).
+//
+// scikit-learn computes two-point correlation through per-point tree queries
+// driven from Python, single-threaded. The stand-in here is the honest
+// algorithmic equivalent: a *single-tree* count per query point (subtree
+// bulk-accept but no node-pair pruning), strictly one thread. The paper's
+// 66-165x gap additionally includes Python interpreter overhead that a C++
+// stand-in cannot (and should not) fake, so the reproduced gap is the
+// algorithm + parallelism share only; see EXPERIMENTS.md.
+#pragma once
+
+#include <cstdint>
+
+#include "data/dataset.h"
+#include "util/common.h"
+
+namespace portal {
+
+struct SklearnTwoPointResult {
+  std::uint64_t pairs = 0; // unordered distinct pairs with d < h
+};
+
+/// Single-threaded, single-tree two-point correlation count.
+SklearnTwoPointResult sklearn_like_twopoint(const Dataset& data, real_t h,
+                                            index_t leaf_size = 40);
+
+} // namespace portal

@@ -1,0 +1,333 @@
+#include "core/analysis.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "core/codegen/vm.h"
+#include "core/passes/lowering.h"
+#include "kernels/linalg.h"
+#include "util/log.h"
+
+namespace portal {
+namespace {
+
+[[noreturn]] void bad_program(const std::string& message) {
+  throw std::invalid_argument("Portal: " + message);
+}
+
+/// Structural indicator recognition over the envelope IR:
+/// products/conjunctions of {Dist < c, c < Dist, Dist > c, c > Dist}.
+struct Interval {
+  real_t lo = -std::numeric_limits<real_t>::infinity();
+  real_t hi = std::numeric_limits<real_t>::infinity();
+};
+
+bool match_indicator(const IrExprPtr& e, Interval* interval) {
+  const auto is_dist = [](const IrExprPtr& n) { return n->op == IrOp::Dist; };
+  const auto is_c = [](const IrExprPtr& n) { return n->op == IrOp::Const; };
+  switch (e->op) {
+    case IrOp::Less: // a < b
+      if (is_dist(e->children[0]) && is_c(e->children[1])) {
+        interval->hi = std::min(interval->hi, e->children[1]->value);
+        return true;
+      }
+      if (is_c(e->children[0]) && is_dist(e->children[1])) {
+        interval->lo = std::max(interval->lo, e->children[0]->value);
+        return true;
+      }
+      return false;
+    case IrOp::Greater: // a > b
+      if (is_dist(e->children[0]) && is_c(e->children[1])) {
+        interval->lo = std::max(interval->lo, e->children[1]->value);
+        return true;
+      }
+      if (is_c(e->children[0]) && is_dist(e->children[1])) {
+        interval->hi = std::min(interval->hi, e->children[0]->value);
+        return true;
+      }
+      return false;
+    case IrOp::Mul:
+    case IrOp::LogicalAnd:
+      return match_indicator(e->children[0], interval) &&
+             match_indicator(e->children[1], interval);
+    default:
+      return false;
+  }
+}
+
+} // namespace
+
+void classify_envelope(KernelInfo* kernel) {
+  if (!kernel->normalized) {
+    kernel->shape = EnvelopeShape::Opaque;
+    return;
+  }
+  const IrExprPtr& env = kernel->envelope_ir;
+  if (env->op == IrOp::Dist) {
+    kernel->shape = EnvelopeShape::Identity;
+    return;
+  }
+  Interval interval;
+  if (match_indicator(env, &interval)) {
+    kernel->shape = EnvelopeShape::Indicator;
+    kernel->indicator_lo = interval.lo;
+    kernel->indicator_hi = interval.hi;
+    return;
+  }
+
+  // Monotonicity by dense sampling: log grid spanning any realistic distance
+  // magnitude plus a fine linear grid near the origin. The paper *requires*
+  // monotone kernels (Sec. II, property 2); sampling verifies it.
+  const VmProgram program = VmProgram::compile(env);
+  std::vector<real_t> samples;
+  samples.push_back(0);
+  for (int i = -9; i <= 9; ++i)
+    for (real_t m : {1.0, 2.0, 5.0})
+      samples.push_back(m * std::pow(10.0, i));
+  for (int i = 1; i <= 64; ++i) samples.push_back(real_t(i) * 0.25);
+  std::sort(samples.begin(), samples.end());
+
+  bool non_increasing = true;
+  bool non_decreasing = true;
+  real_t prev = program.run_envelope(samples.front());
+  for (std::size_t i = 1; i < samples.size(); ++i) {
+    const real_t value = program.run_envelope(samples[i]);
+    const real_t tol = 1e-12 * std::max({std::abs(prev), std::abs(value), real_t(1)});
+    if (value > prev + tol) non_increasing = false;
+    if (value < prev - tol) non_decreasing = false;
+    prev = value;
+  }
+  if (non_increasing && !non_decreasing) {
+    kernel->shape = EnvelopeShape::Decreasing;
+  } else if (non_decreasing && !non_increasing) {
+    kernel->shape = EnvelopeShape::Increasing;
+  } else if (non_increasing && non_decreasing) {
+    kernel->shape = EnvelopeShape::Decreasing; // constant: zero-width bounds
+  } else {
+    kernel->shape = EnvelopeShape::Opaque; // non-monotone: no guarantees
+    PORTAL_LOG_WARN(
+        "kernel envelope is not monotone in distance; pruning/approximation "
+        "disabled (paper Sec. II requires monotone kernels)");
+  }
+}
+
+ProblemPlan analyze_layers(const std::vector<LayerSpec>& layers,
+                           const PortalConfig& config) {
+  if (layers.size() != 2)
+    bad_program("expected exactly 2 layers (outer + inner); got " +
+                std::to_string(layers.size()) +
+                ". Multi-way (m > 2) problems are future work, matching the "
+                "paper's evaluated problem set");
+
+  ProblemPlan plan;
+  plan.layers = layers;
+  const LayerSpec& outer = plan.layers[0];
+  const LayerSpec& inner = plan.layers[1];
+
+  // --- layer validation -----------------------------------------------------
+  if (!outer.storage.is_input() || !inner.storage.is_input())
+    bad_program("every layer needs an input Storage");
+  if (outer.storage.size() == 0 || inner.storage.size() == 0)
+    bad_program("empty dataset");
+  if (outer.storage.dim() != inner.storage.dim())
+    bad_program("layer datasets disagree on dimensionality (" +
+                std::to_string(outer.storage.dim()) + " vs " +
+                std::to_string(inner.storage.dim()) + ")");
+  switch (outer.op.op) {
+    case PortalOp::FORALL:
+    case PortalOp::SUM:
+    case PortalOp::PROD:
+    case PortalOp::MIN:
+    case PortalOp::MAX:
+      break;
+    default:
+      bad_program(std::string("outer operator ") + op_name(outer.op.op) +
+                  " is not supported as the outermost layer");
+  }
+  if (op_category(inner.op.op) == OpCategory::Multi &&
+      inner.op.op != PortalOp::UNION && inner.op.op != PortalOp::UNIONARG) {
+    if (inner.op.k < 1 || inner.op.k > inner.storage.size())
+      bad_program("multi-variable reduction k must be in [1, dataset size]");
+  }
+  if (outer.has_kernel() && !inner.has_kernel())
+    bad_program("the kernel function belongs on the innermost layer "
+                "(Sec. III-C); outer layers take modifying functions only");
+  if (!inner.has_kernel())
+    bad_program("the innermost layer requires a kernel function");
+
+  // --- kernel construction ---------------------------------------------------
+  const bool gravity = inner.func.kind() == PortalFunc::Kind::Gravity;
+  if (gravity) {
+    if (inner.storage.dim() != 3)
+      bad_program("the gravity kernel (Barnes-Hut) requires 3-D data");
+    if (outer.op.op != PortalOp::FORALL || inner.op.op != PortalOp::SUM)
+      bad_program("the gravity kernel requires the forall/sum layer pair");
+    plan.kernel.is_gravity = true;
+    plan.kernel.gravity_g = inner.func.gravity_g();
+    plan.kernel.gravity_eps = inner.func.softening();
+    plan.category = ProblemCategory::Approximation;
+    plan.kernel.shape = EnvelopeShape::Decreasing;
+    // Display-only IR: the magnitude kernel of Table III.
+    plan.kernel.kernel_ir = ir_binary(
+        IrOp::Div, ir_const(plan.kernel.gravity_g),
+        ir_binary(IrOp::Add, ir_leaf(IrOp::Dist),
+                  ir_const(plan.kernel.gravity_eps * plan.kernel.gravity_eps)));
+    plan.kernel.envelope_ir = plan.kernel.kernel_ir;
+    plan.kernel.normalized = true;
+    plan.kernel.metric = MetricKind::SqEuclidean;
+    plan.description = describe_problem(plan);
+    return plan;
+  }
+
+  // Bind layer variables and build the kernel AST. Pre-defined PortalFuncs
+  // synthesize their own q/r Vars; custom kernels reference the Vars the user
+  // bound through the code-3-style addLayer overloads.
+  if (inner.external != nullptr) {
+    // External C++ kernel (Sec. III-C): opaque to every optimization, exactly
+    // as the paper notes ("will not be optimized in the same way").
+    Var q_tmp("q"), r_tmp("r");
+    plan.kernel.ast = external_kernel(q_tmp, r_tmp, inner.external,
+                                      inner.external_label.empty()
+                                          ? "external"
+                                          : inner.external_label);
+    plan.layers[0].var_id = q_tmp.id();
+    plan.layers[1].var_id = r_tmp.id();
+  } else if (inner.custom_kernel.valid()) {
+    plan.kernel.ast = inner.custom_kernel;
+  } else if (inner.func.kind() == PortalFunc::Kind::Custom) {
+    plan.kernel.ast = inner.func.custom_expr();
+  } else {
+    if (outer.var_id >= 0 || inner.var_id >= 0)
+      bad_program("pre-defined PortalFuncs bind their own variables; use the "
+                  "custom-kernel addLayer overload with explicit Vars");
+    Var q_tmp("q"), r_tmp("r");
+    plan.kernel.ast = inner.func.expand(q_tmp, r_tmp);
+    plan.layers[0].var_id = q_tmp.id();
+    plan.layers[1].var_id = r_tmp.id();
+  }
+  if (plan.layers[0].var_id < 0 || plan.layers[1].var_id < 0)
+    bad_program("custom kernels require both layers bound to Vars (use the "
+                "addLayer overload that takes a Var)");
+  const int bound_q = plan.layers[0].var_id;
+  const int bound_r = plan.layers[1].var_id;
+  if (bound_q == bound_r)
+    bad_program("outer and inner layers must bind distinct Vars");
+
+  // Validate var usage.
+  for (int id : collect_var_ids(plan.kernel.ast))
+    if (id != bound_q && id != bound_r)
+      bad_program("kernel references a Var not bound to any layer");
+
+  // Scalar-ize (implicit dim-sum at the top, Sec. IV-A).
+  if (plan.kernel.ast.type() == ExprType::Vector)
+    plan.kernel.ast = dimsum(plan.kernel.ast);
+
+  // Resolve Mahalanobis covariance from the reference dataset when needed.
+  std::vector<real_t> resolved_cov;
+  {
+    const std::function<bool(const ExprNodePtr&)> needs_cov =
+        [&](const ExprNodePtr& node) {
+          if (node->kind == ExprKind::Mahalanobis && node->matrix.empty())
+            return true;
+          for (const ExprNodePtr& child : node->children)
+            if (needs_cov(child)) return true;
+          return false;
+        };
+    if (needs_cov(plan.kernel.ast.node())) {
+      const Dataset& ref = inner.storage.dataset();
+      resolved_cov = covariance(ref, column_mean(ref));
+    }
+  }
+
+  // --- lowering + normalization ----------------------------------------------
+  plan.kernel.kernel_ir =
+      lower_kernel_expr(plan.kernel.ast, bound_q, bound_r, resolved_cov);
+  const NormalizedKernel normalized =
+      normalize_kernel(plan.kernel.ast, bound_q, bound_r, resolved_cov);
+  plan.kernel.normalized = normalized.ok;
+  if (normalized.ok) {
+    plan.kernel.metric = normalized.metric;
+    plan.kernel.envelope_ir = normalized.envelope;
+    if (normalized.metric == MetricKind::Mahalanobis) {
+      // Find the covariance used (explicit on the node or resolved).
+      std::vector<real_t> cov = resolved_cov;
+      const std::function<void(const ExprNodePtr&)> find_cov =
+          [&](const ExprNodePtr& node) {
+            if (node->kind == ExprKind::Mahalanobis && !node->matrix.empty())
+              cov = node->matrix;
+            for (const ExprNodePtr& child : node->children) find_cov(child);
+          };
+      find_cov(plan.kernel.ast.node());
+      const index_t m = inner.storage.dim();
+      plan.kernel.maha = std::make_shared<MahalanobisContext>(cov, m);
+    }
+  } else if (plan.kernel.ast.node()->kind == ExprKind::External) {
+    plan.kernel.external = plan.kernel.ast.node()->external;
+  }
+
+  classify_envelope(&plan.kernel);
+
+  // --- classification (Sec. II-B) ---------------------------------------------
+  const bool comparative_op = op_is_comparative(inner.op.op);
+  const bool comparative_kernel = plan.kernel.shape == EnvelopeShape::Indicator;
+  if (!plan.kernel.normalized) {
+    plan.category = ProblemCategory::Exhaustive;
+  } else if (comparative_op || comparative_kernel) {
+    plan.category = ProblemCategory::Pruning;
+  } else if ((inner.op.op == PortalOp::SUM || inner.op.op == PortalOp::PROD ||
+              inner.op.op == PortalOp::FORALL) &&
+             plan.kernel.shape != EnvelopeShape::Opaque) {
+    plan.category = ProblemCategory::Approximation;
+  } else {
+    plan.category = ProblemCategory::Exhaustive;
+  }
+
+  // exclude_same_label sanity (the MST constraint).
+  if (config.exclude_same_label != nullptr) {
+    if (outer.storage.identity() != inner.storage.identity())
+      bad_program("exclude_same_label requires both layers to share one dataset");
+    if (static_cast<index_t>(config.exclude_same_label->size()) !=
+        outer.storage.size())
+      bad_program("exclude_same_label size must match the dataset");
+  }
+
+  plan.description = describe_problem(plan);
+  return plan;
+}
+
+std::string describe_problem(const ProblemPlan& plan) {
+  const LayerSpec& outer = plan.layers[0];
+  const LayerSpec& inner = plan.layers[1];
+  std::string out = op_math_symbol(outer.op) + ", " + op_math_symbol(inner.op);
+  out += " | kernel: ";
+  if (plan.kernel.is_gravity) {
+    out += "G*M_q*M_r / (||x_q - x_r||^2 + eps^2)";
+  } else {
+    out += plan.kernel.ast.valid() ? plan.kernel.ast.to_string()
+                                   : std::string(inner.func.name());
+  }
+  out += " | class: ";
+  out += category_name(plan.category);
+  out += " | condition: ";
+  switch (plan.category) {
+    case ProblemCategory::Pruning:
+      if (plan.kernel.shape == EnvelopeShape::Indicator) {
+        out += "reject pair if [d_min, d_max] outside kernel support; "
+               "bulk-accept if inside";
+      } else {
+        out += "prune pair if best achievable kernel value cannot beat B(N_q)";
+      }
+      break;
+    case ProblemCategory::Approximation:
+      out += "approximate pair if |K(d_min) - K(d_max)| <= tau with center "
+             "contribution x node density";
+      break;
+    case ProblemCategory::Exhaustive:
+      out += "none (kernel opaque to the generator)";
+      break;
+  }
+  return out;
+}
+
+} // namespace portal

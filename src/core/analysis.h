@@ -1,0 +1,27 @@
+// Portal -- semantic analysis: layer validation, kernel normalization
+// (metric + envelope), and problem classification (the prune/approximate
+// generator's front half, Sec. II-B adapted per Sec. IV).
+#pragma once
+
+#include <vector>
+
+#include "core/plan.h"
+
+namespace portal {
+
+/// Analyze a layer stack into an executable plan (without running passes --
+/// the PortalExpr pipeline applies those next). Throws std::invalid_argument
+/// with user-actionable messages on malformed programs.
+ProblemPlan analyze_layers(const std::vector<LayerSpec>& layers,
+                           const PortalConfig& config);
+
+/// Classify an envelope by structure + sampling (Indicator recognized
+/// structurally; monotonicity established by dense sampling over the metric's
+/// distance range). Fills indicator bounds on KernelInfo when applicable.
+void classify_envelope(KernelInfo* kernel);
+
+/// Table III-style one-line characterization: operators, kernel, and the
+/// generated prune/approximate condition.
+std::string describe_problem(const ProblemPlan& plan);
+
+} // namespace portal

@@ -1,0 +1,305 @@
+#include "core/codegen/jit.h"
+
+#include <dlfcn.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "kernels/linalg.h"
+#include "util/log.h"
+
+namespace portal {
+namespace {
+
+std::string compiler_command() {
+  const char* cxx = std::getenv("CXX");
+  return cxx != nullptr && *cxx != '\0' ? cxx : "c++";
+}
+
+/// Emit an IR expression as a C++ expression. `q`/`r` name the point arrays;
+/// dim loops become immediately-invoked lambdas so the whole kernel stays a
+/// single expression.
+void emit_expr(std::ostream& os, const IrExprPtr& e, int* matrix_counter,
+               std::ostream& preamble) {
+  const auto child = [&](std::size_t i) {
+    emit_expr(os, e->children[i], matrix_counter, preamble);
+  };
+  switch (e->op) {
+    case IrOp::Const: {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.17g", static_cast<double>(e->value));
+      os << buf;
+      return;
+    }
+    case IrOp::LoadQCoord:
+      // Flattened form: base + d * stride. The executor hands the JIT
+      // dim-contiguous gathered points, so the runtime stride is 1; the
+      // flattening metadata is shown in dumps, not re-derived here.
+      os << "q[d]";
+      return;
+    case IrOp::LoadRCoord:
+      os << "r[d]";
+      return;
+    case IrOp::Dist:
+      os << "dist";
+      return;
+    case IrOp::Add: os << "("; child(0); os << " + "; child(1); os << ")"; return;
+    case IrOp::Sub: os << "("; child(0); os << " - "; child(1); os << ")"; return;
+    case IrOp::Mul: os << "("; child(0); os << " * "; child(1); os << ")"; return;
+    case IrOp::Div: os << "("; child(0); os << " / "; child(1); os << ")"; return;
+    case IrOp::Neg: os << "(-"; child(0); os << ")"; return;
+    case IrOp::Abs: os << "portal_fabs("; child(0); os << ")"; return;
+    case IrOp::Min: os << "portal_min("; child(0); os << ", "; child(1); os << ")"; return;
+    case IrOp::Max: os << "portal_max("; child(0); os << ", "; child(1); os << ")"; return;
+    case IrOp::Pow:
+      os << "__builtin_pow(";
+      child(0);
+      os << ", " << e->value << ")";
+      return;
+    case IrOp::Sqrt: os << "__builtin_sqrt("; child(0); os << ")"; return;
+    case IrOp::FastSqrt:
+      os << "(1.0 / portal_fast_inv_sqrt(";
+      child(0);
+      os << "))";
+      return;
+    case IrOp::InvSqrt:
+      os << "(1.0 / __builtin_sqrt(";
+      child(0);
+      os << "))";
+      return;
+    case IrOp::FastInvSqrt:
+      os << "portal_fast_inv_sqrt(";
+      child(0);
+      os << ")";
+      return;
+    case IrOp::Exp: os << "__builtin_exp("; child(0); os << ")"; return;
+    case IrOp::Log: os << "__builtin_log("; child(0); os << ")"; return;
+    case IrOp::Less:
+      os << "((";
+      child(0);
+      os << " < ";
+      child(1);
+      os << ") ? 1.0 : 0.0)";
+      return;
+    case IrOp::Greater:
+      os << "((";
+      child(0);
+      os << " > ";
+      child(1);
+      os << ") ? 1.0 : 0.0)";
+      return;
+    case IrOp::LogicalAnd:
+      os << "(((";
+      child(0);
+      os << ") != 0.0 && (";
+      child(1);
+      os << ") != 0.0) ? 1.0 : 0.0)";
+      return;
+    case IrOp::DimSum:
+    case IrOp::DimMax: {
+      const bool is_sum = e->op == IrOp::DimSum;
+      os << "[&]{ double acc = "
+         << (is_sum ? "0.0" : "-1.7976931348623157e308")
+         << "; for (long d = 0; d < dim; ++d) { const double body = ";
+      child(0);
+      os << "; " << (is_sum ? "acc += body;" : "if (body > acc) acc = body;")
+         << " } return acc; }()";
+      return;
+    }
+    case IrOp::MahalanobisNaive:
+    case IrOp::MahalanobisChol: {
+      // Embed the matrix as a static array; the Chol flavor runs forward
+      // substitution through the caller-provided scratch (matrix = L), the
+      // naive flavor the explicit quadratic form (matrix = Sigma^{-1},
+      // inverted here at compile time -- kept for the numerical-optimization
+      // ablation).
+      const int id = (*matrix_counter)++;
+      std::vector<real_t> matrix = e->matrix;
+      if (e->op == IrOp::MahalanobisNaive) {
+        const index_t m = static_cast<index_t>(
+            std::llround(std::sqrt(static_cast<double>(matrix.size()))));
+        matrix = spd_inverse(matrix, m);
+      }
+      const std::size_t m2 = matrix.size();
+      preamble << "static const double portal_mat_" << id << "[" << m2 << "] = {";
+      for (std::size_t i = 0; i < m2; ++i) {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.17g", static_cast<double>(matrix[i]));
+        preamble << buf << (i + 1 < m2 ? "," : "");
+      }
+      preamble << "};\n";
+      if (e->op == IrOp::MahalanobisChol) {
+        os << "portal_maha_chol(q, r, dim, portal_mat_" << id << ", scratch)";
+      } else {
+        os << "portal_maha_naive(q, r, dim, portal_mat_" << id << ")";
+      }
+      return;
+    }
+    case IrOp::ExternalCall:
+      throw std::runtime_error("jit: external kernels are not serializable");
+    default:
+      throw std::runtime_error("jit: unexpected IR op in kernel expression");
+  }
+}
+
+const char* kPrelude = R"(// Generated by the Portal compiler backend. Do not edit.
+#include <cstdint>
+#include <cstring>
+
+static inline double portal_fabs(double x) { return x < 0 ? -x : x; }
+static inline double portal_min(double a, double b) { return a < b ? a : b; }
+static inline double portal_max(double a, double b) { return a > b ? a : b; }
+
+static inline double portal_fast_inv_sqrt(double x) {
+  if (x == 0.0) return __builtin_inf();
+  double half = 0.5 * x;
+  std::uint64_t bits;
+  std::memcpy(&bits, &x, sizeof(bits));
+  bits = 0x5FE6EB50C7B537A9ULL - (bits >> 1);
+  double y;
+  std::memcpy(&y, &bits, sizeof(y));
+  y = y * (1.5 - half * y * y);
+  return y;
+}
+
+static inline double portal_maha_chol(const double* q, const double* r, long dim,
+                                      const double* L, double* scratch) {
+  double* diff = scratch;
+  double* solved = scratch + dim;
+  for (long i = 0; i < dim; ++i) diff[i] = q[i] - r[i];
+  for (long i = 0; i < dim; ++i) {
+    double sum = diff[i];
+    for (long k = 0; k < i; ++k) sum -= L[i * dim + k] * solved[k];
+    solved[i] = sum / L[i * dim + i];
+  }
+  double total = 0;
+  for (long i = 0; i < dim; ++i) total += solved[i] * solved[i];
+  return total;
+}
+
+static inline double portal_maha_naive(const double* q, const double* r, long dim,
+                                       const double* inv) {
+  double total = 0;
+  for (long i = 0; i < dim; ++i) {
+    double row = 0;
+    for (long j = 0; j < dim; ++j) row += inv[i * dim + j] * (q[j] - r[j]);
+    total += (q[i] - r[i]) * row;
+  }
+  return total;
+}
+)";
+
+} // namespace
+
+std::string emit_cpp_source(const ProblemPlan& plan) {
+  if (plan.kernel.kernel_ir && ir_contains(plan.kernel.kernel_ir, IrOp::ExternalCall))
+    throw std::runtime_error("jit: external kernels are not serializable");
+
+  std::ostringstream preamble;
+  std::ostringstream body;
+  int matrix_counter = 0;
+
+  body << "extern \"C\" double portal_kernel(const double* q, const double* r, "
+          "long dim, double* scratch) {\n  (void)scratch; (void)dim;\n  return ";
+  emit_expr(body, plan.kernel.kernel_ir, &matrix_counter, preamble);
+  body << ";\n}\n\n";
+
+  if (plan.kernel.normalized && plan.kernel.envelope_ir) {
+    body << "extern \"C\" double portal_envelope(double dist) {\n  return ";
+    emit_expr(body, plan.kernel.envelope_ir, &matrix_counter, preamble);
+    body << ";\n}\n";
+  }
+
+  std::string source = kPrelude;
+  source += preamble.str();
+  source += "\n";
+  source += body.str();
+  return source;
+}
+
+bool jit_available() {
+  static const bool available = [] {
+    const std::string cmd =
+        compiler_command() + " --version > /dev/null 2>&1";
+    return std::system(cmd.c_str()) == 0;
+  }();
+  return available;
+}
+
+std::unique_ptr<JitModule> JitModule::compile(const ProblemPlan& plan) {
+  if (plan.kernel.kernel_ir &&
+      ir_contains(plan.kernel.kernel_ir, IrOp::ExternalCall))
+    return nullptr;
+  if (plan.kernel.is_gravity) return nullptr; // pattern-backend shape
+
+  static std::atomic<int> counter{0};
+  const int id = counter.fetch_add(1);
+  const std::string base =
+      "/tmp/portal_jit_" + std::to_string(getpid()) + "_" + std::to_string(id);
+  const std::string cpp_path = base + ".cpp";
+  const std::string so_path = base + ".so";
+  const std::string log_path = base + ".log";
+
+  auto module = std::unique_ptr<JitModule>(new JitModule());
+  module->source_ = emit_cpp_source(plan);
+
+  {
+    std::ofstream out(cpp_path);
+    if (!out) throw std::runtime_error("jit: cannot write " + cpp_path);
+    out << module->source_;
+  }
+
+  const std::string cmd = compiler_command() + " -O3 -march=native -shared -fPIC -o " +
+                          so_path + " " + cpp_path + " > " + log_path + " 2>&1";
+  if (std::system(cmd.c_str()) != 0) {
+    std::ifstream log(log_path);
+    std::stringstream message;
+    message << "jit: compilation failed:\n" << log.rdbuf();
+    std::remove(cpp_path.c_str());
+    std::remove(log_path.c_str());
+    throw std::runtime_error(message.str());
+  }
+
+  module->handle_ = dlopen(so_path.c_str(), RTLD_NOW | RTLD_LOCAL);
+  if (module->handle_ == nullptr)
+    throw std::runtime_error(std::string("jit: dlopen failed: ") + dlerror());
+  module->so_path_ = so_path;
+  module->kernel_ =
+      reinterpret_cast<KernelFn>(dlsym(module->handle_, "portal_kernel"));
+  module->envelope_ =
+      reinterpret_cast<EnvelopeFn>(dlsym(module->handle_, "portal_envelope"));
+  if (module->kernel_ == nullptr)
+    throw std::runtime_error("jit: portal_kernel symbol missing");
+
+  std::remove(cpp_path.c_str());
+  std::remove(log_path.c_str());
+  PORTAL_LOG_INFO("jit: compiled kernel module %s", so_path.c_str());
+  return module;
+}
+
+JitModule::~JitModule() {
+  if (handle_ != nullptr) dlclose(handle_);
+  if (!so_path_.empty()) std::remove(so_path_.c_str());
+}
+
+EvaluatorFns JitModule::evaluators() const {
+  EvaluatorFns fns;
+  const KernelFn kernel = kernel_;
+  fns.kernel_pair = [kernel](const real_t* q, const real_t* r, index_t dim,
+                             real_t* scratch) {
+    return kernel(q, r, static_cast<long>(dim), scratch);
+  };
+  if (envelope_ != nullptr) {
+    const EnvelopeFn envelope = envelope_;
+    fns.envelope = [envelope](real_t d) { return envelope(d); };
+  }
+  return fns;
+}
+
+} // namespace portal

@@ -1,0 +1,57 @@
+// Portal -- the source JIT backend (DESIGN.md Sec. 4, engine 3).
+//
+// The paper's backend hands optimized IR to LLVM for native code emission;
+// LLVM is not available offline here, so this backend performs the honest
+// equivalent: it pretty-prints the optimized IR as a C++ translation unit,
+// invokes the system compiler (-O3 -march=native -shared -fPIC), dlopens the
+// resulting shared object, and hands raw function pointers to the generic
+// executor. Kernels containing opaque external C++ callbacks cannot be
+// serialized and report unavailable (callers fall back to the VM).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/executor.h"
+#include "core/plan.h"
+
+namespace portal {
+
+/// A compiled kernel module (RAII over the dlopen handle and temp files).
+class JitModule {
+ public:
+  ~JitModule();
+  JitModule(const JitModule&) = delete;
+  JitModule& operator=(const JitModule&) = delete;
+
+  /// Compile the plan's kernel + envelope. Throws std::runtime_error with the
+  /// compiler log on failure; returns nullptr when the kernel is not
+  /// JIT-able (external callbacks).
+  static std::unique_ptr<JitModule> compile(const ProblemPlan& plan);
+
+  /// Evaluator callbacks bound to the dlopen'd symbols.
+  EvaluatorFns evaluators() const;
+
+  /// The generated translation unit (artifact dumps / tests).
+  const std::string& source() const { return source_; }
+
+ private:
+  JitModule() = default;
+
+  void* handle_ = nullptr;
+  std::string so_path_;
+  std::string source_;
+  using EnvelopeFn = double (*)(double);
+  using KernelFn = double (*)(const double*, const double*, long, double*);
+  EnvelopeFn envelope_ = nullptr;
+  KernelFn kernel_ = nullptr;
+};
+
+/// Emit the C++ translation unit for a plan (exposed for tests and the
+/// pipeline bench; JitModule::compile uses it internally).
+std::string emit_cpp_source(const ProblemPlan& plan);
+
+/// True when a working system compiler was found (cached probe).
+bool jit_available();
+
+} // namespace portal

@@ -1,0 +1,34 @@
+// Portal -- the pattern backend (DESIGN.md Sec. 4, engine 2).
+//
+// Recognizes (operator stack, metric, envelope) shapes and dispatches to the
+// pre-compiled specialized dual-tree kernels in src/problems. This is the
+// engineering equivalent of the paper's "LLVM emits optimal vector code":
+// the compiler *selects* host-compiler-optimized template kernels instead of
+// emitting instructions itself. Unrecognized programs fall through to the
+// JIT or VM engines.
+#pragma once
+
+#include <string>
+
+#include "core/executor.h"
+#include "core/plan.h"
+
+namespace portal {
+
+struct PatternDispatch {
+  bool recognized = false;
+  std::string name; // e.g. "knn", "kde", "two-point", "barnes-hut"
+  ExecutionResult result;
+};
+
+/// Attempt recognition + execution. Returns recognized = false when the plan
+/// does not match a specialized kernel (callers then pick another engine).
+/// Never runs a mismatched kernel: recognition is exact.
+PatternDispatch try_pattern_execute(const ProblemPlan& plan,
+                                    const PortalConfig& config, TreeCache* cache);
+
+/// Recognition only (no execution) -- used by Auto engine selection and the
+/// compiler-pipeline bench.
+std::string recognize_pattern(const ProblemPlan& plan, const PortalConfig& config);
+
+} // namespace portal

@@ -1,0 +1,70 @@
+// Portal -- the generic execution engine behind the VM and JIT backends.
+//
+// Runs an analyzed ProblemPlan through the multi-tree traversal (Algorithm 1)
+// with *generic* reducers driven by the layer operators and a kernel
+// evaluator supplied by the backend (bytecode for the VM engine, dlopen'd
+// native functions for the JIT engine). The pattern backend bypasses this and
+// dispatches to the specialized problem kernels instead.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "core/plan.h"
+#include "tree/kdtree.h"
+#include "traversal/rules.h"
+
+namespace portal {
+
+/// Kernel evaluation callbacks a backend provides.
+struct EvaluatorFns {
+  /// Envelope g(distance) in the metric's natural space. Required when the
+  /// plan's kernel is normalized and the envelope is not the identity.
+  std::function<real_t(real_t)> envelope;
+
+  /// Full kernel on two dim-contiguous points (scratch: 2*dim reals for
+  /// Mahalanobis). Required when the kernel is NOT normalized.
+  std::function<real_t(const real_t*, const real_t*, index_t, real_t*)>
+      kernel_pair;
+};
+
+/// kd-trees are cached across execute() calls keyed by (dataset identity,
+/// leaf size) so iterative programs (Boruvka MST, EM) rebuild nothing. The
+/// cache pins each dataset, so an identity pointer can never be recycled by
+/// a different dataset while its tree is cached.
+class TreeCache {
+ public:
+  std::shared_ptr<const KdTree> get(const Storage& storage, index_t leaf_size);
+
+ private:
+  struct Entry {
+    std::shared_ptr<const Dataset> pinned;
+    std::shared_ptr<const KdTree> tree;
+  };
+  std::map<std::pair<const void*, index_t>, Entry> cache_;
+};
+
+struct ExecutionResult {
+  std::shared_ptr<OutputData> output;
+  TraversalStats stats;
+  double tree_seconds = 0;
+  double traversal_seconds = 0;
+};
+
+/// Run the plan with tree acceleration (the optimal algorithm).
+ExecutionResult execute_generic(const ProblemPlan& plan, const PortalConfig& config,
+                                const EvaluatorFns& eval, TreeCache* cache);
+
+/// Run the plan by exhaustive O(N^2) evaluation -- the brute-force program
+/// the compiler also emits for correctness checks (Sec. IV).
+ExecutionResult execute_bruteforce(const ProblemPlan& plan,
+                                   const PortalConfig& config,
+                                   const EvaluatorFns& eval);
+
+/// Compare two outputs within a tolerance; returns an empty string on match,
+/// a human-readable mismatch description otherwise (validation mode).
+std::string compare_outputs(const OutputData& expected, const OutputData& actual,
+                            real_t tolerance);
+
+} // namespace portal

@@ -1,0 +1,108 @@
+#include "core/func.h"
+
+#include <stdexcept>
+
+namespace portal {
+
+const PortalFunc PortalFunc::NONE{PortalFunc::Kind::None};
+const PortalFunc PortalFunc::EUCLIDEAN{PortalFunc::Kind::Euclidean};
+const PortalFunc PortalFunc::SQREUCDIST{PortalFunc::Kind::SqEuclidean};
+const PortalFunc PortalFunc::MANHATTAN{PortalFunc::Kind::Manhattan};
+const PortalFunc PortalFunc::CHEBYSHEV{PortalFunc::Kind::Chebyshev};
+const PortalFunc PortalFunc::MAHALANOBIS{PortalFunc::Kind::Mahalanobis};
+
+PortalFunc PortalFunc::gaussian(real_t sigma) {
+  if (sigma <= 0) throw std::invalid_argument("PortalFunc::gaussian: sigma <= 0");
+  PortalFunc f(Kind::Gaussian);
+  f.sigma_ = sigma;
+  return f;
+}
+
+PortalFunc PortalFunc::gaussian_maha(std::vector<real_t> cov) {
+  PortalFunc f(Kind::GaussianMaha);
+  f.cov_ = std::move(cov);
+  return f;
+}
+
+PortalFunc PortalFunc::mahalanobis_with(std::vector<real_t> cov) {
+  PortalFunc f(Kind::Mahalanobis);
+  f.cov_ = std::move(cov);
+  return f;
+}
+
+PortalFunc PortalFunc::gravity(real_t G, real_t softening) {
+  PortalFunc f(Kind::Gravity);
+  f.g_ = G;
+  f.softening_ = softening;
+  return f;
+}
+
+PortalFunc PortalFunc::indicator(real_t lo, real_t hi) {
+  if (lo < 0 || hi <= lo)
+    throw std::invalid_argument("PortalFunc::indicator: need 0 <= lo < hi");
+  PortalFunc f(Kind::Indicator);
+  f.lo_ = lo;
+  f.hi_ = hi;
+  return f;
+}
+
+PortalFunc PortalFunc::custom(Expr kernel) {
+  if (!kernel.valid())
+    throw std::invalid_argument("PortalFunc::custom: empty expression");
+  PortalFunc f(Kind::Custom);
+  f.custom_ = std::move(kernel);
+  return f;
+}
+
+Expr PortalFunc::expand(const Var& q, const Var& r) const {
+  switch (kind_) {
+    case Kind::Euclidean:
+      return sqrt(pow(Expr(q) - Expr(r), 2)); // code 3's exact spelling
+    case Kind::SqEuclidean:
+      return dimsum(pow(Expr(q) - Expr(r), 2));
+    case Kind::Manhattan:
+      return dimsum(abs(Expr(q) - Expr(r)));
+    case Kind::Chebyshev:
+      return dimmax(abs(Expr(q) - Expr(r)));
+    case Kind::Mahalanobis:
+      return mahalanobis(q, r, cov_);
+    case Kind::Gaussian: {
+      const real_t coeff = real_t(-1) / (2 * sigma_ * sigma_);
+      return exp(Expr(coeff) * dimsum(pow(Expr(q) - Expr(r), 2)));
+    }
+    case Kind::GaussianMaha:
+      return exp(Expr(real_t(-0.5)) * mahalanobis(q, r, cov_));
+    case Kind::Indicator: {
+      const Expr d = sqrt(pow(Expr(q) - Expr(r), 2));
+      return (Expr(lo_) < d) * (d < Expr(hi_));
+    }
+    case Kind::Custom:
+      return custom_;
+    case Kind::Gravity:
+      throw std::logic_error(
+          "PortalFunc::Gravity is vector-valued and handled by the pattern "
+          "backend; it has no scalar Expr expansion");
+    case Kind::None:
+      throw std::logic_error("PortalFunc::None has no kernel expression");
+  }
+  throw std::logic_error("PortalFunc::expand: unhandled kind");
+}
+
+const char* PortalFunc::name() const {
+  switch (kind_) {
+    case Kind::None: return "none";
+    case Kind::Euclidean: return "euclidean";
+    case Kind::SqEuclidean: return "sq_euclidean";
+    case Kind::Manhattan: return "manhattan";
+    case Kind::Chebyshev: return "chebyshev";
+    case Kind::Mahalanobis: return "mahalanobis";
+    case Kind::Gaussian: return "gaussian";
+    case Kind::GaussianMaha: return "gaussian_mahalanobis";
+    case Kind::Gravity: return "gravity";
+    case Kind::Indicator: return "indicator";
+    case Kind::Custom: return "custom";
+  }
+  return "?";
+}
+
+} // namespace portal

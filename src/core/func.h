@@ -1,0 +1,74 @@
+// Portal -- PortalFunc: the pre-defined kernel / distance-metric vocabulary
+// (paper Sec. III-C, code 2). Each pre-defined function expands to the same
+// Expr AST a user could write by hand, so one compiler pipeline serves both.
+#pragma once
+
+#include <vector>
+
+#include "core/var_expr.h"
+#include "util/common.h"
+
+namespace portal {
+
+class PortalFunc {
+ public:
+  enum class Kind {
+    None,        // layer without a kernel/modifying function
+    Euclidean,
+    SqEuclidean, // the paper's SQREUCDIST
+    Manhattan,
+    Chebyshev,
+    Mahalanobis, // covariance derived from the reference dataset when empty
+    Gaussian,    // exp(-d^2 / (2 sigma^2)) on Euclidean distance
+    GaussianMaha, // exp(-maha^2 / 2): the Fig. 3 KDE kernel
+    Gravity,     // Barnes-Hut force kernel (vector-valued; pattern engine)
+    Indicator,   // I(lo < d < hi) on Euclidean distance (range search, 2-PC)
+    Custom,      // wraps a user Expr
+  };
+
+  // The paper's enum-style spellings.
+  static const PortalFunc NONE;
+  static const PortalFunc EUCLIDEAN;
+  static const PortalFunc SQREUCDIST;
+  static const PortalFunc MANHATTAN;
+  static const PortalFunc CHEBYSHEV;
+  static const PortalFunc MAHALANOBIS;
+
+  /// Parameterized factories.
+  static PortalFunc gaussian(real_t sigma);
+  static PortalFunc gaussian_maha(std::vector<real_t> cov = {});
+  static PortalFunc mahalanobis_with(std::vector<real_t> cov);
+  static PortalFunc gravity(real_t G = 1, real_t softening = 1e-3);
+  static PortalFunc indicator(real_t lo, real_t hi);
+  static PortalFunc custom(Expr kernel);
+
+  Kind kind() const { return kind_; }
+  real_t sigma() const { return sigma_; }
+  real_t gravity_g() const { return g_; }
+  real_t softening() const { return softening_; }
+  real_t lo() const { return lo_; }
+  real_t hi() const { return hi_; }
+  const std::vector<real_t>& covariance() const { return cov_; }
+  const Expr& custom_expr() const { return custom_; }
+
+  /// Expand into the Expr AST over the two layer variables. Throws for
+  /// Gravity (vector-valued, handled by the pattern engine directly) and
+  /// None.
+  Expr expand(const Var& q, const Var& r) const;
+
+  const char* name() const;
+
+ private:
+  explicit PortalFunc(Kind kind) : kind_(kind) {}
+
+  Kind kind_ = Kind::None;
+  real_t sigma_ = 1;
+  real_t g_ = 1;
+  real_t softening_ = 1e-3;
+  real_t lo_ = 0;
+  real_t hi_ = 1;
+  std::vector<real_t> cov_;
+  Expr custom_;
+};
+
+} // namespace portal

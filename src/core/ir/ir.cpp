@@ -1,0 +1,266 @@
+#include "core/ir/ir.h"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace portal {
+namespace {
+
+IrExprPtr make(IrExpr expr) { return std::make_shared<const IrExpr>(std::move(expr)); }
+
+std::string fmt_value(real_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", static_cast<double>(value));
+  return buf;
+}
+
+} // namespace
+
+IrExprPtr ir_const(real_t value) {
+  IrExpr e;
+  e.op = IrOp::Const;
+  e.value = value;
+  return make(std::move(e));
+}
+
+IrExprPtr ir_leaf(IrOp op) {
+  IrExpr e;
+  e.op = op;
+  return make(std::move(e));
+}
+
+IrExprPtr ir_unary(IrOp op, IrExprPtr child) {
+  IrExpr e;
+  e.op = op;
+  e.children = {std::move(child)};
+  return make(std::move(e));
+}
+
+IrExprPtr ir_binary(IrOp op, IrExprPtr a, IrExprPtr b) {
+  IrExpr e;
+  e.op = op;
+  e.children = {std::move(a), std::move(b)};
+  return make(std::move(e));
+}
+
+IrExprPtr ir_pow(IrExprPtr base, real_t exponent) {
+  IrExpr e;
+  e.op = IrOp::Pow;
+  e.children = {std::move(base)};
+  e.value = exponent;
+  return make(std::move(e));
+}
+
+IrExprPtr ir_rewrite(const IrExprPtr& root,
+                     const std::function<IrExprPtr(const IrExprPtr&)>& fn) {
+  if (!root) return root;
+  // Rewrite children first (bottom-up), then let fn transform the node.
+  bool changed = false;
+  std::vector<IrExprPtr> new_children;
+  new_children.reserve(root->children.size());
+  for (const IrExprPtr& child : root->children) {
+    IrExprPtr rewritten = ir_rewrite(child, fn);
+    changed = changed || rewritten != child;
+    new_children.push_back(std::move(rewritten));
+  }
+  IrExprPtr node = root;
+  if (changed) {
+    IrExpr copy = *root;
+    copy.children = std::move(new_children);
+    node = make(std::move(copy));
+  }
+  IrExprPtr result = fn(node);
+  return result ? result : node;
+}
+
+bool ir_contains(const IrExprPtr& root, IrOp op) {
+  if (!root) return false;
+  if (root->op == op) return true;
+  for (const IrExprPtr& child : root->children)
+    if (ir_contains(child, op)) return true;
+  return false;
+}
+
+index_t ir_node_count(const IrExprPtr& root) {
+  if (!root) return 0;
+  index_t count = 1;
+  for (const IrExprPtr& child : root->children) count += ir_node_count(child);
+  return count;
+}
+
+// ---------------------------------------------------------------------------
+
+namespace {
+IrStmtPtr make_stmt(IrStmt stmt) {
+  return std::make_shared<const IrStmt>(std::move(stmt));
+}
+} // namespace
+
+IrStmtPtr ir_block(std::vector<IrStmtPtr> body) {
+  IrStmt s;
+  s.kind = IrStmtKind::Block;
+  s.body = std::move(body);
+  return make_stmt(std::move(s));
+}
+
+IrStmtPtr ir_comment(std::string text) {
+  IrStmt s;
+  s.kind = IrStmtKind::Comment;
+  s.text = std::move(text);
+  return make_stmt(std::move(s));
+}
+
+IrStmtPtr ir_alloc(std::string text) {
+  IrStmt s;
+  s.kind = IrStmtKind::Alloc;
+  s.text = std::move(text);
+  return make_stmt(std::move(s));
+}
+
+IrStmtPtr ir_loop(std::string text, std::vector<IrStmtPtr> body) {
+  IrStmt s;
+  s.kind = IrStmtKind::Loop;
+  s.text = std::move(text);
+  s.body = std::move(body);
+  return make_stmt(std::move(s));
+}
+
+IrStmtPtr ir_assign(std::string target, IrExprPtr expr) {
+  IrStmt s;
+  s.kind = IrStmtKind::AssignExpr;
+  s.target = std::move(target);
+  s.expr = std::move(expr);
+  return make_stmt(std::move(s));
+}
+
+IrStmtPtr ir_accum(std::string target, std::string op, IrExprPtr expr) {
+  IrStmt s;
+  s.kind = IrStmtKind::Accum;
+  s.target = std::move(target);
+  s.accum_op = std::move(op);
+  s.expr = std::move(expr);
+  return make_stmt(std::move(s));
+}
+
+IrStmtPtr ir_reduce(std::string target, std::string op, IrExprPtr expr) {
+  IrStmt s;
+  s.kind = IrStmtKind::ReduceCmp;
+  s.target = std::move(target);
+  s.accum_op = std::move(op);
+  s.expr = std::move(expr);
+  return make_stmt(std::move(s));
+}
+
+IrStmtPtr ir_return(IrExprPtr expr) {
+  IrStmt s;
+  s.kind = IrStmtKind::ReturnExpr;
+  s.expr = std::move(expr);
+  return make_stmt(std::move(s));
+}
+
+IrStmtPtr ir_stmt_rewrite(const IrStmtPtr& root,
+                          const std::function<IrExprPtr(const IrExprPtr&)>& fn) {
+  if (!root) return root;
+  IrStmt copy = *root;
+  copy.body.clear();
+  for (const IrStmtPtr& child : root->body)
+    copy.body.push_back(ir_stmt_rewrite(child, fn));
+  // fn is a whole-expression transform (a pass), applied once per statement.
+  if (root->expr) copy.expr = fn(root->expr);
+  return make_stmt(std::move(copy));
+}
+
+// ---------------------------------------------------------------------------
+// Printing.
+
+std::string ir_expr_to_string(const IrExprPtr& e) {
+  if (!e) return "<null>";
+  auto c = [&](std::size_t i) { return ir_expr_to_string(e->children[i]); };
+  switch (e->op) {
+    case IrOp::Const: return fmt_value(e->value);
+    case IrOp::LoadQCoord:
+      return e->flattened ? "load(q_base + d*" + std::to_string(e->stride) + ")"
+                          : "load(q, d)";
+    case IrOp::LoadRCoord:
+      return e->flattened ? "load(r_base + d*" + std::to_string(e->stride) + ")"
+                          : "load(r, d)";
+    case IrOp::Dist: return "dist(q, r)";
+    case IrOp::Temp: return e->label;
+    case IrOp::DMin: return "d_min(N_q, N_r)";
+    case IrOp::DMax: return "d_max(N_q, N_r)";
+    case IrOp::CenterDist: return "dist(N_q.center, N_r.center)";
+    case IrOp::RCount: return "N_r.count";
+    case IrOp::Tau: return "tau";
+    case IrOp::QueryBound: return "B(N_q)";
+    case IrOp::Add: return "(" + c(0) + " + " + c(1) + ")";
+    case IrOp::Sub: return "(" + c(0) + " - " + c(1) + ")";
+    case IrOp::Mul: return "(" + c(0) + " * " + c(1) + ")";
+    case IrOp::Div: return "(" + c(0) + " / " + c(1) + ")";
+    case IrOp::Neg: return "(-" + c(0) + ")";
+    case IrOp::Abs: return "abs(" + c(0) + ")";
+    case IrOp::Min: return "min(" + c(0) + ", " + c(1) + ")";
+    case IrOp::Max: return "max(" + c(0) + ", " + c(1) + ")";
+    case IrOp::Pow: return "pow(" + c(0) + ", " + fmt_value(e->value) + ")";
+    case IrOp::Sqrt: return "sqrt(" + c(0) + ")";
+    case IrOp::FastSqrt: return "1/(1/fast_inverse_sqrt(" + c(0) + "))";
+    case IrOp::InvSqrt: return "1/sqrt(" + c(0) + ")";
+    case IrOp::FastInvSqrt: return "fast_inverse_sqrt(" + c(0) + ")";
+    case IrOp::Exp: return "exp(" + c(0) + ")";
+    case IrOp::Log: return "log(" + c(0) + ")";
+    case IrOp::Less: return "(" + c(0) + " < " + c(1) + ")";
+    case IrOp::Greater: return "(" + c(0) + " > " + c(1) + ")";
+    case IrOp::LogicalAnd: return "(" + c(0) + " && " + c(1) + ")";
+    case IrOp::DimSum: return "dim_sum[for d in 0 ... dim]{" + c(0) + "}";
+    case IrOp::DimMax: return "dim_max[for d in 0 ... dim]{" + c(0) + "}";
+    case IrOp::MahalanobisNaive: return "(q - r)^T * Sigma^-1 * (q - r)";
+    case IrOp::MahalanobisChol:
+      return "forward_subst(L, q - r) -> x; x^T * x";
+    case IrOp::ExternalCall: return e->label + "(q, r)";
+  }
+  return "?";
+}
+
+std::string ir_stmt_to_string(const IrStmtPtr& s, int indent) {
+  if (!s) return "";
+  const std::string pad(indent * 2, ' ');
+  std::string out;
+  switch (s->kind) {
+    case IrStmtKind::Block:
+      for (const IrStmtPtr& child : s->body)
+        out += ir_stmt_to_string(child, indent);
+      return out;
+    case IrStmtKind::Comment:
+      return pad + "// " + s->text + "\n";
+    case IrStmtKind::Alloc:
+      return pad + "alloc " + s->text + "\n";
+    case IrStmtKind::Loop:
+      out = pad + "for " + s->text + "\n";
+      for (const IrStmtPtr& child : s->body)
+        out += ir_stmt_to_string(child, indent + 1);
+      return out;
+    case IrStmtKind::AssignExpr:
+      return pad + s->target + " = " + ir_expr_to_string(s->expr) + "\n";
+    case IrStmtKind::Accum:
+      return pad + s->target + " " + s->accum_op + "= " +
+             ir_expr_to_string(s->expr) + "\n";
+    case IrStmtKind::ReduceCmp:
+      return pad + s->target + " <- " + s->accum_op + "(" + s->target + ", " +
+             ir_expr_to_string(s->expr) + ")\n";
+    case IrStmtKind::ReturnExpr:
+      return pad + "return " + ir_expr_to_string(s->expr) + "\n";
+  }
+  return out;
+}
+
+std::string ir_program_to_string(const IrProgram& program) {
+  std::string out;
+  out += "== BaseCase ==\n";
+  out += ir_stmt_to_string(program.base_case);
+  out += "== Prune/Approximate ==\n";
+  out += ir_stmt_to_string(program.prune_approx);
+  out += "== ComputeApprox ==\n";
+  out += ir_stmt_to_string(program.compute_approx);
+  return out;
+}
+
+} // namespace portal

@@ -1,0 +1,162 @@
+// Portal -- the compiler's intermediate representation (paper Sec. IV,
+// Figs. 2-3).
+//
+// Kernels lower to a pure *expression* tree: per-dimension work is an
+// explicit DimSum/DimMax node whose body is evaluated once per dimension
+// (printed as the paper's `for d in 0 ... dim` loop). The surrounding
+// BaseCase loop nest and storage injection are *statements* wrapping that
+// kernel expression. Optimization passes (flattening, numerical optimization,
+// strength reduction, constant folding) are expression rewrites, shared by
+// every backend: the VM compiles the expression to bytecode, the JIT prints
+// it as C++, and the pattern backend uses it for recognition and dumps.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/var_expr.h"
+#include "util/common.h"
+
+namespace portal {
+
+enum class IrOp {
+  // Leaves.
+  Const,
+  LoadQCoord, // current-dimension coordinate of the query point
+  LoadRCoord, // current-dimension coordinate of the reference point
+  // Metric distance atom: the normalized kernel's distance input (the
+  // envelope IR is the kernel with its metric subtree replaced by Dist).
+  Dist,
+  Temp, // named temporary (label) -- statement-IR plumbing for dumps
+  // Prune/approx atoms (node-pair scope).
+  DMin,       // metric lower bound between the node boxes
+  DMax,       // metric upper bound
+  CenterDist, // metric distance between box centers
+  RCount,     // points in the reference node
+  Tau,        // user approximation threshold
+  QueryBound, // per-query-node reduction bound B(Nq)
+  // Arithmetic.
+  Add,
+  Sub,
+  Mul,
+  Div,
+  Neg,
+  Abs,
+  Min,
+  Max,
+  Pow,         // children[0] ^ value
+  Sqrt,
+  FastSqrt,    // strength-reduced: 1 / fast_inv_sqrt(x)
+  InvSqrt,     // 1 / sqrt(x)
+  FastInvSqrt, // strength-reduced reciprocal sqrt
+  Exp,
+  Log,
+  Less,    // indicator {0, 1}
+  Greater,
+  LogicalAnd,
+  // Dimension reductions: children[0] is the per-dimension body.
+  DimSum,
+  DimMax,
+  // Opaque kernels.
+  MahalanobisNaive, // (q-r)^T Sigma^{-1} (q-r) via the explicit inverse
+  MahalanobisChol,  // ||L^{-1}(q-r)||^2 via forward substitution (Sec. IV-D)
+  ExternalCall,     // user C++ function
+};
+
+struct IrExpr;
+using IrExprPtr = std::shared_ptr<const IrExpr>;
+
+struct IrExpr {
+  IrOp op = IrOp::Const;
+  std::vector<IrExprPtr> children;
+  real_t value = 0; // Const payload / Pow exponent
+
+  // Flattening metadata (Sec. IV-C): set by the flattening pass on
+  // LoadQCoord / LoadRCoord; before flattening the printer shows load(q, d),
+  // after it shows load(q_base + d * stride).
+  bool flattened = false;
+  index_t stride = 1;
+
+  // Mahalanobis / external payloads.
+  std::vector<real_t> matrix; // covariance (naive) or Cholesky factor (chol)
+  ExternalKernelFn external;
+  std::string label;
+};
+
+IrExprPtr ir_const(real_t value);
+IrExprPtr ir_leaf(IrOp op);
+IrExprPtr ir_unary(IrOp op, IrExprPtr child);
+IrExprPtr ir_binary(IrOp op, IrExprPtr a, IrExprPtr b);
+IrExprPtr ir_pow(IrExprPtr base, real_t exponent);
+
+/// Structural deep-copy with a child transform applied (pass helper).
+using IrRewriteFn = IrExprPtr (*)(const IrExprPtr&, void*);
+IrExprPtr ir_rewrite(const IrExprPtr& root,
+                     const std::function<IrExprPtr(const IrExprPtr&)>& fn);
+
+/// True if the subtree contains the given op.
+bool ir_contains(const IrExprPtr& root, IrOp op);
+
+/// Count nodes (pass-effect reporting in the Fig. 1 pipeline bench).
+index_t ir_node_count(const IrExprPtr& root);
+
+// ---------------------------------------------------------------------------
+// Statements: the lowered BaseCase / Prune / ComputeApprox skeletons.
+
+enum class IrStmtKind {
+  Block,
+  Comment,
+  Alloc,      // alloc <name>[<size_desc>] = <init_desc>
+  Loop,       // for <var> in <lo_desc> ... <hi_desc> { body }
+  AssignExpr, // <target> = <expr>
+  Accum,      // <target> <accum_op>= <expr>   (SUM/PROD folding)
+  ReduceCmp,  // reduction update for MIN/MAX/ARG*/K* (paper: "comparison
+              // imperative code at the end of loop synthesis")
+  ReturnExpr,
+};
+
+struct IrStmt;
+using IrStmtPtr = std::shared_ptr<const IrStmt>;
+
+struct IrStmt {
+  IrStmtKind kind = IrStmtKind::Block;
+  std::vector<IrStmtPtr> body; // Block / Loop children
+  std::string text;            // Comment text, Alloc/Loop descriptors
+  std::string target;          // Assign/Accum/Reduce target name
+  std::string accum_op;        // "+", "*", "min", "max", "kmin", ...
+  IrExprPtr expr;              // Assign/Accum/Reduce/Return payload
+};
+
+IrStmtPtr ir_block(std::vector<IrStmtPtr> body);
+IrStmtPtr ir_comment(std::string text);
+IrStmtPtr ir_alloc(std::string text);
+IrStmtPtr ir_loop(std::string text, std::vector<IrStmtPtr> body);
+IrStmtPtr ir_assign(std::string target, IrExprPtr expr);
+IrStmtPtr ir_accum(std::string target, std::string op, IrExprPtr expr);
+IrStmtPtr ir_reduce(std::string target, std::string op, IrExprPtr expr);
+IrStmtPtr ir_return(IrExprPtr expr);
+
+/// Rewrite every expression inside a statement tree (pass driver). `fn` is a
+/// whole-expression transform -- i.e. a pass entry point, not a per-node
+/// callback (contrast with ir_rewrite).
+IrStmtPtr ir_stmt_rewrite(const IrStmtPtr& root,
+                          const std::function<IrExprPtr(const IrExprPtr&)>& fn);
+
+// ---------------------------------------------------------------------------
+// Printing (the Fig. 2 / Fig. 3 dumps).
+
+std::string ir_expr_to_string(const IrExprPtr& expr);
+std::string ir_stmt_to_string(const IrStmtPtr& stmt, int indent = 0);
+
+/// The three key functions of the multi-tree traversal (Algorithm 1) in IR
+/// form, as Figs. 2-3 lay them out.
+struct IrProgram {
+  IrStmtPtr base_case;
+  IrStmtPtr prune_approx;
+  IrStmtPtr compute_approx;
+};
+
+std::string ir_program_to_string(const IrProgram& program);
+
+} // namespace portal

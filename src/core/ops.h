@@ -1,0 +1,167 @@
+// Portal -- the operator vocabulary of the language (paper Table I).
+//
+// Operators fall into three categories that drive storage injection
+// (Sec. IV-B) and algorithm classification (Sec. II-B):
+//   All:    FORALL                      -> one output slot per dataset point
+//   Single: SUM PROD ARGMIN ARGMAX MIN MAX -> one output slot
+//   Multi:  KARGMIN KARGMAX KMIN KMAX UNION UNIONARG
+//           -> k slots (sorted), or a dynamic list for the UNION pair
+#pragma once
+
+#include <limits>
+#include <string>
+
+#include "util/common.h"
+
+namespace portal {
+
+enum class PortalOp {
+  FORALL,
+  SUM,
+  PROD,
+  MIN,
+  MAX,
+  ARGMIN,
+  ARGMAX,
+  KMIN,
+  KMAX,
+  KARGMIN,
+  KARGMAX,
+  UNION,
+  UNIONARG,
+};
+
+enum class OpCategory { All, Single, Multi };
+
+/// An operator instance as it appears in a layer: the Multi reductions carry
+/// their k. Implicitly convertible from PortalOp so the paper's
+/// `addLayer(PortalOp::FORALL, ...)` spelling works, while
+/// `addLayer({PortalOp::KARGMIN, k}, ...)` mirrors code 1's
+/// `(PortalOp::KARGMIN, k)`.
+struct OpSpec {
+  PortalOp op = PortalOp::FORALL;
+  index_t k = 1;
+
+  OpSpec(PortalOp o) : op(o) {} // NOLINT(google-explicit-constructor)
+  OpSpec(PortalOp o, index_t kk) : op(o), k(kk) {}
+};
+
+inline OpCategory op_category(PortalOp op) {
+  switch (op) {
+    case PortalOp::FORALL:
+      return OpCategory::All;
+    case PortalOp::SUM:
+    case PortalOp::PROD:
+    case PortalOp::MIN:
+    case PortalOp::MAX:
+    case PortalOp::ARGMIN:
+    case PortalOp::ARGMAX:
+      return OpCategory::Single;
+    default:
+      return OpCategory::Multi;
+  }
+}
+
+/// Comparative operators are what turn a problem into a *pruning* problem
+/// (Sec. II-B): they discard data, so subtrees that cannot win are skipped.
+inline bool op_is_comparative(PortalOp op) {
+  switch (op) {
+    case PortalOp::MIN:
+    case PortalOp::MAX:
+    case PortalOp::ARGMIN:
+    case PortalOp::ARGMAX:
+    case PortalOp::KMIN:
+    case PortalOp::KMAX:
+    case PortalOp::KARGMIN:
+    case PortalOp::KARGMAX:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Min-flavored reductions keep the smallest kernel values.
+inline bool op_is_min_like(PortalOp op) {
+  return op == PortalOp::MIN || op == PortalOp::ARGMIN || op == PortalOp::KMIN ||
+         op == PortalOp::KARGMIN;
+}
+
+inline bool op_is_max_like(PortalOp op) {
+  return op == PortalOp::MAX || op == PortalOp::ARGMAX || op == PortalOp::KMAX ||
+         op == PortalOp::KARGMAX;
+}
+
+/// Arg-flavored reductions output indices rather than kernel values.
+inline bool op_is_arg(PortalOp op) {
+  return op == PortalOp::ARGMIN || op == PortalOp::ARGMAX ||
+         op == PortalOp::KARGMIN || op == PortalOp::KARGMAX ||
+         op == PortalOp::UNIONARG;
+}
+
+/// Decomposability (paper Sec. II, property 1): all Portal operators satisfy
+/// it -- the check exists for future operators and documents the requirement.
+inline bool op_is_decomposable(PortalOp) { return true; }
+
+/// The identity element the intermediate storage is initialized with
+/// (Sec. IV-A: "for the min operator ... DBL_MAX").
+inline real_t op_init_value(PortalOp op) {
+  switch (op) {
+    case PortalOp::SUM:
+      return 0;
+    case PortalOp::PROD:
+      return 1;
+    case PortalOp::MIN:
+    case PortalOp::ARGMIN:
+    case PortalOp::KMIN:
+    case PortalOp::KARGMIN:
+      return std::numeric_limits<real_t>::max();
+    case PortalOp::MAX:
+    case PortalOp::ARGMAX:
+    case PortalOp::KMAX:
+    case PortalOp::KARGMAX:
+      return std::numeric_limits<real_t>::lowest();
+    default:
+      return 0;
+  }
+}
+
+inline const char* op_name(PortalOp op) {
+  switch (op) {
+    case PortalOp::FORALL: return "FORALL";
+    case PortalOp::SUM: return "SUM";
+    case PortalOp::PROD: return "PROD";
+    case PortalOp::MIN: return "MIN";
+    case PortalOp::MAX: return "MAX";
+    case PortalOp::ARGMIN: return "ARGMIN";
+    case PortalOp::ARGMAX: return "ARGMAX";
+    case PortalOp::KMIN: return "KMIN";
+    case PortalOp::KMAX: return "KMAX";
+    case PortalOp::KARGMIN: return "KARGMIN";
+    case PortalOp::KARGMAX: return "KARGMAX";
+    case PortalOp::UNION: return "UNION";
+    case PortalOp::UNIONARG: return "UNIONARG";
+  }
+  return "?";
+}
+
+/// Mathematical spelling used in IR dumps and the Table III bench.
+inline std::string op_math_symbol(const OpSpec& spec) {
+  switch (spec.op) {
+    case PortalOp::FORALL: return "forall";
+    case PortalOp::SUM: return "sum";
+    case PortalOp::PROD: return "prod";
+    case PortalOp::MIN: return "min";
+    case PortalOp::MAX: return "max";
+    case PortalOp::ARGMIN: return "argmin";
+    case PortalOp::ARGMAX: return "argmax";
+    case PortalOp::KMIN: return "min^" + std::to_string(spec.k);
+    case PortalOp::KMAX: return "max^" + std::to_string(spec.k);
+    case PortalOp::KARGMIN: return "argmin^" + std::to_string(spec.k);
+    case PortalOp::KARGMAX: return "argmax^" + std::to_string(spec.k);
+    case PortalOp::UNION: return "union";
+    case PortalOp::UNIONARG: return "union-arg";
+  }
+  return "?";
+}
+
+} // namespace portal

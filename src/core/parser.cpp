@@ -1,0 +1,510 @@
+#include "core/parser.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "data/generators.h"
+
+namespace portal {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Lexer.
+
+enum class Tok { Ident, Number, String, Punct, End };
+
+struct Token {
+  Tok kind = Tok::End;
+  std::string text;
+  real_t number = 0;
+  int line = 0;
+  int col = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& source) : src_(source) { advance(); }
+
+  const Token& peek() const { return current_; }
+
+  Token take() {
+    Token token = current_;
+    advance();
+    return token;
+  }
+
+  [[noreturn]] void fail(const std::string& message) const {
+    throw std::invalid_argument("portal script:" + std::to_string(current_.line) +
+                                ":" + std::to_string(current_.col) + ": " +
+                                message +
+                                (current_.kind == Tok::End
+                                     ? " (at end of input)"
+                                     : " (at '" + current_.text + "')"));
+  }
+
+ private:
+  void advance() {
+    // Skip whitespace and # comments.
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '\n') {
+        ++line_;
+        col_ = 1;
+        ++pos_;
+      } else if (std::isspace(static_cast<unsigned char>(c))) {
+        ++col_;
+        ++pos_;
+      } else if (c == '#') {
+        while (pos_ < src_.size() && src_[pos_] != '\n') ++pos_;
+      } else {
+        break;
+      }
+    }
+    current_ = Token{};
+    current_.line = line_;
+    current_.col = col_;
+    if (pos_ >= src_.size()) {
+      current_.kind = Tok::End;
+      return;
+    }
+
+    const char c = src_[pos_];
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t start = pos_;
+      while (pos_ < src_.size() &&
+             (std::isalnum(static_cast<unsigned char>(src_[pos_])) ||
+              src_[pos_] == '_'))
+        ++pos_;
+      current_.kind = Tok::Ident;
+      current_.text = src_.substr(start, pos_ - start);
+    } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+               (c == '.' && pos_ + 1 < src_.size() &&
+                std::isdigit(static_cast<unsigned char>(src_[pos_ + 1])))) {
+      const char* begin = src_.c_str() + pos_;
+      char* end = nullptr;
+      current_.number = std::strtod(begin, &end);
+      current_.kind = Tok::Number;
+      current_.text = std::string(begin, end - begin);
+      pos_ += static_cast<std::size_t>(end - begin);
+    } else if (c == '"') {
+      std::size_t start = ++pos_;
+      while (pos_ < src_.size() && src_[pos_] != '"') ++pos_;
+      if (pos_ >= src_.size()) {
+        current_.kind = Tok::End;
+        fail("unterminated string literal");
+      }
+      current_.kind = Tok::String;
+      current_.text = src_.substr(start, pos_ - start);
+      ++pos_; // closing quote
+    } else {
+      current_.kind = Tok::Punct;
+      current_.text = std::string(1, c);
+      ++pos_;
+    }
+    col_ += static_cast<int>(current_.text.size());
+  }
+
+  const std::string& src_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  int col_ = 1;
+  Token current_;
+};
+
+// ---------------------------------------------------------------------------
+// Parser.
+
+class Parser {
+ public:
+  Parser(const std::string& source, std::string base_dir)
+      : lexer_(source), base_dir_(std::move(base_dir)) {}
+
+  ParsedProgram run() {
+    while (lexer_.peek().kind != Tok::End) statement();
+    if (!program_.expr)
+      lexer_.fail("script never declared a PortalExpr");
+    return std::move(program_);
+  }
+
+ private:
+  // -- token helpers ----------------------------------------------------------
+  bool is_punct(const char* p) const {
+    return lexer_.peek().kind == Tok::Punct && lexer_.peek().text == p;
+  }
+  bool is_ident(const char* name) const {
+    return lexer_.peek().kind == Tok::Ident && lexer_.peek().text == name;
+  }
+  void expect_punct(const char* p) {
+    if (!is_punct(p)) lexer_.fail(std::string("expected '") + p + "'");
+    lexer_.take();
+  }
+  std::string expect_ident(const char* what) {
+    if (lexer_.peek().kind != Tok::Ident) lexer_.fail(std::string("expected ") + what);
+    return lexer_.take().text;
+  }
+  real_t expect_number() {
+    bool negative = false;
+    if (is_punct("-")) {
+      lexer_.take();
+      negative = true;
+    }
+    if (lexer_.peek().kind != Tok::Number) lexer_.fail("expected a number");
+    const real_t value = lexer_.take().number;
+    return negative ? -value : value;
+  }
+
+  // -- statements --------------------------------------------------------------
+  void statement() {
+    if (is_ident("Storage")) return storage_stmt();
+    if (is_ident("Var")) return var_stmt();
+    if (is_ident("Expr")) return expr_stmt();
+    if (is_ident("PortalExpr")) return portalexpr_stmt();
+    if (is_ident("set")) return set_stmt();
+    if (lexer_.peek().kind == Tok::Ident) return method_stmt();
+    lexer_.fail("expected a statement");
+  }
+
+  void storage_stmt() {
+    lexer_.take(); // Storage
+    const std::string name = expect_ident("a storage name");
+    expect_punct("=");
+    if (lexer_.peek().kind == Tok::String) {
+      const Token token = lexer_.take();
+      std::string full = token.text;
+      if (!full.empty() && full.front() != '/') full = base_dir_ + "/" + full;
+      program_.storages.emplace(name, Storage(full));
+    } else if (is_ident("demo")) {
+      lexer_.take();
+      expect_punct("(");
+      const index_t n = static_cast<index_t>(expect_number());
+      index_t dim = 3;
+      if (is_punct(",")) {
+        lexer_.take();
+        dim = static_cast<index_t>(expect_number());
+      }
+      expect_punct(")");
+      if (n <= 0 || dim <= 0) lexer_.fail("demo(N, DIM) needs positive values");
+      // Seed from the storage name: distinct names give distinct data.
+      std::uint64_t seed = 0x5eedULL;
+      for (char c : name) seed = seed * 131 + static_cast<unsigned char>(c);
+      program_.storages.emplace(name, Storage(make_gaussian_mixture(n, dim, 5, seed)));
+    } else {
+      lexer_.fail("Storage needs a \"file.csv\" or demo(N[, DIM])");
+    }
+    expect_punct(";");
+  }
+
+  void var_stmt() {
+    lexer_.take(); // Var
+    const std::string name = expect_ident("a variable name");
+    program_.vars.emplace(name, Var(name));
+    expect_punct(";");
+  }
+
+  void expr_stmt() {
+    lexer_.take(); // Expr
+    const std::string name = expect_ident("an expression name");
+    expect_punct("=");
+    program_.exprs.emplace(name, expression());
+    expect_punct(";");
+  }
+
+  void portalexpr_stmt() {
+    lexer_.take(); // PortalExpr
+    const std::string name = expect_ident("a PortalExpr name");
+    if (program_.expr) lexer_.fail("scripts support a single PortalExpr");
+    program_.expr = std::make_shared<PortalExpr>();
+    expr_name_ = name;
+    expect_punct(";");
+  }
+
+  void set_stmt() {
+    lexer_.take(); // set
+    const std::string key = expect_ident("a config key");
+    expect_punct("=");
+    if (key == "tau") {
+      program_.config.tau = expect_number();
+    } else if (key == "theta") {
+      program_.config.theta = expect_number();
+    } else if (key == "leaf_size") {
+      program_.config.leaf_size = static_cast<index_t>(expect_number());
+    } else if (key == "parallel") {
+      program_.config.parallel = expect_number() != 0;
+    } else if (key == "engine") {
+      const std::string engine = expect_ident("an engine name");
+      if (engine == "auto") program_.config.engine = Engine::Auto;
+      else if (engine == "pattern") program_.config.engine = Engine::Pattern;
+      else if (engine == "jit") program_.config.engine = Engine::JIT;
+      else if (engine == "vm") program_.config.engine = Engine::VM;
+      else lexer_.fail("engine must be auto | pattern | jit | vm");
+    } else {
+      lexer_.fail("unknown config key '" + key +
+                  "' (tau, theta, leaf_size, parallel, engine)");
+    }
+    expect_punct(";");
+  }
+
+  void method_stmt() {
+    const std::string object = expect_ident("an object name");
+    if (!program_.expr || object != expr_name_)
+      lexer_.fail("unknown object '" + object + "'");
+    expect_punct(".");
+    const std::string method = expect_ident("a method name");
+    if (method == "addLayer") {
+      addlayer_call();
+    } else if (method == "execute") {
+      expect_punct("(");
+      expect_punct(")");
+      program_.expr->execute(program_.config);
+      program_.executed = true;
+    } else {
+      lexer_.fail("unknown method '" + method + "' (addLayer, execute)");
+    }
+    expect_punct(";");
+  }
+
+  void addlayer_call() {
+    expect_punct("(");
+    const OpSpec op = op_spec();
+    expect_punct(",");
+
+    // Optional Var binding, then the Storage, then an optional kernel.
+    std::string first = expect_ident("a Var or Storage name");
+    std::string var_name, storage_name;
+    if (program_.vars.count(first) > 0) {
+      var_name = first;
+      expect_punct(",");
+      storage_name = expect_ident("a Storage name");
+    } else {
+      storage_name = first;
+    }
+    const auto storage_it = program_.storages.find(storage_name);
+    if (storage_it == program_.storages.end())
+      lexer_.fail("unknown Storage '" + storage_name + "'");
+
+    bool have_kernel = false;
+    PortalFunc func = PortalFunc::NONE;
+    Expr kernel;
+    if (is_punct(",")) {
+      lexer_.take();
+      have_kernel = true;
+      if (lexer_.peek().kind == Tok::Ident && predefined_kernel(&func)) {
+        // consumed by predefined_kernel
+      } else {
+        kernel = expression();
+      }
+    }
+    expect_punct(")");
+
+    if (!var_name.empty()) {
+      if (have_kernel && kernel.valid()) {
+        program_.expr->addLayer(op, program_.vars.at(var_name),
+                                storage_it->second, kernel);
+      } else if (have_kernel) {
+        lexer_.fail("Var-bound layers take an expression kernel");
+      } else {
+        program_.expr->addLayer(op, program_.vars.at(var_name),
+                                storage_it->second);
+      }
+    } else if (have_kernel && kernel.valid()) {
+      // Inline expression without a bound Var: disallow (which vars?).
+      lexer_.fail("expression kernels require Var-bound layers "
+                  "(addLayer(OP, var, storage, expr))");
+    } else if (have_kernel) {
+      program_.expr->addLayer(op, storage_it->second, func);
+    } else {
+      program_.expr->addLayer(op, storage_it->second);
+    }
+  }
+
+  OpSpec op_spec() {
+    const std::string name = expect_ident("an operator");
+    if (name == "FORALL") return {PortalOp::FORALL};
+    if (name == "SUM") return {PortalOp::SUM};
+    if (name == "PROD") return {PortalOp::PROD};
+    if (name == "MIN") return {PortalOp::MIN};
+    if (name == "MAX") return {PortalOp::MAX};
+    if (name == "ARGMIN") return {PortalOp::ARGMIN};
+    if (name == "ARGMAX") return {PortalOp::ARGMAX};
+    if (name == "UNION") return {PortalOp::UNION};
+    if (name == "UNIONARG") return {PortalOp::UNIONARG};
+    PortalOp op;
+    if (name == "KMIN") op = PortalOp::KMIN;
+    else if (name == "KMAX") op = PortalOp::KMAX;
+    else if (name == "KARGMIN") op = PortalOp::KARGMIN;
+    else if (name == "KARGMAX") op = PortalOp::KARGMAX;
+    else {
+      lexer_.fail("unknown operator '" + name + "'");
+    }
+    expect_punct("(");
+    const index_t k = static_cast<index_t>(expect_number());
+    expect_punct(")");
+    return {op, k};
+  }
+
+  /// Consumes a pre-defined kernel name if the upcoming ident is one.
+  bool predefined_kernel(PortalFunc* out) {
+    const std::string& name = lexer_.peek().text;
+    if (name == "EUCLIDEAN") *out = PortalFunc::EUCLIDEAN;
+    else if (name == "SQREUCDIST") *out = PortalFunc::SQREUCDIST;
+    else if (name == "MANHATTAN") *out = PortalFunc::MANHATTAN;
+    else if (name == "CHEBYSHEV") *out = PortalFunc::CHEBYSHEV;
+    else if (name == "MAHALANOBIS") *out = PortalFunc::MAHALANOBIS;
+    else if (name == "GAUSSIAN") {
+      lexer_.take();
+      expect_punct("(");
+      const real_t sigma = expect_number();
+      expect_punct(")");
+      *out = PortalFunc::gaussian(sigma);
+      return true;
+    } else if (name == "INDICATOR") {
+      lexer_.take();
+      expect_punct("(");
+      const real_t lo = expect_number();
+      expect_punct(",");
+      const real_t hi = expect_number();
+      expect_punct(")");
+      *out = PortalFunc::indicator(lo, hi);
+      return true;
+    } else if (name == "GRAVITY") {
+      lexer_.take();
+      expect_punct("(");
+      const real_t g = expect_number();
+      expect_punct(",");
+      const real_t eps = expect_number();
+      expect_punct(")");
+      *out = PortalFunc::gravity(g, eps);
+      return true;
+    } else {
+      return false;
+    }
+    lexer_.take();
+    return true;
+  }
+
+  // -- expressions (precedence climbing) ---------------------------------------
+  Expr expression() { return cmp(); }
+
+  Expr cmp() {
+    Expr left = add();
+    if (is_punct("<") || is_punct(">")) {
+      const bool less = lexer_.take().text == "<";
+      const Expr right = add();
+      return less ? (left < right) : (left > right);
+    }
+    return left;
+  }
+
+  Expr add() {
+    Expr left = mul();
+    while (is_punct("+") || is_punct("-")) {
+      const bool plus = lexer_.take().text == "+";
+      const Expr right = mul();
+      left = plus ? left + right : left - right;
+    }
+    return left;
+  }
+
+  Expr mul() {
+    Expr left = unary();
+    while (is_punct("*") || is_punct("/")) {
+      const bool times = lexer_.take().text == "*";
+      const Expr right = unary();
+      left = times ? left * right : left / right;
+    }
+    return left;
+  }
+
+  Expr unary() {
+    if (is_punct("-")) {
+      lexer_.take();
+      return -unary();
+    }
+    return primary();
+  }
+
+  Expr primary() {
+    if (lexer_.peek().kind == Tok::Number) return Expr(lexer_.take().number);
+    if (is_punct("(")) {
+      lexer_.take();
+      Expr inner = expression();
+      expect_punct(")");
+      return inner;
+    }
+    if (lexer_.peek().kind != Tok::Ident) lexer_.fail("expected an expression");
+    const std::string name = lexer_.take().text;
+
+    if (is_punct("(")) { // function call
+      lexer_.take();
+      if (name == "pow") {
+        Expr base = expression();
+        expect_punct(",");
+        const real_t exponent = expect_number();
+        expect_punct(")");
+        return pow(base, exponent);
+      }
+      if (name == "min" || name == "max") {
+        Expr a = expression();
+        expect_punct(",");
+        Expr b = expression();
+        expect_punct(")");
+        return name == "min" ? vmin(a, b) : vmax(a, b);
+      }
+      if (name == "mahalanobis") {
+        const std::string qn = expect_ident("a Var name");
+        expect_punct(",");
+        const std::string rn = expect_ident("a Var name");
+        expect_punct(")");
+        if (program_.vars.count(qn) == 0 || program_.vars.count(rn) == 0)
+          lexer_.fail("mahalanobis() needs declared Vars");
+        return mahalanobis(program_.vars.at(qn), program_.vars.at(rn));
+      }
+      Expr inner = expression();
+      expect_punct(")");
+      if (name == "sqrt") return sqrt(inner);
+      if (name == "exp") return exp(inner);
+      if (name == "log") return log(inner);
+      if (name == "abs") return abs(inner);
+      if (name == "dimsum") return dimsum(inner);
+      if (name == "dimmax") return dimmax(inner);
+      lexer_.fail("unknown function '" + name + "'");
+    }
+
+    // Bare identifier: a Var or a named Expr.
+    if (const auto var = program_.vars.find(name); var != program_.vars.end())
+      return Expr(var->second);
+    if (const auto expr = program_.exprs.find(name); expr != program_.exprs.end())
+      return expr->second;
+    lexer_.fail("unknown identifier '" + name + "'");
+  }
+
+  Lexer lexer_;
+  std::string base_dir_;
+  ParsedProgram program_;
+  std::string expr_name_;
+};
+
+} // namespace
+
+ParsedProgram run_portal_script(const std::string& source,
+                                const std::string& base_dir) {
+  Parser parser(source, base_dir);
+  return parser.run();
+}
+
+ParsedProgram run_portal_script_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in)
+    throw std::invalid_argument("portal script: cannot open '" + path + "'");
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const auto slash = path.find_last_of('/');
+  const std::string base_dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  return run_portal_script(buffer.str(), base_dir);
+}
+
+} // namespace portal

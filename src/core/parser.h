@@ -1,0 +1,74 @@
+// Portal -- textual program parser (paper Appendix VIII).
+//
+// The paper specifies a grammar for Portal programs; this parser implements
+// it as a standalone script format so programs can be written, stored, and
+// run without recompiling the host application (portal_cli's `run` command).
+//
+//   # k-nearest neighbors (code 1 in the paper, script form)
+//   Storage query = "query_file.csv";
+//   Storage reference = "reference_file.csv";
+//   Var q;
+//   Var r;
+//   Expr dist = sqrt(pow(q - r, 2));
+//   PortalExpr expr;
+//   expr.addLayer(FORALL, q, query);
+//   expr.addLayer(KARGMIN(5), r, reference, dist);
+//   expr.execute();
+//
+// Grammar (adapted from the paper's code 4; `#` starts a comment):
+//   program    := statement+
+//   statement  := storage | var | exprdef | portalexpr | addlayer
+//               | setconfig | execute
+//   storage    := "Storage" name "=" (string | "demo(" int ["," int] ")") ";"
+//   var        := "Var" name ";"
+//   exprdef    := "Expr" name "=" expression ";"
+//   portalexpr := "PortalExpr" name ";"
+//   addlayer   := name ".addLayer(" op ["," name] "," name ["," kernel] ");"
+//   op         := "FORALL" | "SUM" | "PROD" | "MIN" | "MAX" | "ARGMIN"
+//               | "ARGMAX" | "UNION" | "UNIONARG"
+//               | ("KMIN"|"KMAX"|"KARGMIN"|"KARGMAX") "(" int ")"
+//   kernel     := predefined | expression
+//   predefined := "EUCLIDEAN" | "SQREUCDIST" | "MANHATTAN" | "CHEBYSHEV"
+//               | "MAHALANOBIS" | "GAUSSIAN(" num ")"
+//               | "INDICATOR(" num "," num ")" | "GRAVITY(" num "," num ")"
+//   setconfig  := "set" ("tau"|"theta"|"leaf_size"|"engine"|"parallel")
+//                 "=" value ";"
+//   execute    := name ".execute()" ";"
+//   expression := cmp; cmp := add (("<"|">") add)?; add := mul (("+"|"-") mul)*;
+//   mul        := unary (("*"|"/") unary)*; unary := "-" unary | primary
+//   primary    := number | name | call | "(" expression ")"
+//   call       := ("sqrt"|"exp"|"log"|"abs"|"dimsum"|"dimmax") "(" expression ")"
+//               | "pow(" expression "," number ")"
+//               | ("min"|"max") "(" expression "," expression ")"
+//               | "mahalanobis(" name "," name ")"
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "core/portal_expr.h"
+
+namespace portal {
+
+/// Everything a parsed program defines. The PortalExpr is live: run() has
+/// been called iff the script contained an execute() statement.
+struct ParsedProgram {
+  std::map<std::string, Storage> storages;
+  std::map<std::string, Var> vars;
+  std::map<std::string, Expr> exprs;
+  std::shared_ptr<PortalExpr> expr; // the (single) PortalExpr of the script
+  PortalConfig config;
+  bool executed = false;
+};
+
+/// Parse and run a Portal script. Throws std::invalid_argument with
+/// line/column context on syntax or semantic errors. `base_dir` resolves
+/// relative CSV paths.
+ParsedProgram run_portal_script(const std::string& source,
+                                const std::string& base_dir = ".");
+
+/// Convenience: read the script from a file.
+ParsedProgram run_portal_script_file(const std::string& path);
+
+} // namespace portal

@@ -1,0 +1,316 @@
+#include "core/passes/lowering.h"
+
+#include <stdexcept>
+
+#include "kernels/linalg.h"
+
+namespace portal {
+namespace {
+
+/// Does this AST subtree match a whole metric pattern between q and r?
+/// Recognized shapes (Sec. III-C's pre-defined metrics, as a user would also
+/// write them by hand):
+///   DimSum(Pow(q - r, 2))        -> SqEuclidean
+///   Sqrt(DimSum(Pow(q - r, 2)))  -> Euclidean
+///   DimSum(Abs(q - r))           -> Manhattan
+///   DimMax(Abs(q - r))           -> Chebyshev
+///   Mahalanobis(q, r)            -> Mahalanobis (squared)
+bool is_point_diff(const ExprNodePtr& node, int q_var, int r_var) {
+  if (node->kind != ExprKind::Sub) return false;
+  const ExprNodePtr& a = node->children[0];
+  const ExprNodePtr& b = node->children[1];
+  if (a->kind != ExprKind::VarRef || b->kind != ExprKind::VarRef) return false;
+  return (a->var_id == q_var && b->var_id == r_var) ||
+         (a->var_id == r_var && b->var_id == q_var);
+}
+
+std::optional<MetricKind> match_metric(const ExprNodePtr& node, int q_var,
+                                       int r_var) {
+  switch (node->kind) {
+    case ExprKind::Sqrt: {
+      const ExprNodePtr& inner = node->children[0];
+      if (inner->kind == ExprKind::DimSum &&
+          inner->children[0]->kind == ExprKind::Pow &&
+          inner->children[0]->value == 2 &&
+          is_point_diff(inner->children[0]->children[0], q_var, r_var))
+        return MetricKind::Euclidean;
+      return std::nullopt;
+    }
+    case ExprKind::DimSum: {
+      const ExprNodePtr& body = node->children[0];
+      if (body->kind == ExprKind::Pow && body->value == 2 &&
+          is_point_diff(body->children[0], q_var, r_var))
+        return MetricKind::SqEuclidean;
+      if (body->kind == ExprKind::Abs &&
+          is_point_diff(body->children[0], q_var, r_var))
+        return MetricKind::Manhattan;
+      return std::nullopt;
+    }
+    case ExprKind::DimMax: {
+      const ExprNodePtr& body = node->children[0];
+      if (body->kind == ExprKind::Abs &&
+          is_point_diff(body->children[0], q_var, r_var))
+        return MetricKind::Chebyshev;
+      return std::nullopt;
+    }
+    case ExprKind::Mahalanobis:
+      if ((node->var_id == q_var && node->var_id2 == r_var) ||
+          (node->var_id == r_var && node->var_id2 == q_var))
+        return MetricKind::Mahalanobis;
+      return std::nullopt;
+    default:
+      return std::nullopt;
+  }
+}
+
+struct LowerContext {
+  int q_var;
+  int r_var;
+  const std::vector<real_t>* resolved_cov;
+  // Normalization mode: replace metric subtrees by Dist and record the kind.
+  bool normalize = false;
+  std::optional<MetricKind> metric;
+  bool failed = false;
+};
+
+IrExprPtr lower(const ExprNodePtr& node, LowerContext& ctx) {
+  if (ctx.normalize) {
+    if (const auto metric = match_metric(node, ctx.q_var, ctx.r_var)) {
+      if (ctx.metric && *ctx.metric != *metric) {
+        ctx.failed = true; // two different metrics: cannot normalize
+        return ir_const(0);
+      }
+      ctx.metric = *metric;
+      return ir_leaf(IrOp::Dist);
+    }
+  }
+
+  auto child = [&](std::size_t i) { return lower(node->children[i], ctx); };
+  switch (node->kind) {
+    case ExprKind::Const:
+      return ir_const(node->value);
+    case ExprKind::VarRef:
+      if (ctx.normalize) {
+        // A point reference outside a metric pattern: envelope extraction
+        // fails; the kernel stays a full point-pair expression.
+        ctx.failed = true;
+        return ir_const(0);
+      }
+      if (node->var_id == ctx.q_var) return ir_leaf(IrOp::LoadQCoord);
+      if (node->var_id == ctx.r_var) return ir_leaf(IrOp::LoadRCoord);
+      throw std::invalid_argument(
+          "Portal: kernel references Var '" + node->label +
+          "' which is not bound to any layer");
+    case ExprKind::Add: return ir_binary(IrOp::Add, child(0), child(1));
+    case ExprKind::Sub: return ir_binary(IrOp::Sub, child(0), child(1));
+    case ExprKind::Mul: return ir_binary(IrOp::Mul, child(0), child(1));
+    case ExprKind::Div: return ir_binary(IrOp::Div, child(0), child(1));
+    case ExprKind::Neg: return ir_unary(IrOp::Neg, child(0));
+    case ExprKind::Abs: return ir_unary(IrOp::Abs, child(0));
+    case ExprKind::Pow: return ir_pow(child(0), node->value);
+    case ExprKind::Sqrt: return ir_unary(IrOp::Sqrt, child(0));
+    case ExprKind::Exp: return ir_unary(IrOp::Exp, child(0));
+    case ExprKind::Log: return ir_unary(IrOp::Log, child(0));
+    case ExprKind::DimSum: return ir_unary(IrOp::DimSum, child(0));
+    case ExprKind::DimMax: return ir_unary(IrOp::DimMax, child(0));
+    case ExprKind::Min2: return ir_binary(IrOp::Min, child(0), child(1));
+    case ExprKind::Max2: return ir_binary(IrOp::Max, child(0), child(1));
+    case ExprKind::Less: return ir_binary(IrOp::Less, child(0), child(1));
+    case ExprKind::Greater: return ir_binary(IrOp::Greater, child(0), child(1));
+    case ExprKind::Mahalanobis: {
+      if (ctx.normalize) {
+        // Reached only if metric matching above failed (vars not layer-bound).
+        ctx.failed = true;
+        return ir_const(0);
+      }
+      IrExpr e;
+      e.op = IrOp::MahalanobisNaive;
+      e.matrix = node->matrix.empty() ? *ctx.resolved_cov : node->matrix;
+      if (e.matrix.empty())
+        throw std::invalid_argument(
+            "Portal: Mahalanobis kernel needs a covariance (none provided and "
+            "none derivable)");
+      return std::make_shared<const IrExpr>(std::move(e));
+    }
+    case ExprKind::External: {
+      IrExpr e;
+      e.op = IrOp::ExternalCall;
+      e.external = node->external;
+      e.label = node->label;
+      return std::make_shared<const IrExpr>(std::move(e));
+    }
+  }
+  throw std::logic_error("lower_kernel_expr: unhandled AST node");
+}
+
+} // namespace
+
+IrExprPtr lower_kernel_expr(const Expr& ast, int q_var, int r_var,
+                            const std::vector<real_t>& resolved_cov) {
+  if (!ast.valid()) throw std::invalid_argument("Portal: empty kernel");
+  LowerContext ctx{q_var, r_var, &resolved_cov, false, std::nullopt, false};
+  return lower(ast.node(), ctx);
+}
+
+NormalizedKernel normalize_kernel(const Expr& ast, int q_var, int r_var,
+                                  const std::vector<real_t>& resolved_cov) {
+  NormalizedKernel result;
+  if (!ast.valid()) return result;
+  LowerContext ctx{q_var, r_var, &resolved_cov, true, std::nullopt, false};
+  IrExprPtr envelope = lower(ast.node(), ctx);
+  if (ctx.failed || !ctx.metric) return result;
+  result.ok = true;
+  result.metric = *ctx.metric;
+  result.envelope = std::move(envelope);
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Statement-level IR construction (the Fig. 2/3 skeletons).
+
+IrProgram build_ir_program(const ProblemPlan& plan, real_t tau) {
+  (void)tau;
+  IrProgram program;
+  const LayerSpec& outer = plan.layers.front();
+  const LayerSpec& inner = plan.layers.back();
+
+  // --- BaseCase: loop nest + storage injection (Sec. IV-A/B). -------------
+  // Named temp referencing the freshly lowered kernel value.
+  IrExpr t_node;
+  t_node.op = IrOp::Temp;
+  t_node.label = "t";
+  const IrExprPtr t_ref = std::make_shared<const IrExpr>(std::move(t_node));
+
+  std::vector<IrStmtPtr> inner_body;
+  inner_body.push_back(ir_comment("lowering the kernel function"));
+  inner_body.push_back(ir_assign("t", plan.kernel.kernel_ir));
+  const std::string inner_target =
+      op_category(inner.op.op) == OpCategory::All ? "storage1[r]" : "storage1";
+  switch (inner.op.op) {
+    case PortalOp::SUM:
+      inner_body.push_back(ir_accum("storage1", "+", t_ref));
+      break;
+    case PortalOp::PROD:
+      inner_body.push_back(ir_accum("storage1", "*", t_ref));
+      break;
+    default:
+      inner_body.push_back(
+          ir_reduce(inner_target, op_math_symbol(inner.op), t_ref));
+      break;
+  }
+  std::vector<IrStmtPtr> outer_body;
+  outer_body.push_back(ir_comment("storage injection for inner layer"));
+  std::string inner_alloc;
+  switch (op_category(inner.op.op)) {
+    case OpCategory::Single:
+      inner_alloc = "storage1 = " +
+                    std::string(op_is_min_like(inner.op.op)
+                                    ? "max_numeric_limit"
+                                    : (op_is_max_like(inner.op.op)
+                                           ? "lowest_numeric_limit"
+                                           : (inner.op.op == PortalOp::PROD
+                                                  ? "1"
+                                                  : "0")));
+      break;
+    case OpCategory::Multi:
+      inner_alloc =
+          "storage1[" + std::to_string(inner.op.k) + "] (sorted candidate list)";
+      break;
+    case OpCategory::All:
+      inner_alloc = "storage1[reference.size]";
+      break;
+  }
+  outer_body.push_back(ir_alloc(inner_alloc));
+  outer_body.push_back(
+      ir_loop("r in reference.start ... reference.end", std::move(inner_body)));
+
+  std::vector<IrStmtPtr> base;
+  base.push_back(ir_comment("storage injection for outer layer"));
+  switch (op_category(outer.op.op)) {
+    case OpCategory::All:
+      base.push_back(ir_alloc("storage0[query.size]"));
+      break;
+    case OpCategory::Single:
+      base.push_back(ir_alloc("storage0 (single reduction slot)"));
+      break;
+    case OpCategory::Multi:
+      base.push_back(ir_alloc("storage0[" + std::to_string(outer.op.k) + "]"));
+      break;
+  }
+  IrExpr s1_node;
+  s1_node.op = IrOp::Temp;
+  s1_node.label = "storage1";
+  const IrExprPtr s1_ref = std::make_shared<const IrExpr>(std::move(s1_node));
+  outer_body.push_back(outer.op.op == PortalOp::FORALL
+                           ? ir_assign("storage0[q]", s1_ref)
+                           : ir_reduce("storage0", op_math_symbol(outer.op),
+                                       s1_ref));
+  base.push_back(ir_loop("q in query.start ... query.end", std::move(outer_body)));
+  program.base_case = ir_block(std::move(base));
+
+  // --- Prune/Approximate (Sec. II-C + Table III conditions). ---------------
+  std::vector<IrStmtPtr> prune;
+  switch (plan.category) {
+    case ProblemCategory::Pruning: {
+      if (plan.kernel.shape == EnvelopeShape::Indicator) {
+        prune.push_back(ir_comment(
+            "indicator kernel: discard node pairs outside the support, "
+            "bulk-accept node pairs entirely inside"));
+        prune.push_back(ir_return(ir_binary(
+            IrOp::Greater, ir_leaf(IrOp::DMin), ir_const(plan.kernel.indicator_hi))));
+      } else {
+        prune.push_back(ir_comment(
+            "comparative reduction: prune when the best possible kernel value "
+            "in this pair cannot beat the per-node bound"));
+        prune.push_back(ir_return(
+            ir_binary(IrOp::Greater, ir_leaf(IrOp::DMin), ir_leaf(IrOp::QueryBound))));
+      }
+      break;
+    }
+    case ProblemCategory::Approximation: {
+      prune.push_back(ir_comment(
+          "approximate when the kernel varies less than tau across the pair"));
+      IrExprPtr k_at_dmin = ir_rewrite(
+          plan.kernel.envelope_ir, [](const IrExprPtr& node) -> IrExprPtr {
+            return node->op == IrOp::Dist ? ir_leaf(IrOp::DMin) : nullptr;
+          });
+      IrExprPtr k_at_dmax = ir_rewrite(
+          plan.kernel.envelope_ir, [](const IrExprPtr& node) -> IrExprPtr {
+            return node->op == IrOp::Dist ? ir_leaf(IrOp::DMax) : nullptr;
+          });
+      prune.push_back(ir_return(
+          ir_binary(IrOp::Less,
+                    ir_binary(IrOp::Sub, std::move(k_at_dmin), std::move(k_at_dmax)),
+                    ir_leaf(IrOp::Tau))));
+      break;
+    }
+    case ProblemCategory::Exhaustive:
+      prune.push_back(
+          ir_comment("kernel opaque to the generator: no pruning possible"));
+      prune.push_back(ir_return(ir_const(0)));
+      break;
+  }
+  program.prune_approx = ir_block(std::move(prune));
+
+  // --- ComputeApprox. -------------------------------------------------------
+  std::vector<IrStmtPtr> approx;
+  if (plan.category == ProblemCategory::Approximation) {
+    approx.push_back(ir_comment(
+        "center contribution times node density (Barnes-Hut: center of mass)"));
+    IrExprPtr center_kernel = ir_rewrite(
+        plan.kernel.envelope_ir, [](const IrExprPtr& node) -> IrExprPtr {
+          return node->op == IrOp::Dist ? ir_leaf(IrOp::CenterDist) : nullptr;
+        });
+    approx.push_back(ir_return(
+        ir_binary(IrOp::Mul, ir_leaf(IrOp::RCount), std::move(center_kernel))));
+  } else {
+    approx.push_back(ir_comment(std::string(category_name(plan.category)) +
+                                " problem, hence there is no approximation"));
+    approx.push_back(ir_return(ir_const(0)));
+  }
+  program.compute_approx = ir_block(std::move(approx));
+
+  return program;
+}
+
+} // namespace portal

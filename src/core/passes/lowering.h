@@ -1,0 +1,39 @@
+// Portal -- lowering (paper Sec. IV-A/IV-B): user-level Expr kernels become
+// Portal IR, and the layer stack becomes the loop-nest + storage-injection
+// skeleton of the three traversal functions (Figs. 2-3).
+#pragma once
+
+#include <optional>
+
+#include "core/ir/ir.h"
+#include "core/plan.h"
+#include "core/var_expr.h"
+
+namespace portal {
+
+/// Lower a scalar kernel expression to IR. `q_var` / `r_var` are the Var ids
+/// bound to the outer (query) and inner (reference) layers. Mahalanobis nodes
+/// with an empty covariance use `resolved_cov` (computed from the reference
+/// dataset by the analysis step). Throws on vars not bound to a layer.
+IrExprPtr lower_kernel_expr(const Expr& ast, int q_var, int r_var,
+                            const std::vector<real_t>& resolved_cov);
+
+/// Result of the metric/envelope normalization: kernel = envelope(metric).
+struct NormalizedKernel {
+  bool ok = false;
+  MetricKind metric = MetricKind::SqEuclidean;
+  IrExprPtr envelope; // kernel IR with the metric subtree replaced by Dist
+};
+
+/// Try to split the kernel into metric + envelope. Fails (ok = false) when
+/// the kernel references points outside a recognizable metric pattern.
+NormalizedKernel normalize_kernel(const Expr& ast, int q_var, int r_var,
+                                  const std::vector<real_t>& resolved_cov);
+
+/// Build the Fig. 2/3-style statement IR for the three traversal functions
+/// from an analyzed plan (storage injection per Table I category, loop
+/// synthesis, reduction updates). Purely structural: the executor runs the
+/// same semantics through its reducers.
+IrProgram build_ir_program(const ProblemPlan& plan, real_t tau);
+
+} // namespace portal

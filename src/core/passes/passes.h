@@ -1,0 +1,62 @@
+// Portal -- the optimization passes of Sec. IV-C/D/E/F and the pass manager
+// that drives them (the Fig. 1 pipeline).
+//
+// Every pass is an IR-expression rewrite applied across the whole IrProgram;
+// the pass manager records per-pass snapshots so the Fig. 1-3 benches can
+// show the IR after each stage, exactly as the paper's figures do.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/ir/ir.h"
+#include "core/plan.h"
+#include "data/dataset.h"
+
+namespace portal {
+
+/// Sec. IV-C flattening: multi-dimensional loads become one-dimensional
+/// base + d * stride accesses, with the stride chosen by the dataset layout
+/// (1 for row-major points, N for column-major dimension slices).
+IrExprPtr flatten_pass(const IrExprPtr& expr, Layout query_layout,
+                       index_t query_size, Layout ref_layout, index_t ref_size);
+
+/// Sec. IV-D numerical optimization: the naive Mahalanobis quadratic form
+/// (explicit Sigma^{-1}) is rewritten into Cholesky + forward substitution
+/// (m^3 -> m^2/2). The rewritten node carries the precomputed L factor.
+IrExprPtr numerical_optimization_pass(const IrExprPtr& expr);
+
+/// Sec. IV-E strength reduction: pow with integer exponent < 4 -> chained
+/// multiply; sqrt -> NaN-safe fast inverse square root form; 1/sqrt ->
+/// fast_inv_sqrt.
+IrExprPtr strength_reduction_pass(const IrExprPtr& expr);
+
+/// Standard cleanups the backend applies before emission (Sec. IV-F
+/// "constant-folding and dead-code elimination").
+IrExprPtr constant_fold_pass(const IrExprPtr& expr);
+
+/// Dead-code elimination over the statement IR: assignments to named temps
+/// that no later expression, accumulation, or reduction reads are removed
+/// (Sec. IV-F). Storage targets (storage0/storage1 slots) are live by
+/// definition -- they are the program's outputs.
+IrStmtPtr dce_pass(const IrStmtPtr& root);
+
+/// Runs the pipeline over an IrProgram, recording artifacts.
+class PassManager {
+ public:
+  PassManager(bool enable_strength_reduction, bool dump_ir)
+      : strength_(enable_strength_reduction), dump_(dump_ir) {}
+
+  /// Applies flattening -> numerical optimization -> strength reduction ->
+  /// constant folding to all three traversal functions; returns the final
+  /// program and fills `artifacts`.
+  IrProgram run(const IrProgram& input, Layout query_layout, index_t query_size,
+                Layout ref_layout, index_t ref_size, CompileArtifacts* artifacts);
+
+ private:
+  bool strength_;
+  bool dump_;
+};
+
+} // namespace portal

@@ -1,0 +1,20 @@
+// Portal -- umbrella header: everything a user of the DSL needs.
+//
+//   #include "core/portal.h"
+//
+//   portal::Storage query("query.csv");
+//   portal::Storage reference("reference.csv");
+//   portal::PortalExpr expr;
+//   expr.addLayer(portal::PortalOp::FORALL, query);
+//   expr.addLayer({portal::PortalOp::KARGMIN, 5}, reference,
+//                 portal::PortalFunc::EUCLIDEAN);
+//   expr.execute();
+//   portal::Storage output = expr.getOutput();
+#pragma once
+
+#include "core/func.h"        // PortalFunc: pre-defined kernels & metrics
+#include "core/ops.h"         // PortalOp / OpSpec: the operator vocabulary
+#include "core/plan.h"        // PortalConfig / Engine / introspection types
+#include "core/portal_expr.h" // PortalExpr: the problem object
+#include "core/storage.h"     // Storage: datasets and outputs
+#include "core/var_expr.h"    // Var / Expr: custom kernel expressions

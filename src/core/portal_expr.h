@@ -1,0 +1,99 @@
+// Portal -- PortalExpr: the main user-facing object holding an N-body
+// problem definition (paper Sec. III, codes 1 and 3).
+//
+//   Storage query("query.csv");
+//   Storage reference("reference.csv");
+//   PortalExpr expr;
+//   expr.addLayer(PortalOp::FORALL, query);
+//   expr.addLayer({PortalOp::KARGMIN, k}, reference, PortalFunc::EUCLIDEAN);
+//   expr.execute();
+//   Storage output = expr.getOutput();
+//
+// execute() runs the full compiler pipeline: semantic analysis and kernel
+// normalization, classification via the prune/approximate generator,
+// lowering + storage injection, the optimization passes (flattening,
+// numerical optimization, strength reduction, constant folding), backend
+// selection (pattern / JIT / VM), tree construction, and the parallel
+// multi-tree traversal.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/executor.h"
+#include "core/plan.h"
+
+namespace portal {
+
+/// Opaque holder so portal_expr.h does not drag the JIT headers in.
+struct JitModuleHolder;
+
+class PortalExpr {
+ public:
+  PortalExpr();
+  ~PortalExpr(); // out-of-line: jit_ is an incomplete type here
+
+  // -- layer construction (paper code 1 style) -------------------------------
+  PortalExpr& addLayer(OpSpec op, const Storage& data);
+  PortalExpr& addLayer(OpSpec op, const Storage& data, const PortalFunc& func);
+  // -- custom-kernel style (paper code 3) -------------------------------------
+  PortalExpr& addLayer(OpSpec op, const Var& var, const Storage& data);
+  PortalExpr& addLayer(OpSpec op, const Var& var, const Storage& data,
+                       const Expr& kernel);
+  // -- external C++ kernel (Sec. III-C escape hatch) --------------------------
+  PortalExpr& addLayer(OpSpec op, const Storage& data, ExternalKernelFn kernel,
+                       std::string label = "external");
+  /// Append a pre-built LayerSpec (compiler plumbing: the leaf-size tuner
+  /// replays layers with substituted storages through this).
+  PortalExpr& addLayerSpec(LayerSpec layer);
+
+  /// Execution configuration; may be changed between execute() calls
+  /// (iterative programs update exclude_same_label this way).
+  void setConfig(const PortalConfig& config) { config_ = config; }
+  const PortalConfig& config() const { return config_; }
+  PortalConfig& mutableConfig() { return config_; }
+
+  /// Compile (first call) and run. Throws std::invalid_argument on malformed
+  /// programs and std::runtime_error on validation mismatches.
+  void execute();
+  void execute(const PortalConfig& config);
+
+  /// Run the compiler's brute-force program instead of the tree algorithm
+  /// (Sec. IV: emitted alongside for correctness checks; also the honest
+  /// O(N^2) baseline for the asymptotic benches).
+  Storage executeBruteForce();
+
+  /// The most recent output (paper: `Storage output = expr.getOutput()`).
+  Storage getOutput() const;
+
+  // -- introspection -----------------------------------------------------------
+  const ProblemPlan& plan() const;
+  const CompileArtifacts& artifacts() const { return artifacts_; }
+  TraversalStats stats() const { return stats_; }
+
+  /// Drop cached trees and compiled state (e.g. after mutating datasets).
+  void invalidate();
+
+  /// Tree caches are keyed by dataset identity, so iterative programs that
+  /// build a fresh PortalExpr per step (e.g. EM with per-iteration kernels)
+  /// can share one cache and reuse the trees across expressions.
+  std::shared_ptr<TreeCache> treeCache() const { return trees_; }
+  void setTreeCache(std::shared_ptr<TreeCache> cache) {
+    if (cache) trees_ = std::move(cache);
+  }
+
+ private:
+  void compile_if_needed();
+
+  std::vector<LayerSpec> layers_;
+  PortalConfig config_;
+  std::shared_ptr<TreeCache> trees_;
+  bool compiled_ = false;
+  ProblemPlan plan_;
+  CompileArtifacts artifacts_;
+  std::unique_ptr<JitModuleHolder> jit_; // opaque (keeps dlopen alive)
+  Storage output_;
+  TraversalStats stats_;
+};
+
+} // namespace portal

@@ -1,0 +1,126 @@
+#include "core/storage.h"
+
+#include <stdexcept>
+
+#include "util/csv.h"
+
+namespace portal {
+namespace {
+
+[[noreturn]] void not_input() {
+  throw std::logic_error("Storage: not an input storage (no dataset)");
+}
+
+[[noreturn]] void not_output() {
+  throw std::logic_error(
+      "Storage: not an output storage (did you call execute()?)");
+}
+
+} // namespace
+
+Storage::Storage(const std::string& csv_path) {
+  const CsvTable table = read_csv(csv_path);
+  if (table.rows == 0)
+    throw std::runtime_error("Storage: empty CSV '" + csv_path + "'");
+  data_ = std::make_shared<Dataset>(
+      Dataset::from_row_major(table.values.data(), table.rows, table.cols));
+}
+
+Storage::Storage(const std::vector<std::vector<float>>& input) {
+  std::vector<std::vector<real_t>> widened(input.size());
+  for (std::size_t i = 0; i < input.size(); ++i)
+    widened[i].assign(input[i].begin(), input[i].end());
+  data_ = std::make_shared<Dataset>(Dataset::from_points(widened));
+}
+
+Storage::Storage(const std::vector<std::vector<real_t>>& input)
+    : data_(std::make_shared<Dataset>(Dataset::from_points(input))) {}
+
+Storage::Storage(Dataset data)
+    : data_(std::make_shared<Dataset>(std::move(data))) {}
+
+Storage::Storage(std::shared_ptr<OutputData> output) : output_(std::move(output)) {}
+
+index_t Storage::size() const {
+  if (!data_) not_input();
+  return data_->size();
+}
+
+index_t Storage::dim() const {
+  if (!data_) not_input();
+  return data_->dim();
+}
+
+Layout Storage::layout() const {
+  if (!data_) not_input();
+  return data_->layout();
+}
+
+const Dataset& Storage::dataset() const {
+  if (!data_) not_input();
+  return *data_;
+}
+
+index_t Storage::rows() const {
+  if (!output_) not_output();
+  return output_->rows;
+}
+
+index_t Storage::cols() const {
+  if (!output_) not_output();
+  return output_->cols;
+}
+
+real_t Storage::value(index_t row, index_t col) const {
+  if (!output_) not_output();
+  return output_->values.at(row * output_->cols + col);
+}
+
+index_t Storage::index_at(index_t row, index_t col) const {
+  if (!output_) not_output();
+  return output_->indices.at(row * output_->cols + col);
+}
+
+bool Storage::has_indices() const { return output_ && !output_->indices.empty(); }
+bool Storage::has_lists() const { return output_ && !output_->offsets.empty(); }
+bool Storage::has_scalar() const { return output_ && output_->has_scalar; }
+
+real_t Storage::scalar() const {
+  if (!output_ || !output_->has_scalar) not_output();
+  return output_->scalar;
+}
+
+index_t Storage::list_size(index_t row) const {
+  if (!output_ || output_->offsets.empty()) not_output();
+  return output_->offsets.at(row + 1) - output_->offsets.at(row);
+}
+
+index_t Storage::list_at(index_t row, index_t i) const {
+  if (!output_ || output_->offsets.empty()) not_output();
+  return output_->lists.at(output_->offsets.at(row) + i);
+}
+
+const OutputData& Storage::output() const {
+  if (!output_) not_output();
+  return *output_;
+}
+
+void Storage::set_weights(std::vector<real_t> weights) {
+  if (!data_) not_input();
+  if (static_cast<index_t>(weights.size()) != data_->size())
+    throw std::invalid_argument("Storage::set_weights: size mismatch");
+  weights_ = std::make_shared<std::vector<real_t>>(std::move(weights));
+}
+
+const std::vector<real_t>& Storage::weights() const {
+  if (!weights_) throw std::logic_error("Storage: no weights set");
+  return *weights_;
+}
+
+void Storage::clear() {
+  data_.reset();
+  weights_.reset();
+  output_.reset();
+}
+
+} // namespace portal

@@ -1,0 +1,93 @@
+// Portal -- Storage: the primary user-facing data object (paper Sec. III-B).
+//
+// Inputs are built from CSV files or C++ containers; Portal chooses the
+// memory layout by dimensionality (d <= 4 column-major, else row-major).
+// Outputs come back as Storage too, with typed views: a value matrix
+// (MIN/SUM/...), an index matrix (ARG* reductions), CSR lists (UNION*), or a
+// single scalar (fully-reduced problems like 2-point correlation).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "util/common.h"
+
+namespace portal {
+
+/// Output payload; which views are populated depends on the layer operators.
+struct OutputData {
+  index_t rows = 0;
+  index_t cols = 0;
+  std::vector<real_t> values;   // rows x cols kernel values
+  std::vector<index_t> indices; // rows x cols reference indices (ARG*)
+  std::vector<index_t> offsets; // CSR offsets (UNION*), size rows + 1
+  std::vector<index_t> lists;   // CSR payload
+  bool has_scalar = false;
+  real_t scalar = 0;
+};
+
+class Storage {
+ public:
+  Storage() = default;
+
+  /// Load a dataset from CSV (code 1: `Storage query{"query_file.csv"}`).
+  explicit Storage(const std::string& csv_path);
+
+  /// Build from C++ containers (Sec. III-B). float input is widened.
+  explicit Storage(const std::vector<std::vector<float>>& input);
+  explicit Storage(const std::vector<std::vector<real_t>>& input);
+
+  /// Wrap an existing Dataset (library interop).
+  explicit Storage(Dataset data);
+
+  /// Wrap an output payload (built by the executor).
+  explicit Storage(std::shared_ptr<OutputData> output);
+
+  bool is_input() const { return data_ != nullptr; }
+  bool is_output() const { return output_ != nullptr; }
+  bool empty() const { return !is_input() && !is_output(); }
+
+  // -- input views ----------------------------------------------------------
+  index_t size() const;
+  index_t dim() const;
+  Layout layout() const;
+  const Dataset& dataset() const;
+  /// Shared handle used by tree caches to pin the dataset alive (guards the
+  /// identity key against address reuse after a Storage dies).
+  std::shared_ptr<const Dataset> shared_dataset() const { return data_; }
+  /// Stable identity used to key tree caches and match layers that reuse the
+  /// same dataset (the paper: "the same dataset may be reused in multiple
+  /// layers").
+  const void* identity() const { return data_.get(); }
+
+  /// Optional per-point weights (particle masses for the Barnes-Hut gravity
+  /// kernel). Size must match size().
+  void set_weights(std::vector<real_t> weights);
+  bool has_weights() const { return weights_ != nullptr; }
+  const std::vector<real_t>& weights() const;
+
+  // -- output views ---------------------------------------------------------
+  index_t rows() const;
+  index_t cols() const;
+  real_t value(index_t row, index_t col = 0) const;
+  index_t index_at(index_t row, index_t col = 0) const;
+  bool has_indices() const;
+  bool has_lists() const;
+  bool has_scalar() const;
+  real_t scalar() const;
+  index_t list_size(index_t row) const;
+  index_t list_at(index_t row, index_t i) const;
+  const OutputData& output() const;
+
+  /// Release the payload (paper: `clear()` frees input/output storage).
+  void clear();
+
+ private:
+  std::shared_ptr<Dataset> data_;
+  std::shared_ptr<std::vector<real_t>> weights_;
+  std::shared_ptr<OutputData> output_;
+};
+
+} // namespace portal

@@ -1,0 +1,82 @@
+#include "core/tuner.h"
+
+#include "core/portal_expr.h"
+#include "util/log.h"
+#include "util/timer.h"
+
+namespace portal {
+namespace {
+
+/// First-`m` subsample preserving the original layout. Strided sampling
+/// would be marginally more representative but breaks nothing here: leaf-size
+/// behavior depends on local density structure, which a prefix of a shuffled
+/// generator output preserves.
+Storage subsample(const Storage& storage, index_t m) {
+  const Dataset& data = storage.dataset();
+  if (data.size() <= m) return storage;
+  Dataset sample(m, data.dim(), data.layout());
+  for (index_t i = 0; i < m; ++i)
+    for (index_t d = 0; d < data.dim(); ++d)
+      sample.coord(i, d) = data.coord(i, d);
+  Storage out{std::move(sample)};
+  if (storage.has_weights()) {
+    std::vector<real_t> weights(storage.weights().begin(),
+                                storage.weights().begin() + m);
+    out.set_weights(std::move(weights));
+  }
+  return out;
+}
+
+} // namespace
+
+TuneReport tune_leaf_size(const std::vector<LayerSpec>& layers,
+                          const PortalConfig& config,
+                          const std::vector<index_t>& candidates,
+                          index_t sample_size) {
+  TuneReport report;
+  if (layers.size() != 2 || candidates.empty()) return report;
+
+  // Shrink the datasets; labels cannot be subsampled meaningfully, so tuning
+  // under label constraints probes the unconstrained problem (same kernels,
+  // same tree shapes).
+  std::vector<LayerSpec> probe_layers = layers;
+  // Layers sharing one dataset must keep sharing after subsampling.
+  Storage outer_sample = subsample(layers[0].storage, sample_size);
+  probe_layers[0].storage = outer_sample;
+  probe_layers[1].storage =
+      layers[0].storage.identity() == layers[1].storage.identity()
+          ? outer_sample
+          : subsample(layers[1].storage, sample_size);
+
+  PortalConfig probe_config = config;
+  probe_config.validate = false;
+  probe_config.dump_ir = false;
+  probe_config.exclude_same_label = nullptr;
+
+  double best_time = 1e300;
+  report.best_leaf_size = candidates.front();
+  for (const index_t leaf : candidates) {
+    probe_config.leaf_size = leaf;
+    PortalExpr expr;
+    for (const LayerSpec& layer : probe_layers) expr.addLayerSpec(layer);
+    Timer timer;
+    try {
+      expr.execute(probe_config);
+    } catch (const std::exception& e) {
+      PORTAL_LOG_WARN("leaf-size probe failed at %lld: %s",
+                      static_cast<long long>(leaf), e.what());
+      continue;
+    }
+    const double elapsed = timer.elapsed_s();
+    report.probes.emplace_back(leaf, elapsed);
+    if (elapsed < best_time) {
+      best_time = elapsed;
+      report.best_leaf_size = leaf;
+    }
+  }
+  PORTAL_LOG_INFO("leaf-size tuner picked %lld",
+                  static_cast<long long>(report.best_leaf_size));
+  return report;
+}
+
+} // namespace portal

@@ -1,0 +1,31 @@
+// Portal -- automatic leaf-size tuning.
+//
+// The paper tunes the algorithmic leaf-size parameter q empirically per
+// problem/dataset (Sec. V-B). Portal makes that a feature: setting
+// PortalConfig::leaf_size = 0 runs the program on a subsample across a
+// candidate ladder and picks the fastest, amortizing the probe cost against
+// the full-size run.
+#pragma once
+
+#include <vector>
+
+#include "core/plan.h"
+
+namespace portal {
+
+struct TuneReport {
+  index_t best_leaf_size = kDefaultLeafSize;
+  /// (candidate, probe seconds) pairs, in probe order.
+  std::vector<std::pair<index_t, double>> probes;
+};
+
+/// Probe the layer stack on a subsample (at most `sample_size` points per
+/// layer) across `candidates` and return the fastest leaf size. The probe
+/// forces the same engine/tau the real run will use but never validates.
+TuneReport tune_leaf_size(const std::vector<LayerSpec>& layers,
+                          const PortalConfig& config,
+                          const std::vector<index_t>& candidates = {8, 16, 32,
+                                                                    64, 128},
+                          index_t sample_size = 3000);
+
+} // namespace portal

@@ -1,0 +1,224 @@
+#include "core/var_expr.h"
+
+#include <atomic>
+#include <set>
+#include <stdexcept>
+
+namespace portal {
+namespace {
+
+std::atomic<int> g_next_var_id{0};
+
+ExprNodePtr make_node(ExprNode node) {
+  return std::make_shared<const ExprNode>(std::move(node));
+}
+
+ExprNodePtr unary(ExprKind kind, const Expr& child) {
+  if (!child.valid()) throw std::invalid_argument("Expr: empty operand");
+  ExprNode node;
+  node.kind = kind;
+  node.children = {child.node()};
+  return make_node(std::move(node));
+}
+
+ExprNodePtr binary(ExprKind kind, const Expr& a, const Expr& b) {
+  if (!a.valid() || !b.valid()) throw std::invalid_argument("Expr: empty operand");
+  ExprNode node;
+  node.kind = kind;
+  node.children = {a.node(), b.node()};
+  return make_node(std::move(node));
+}
+
+/// Wrap a Vector expression in an implicit DimSum when a Scalar is required
+/// (the paper's lowering of sqrt(pow(q - r, 2)) into a dim loop + sqrt).
+Expr require_scalar(const Expr& e) {
+  if (!e.valid()) throw std::invalid_argument("Expr: empty operand");
+  if (e.type() == ExprType::Vector) return dimsum(e);
+  return e;
+}
+
+} // namespace
+
+Var::Var() : id_(g_next_var_id.fetch_add(1)) {
+  name_ = "v" + std::to_string(id_);
+}
+
+Var::Var(std::string name) : id_(g_next_var_id.fetch_add(1)), name_(std::move(name)) {}
+
+Expr::Expr(real_t constant) {
+  ExprNode node;
+  node.kind = ExprKind::Const;
+  node.value = constant;
+  node_ = make_node(std::move(node));
+}
+
+Expr::Expr(int constant) : Expr(static_cast<real_t>(constant)) {}
+
+Expr::Expr(const Var& var) {
+  ExprNode node;
+  node.kind = ExprKind::VarRef;
+  node.var_id = var.id();
+  node.label = var.name();
+  node_ = make_node(std::move(node));
+}
+
+ExprType node_type(const ExprNodePtr& node) {
+  switch (node->kind) {
+    case ExprKind::Const:
+    case ExprKind::DimSum:
+    case ExprKind::DimMax:
+    case ExprKind::Less:
+    case ExprKind::Greater:
+    case ExprKind::Mahalanobis:
+    case ExprKind::External:
+    case ExprKind::Sqrt:
+    case ExprKind::Exp:
+    case ExprKind::Log:
+      return ExprType::Scalar;
+    case ExprKind::VarRef:
+      return ExprType::Vector;
+    case ExprKind::Neg:
+    case ExprKind::Abs:
+    case ExprKind::Pow:
+      return node_type(node->children[0]);
+    case ExprKind::Add:
+    case ExprKind::Sub:
+    case ExprKind::Mul:
+    case ExprKind::Div:
+    case ExprKind::Min2:
+    case ExprKind::Max2: {
+      const ExprType a = node_type(node->children[0]);
+      const ExprType b = node_type(node->children[1]);
+      return (a == ExprType::Vector || b == ExprType::Vector) ? ExprType::Vector
+                                                              : ExprType::Scalar;
+    }
+  }
+  return ExprType::Scalar;
+}
+
+ExprType Expr::type() const {
+  if (!node_) throw std::logic_error("Expr::type on empty expression");
+  return node_type(node_);
+}
+
+std::string Expr::to_string() const {
+  if (!node_) return "<empty>";
+  const ExprNode& n = *node_;
+  auto child = [&](std::size_t i) { return Expr(n.children[i]).to_string(); };
+  switch (n.kind) {
+    case ExprKind::Const: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%g", static_cast<double>(n.value));
+      return buf;
+    }
+    case ExprKind::VarRef:
+      return n.label.empty() ? "v" + std::to_string(n.var_id) : n.label;
+    case ExprKind::Add: return "(" + child(0) + " + " + child(1) + ")";
+    case ExprKind::Sub: return "(" + child(0) + " - " + child(1) + ")";
+    case ExprKind::Mul: return "(" + child(0) + " * " + child(1) + ")";
+    case ExprKind::Div: return "(" + child(0) + " / " + child(1) + ")";
+    case ExprKind::Neg: return "(-" + child(0) + ")";
+    case ExprKind::Pow: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%g", static_cast<double>(n.value));
+      return "pow(" + child(0) + ", " + buf + ")";
+    }
+    case ExprKind::Sqrt: return "sqrt(" + child(0) + ")";
+    case ExprKind::Exp: return "exp(" + child(0) + ")";
+    case ExprKind::Log: return "log(" + child(0) + ")";
+    case ExprKind::Abs: return "abs(" + child(0) + ")";
+    case ExprKind::DimSum: return "dimsum(" + child(0) + ")";
+    case ExprKind::DimMax: return "dimmax(" + child(0) + ")";
+    case ExprKind::Min2: return "min(" + child(0) + ", " + child(1) + ")";
+    case ExprKind::Max2: return "max(" + child(0) + ", " + child(1) + ")";
+    case ExprKind::Less: return "(" + child(0) + " < " + child(1) + ")";
+    case ExprKind::Greater: return "(" + child(0) + " > " + child(1) + ")";
+    case ExprKind::Mahalanobis:
+      return "mahalanobis(v" + std::to_string(n.var_id) + ", v" +
+             std::to_string(n.var_id2) + ")";
+    case ExprKind::External:
+      return n.label + "(v" + std::to_string(n.var_id) + ", v" +
+             std::to_string(n.var_id2) + ")";
+  }
+  return "?";
+}
+
+Expr operator+(const Expr& a, const Expr& b) { return Expr(binary(ExprKind::Add, a, b)); }
+Expr operator-(const Expr& a, const Expr& b) { return Expr(binary(ExprKind::Sub, a, b)); }
+Expr operator*(const Expr& a, const Expr& b) { return Expr(binary(ExprKind::Mul, a, b)); }
+Expr operator/(const Expr& a, const Expr& b) { return Expr(binary(ExprKind::Div, a, b)); }
+Expr operator-(const Expr& a) { return Expr(unary(ExprKind::Neg, a)); }
+
+Expr operator<(const Expr& a, const Expr& b) {
+  return Expr(binary(ExprKind::Less, Expr(a).type() == ExprType::Vector ? dimsum(a) : a,
+                     Expr(b).type() == ExprType::Vector ? dimsum(b) : b));
+}
+
+Expr operator>(const Expr& a, const Expr& b) {
+  return Expr(binary(ExprKind::Greater,
+                     Expr(a).type() == ExprType::Vector ? dimsum(a) : a,
+                     Expr(b).type() == ExprType::Vector ? dimsum(b) : b));
+}
+
+Expr pow(const Expr& base, real_t exponent) {
+  if (!base.valid()) throw std::invalid_argument("pow: empty operand");
+  ExprNode node;
+  node.kind = ExprKind::Pow;
+  node.children = {base.node()};
+  node.value = exponent;
+  return Expr(make_node(std::move(node)));
+}
+
+Expr sqrt(const Expr& e) { return Expr(unary(ExprKind::Sqrt, require_scalar(e))); }
+Expr exp(const Expr& e) { return Expr(unary(ExprKind::Exp, require_scalar(e))); }
+Expr log(const Expr& e) { return Expr(unary(ExprKind::Log, require_scalar(e))); }
+Expr abs(const Expr& e) { return Expr(unary(ExprKind::Abs, e)); }
+Expr dimsum(const Expr& e) {
+  if (!e.valid()) throw std::invalid_argument("Expr: empty operand");
+  if (e.type() == ExprType::Scalar) return e; // already reduced
+  return Expr(unary(ExprKind::DimSum, e));
+}
+Expr dimmax(const Expr& e) {
+  if (!e.valid()) throw std::invalid_argument("Expr: empty operand");
+  if (e.type() == ExprType::Scalar) return e;
+  return Expr(unary(ExprKind::DimMax, e));
+}
+
+Expr vmin(const Expr& a, const Expr& b) { return Expr(binary(ExprKind::Min2, a, b)); }
+Expr vmax(const Expr& a, const Expr& b) { return Expr(binary(ExprKind::Max2, a, b)); }
+
+Expr mahalanobis(const Var& q, const Var& r, std::vector<real_t> cov) {
+  ExprNode node;
+  node.kind = ExprKind::Mahalanobis;
+  node.var_id = q.id();
+  node.var_id2 = r.id();
+  node.matrix = std::move(cov);
+  return Expr(make_node(std::move(node)));
+}
+
+Expr external_kernel(const Var& q, const Var& r, ExternalKernelFn fn,
+                     std::string label) {
+  ExprNode node;
+  node.kind = ExprKind::External;
+  node.var_id = q.id();
+  node.var_id2 = r.id();
+  node.external = std::move(fn);
+  node.label = std::move(label);
+  return Expr(make_node(std::move(node)));
+}
+
+namespace {
+void collect_ids(const ExprNodePtr& node, std::set<int>* out) {
+  if (node->var_id >= 0) out->insert(node->var_id);
+  if (node->var_id2 >= 0) out->insert(node->var_id2);
+  for (const ExprNodePtr& child : node->children) collect_ids(child, out);
+}
+} // namespace
+
+std::vector<int> collect_var_ids(const Expr& e) {
+  std::set<int> ids;
+  if (e.valid()) collect_ids(e.node(), &ids);
+  return {ids.begin(), ids.end()};
+}
+
+} // namespace portal

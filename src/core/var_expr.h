@@ -1,0 +1,142 @@
+// Portal -- Var / Expr: the user-facing kernel expression AST (paper
+// Sec. III-C, code 3).
+//
+// `Var` objects name layer datasets; `Expr` combines them with arithmetic,
+// comparisons, and math functions into a kernel. Expressions are typed
+// Vector (per-dimension) or Scalar: a Var is Vector, arithmetic broadcasts,
+// and scalar-only functions (sqrt, exp, ...) implicitly reduce a Vector
+// argument by summing over dimensions -- exactly how the paper lowers
+// sqrt(pow(q - r, 2)) into a dimension loop accumulating into t (Fig. 2).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/common.h"
+
+namespace portal {
+
+enum class ExprKind {
+  Const,
+  VarRef,
+  Add,
+  Sub,
+  Mul,
+  Div,
+  Neg,
+  Pow,   // integer or real exponent held in `value`
+  Sqrt,
+  Exp,
+  Log,
+  Abs,
+  DimSum, // Vector -> Scalar: sum over dimensions
+  DimMax, // Vector -> Scalar: max over dimensions
+  Less,    // Scalar x Scalar -> indicator {0, 1}
+  Greater,
+  Min2,    // elementwise binary min / max
+  Max2,
+  Mahalanobis, // squared Mahalanobis distance between two VarRefs
+  External,    // opaque user C++ function of the two raw points
+};
+
+enum class ExprType { Scalar, Vector };
+
+/// User-supplied kernel escape hatch (paper Sec. III-C: "users can also
+/// define their own external C++ functions"). Receives the two points as
+/// dim-contiguous arrays.
+using ExternalKernelFn =
+    std::function<real_t(const real_t* q, const real_t* r, index_t dim)>;
+
+struct ExprNode;
+using ExprNodePtr = std::shared_ptr<const ExprNode>;
+
+struct ExprNode {
+  ExprKind kind = ExprKind::Const;
+  std::vector<ExprNodePtr> children;
+  real_t value = 0;    // Const payload or Pow exponent
+  int var_id = -1;     // VarRef / Mahalanobis / External operands
+  int var_id2 = -1;
+  std::vector<real_t> matrix; // Mahalanobis covariance (row-major), may be
+                              // empty = "derive from the reference dataset"
+  ExternalKernelFn external;
+  std::string label;          // printable name for External
+};
+
+/// A named dataset variable. Identity is the id; the name only aids printing.
+class Var {
+ public:
+  Var();
+  explicit Var(std::string name);
+
+  int id() const { return id_; }
+  const std::string& name() const { return name_; }
+
+ private:
+  int id_;
+  std::string name_;
+};
+
+/// Immutable expression handle (cheap to copy; nodes are shared).
+class Expr {
+ public:
+  Expr() = default;
+  Expr(real_t constant); // NOLINT(google-explicit-constructor)
+  Expr(int constant);    // NOLINT(google-explicit-constructor)
+  Expr(const Var& var);  // NOLINT(google-explicit-constructor)
+  explicit Expr(ExprNodePtr node) : node_(std::move(node)) {}
+
+  const ExprNodePtr& node() const { return node_; }
+  bool valid() const { return node_ != nullptr; }
+
+  /// Scalar or Vector under the implicit-reduction typing rules.
+  ExprType type() const;
+
+  /// Human-readable rendering (used in IR dumps / error messages).
+  std::string to_string() const;
+
+ private:
+  ExprNodePtr node_;
+};
+
+// Arithmetic / comparison builders.
+Expr operator+(const Expr& a, const Expr& b);
+Expr operator-(const Expr& a, const Expr& b);
+Expr operator*(const Expr& a, const Expr& b);
+Expr operator/(const Expr& a, const Expr& b);
+Expr operator-(const Expr& a);
+Expr operator<(const Expr& a, const Expr& b);
+Expr operator>(const Expr& a, const Expr& b);
+
+/// pow(e, c): elementwise on vectors; the strength-reduction pass turns small
+/// integer exponents into chained multiplies (Sec. IV-E).
+Expr pow(const Expr& base, real_t exponent);
+/// Scalar-only functions; a Vector argument is implicitly dim-summed.
+Expr sqrt(const Expr& e);
+Expr exp(const Expr& e);
+Expr log(const Expr& e);
+/// abs is elementwise (stays Vector on vectors).
+Expr abs(const Expr& e);
+/// Explicit reductions.
+Expr dimsum(const Expr& e);
+Expr dimmax(const Expr& e);
+/// Elementwise binary min / max (named to avoid std::min/std::max clashes).
+Expr vmin(const Expr& a, const Expr& b);
+Expr vmax(const Expr& a, const Expr& b);
+
+/// Squared Mahalanobis distance between two layer variables. Empty `cov`
+/// means Portal computes the reference dataset's covariance at execute time.
+Expr mahalanobis(const Var& q, const Var& r, std::vector<real_t> cov = {});
+
+/// Opaque external kernel bound to two layer variables.
+Expr external_kernel(const Var& q, const Var& r, ExternalKernelFn fn,
+                     std::string label = "external");
+
+/// Collect the distinct var ids referenced by an expression (sorted).
+std::vector<int> collect_var_ids(const Expr& e);
+
+/// Structural helper shared by typing, analysis, and codegen.
+ExprType node_type(const ExprNodePtr& node);
+
+} // namespace portal

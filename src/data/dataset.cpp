@@ -1,0 +1,84 @@
+#include "data/dataset.h"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace portal {
+
+Dataset::Dataset(index_t size, index_t dim, Layout layout)
+    : size_(size), dim_(dim), layout_(layout) {
+  if (size < 0 || dim < 0) throw std::invalid_argument("Dataset: negative shape");
+  data_.allocate(static_cast<std::size_t>(size) * static_cast<std::size_t>(dim));
+}
+
+Dataset Dataset::from_row_major(const real_t* values, index_t size, index_t dim,
+                                Layout layout) {
+  Dataset out(size, dim, layout);
+  if (layout == Layout::RowMajor) {
+    std::memcpy(out.raw(), values,
+                static_cast<std::size_t>(size) * dim * sizeof(real_t));
+  } else {
+    for (index_t i = 0; i < size; ++i)
+      for (index_t d = 0; d < dim; ++d) out.coord(i, d) = values[i * dim + d];
+  }
+  return out;
+}
+
+Dataset Dataset::from_points(const std::vector<std::vector<real_t>>& points) {
+  const index_t dim = points.empty() ? 0 : static_cast<index_t>(points[0].size());
+  return from_points(points, choose_layout(dim));
+}
+
+Dataset Dataset::from_points(const std::vector<std::vector<real_t>>& points,
+                             Layout layout) {
+  const index_t size = static_cast<index_t>(points.size());
+  const index_t dim = points.empty() ? 0 : static_cast<index_t>(points[0].size());
+  Dataset out(size, dim, layout);
+  for (index_t i = 0; i < size; ++i) {
+    if (static_cast<index_t>(points[i].size()) != dim)
+      throw std::invalid_argument("Dataset::from_points: ragged input");
+    for (index_t d = 0; d < dim; ++d) out.coord(i, d) = points[i][d];
+  }
+  return out;
+}
+
+Dataset::Dataset(const Dataset& other)
+    : size_(other.size_), dim_(other.dim_), layout_(other.layout_) {
+  data_.allocate(static_cast<std::size_t>(size_) * dim_);
+  std::memcpy(data_.data(), other.data_.data(),
+              static_cast<std::size_t>(size_) * dim_ * sizeof(real_t));
+}
+
+Dataset& Dataset::operator=(const Dataset& other) {
+  if (this != &other) {
+    Dataset copy(other);
+    *this = std::move(copy);
+  }
+  return *this;
+}
+
+void Dataset::copy_point(index_t i, real_t* out) const {
+  if (layout_ == Layout::RowMajor) {
+    std::memcpy(out, row_ptr(i), dim_ * sizeof(real_t));
+  } else {
+    for (index_t d = 0; d < dim_; ++d) out[d] = coord(i, d);
+  }
+}
+
+void Dataset::permute(const std::vector<index_t>& perm) {
+  if (static_cast<index_t>(perm.size()) != size_)
+    throw std::invalid_argument("Dataset::permute: size mismatch");
+  Dataset tmp(size_, dim_, layout_);
+  for (index_t i = 0; i < size_; ++i)
+    for (index_t d = 0; d < dim_; ++d) tmp.coord(i, d) = coord(perm[i], d);
+  *this = std::move(tmp);
+}
+
+Dataset Dataset::with_layout(Layout layout) const {
+  Dataset out(size_, dim_, layout);
+  for (index_t i = 0; i < size_; ++i)
+    for (index_t d = 0; d < dim_; ++d) out.coord(i, d) = coord(i, d);
+  return out;
+}
+
+} // namespace portal

@@ -1,0 +1,108 @@
+// Portal -- dense point-set container with switchable memory layout.
+//
+// Sec. III-B / IV-F of the paper: Portal picks a column-major layout for
+// low-dimensional data (d <= 4) so the *middle* base-case loop vectorizes
+// across points, and row-major for higher dimensions so the innermost
+// per-dimension loop vectorizes. Dataset implements both layouts behind one
+// interface and exposes the raw contiguous arrays for the hot kernels.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/aligned.h"
+#include "util/common.h"
+
+namespace portal {
+
+enum class Layout { RowMajor, ColMajor };
+
+/// Dimensionality threshold of the paper's layout policy: d <= 4 stores
+/// points column-major, larger d row-major.
+inline constexpr index_t kColMajorMaxDim = 4;
+
+/// Applies the paper's layout policy to a dimensionality.
+inline Layout choose_layout(index_t dim) {
+  return dim <= kColMajorMaxDim ? Layout::ColMajor : Layout::RowMajor;
+}
+
+/// A fixed-size set of `size` points in `dim` dimensions.
+///
+/// Copyable (deep copy) and movable. The coordinate array is 64-byte aligned.
+/// Access patterns:
+///   - coord(i, d): layout-independent random access;
+///   - row_ptr(i):  contiguous point, row-major only;
+///   - col_ptr(d):  contiguous dimension slice, column-major only;
+///   - raw():       the whole array for kernels specialized by layout.
+class Dataset {
+ public:
+  Dataset() = default;
+
+  /// Uninitialized (zeroed) dataset of given shape. Layout defaults to the
+  /// paper's policy; callers may override (the ablation bench does).
+  Dataset(index_t size, index_t dim, Layout layout);
+  Dataset(index_t size, index_t dim) : Dataset(size, dim, choose_layout(dim)) {}
+
+  /// From row-major values (size*dim, point-contiguous), re-laid out as needed.
+  static Dataset from_row_major(const real_t* values, index_t size, index_t dim,
+                                Layout layout);
+  static Dataset from_row_major(const real_t* values, index_t size, index_t dim) {
+    return from_row_major(values, size, dim, choose_layout(dim));
+  }
+
+  /// From a vector-of-vectors (the paper's `Storage query{input}` path).
+  /// All inner vectors must share one length.
+  static Dataset from_points(const std::vector<std::vector<real_t>>& points);
+  static Dataset from_points(const std::vector<std::vector<real_t>>& points,
+                             Layout layout);
+
+  Dataset(const Dataset& other);
+  Dataset& operator=(const Dataset& other);
+  Dataset(Dataset&&) noexcept = default;
+  Dataset& operator=(Dataset&&) noexcept = default;
+
+  index_t size() const { return size_; }
+  index_t dim() const { return dim_; }
+  Layout layout() const { return layout_; }
+  bool empty() const { return size_ == 0; }
+
+  real_t& coord(index_t point, index_t d) {
+    return data_[offset(point, d)];
+  }
+  real_t coord(index_t point, index_t d) const {
+    return data_[offset(point, d)];
+  }
+
+  /// Copy point `i` into `out[0..dim)` regardless of layout.
+  void copy_point(index_t i, real_t* out) const;
+
+  /// Pointer to point i's contiguous coordinates. Row-major only.
+  const real_t* row_ptr(index_t i) const { return data_.data() + i * dim_; }
+  real_t* row_ptr(index_t i) { return data_.data() + i * dim_; }
+
+  /// Pointer to dimension d's contiguous slice. Column-major only.
+  const real_t* col_ptr(index_t d) const { return data_.data() + d * size_; }
+  real_t* col_ptr(index_t d) { return data_.data() + d * size_; }
+
+  const real_t* raw() const { return data_.data(); }
+  real_t* raw() { return data_.data(); }
+
+  /// Reorder points so that new position i holds old point perm[i].
+  /// Used by tree builders to make leaves contiguous.
+  void permute(const std::vector<index_t>& perm);
+
+  /// Deep-copy into the other layout (ablation support).
+  Dataset with_layout(Layout layout) const;
+
+ private:
+  index_t offset(index_t point, index_t d) const {
+    return layout_ == Layout::RowMajor ? point * dim_ + d : d * size_ + point;
+  }
+
+  index_t size_ = 0;
+  index_t dim_ = 0;
+  Layout layout_ = Layout::RowMajor;
+  AlignedBuffer<real_t> data_;
+};
+
+} // namespace portal

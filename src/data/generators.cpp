@@ -1,0 +1,97 @@
+#include "data/generators.h"
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace portal {
+
+Dataset make_uniform(index_t size, index_t dim, std::uint64_t seed, real_t lo,
+                     real_t hi) {
+  Rng rng(seed);
+  Dataset out(size, dim);
+  for (index_t i = 0; i < size; ++i)
+    for (index_t d = 0; d < dim; ++d) out.coord(i, d) = rng.uniform(lo, hi);
+  return out;
+}
+
+Dataset make_gaussian_mixture(index_t size, index_t dim, index_t clusters,
+                              std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<real_t> centers(static_cast<std::size_t>(clusters) * dim);
+  std::vector<real_t> stddevs(clusters);
+  for (index_t c = 0; c < clusters; ++c) {
+    for (index_t d = 0; d < dim; ++d) centers[c * dim + d] = rng.uniform(0, 10);
+    stddevs[c] = rng.uniform(0.3, 1.0);
+  }
+  Dataset out(size, dim);
+  for (index_t i = 0; i < size; ++i) {
+    const index_t c = static_cast<index_t>(rng.uniform_index(clusters));
+    for (index_t d = 0; d < dim; ++d)
+      out.coord(i, d) = rng.normal(centers[c * dim + d], stddevs[c]);
+  }
+  return out;
+}
+
+LabeledDataset make_labeled_mixture(index_t size, index_t dim, index_t classes,
+                                    std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<real_t> centers(static_cast<std::size_t>(classes) * dim);
+  std::vector<real_t> stddevs(classes);
+  for (index_t c = 0; c < classes; ++c) {
+    for (index_t d = 0; d < dim; ++d) centers[c * dim + d] = rng.uniform(0, 10);
+    stddevs[c] = rng.uniform(0.4, 1.2);
+  }
+  LabeledDataset out;
+  out.points = Dataset(size, dim);
+  out.labels.resize(size);
+  out.num_classes = classes;
+  for (index_t i = 0; i < size; ++i) {
+    const index_t c = static_cast<index_t>(rng.uniform_index(classes));
+    out.labels[i] = static_cast<int>(c);
+    for (index_t d = 0; d < dim; ++d)
+      out.points.coord(i, d) = rng.normal(centers[c * dim + d], stddevs[c]);
+  }
+  return out;
+}
+
+ParticleSet make_elliptical(index_t size, std::uint64_t seed, real_t radius) {
+  Rng rng(seed);
+  ParticleSet out;
+  out.positions = Dataset(size, 3);
+  out.masses.assign(size, real_t(1) / static_cast<real_t>(size));
+  const real_t axis[3] = {1.0, 0.75, 0.5};
+  for (index_t i = 0; i < size; ++i) {
+    // Angularly uniform direction: cos(theta) uniform in [-1, 1], phi uniform.
+    const real_t cos_t = rng.uniform(-1, 1);
+    const real_t sin_t = std::sqrt(std::max(real_t(0), 1 - cos_t * cos_t));
+    const real_t phi = rng.uniform(0, real_t(6.283185307179586));
+    const real_t r = radius * std::cbrt(rng.uniform());
+    const real_t p[3] = {r * sin_t * std::cos(phi), r * sin_t * std::sin(phi),
+                         r * cos_t};
+    for (int d = 0; d < 3; ++d) out.positions.coord(i, d) = axis[d] * p[d];
+  }
+  return out;
+}
+
+ParticleSet make_plummer(index_t size, std::uint64_t seed, real_t scale) {
+  Rng rng(seed);
+  ParticleSet out;
+  out.positions = Dataset(size, 3);
+  out.masses.assign(size, real_t(1) / static_cast<real_t>(size));
+  for (index_t i = 0; i < size; ++i) {
+    // Radius from the Plummer cumulative mass profile M(r) = r^3/(1+r^2)^{3/2}.
+    real_t u = rng.uniform();
+    if (u < 1e-12) u = 1e-12;
+    const real_t r = scale / std::sqrt(std::pow(u, real_t(-2.0 / 3.0)) - 1);
+    const real_t cos_t = rng.uniform(-1, 1);
+    const real_t sin_t = std::sqrt(std::max(real_t(0), 1 - cos_t * cos_t));
+    const real_t phi = rng.uniform(0, real_t(6.283185307179586));
+    out.positions.coord(i, 0) = r * sin_t * std::cos(phi);
+    out.positions.coord(i, 1) = r * sin_t * std::sin(phi);
+    out.positions.coord(i, 2) = r * cos_t;
+  }
+  return out;
+}
+
+} // namespace portal

@@ -1,0 +1,54 @@
+// Portal -- synthetic dataset generators.
+//
+// The paper evaluates on six real datasets (Table II). Those are not
+// redistributable here, so each is replaced by a deterministic generator that
+// preserves the properties tree-based N-body algorithms are sensitive to:
+// dimensionality and clustered (non-uniform) structure. See DESIGN.md Sec. 2.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "util/common.h"
+
+namespace portal {
+
+/// Uniform points in [lo, hi]^dim.
+Dataset make_uniform(index_t size, index_t dim, std::uint64_t seed,
+                     real_t lo = 0, real_t hi = 1);
+
+/// Mixture of `clusters` isotropic Gaussians with random centers in
+/// [0, 10]^dim and per-cluster stddev in [0.3, 1.0]. The default stand-in for
+/// the UCI-style datasets: real tabular data is strongly clustered, which is
+/// what gives dual-tree pruning its wins.
+Dataset make_gaussian_mixture(index_t size, index_t dim, index_t clusters,
+                              std::uint64_t seed);
+
+/// Labeled mixture (for the naive Bayes classifier): same as above but also
+/// returns the generating component of each point and per-class moments.
+struct LabeledDataset {
+  Dataset points;
+  std::vector<int> labels;
+  index_t num_classes = 0;
+};
+LabeledDataset make_labeled_mixture(index_t size, index_t dim, index_t classes,
+                                    std::uint64_t seed);
+
+/// The paper's "Elliptical" Barnes-Hut dataset: particles angularly uniform in
+/// spherical coordinates, radius r = R * cbrt(U) (uniform density in the
+/// ball), then squashed per-axis by 1 : 0.75 : 0.5 into an ellipsoid. 3-D.
+/// Also returns unit masses (the paper treats equal-mass particles).
+struct ParticleSet {
+  Dataset positions; // 3-D
+  std::vector<real_t> masses;
+};
+ParticleSet make_elliptical(index_t size, std::uint64_t seed, real_t radius = 1);
+
+/// Plummer sphere (classic astrophysics benchmark distribution) -- used by the
+/// extra galaxy-simulation example; heavier central concentration than the
+/// elliptical set, stressing the approximation path harder.
+ParticleSet make_plummer(index_t size, std::uint64_t seed, real_t scale = 1);
+
+} // namespace portal

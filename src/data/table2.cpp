@@ -1,0 +1,50 @@
+#include "data/table2.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace portal {
+
+const std::vector<DatasetSpec>& table2_specs() {
+  // default_size keeps the paper's relative ordering (Yahoo largest, Census
+  // smallest of the ML sets) at ~1/500 scale; high-dimensional sets are
+  // shrunk further because kd-tree pruning weakens with dimension and the
+  // harness must finish on one core.
+  static const std::vector<DatasetSpec> specs = {
+      {"Yahoo!", 41904293, 11, 80000, 24},
+      {"IHEPC", 2075259, 9, 40000, 16},
+      {"HIGGS", 11000000, 28, 30000, 12},
+      {"Census", 2458285, 68, 12000, 10},
+      {"KDD", 4898431, 42, 20000, 10},
+      {"Elliptical", 10000000, 3, 120000, 1},
+  };
+  return specs;
+}
+
+const DatasetSpec& table2_spec(const std::string& name) {
+  for (const DatasetSpec& spec : table2_specs())
+    if (spec.name == name) return spec;
+  throw std::invalid_argument("table2: unknown dataset '" + name + "'");
+}
+
+Dataset make_table2_dataset(const std::string& name, double scale) {
+  const DatasetSpec& spec = table2_spec(name);
+  const index_t size = std::max<index_t>(
+      64, static_cast<index_t>(static_cast<double>(spec.default_size) * scale));
+  // Seed derived from the name so each dataset is distinct but reproducible.
+  std::uint64_t seed = 0xbeefULL;
+  for (char c : name) seed = seed * 131 + static_cast<unsigned char>(c);
+  if (name == "Elliptical") return make_elliptical(size, seed).positions;
+  return make_gaussian_mixture(size, spec.dim, spec.clusters, seed);
+}
+
+double bench_scale_from_env() {
+  const char* raw = std::getenv("PORTAL_BENCH_SCALE");
+  if (raw == nullptr) return 1.0;
+  const double value = std::atof(raw);
+  if (value <= 0) return 1.0;
+  return std::clamp(value, 0.01, 1000.0);
+}
+
+} // namespace portal

@@ -1,0 +1,42 @@
+// Portal -- the benchmark dataset registry (paper Table II).
+//
+// Each entry mirrors one of the paper's six evaluation datasets: same
+// dimensionality, clustered structure, and the same *relative* ordering of
+// sizes, scaled down to laptop scale (the paper ran 2M-42M points on a
+// 128-core EPYC). `scale` multiplies every size; benchmarks read it from the
+// PORTAL_BENCH_SCALE environment variable so the harness can be grown on
+// bigger machines without recompiling.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "data/generators.h"
+#include "util/common.h"
+
+namespace portal {
+
+struct DatasetSpec {
+  std::string name;      // paper name, e.g. "Yahoo!"
+  index_t paper_size;    // N in Table II
+  index_t dim;           // d in Table II
+  index_t default_size;  // our laptop-scale N at scale = 1
+  index_t clusters;      // mixture components in the stand-in generator
+};
+
+/// The six Table II rows, in paper order.
+const std::vector<DatasetSpec>& table2_specs();
+
+/// Find a spec by (case-sensitive) paper name; throws if unknown.
+const DatasetSpec& table2_spec(const std::string& name);
+
+/// Materialize a Table II stand-in at `scale` times its default size.
+/// "Elliptical" uses the elliptical particle generator; the rest are Gaussian
+/// mixtures. Deterministic per (name, scale).
+Dataset make_table2_dataset(const std::string& name, double scale = 1.0);
+
+/// Value of PORTAL_BENCH_SCALE (default 1.0, clamped to [0.01, 1000]).
+double bench_scale_from_env();
+
+} // namespace portal

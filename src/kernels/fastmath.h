@@ -1,0 +1,80 @@
+// Portal -- strength-reduced math primitives (paper Sec. IV-E).
+//
+// The compiler's strength-reduction pass replaces long-latency operations:
+//   * pow(x, k) with integer k < 4  ->  chained multiplication;
+//   * 1/sqrt(x)                     ->  fast inverse square root (~0.17% err);
+//   * sqrt(x)                       ->  1 / (1 / fast_inv_sqrt(x)), the
+//     NaN-safe variant the paper chooses (x * rsqrt(x) is faster but yields
+//     NaN at x = 0, while the reciprocal form yields the desired 0).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <limits>
+
+#include "util/common.h"
+
+namespace portal {
+
+/// Quake-style fast inverse square root for doubles with one Newton-Raphson
+/// refinement step. Relative error is below ~0.2% after the refinement, the
+/// error bound the paper quotes for the LLVM intrinsic it uses. Returns +inf
+/// at x == 0, matching the hardware rsqrt semantics the paper's NaN-safety
+/// argument (Sec. IV-E) relies on.
+inline double fast_inv_sqrt(double x) {
+  if (x == 0.0) return std::numeric_limits<double>::infinity();
+  double half = 0.5 * x;
+  std::uint64_t bits;
+  std::memcpy(&bits, &x, sizeof(bits));
+  bits = 0x5FE6EB50C7B537A9ULL - (bits >> 1);
+  double y;
+  std::memcpy(&y, &bits, sizeof(y));
+  y = y * (1.5 - half * y * y); // one Newton step
+  return y;
+}
+
+inline float fast_inv_sqrt(float x) {
+  if (x == 0.0f) return std::numeric_limits<float>::infinity();
+  float half = 0.5f * x;
+  std::uint32_t bits;
+  std::memcpy(&bits, &x, sizeof(bits));
+  bits = 0x5F375A86U - (bits >> 1);
+  float y;
+  std::memcpy(&y, &bits, sizeof(y));
+  y = y * (1.5f - half * y * y);
+  return y;
+}
+
+/// sqrt via the reciprocal of the fast inverse square root -- the paper's
+/// 1/(1/sqrt(x)) form. Returns exactly 0 for x == 0 (1/inf == 0), unlike
+/// x * fast_inv_sqrt(x) which returns NaN there.
+inline real_t fast_sqrt(real_t x) { return real_t(1) / fast_inv_sqrt(x); }
+
+/// The faster-but-unsafe variant (x * rsqrt(x)); kept for the strength
+/// reduction ablation bench that quantifies the paper's Sec. IV-E choice.
+inline real_t fast_sqrt_unsafe(real_t x) { return x * fast_inv_sqrt(x); }
+
+/// pow(x, n) for small non-negative integer n as chained multiplications.
+/// The strength-reduction pass only fires for n < 4 (paper), but the helper
+/// handles any n >= 0 by square-and-multiply for completeness.
+inline real_t pow_int(real_t x, int n) {
+  switch (n) {
+    case 0: return real_t(1);
+    case 1: return x;
+    case 2: return x * x;
+    case 3: return x * x * x;
+    default: {
+      real_t result = 1;
+      real_t base = x;
+      int e = n;
+      while (e > 0) {
+        if (e & 1) result *= base;
+        base *= base;
+        e >>= 1;
+      }
+      return result;
+    }
+  }
+}
+
+} // namespace portal

@@ -1,0 +1,121 @@
+#include "kernels/linalg.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace portal {
+
+std::vector<real_t> cholesky(const std::vector<real_t>& a, index_t m) {
+  std::vector<real_t> l(static_cast<std::size_t>(m) * m, 0);
+  for (index_t i = 0; i < m; ++i) {
+    for (index_t j = 0; j <= i; ++j) {
+      real_t sum = a[i * m + j];
+      for (index_t k = 0; k < j; ++k) sum -= l[i * m + k] * l[j * m + k];
+      if (i == j) {
+        if (sum <= 0)
+          throw std::domain_error("cholesky: matrix not positive definite");
+        l[i * m + i] = std::sqrt(sum);
+      } else {
+        l[i * m + j] = sum / l[j * m + j];
+      }
+    }
+  }
+  return l;
+}
+
+void forward_substitute(const std::vector<real_t>& l, index_t m, const real_t* b,
+                        real_t* x) {
+  for (index_t i = 0; i < m; ++i) {
+    real_t sum = b[i];
+    for (index_t k = 0; k < i; ++k) sum -= l[i * m + k] * x[k];
+    x[i] = sum / l[i * m + i];
+  }
+}
+
+void backward_substitute(const std::vector<real_t>& l, index_t m, const real_t* b,
+                         real_t* x) {
+  for (index_t i = m - 1; i >= 0; --i) {
+    real_t sum = b[i];
+    // L^T's row i is L's column i.
+    for (index_t k = i + 1; k < m; ++k) sum -= l[k * m + i] * x[k];
+    x[i] = sum / l[i * m + i];
+  }
+}
+
+std::vector<real_t> spd_inverse(const std::vector<real_t>& a, index_t m) {
+  const std::vector<real_t> l = cholesky(a, m);
+  std::vector<real_t> inv(static_cast<std::size_t>(m) * m, 0);
+  std::vector<real_t> e(m, 0), y(m, 0), x(m, 0);
+  for (index_t col = 0; col < m; ++col) {
+    e.assign(m, 0);
+    e[col] = 1;
+    forward_substitute(l, m, e.data(), y.data());
+    backward_substitute(l, m, y.data(), x.data());
+    for (index_t row = 0; row < m; ++row) inv[row * m + col] = x[row];
+  }
+  return inv;
+}
+
+real_t log_det_from_cholesky(const std::vector<real_t>& l, index_t m) {
+  real_t sum = 0;
+  for (index_t i = 0; i < m; ++i) sum += std::log(l[i * m + i]);
+  return 2 * sum;
+}
+
+real_t mahalanobis_sq_naive(const real_t* x, const real_t* mu,
+                            const std::vector<real_t>& sigma_inv, index_t m) {
+  real_t total = 0;
+  for (index_t i = 0; i < m; ++i) {
+    real_t row = 0;
+    for (index_t j = 0; j < m; ++j)
+      row += sigma_inv[i * m + j] * (x[j] - mu[j]);
+    total += (x[i] - mu[i]) * row;
+  }
+  return total;
+}
+
+real_t mahalanobis_sq_cholesky(const real_t* x, const real_t* mu,
+                               const std::vector<real_t>& l, index_t m,
+                               real_t* scratch) {
+  real_t* diff = scratch;
+  real_t* solved = scratch + m;
+  for (index_t i = 0; i < m; ++i) diff[i] = x[i] - mu[i];
+  forward_substitute(l, m, diff, solved);
+  real_t total = 0;
+  for (index_t i = 0; i < m; ++i) total += solved[i] * solved[i];
+  return total;
+}
+
+std::vector<real_t> column_mean(const Dataset& data) {
+  const index_t n = data.size();
+  const index_t m = data.dim();
+  std::vector<real_t> mean(m, 0);
+  for (index_t i = 0; i < n; ++i)
+    for (index_t d = 0; d < m; ++d) mean[d] += data.coord(i, d);
+  if (n > 0)
+    for (index_t d = 0; d < m; ++d) mean[d] /= static_cast<real_t>(n);
+  return mean;
+}
+
+std::vector<real_t> covariance(const Dataset& data, const std::vector<real_t>& mean,
+                               real_t jitter) {
+  const index_t n = data.size();
+  const index_t m = data.dim();
+  std::vector<real_t> cov(static_cast<std::size_t>(m) * m, 0);
+  std::vector<real_t> diff(m);
+  for (index_t i = 0; i < n; ++i) {
+    for (index_t d = 0; d < m; ++d) diff[d] = data.coord(i, d) - mean[d];
+    for (index_t r = 0; r < m; ++r)
+      for (index_t c = 0; c <= r; ++c) cov[r * m + c] += diff[r] * diff[c];
+  }
+  const real_t denom = n > 1 ? static_cast<real_t>(n - 1) : real_t(1);
+  for (index_t r = 0; r < m; ++r)
+    for (index_t c = 0; c <= r; ++c) {
+      cov[r * m + c] /= denom;
+      cov[c * m + r] = cov[r * m + c];
+    }
+  for (index_t d = 0; d < m; ++d) cov[d * m + d] += jitter;
+  return cov;
+}
+
+} // namespace portal

@@ -1,0 +1,54 @@
+// Portal -- small dense linear algebra used by the numerical-optimization
+// pass (paper Sec. IV-D) and the statistical problems (EM, naive Bayes).
+//
+// All matrices are row-major m x m in flat vectors; m is the data
+// dimensionality (tens at most), so simple triple loops are appropriate.
+#pragma once
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "util/common.h"
+
+namespace portal {
+
+/// Cholesky factorization A = L * L^T of a symmetric positive-definite
+/// matrix. Returns the lower-triangular L (entries above the diagonal zero).
+/// Throws std::domain_error if A is not positive definite (within jitter):
+/// callers that build covariance matrices add diagonal jitter first.
+std::vector<real_t> cholesky(const std::vector<real_t>& a, index_t m);
+
+/// Solve L * x = b by forward substitution (L lower triangular).
+void forward_substitute(const std::vector<real_t>& l, index_t m, const real_t* b,
+                        real_t* x);
+
+/// Solve L^T * x = b by backward substitution.
+void backward_substitute(const std::vector<real_t>& l, index_t m, const real_t* b,
+                         real_t* x);
+
+/// Explicit inverse of an SPD matrix via Cholesky (the *naive* Mahalanobis
+/// path: O(m^3); used as the correctness oracle for the optimized path).
+std::vector<real_t> spd_inverse(const std::vector<real_t>& a, index_t m);
+
+/// log(det(A)) of an SPD matrix from its Cholesky factor: 2 * sum log L_ii.
+real_t log_det_from_cholesky(const std::vector<real_t>& l, index_t m);
+
+/// Naive quadratic form (x-mu)^T Sigma^{-1} (x-mu) with the explicit inverse.
+real_t mahalanobis_sq_naive(const real_t* x, const real_t* mu,
+                            const std::vector<real_t>& sigma_inv, index_t m);
+
+/// Optimized quadratic form ||L^{-1}(x-mu)||^2 via forward substitution:
+/// the paper's m^3 -> m^2/2 rewrite. `scratch` must hold 2*m reals.
+real_t mahalanobis_sq_cholesky(const real_t* x, const real_t* mu,
+                               const std::vector<real_t>& l, index_t m,
+                               real_t* scratch);
+
+/// Sample mean of a dataset (length dim).
+std::vector<real_t> column_mean(const Dataset& data);
+
+/// Sample covariance (row-major dim x dim) with `jitter` added on the
+/// diagonal to guarantee positive definiteness.
+std::vector<real_t> covariance(const Dataset& data, const std::vector<real_t>& mean,
+                               real_t jitter = 1e-6);
+
+} // namespace portal

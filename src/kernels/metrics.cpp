@@ -1,0 +1,99 @@
+#include "kernels/metrics.h"
+
+#include <stdexcept>
+
+namespace portal {
+namespace {
+
+/// Largest-eigenvalue estimate of a symmetric PSD matrix by power iteration.
+/// m is tiny (the data dimension), so a fixed iteration count suffices.
+real_t power_iteration_max_eig(const std::vector<real_t>& a, index_t m) {
+  std::vector<real_t> v(m, 1);
+  std::vector<real_t> w(m, 0);
+  real_t lambda = 0;
+  for (int iter = 0; iter < 100; ++iter) {
+    for (index_t i = 0; i < m; ++i) {
+      real_t sum = 0;
+      for (index_t j = 0; j < m; ++j) sum += a[i * m + j] * v[j];
+      w[i] = sum;
+    }
+    real_t norm = 0;
+    for (index_t i = 0; i < m; ++i) norm += w[i] * w[i];
+    norm = std::sqrt(norm);
+    if (norm < 1e-300) return 0;
+    for (index_t i = 0; i < m; ++i) v[i] = w[i] / norm;
+    lambda = norm;
+  }
+  return lambda;
+}
+
+} // namespace
+
+const char* metric_name(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::SqEuclidean: return "sq_euclidean";
+    case MetricKind::Euclidean: return "euclidean";
+    case MetricKind::Manhattan: return "manhattan";
+    case MetricKind::Chebyshev: return "chebyshev";
+    case MetricKind::Mahalanobis: return "mahalanobis";
+  }
+  return "unknown";
+}
+
+MahalanobisContext::MahalanobisContext(std::vector<real_t> covariance, index_t dim)
+    : dim_(dim) {
+  if (static_cast<index_t>(covariance.size()) != dim * dim)
+    throw std::invalid_argument("MahalanobisContext: covariance shape mismatch");
+  chol_ = cholesky(covariance, dim);
+  inverse_ = spd_inverse(covariance, dim);
+  log_det_ = log_det_from_cholesky(chol_, dim);
+  // lambda_max(Sigma^{-1}) directly; lambda_min(Sigma^{-1}) = 1/lambda_max(Sigma).
+  eig_max_ = power_iteration_max_eig(inverse_, dim);
+  const real_t cov_max = power_iteration_max_eig(covariance, dim);
+  eig_min_ = cov_max > 0 ? real_t(1) / cov_max : real_t(0);
+}
+
+real_t MahalanobisContext::sq_dist(const real_t* x, const real_t* y,
+                                   real_t* scratch) const {
+  // mahalanobis_sq_cholesky computes (x - y)^T Sigma^{-1} (x - y) with `y`
+  // playing the role of the mean.
+  return mahalanobis_sq_cholesky(x, y, chol_, dim_, scratch);
+}
+
+real_t MahalanobisContext::sq_dist_naive(const real_t* x, const real_t* y) const {
+  return mahalanobis_sq_naive(x, y, inverse_, dim_);
+}
+
+real_t point_distance(MetricKind kind, const real_t* a, index_t sa,
+                      const real_t* b, index_t sb, index_t dim,
+                      const MahalanobisContext* ctx, real_t* scratch) {
+  switch (kind) {
+    case MetricKind::SqEuclidean:
+      return SqEuclideanMetric::eval(a, sa, b, sb, dim);
+    case MetricKind::Euclidean:
+      return EuclideanMetric::eval(a, sa, b, sb, dim);
+    case MetricKind::Manhattan:
+      return ManhattanMetric::eval(a, sa, b, sb, dim);
+    case MetricKind::Chebyshev:
+      return ChebyshevMetric::eval(a, sa, b, sb, dim);
+    case MetricKind::Mahalanobis: {
+      if (ctx == nullptr || scratch == nullptr)
+        throw std::invalid_argument("point_distance: Mahalanobis needs context");
+      if (sa != 1 || sb != 1) {
+        // Gather into scratch tail; Mahalanobis points must be contiguous.
+        // scratch layout: [2*dim solver scratch][dim gathered a][dim gathered b]
+        real_t* ga = scratch + 2 * dim;
+        real_t* gb = scratch + 3 * dim;
+        for (index_t d = 0; d < dim; ++d) {
+          ga[d] = a[d * sa];
+          gb[d] = b[d * sb];
+        }
+        return ctx->sq_dist(ga, gb, scratch);
+      }
+      return ctx->sq_dist(a, b, scratch);
+    }
+  }
+  throw std::logic_error("point_distance: unhandled metric");
+}
+
+} // namespace portal

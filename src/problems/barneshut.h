@@ -1,0 +1,54 @@
+// Portal -- Barnes-Hut gravitational force computation (paper Table III last
+// row; validated in Sec. V-C against the FDPS framework, where the paper's
+// dual-tree traversal beats FDPS's per-particle tree walk by ~70%).
+//
+//   forall_q  sum_r  G m_q m_r (x_r - x_q) / (||x_r - x_q||^2 + eps^2)^{3/2}
+//
+// An approximation problem: a reference cell far enough away (multipole
+// acceptance criterion s/d < theta) is replaced by its center of mass --
+// exactly the paper's ComputeApprox "center contribution times node density"
+// with mass playing the density role.
+#pragma once
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "tree/octree.h"
+#include "traversal/rules.h"
+#include "util/common.h"
+
+namespace portal {
+
+struct BarnesHutOptions {
+  real_t theta = 0.5;       // multipole acceptance: cell_side / dist < theta
+  real_t G = 1;             // gravitational constant
+  real_t softening = 1e-3;  // Plummer softening eps
+  index_t leaf_size = 16;
+  bool parallel = true;
+  int task_depth = -1;
+  /// Strength-reduced reciprocal-sqrt path (paper Sec. IV-E); exact std::sqrt
+  /// when false -- the accuracy knob the paper exposes.
+  bool fast_rsqrt = false;
+};
+
+struct BarnesHutResult {
+  /// accel[3*i + d]: acceleration of body i (original order) along axis d.
+  std::vector<real_t> accel;
+  TraversalStats stats;
+};
+
+/// Direct O(N^2) summation oracle. Parallel over bodies.
+BarnesHutResult bh_bruteforce(const Dataset& positions,
+                              const std::vector<real_t>& masses, real_t G = 1,
+                              real_t softening = 1e-3);
+
+/// Dual-tree Barnes-Hut over an octree (the Portal/expert algorithm).
+BarnesHutResult bh_expert(const Dataset& positions,
+                          const std::vector<real_t>& masses,
+                          const BarnesHutOptions& options);
+
+/// Variant over a pre-built tree, results in permuted order (Portal executor).
+BarnesHutResult bh_dualtree_permuted(const Octree& tree,
+                                     const BarnesHutOptions& options);
+
+} // namespace portal

@@ -1,0 +1,47 @@
+// Portal -- Euclidean minimum spanning tree (paper Table III row 5; the paper
+// marks it iterative: a Portal argmin layer inside a native Boruvka loop).
+//
+// The expert implementation is dual-tree Boruvka: each round finds, for every
+// connected component, its shortest edge to a *different* component via a
+// dual-tree nearest-foreign-neighbor search (prune conditions in Table III:
+// identical-component nodes and distance-bound violations), then contracts.
+// O(N log N) rounds-style complexity versus Prim's O(N^2) oracle.
+#pragma once
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "tree/kdtree.h"
+#include "traversal/rules.h"
+#include "util/common.h"
+
+namespace portal {
+
+struct EmstOptions {
+  index_t leaf_size = kDefaultLeafSize;
+  bool parallel = true;
+  int task_depth = -1;
+};
+
+struct EmstEdge {
+  index_t a = -1;
+  index_t b = -1;
+  real_t weight = 0; // Euclidean length
+
+  bool operator<(const EmstEdge& other) const { return weight < other.weight; }
+};
+
+struct EmstResult {
+  std::vector<EmstEdge> edges; // n - 1 edges, original point indexing
+  real_t total_weight = 0;
+  index_t boruvka_rounds = 0;
+  TraversalStats stats; // accumulated over rounds
+};
+
+/// Prim's algorithm, O(N^2): the exact oracle.
+EmstResult emst_bruteforce(const Dataset& data);
+
+/// Dual-tree Boruvka.
+EmstResult emst_expert(const Dataset& data, const EmstOptions& options);
+
+} // namespace portal

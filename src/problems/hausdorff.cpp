@@ -1,0 +1,48 @@
+#include "problems/hausdorff.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "problems/knn.h"
+
+namespace portal {
+namespace {
+
+real_t max_of(const std::vector<real_t>& values) {
+  real_t best = 0;
+  for (real_t v : values) best = std::max(best, v);
+  return best;
+}
+
+} // namespace
+
+HausdorffResult hausdorff_bruteforce(const Dataset& a, const Dataset& b) {
+  HausdorffResult result;
+  const KnnResult ab = knn_bruteforce(a, b, 1);
+  const KnnResult ba = knn_bruteforce(b, a, 1);
+  result.directed_qr = max_of(ab.distances);
+  result.directed_rq = max_of(ba.distances);
+  result.symmetric = std::max(result.directed_qr, result.directed_rq);
+  return result;
+}
+
+HausdorffResult hausdorff_expert(const Dataset& a, const Dataset& b,
+                                 const HausdorffOptions& options) {
+  KnnOptions knn;
+  knn.k = 1;
+  knn.leaf_size = options.leaf_size;
+  knn.parallel = options.parallel;
+  knn.task_depth = options.task_depth;
+
+  HausdorffResult result;
+  const KnnResult ab = knn_expert(a, b, knn);
+  const KnnResult ba = knn_expert(b, a, knn);
+  result.directed_qr = max_of(ab.distances);
+  result.directed_rq = max_of(ba.distances);
+  result.symmetric = std::max(result.directed_qr, result.directed_rq);
+  result.stats = ab.stats;
+  result.stats += ba.stats;
+  return result;
+}
+
+} // namespace portal

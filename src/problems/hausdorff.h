@@ -1,0 +1,37 @@
+// Portal -- Hausdorff distance (paper Table III row 3).
+//
+//   directed:  h(Q, R) = max_q min_r ||x_q - x_r||
+//   symmetric: H(Q, R) = max(h(Q, R), h(R, Q))
+//
+// The inner min layer is exactly the 1-nearest-neighbor reduction, so the
+// expert implementation reuses the dual-tree k-NN rules (prune condition in
+// Table III: dmin(Nq, Nr) > per-node min-dist bound); the outer max is a
+// parallel reduction over the per-query nearest distances.
+#pragma once
+
+#include "data/dataset.h"
+#include "tree/kdtree.h"
+#include "traversal/rules.h"
+#include "util/common.h"
+
+namespace portal {
+
+struct HausdorffOptions {
+  index_t leaf_size = kDefaultLeafSize;
+  bool parallel = true;
+  int task_depth = -1;
+};
+
+struct HausdorffResult {
+  real_t directed_qr = 0; // h(Q, R)
+  real_t directed_rq = 0; // h(R, Q)
+  real_t symmetric = 0;   // max of the two
+  TraversalStats stats;   // combined over both directions
+};
+
+HausdorffResult hausdorff_bruteforce(const Dataset& a, const Dataset& b);
+
+HausdorffResult hausdorff_expert(const Dataset& a, const Dataset& b,
+                                 const HausdorffOptions& options);
+
+} // namespace portal

@@ -1,0 +1,173 @@
+#include "problems/nbc.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "kernels/gaussian.h"
+
+namespace portal {
+namespace {
+
+void validate_model(const NbcModel& model, const Dataset& data) {
+  if (model.dim != data.dim())
+    throw std::invalid_argument("nbc: model/data dimensionality mismatch");
+  if (model.num_classes < 1) throw std::invalid_argument("nbc: empty model");
+}
+
+/// Per-class additive constant: log pi_k - 0.5 sum_d log(2 pi v_kd).
+std::vector<real_t> class_constants(const NbcModel& model) {
+  const index_t K = model.num_classes;
+  const index_t d = model.dim;
+  std::vector<real_t> constants(K);
+  for (index_t k = 0; k < K; ++k) {
+    real_t log_det = 0;
+    for (index_t dd = 0; dd < d; ++dd)
+      log_det += std::log(kTwoPi * model.variances[k * d + dd]);
+    constants[k] =
+        std::log(std::max(model.priors[k], real_t(1e-300))) - real_t(0.5) * log_det;
+  }
+  return constants;
+}
+
+} // namespace
+
+NbcModel nbc_train(const Dataset& points, const std::vector<int>& labels,
+                   index_t num_classes, real_t var_floor) {
+  if (static_cast<index_t>(labels.size()) != points.size())
+    throw std::invalid_argument("nbc_train: labels/points size mismatch");
+  if (num_classes < 1) throw std::invalid_argument("nbc_train: num_classes < 1");
+
+  const index_t n = points.size();
+  const index_t d = points.dim();
+  NbcModel model;
+  model.num_classes = num_classes;
+  model.dim = d;
+  model.priors.assign(num_classes, 0);
+  model.means.assign(num_classes * d, 0);
+  model.variances.assign(num_classes * d, 0);
+
+  std::vector<index_t> counts(num_classes, 0);
+  for (index_t i = 0; i < n; ++i) {
+    const int label = labels[i];
+    if (label < 0 || label >= num_classes)
+      throw std::invalid_argument("nbc_train: label out of range");
+    ++counts[label];
+    for (index_t dd = 0; dd < d; ++dd)
+      model.means[label * d + dd] += points.coord(i, dd);
+  }
+  for (index_t k = 0; k < num_classes; ++k) {
+    if (counts[k] == 0)
+      throw std::invalid_argument("nbc_train: class with no training points");
+    for (index_t dd = 0; dd < d; ++dd)
+      model.means[k * d + dd] /= static_cast<real_t>(counts[k]);
+    model.priors[k] = static_cast<real_t>(counts[k]) / static_cast<real_t>(n);
+  }
+  for (index_t i = 0; i < n; ++i) {
+    const int label = labels[i];
+    for (index_t dd = 0; dd < d; ++dd) {
+      const real_t diff = points.coord(i, dd) - model.means[label * d + dd];
+      model.variances[label * d + dd] += diff * diff;
+    }
+  }
+  for (index_t k = 0; k < num_classes; ++k)
+    for (index_t dd = 0; dd < d; ++dd) {
+      model.variances[k * d + dd] /= static_cast<real_t>(counts[k]);
+      model.variances[k * d + dd] =
+          std::max(model.variances[k * d + dd], var_floor);
+    }
+  return model;
+}
+
+std::vector<int> nbc_predict_bruteforce(const NbcModel& model, const Dataset& data) {
+  validate_model(model, data);
+  const index_t n = data.size();
+  const index_t d = model.dim;
+  const index_t K = model.num_classes;
+  std::vector<int> labels(n);
+
+  // Deliberately library-grade: no hoisted constants, no parallelism; the
+  // per-point cost profile matches a straightforward implementation.
+  for (index_t i = 0; i < n; ++i) {
+    real_t best = -std::numeric_limits<real_t>::max();
+    int best_k = 0;
+    for (index_t k = 0; k < K; ++k) {
+      real_t log_lik = std::log(std::max(model.priors[k], real_t(1e-300)));
+      for (index_t dd = 0; dd < d; ++dd) {
+        const real_t v = model.variances[k * d + dd];
+        const real_t diff = data.coord(i, dd) - model.means[k * d + dd];
+        log_lik += real_t(-0.5) * (std::log(kTwoPi * v) + diff * diff / v);
+      }
+      if (log_lik > best) {
+        best = log_lik;
+        best_k = static_cast<int>(k);
+      }
+    }
+    labels[i] = best_k;
+  }
+  return labels;
+}
+
+std::vector<int> nbc_predict_expert(const NbcModel& model, const Dataset& data,
+                                    bool parallel) {
+  validate_model(model, data);
+  const index_t n = data.size();
+  const index_t d = model.dim;
+  const index_t K = model.num_classes;
+  std::vector<int> labels(n);
+
+  const std::vector<real_t> constants = class_constants(model);
+  // Precomputed per-(class, dim) quadratic coefficients: -1 / (2 v).
+  std::vector<real_t> coef(K * d);
+  for (index_t k = 0; k < K; ++k)
+    for (index_t dd = 0; dd < d; ++dd)
+      coef[k * d + dd] = real_t(-0.5) / model.variances[k * d + dd];
+
+#pragma omp parallel for schedule(static) if (parallel)
+  for (index_t i = 0; i < n; ++i) {
+    real_t best = -std::numeric_limits<real_t>::max();
+    int best_k = 0;
+    for (index_t k = 0; k < K; ++k) {
+      const real_t* mu = model.means.data() + k * d;
+      const real_t* cf = coef.data() + k * d;
+      real_t quad = 0;
+      for (index_t dd = 0; dd < d; ++dd) {
+        const real_t diff = data.coord(i, dd) - mu[dd];
+        quad += cf[dd] * diff * diff;
+      }
+      const real_t log_lik = constants[k] + quad;
+      if (log_lik > best) {
+        best = log_lik;
+        best_k = static_cast<int>(k);
+      }
+    }
+    labels[i] = best_k;
+  }
+  return labels;
+}
+
+std::vector<real_t> nbc_joint_log_likelihood(const NbcModel& model,
+                                             const Dataset& data) {
+  validate_model(model, data);
+  const index_t n = data.size();
+  const index_t d = model.dim;
+  const index_t K = model.num_classes;
+  std::vector<real_t> out(static_cast<std::size_t>(n) * K);
+  const std::vector<real_t> constants = class_constants(model);
+
+#pragma omp parallel for schedule(static)
+  for (index_t i = 0; i < n; ++i)
+    for (index_t k = 0; k < K; ++k) {
+      const real_t* mu = model.means.data() + k * d;
+      const real_t* var = model.variances.data() + k * d;
+      real_t quad = 0;
+      for (index_t dd = 0; dd < d; ++dd) {
+        const real_t diff = data.coord(i, dd) - mu[dd];
+        quad += diff * diff / var[dd];
+      }
+      out[i * K + k] = constants[k] - real_t(0.5) * quad;
+    }
+  return out;
+}
+
+} // namespace portal

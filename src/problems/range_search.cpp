@@ -1,0 +1,159 @@
+#include "problems/range_search.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include <omp.h>
+
+#include "problems/common.h"
+#include "traversal/multitree.h"
+#include "util/threading.h"
+
+namespace portal {
+namespace {
+
+class RangeRules {
+ public:
+  RangeRules(const KdTree& qtree, const KdTree& rtree,
+             const RangeSearchOptions& options,
+             std::vector<std::vector<index_t>>& lists)
+      : qtree_(qtree),
+        rtree_(rtree),
+        lo_sq_(options.h_lo * options.h_lo),
+        hi_sq_(options.h_hi * options.h_hi),
+        lists_(lists),
+        workspaces_(num_threads()) {
+    const index_t max_leaf = rtree.stats().max_leaf_count;
+    for (Workspace& ws : workspaces_) {
+      ws.qpt.resize(qtree.data().dim());
+      ws.dists.resize(max_leaf);
+    }
+  }
+
+  bool prune_or_approx(index_t q, index_t r) {
+    const KdNode& qnode = qtree_.node(q);
+    const KdNode& rnode = rtree_.node(r);
+    const real_t dmin_sq = qnode.box.min_sq_dist(rnode.box);
+    const real_t dmax_sq = qnode.box.max_sq_dist(rnode.box);
+
+    // Entirely outside the annulus: discard.
+    if (dmin_sq >= hi_sq_ || dmax_sq <= lo_sq_) return true;
+
+    // Entirely inside: bulk-accept every cross pair without distance work.
+    if (dmin_sq > lo_sq_ && dmax_sq < hi_sq_) {
+      for (index_t qi = qnode.begin; qi < qnode.end; ++qi) {
+        std::vector<index_t>& list = lists_[qi];
+        for (index_t rj = rnode.begin; rj < rnode.end; ++rj) list.push_back(rj);
+      }
+      return true;
+    }
+    return false;
+  }
+
+  void base_case(index_t q, index_t r) {
+    const KdNode& qnode = qtree_.node(q);
+    const KdNode& rnode = rtree_.node(r);
+    Workspace& ws = workspaces_[omp_get_thread_num()];
+    const index_t rcount = rnode.count();
+    for (index_t qi = qnode.begin; qi < qnode.end; ++qi) {
+      qtree_.data().copy_point(qi, ws.qpt.data());
+      sq_dists_to_range(rtree_.data(), rnode.begin, rnode.end, ws.qpt.data(),
+                        ws.dists.data());
+      std::vector<index_t>& list = lists_[qi];
+      for (index_t j = 0; j < rcount; ++j)
+        if (ws.dists[j] > lo_sq_ && ws.dists[j] < hi_sq_)
+          list.push_back(rnode.begin + j);
+    }
+  }
+
+ private:
+  struct Workspace {
+    std::vector<real_t> qpt;
+    std::vector<real_t> dists;
+  };
+
+  const KdTree& qtree_;
+  const KdTree& rtree_;
+  real_t lo_sq_;
+  real_t hi_sq_;
+  std::vector<std::vector<index_t>>& lists_;
+  std::vector<Workspace> workspaces_;
+};
+
+void validate(const Dataset& query, const Dataset& reference, real_t h_lo,
+              real_t h_hi) {
+  if (query.dim() != reference.dim())
+    throw std::invalid_argument("range_search: dimensionality mismatch");
+  if (h_lo < 0 || h_hi <= h_lo)
+    throw std::invalid_argument("range_search: need 0 <= h_lo < h_hi");
+}
+
+RangeSearchResult pack_lists(std::vector<std::vector<index_t>>& lists,
+                             bool sort_lists) {
+  RangeSearchResult result;
+  result.offsets.resize(lists.size() + 1);
+  result.offsets[0] = 0;
+  for (std::size_t i = 0; i < lists.size(); ++i)
+    result.offsets[i + 1] = result.offsets[i] + static_cast<index_t>(lists[i].size());
+  result.neighbors.reserve(result.offsets.back());
+  for (std::vector<index_t>& list : lists) {
+    if (sort_lists) std::sort(list.begin(), list.end());
+    result.neighbors.insert(result.neighbors.end(), list.begin(), list.end());
+  }
+  return result;
+}
+
+} // namespace
+
+RangeSearchResult range_search_bruteforce(const Dataset& query,
+                                          const Dataset& reference, real_t h_lo,
+                                          real_t h_hi) {
+  validate(query, reference, h_lo, h_hi);
+  const index_t nq = query.size();
+  const real_t lo_sq = h_lo * h_lo;
+  const real_t hi_sq = h_hi * h_hi;
+  std::vector<std::vector<index_t>> lists(nq);
+
+#pragma omp parallel
+  {
+    std::vector<real_t> qpt(query.dim());
+    std::vector<real_t> dists(reference.size());
+#pragma omp for schedule(static)
+    for (index_t i = 0; i < nq; ++i) {
+      query.copy_point(i, qpt.data());
+      sq_dists_to_range(reference, 0, reference.size(), qpt.data(), dists.data());
+      for (index_t j = 0; j < reference.size(); ++j)
+        if (dists[j] > lo_sq && dists[j] < hi_sq) lists[i].push_back(j);
+    }
+  }
+  return pack_lists(lists, /*sort_lists=*/true);
+}
+
+RangeSearchResult range_search_expert(const Dataset& query,
+                                      const Dataset& reference,
+                                      const RangeSearchOptions& options) {
+  validate(query, reference, options.h_lo, options.h_hi);
+  const KdTree qtree(query, options.leaf_size);
+  const KdTree rtree(reference, options.leaf_size);
+
+  std::vector<std::vector<index_t>> lists(query.size());
+  RangeRules rules(qtree, rtree, options, lists);
+  TraversalOptions topt;
+  topt.parallel = options.parallel;
+  topt.task_depth = options.task_depth;
+  const TraversalStats stats = dual_traverse(qtree, rtree, rules, topt);
+
+  // Un-permute: list of permuted query i belongs to original perm()[i]; the
+  // stored reference ids are permuted, map through rtree.perm().
+  std::vector<std::vector<index_t>> original(query.size());
+  for (index_t i = 0; i < query.size(); ++i) {
+    std::vector<index_t>& list = lists[i];
+    for (index_t& id : list) id = rtree.perm()[id];
+    original[qtree.perm()[i]] = std::move(list);
+  }
+  RangeSearchResult result = pack_lists(original, options.sort_neighbors);
+  result.stats = stats;
+  return result;
+}
+
+} // namespace portal

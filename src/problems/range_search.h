@@ -1,0 +1,48 @@
+// Portal -- range search (paper Table III row 2).
+//
+//   forall_q  union-arg_r  I(h_lo < ||x_q - x_r|| < h_hi)
+//
+// A pruning problem with a two-sided opportunity: node pairs entirely outside
+// (h_lo, h_hi) are discarded, node pairs entirely inside are *bulk-accepted*
+// without any point-to-point distance evaluation.
+#pragma once
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "tree/kdtree.h"
+#include "traversal/rules.h"
+#include "util/common.h"
+
+namespace portal {
+
+struct RangeSearchOptions {
+  real_t h_lo = 0;  // lower radius (exclusive); 0 keeps everything below h_hi
+  real_t h_hi = 1;  // upper radius (exclusive)
+  index_t leaf_size = kDefaultLeafSize;
+  bool parallel = true;
+  int task_depth = -1;
+  bool sort_neighbors = true; // ascending index per query (deterministic output)
+};
+
+/// CSR-shaped result: query i's neighbors are
+/// neighbors[offsets[i] .. offsets[i+1]) in original reference indexing.
+struct RangeSearchResult {
+  std::vector<index_t> offsets;   // size nq + 1
+  std::vector<index_t> neighbors; // flat lists
+  TraversalStats stats;
+
+  index_t count(index_t query) const {
+    return offsets[query + 1] - offsets[query];
+  }
+};
+
+RangeSearchResult range_search_bruteforce(const Dataset& query,
+                                          const Dataset& reference, real_t h_lo,
+                                          real_t h_hi);
+
+RangeSearchResult range_search_expert(const Dataset& query,
+                                      const Dataset& reference,
+                                      const RangeSearchOptions& options);
+
+} // namespace portal

@@ -1,0 +1,146 @@
+#include "problems/threepoint.h"
+
+#include <stdexcept>
+#include <vector>
+
+#include "problems/common.h"
+#include "traversal/multitree.h"
+
+namespace portal {
+namespace {
+
+/// m = 3 rule set for multi_traverse. Node ranges in one tree are either
+/// equal or disjoint, so ordering nodes by their begin offset and counting
+/// only ordered-range tuples counts every unordered triple exactly once.
+class ThreePointRules {
+ public:
+  ThreePointRules(const KdTree& tree, real_t h)
+      : tree_(tree), h_sq_(h * h) {
+    qpt_.resize(tree.data().dim());
+    mid_.resize(tree.data().dim());
+    dists_.resize(tree.stats().max_leaf_count);
+    dists2_.resize(tree.stats().max_leaf_count);
+  }
+
+  std::uint64_t triples() const { return triples_; }
+
+  bool prune_or_approx(const std::vector<index_t>& nodes) {
+    const KdNode& a = tree_.node(nodes[0]);
+    const KdNode& b = tree_.node(nodes[1]);
+    const KdNode& c = tree_.node(nodes[2]);
+
+    // Canonical ordering: ranges must be non-decreasing by begin; mirrored
+    // orderings are handled by their canonical representative.
+    if (b.begin < a.begin || c.begin < b.begin) return true;
+
+    // Distance prune: any pair of boxes farther than h kills the triple.
+    if (a.box.min_sq_dist(b.box) >= h_sq_ ||
+        a.box.min_sq_dist(c.box) >= h_sq_ ||
+        b.box.min_sq_dist(c.box) >= h_sq_)
+      return true;
+
+    // Bulk accept: every pair of boxes entirely within h.
+    if (a.box.max_sq_dist(b.box) < h_sq_ && a.box.max_sq_dist(c.box) < h_sq_ &&
+        b.box.max_sq_dist(c.box) < h_sq_) {
+      triples_ += combination_count(a, b, c);
+      return true;
+    }
+    return false;
+  }
+
+  void base_case(const std::vector<index_t>& nodes) {
+    const KdNode& a = tree_.node(nodes[0]);
+    const KdNode& b = tree_.node(nodes[1]);
+    const KdNode& c = tree_.node(nodes[2]);
+    // Enumerate i < j < k within the (equal-or-disjoint) leaf ranges.
+    for (index_t i = a.begin; i < a.end; ++i) {
+      tree_.data().copy_point(i, qpt_.data());
+      const index_t j_begin = std::max(b.begin, i + 1);
+      if (j_begin >= b.end) continue;
+      sq_dists_to_range(tree_.data(), j_begin, b.end, qpt_.data(), dists_.data());
+      for (index_t j = j_begin; j < b.end; ++j) {
+        if (dists_[j - j_begin] >= h_sq_) continue;
+        tree_.data().copy_point(j, mid_.data());
+        const index_t k_begin = std::max(c.begin, j + 1);
+        if (k_begin >= c.end) continue;
+        sq_dists_to_range(tree_.data(), k_begin, c.end, mid_.data(),
+                          dists2_.data());
+        for (index_t k = k_begin; k < c.end; ++k) {
+          if (dists2_[k - k_begin] >= h_sq_) continue;
+          // i-k distance check closes the triangle.
+          real_t sq = 0;
+          for (index_t d = 0; d < tree_.data().dim(); ++d) {
+            const real_t diff = qpt_[d] - tree_.data().coord(k, d);
+            sq += diff * diff;
+          }
+          if (sq < h_sq_) ++triples_;
+        }
+      }
+    }
+  }
+
+ private:
+  /// Ordered-tuple count for a fully-accepted node triple: the number of
+  /// (i < j < k) selections across the three (equal-or-disjoint) ranges.
+  std::uint64_t combination_count(const KdNode& a, const KdNode& b,
+                                  const KdNode& c) const {
+    const auto n = [](const KdNode& x) {
+      return static_cast<std::uint64_t>(x.count());
+    };
+    const bool ab = a.begin == b.begin;
+    const bool bc = b.begin == c.begin;
+    if (ab && bc) return n(a) * (n(a) - 1) * (n(a) - 2) / 6; // C(n, 3)
+    if (ab) return n(a) * (n(a) - 1) / 2 * n(c);             // C(n,2) * m
+    if (bc) return n(a) * (n(b) * (n(b) - 1) / 2);           // m * C(n,2)
+    return n(a) * n(b) * n(c); // three disjoint ranges in order
+  }
+
+  const KdTree& tree_;
+  real_t h_sq_;
+  std::uint64_t triples_ = 0;
+  std::vector<real_t> qpt_, mid_, dists_, dists2_;
+};
+
+} // namespace
+
+ThreePointResult threepoint_bruteforce(const Dataset& data, real_t h) {
+  if (h <= 0) throw std::invalid_argument("threepoint: h must be positive");
+  const real_t h_sq = h * h;
+  const index_t n = data.size();
+  std::uint64_t triples = 0;
+
+  std::vector<real_t> pi(data.dim()), pj(data.dim()), pk(data.dim());
+  const auto sq = [&](const std::vector<real_t>& x, const std::vector<real_t>& y) {
+    real_t total = 0;
+    for (index_t d = 0; d < data.dim(); ++d)
+      total += (x[d] - y[d]) * (x[d] - y[d]);
+    return total;
+  };
+  for (index_t i = 0; i < n; ++i) {
+    data.copy_point(i, pi.data());
+    for (index_t j = i + 1; j < n; ++j) {
+      data.copy_point(j, pj.data());
+      if (sq(pi, pj) >= h_sq) continue;
+      for (index_t k = j + 1; k < n; ++k) {
+        data.copy_point(k, pk.data());
+        if (sq(pj, pk) < h_sq && sq(pi, pk) < h_sq) ++triples;
+      }
+    }
+  }
+  ThreePointResult result;
+  result.triples = triples;
+  return result;
+}
+
+ThreePointResult threepoint_expert(const Dataset& data,
+                                   const ThreePointOptions& options) {
+  if (options.h <= 0) throw std::invalid_argument("threepoint: h must be positive");
+  const KdTree tree(data, options.leaf_size);
+  ThreePointRules rules(tree, options.h);
+  ThreePointResult result;
+  result.stats = multi_traverse<KdTree>({&tree, &tree, &tree}, rules);
+  result.triples = rules.triples();
+  return result;
+}
+
+} // namespace portal

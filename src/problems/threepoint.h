@@ -1,0 +1,39 @@
+// Portal -- 3-point correlation: the m = 3 instantiation of the generalized
+// N-body form (paper Sec. II, eq. 2) and the working demonstration that
+// Algorithm 1's PowerSet-Tuples recursion extends beyond the dual-tree case.
+//
+//   sum_{i<j<k} I(||x_i - x_j|| < h) I(||x_j - x_k|| < h) I(||x_i - x_k|| < h)
+//
+// counts unordered point triples that are pairwise closer than h -- the
+// 3-point correlation function estimator of cosmology. Pruning: a node
+// triple is discarded as soon as any pair of boxes is farther than h, and
+// bulk-accepted (product of counts) when every pair of boxes is entirely
+// within h.
+#pragma once
+
+#include <cstdint>
+
+#include "data/dataset.h"
+#include "tree/kdtree.h"
+#include "traversal/rules.h"
+#include "util/common.h"
+
+namespace portal {
+
+struct ThreePointOptions {
+  real_t h = 1;
+  index_t leaf_size = kDefaultLeafSize;
+};
+
+struct ThreePointResult {
+  std::uint64_t triples = 0; // unordered triples (i < j < k), all pairs < h
+  TraversalStats stats;
+};
+
+ThreePointResult threepoint_bruteforce(const Dataset& data, real_t h);
+
+/// Triple-tree (m = 3) traversal via multi_traverse.
+ThreePointResult threepoint_expert(const Dataset& data,
+                                   const ThreePointOptions& options);
+
+} // namespace portal

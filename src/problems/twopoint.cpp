@@ -1,0 +1,140 @@
+#include "problems/twopoint.h"
+
+#include <atomic>
+#include <stdexcept>
+
+#include <omp.h>
+
+#include "problems/common.h"
+#include "traversal/multitree.h"
+#include "util/threading.h"
+
+namespace portal {
+namespace {
+
+class TwoPointRules {
+ public:
+  TwoPointRules(const KdTree& tree, real_t h)
+      : tree_(tree), h_sq_(h * h), workspaces_(num_threads()) {
+    const index_t max_leaf = tree.stats().max_leaf_count;
+    for (Workspace& ws : workspaces_) {
+      ws.qpt.resize(tree.data().dim());
+      ws.dists.resize(max_leaf);
+    }
+  }
+
+  std::uint64_t pairs() const { return pairs_.load(std::memory_order_relaxed); }
+
+  bool prune_or_approx(index_t q, index_t r) {
+    const KdNode& qnode = tree_.node(q);
+    const KdNode& rnode = tree_.node(r);
+
+    // Symmetry: node ranges in one tree are equal or disjoint; pairs with the
+    // reference range strictly before the query range are the mirror image of
+    // pairs we do count -- skip them so every unordered pair counts once.
+    if (rnode.end <= qnode.begin && r != q) return true;
+
+    const real_t dmin_sq = qnode.box.min_sq_dist(rnode.box);
+    if (dmin_sq >= h_sq_) return true; // bulk reject
+
+    const real_t dmax_sq = qnode.box.max_sq_dist(rnode.box);
+    if (dmax_sq < h_sq_) { // bulk accept, no distance evaluations
+      std::uint64_t add;
+      if (q == r) {
+        const std::uint64_t c = static_cast<std::uint64_t>(qnode.count());
+        add = c * (c - 1) / 2;
+      } else {
+        add = static_cast<std::uint64_t>(qnode.count()) *
+              static_cast<std::uint64_t>(rnode.count());
+      }
+      pairs_.fetch_add(add, std::memory_order_relaxed);
+      return true;
+    }
+    return false;
+  }
+
+  void base_case(index_t q, index_t r) {
+    const KdNode& qnode = tree_.node(q);
+    const KdNode& rnode = tree_.node(r);
+    Workspace& ws = workspaces_[omp_get_thread_num()];
+    std::uint64_t local = 0;
+
+    if (q == r) {
+      // Within one leaf: count i < j once.
+      for (index_t i = qnode.begin; i < qnode.end; ++i) {
+        tree_.data().copy_point(i, ws.qpt.data());
+        const index_t count = qnode.end - (i + 1);
+        if (count <= 0) continue;
+        sq_dists_to_range(tree_.data(), i + 1, qnode.end, ws.qpt.data(),
+                          ws.dists.data());
+        for (index_t j = 0; j < count; ++j)
+          if (ws.dists[j] < h_sq_) ++local;
+      }
+    } else {
+      // Disjoint leaves with q before r: every cross pair counts once.
+      const index_t rcount = rnode.count();
+      for (index_t i = qnode.begin; i < qnode.end; ++i) {
+        tree_.data().copy_point(i, ws.qpt.data());
+        sq_dists_to_range(tree_.data(), rnode.begin, rnode.end, ws.qpt.data(),
+                          ws.dists.data());
+        for (index_t j = 0; j < rcount; ++j)
+          if (ws.dists[j] < h_sq_) ++local;
+      }
+    }
+    if (local > 0) pairs_.fetch_add(local, std::memory_order_relaxed);
+  }
+
+ private:
+  struct Workspace {
+    std::vector<real_t> qpt;
+    std::vector<real_t> dists;
+  };
+
+  const KdTree& tree_;
+  real_t h_sq_;
+  std::atomic<std::uint64_t> pairs_{0};
+  std::vector<Workspace> workspaces_;
+};
+
+} // namespace
+
+TwoPointResult twopoint_bruteforce(const Dataset& data, real_t h) {
+  if (h <= 0) throw std::invalid_argument("twopoint: h must be positive");
+  const real_t h_sq = h * h;
+  const index_t n = data.size();
+  std::uint64_t pairs = 0;
+
+#pragma omp parallel reduction(+ : pairs)
+  {
+    std::vector<real_t> qpt(data.dim());
+    std::vector<real_t> dists(n);
+#pragma omp for schedule(dynamic, 64)
+    for (index_t i = 0; i < n; ++i) {
+      if (i + 1 >= n) continue;
+      data.copy_point(i, qpt.data());
+      sq_dists_to_range(data, i + 1, n, qpt.data(), dists.data());
+      for (index_t j = 0; j < n - i - 1; ++j)
+        if (dists[j] < h_sq) ++pairs;
+    }
+  }
+
+  TwoPointResult result;
+  result.pairs = pairs;
+  return result;
+}
+
+TwoPointResult twopoint_expert(const Dataset& data, const TwoPointOptions& options) {
+  if (options.h <= 0) throw std::invalid_argument("twopoint: h must be positive");
+  const KdTree tree(data, options.leaf_size);
+  TwoPointRules rules(tree, options.h);
+  TraversalOptions topt;
+  topt.parallel = options.parallel;
+  topt.task_depth = options.task_depth;
+
+  TwoPointResult result;
+  result.stats = dual_traverse(tree, tree, rules, topt);
+  result.pairs = rules.pairs();
+  return result;
+}
+
+} // namespace portal

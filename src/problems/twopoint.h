@@ -1,0 +1,38 @@
+// Portal -- 2-point correlation (paper Table III row 8, validated in Sec. V-C
+// against scikit-learn with 66-165x reported speedups).
+//
+//   sum_i sum_j I(||x_i - x_j|| < h),  counted here as *unordered distinct*
+//   pairs (i < j), the convention correlation-function estimators use.
+//
+// A pruning problem with bulk accept/reject: node pairs entirely farther than
+// h contribute 0, node pairs entirely closer contribute |Ni| * |Nj| without
+// touching points. Self-pairs of the single tree are counted once via an
+// index-ordering symmetry rule.
+#pragma once
+
+#include <cstdint>
+
+#include "data/dataset.h"
+#include "tree/kdtree.h"
+#include "traversal/rules.h"
+#include "util/common.h"
+
+namespace portal {
+
+struct TwoPointOptions {
+  real_t h = 1;
+  index_t leaf_size = kDefaultLeafSize;
+  bool parallel = true;
+  int task_depth = -1;
+};
+
+struct TwoPointResult {
+  std::uint64_t pairs = 0; // # unordered pairs (i < j) with d(i, j) < h
+  TraversalStats stats;
+};
+
+TwoPointResult twopoint_bruteforce(const Dataset& data, real_t h);
+
+TwoPointResult twopoint_expert(const Dataset& data, const TwoPointOptions& options);
+
+} // namespace portal

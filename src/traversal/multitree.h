@@ -1,0 +1,334 @@
+// Portal -- multi-tree traversal (Algorithm 1 of the paper).
+//
+// Two entry points:
+//   * dual_traverse(): the m = 2 specialization every evaluated problem uses.
+//     Serial or OpenMP task-parallel (Sec. IV-F: tasks are spawned down the
+//     recursion until threads saturate, then execution switches to data
+//     parallelism inside the base cases). Parallel recursion only forks on
+//     *query-side* splits so concurrent rule invocations always see disjoint
+//     query ranges -- rule sets need no locking for per-query state.
+//   * multi_traverse(): the general m-way PowerSet-Tuples recursion, faithful
+//     to Algorithm 1 line 9-11, used for m != 2 problems and as the oracle
+//     the dual specialization is tested against.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <utility>
+#include <vector>
+
+#include <omp.h>
+
+#include "tree/balltree.h"
+#include "tree/kdtree.h"
+#include "tree/octree.h"
+#include "traversal/rules.h"
+#include "util/common.h"
+#include "util/threading.h"
+
+namespace portal {
+
+/// Child enumeration adapters so one traversal serves kd-trees and octrees.
+inline int tree_children(const KdTree& tree, index_t node, index_t out[8]) {
+  const KdNode& n = tree.node(node);
+  if (n.is_leaf()) return 0;
+  out[0] = n.left;
+  out[1] = n.right;
+  return 2;
+}
+
+inline int tree_children(const Octree& tree, index_t node, index_t out[8]) {
+  const OctreeNode& n = tree.node(node);
+  if (n.is_leaf()) return 0;
+  int count = 0;
+  for (index_t child : n.children)
+    if (child >= 0) out[count++] = child;
+  return count;
+}
+
+inline int tree_children(const BallTree& tree, index_t node, index_t out[8]) {
+  const BallNode& n = tree.node(node);
+  if (n.is_leaf()) return 0;
+  out[0] = n.left;
+  out[1] = n.right;
+  return 2;
+}
+
+inline bool tree_node_is_leaf(const KdTree& tree, index_t node) {
+  return tree.node(node).is_leaf();
+}
+inline bool tree_node_is_leaf(const BallTree& tree, index_t node) {
+  return tree.node(node).is_leaf();
+}
+inline bool tree_node_is_leaf(const Octree& tree, index_t node) {
+  return tree.node(node).is_leaf();
+}
+
+/// Node width used by SplitPolicy::Larger.
+inline real_t tree_node_extent(const KdTree& tree, index_t node) {
+  return tree.node(node).box.widest_extent();
+}
+inline real_t tree_node_extent(const Octree& tree, index_t node) {
+  return tree.node(node).half_width * 2;
+}
+inline real_t tree_node_extent(const BallTree& tree, index_t node) {
+  return tree.node(node).box.widest_extent();
+}
+
+/// How a visited pair of non-leaf nodes is split (Algorithm 1 line 6-9).
+enum class SplitPolicy {
+  /// Split every non-leaf node and recurse over the cartesian product --
+  /// Algorithm 1 verbatim. Right choice for binary kd-trees (4 subpairs).
+  Both,
+  /// Split only the wider node. Standard for octrees, where splitting both
+  /// sides would fan out into up to 64 subpairs per visit.
+  Larger,
+};
+
+struct TraversalOptions {
+  bool parallel = true;
+  /// Recursion depth below which OpenMP tasks are spawned; -1 derives it from
+  /// the current thread count via task_spawn_depth().
+  int task_depth = -1;
+  SplitPolicy split = SplitPolicy::Both;
+};
+
+namespace detail {
+
+template <typename TreeQ, typename TreeR, typename Rules>
+class DualTraverser {
+ public:
+  DualTraverser(const TreeQ& qtree, const TreeR& rtree, Rules& rules,
+                int task_depth, SplitPolicy split)
+      : qtree_(qtree),
+        rtree_(rtree),
+        rules_(rules),
+        task_depth_(task_depth),
+        split_(split) {}
+
+  void run_serial(index_t q, index_t r) { recurse<false>(q, r, 0); }
+  void run_parallel(index_t q, index_t r) {
+#pragma omp parallel
+#pragma omp single nowait
+    recurse<true>(q, r, 0);
+  }
+
+  TraversalStats stats() const {
+    return {pairs_.load(std::memory_order_relaxed),
+            prunes_.load(std::memory_order_relaxed),
+            bases_.load(std::memory_order_relaxed)};
+  }
+
+ private:
+  /// Order reference children nearest-first when the rule set exposes a
+  /// score; tightens reduction bounds before farther nodes are examined.
+  void order_by_score(index_t q, index_t* children, int count) {
+    if constexpr (ScoredDualRuleSet<Rules>) {
+      std::array<real_t, 8> score;
+      for (int i = 0; i < count; ++i) score[i] = rules_.score(q, children[i]);
+      // insertion sort; count <= 8
+      for (int i = 1; i < count; ++i)
+        for (int j = i; j > 0 && score[j] < score[j - 1]; --j) {
+          std::swap(score[j], score[j - 1]);
+          std::swap(children[j], children[j - 1]);
+        }
+    } else {
+      (void)q;
+      (void)children;
+      (void)count;
+    }
+  }
+
+  template <bool Par>
+  void recurse(index_t q, index_t r, int depth) {
+    pairs_.fetch_add(1, std::memory_order_relaxed);
+    if (rules_.prune_or_approx(q, r)) {
+      prunes_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+
+    const bool q_leaf = tree_node_is_leaf(qtree_, q);
+    const bool r_leaf = tree_node_is_leaf(rtree_, r);
+
+    if (q_leaf && r_leaf) {
+      bases_.fetch_add(1, std::memory_order_relaxed);
+      rules_.base_case(q, r);
+      return;
+    }
+
+    index_t q_children[8];
+    index_t r_children[8];
+    int qn = q_leaf ? 0 : tree_children(qtree_, q, q_children);
+    int rn = r_leaf ? 0 : tree_children(rtree_, r, r_children);
+
+    // Larger-side policy: when both could split, keep the narrower node
+    // whole and only open the wider one (octree fan-out control).
+    if (split_ == SplitPolicy::Larger && qn > 0 && rn > 0) {
+      if (tree_node_extent(qtree_, q) >= tree_node_extent(rtree_, r)) {
+        rn = 0;
+      } else {
+        qn = 0;
+      }
+    }
+
+    if (qn > 0 && rn > 0) {
+      // Fork on query children (disjoint query ranges); each task walks all
+      // reference children sequentially, nearest-first.
+      for (int qi = 0; qi < qn; ++qi) {
+        const index_t qc = q_children[qi];
+        if constexpr (Par) {
+          if (depth < task_depth_) {
+#pragma omp task default(shared) firstprivate(qc, depth)
+            {
+              index_t ordered[8];
+              for (int i = 0; i < rn; ++i) ordered[i] = r_children[i];
+              order_by_score(qc, ordered, rn);
+              for (int ri = 0; ri < rn; ++ri)
+                recurse<Par>(qc, ordered[ri], depth + 1);
+            }
+            continue;
+          }
+        }
+        index_t ordered[8];
+        for (int i = 0; i < rn; ++i) ordered[i] = r_children[i];
+        order_by_score(qc, ordered, rn);
+        for (int ri = 0; ri < rn; ++ri) recurse<Par>(qc, ordered[ri], depth + 1);
+      }
+      if constexpr (Par) {
+        if (depth < task_depth_) {
+#pragma omp taskwait
+        }
+      }
+    } else if (qn > 0) {
+      // Reference is a leaf: fork on query children.
+      for (int qi = 0; qi < qn; ++qi) {
+        const index_t qc = q_children[qi];
+        if constexpr (Par) {
+          if (depth < task_depth_) {
+#pragma omp task default(shared) firstprivate(qc, depth)
+            recurse<Par>(qc, r, depth + 1);
+            continue;
+          }
+        }
+        recurse<Par>(qc, r, depth + 1);
+      }
+      if constexpr (Par) {
+        if (depth < task_depth_) {
+#pragma omp taskwait
+        }
+      }
+    } else {
+      // Query is a leaf: both reference children share its output range, so
+      // they run sequentially in this task, nearest-first.
+      order_by_score(q, r_children, rn);
+      for (int ri = 0; ri < rn; ++ri) recurse<Par>(q, r_children[ri], depth + 1);
+    }
+  }
+
+  const TreeQ& qtree_;
+  const TreeR& rtree_;
+  Rules& rules_;
+  int task_depth_;
+  SplitPolicy split_;
+  std::atomic<std::uint64_t> pairs_{0};
+  std::atomic<std::uint64_t> prunes_{0};
+  std::atomic<std::uint64_t> bases_{0};
+};
+
+} // namespace detail
+
+/// Run Algorithm 1 for m = 2 over (qtree, rtree) with the given rule set.
+template <typename TreeQ, typename TreeR, typename Rules>
+  requires DualRuleSet<Rules>
+TraversalStats dual_traverse(const TreeQ& qtree, const TreeR& rtree, Rules& rules,
+                             const TraversalOptions& options = {}) {
+  detail::DualTraverser<TreeQ, TreeR, Rules> traverser(
+      qtree, rtree, rules,
+      options.task_depth >= 0 ? options.task_depth
+                              : task_spawn_depth(num_threads()),
+      options.split);
+  if (options.parallel && num_threads() > 1) {
+    traverser.run_parallel(qtree.root_index(), rtree.root_index());
+  } else {
+    traverser.run_serial(qtree.root_index(), rtree.root_index());
+  }
+  return traverser.stats();
+}
+
+/// General m-way rule set: same contract as DualRuleSet but over node tuples.
+template <typename R>
+concept MultiRuleSet = requires(R r, const std::vector<index_t>& nodes) {
+  { r.prune_or_approx(nodes) } -> std::convertible_to<bool>;
+  { r.base_case(nodes) };
+};
+
+/// Algorithm 1 verbatim for m trees (lines 6-11: split every non-leaf node
+/// and recurse over the PowerSet-Tuples cartesian product). Serial; the
+/// evaluated problems are all m = 2 and use dual_traverse instead.
+template <typename Tree, typename Rules>
+  requires MultiRuleSet<Rules>
+TraversalStats multi_traverse(const std::vector<const Tree*>& trees, Rules& rules) {
+  TraversalStats stats;
+  std::vector<index_t> nodes(trees.size());
+  for (std::size_t i = 0; i < trees.size(); ++i) nodes[i] = trees[i]->root_index();
+
+  struct Frame {
+    std::vector<index_t> nodes;
+  };
+  std::vector<Frame> stack;
+  stack.push_back({nodes});
+
+  std::vector<std::vector<index_t>> splits(trees.size());
+  while (!stack.empty()) {
+    Frame frame = std::move(stack.back());
+    stack.pop_back();
+    ++stats.pairs_visited;
+
+    if (rules.prune_or_approx(frame.nodes)) {
+      ++stats.prunes;
+      continue;
+    }
+
+    bool all_leaves = true;
+    for (std::size_t i = 0; i < trees.size(); ++i)
+      if (!tree_node_is_leaf(*trees[i], frame.nodes[i])) all_leaves = false;
+
+    if (all_leaves) {
+      ++stats.base_cases;
+      rules.base_case(frame.nodes);
+      continue;
+    }
+
+    // N_i^split = {N_i} when leaf else {left, right, ...} (Algorithm 1 line 7-8).
+    for (std::size_t i = 0; i < trees.size(); ++i) {
+      splits[i].clear();
+      index_t children[8];
+      const int count = tree_children(*trees[i], frame.nodes[i], children);
+      if (count == 0) {
+        splits[i].push_back(frame.nodes[i]);
+      } else {
+        splits[i].assign(children, children + count);
+      }
+    }
+
+    // Cartesian product (PowerSet-Tuples, line 9).
+    std::vector<std::size_t> cursor(trees.size(), 0);
+    while (true) {
+      Frame next;
+      next.nodes.resize(trees.size());
+      for (std::size_t i = 0; i < trees.size(); ++i)
+        next.nodes[i] = splits[i][cursor[i]];
+      stack.push_back(std::move(next));
+
+      std::size_t i = 0;
+      while (i < trees.size() && ++cursor[i] == splits[i].size()) {
+        cursor[i] = 0;
+        ++i;
+      }
+      if (i == trees.size()) break;
+    }
+  }
+  return stats;
+}
+
+} // namespace portal

@@ -1,0 +1,46 @@
+// Portal -- the rule-set concept consumed by the multi-tree traversal.
+//
+// Algorithm 1 of the paper is parameterized by a rule set R providing
+// Prune/Approximate, ComputeApprox, and BaseCase. In this implementation the
+// first two are fused into `prune_or_approx` (returning true means the node
+// tuple was fully handled -- either pruned or replaced by its approximation),
+// matching how lines 1-2 of Algorithm 1 consume them.
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+
+#include "util/common.h"
+
+namespace portal {
+
+/// Minimal rule set: enough to drive the traversal.
+template <typename R>
+concept DualRuleSet = requires(R r, index_t q, index_t ref) {
+  { r.prune_or_approx(q, ref) } -> std::convertible_to<bool>;
+  { r.base_case(q, ref) };
+};
+
+/// Optional extension: rules may order sibling recursions by a score
+/// (lower visits first). Visiting near reference nodes first tightens bounds
+/// early, which is how the expert implementations maximize pruning.
+template <typename R>
+concept ScoredDualRuleSet = DualRuleSet<R> && requires(R r, index_t q, index_t ref) {
+  { r.score(q, ref) } -> std::convertible_to<real_t>;
+};
+
+/// Counters the traversal fills; cheap relaxed atomics in parallel runs.
+struct TraversalStats {
+  std::uint64_t pairs_visited = 0;  // node tuples examined
+  std::uint64_t prunes = 0;         // tuples handled by Prune/Approximate
+  std::uint64_t base_cases = 0;     // leaf tuples evaluated exactly
+
+  TraversalStats& operator+=(const TraversalStats& other) {
+    pairs_visited += other.pairs_visited;
+    prunes += other.prunes;
+    base_cases += other.base_cases;
+    return *this;
+  }
+};
+
+} // namespace portal

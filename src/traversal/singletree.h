@@ -1,0 +1,79 @@
+// Portal -- single-tree traversal: one query entity descends one tree.
+//
+// The multi-tree traversal (Algorithm 1) is the paper's contribution; the
+// single-tree descent is the classic alternative that library baselines use
+// (scikit-learn's per-point radius queries, FDPS's per-particle Barnes-Hut
+// walk). Having it as a first-class module keeps the Table V comparators
+// honest and reviewable, and gives downstream users the per-query flavor when
+// queries arrive online rather than in batch.
+#pragma once
+
+#include <concepts>
+
+#include "traversal/multitree.h"
+#include "traversal/rules.h"
+#include "util/common.h"
+
+namespace portal {
+
+/// Rule set for one descent: `prune_or_take(node)` returns true when the
+/// subtree is fully handled (pruned as irrelevant OR consumed in bulk, e.g. a
+/// Barnes-Hut cell acceptance); `base_case(node)` evaluates a leaf exactly.
+template <typename R>
+concept SingleRuleSet = requires(R r, index_t node) {
+  { r.prune_or_take(node) } -> std::convertible_to<bool>;
+  { r.base_case(node) };
+};
+
+/// Optional nearest-first child ordering, exactly as in the dual traversal.
+template <typename R>
+concept ScoredSingleRuleSet = SingleRuleSet<R> && requires(R r, index_t node) {
+  { r.score(node) } -> std::convertible_to<real_t>;
+};
+
+/// Depth-first descent from the root. Serial: callers parallelize over
+/// queries (the natural axis for single-tree work).
+template <typename Tree, typename Rules>
+  requires SingleRuleSet<Rules>
+TraversalStats single_traverse(const Tree& tree, Rules& rules) {
+  TraversalStats stats;
+  // Explicit stack: single-tree descents can be deep and run per query, so
+  // recursion overhead and stack depth both matter.
+  // Worst case: (tree height) x (fan-out - 1) pending siblings; the octree
+  // depth cap of 60 with 8-way nodes bounds this at ~512.
+  index_t stack[512];
+  int top = 0;
+  stack[top++] = tree.root_index();
+
+  index_t children[8];
+  while (top > 0) {
+    const index_t node = stack[--top];
+    ++stats.pairs_visited;
+    if (rules.prune_or_take(node)) {
+      ++stats.prunes;
+      continue;
+    }
+    if (tree_node_is_leaf(tree, node)) {
+      ++stats.base_cases;
+      rules.base_case(node);
+      continue;
+    }
+    const int count = tree_children(tree, node, children);
+    if constexpr (ScoredSingleRuleSet<Rules>) {
+      // Nearest-first: push farthest first so the nearest pops first.
+      real_t score[8];
+      for (int i = 0; i < count; ++i) score[i] = rules.score(children[i]);
+      for (int i = 1; i < count; ++i)
+        for (int j = i; j > 0 && score[j] < score[j - 1]; --j) {
+          std::swap(score[j], score[j - 1]);
+          std::swap(children[j], children[j - 1]);
+        }
+      for (int i = count - 1; i >= 0; --i) stack[top++] = children[i];
+    } else {
+      for (int i = 0; i < count; ++i) stack[top++] = children[i];
+    }
+  }
+  return stats;
+}
+
+} // namespace portal

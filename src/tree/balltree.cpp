@@ -1,0 +1,185 @@
+#include "tree/balltree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "util/timer.h"
+
+namespace portal {
+
+real_t BallBound::center_sq_dist(const BallBound& other) const {
+  real_t total = 0;
+  for (index_t d = 0; d < dim(); ++d) {
+    const real_t diff = center_[d] - other.center_[d];
+    total += diff * diff;
+  }
+  return total;
+}
+
+real_t BallBound::min_sq_dist(const BallBound& other) const {
+  const real_t centers = std::sqrt(center_sq_dist(other));
+  const real_t gap = std::max(real_t(0), centers - radius_ - other.radius_);
+  return gap * gap;
+}
+
+real_t BallBound::max_sq_dist(const BallBound& other) const {
+  const real_t far = std::sqrt(center_sq_dist(other)) + radius_ + other.radius_;
+  return far * far;
+}
+
+real_t BallBound::min_sq_dist_point(const real_t* p, index_t stride) const {
+  real_t sq = 0;
+  for (index_t d = 0; d < dim(); ++d) {
+    const real_t diff = p[d * stride] - center_[d];
+    sq += diff * diff;
+  }
+  const real_t gap = std::max(real_t(0), std::sqrt(sq) - radius_);
+  return gap * gap;
+}
+
+real_t BallBound::max_sq_dist_point(const real_t* p, index_t stride) const {
+  real_t sq = 0;
+  for (index_t d = 0; d < dim(); ++d) {
+    const real_t diff = p[d * stride] - center_[d];
+    sq += diff * diff;
+  }
+  const real_t far = std::sqrt(sq) + radius_;
+  return far * far;
+}
+
+real_t BallBound::min_dist(MetricKind kind, const BallBound& other,
+                           const MahalanobisContext* ctx) const {
+  switch (kind) {
+    case MetricKind::SqEuclidean:
+      return min_sq_dist(other);
+    case MetricKind::Euclidean:
+      return std::sqrt(min_sq_dist(other));
+    case MetricKind::Manhattan:
+    case MetricKind::Chebyshev:
+      // Norm equivalence: d_L1 >= d_L2 and d_Linf >= d_L2 / dim; both give a
+      // conservative (prune-safe) lower bound from the exact L2 ball bound.
+      if (kind == MetricKind::Manhattan) return std::sqrt(min_sq_dist(other));
+      return std::sqrt(min_sq_dist(other) /
+                       static_cast<real_t>(std::max<index_t>(dim(), 1)));
+    case MetricKind::Mahalanobis:
+      if (ctx == nullptr)
+        throw std::invalid_argument("BallBound::min_dist: Mahalanobis needs ctx");
+      return ctx->eig_min() * min_sq_dist(other);
+  }
+  throw std::logic_error("BallBound::min_dist: unhandled metric");
+}
+
+real_t BallBound::max_dist(MetricKind kind, const BallBound& other,
+                           const MahalanobisContext* ctx) const {
+  switch (kind) {
+    case MetricKind::SqEuclidean:
+      return max_sq_dist(other);
+    case MetricKind::Euclidean:
+      return std::sqrt(max_sq_dist(other));
+    case MetricKind::Manhattan:
+      // d_L1 <= sqrt(dim) * d_L2: conservative upper bound.
+      return std::sqrt(max_sq_dist(other) * static_cast<real_t>(dim()));
+    case MetricKind::Chebyshev:
+      // d_Linf <= d_L2.
+      return std::sqrt(max_sq_dist(other));
+    case MetricKind::Mahalanobis:
+      if (ctx == nullptr)
+        throw std::invalid_argument("BallBound::max_dist: Mahalanobis needs ctx");
+      return ctx->eig_max() * max_sq_dist(other);
+  }
+  throw std::logic_error("BallBound::max_dist: unhandled metric");
+}
+
+BallTree::BallTree(const Dataset& data, index_t leaf_size) : leaf_size_(leaf_size) {
+  if (leaf_size <= 0) throw std::invalid_argument("BallTree: leaf_size must be > 0");
+  if (data.dim() <= 0) throw std::invalid_argument("BallTree: empty dimensionality");
+  Timer timer;
+
+  const index_t n = data.size();
+  std::vector<index_t> order(n);
+  for (index_t i = 0; i < n; ++i) order[i] = i;
+  nodes_.reserve(static_cast<std::size_t>(4 * (n / leaf_size + 2)));
+  if (n > 0) build_recursive(order, 0, n, 0, -1, data);
+
+  perm_ = std::move(order);
+  inv_perm_.resize(n);
+  for (index_t i = 0; i < n; ++i) inv_perm_[perm_[i]] = i;
+
+  data_ = Dataset(n, data.dim(), data.layout());
+  for (index_t i = 0; i < n; ++i)
+    for (index_t d = 0; d < data.dim(); ++d)
+      data_.coord(i, d) = data.coord(perm_[i], d);
+
+  stats_.num_nodes = static_cast<index_t>(nodes_.size());
+  for (const BallNode& node : nodes_) {
+    if (node.is_leaf()) {
+      ++stats_.num_leaves;
+      stats_.max_leaf_count = std::max(stats_.max_leaf_count, node.count());
+    }
+    stats_.height = std::max(stats_.height, node.depth);
+  }
+  stats_.build_seconds = timer.elapsed_s();
+}
+
+index_t BallTree::build_recursive(std::vector<index_t>& order, index_t begin,
+                                  index_t end, index_t depth, index_t parent,
+                                  const Dataset& input) {
+  const index_t node_index = static_cast<index_t>(nodes_.size());
+  nodes_.emplace_back();
+  const index_t dim = input.dim();
+
+  // Centroid + covering radius (the tight ball).
+  std::vector<real_t> center(dim, 0);
+  for (index_t i = begin; i < end; ++i)
+    for (index_t d = 0; d < dim; ++d) center[d] += input.coord(order[i], d);
+  for (index_t d = 0; d < dim; ++d)
+    center[d] /= static_cast<real_t>(end - begin);
+  real_t radius_sq = 0;
+  // Also track per-dimension spread for the split choice.
+  std::vector<real_t> lo(dim, std::numeric_limits<real_t>::max());
+  std::vector<real_t> hi(dim, std::numeric_limits<real_t>::lowest());
+  for (index_t i = begin; i < end; ++i) {
+    real_t sq = 0;
+    for (index_t d = 0; d < dim; ++d) {
+      const real_t x = input.coord(order[i], d);
+      sq += (x - center[d]) * (x - center[d]);
+      lo[d] = std::min(lo[d], x);
+      hi[d] = std::max(hi[d], x);
+    }
+    radius_sq = std::max(radius_sq, sq);
+  }
+
+  {
+    BallNode& node = nodes_.back();
+    node.begin = begin;
+    node.end = end;
+    node.parent = parent;
+    node.depth = depth;
+    node.box = BallBound(std::move(center), std::sqrt(radius_sq));
+  }
+
+  if (end - begin <= leaf_size_) return node_index;
+
+  index_t split_dim = 0;
+  real_t best_spread = hi[0] - lo[0];
+  for (index_t d = 1; d < dim; ++d)
+    if (hi[d] - lo[d] > best_spread) {
+      best_spread = hi[d] - lo[d];
+      split_dim = d;
+    }
+  const index_t mid = begin + (end - begin) / 2;
+  std::nth_element(order.begin() + begin, order.begin() + mid, order.begin() + end,
+                   [&](index_t a, index_t b) {
+                     return input.coord(a, split_dim) < input.coord(b, split_dim);
+                   });
+
+  const index_t left = build_recursive(order, begin, mid, depth + 1, node_index, input);
+  const index_t right = build_recursive(order, mid, end, depth + 1, node_index, input);
+  nodes_[node_index].left = left;
+  nodes_[node_index].right = right;
+  return node_index;
+}
+
+} // namespace portal

@@ -1,0 +1,112 @@
+// Portal -- ball tree: an alternative space-partitioning tree (paper Sec. II:
+// PASCAL "abstracts the tree type which gives us the freedom to plug and
+// play with different trees").
+//
+// Nodes are bounded by balls (centroid + covering radius) instead of
+// hyper-rectangles; balls stay tight in high dimensions where boxes become
+// vacuous. BallBound implements the same bound interface the rule sets use
+// on BBox, and BallTree the same structural interface as KdTree, so the
+// multi-tree traversal and the dual-tree problem kernels instantiate for
+// either tree unchanged.
+#pragma once
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "kernels/metrics.h"
+#include "tree/kdtree.h" // kDefaultLeafSize
+#include "util/common.h"
+
+namespace portal {
+
+/// Bounding ball with the BBox-compatible bound interface.
+class BallBound {
+ public:
+  BallBound() = default;
+  BallBound(std::vector<real_t> center, real_t radius)
+      : center_(std::move(center)), radius_(radius) {}
+
+  index_t dim() const { return static_cast<index_t>(center_.size()); }
+  real_t radius() const { return radius_; }
+  real_t center(index_t d) const { return center_[d]; }
+  void center_point(real_t* out) const {
+    for (index_t d = 0; d < dim(); ++d) out[d] = center_[d];
+  }
+  /// Ball diameter (the analog of BBox::widest_extent, used by the
+  /// larger-side split policy and approximation heuristics).
+  real_t widest_extent() const { return 2 * radius_; }
+
+  // -- L2 bounds (squared), exact for balls ----------------------------------
+  real_t min_sq_dist(const BallBound& other) const;
+  real_t max_sq_dist(const BallBound& other) const;
+  real_t min_sq_dist_point(const real_t* p, index_t stride = 1) const;
+  real_t max_sq_dist_point(const real_t* p, index_t stride = 1) const;
+
+  /// Metric-generic bounds in the metric's natural space. L2 family exact;
+  /// L1/Linf conservative through norm equivalence (prune-safe); Mahalanobis
+  /// through the extreme eigenvalues of Sigma^{-1}.
+  real_t min_dist(MetricKind kind, const BallBound& other,
+                  const MahalanobisContext* ctx = nullptr) const;
+  real_t max_dist(MetricKind kind, const BallBound& other,
+                  const MahalanobisContext* ctx = nullptr) const;
+
+ private:
+  real_t center_sq_dist(const BallBound& other) const;
+
+  std::vector<real_t> center_;
+  real_t radius_ = 0;
+};
+
+struct BallNode {
+  index_t begin = 0;
+  index_t end = 0;
+  index_t left = -1;
+  index_t right = -1;
+  index_t parent = -1;
+  index_t depth = 0;
+  BallBound box; // named `box` so rule sets template across node types
+
+  bool is_leaf() const { return left < 0; }
+  index_t count() const { return end - begin; }
+};
+
+struct BallTreeStats {
+  index_t num_nodes = 0;
+  index_t num_leaves = 0;
+  index_t height = 0;
+  index_t max_leaf_count = 0;
+  double build_seconds = 0;
+};
+
+/// Median-split ball tree: recursion splits at the median of the widest
+/// spread dimension (the same partitioning as the kd-tree, so comparisons
+/// isolate the *bound geometry*), but each node is covered by the tight ball
+/// around its centroid.
+class BallTree {
+ public:
+  explicit BallTree(const Dataset& data, index_t leaf_size = kDefaultLeafSize);
+
+  const Dataset& data() const { return data_; }
+  const std::vector<index_t>& perm() const { return perm_; }
+  const std::vector<index_t>& inverse_perm() const { return inv_perm_; }
+  index_t leaf_size() const { return leaf_size_; }
+
+  const BallNode& node(index_t i) const { return nodes_[i]; }
+  const BallNode& root() const { return nodes_[0]; }
+  index_t root_index() const { return 0; }
+  index_t num_nodes() const { return static_cast<index_t>(nodes_.size()); }
+  const BallTreeStats& stats() const { return stats_; }
+
+ private:
+  index_t build_recursive(std::vector<index_t>& order, index_t begin, index_t end,
+                          index_t depth, index_t parent, const Dataset& input);
+
+  Dataset data_;
+  std::vector<index_t> perm_;
+  std::vector<index_t> inv_perm_;
+  std::vector<BallNode> nodes_;
+  index_t leaf_size_ = kDefaultLeafSize;
+  BallTreeStats stats_;
+};
+
+} // namespace portal

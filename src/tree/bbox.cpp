@@ -1,0 +1,157 @@
+#include "tree/bbox.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace portal {
+namespace {
+
+/// Per-dimension gap between [alo, ahi] and [blo, bhi]; zero when overlapping.
+inline real_t interval_gap(real_t alo, real_t ahi, real_t blo, real_t bhi) {
+  if (alo > bhi) return alo - bhi;
+  if (blo > ahi) return blo - ahi;
+  return 0;
+}
+
+/// Per-dimension farthest separation between the two intervals.
+inline real_t interval_span(real_t alo, real_t ahi, real_t blo, real_t bhi) {
+  return std::max(ahi - blo, bhi - alo);
+}
+
+} // namespace
+
+index_t BBox::widest_dim() const {
+  index_t best = 0;
+  real_t best_extent = extent(0);
+  for (index_t d = 1; d < dim(); ++d) {
+    if (extent(d) > best_extent) {
+      best_extent = extent(d);
+      best = d;
+    }
+  }
+  return best;
+}
+
+real_t BBox::widest_extent() const {
+  real_t best = 0;
+  for (index_t d = 0; d < dim(); ++d) best = std::max(best, extent(d));
+  return best;
+}
+
+real_t BBox::sq_diagonal() const {
+  real_t total = 0;
+  for (index_t d = 0; d < dim(); ++d) total += extent(d) * extent(d);
+  return total;
+}
+
+void BBox::center_point(real_t* out) const {
+  for (index_t d = 0; d < dim(); ++d) out[d] = center(d);
+}
+
+bool BBox::contains(const real_t* p) const {
+  for (index_t d = 0; d < dim(); ++d)
+    if (p[d] < lo_[d] || p[d] > hi_[d]) return false;
+  return true;
+}
+
+real_t BBox::min_sq_dist(const BBox& other) const {
+  real_t total = 0;
+  for (index_t d = 0; d < dim(); ++d) {
+    const real_t gap = interval_gap(lo_[d], hi_[d], other.lo_[d], other.hi_[d]);
+    total += gap * gap;
+  }
+  return total;
+}
+
+real_t BBox::max_sq_dist(const BBox& other) const {
+  real_t total = 0;
+  for (index_t d = 0; d < dim(); ++d) {
+    const real_t span = interval_span(lo_[d], hi_[d], other.lo_[d], other.hi_[d]);
+    total += span * span;
+  }
+  return total;
+}
+
+real_t BBox::min_sq_dist_point(const real_t* p, index_t stride) const {
+  real_t total = 0;
+  for (index_t d = 0; d < dim(); ++d) {
+    const real_t x = p[d * stride];
+    real_t gap = 0;
+    if (x < lo_[d]) gap = lo_[d] - x;
+    else if (x > hi_[d]) gap = x - hi_[d];
+    total += gap * gap;
+  }
+  return total;
+}
+
+real_t BBox::max_sq_dist_point(const real_t* p, index_t stride) const {
+  real_t total = 0;
+  for (index_t d = 0; d < dim(); ++d) {
+    const real_t x = p[d * stride];
+    const real_t far = std::max(std::abs(x - lo_[d]), std::abs(x - hi_[d]));
+    total += far * far;
+  }
+  return total;
+}
+
+real_t BBox::min_dist_l1(const BBox& other) const {
+  real_t total = 0;
+  for (index_t d = 0; d < dim(); ++d)
+    total += interval_gap(lo_[d], hi_[d], other.lo_[d], other.hi_[d]);
+  return total;
+}
+
+real_t BBox::max_dist_l1(const BBox& other) const {
+  real_t total = 0;
+  for (index_t d = 0; d < dim(); ++d)
+    total += interval_span(lo_[d], hi_[d], other.lo_[d], other.hi_[d]);
+  return total;
+}
+
+real_t BBox::min_dist_linf(const BBox& other) const {
+  real_t best = 0;
+  for (index_t d = 0; d < dim(); ++d)
+    best = std::max(best, interval_gap(lo_[d], hi_[d], other.lo_[d], other.hi_[d]));
+  return best;
+}
+
+real_t BBox::max_dist_linf(const BBox& other) const {
+  real_t best = 0;
+  for (index_t d = 0; d < dim(); ++d)
+    best = std::max(best, interval_span(lo_[d], hi_[d], other.lo_[d], other.hi_[d]));
+  return best;
+}
+
+real_t BBox::min_dist(MetricKind kind, const BBox& other,
+                      const MahalanobisContext* ctx) const {
+  switch (kind) {
+    case MetricKind::SqEuclidean: return min_sq_dist(other);
+    case MetricKind::Euclidean: return std::sqrt(min_sq_dist(other));
+    case MetricKind::Manhattan: return min_dist_l1(other);
+    case MetricKind::Chebyshev: return min_dist_linf(other);
+    case MetricKind::Mahalanobis:
+      if (ctx == nullptr)
+        throw std::invalid_argument("BBox::min_dist: Mahalanobis needs context");
+      // maha^2(x, y) >= lambda_min(Sigma^{-1}) * ||x - y||^2.
+      return ctx->eig_min() * min_sq_dist(other);
+  }
+  throw std::logic_error("BBox::min_dist: unhandled metric");
+}
+
+real_t BBox::max_dist(MetricKind kind, const BBox& other,
+                      const MahalanobisContext* ctx) const {
+  switch (kind) {
+    case MetricKind::SqEuclidean: return max_sq_dist(other);
+    case MetricKind::Euclidean: return std::sqrt(max_sq_dist(other));
+    case MetricKind::Manhattan: return max_dist_l1(other);
+    case MetricKind::Chebyshev: return max_dist_linf(other);
+    case MetricKind::Mahalanobis:
+      if (ctx == nullptr)
+        throw std::invalid_argument("BBox::max_dist: Mahalanobis needs context");
+      return ctx->eig_max() * max_sq_dist(other);
+  }
+  throw std::logic_error("BBox::max_dist: unhandled metric");
+}
+
+} // namespace portal

@@ -1,0 +1,84 @@
+#include "tree/kdtree.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/timer.h"
+
+namespace portal {
+
+KdTree::KdTree(const Dataset& data, index_t leaf_size) : leaf_size_(leaf_size) {
+  if (leaf_size <= 0) throw std::invalid_argument("KdTree: leaf_size must be > 0");
+  if (data.dim() <= 0) throw std::invalid_argument("KdTree: empty dimensionality");
+  Timer timer;
+
+  const index_t n = data.size();
+  std::vector<index_t> order(n);
+  for (index_t i = 0; i < n; ++i) order[i] = i;
+
+  // Median splits at most double the leaf count going up; reserve generously
+  // so build_recursive never reallocates mid-recursion (indices stay valid,
+  // but reallocation would cost time).
+  nodes_.reserve(static_cast<std::size_t>(4 * (n / leaf_size + 2)));
+  if (n > 0) build_recursive(order, 0, n, 0, -1, data);
+
+  perm_ = std::move(order);
+  inv_perm_.resize(n);
+  for (index_t i = 0; i < n; ++i) inv_perm_[perm_[i]] = i;
+
+  // Materialize the permuted dataset (leaf ranges contiguous).
+  data_ = Dataset(n, data.dim(), data.layout());
+  for (index_t i = 0; i < n; ++i)
+    for (index_t d = 0; d < data.dim(); ++d)
+      data_.coord(i, d) = data.coord(perm_[i], d);
+
+  stats_.num_nodes = static_cast<index_t>(nodes_.size());
+  for (const KdNode& node : nodes_) {
+    if (node.is_leaf()) {
+      ++stats_.num_leaves;
+      stats_.max_leaf_count = std::max(stats_.max_leaf_count, node.count());
+    }
+    stats_.height = std::max(stats_.height, node.depth);
+  }
+  stats_.build_seconds = timer.elapsed_s();
+}
+
+index_t KdTree::build_recursive(std::vector<index_t>& order, index_t begin,
+                                index_t end, index_t depth, index_t parent,
+                                const Dataset& input) {
+  const index_t node_index = static_cast<index_t>(nodes_.size());
+  nodes_.emplace_back();
+  {
+    KdNode& node = nodes_.back();
+    node.begin = begin;
+    node.end = end;
+    node.parent = parent;
+    node.depth = depth;
+    node.box = BBox(input.dim());
+    for (index_t i = begin; i < end; ++i) {
+      const index_t p = order[i];
+      node.box.include([&](index_t d) { return input.coord(p, d); });
+    }
+  }
+
+  if (end - begin <= leaf_size_) return node_index;
+
+  // Median split along the widest bounding-box dimension (Sec. V-B).
+  const index_t split_dim = nodes_[node_index].box.widest_dim();
+  const index_t mid = begin + (end - begin) / 2;
+  std::nth_element(order.begin() + begin, order.begin() + mid, order.begin() + end,
+                   [&](index_t a, index_t b) {
+                     return input.coord(a, split_dim) < input.coord(b, split_dim);
+                   });
+
+  // Degenerate case: all coordinates equal along every dimension (duplicate
+  // points). nth_element still provides a positional split, which keeps the
+  // recursion terminating since mid > begin and mid < end for count > 1.
+  const index_t left = build_recursive(order, begin, mid, depth + 1, node_index, input);
+  const index_t right = build_recursive(order, mid, end, depth + 1, node_index, input);
+  nodes_[node_index].left = left;
+  nodes_[node_index].right = right;
+  return node_index;
+}
+
+} // namespace portal

@@ -1,0 +1,87 @@
+// Portal -- kd-tree (paper Sec. II-A).
+//
+// Binary space-partitioning tree built by *median split along the widest
+// bounding-box dimension* (the strategy used for both Portal and the expert
+// baseline in Sec. V-B). Every node stores a tight bounding box recomputed
+// from its points. Construction permutes a copy of the dataset so each leaf
+// owns a contiguous coordinate range -- the base-case kernels then stream
+// cache-line-aligned memory.
+#pragma once
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "tree/bbox.h"
+#include "util/common.h"
+
+namespace portal {
+
+struct KdNode {
+  index_t begin = 0;  // first point (in permuted order)
+  index_t end = 0;    // one past last point
+  index_t left = -1;  // child node index, -1 for leaf
+  index_t right = -1;
+  index_t parent = -1;
+  index_t depth = 0;
+  BBox box;
+
+  bool is_leaf() const { return left < 0; }
+  index_t count() const { return end - begin; }
+};
+
+struct KdTreeStats {
+  index_t num_nodes = 0;
+  index_t num_leaves = 0;
+  index_t height = 0;
+  index_t max_leaf_count = 0;
+  double build_seconds = 0;
+};
+
+/// Default leaf size; Table IV notes leaf size is tuned per problem, the
+/// benches sweep it, and 32 is the all-round sweet spot on this machine.
+inline constexpr index_t kDefaultLeafSize = 32;
+
+class KdTree {
+ public:
+  /// Builds the tree over a copy of `data`, preserving data's layout.
+  /// `leaf_size` is the paper's q: leaves hold at most q points (q > 0).
+  KdTree(const Dataset& data, index_t leaf_size = kDefaultLeafSize);
+
+  /// The permuted dataset: node [begin, end) ranges index into this.
+  const Dataset& data() const { return data_; }
+
+  /// new index -> original index (data().point(i) was input point perm()[i]).
+  const std::vector<index_t>& perm() const { return perm_; }
+
+  /// original index -> new index.
+  const std::vector<index_t>& inverse_perm() const { return inv_perm_; }
+
+  index_t leaf_size() const { return leaf_size_; }
+
+  const KdNode& node(index_t i) const { return nodes_[i]; }
+  const KdNode& root() const { return nodes_[0]; }
+  index_t root_index() const { return 0; }
+  index_t num_nodes() const { return static_cast<index_t>(nodes_.size()); }
+
+  const KdTreeStats& stats() const { return stats_; }
+
+  /// Visit every leaf node index (in left-to-right order).
+  template <typename Fn>
+  void for_each_leaf(Fn&& fn) const {
+    for (index_t i = 0; i < num_nodes(); ++i)
+      if (nodes_[i].is_leaf()) fn(i);
+  }
+
+ private:
+  index_t build_recursive(std::vector<index_t>& order, index_t begin, index_t end,
+                          index_t depth, index_t parent, const Dataset& input);
+
+  Dataset data_;
+  std::vector<index_t> perm_;
+  std::vector<index_t> inv_perm_;
+  std::vector<KdNode> nodes_;
+  index_t leaf_size_ = kDefaultLeafSize;
+  KdTreeStats stats_;
+};
+
+} // namespace portal

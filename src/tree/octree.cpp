@@ -1,0 +1,130 @@
+#include "tree/octree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace portal {
+namespace {
+
+/// Octant index of point p relative to a cell center: bit d set when the
+/// point is on the high side of dimension d.
+inline int octant_of(const Dataset& input, index_t p, const real_t center[3]) {
+  int oct = 0;
+  for (int d = 0; d < 3; ++d)
+    if (input.coord(p, d) >= center[d]) oct |= (1 << d);
+  return oct;
+}
+
+} // namespace
+
+Octree::Octree(const Dataset& positions, const std::vector<real_t>& masses,
+               index_t leaf_size)
+    : leaf_size_(leaf_size) {
+  if (positions.dim() != 3)
+    throw std::invalid_argument("Octree: positions must be 3-D");
+  if (static_cast<index_t>(masses.size()) != positions.size())
+    throw std::invalid_argument("Octree: masses/positions size mismatch");
+  if (leaf_size <= 0) throw std::invalid_argument("Octree: leaf_size must be > 0");
+
+  const index_t n = positions.size();
+  std::vector<index_t> order(n);
+  for (index_t i = 0; i < n; ++i) order[i] = i;
+
+  // Root cell: cube enclosing all particles, centered on the data midpoint.
+  BBox root_box(3);
+  for (index_t i = 0; i < n; ++i)
+    root_box.include([&](index_t d) { return positions.coord(i, d); });
+  real_t center[3];
+  real_t half_width = 0;
+  for (int d = 0; d < 3; ++d) {
+    center[d] = n > 0 ? root_box.center(d) : real_t(0);
+    half_width = std::max(half_width, n > 0 ? root_box.extent(d) / 2 : real_t(1));
+  }
+  // Tiny epsilon so points exactly on the max boundary stay inside.
+  half_width = half_width * real_t(1.0000001) + real_t(1e-12);
+
+  nodes_.reserve(static_cast<std::size_t>(8 * (n / leaf_size + 2)));
+  if (n > 0) build_recursive(order, 0, n, center, half_width, 0, positions, masses);
+
+  perm_ = std::move(order);
+  inv_perm_.resize(n);
+  for (index_t i = 0; i < n; ++i) inv_perm_[perm_[i]] = i;
+
+  positions_ = Dataset(n, 3, positions.layout());
+  masses_.resize(n);
+  for (index_t i = 0; i < n; ++i) {
+    masses_[i] = masses[perm_[i]];
+    for (index_t d = 0; d < 3; ++d)
+      positions_.coord(i, d) = positions.coord(perm_[i], d);
+  }
+}
+
+index_t Octree::build_recursive(std::vector<index_t>& order, index_t begin,
+                                index_t end, const real_t center[3],
+                                real_t half_width, index_t depth,
+                                const Dataset& input,
+                                const std::vector<real_t>& input_mass) {
+  const index_t node_index = static_cast<index_t>(nodes_.size());
+  nodes_.emplace_back();
+  height_ = std::max(height_, depth);
+  {
+    OctreeNode& node = nodes_.back();
+    node.begin = begin;
+    node.end = end;
+    node.depth = depth;
+    node.half_width = half_width;
+    for (int d = 0; d < 3; ++d) node.center[d] = center[d];
+    node.box = BBox(3);
+    real_t mass = 0;
+    real_t com[3] = {0, 0, 0};
+    for (index_t i = begin; i < end; ++i) {
+      const index_t p = order[i];
+      node.box.include([&](index_t d) { return input.coord(p, d); });
+      const real_t m = input_mass[p];
+      mass += m;
+      for (int d = 0; d < 3; ++d) com[d] += m * input.coord(p, d);
+    }
+    node.mass = mass;
+    for (int d = 0; d < 3; ++d)
+      node.com[d] = mass > 0 ? com[d] / mass : center[d];
+  }
+
+  // Depth cap guards against coincident particles that can never separate.
+  if (end - begin <= leaf_size_ || depth >= 60) return node_index;
+
+  // Partition [begin, end) into the 8 octants with a counting pass followed
+  // by a stable copy (order matters: children stay contiguous).
+  index_t counts[8] = {0};
+  for (index_t i = begin; i < end; ++i)
+    ++counts[octant_of(input, order[i], center)];
+
+  index_t offsets[8];
+  index_t running = begin;
+  for (int o = 0; o < 8; ++o) {
+    offsets[o] = running;
+    running += counts[o];
+  }
+
+  std::vector<index_t> scratch(order.begin() + begin, order.begin() + end);
+  index_t cursor[8];
+  std::copy(offsets, offsets + 8, cursor);
+  for (index_t p : scratch) order[cursor[octant_of(input, p, center)]++] = p;
+
+  OctreeNode& node = nodes_[node_index];
+  node.leaf = false;
+  const real_t child_half = half_width / 2;
+  for (int o = 0; o < 8; ++o) {
+    if (counts[o] == 0) continue;
+    real_t child_center[3];
+    for (int d = 0; d < 3; ++d)
+      child_center[d] = center[d] + ((o >> d) & 1 ? child_half : -child_half);
+    const index_t child = build_recursive(order, offsets[o], offsets[o] + counts[o],
+                                          child_center, child_half, depth + 1,
+                                          input, input_mass);
+    nodes_[node_index].children[o] = child;
+  }
+  return node_index;
+}
+
+} // namespace portal

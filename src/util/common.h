@@ -1,0 +1,18 @@
+// Portal -- common definitions shared across all modules.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace portal {
+
+/// Floating-point type used throughout the library for coordinates,
+/// distances, and kernel values. The paper evaluates in double precision
+/// (EPYC peak quoted in double GFlops/s); float inputs are widened on entry.
+using real_t = double;
+
+/// Index type for points, tree nodes, and dimensions. Signed to keep
+/// arithmetic on differences well-defined and OpenMP-friendly.
+using index_t = std::int64_t;
+
+} // namespace portal

@@ -1,0 +1,128 @@
+#include "util/csv.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace portal {
+namespace {
+
+[[noreturn]] void fail(const std::string& name, index_t line, const std::string& what) {
+  throw std::runtime_error("csv: " + name + ":" + std::to_string(line) + ": " + what);
+}
+
+bool parse_field(const std::string& field, real_t* out) {
+  const char* begin = field.c_str();
+  char* end = nullptr;
+  errno = 0;
+  const double value = std::strtod(begin, &end);
+  if (end == begin || errno == ERANGE) return false;
+  // Allow trailing whitespace only.
+  while (*end == ' ' || *end == '\t' || *end == '\r') ++end;
+  if (*end != '\0') return false;
+  *out = static_cast<real_t>(value);
+  return true;
+}
+
+void split(const std::string& line, char sep, std::vector<std::string>* fields) {
+  fields->clear();
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = line.find(sep, start);
+    if (pos == std::string::npos) {
+      fields->push_back(line.substr(start));
+      return;
+    }
+    fields->push_back(line.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+bool is_blank_or_comment(const std::string& line) {
+  for (char c : line) {
+    if (c == '#') return true;
+    if (c != ' ' && c != '\t' && c != '\r') return false;
+  }
+  return true;
+}
+
+CsvTable parse_stream(std::istream& in, const CsvOptions& options,
+                      const std::string& name) {
+  CsvTable table;
+  std::string line;
+  std::vector<std::string> fields;
+  std::vector<real_t> row;
+  index_t line_no = 0;
+  bool first_data_row = true;
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (is_blank_or_comment(line)) continue;
+    split(line, options.separator, &fields);
+
+    row.clear();
+    bool all_numeric = true;
+    for (const std::string& field : fields) {
+      real_t value = 0;
+      if (!parse_field(field, &value)) {
+        all_numeric = false;
+        break;
+      }
+      row.push_back(value);
+    }
+
+    if (first_data_row) {
+      first_data_row = false;
+      if (options.force_header || !all_numeric) continue; // header row
+      table.cols = static_cast<index_t>(row.size());
+    } else if (!all_numeric) {
+      fail(name, line_no, "non-numeric field in data row");
+    }
+
+    if (table.cols == 0) table.cols = static_cast<index_t>(row.size());
+    if (static_cast<index_t>(row.size()) != table.cols) {
+      fail(name, line_no,
+           "ragged row: expected " + std::to_string(table.cols) + " fields, got " +
+               std::to_string(row.size()));
+    }
+    table.values.insert(table.values.end(), row.begin(), row.end());
+    ++table.rows;
+  }
+  return table;
+}
+
+} // namespace
+
+CsvTable read_csv(const std::string& path, const CsvOptions& options) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("csv: cannot open '" + path + "'");
+  return parse_stream(in, options, path);
+}
+
+CsvTable read_csv_string(const std::string& text, const CsvOptions& options,
+                         const std::string& name) {
+  std::istringstream in(text);
+  return parse_stream(in, options, name);
+}
+
+void write_csv(const std::string& path, const real_t* values, index_t rows,
+               index_t cols, const CsvOptions& options) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("csv: cannot open '" + path + "' for writing");
+  char buf[64];
+  for (index_t i = 0; i < rows; ++i) {
+    for (index_t j = 0; j < cols; ++j) {
+      std::snprintf(buf, sizeof(buf), "%.17g", static_cast<double>(values[i * cols + j]));
+      out << buf;
+      if (j + 1 < cols) out << options.separator;
+    }
+    out << '\n';
+  }
+  if (!out) throw std::runtime_error("csv: write failed for '" + path + "'");
+}
+
+} // namespace portal

@@ -1,0 +1,45 @@
+// Portal -- CSV reading/writing for Storage objects (Sec. III-B of the paper:
+// `Storage query{"query_file.csv"}`).
+//
+// The dialect is deliberately simple: comma (or user-chosen) separated numeric
+// fields, optional single header row (auto-detected: a row whose fields do not
+// all parse as numbers), '#' comment lines, blank lines ignored. Ragged rows
+// and non-numeric payloads are hard errors carrying line numbers so user
+// mistakes surface immediately instead of corrupting a dataset.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/common.h"
+
+namespace portal {
+
+struct CsvOptions {
+  char separator = ',';
+  /// If true the first non-comment row is unconditionally skipped; if false it
+  /// is auto-detected as header when any field fails numeric parsing.
+  bool force_header = false;
+};
+
+struct CsvTable {
+  /// Row-major values: row i occupies [i*cols, (i+1)*cols).
+  std::vector<real_t> values;
+  index_t rows = 0;
+  index_t cols = 0;
+};
+
+/// Parse a CSV file into a dense numeric table. Throws std::runtime_error with
+/// file/line context on I/O failure, ragged rows, or unparseable fields.
+CsvTable read_csv(const std::string& path, const CsvOptions& options = {});
+
+/// Parse CSV from an in-memory string (used heavily by tests).
+CsvTable read_csv_string(const std::string& text, const CsvOptions& options = {},
+                         const std::string& name = "<string>");
+
+/// Write a table to disk, one row per line, `separator`-joined, %.17g so a
+/// round-trip through read_csv reproduces the values exactly.
+void write_csv(const std::string& path, const real_t* values, index_t rows,
+               index_t cols, const CsvOptions& options = {});
+
+} // namespace portal

@@ -1,0 +1,43 @@
+// Portal -- minimal leveled logging.
+//
+// Logging is off by default (level = Warn) so library users see nothing
+// unless they opt in; the compiler pipeline uses Debug level to trace passes.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <utility>
+
+namespace portal {
+
+enum class LogLevel : int { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+namespace detail {
+inline LogLevel& log_level_ref() {
+  static LogLevel level = LogLevel::Warn;
+  return level;
+}
+} // namespace detail
+
+/// Set the global log threshold; messages below it are dropped.
+inline void set_log_level(LogLevel level) { detail::log_level_ref() = level; }
+inline LogLevel log_level() { return detail::log_level_ref(); }
+
+template <typename... Args>
+void log_at(LogLevel level, const char* tag, const char* fmt, Args&&... args) {
+  if (static_cast<int>(level) < static_cast<int>(detail::log_level_ref())) return;
+  std::fprintf(stderr, "[portal:%s] ", tag);
+  if constexpr (sizeof...(Args) == 0) {
+    std::fprintf(stderr, "%s", fmt);
+  } else {
+    std::fprintf(stderr, fmt, std::forward<Args>(args)...);
+  }
+  std::fprintf(stderr, "\n");
+}
+
+#define PORTAL_LOG_DEBUG(...) ::portal::log_at(::portal::LogLevel::Debug, "debug", __VA_ARGS__)
+#define PORTAL_LOG_INFO(...) ::portal::log_at(::portal::LogLevel::Info, "info", __VA_ARGS__)
+#define PORTAL_LOG_WARN(...) ::portal::log_at(::portal::LogLevel::Warn, "warn", __VA_ARGS__)
+#define PORTAL_LOG_ERROR(...) ::portal::log_at(::portal::LogLevel::Error, "error", __VA_ARGS__)
+
+} // namespace portal

@@ -1,0 +1,24 @@
+#include "util/threading.h"
+
+#include <omp.h>
+
+namespace portal {
+
+int num_threads() { return omp_get_max_threads(); }
+
+void set_num_threads(int n) {
+  if (n > 0) omp_set_num_threads(n);
+}
+
+int task_spawn_depth(int threads) {
+  if (threads <= 1) return 0;
+  int depth = 0;
+  int covered = 1;
+  while (covered < threads) {
+    covered *= 2;
+    ++depth;
+  }
+  return depth + 2;
+}
+
+} // namespace portal

@@ -1,0 +1,20 @@
+// Portal -- OpenMP helpers shared by the parallel traversal and benchmarks.
+#pragma once
+
+#include "util/common.h"
+
+namespace portal {
+
+/// Number of OpenMP threads a parallel region would use right now.
+int num_threads();
+
+/// Override the OpenMP thread count for subsequent parallel regions.
+void set_num_threads(int n);
+
+/// Depth at which the task-parallel traversal stops spawning tasks and
+/// switches to data parallelism (Sec. IV-F: "spawn OpenMP tasks recursively
+/// until all the threads are saturated"). ceil(log2(threads)) + 2 keeps
+/// roughly 4x as many tasks as threads for load balance.
+int task_spawn_depth(int threads);
+
+} // namespace portal

@@ -1,0 +1,28 @@
+// Portal -- wall-clock timing helpers for the benchmark harness.
+#pragma once
+
+#include <chrono>
+
+namespace portal {
+
+/// Monotonic wall-clock stopwatch. `elapsed_s()` may be called repeatedly;
+/// `reset()` restarts the epoch.
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  /// Seconds since construction or last reset().
+  double elapsed_s() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  double elapsed_ms() const { return elapsed_s() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+} // namespace portal

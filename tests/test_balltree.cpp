@@ -1,0 +1,168 @@
+// Tests for the ball tree: bound soundness, structural invariants, and the
+// tree-abstraction claim -- the same dual-tree k-NN rules must produce
+// identical results over kd-trees and ball trees.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "data/generators.h"
+#include "problems/knn.h"
+#include "tree/balltree.h"
+#include "util/rng.h"
+
+namespace portal {
+namespace {
+
+TEST(BallBound, PointAndBallDistances) {
+  // Unit ball at origin vs unit ball at (4, 0): gap = 2.
+  BallBound a({0.0, 0.0}, 1.0);
+  BallBound b({4.0, 0.0}, 1.0);
+  EXPECT_DOUBLE_EQ(a.min_sq_dist(b), 4.0);  // (4 - 1 - 1)^2
+  EXPECT_DOUBLE_EQ(a.max_sq_dist(b), 36.0); // (4 + 1 + 1)^2
+  // Overlapping balls: zero min distance.
+  BallBound c({1.0, 0.0}, 1.0);
+  EXPECT_DOUBLE_EQ(a.min_sq_dist(c), 0.0);
+  // Point bounds.
+  const real_t p[2] = {3, 0};
+  EXPECT_DOUBLE_EQ(a.min_sq_dist_point(p), 4.0);  // (3 - 1)^2
+  EXPECT_DOUBLE_EQ(a.max_sq_dist_point(p), 16.0); // (3 + 1)^2
+  EXPECT_DOUBLE_EQ(a.widest_extent(), 2.0);
+}
+
+TEST(BallBound, BoundsSandwichContainedPoints) {
+  Rng rng(61);
+  for (int trial = 0; trial < 40; ++trial) {
+    const index_t dim = 2 + static_cast<index_t>(rng.uniform_index(6));
+    // Build two balls from point clouds (centroid + covering radius).
+    std::vector<std::vector<real_t>> pa(8, std::vector<real_t>(dim));
+    std::vector<std::vector<real_t>> pb(8, std::vector<real_t>(dim));
+    std::vector<real_t> ca(dim, 0), cb(dim, 0);
+    for (auto& p : pa)
+      for (index_t d = 0; d < dim; ++d) {
+        p[d] = rng.uniform(-2, 1);
+        ca[d] += p[d] / 8;
+      }
+    for (auto& p : pb)
+      for (index_t d = 0; d < dim; ++d) {
+        p[d] = rng.uniform(0, 3);
+        cb[d] += p[d] / 8;
+      }
+    real_t ra = 0, rb = 0;
+    for (const auto& p : pa) {
+      real_t sq = 0;
+      for (index_t d = 0; d < dim; ++d) sq += (p[d] - ca[d]) * (p[d] - ca[d]);
+      ra = std::max(ra, std::sqrt(sq));
+    }
+    for (const auto& p : pb) {
+      real_t sq = 0;
+      for (index_t d = 0; d < dim; ++d) sq += (p[d] - cb[d]) * (p[d] - cb[d]);
+      rb = std::max(rb, std::sqrt(sq));
+    }
+    const BallBound ball_a(ca, ra), ball_b(cb, rb);
+    const real_t lo = ball_a.min_sq_dist(ball_b);
+    const real_t hi = ball_a.max_sq_dist(ball_b);
+    for (const auto& x : pa)
+      for (const auto& y : pb) {
+        real_t sq = 0;
+        for (index_t d = 0; d < dim; ++d) sq += (x[d] - y[d]) * (x[d] - y[d]);
+        EXPECT_GE(sq, lo - 1e-9);
+        EXPECT_LE(sq, hi + 1e-9);
+      }
+  }
+}
+
+class BallTreeInvariants
+    : public testing::TestWithParam<std::tuple<index_t, index_t, index_t>> {};
+
+TEST_P(BallTreeInvariants, StructureIsValid) {
+  const auto [n, dim, leaf_size] = GetParam();
+  const Dataset data = make_gaussian_mixture(n, dim, 3, 177);
+  const BallTree tree(data, leaf_size);
+
+  // Permutation bijection.
+  std::vector<index_t> seen(n, 0);
+  for (index_t p : tree.perm()) ++seen[p];
+  for (index_t c : seen) EXPECT_EQ(c, 1);
+
+  index_t leaf_points = 0;
+  std::vector<real_t> pt(dim);
+  for (index_t i = 0; i < tree.num_nodes(); ++i) {
+    const BallNode& node = tree.node(i);
+    ASSERT_LT(node.begin, node.end);
+    if (node.is_leaf()) {
+      EXPECT_LE(node.count(), leaf_size);
+      leaf_points += node.count();
+    } else {
+      EXPECT_EQ(tree.node(node.left).end, tree.node(node.right).begin);
+      EXPECT_EQ(tree.node(node.left).parent, i);
+    }
+    // Every point inside the node's ball.
+    for (index_t p = node.begin; p < node.end; ++p) {
+      tree.data().copy_point(p, pt.data());
+      real_t sq = 0;
+      for (index_t d = 0; d < dim; ++d) {
+        const real_t diff = pt[d] - node.box.center(d);
+        sq += diff * diff;
+      }
+      EXPECT_LE(std::sqrt(sq), node.box.radius() + 1e-9);
+    }
+  }
+  EXPECT_EQ(leaf_points, n);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, BallTreeInvariants,
+                         testing::Values(std::make_tuple(1, 2, 8),
+                                         std::make_tuple(100, 3, 8),
+                                         std::make_tuple(500, 10, 16),
+                                         std::make_tuple(1000, 40, 32)));
+
+class BallKnnSweep
+    : public testing::TestWithParam<std::tuple<index_t, index_t, index_t>> {};
+
+TEST_P(BallKnnSweep, BallTreeKnnMatchesKdTreeKnn) {
+  const auto [n, dim, k] = GetParam();
+  const Dataset reference = make_gaussian_mixture(n, dim, 3, 277 + dim);
+  const Dataset query = make_gaussian_mixture(n / 2 + 3, dim, 3, 377 + dim);
+  KnnOptions options;
+  options.k = k;
+  options.parallel = false;
+  const KnnResult kd = knn_expert(query, reference, options);
+  const KnnResult ball = knn_expert_balltree(query, reference, options);
+  ASSERT_EQ(kd.distances.size(), ball.distances.size());
+  for (std::size_t i = 0; i < kd.distances.size(); ++i)
+    EXPECT_NEAR(kd.distances[i], ball.distances[i], 1e-9) << "slot " << i;
+  // At very high dimension with few points the balls overlap everywhere and
+  // nothing prunes; only assert pruning where geometry allows it.
+  if (dim <= 12) {
+    EXPECT_GT(ball.stats.prunes, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, BallKnnSweep,
+                         testing::Values(std::make_tuple(300, 3, 1),
+                                         std::make_tuple(500, 3, 5),
+                                         std::make_tuple(400, 12, 3),
+                                         std::make_tuple(300, 40, 2)));
+
+TEST(BallTree, ManhattanBoundsAreConservative) {
+  // L1 k-NN over ball trees uses norm-equivalence bounds: still exact results.
+  const Dataset reference = make_gaussian_mixture(300, 5, 3, 477);
+  const Dataset query = make_gaussian_mixture(100, 5, 3, 577);
+  KnnOptions options;
+  options.k = 3;
+  options.metric = MetricKind::Manhattan;
+  options.parallel = false;
+  const KnnResult brute = knn_bruteforce(query, reference, 3, MetricKind::Manhattan);
+  const KnnResult ball = knn_expert_balltree(query, reference, options);
+  for (std::size_t i = 0; i < brute.distances.size(); ++i)
+    EXPECT_NEAR(brute.distances[i], ball.distances[i], 1e-9);
+}
+
+TEST(BallTree, RejectsBadLeafSize) {
+  const Dataset data = make_uniform(10, 2, 677);
+  EXPECT_THROW(BallTree(data, 0), std::invalid_argument);
+}
+
+} // namespace
+} // namespace portal

@@ -1,0 +1,155 @@
+// Randomized codegen fuzz: random kernel ASTs are lowered and executed
+// through every backend path -- plain VM, optimized (strength-reduced +
+// constant-folded) VM, and the C++-source JIT -- which must agree within the
+// documented fast-math envelope. This is the differential test that keeps
+// the three "LLVM substitutes" honest against each other.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/analysis.h"
+#include "core/codegen/jit.h"
+#include "core/codegen/vm.h"
+#include "core/passes/lowering.h"
+#include "core/passes/passes.h"
+#include "core/portal.h"
+#include "data/generators.h"
+#include "util/rng.h"
+
+namespace portal {
+namespace {
+
+/// Random kernel AST generator. Depth-bounded; always scalar-rooted.
+/// Generated functions stay in "safe" numeric ranges: exp arguments are
+/// damped, log/sqrt arguments are forced non-negative via squaring.
+class AstFuzzer {
+ public:
+  AstFuzzer(std::uint64_t seed, const Var& q, const Var& r)
+      : rng_(seed), q_(q), r_(r) {}
+
+  Expr scalar_kernel() { return dimsum(vector_expr(3)) * small_const() + scalar_tail(); }
+
+ private:
+  Expr vector_expr(int depth) {
+    if (depth <= 0) return leaf_vector();
+    switch (rng_.uniform_index(5)) {
+      case 0: return vector_expr(depth - 1) + vector_expr(depth - 1);
+      case 1: return vector_expr(depth - 1) - leaf_vector();
+      case 2: return vector_expr(depth - 1) * small_const();
+      case 3: return abs(vector_expr(depth - 1));
+      default: return pow(leaf_vector(), static_cast<real_t>(rng_.uniform_index(3)));
+    }
+  }
+
+  Expr leaf_vector() {
+    switch (rng_.uniform_index(3)) {
+      case 0: return Expr(q_) - Expr(r_);
+      case 1: return Expr(q_);
+      default: return Expr(r_);
+    }
+  }
+
+  Expr scalar_tail() {
+    switch (rng_.uniform_index(4)) {
+      case 0: return exp(Expr(-0.1) * dimsum(pow(Expr(q_) - Expr(r_), 2)));
+      case 1: return sqrt(pow(Expr(q_) - Expr(r_), 2));
+      case 2: return vmin(dimsum(abs(Expr(q_) - Expr(r_))), Expr(3.0));
+      default: return dimmax(abs(Expr(q_) - Expr(r_))) + small_const();
+    }
+  }
+
+  Expr small_const() { return Expr(rng_.uniform(0.25, 2.0)); }
+
+  Rng rng_;
+  const Var& q_;
+  const Var& r_;
+};
+
+TEST(CodegenFuzz, VmPlainVsVmOptimizedVsJit) {
+  Rng point_rng(99);
+  for (int trial = 0; trial < 8; ++trial) {
+    Var q("q"), r("r");
+    AstFuzzer fuzzer(5000 + trial, q, r);
+    const Expr kernel = fuzzer.scalar_kernel();
+    SCOPED_TRACE("kernel: " + kernel.to_string());
+
+    const IrExprPtr plain_ir = lower_kernel_expr(kernel, q.id(), r.id(), {});
+    IrExprPtr optimized_ir = strength_reduction_pass(plain_ir);
+    optimized_ir = constant_fold_pass(optimized_ir);
+
+    const VmProgram plain = VmProgram::compile(plain_ir);
+    const VmProgram optimized = VmProgram::compile(optimized_ir);
+
+    // JIT the same optimized IR through a synthetic plan.
+    Storage data(make_uniform(8, 4, 42));
+    std::vector<LayerSpec> layers(2);
+    layers[0].op = OpSpec(PortalOp::FORALL);
+    layers[0].storage = data;
+    layers[0].var_id = q.id();
+    layers[1].op = OpSpec(PortalOp::SUM);
+    layers[1].storage = data;
+    layers[1].var_id = r.id();
+    layers[1].custom_kernel = kernel;
+    ProblemPlan plan = analyze_layers(layers, PortalConfig{});
+    plan.kernel.kernel_ir = optimized_ir;
+    const auto jit = JitModule::compile(plan);
+    ASSERT_NE(jit, nullptr);
+    const EvaluatorFns jit_fns = jit->evaluators();
+
+    std::vector<real_t> scratch(32);
+    for (int sample = 0; sample < 50; ++sample) {
+      real_t a[4], b[4];
+      for (int d = 0; d < 4; ++d) {
+        a[d] = point_rng.uniform(-3, 3);
+        b[d] = point_rng.uniform(-3, 3);
+      }
+      const real_t v_plain = plain.run_pair(a, b, 4, scratch.data());
+      const real_t v_opt = optimized.run_pair(a, b, 4, scratch.data());
+      const real_t v_jit = jit_fns.kernel_pair(a, b, 4, scratch.data());
+
+      // Optimized VM and JIT execute the SAME IR: bit-comparable modulo
+      // compiler reassociation; the plain VM differs only by the fast-math
+      // rewrites. The fast-sqrt error is relative to the *sqrt term* (up to
+      // ~12 for these point ranges), not to the possibly-cancelled total, so
+      // the tolerance carries that intermediate magnitude.
+      const real_t scale = std::max({std::abs(v_plain), std::abs(v_opt), real_t(1)});
+      EXPECT_NEAR(v_opt, v_jit, 1e-9 * scale);
+      EXPECT_NEAR(v_plain, v_opt, 4e-3 * (scale + 16));
+    }
+  }
+}
+
+TEST(CodegenFuzz, EndToEndProgramsAcrossEngines) {
+  // Random custom kernels through full PortalExpr runs: VM vs JIT engines.
+  for (int trial = 0; trial < 3; ++trial) {
+    Var q, r;
+    AstFuzzer fuzzer(7000 + trial, q, r);
+    const Expr kernel = fuzzer.scalar_kernel();
+    SCOPED_TRACE("kernel: " + kernel.to_string());
+
+    Storage query(make_gaussian_mixture(80, 3, 2, 61 + trial));
+    Storage reference(make_gaussian_mixture(120, 3, 2, 71 + trial));
+
+    std::vector<real_t> vm_values, jit_values;
+    for (Engine engine : {Engine::VM, Engine::JIT}) {
+      PortalExpr expr;
+      expr.addLayer(PortalOp::FORALL, q, query);
+      expr.addLayer(PortalOp::MIN, r, reference, kernel);
+      PortalConfig config;
+      config.parallel = false;
+      config.engine = engine;
+      expr.execute(config);
+      Storage out = expr.getOutput();
+      std::vector<real_t>& values = engine == Engine::VM ? vm_values : jit_values;
+      for (index_t i = 0; i < out.rows(); ++i) values.push_back(out.value(i));
+    }
+    ASSERT_EQ(vm_values.size(), jit_values.size());
+    for (std::size_t i = 0; i < vm_values.size(); ++i)
+      EXPECT_NEAR(vm_values[i], jit_values[i],
+                  1e-9 * std::max(std::abs(vm_values[i]), real_t(1)))
+          << "query " << i;
+  }
+}
+
+} // namespace
+} // namespace portal

@@ -1,0 +1,187 @@
+// Tests for the Portal language front end: Var/Expr AST construction, the
+// implicit vector->scalar typing rules (Sec. IV-A lowering semantics), the
+// pre-defined PortalFunc expansions, and Storage.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/func.h"
+#include "core/storage.h"
+#include "core/var_expr.h"
+#include "data/generators.h"
+
+namespace portal {
+namespace {
+
+TEST(Expr, VarsHaveDistinctIds) {
+  Var a, b;
+  Var named("q");
+  EXPECT_NE(a.id(), b.id());
+  EXPECT_NE(b.id(), named.id());
+  EXPECT_EQ(named.name(), "q");
+}
+
+TEST(Expr, TypingRules) {
+  Var q, r;
+  EXPECT_EQ(Expr(q).type(), ExprType::Vector);
+  EXPECT_EQ(Expr(1.5).type(), ExprType::Scalar);
+  EXPECT_EQ((Expr(q) - Expr(r)).type(), ExprType::Vector);
+  EXPECT_EQ((Expr(q) * Expr(2.0)).type(), ExprType::Vector); // broadcast
+  EXPECT_EQ(pow(Expr(q) - Expr(r), 2).type(), ExprType::Vector);
+  // Scalar-only functions implicitly dim-sum vector arguments (paper Fig. 2).
+  EXPECT_EQ(sqrt(pow(Expr(q) - Expr(r), 2)).type(), ExprType::Scalar);
+  EXPECT_EQ(exp(Expr(q)).type(), ExprType::Scalar);
+  EXPECT_EQ(dimsum(Expr(q)).type(), ExprType::Scalar);
+  EXPECT_EQ(dimmax(abs(Expr(q) - Expr(r))).type(), ExprType::Scalar);
+  // abs stays elementwise.
+  EXPECT_EQ(abs(Expr(q) - Expr(r)).type(), ExprType::Vector);
+}
+
+TEST(Expr, ImplicitDimSumInsertedUnderSqrt) {
+  Var q("q"), r("r");
+  const Expr euclid = sqrt(pow(Expr(q) - Expr(r), 2));
+  // Structure: Sqrt(DimSum(Pow(Sub(q, r), 2))).
+  const ExprNodePtr& root = euclid.node();
+  ASSERT_EQ(root->kind, ExprKind::Sqrt);
+  ASSERT_EQ(root->children[0]->kind, ExprKind::DimSum);
+  ASSERT_EQ(root->children[0]->children[0]->kind, ExprKind::Pow);
+}
+
+TEST(Expr, DimSumOnScalarIsIdentity) {
+  const Expr scalar = Expr(3.0) + Expr(4.0);
+  EXPECT_EQ(dimsum(scalar).node(), scalar.node());
+}
+
+TEST(Expr, ComparisonsAutoReduce) {
+  Var q, r;
+  const Expr cmp = pow(Expr(q) - Expr(r), 2) < Expr(4.0);
+  EXPECT_EQ(cmp.type(), ExprType::Scalar);
+  ASSERT_EQ(cmp.node()->kind, ExprKind::Less);
+  EXPECT_EQ(cmp.node()->children[0]->kind, ExprKind::DimSum);
+}
+
+TEST(Expr, ToStringRoundTripsStructure) {
+  Var q("q"), r("r");
+  const Expr e = sqrt(pow(Expr(q) - Expr(r), 2));
+  EXPECT_EQ(e.to_string(), "sqrt(dimsum(pow((q - r), 2)))");
+  EXPECT_EQ((Expr(1.0) / Expr(q)).to_string(), "(1 / q)");
+}
+
+TEST(Expr, CollectVarIds) {
+  Var q, r, unused;
+  const Expr e = sqrt(pow(Expr(q) - Expr(r), 2)) * Expr(2.0);
+  const std::vector<int> ids = collect_var_ids(e);
+  ASSERT_EQ(ids.size(), 2u);
+  EXPECT_TRUE((ids[0] == q.id() && ids[1] == r.id()) ||
+              (ids[0] == r.id() && ids[1] == q.id()));
+}
+
+TEST(Expr, MahalanobisAndExternalNodes) {
+  Var q, r;
+  const Expr maha = mahalanobis(q, r);
+  EXPECT_EQ(maha.type(), ExprType::Scalar);
+  EXPECT_EQ(maha.node()->kind, ExprKind::Mahalanobis);
+
+  const Expr ext = external_kernel(
+      q, r, [](const real_t*, const real_t*, index_t) { return real_t(1); },
+      "mykernel");
+  EXPECT_EQ(ext.type(), ExprType::Scalar);
+  EXPECT_EQ(ext.to_string().substr(0, 8), "mykernel");
+}
+
+TEST(Expr, EmptyOperandsThrow) {
+  Expr empty;
+  EXPECT_THROW(empty + Expr(1.0), std::invalid_argument);
+  EXPECT_THROW(sqrt(empty), std::invalid_argument);
+  EXPECT_THROW(empty.type(), std::logic_error);
+}
+
+TEST(PortalFunc, PredefinedExpansions) {
+  Var q("q"), r("r");
+  EXPECT_EQ(PortalFunc::EUCLIDEAN.expand(q, r).to_string(),
+            "sqrt(dimsum(pow((q - r), 2)))");
+  EXPECT_EQ(PortalFunc::SQREUCDIST.expand(q, r).to_string(),
+            "dimsum(pow((q - r), 2))");
+  EXPECT_EQ(PortalFunc::MANHATTAN.expand(q, r).to_string(),
+            "dimsum(abs((q - r)))");
+  EXPECT_EQ(PortalFunc::CHEBYSHEV.expand(q, r).to_string(),
+            "dimmax(abs((q - r)))");
+  EXPECT_EQ(PortalFunc::MAHALANOBIS.expand(q, r).node()->kind,
+            ExprKind::Mahalanobis);
+}
+
+TEST(PortalFunc, GaussianCarriesSigma) {
+  Var q, r;
+  const PortalFunc gaussian = PortalFunc::gaussian(2.0);
+  EXPECT_DOUBLE_EQ(gaussian.sigma(), 2.0);
+  const Expr e = gaussian.expand(q, r);
+  ASSERT_EQ(e.node()->kind, ExprKind::Exp);
+  EXPECT_THROW(PortalFunc::gaussian(0), std::invalid_argument);
+}
+
+TEST(PortalFunc, GravityHasNoScalarExpansion) {
+  Var q, r;
+  EXPECT_THROW(PortalFunc::gravity().expand(q, r), std::logic_error);
+  EXPECT_THROW(PortalFunc::NONE.expand(q, r), std::logic_error);
+}
+
+TEST(PortalFunc, IndicatorValidation) {
+  EXPECT_THROW(PortalFunc::indicator(2.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(PortalFunc::indicator(-1.0, 1.0), std::invalid_argument);
+  const PortalFunc f = PortalFunc::indicator(0.5, 2.0);
+  EXPECT_DOUBLE_EQ(f.lo(), 0.5);
+  EXPECT_DOUBLE_EQ(f.hi(), 2.0);
+}
+
+TEST(Storage, FromVectorsAndCsv) {
+  Storage from_floats(std::vector<std::vector<float>>{{1.f, 2.f}, {3.f, 4.f}});
+  EXPECT_EQ(from_floats.size(), 2);
+  EXPECT_EQ(from_floats.dim(), 2);
+  EXPECT_TRUE(from_floats.is_input());
+  EXPECT_FALSE(from_floats.is_output());
+
+  const std::string path = testing::TempDir() + "/portal_storage.csv";
+  {
+    FILE* f = fopen(path.c_str(), "w");
+    fputs("1,2,3\n4,5,6\n", f);
+    fclose(f);
+  }
+  Storage from_csv(path);
+  EXPECT_EQ(from_csv.size(), 2);
+  EXPECT_EQ(from_csv.dim(), 3);
+  std::remove(path.c_str());
+}
+
+TEST(Storage, LayoutFollowsPaperPolicy) {
+  Storage low(make_uniform(10, 3, 1));
+  Storage high(make_uniform(10, 8, 2));
+  EXPECT_EQ(low.layout(), Layout::ColMajor);
+  EXPECT_EQ(high.layout(), Layout::RowMajor);
+}
+
+TEST(Storage, WeightsValidation) {
+  Storage s(make_uniform(5, 3, 3));
+  EXPECT_FALSE(s.has_weights());
+  EXPECT_THROW(s.set_weights({1, 2}), std::invalid_argument);
+  s.set_weights({1, 2, 3, 4, 5});
+  EXPECT_TRUE(s.has_weights());
+  EXPECT_DOUBLE_EQ(s.weights()[4], 5);
+}
+
+TEST(Storage, OutputAccessorsGuard) {
+  Storage input(make_uniform(5, 2, 4));
+  EXPECT_THROW(input.rows(), std::logic_error);
+  EXPECT_THROW(input.scalar(), std::logic_error);
+  Storage empty;
+  EXPECT_TRUE(empty.empty());
+  EXPECT_THROW(empty.size(), std::logic_error);
+}
+
+TEST(Storage, ClearReleases) {
+  Storage s(make_uniform(5, 2, 5));
+  s.clear();
+  EXPECT_TRUE(s.empty());
+}
+
+} // namespace
+} // namespace portal

@@ -1,0 +1,192 @@
+// Property fuzz over the Portal program space: for a grid of
+// (outer op x inner op x kernel) combinations on random clustered data, the
+// tree-accelerated execution must equal the compiler's own brute-force
+// program (exactly for pruning problems, within the tau bound for
+// approximation problems). This is the single strongest guard on the
+// prune/approximate generator: any unsound bound shows up here.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <tuple>
+
+#include "core/portal.h"
+#include "data/generators.h"
+
+namespace portal {
+namespace {
+
+struct FuzzCase {
+  PortalOp outer;
+  OpSpec inner;
+  const char* func; // key into make_func
+  bool approximate; // category expectation: tau participates
+};
+
+PortalFunc make_func(const std::string& name) {
+  if (name == "euclidean") return PortalFunc::EUCLIDEAN;
+  if (name == "sqeuclid") return PortalFunc::SQREUCDIST;
+  if (name == "manhattan") return PortalFunc::MANHATTAN;
+  if (name == "chebyshev") return PortalFunc::CHEBYSHEV;
+  if (name == "gaussian") return PortalFunc::gaussian(1.0);
+  if (name == "maha") return PortalFunc::MAHALANOBIS;
+  if (name == "gaussian_maha") return PortalFunc::gaussian_maha();
+  if (name == "indicator") return PortalFunc::indicator(0.3, 2.0);
+  throw std::logic_error("unknown func");
+}
+
+class ProgramFuzz : public testing::TestWithParam<FuzzCase> {};
+
+TEST_P(ProgramFuzz, TreeEqualsBruteForce) {
+  const FuzzCase c = GetParam();
+  const Dataset qd = make_gaussian_mixture(150, 3, 3, 1000 + static_cast<int>(c.outer));
+  const Dataset rd =
+      make_gaussian_mixture(220, 3, 3, 2000 + static_cast<int>(c.inner.op));
+  Storage query(qd), reference(rd);
+
+  PortalExpr expr;
+  expr.addLayer(c.outer, query);
+  expr.addLayer(c.inner, reference, make_func(c.func));
+  PortalConfig config;
+  config.parallel = false;
+  config.engine = Engine::VM;
+  config.tau = c.approximate ? 1e-5 : 0;
+  expr.execute(config);
+  Storage tree_out = expr.getOutput();
+
+  PortalExpr oracle;
+  oracle.addLayer(c.outer, query);
+  oracle.addLayer(c.inner, reference, make_func(c.func));
+  oracle.setConfig(config);
+  Storage brute_out = oracle.executeBruteForce();
+
+  const real_t tol =
+      c.approximate ? 1e-5 * static_cast<real_t>(rd.size()) + 1e-9 : 1e-9;
+  const std::string mismatch =
+      compare_outputs(brute_out.output(), tree_out.output(), tol);
+  EXPECT_TRUE(mismatch.empty()) << mismatch;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    OperatorMetricGrid, ProgramFuzz,
+    testing::Values(
+        // forall + reductions across every metric
+        FuzzCase{PortalOp::FORALL, {PortalOp::ARGMIN}, "euclidean", false},
+        FuzzCase{PortalOp::FORALL, {PortalOp::ARGMIN}, "sqeuclid", false},
+        FuzzCase{PortalOp::FORALL, {PortalOp::ARGMIN}, "manhattan", false},
+        FuzzCase{PortalOp::FORALL, {PortalOp::ARGMIN}, "chebyshev", false},
+        FuzzCase{PortalOp::FORALL, {PortalOp::ARGMIN}, "maha", false},
+        FuzzCase{PortalOp::FORALL, {PortalOp::MIN}, "euclidean", false},
+        FuzzCase{PortalOp::FORALL, {PortalOp::MAX}, "euclidean", false},
+        FuzzCase{PortalOp::FORALL, {PortalOp::ARGMAX}, "manhattan", false},
+        FuzzCase{PortalOp::FORALL, {PortalOp::KMIN, 4}, "chebyshev", false},
+        FuzzCase{PortalOp::FORALL, {PortalOp::KARGMIN, 7}, "euclidean", false},
+        FuzzCase{PortalOp::FORALL, {PortalOp::KMAX, 3}, "sqeuclid", false},
+        FuzzCase{PortalOp::FORALL, {PortalOp::KARGMAX, 2}, "euclidean", false},
+        // max-like over a *decreasing* envelope: nearest point maximizes
+        FuzzCase{PortalOp::FORALL, {PortalOp::MAX}, "gaussian", false},
+        FuzzCase{PortalOp::FORALL, {PortalOp::ARGMAX}, "gaussian", false},
+        // min-like over a decreasing envelope: farthest point minimizes
+        FuzzCase{PortalOp::FORALL, {PortalOp::MIN}, "gaussian", false},
+        // approximation problems
+        FuzzCase{PortalOp::FORALL, {PortalOp::SUM}, "gaussian", true},
+        FuzzCase{PortalOp::FORALL, {PortalOp::SUM}, "gaussian_maha", true},
+        FuzzCase{PortalOp::FORALL, {PortalOp::SUM}, "euclidean", true},
+        FuzzCase{PortalOp::FORALL, {PortalOp::SUM}, "manhattan", true},
+        // indicator kernels
+        FuzzCase{PortalOp::FORALL, {PortalOp::SUM}, "indicator", false},
+        FuzzCase{PortalOp::FORALL, {PortalOp::UNIONARG}, "indicator", false},
+        FuzzCase{PortalOp::FORALL, {PortalOp::UNION}, "indicator", false},
+        // scalar outer reductions
+        FuzzCase{PortalOp::SUM, {PortalOp::MIN}, "euclidean", false},
+        FuzzCase{PortalOp::SUM, {PortalOp::SUM}, "indicator", false},
+        FuzzCase{PortalOp::MAX, {PortalOp::MIN}, "euclidean", false},
+        FuzzCase{PortalOp::MIN, {PortalOp::MAX}, "euclidean", false},
+        FuzzCase{PortalOp::MIN, {PortalOp::MIN}, "manhattan", false},
+        FuzzCase{PortalOp::MAX, {PortalOp::MAX}, "chebyshev", false},
+        FuzzCase{PortalOp::SUM, {PortalOp::SUM}, "gaussian", true},
+        FuzzCase{PortalOp::MAX, {PortalOp::SUM}, "gaussian", true}));
+
+/// Same-dataset variant (self-joins exercise the equal-node traversal path).
+class SelfJoinFuzz : public testing::TestWithParam<FuzzCase> {};
+
+TEST_P(SelfJoinFuzz, TreeEqualsBruteForce) {
+  const FuzzCase c = GetParam();
+  const Dataset data =
+      make_gaussian_mixture(250, 2, 4, 3000 + static_cast<int>(c.inner.op));
+  Storage storage(data);
+
+  PortalExpr expr;
+  expr.addLayer(c.outer, storage);
+  expr.addLayer(c.inner, storage, make_func(c.func));
+  PortalConfig config;
+  config.parallel = false;
+  config.engine = Engine::VM;
+  config.tau = c.approximate ? 1e-5 : 0;
+  expr.execute(config);
+
+  PortalExpr oracle;
+  oracle.addLayer(c.outer, storage);
+  oracle.addLayer(c.inner, storage, make_func(c.func));
+  oracle.setConfig(config);
+  Storage brute_out = oracle.executeBruteForce();
+
+  const real_t tol =
+      c.approximate ? 1e-5 * static_cast<real_t>(data.size()) + 1e-9 : 1e-9;
+  const std::string mismatch =
+      compare_outputs(brute_out.output(), expr.getOutput().output(), tol);
+  EXPECT_TRUE(mismatch.empty()) << mismatch;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SelfJoins, SelfJoinFuzz,
+    testing::Values(
+        FuzzCase{PortalOp::FORALL, {PortalOp::KARGMIN, 3}, "euclidean", false},
+        FuzzCase{PortalOp::FORALL, {PortalOp::SUM}, "gaussian", true},
+        FuzzCase{PortalOp::SUM, {PortalOp::SUM}, "indicator", false},
+        FuzzCase{PortalOp::FORALL, {PortalOp::UNIONARG}, "indicator", false},
+        FuzzCase{PortalOp::MAX, {PortalOp::MIN}, "euclidean", false},
+        FuzzCase{PortalOp::FORALL, {PortalOp::KMAX, 5}, "manhattan", false}));
+
+/// Parallel runs must equal serial runs for every case shape.
+TEST(ProgramFuzzParallel, ParallelEqualsSerial) {
+  const Dataset data = make_gaussian_mixture(500, 3, 3, 4000);
+  Storage storage(data);
+  for (const char* func : {"euclidean", "gaussian", "indicator"}) {
+    const OpSpec inner = std::string(func) == "gaussian"
+                             ? OpSpec(PortalOp::SUM)
+                             : (std::string(func) == "indicator"
+                                    ? OpSpec(PortalOp::UNIONARG)
+                                    : OpSpec{PortalOp::KARGMIN, 3});
+    Storage serial_out, parallel_out;
+    {
+      PortalExpr expr;
+      expr.addLayer(PortalOp::FORALL, storage);
+      expr.addLayer(inner, storage, make_func(func));
+      PortalConfig config;
+      config.parallel = false;
+      config.engine = Engine::VM;
+      config.tau = 1e-4;
+      expr.execute(config);
+      serial_out = expr.getOutput();
+    }
+    {
+      PortalExpr expr;
+      expr.addLayer(PortalOp::FORALL, storage);
+      expr.addLayer(inner, storage, make_func(func));
+      PortalConfig config;
+      config.parallel = true;
+      config.task_depth = 5;
+      config.engine = Engine::VM;
+      config.tau = 1e-4;
+      expr.execute(config);
+      parallel_out = expr.getOutput();
+    }
+    const std::string mismatch =
+        compare_outputs(serial_out.output(), parallel_out.output(), 1e-9);
+    EXPECT_TRUE(mismatch.empty()) << func << ": " << mismatch;
+  }
+}
+
+} // namespace
+} // namespace portal

@@ -1,0 +1,408 @@
+// Tests for the Portal compiler middle end: kernel lowering, metric/envelope
+// normalization, the optimization passes of Sec. IV-C/D/E, envelope
+// classification, and the bytecode VM.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/analysis.h"
+#include "core/portal.h"
+#include "data/generators.h"
+#include "core/codegen/vm.h"
+#include "core/ir/ir.h"
+#include "core/passes/lowering.h"
+#include "core/passes/passes.h"
+#include "kernels/fastmath.h"
+#include "kernels/linalg.h"
+#include "util/rng.h"
+
+namespace portal {
+namespace {
+
+Expr euclid(const Var& q, const Var& r) { return sqrt(pow(Expr(q) - Expr(r), 2)); }
+
+TEST(Lowering, EuclideanKernelIr) {
+  Var q("q"), r("r");
+  const IrExprPtr ir = lower_kernel_expr(euclid(q, r), q.id(), r.id(), {});
+  // Sqrt(DimSum(Pow(Sub(LoadQ, LoadR), 2))) -- the Fig. 2 structure.
+  ASSERT_EQ(ir->op, IrOp::Sqrt);
+  ASSERT_EQ(ir->children[0]->op, IrOp::DimSum);
+  const IrExprPtr& body = ir->children[0]->children[0];
+  ASSERT_EQ(body->op, IrOp::Pow);
+  EXPECT_EQ(body->children[0]->op, IrOp::Sub);
+  EXPECT_EQ(body->children[0]->children[0]->op, IrOp::LoadQCoord);
+  EXPECT_EQ(body->children[0]->children[1]->op, IrOp::LoadRCoord);
+  EXPECT_EQ(ir_expr_to_string(ir),
+            "sqrt(dim_sum[for d in 0 ... dim]{pow((load(q, d) - load(r, d)), 2)})");
+}
+
+TEST(Lowering, UnboundVarThrows) {
+  Var q, r, other;
+  const Expr bad = sqrt(pow(Expr(q) - Expr(other), 2));
+  EXPECT_THROW(lower_kernel_expr(bad, q.id(), r.id(), {}), std::invalid_argument);
+}
+
+TEST(Lowering, NormalizationExtractsMetrics) {
+  Var q, r;
+  struct Case {
+    Expr kernel;
+    MetricKind metric;
+  };
+  const Case cases[] = {
+      {sqrt(pow(Expr(q) - Expr(r), 2)), MetricKind::Euclidean},
+      {dimsum(pow(Expr(q) - Expr(r), 2)), MetricKind::SqEuclidean},
+      {dimsum(abs(Expr(q) - Expr(r))), MetricKind::Manhattan},
+      {dimmax(abs(Expr(q) - Expr(r))), MetricKind::Chebyshev},
+  };
+  for (const Case& c : cases) {
+    const NormalizedKernel n = normalize_kernel(c.kernel, q.id(), r.id(), {});
+    ASSERT_TRUE(n.ok) << c.kernel.to_string();
+    EXPECT_EQ(n.metric, c.metric);
+    EXPECT_EQ(n.envelope->op, IrOp::Dist); // identity envelope
+  }
+}
+
+TEST(Lowering, NormalizationExtractsEnvelope) {
+  Var q, r;
+  // Gaussian: exp(-0.5 * d^2).
+  const Expr kernel = exp(Expr(-0.5) * dimsum(pow(Expr(q) - Expr(r), 2)));
+  const NormalizedKernel n = normalize_kernel(kernel, q.id(), r.id(), {});
+  ASSERT_TRUE(n.ok);
+  EXPECT_EQ(n.metric, MetricKind::SqEuclidean);
+  ASSERT_EQ(n.envelope->op, IrOp::Exp);
+  EXPECT_TRUE(ir_contains(n.envelope, IrOp::Dist));
+  EXPECT_FALSE(ir_contains(n.envelope, IrOp::LoadQCoord));
+}
+
+TEST(Lowering, NormalizationFailsOnRawPointUse) {
+  Var q, r;
+  // q + r summed: not a metric pattern.
+  const Expr weird = dimsum(Expr(q) + Expr(r));
+  const NormalizedKernel n = normalize_kernel(weird, q.id(), r.id(), {});
+  EXPECT_FALSE(n.ok);
+}
+
+TEST(Passes, FlatteningSetsStrides) {
+  Var q, r;
+  const IrExprPtr ir = lower_kernel_expr(euclid(q, r), q.id(), r.id(), {});
+  const IrExprPtr flat = flatten_pass(ir, Layout::ColMajor, 100, Layout::RowMajor, 50);
+  bool found_q = false, found_r = false;
+  const std::function<void(const IrExprPtr&)> walk = [&](const IrExprPtr& e) {
+    if (e->op == IrOp::LoadQCoord) {
+      EXPECT_TRUE(e->flattened);
+      EXPECT_EQ(e->stride, 100); // column-major: stride = N
+      found_q = true;
+    }
+    if (e->op == IrOp::LoadRCoord) {
+      EXPECT_TRUE(e->flattened);
+      EXPECT_EQ(e->stride, 1); // row-major: contiguous coordinates
+      found_r = true;
+    }
+    for (const IrExprPtr& c : e->children) walk(c);
+  };
+  walk(flat);
+  EXPECT_TRUE(found_q);
+  EXPECT_TRUE(found_r);
+}
+
+TEST(Passes, StrengthReductionRewrites) {
+  // pow(x, 2) -> x * x.
+  const IrExprPtr sq = ir_pow(ir_leaf(IrOp::Dist), 2);
+  const IrExprPtr reduced = strength_reduction_pass(sq);
+  EXPECT_EQ(reduced->op, IrOp::Mul);
+  // pow(x, 5) untouched (exponent >= 4).
+  EXPECT_EQ(strength_reduction_pass(ir_pow(ir_leaf(IrOp::Dist), 5))->op, IrOp::Pow);
+  // sqrt -> NaN-safe fast form.
+  EXPECT_EQ(strength_reduction_pass(ir_unary(IrOp::Sqrt, ir_leaf(IrOp::Dist)))->op,
+            IrOp::FastSqrt);
+  // 1/sqrt(x) -> fast_inv_sqrt.
+  const IrExprPtr inv =
+      ir_binary(IrOp::Div, ir_const(1), ir_unary(IrOp::Sqrt, ir_leaf(IrOp::Dist)));
+  EXPECT_EQ(strength_reduction_pass(inv)->op, IrOp::FastInvSqrt);
+}
+
+TEST(Passes, NumericalOptimizationSwitchesToCholesky) {
+  IrExpr naive;
+  naive.op = IrOp::MahalanobisNaive;
+  naive.matrix = {4, 2, 2, 3}; // SPD covariance
+  const IrExprPtr opt =
+      numerical_optimization_pass(std::make_shared<const IrExpr>(naive));
+  ASSERT_EQ(opt->op, IrOp::MahalanobisChol);
+  // The stored matrix is now the Cholesky factor L with L L^T = cov.
+  const std::vector<real_t>& l = opt->matrix;
+  EXPECT_NEAR(l[0] * l[0], 4.0, 1e-12);
+  EXPECT_NEAR(l[2] * l[0], 2.0, 1e-12);
+}
+
+TEST(Passes, ConstantFolding) {
+  const IrExprPtr folded = constant_fold_pass(
+      ir_binary(IrOp::Add, ir_const(2), ir_binary(IrOp::Mul, ir_const(3), ir_const(4))));
+  ASSERT_EQ(folded->op, IrOp::Const);
+  EXPECT_DOUBLE_EQ(folded->value, 14.0);
+  // Identity simplifications.
+  const IrExprPtr x_plus_0 =
+      constant_fold_pass(ir_binary(IrOp::Add, ir_leaf(IrOp::Dist), ir_const(0)));
+  EXPECT_EQ(x_plus_0->op, IrOp::Dist);
+  const IrExprPtr x_times_1 =
+      constant_fold_pass(ir_binary(IrOp::Mul, ir_const(1), ir_leaf(IrOp::Dist)));
+  EXPECT_EQ(x_times_1->op, IrOp::Dist);
+}
+
+// ---------------------------------------------------------------------------
+// VM correctness: bytecode evaluation == direct evaluation of the same math.
+TEST(Vm, EvaluatesEuclideanKernel) {
+  Var q("q"), r("r");
+  const IrExprPtr ir = lower_kernel_expr(euclid(q, r), q.id(), r.id(), {});
+  const VmProgram program = VmProgram::compile(ir);
+  Rng rng(1);
+  for (int trial = 0; trial < 100; ++trial) {
+    const index_t dim = 1 + static_cast<index_t>(rng.uniform_index(10));
+    std::vector<real_t> a(dim), b(dim);
+    real_t sq = 0;
+    for (index_t d = 0; d < dim; ++d) {
+      a[d] = rng.uniform(-5, 5);
+      b[d] = rng.uniform(-5, 5);
+      sq += (a[d] - b[d]) * (a[d] - b[d]);
+    }
+    EXPECT_NEAR(program.run_pair(a.data(), b.data(), dim), std::sqrt(sq), 1e-12);
+  }
+}
+
+TEST(Vm, EvaluatesChebyshevAndEnvelope) {
+  Var q, r;
+  const Expr cheb = dimmax(abs(Expr(q) - Expr(r)));
+  const VmProgram program =
+      VmProgram::compile(lower_kernel_expr(cheb, q.id(), r.id(), {}));
+  const real_t a[3] = {0, 0, 0};
+  const real_t b[3] = {1, -4, 2};
+  EXPECT_DOUBLE_EQ(program.run_pair(a, b, 3), 4.0);
+
+  // Envelope program: exp(-0.5 * Dist).
+  const IrExprPtr env = ir_unary(
+      IrOp::Exp, ir_binary(IrOp::Mul, ir_const(-0.5), ir_leaf(IrOp::Dist)));
+  const VmProgram env_program = VmProgram::compile(env);
+  EXPECT_NEAR(env_program.run_envelope(2.0), std::exp(-1.0), 1e-15);
+}
+
+TEST(Vm, StrengthReducedProgramStaysAccurate) {
+  Var q("q"), r("r");
+  const IrExprPtr exact_ir = lower_kernel_expr(euclid(q, r), q.id(), r.id(), {});
+  const IrExprPtr fast_ir = strength_reduction_pass(exact_ir);
+  const VmProgram exact = VmProgram::compile(exact_ir);
+  const VmProgram fast = VmProgram::compile(fast_ir);
+  Rng rng(2);
+  for (int trial = 0; trial < 200; ++trial) {
+    real_t a[4], b[4];
+    for (int d = 0; d < 4; ++d) {
+      a[d] = rng.uniform(-10, 10);
+      b[d] = rng.uniform(-10, 10);
+    }
+    const real_t e = exact.run_pair(a, b, 4);
+    const real_t f = fast.run_pair(a, b, 4);
+    EXPECT_NEAR(f / e, 1.0, 2e-3); // the Sec. IV-E error envelope
+  }
+}
+
+TEST(Vm, MahalanobisOpcodesMatchLinalg) {
+  Var q, r;
+  const std::vector<real_t> cov = {4, 2, 2, 3};
+  const Expr kernel = mahalanobis(q, r, cov);
+  const IrExprPtr naive_ir = lower_kernel_expr(kernel, q.id(), r.id(), {});
+  const IrExprPtr chol_ir = numerical_optimization_pass(naive_ir);
+  const VmProgram naive = VmProgram::compile(naive_ir);
+  const VmProgram chol = VmProgram::compile(chol_ir);
+
+  const std::vector<real_t> inv = spd_inverse(cov, 2);
+  Rng rng(3);
+  std::vector<real_t> scratch(8);
+  for (int trial = 0; trial < 100; ++trial) {
+    const real_t a[2] = {rng.uniform(-3, 3), rng.uniform(-3, 3)};
+    const real_t b[2] = {rng.uniform(-3, 3), rng.uniform(-3, 3)};
+    const real_t expected = mahalanobis_sq_naive(a, b, inv, 2);
+    EXPECT_NEAR(naive.run_pair(a, b, 2, scratch.data()), expected, 1e-10);
+    EXPECT_NEAR(chol.run_pair(a, b, 2, scratch.data()), expected, 1e-10);
+  }
+}
+
+TEST(Vm, ExternalCallOpcode) {
+  Var q, r;
+  const Expr kernel = external_kernel(
+      q, r,
+      [](const real_t* a, const real_t* b, index_t dim) {
+        real_t total = 0;
+        for (index_t d = 0; d < dim; ++d) total += a[d] * b[d];
+        return total;
+      },
+      "dot");
+  const VmProgram program =
+      VmProgram::compile(lower_kernel_expr(kernel, q.id(), r.id(), {}));
+  const real_t a[2] = {2, 3};
+  const real_t b[2] = {4, 5};
+  EXPECT_DOUBLE_EQ(program.run_pair(a, b, 2), 23.0);
+}
+
+// ---------------------------------------------------------------------------
+// Envelope classification (the generator's front half).
+TEST(Classification, Shapes) {
+  Var q, r;
+  KernelInfo info;
+
+  // Identity (k-NN).
+  NormalizedKernel n = normalize_kernel(euclid(q, r), q.id(), r.id(), {});
+  info.normalized = n.ok;
+  info.envelope_ir = n.envelope;
+  classify_envelope(&info);
+  EXPECT_EQ(info.shape, EnvelopeShape::Identity);
+
+  // Decreasing (Gaussian).
+  n = normalize_kernel(exp(Expr(-0.25) * dimsum(pow(Expr(q) - Expr(r), 2))),
+                       q.id(), r.id(), {});
+  info.normalized = n.ok;
+  info.envelope_ir = n.envelope;
+  classify_envelope(&info);
+  EXPECT_EQ(info.shape, EnvelopeShape::Decreasing);
+
+  // Increasing but not identity.
+  n = normalize_kernel(dimsum(pow(Expr(q) - Expr(r), 2)) * Expr(2.0) + Expr(1.0),
+                       q.id(), r.id(), {});
+  info.normalized = n.ok;
+  info.envelope_ir = n.envelope;
+  classify_envelope(&info);
+  EXPECT_EQ(info.shape, EnvelopeShape::Increasing);
+
+  // Indicator (range search): lo < d < hi.
+  const Expr d = sqrt(pow(Expr(q) - Expr(r), 2));
+  n = normalize_kernel((Expr(0.5) < d) * (d < Expr(2.0)), q.id(), r.id(), {});
+  info.normalized = n.ok;
+  info.envelope_ir = n.envelope;
+  classify_envelope(&info);
+  ASSERT_EQ(info.shape, EnvelopeShape::Indicator);
+  EXPECT_DOUBLE_EQ(info.indicator_lo, 0.5);
+  EXPECT_DOUBLE_EQ(info.indicator_hi, 2.0);
+
+  // One-sided indicator (2-point correlation): d < h.
+  n = normalize_kernel(d < Expr(3.0), q.id(), r.id(), {});
+  info.normalized = n.ok;
+  info.envelope_ir = n.envelope;
+  classify_envelope(&info);
+  ASSERT_EQ(info.shape, EnvelopeShape::Indicator);
+  EXPECT_TRUE(std::isinf(info.indicator_lo));
+  EXPECT_DOUBLE_EQ(info.indicator_hi, 3.0);
+
+  // Non-monotone: disabled with Opaque.
+  n = normalize_kernel(
+      dimsum(pow(Expr(q) - Expr(r), 2)) * (Expr(4.0) - dimsum(pow(Expr(q) - Expr(r), 2))),
+      q.id(), r.id(), {});
+  // Note: two Dist occurrences -> still normalized (same metric twice).
+  info.normalized = n.ok;
+  info.envelope_ir = n.envelope;
+  classify_envelope(&info);
+  EXPECT_EQ(info.shape, EnvelopeShape::Opaque);
+}
+
+TEST(Printer, StatementDump) {
+  const IrStmtPtr program = ir_block({
+      ir_comment("storage injection for outer layer"),
+      ir_alloc("storage0[q.size]"),
+      ir_loop("q in query.start ... query.end",
+              {ir_assign("t", ir_pow(ir_leaf(IrOp::Dist), 2))}),
+  });
+  const std::string text = ir_stmt_to_string(program);
+  EXPECT_NE(text.find("// storage injection"), std::string::npos);
+  EXPECT_NE(text.find("alloc storage0[q.size]"), std::string::npos);
+  EXPECT_NE(text.find("for q in query.start"), std::string::npos);
+  EXPECT_NE(text.find("t = pow(dist(q, r), 2)"), std::string::npos);
+}
+
+} // namespace
+} // namespace portal
+
+// ---------------------------------------------------------------------------
+// vmin/vmax builders flow through lowering and the VM.
+namespace portal {
+namespace {
+
+TEST(Vm, MinMaxBuilders) {
+  Var q("q"), r("r");
+  // Truncated distance: min(||q - r||, 2).
+  const Expr kernel = vmin(sqrt(pow(Expr(q) - Expr(r), 2)), Expr(2.0));
+  EXPECT_EQ(kernel.to_string(), "min(sqrt(dimsum(pow((q - r), 2))), 2)");
+  const VmProgram program =
+      VmProgram::compile(lower_kernel_expr(kernel, q.id(), r.id(), {}));
+  const real_t a[2] = {0, 0};
+  const real_t near_b[2] = {1, 0};
+  const real_t far_b[2] = {5, 0};
+  EXPECT_DOUBLE_EQ(program.run_pair(a, near_b, 2), 1.0);
+  EXPECT_DOUBLE_EQ(program.run_pair(a, far_b, 2), 2.0); // clamped
+
+  // vmax is elementwise on vectors: max(q - r, 0) summed = positive part.
+  const Expr relu = dimsum(vmax(Expr(q) - Expr(r), Expr(0.0)));
+  const VmProgram relu_program =
+      VmProgram::compile(lower_kernel_expr(relu, q.id(), r.id(), {}));
+  const real_t x[2] = {3, -4};
+  const real_t y[2] = {1, 0};
+  EXPECT_DOUBLE_EQ(relu_program.run_pair(x, y, 2), 2.0); // (3-1)+0
+}
+
+TEST(Classification, TruncatedKernelIsMonotone) {
+  Var q, r;
+  KernelInfo info;
+  const NormalizedKernel n = normalize_kernel(
+      vmin(sqrt(pow(Expr(q) - Expr(r), 2)), Expr(2.0)), q.id(), r.id(), {});
+  ASSERT_TRUE(n.ok);
+  info.normalized = true;
+  info.envelope_ir = n.envelope;
+  classify_envelope(&info);
+  EXPECT_EQ(info.shape, EnvelopeShape::Increasing); // non-strict plateau ok
+}
+
+} // namespace
+} // namespace portal
+
+// ---------------------------------------------------------------------------
+// Dead-code elimination (Sec. IV-F).
+namespace portal {
+namespace {
+
+TEST(Passes, DceDropsUnreadTemps) {
+  IrExpr t_node;
+  t_node.op = IrOp::Temp;
+  t_node.label = "t";
+  const IrExprPtr t_ref = std::make_shared<const IrExpr>(t_node);
+
+  const IrStmtPtr program = ir_block({
+      ir_assign("t", ir_const(1)),        // read below: live
+      ir_assign("dead", ir_const(2)),     // never read: removed
+      ir_assign("storage0[q]", t_ref),    // storage target: always live
+      ir_accum("acc", "+", ir_const(3)),  // accum reads its own target
+  });
+  const IrStmtPtr cleaned = dce_pass(program);
+  const std::string text = ir_stmt_to_string(cleaned);
+  EXPECT_NE(text.find("t = 1"), std::string::npos);
+  EXPECT_EQ(text.find("dead = 2"), std::string::npos);
+  EXPECT_NE(text.find("storage0[q] = t"), std::string::npos);
+  EXPECT_NE(text.find("acc += 3"), std::string::npos);
+}
+
+TEST(Passes, PipelineKeepsKernelAssignmentLive) {
+  // End-to-end: the BaseCase `t = kernel` assignment survives DCE because
+  // the reduction reads it; the dump must still show it after all passes.
+  Storage data(make_gaussian_mixture(64, 3, 2, 88));
+  PortalExpr expr;
+  expr.addLayer(PortalOp::FORALL, data);
+  expr.addLayer(PortalOp::ARGMIN, data, PortalFunc::EUCLIDEAN);
+  PortalConfig config;
+  config.parallel = false;
+  config.dump_ir = true;
+  expr.execute(config);
+  bool saw_dce_stage = false;
+  for (const auto& [stage, dump] : expr.artifacts().stages)
+    if (stage == "dead-code-elimination") {
+      saw_dce_stage = true;
+      EXPECT_NE(dump.find("t = "), std::string::npos);
+    }
+  EXPECT_TRUE(saw_dce_stage);
+}
+
+} // namespace
+} // namespace portal

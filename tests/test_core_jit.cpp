@@ -1,0 +1,140 @@
+// Tests for the source JIT backend: C++ emission, compilation through the
+// system compiler, and agreement with the VM on the same optimized IR.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/analysis.h"
+#include "core/codegen/jit.h"
+#include "core/codegen/vm.h"
+#include "core/portal.h"
+#include "data/generators.h"
+#include "util/rng.h"
+
+namespace portal {
+namespace {
+
+ProblemPlan make_plan(const PortalFunc& func, const Storage& data,
+                      PortalOp inner_op = PortalOp::ARGMIN) {
+  std::vector<LayerSpec> layers(2);
+  layers[0].op = OpSpec(PortalOp::FORALL);
+  layers[0].storage = data;
+  layers[1].op = OpSpec(inner_op);
+  layers[1].storage = data;
+  layers[1].func = func;
+  return analyze_layers(layers, PortalConfig{});
+}
+
+TEST(Jit, CompilerIsAvailable) {
+  // This environment ships g++; the JIT must detect it.
+  EXPECT_TRUE(jit_available());
+}
+
+TEST(Jit, EmitsCompilableSource) {
+  Storage data(make_gaussian_mixture(50, 3, 2, 41));
+  const ProblemPlan plan = make_plan(PortalFunc::EUCLIDEAN, data);
+  const std::string source = emit_cpp_source(plan);
+  EXPECT_NE(source.find("extern \"C\" double portal_kernel"), std::string::npos);
+  EXPECT_NE(source.find("extern \"C\" double portal_envelope"), std::string::npos);
+  EXPECT_NE(source.find("for (long d = 0; d < dim; ++d)"), std::string::npos);
+}
+
+TEST(Jit, KernelMatchesVm) {
+  Storage data(make_gaussian_mixture(50, 4, 2, 42));
+  for (const PortalFunc& func :
+       {PortalFunc::EUCLIDEAN, PortalFunc::SQREUCDIST, PortalFunc::MANHATTAN,
+        PortalFunc::CHEBYSHEV, PortalFunc::gaussian(1.5)}) {
+    const ProblemPlan plan = make_plan(func, data, PortalOp::SUM);
+    auto module = JitModule::compile(plan);
+    ASSERT_NE(module, nullptr) << func.name();
+    const EvaluatorFns jit = module->evaluators();
+    const VmProgram vm = VmProgram::compile(plan.kernel.kernel_ir);
+
+    Rng rng(43);
+    std::vector<real_t> scratch(16);
+    for (int trial = 0; trial < 50; ++trial) {
+      real_t a[4], b[4];
+      for (int d = 0; d < 4; ++d) {
+        a[d] = rng.uniform(-5, 5);
+        b[d] = rng.uniform(-5, 5);
+      }
+      EXPECT_NEAR(jit.kernel_pair(a, b, 4, scratch.data()),
+                  vm.run_pair(a, b, 4, scratch.data()), 1e-12)
+          << func.name();
+    }
+    if (plan.kernel.normalized) {
+      const VmProgram env_vm = VmProgram::compile(plan.kernel.envelope_ir);
+      for (real_t d : {0.0, 0.5, 1.0, 4.0, 25.0})
+        EXPECT_NEAR(jit.envelope(d), env_vm.run_envelope(d), 1e-12);
+    }
+  }
+}
+
+TEST(Jit, MahalanobisKernelMatchesVm) {
+  Storage data(make_gaussian_mixture(60, 3, 2, 44));
+  const ProblemPlan plan = make_plan(PortalFunc::MAHALANOBIS, data, PortalOp::SUM);
+  auto module = JitModule::compile(plan);
+  ASSERT_NE(module, nullptr);
+  const EvaluatorFns jit = module->evaluators();
+  const VmProgram vm = VmProgram::compile(plan.kernel.kernel_ir);
+
+  Rng rng(45);
+  std::vector<real_t> scratch(16);
+  for (int trial = 0; trial < 50; ++trial) {
+    real_t a[3], b[3];
+    for (int d = 0; d < 3; ++d) {
+      a[d] = rng.uniform(-3, 3);
+      b[d] = rng.uniform(-3, 3);
+    }
+    EXPECT_NEAR(jit.kernel_pair(a, b, 3, scratch.data()),
+                vm.run_pair(a, b, 3, scratch.data()), 1e-9);
+  }
+}
+
+TEST(Jit, ExternalKernelsReportUnserializable) {
+  Storage data(make_gaussian_mixture(30, 2, 2, 46));
+  std::vector<LayerSpec> layers(2);
+  layers[0].op = OpSpec(PortalOp::FORALL);
+  layers[0].storage = data;
+  layers[1].op = OpSpec(PortalOp::ARGMIN);
+  layers[1].storage = data;
+  layers[1].external = [](const real_t*, const real_t*, index_t) {
+    return real_t(0);
+  };
+  const ProblemPlan plan = analyze_layers(layers, PortalConfig{});
+  EXPECT_EQ(JitModule::compile(plan), nullptr);
+  EXPECT_THROW(emit_cpp_source(plan), std::runtime_error);
+}
+
+TEST(Jit, EndToEndKnnThroughJitEngine) {
+  Storage query(make_gaussian_mixture(60, 3, 2, 47));
+  Storage reference(make_gaussian_mixture(120, 3, 2, 48));
+
+  PortalConfig config;
+  config.parallel = false;
+
+  Storage pattern_out, jit_out;
+  {
+    PortalExpr expr;
+    expr.addLayer(PortalOp::FORALL, query);
+    expr.addLayer({PortalOp::KARGMIN, 3}, reference, PortalFunc::EUCLIDEAN);
+    config.engine = Engine::Pattern;
+    expr.execute(config);
+    pattern_out = expr.getOutput();
+  }
+  {
+    PortalExpr expr;
+    expr.addLayer(PortalOp::FORALL, query);
+    expr.addLayer({PortalOp::KARGMIN, 3}, reference, PortalFunc::EUCLIDEAN);
+    config.engine = Engine::JIT;
+    expr.execute(config);
+    EXPECT_EQ(expr.artifacts().chosen_engine, "jit");
+    jit_out = expr.getOutput();
+  }
+  for (index_t i = 0; i < pattern_out.rows(); ++i)
+    for (index_t j = 0; j < 3; ++j)
+      EXPECT_NEAR(pattern_out.value(i, j), jit_out.value(i, j), 1e-9);
+}
+
+} // namespace
+} // namespace portal

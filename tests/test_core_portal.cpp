@@ -1,0 +1,492 @@
+// End-to-end tests of the Portal DSL + compiler: the paper's programs
+// (codes 1 and 3, Table III problems) executed through the full pipeline and
+// checked against the expert implementations / brute force.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "core/portal.h"
+#include "data/generators.h"
+#include "problems/barneshut.h"
+#include "problems/emst.h"
+#include "problems/kde.h"
+#include "problems/knn.h"
+#include "problems/range_search.h"
+#include "problems/twopoint.h"
+
+namespace portal {
+namespace {
+
+PortalConfig serial_config() {
+  PortalConfig config;
+  config.parallel = false;
+  return config;
+}
+
+TEST(Portal, KnnCode1Program) {
+  // The paper's 13-line k-NN program (code 1).
+  Storage query(make_gaussian_mixture(150, 3, 2, 11));
+  Storage reference(make_gaussian_mixture(400, 3, 2, 12));
+
+  PortalExpr expr;
+  expr.addLayer(PortalOp::FORALL, query);
+  expr.addLayer({PortalOp::KARGMIN, 5}, reference, PortalFunc::EUCLIDEAN);
+  expr.execute(serial_config());
+  Storage output = expr.getOutput();
+
+  ASSERT_EQ(output.rows(), 150);
+  ASSERT_EQ(output.cols(), 5);
+  EXPECT_TRUE(output.has_indices());
+  EXPECT_EQ(expr.artifacts().chosen_engine, "pattern:knn");
+  EXPECT_EQ(expr.plan().category, ProblemCategory::Pruning);
+
+  const KnnResult brute = knn_bruteforce(query.dataset(), reference.dataset(), 5);
+  for (index_t i = 0; i < output.rows(); ++i)
+    for (index_t j = 0; j < 5; ++j)
+      EXPECT_NEAR(output.value(i, j), brute.distances[i * 5 + j], 1e-9);
+}
+
+TEST(Portal, KnnCode3CustomKernel) {
+  // The paper's code 3: user-defined Euclidean distance.
+  Storage query(make_gaussian_mixture(100, 4, 2, 13));
+  Storage reference(make_gaussian_mixture(200, 4, 2, 14));
+  Var q;
+  Var r;
+  Expr EuclidDist = sqrt(pow(Expr(q) - Expr(r), 2));
+  PortalExpr expr;
+  expr.addLayer(PortalOp::FORALL, q, query);
+  expr.addLayer(PortalOp::ARGMIN, r, reference, EuclidDist);
+  expr.execute(serial_config());
+  Storage output = expr.getOutput();
+
+  const KnnResult brute = knn_bruteforce(query.dataset(), reference.dataset(), 1);
+  for (index_t i = 0; i < output.rows(); ++i) {
+    EXPECT_NEAR(output.value(i), brute.distances[i], 1e-9);
+    EXPECT_EQ(output.index_at(i), brute.indices[i]);
+  }
+}
+
+TEST(Portal, EnginesAgreeOnKnn) {
+  Storage query(make_gaussian_mixture(80, 3, 2, 15));
+  Storage reference(make_gaussian_mixture(150, 3, 2, 16));
+
+  std::vector<Storage> outputs;
+  for (Engine engine : {Engine::Pattern, Engine::VM}) {
+    PortalExpr expr;
+    expr.addLayer(PortalOp::FORALL, query);
+    expr.addLayer({PortalOp::KMIN, 3}, reference, PortalFunc::EUCLIDEAN);
+    PortalConfig config = serial_config();
+    config.engine = engine;
+    expr.execute(config);
+    outputs.push_back(expr.getOutput());
+  }
+  for (index_t i = 0; i < outputs[0].rows(); ++i)
+    for (index_t j = 0; j < 3; ++j)
+      EXPECT_NEAR(outputs[0].value(i, j), outputs[1].value(i, j), 1e-9);
+}
+
+TEST(Portal, KdeProgramWithinTauBound) {
+  Storage data(make_gaussian_mixture(500, 3, 3, 17));
+  const real_t sigma = 1.0;
+
+  PortalExpr expr;
+  expr.addLayer(PortalOp::FORALL, data);
+  expr.addLayer(PortalOp::SUM, data, PortalFunc::gaussian(sigma));
+  PortalConfig config = serial_config();
+  config.tau = 1e-3;
+  expr.execute(config);
+  Storage output = expr.getOutput();
+  EXPECT_EQ(expr.artifacts().chosen_engine, "pattern:kde");
+  EXPECT_EQ(expr.plan().category, ProblemCategory::Approximation);
+
+  const KdeResult brute =
+      kde_bruteforce(data.dataset(), data.dataset(), sigma, false);
+  const real_t bound = config.tau * static_cast<real_t>(data.size()) + 1e-9;
+  for (index_t i = 0; i < output.rows(); ++i)
+    EXPECT_NEAR(output.value(i), brute.densities[i], bound);
+}
+
+TEST(Portal, KdeGenericEngineMatchesPattern) {
+  Storage data(make_gaussian_mixture(300, 2, 2, 18));
+  PortalConfig config = serial_config();
+  config.tau = 0; // exact
+
+  std::vector<Storage> outputs;
+  for (Engine engine : {Engine::Pattern, Engine::VM}) {
+    PortalExpr expr;
+    expr.addLayer(PortalOp::FORALL, data);
+    expr.addLayer(PortalOp::SUM, data, PortalFunc::gaussian(0.7));
+    config.engine = engine;
+    expr.execute(config);
+    outputs.push_back(expr.getOutput());
+  }
+  for (index_t i = 0; i < outputs[0].rows(); ++i)
+    EXPECT_NEAR(outputs[0].value(i), outputs[1].value(i),
+                1e-9 * std::max(real_t(1), outputs[0].value(i)));
+}
+
+TEST(Portal, RangeSearchProgram) {
+  Storage query(make_gaussian_mixture(120, 3, 2, 19));
+  Storage reference(make_gaussian_mixture(300, 3, 2, 20));
+  const real_t h_lo = 0.5, h_hi = 2.5;
+
+  PortalExpr expr;
+  expr.addLayer(PortalOp::FORALL, query);
+  expr.addLayer(PortalOp::UNIONARG, reference, PortalFunc::indicator(h_lo, h_hi));
+  expr.execute(serial_config());
+  Storage output = expr.getOutput();
+  EXPECT_EQ(expr.artifacts().chosen_engine, "pattern:range-search");
+  EXPECT_TRUE(output.has_lists());
+
+  const RangeSearchResult brute =
+      range_search_bruteforce(query.dataset(), reference.dataset(), h_lo, h_hi);
+  for (index_t i = 0; i < query.size(); ++i) {
+    ASSERT_EQ(output.list_size(i), brute.count(i)) << "query " << i;
+    for (index_t j = 0; j < output.list_size(i); ++j)
+      EXPECT_EQ(output.list_at(i, j), brute.neighbors[brute.offsets[i] + j]);
+  }
+}
+
+TEST(Portal, RangeSearchGenericEngineAgrees) {
+  Storage data(make_gaussian_mixture(200, 2, 2, 21));
+  PortalConfig config = serial_config();
+  config.engine = Engine::VM;
+  PortalExpr expr;
+  expr.addLayer(PortalOp::FORALL, data);
+  expr.addLayer(PortalOp::UNIONARG, data, PortalFunc::indicator(0.1, 1.5));
+  expr.execute(config);
+  Storage output = expr.getOutput();
+
+  const RangeSearchResult brute =
+      range_search_bruteforce(data.dataset(), data.dataset(), 0.1, 1.5);
+  for (index_t i = 0; i < data.size(); ++i)
+    ASSERT_EQ(output.list_size(i), brute.count(i));
+}
+
+TEST(Portal, TwoPointProgram) {
+  Storage data(make_gaussian_mixture(400, 3, 3, 22));
+  const real_t h = 1.5;
+
+  // sum_i sum_j I(||x_i - x_j|| < h) -- ordered pairs, including i = j.
+  Var q, r;
+  const Expr d = sqrt(pow(Expr(q) - Expr(r), 2));
+  PortalExpr expr;
+  expr.addLayer(PortalOp::SUM, q, data);
+  expr.addLayer(PortalOp::SUM, r, data, d < Expr(h));
+  expr.execute(serial_config());
+  Storage output = expr.getOutput();
+  ASSERT_TRUE(output.has_scalar());
+  EXPECT_EQ(expr.artifacts().chosen_engine, "pattern:two-point");
+
+  const TwoPointResult brute = twopoint_bruteforce(data.dataset(), h);
+  const real_t expected =
+      2 * static_cast<real_t>(brute.pairs) + static_cast<real_t>(data.size());
+  EXPECT_DOUBLE_EQ(output.scalar(), expected);
+
+  // Generic engine agrees with the pattern dispatch.
+  PortalConfig config = serial_config();
+  config.engine = Engine::VM;
+  PortalExpr generic;
+  generic.addLayer(PortalOp::SUM, q, data);
+  generic.addLayer(PortalOp::SUM, r, data, d < Expr(h));
+  generic.execute(config);
+  EXPECT_DOUBLE_EQ(generic.getOutput().scalar(), expected);
+}
+
+TEST(Portal, HausdorffProgram) {
+  Storage a(make_gaussian_mixture(150, 3, 2, 23));
+  Storage b(make_gaussian_mixture(250, 3, 2, 24));
+
+  PortalExpr expr;
+  expr.addLayer(PortalOp::MAX, a);
+  expr.addLayer(PortalOp::MIN, b, PortalFunc::EUCLIDEAN);
+  expr.execute(serial_config());
+  EXPECT_EQ(expr.artifacts().chosen_engine, "pattern:hausdorff");
+
+  const KnnResult brute = knn_bruteforce(a.dataset(), b.dataset(), 1);
+  real_t expected = 0;
+  for (real_t dd : brute.distances) expected = std::max(expected, dd);
+  EXPECT_NEAR(expr.getOutput().scalar(), expected, 1e-9);
+
+  // Generic engine.
+  PortalConfig config = serial_config();
+  config.engine = Engine::VM;
+  PortalExpr generic;
+  generic.addLayer(PortalOp::MAX, a);
+  generic.addLayer(PortalOp::MIN, b, PortalFunc::EUCLIDEAN);
+  generic.execute(config);
+  EXPECT_NEAR(generic.getOutput().scalar(), expected, 1e-9);
+}
+
+TEST(Portal, BarnesHutProgram) {
+  const ParticleSet set = make_elliptical(1200, 25);
+  Storage bodies(set.positions);
+  bodies.set_weights(set.masses);
+
+  PortalExpr expr;
+  expr.addLayer(PortalOp::FORALL, bodies);
+  expr.addLayer(PortalOp::SUM, bodies, PortalFunc::gravity(1.0, 1e-3));
+  PortalConfig config = serial_config();
+  config.theta = 0.4;
+  expr.execute(config);
+  Storage output = expr.getOutput();
+  ASSERT_EQ(output.cols(), 3);
+  EXPECT_EQ(expr.artifacts().chosen_engine, "pattern:barnes-hut");
+
+  const BarnesHutResult exact =
+      bh_bruteforce(set.positions, set.masses, 1.0, 1e-3);
+  real_t num = 0, den = 0;
+  for (index_t i = 0; i < output.rows(); ++i)
+    for (int dd = 0; dd < 3; ++dd) {
+      const real_t diff = output.value(i, dd) - exact.accel[3 * i + dd];
+      num += diff * diff;
+      den += exact.accel[3 * i + dd] * exact.accel[3 * i + dd];
+    }
+  EXPECT_LT(std::sqrt(num / den), 1e-2);
+}
+
+TEST(Portal, MahalanobisKdeThroughGenericEngine) {
+  // Gaussian of the Mahalanobis distance (the Fig. 3 KDE kernel): no
+  // specialized kernel matches, so this exercises the VM + approximation
+  // generator with Mahalanobis box bounds.
+  Storage data(make_gaussian_mixture(250, 3, 2, 26));
+
+  PortalExpr expr;
+  expr.addLayer(PortalOp::FORALL, data);
+  expr.addLayer(PortalOp::SUM, data, PortalFunc::gaussian_maha());
+  PortalConfig config = serial_config();
+  config.tau = 1e-4;
+  expr.execute(config);
+  Storage output = expr.getOutput();
+  // Auto engine picks the JIT when a system compiler exists, the VM otherwise.
+  EXPECT_TRUE(expr.artifacts().chosen_engine == "jit" ||
+              expr.artifacts().chosen_engine == "vm");
+
+  // Oracle: brute-force program from the same compiler.
+  PortalExpr oracle;
+  oracle.addLayer(PortalOp::FORALL, data);
+  oracle.addLayer(PortalOp::SUM, data, PortalFunc::gaussian_maha());
+  oracle.setConfig(config);
+  Storage brute = oracle.executeBruteForce();
+  const real_t bound = config.tau * static_cast<real_t>(data.size()) + 1e-9;
+  for (index_t i = 0; i < output.rows(); ++i)
+    EXPECT_NEAR(output.value(i), brute.value(i), bound);
+}
+
+TEST(Portal, ExternalKernelProgram) {
+  // Opaque external C++ kernel (Sec. III-C): runs exhaustively via the VM.
+  Storage query(make_gaussian_mixture(60, 2, 2, 27));
+  Storage reference(make_gaussian_mixture(90, 2, 2, 28));
+
+  PortalExpr expr;
+  expr.addLayer(PortalOp::FORALL, query);
+  expr.addLayer(
+      PortalOp::ARGMIN, reference,
+      [](const real_t* a, const real_t* b, index_t dim) {
+        real_t total = 0;
+        for (index_t d = 0; d < dim; ++d) total += std::abs(a[d] - b[d]);
+        return total;
+      },
+      "l1");
+  expr.execute(serial_config());
+  Storage output = expr.getOutput();
+  EXPECT_EQ(expr.artifacts().chosen_engine, "vm");
+  EXPECT_EQ(expr.plan().category, ProblemCategory::Exhaustive);
+
+  const KnnResult brute =
+      knn_bruteforce(query.dataset(), reference.dataset(), 1, MetricKind::Manhattan);
+  for (index_t i = 0; i < output.rows(); ++i)
+    EXPECT_NEAR(output.value(i), brute.distances[i], 1e-9);
+}
+
+TEST(Portal, MstViaLabelConstraint) {
+  // The paper's 12-line MST program: Portal supplies the constrained
+  // nearest-foreign-neighbor primitive, native code runs Boruvka.
+  const Dataset points = make_gaussian_mixture(300, 3, 3, 29);
+  Storage data(points);
+  const index_t n = points.size();
+
+  std::vector<index_t> parent(n);
+  std::iota(parent.begin(), parent.end(), 0);
+  const std::function<index_t(index_t)> find = [&](index_t x) {
+    while (parent[x] != x) x = parent[x] = parent[parent[x]];
+    return x;
+  };
+
+  PortalExpr expr;
+  expr.addLayer(PortalOp::FORALL, data);
+  expr.addLayer(PortalOp::ARGMIN, data, PortalFunc::EUCLIDEAN);
+
+  real_t total_weight = 0;
+  index_t components = n;
+  std::vector<index_t> comp(n);
+  while (components > 1) {
+    for (index_t i = 0; i < n; ++i) comp[i] = find(i);
+    PortalConfig config = serial_config();
+    config.exclude_same_label = &comp;
+    expr.execute(config);
+    Storage out = expr.getOutput();
+
+    // Per-component winning edge, then contract.
+    std::vector<real_t> best(n, std::numeric_limits<real_t>::max());
+    std::vector<std::pair<index_t, index_t>> edge(n, {-1, -1});
+    for (index_t i = 0; i < n; ++i) {
+      const index_t to = out.index_at(i);
+      if (to < 0) continue;
+      const index_t c = comp[i];
+      if (out.value(i) < best[c]) {
+        best[c] = out.value(i);
+        edge[c] = {i, to};
+      }
+    }
+    for (index_t c = 0; c < n; ++c) {
+      if (edge[c].first < 0) continue;
+      const index_t a = find(edge[c].first);
+      const index_t b = find(edge[c].second);
+      if (a == b) continue;
+      parent[a] = b;
+      total_weight += best[c];
+      --components;
+    }
+  }
+
+  const EmstResult oracle = emst_bruteforce(points);
+  EXPECT_NEAR(total_weight, oracle.total_weight, 1e-7 * oracle.total_weight);
+}
+
+TEST(Portal, ForallForallEStepShape) {
+  // points x components joint evaluation (the EM E-step layer pair).
+  Storage points(make_gaussian_mixture(100, 2, 2, 30));
+  Storage centers(make_uniform(4, 2, 31, 0, 10));
+
+  PortalExpr expr;
+  expr.addLayer(PortalOp::FORALL, points);
+  expr.addLayer(PortalOp::FORALL, centers, PortalFunc::gaussian(1.0));
+  PortalConfig config = serial_config();
+  config.tau = 0;
+  expr.execute(config);
+  Storage output = expr.getOutput();
+  ASSERT_EQ(output.rows(), 100);
+  ASSERT_EQ(output.cols(), 4);
+
+  for (index_t i = 0; i < 20; ++i)
+    for (index_t k = 0; k < 4; ++k) {
+      real_t sq = 0;
+      for (index_t d = 0; d < 2; ++d) {
+        const real_t diff =
+            points.dataset().coord(i, d) - centers.dataset().coord(k, d);
+        sq += diff * diff;
+      }
+      EXPECT_NEAR(output.value(i, k), std::exp(-sq / 2), 1e-9);
+    }
+}
+
+TEST(Portal, ValidationModePasses) {
+  Storage data(make_gaussian_mixture(120, 3, 2, 32));
+  PortalExpr expr;
+  expr.addLayer(PortalOp::FORALL, data);
+  expr.addLayer({PortalOp::KARGMIN, 3}, data, PortalFunc::EUCLIDEAN);
+  PortalConfig config = serial_config();
+  config.validate = true;
+  EXPECT_NO_THROW(expr.execute(config));
+}
+
+TEST(Portal, IrDumpArtifacts) {
+  Storage data(make_gaussian_mixture(50, 3, 2, 33));
+  PortalExpr expr;
+  expr.addLayer(PortalOp::FORALL, data);
+  expr.addLayer(PortalOp::ARGMIN, data, PortalFunc::EUCLIDEAN);
+  PortalConfig config = serial_config();
+  config.dump_ir = true;
+  expr.execute(config);
+
+  const CompileArtifacts& artifacts = expr.artifacts();
+  ASSERT_GE(artifacts.stages.size(), 4u); // lowering + the pass pipeline
+  EXPECT_EQ(artifacts.stages.front().first, "lowering+storage-injection");
+  // Strength reduction rewrote the Euclidean sqrt into the fast form.
+  bool saw_fast_sqrt = false;
+  for (const auto& [name, dump] : artifacts.stages)
+    if (name == "strength-reduction" &&
+        dump.find("fast_inverse_sqrt") != std::string::npos)
+      saw_fast_sqrt = true;
+  EXPECT_TRUE(saw_fast_sqrt);
+  EXPECT_FALSE(artifacts.problem_description.empty());
+  EXPECT_NE(artifacts.pipeline_trace.find("flattening"), std::string::npos);
+}
+
+TEST(Portal, ErrorMessagesAreActionable) {
+  Storage data(make_gaussian_mixture(20, 2, 2, 34));
+  Storage other(make_gaussian_mixture(20, 3, 2, 35));
+
+  { // wrong layer count
+    PortalExpr expr;
+    expr.addLayer(PortalOp::FORALL, data);
+    EXPECT_THROW(expr.execute(serial_config()), std::invalid_argument);
+  }
+  { // missing kernel
+    PortalExpr expr;
+    expr.addLayer(PortalOp::FORALL, data);
+    expr.addLayer(PortalOp::ARGMIN, data);
+    EXPECT_THROW(expr.execute(serial_config()), std::invalid_argument);
+  }
+  { // dimensionality mismatch
+    PortalExpr expr;
+    expr.addLayer(PortalOp::FORALL, data);
+    expr.addLayer(PortalOp::ARGMIN, other, PortalFunc::EUCLIDEAN);
+    EXPECT_THROW(expr.execute(serial_config()), std::invalid_argument);
+  }
+  { // unsupported outer operator
+    PortalExpr expr;
+    expr.addLayer(PortalOp::UNION, data);
+    expr.addLayer(PortalOp::ARGMIN, data, PortalFunc::EUCLIDEAN);
+    EXPECT_THROW(expr.execute(serial_config()), std::invalid_argument);
+  }
+  { // k out of range
+    PortalExpr expr;
+    expr.addLayer(PortalOp::FORALL, data);
+    expr.addLayer({PortalOp::KARGMIN, 100}, data, PortalFunc::EUCLIDEAN);
+    EXPECT_THROW(expr.execute(serial_config()), std::invalid_argument);
+  }
+  { // Pattern engine demanded but nothing matches
+    PortalExpr expr;
+    expr.addLayer(PortalOp::FORALL, data);
+    expr.addLayer(PortalOp::SUM, data, PortalFunc::MANHATTAN);
+    PortalConfig config = serial_config();
+    config.engine = Engine::Pattern;
+    EXPECT_THROW(expr.execute(config), std::invalid_argument);
+  }
+  { // getOutput before execute
+    PortalExpr expr;
+    EXPECT_THROW(expr.getOutput(), std::logic_error);
+    EXPECT_THROW(expr.plan(), std::logic_error);
+  }
+}
+
+TEST(Portal, ParallelMatchesSerial) {
+  Storage data(make_gaussian_mixture(600, 3, 3, 36));
+  Storage out_serial, out_parallel;
+  {
+    PortalExpr expr;
+    expr.addLayer(PortalOp::FORALL, data);
+    expr.addLayer({PortalOp::KARGMIN, 4}, data, PortalFunc::EUCLIDEAN);
+    expr.execute(serial_config());
+    out_serial = expr.getOutput();
+  }
+  {
+    PortalExpr expr;
+    expr.addLayer(PortalOp::FORALL, data);
+    expr.addLayer({PortalOp::KARGMIN, 4}, data, PortalFunc::EUCLIDEAN);
+    PortalConfig config;
+    config.parallel = true;
+    config.task_depth = 5;
+    expr.execute(config);
+    out_parallel = expr.getOutput();
+  }
+  for (index_t i = 0; i < out_serial.rows(); ++i)
+    for (index_t j = 0; j < 4; ++j)
+      EXPECT_NEAR(out_serial.value(i, j), out_parallel.value(i, j), 1e-12);
+}
+
+} // namespace
+} // namespace portal

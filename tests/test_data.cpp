@@ -1,0 +1,184 @@
+// Tests for src/data: layout policy, Dataset access/permutation semantics,
+// and the synthetic generators standing in for the paper's Table II datasets.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/dataset.h"
+#include "data/generators.h"
+#include "data/table2.h"
+
+namespace portal {
+namespace {
+
+TEST(Layout, PaperPolicyThreshold) {
+  // Sec. III-B: d <= 4 -> column-major, otherwise row-major.
+  EXPECT_EQ(choose_layout(1), Layout::ColMajor);
+  EXPECT_EQ(choose_layout(4), Layout::ColMajor);
+  EXPECT_EQ(choose_layout(5), Layout::RowMajor);
+  EXPECT_EQ(choose_layout(68), Layout::RowMajor);
+}
+
+TEST(Dataset, CoordAccessAgreesAcrossLayouts) {
+  const real_t values[6] = {1, 2, 3, 4, 5, 6}; // 2 points x 3 dims
+  const Dataset row = Dataset::from_row_major(values, 2, 3, Layout::RowMajor);
+  const Dataset col = Dataset::from_row_major(values, 2, 3, Layout::ColMajor);
+  for (index_t i = 0; i < 2; ++i)
+    for (index_t d = 0; d < 3; ++d)
+      EXPECT_DOUBLE_EQ(row.coord(i, d), col.coord(i, d));
+  EXPECT_DOUBLE_EQ(col.coord(1, 2), 6);
+}
+
+TEST(Dataset, RawStorageMatchesLayout) {
+  const real_t values[6] = {1, 2, 3, 4, 5, 6};
+  const Dataset row = Dataset::from_row_major(values, 2, 3, Layout::RowMajor);
+  EXPECT_DOUBLE_EQ(row.row_ptr(1)[0], 4);
+  const Dataset col = Dataset::from_row_major(values, 2, 3, Layout::ColMajor);
+  // Column-major: dimension slice d=0 holds {1, 4}.
+  EXPECT_DOUBLE_EQ(col.col_ptr(0)[0], 1);
+  EXPECT_DOUBLE_EQ(col.col_ptr(0)[1], 4);
+}
+
+TEST(Dataset, FromPointsAndCopyPoint) {
+  const Dataset data = Dataset::from_points({{1, 2}, {3, 4}, {5, 6}});
+  EXPECT_EQ(data.size(), 3);
+  EXPECT_EQ(data.dim(), 2);
+  real_t buf[2];
+  data.copy_point(2, buf);
+  EXPECT_DOUBLE_EQ(buf[0], 5);
+  EXPECT_DOUBLE_EQ(buf[1], 6);
+}
+
+TEST(Dataset, FromPointsRejectsRagged) {
+  EXPECT_THROW(Dataset::from_points({{1, 2}, {3}}), std::invalid_argument);
+}
+
+TEST(Dataset, PermuteReordersPoints) {
+  Dataset data = Dataset::from_points({{0, 0}, {1, 1}, {2, 2}});
+  data.permute({2, 0, 1});
+  EXPECT_DOUBLE_EQ(data.coord(0, 0), 2);
+  EXPECT_DOUBLE_EQ(data.coord(1, 0), 0);
+  EXPECT_DOUBLE_EQ(data.coord(2, 0), 1);
+}
+
+TEST(Dataset, PermuteRejectsWrongSize) {
+  Dataset data = Dataset::from_points({{0.0}, {1.0}});
+  EXPECT_THROW(data.permute({0}), std::invalid_argument);
+}
+
+TEST(Dataset, WithLayoutPreservesValues) {
+  const Dataset data = make_uniform(50, 6, 1);
+  ASSERT_EQ(data.layout(), Layout::RowMajor);
+  const Dataset col = data.with_layout(Layout::ColMajor);
+  for (index_t i = 0; i < data.size(); ++i)
+    for (index_t d = 0; d < data.dim(); ++d)
+      EXPECT_DOUBLE_EQ(data.coord(i, d), col.coord(i, d));
+}
+
+TEST(Dataset, CopySemantics) {
+  const Dataset a = make_uniform(20, 3, 2);
+  Dataset b = a; // deep copy
+  b.coord(0, 0) = 999;
+  EXPECT_NE(a.coord(0, 0), 999);
+}
+
+TEST(Generators, UniformBounds) {
+  const Dataset data = make_uniform(1000, 4, 3, -2, 2);
+  for (index_t i = 0; i < data.size(); ++i)
+    for (index_t d = 0; d < data.dim(); ++d) {
+      EXPECT_GE(data.coord(i, d), -2.0);
+      EXPECT_LT(data.coord(i, d), 2.0);
+    }
+}
+
+TEST(Generators, MixtureIsDeterministicPerSeed) {
+  const Dataset a = make_gaussian_mixture(100, 5, 3, 9);
+  const Dataset b = make_gaussian_mixture(100, 5, 3, 9);
+  const Dataset c = make_gaussian_mixture(100, 5, 3, 10);
+  for (index_t i = 0; i < a.size(); ++i)
+    for (index_t d = 0; d < a.dim(); ++d)
+      EXPECT_DOUBLE_EQ(a.coord(i, d), b.coord(i, d));
+  bool any_diff = false;
+  for (index_t i = 0; i < a.size() && !any_diff; ++i)
+    for (index_t d = 0; d < a.dim(); ++d)
+      if (a.coord(i, d) != c.coord(i, d)) any_diff = true;
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Generators, LabeledMixtureShapes) {
+  const LabeledDataset labeled = make_labeled_mixture(500, 8, 4, 21);
+  EXPECT_EQ(labeled.points.size(), 500);
+  EXPECT_EQ(labeled.num_classes, 4);
+  ASSERT_EQ(labeled.labels.size(), 500u);
+  for (int label : labeled.labels) {
+    EXPECT_GE(label, 0);
+    EXPECT_LT(label, 4);
+  }
+}
+
+TEST(Generators, EllipticalShapeMatchesRecipe) {
+  const ParticleSet set = make_elliptical(20000, 5, 1.0);
+  EXPECT_EQ(set.positions.dim(), 3);
+  ASSERT_EQ(set.masses.size(), 20000u);
+  // Total mass normalized to 1.
+  real_t total = 0;
+  for (real_t m : set.masses) total += m;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  // Axis squash 1 : 0.75 : 0.5 shows in the per-axis maxima.
+  real_t max_abs[3] = {0, 0, 0};
+  for (index_t i = 0; i < set.positions.size(); ++i)
+    for (int d = 0; d < 3; ++d)
+      max_abs[d] = std::max(max_abs[d],
+                            std::abs(set.positions.coord(i, d)));
+  EXPECT_NEAR(max_abs[0], 1.0, 0.05);
+  EXPECT_NEAR(max_abs[1], 0.75, 0.05);
+  EXPECT_NEAR(max_abs[2], 0.5, 0.05);
+}
+
+TEST(Generators, PlummerIsCentrallyConcentrated) {
+  const ParticleSet set = make_plummer(20000, 6, 1.0);
+  index_t inside = 0;
+  for (index_t i = 0; i < set.positions.size(); ++i) {
+    real_t sq = 0;
+    for (int d = 0; d < 3; ++d) {
+      const real_t x = set.positions.coord(i, d);
+      sq += x * x;
+    }
+    if (sq < 1.0) ++inside;
+  }
+  // Plummer has ~35% of mass inside the scale radius (analytic: 1/2^{3/2}).
+  EXPECT_NEAR(static_cast<double>(inside) / set.positions.size(), 0.3536, 0.03);
+}
+
+TEST(Table2, SpecsMatchPaper) {
+  const auto& specs = table2_specs();
+  ASSERT_EQ(specs.size(), 6u);
+  EXPECT_EQ(table2_spec("Yahoo!").dim, 11);
+  EXPECT_EQ(table2_spec("HIGGS").dim, 28);
+  EXPECT_EQ(table2_spec("Census").dim, 68);
+  EXPECT_EQ(table2_spec("KDD").dim, 42);
+  EXPECT_EQ(table2_spec("IHEPC").dim, 9);
+  EXPECT_EQ(table2_spec("Elliptical").dim, 3);
+  EXPECT_EQ(table2_spec("Yahoo!").paper_size, 41904293);
+}
+
+TEST(Table2, UnknownNameThrows) {
+  EXPECT_THROW(table2_spec("NotADataset"), std::invalid_argument);
+}
+
+TEST(Table2, ScaleControlsSize) {
+  const Dataset small = make_table2_dataset("IHEPC", 0.1);
+  const Dataset large = make_table2_dataset("IHEPC", 0.2);
+  EXPECT_EQ(small.dim(), 9);
+  EXPECT_LT(small.size(), large.size());
+  // Floor guard.
+  EXPECT_GE(make_table2_dataset("IHEPC", 1e-9).size(), 64);
+}
+
+TEST(Table2, LayoutFollowsPolicy) {
+  EXPECT_EQ(make_table2_dataset("Elliptical", 0.05).layout(), Layout::ColMajor);
+  EXPECT_EQ(make_table2_dataset("HIGGS", 0.05).layout(), Layout::RowMajor);
+}
+
+} // namespace
+} // namespace portal

@@ -1,0 +1,141 @@
+// Tests for Barnes-Hut: theta-controlled accuracy against direct summation,
+// momentum conservation, the FDPS-style baseline, and the strength-reduction
+// accuracy knob.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "baselines/fdps_like.h"
+#include "data/generators.h"
+#include "problems/barneshut.h"
+
+namespace portal {
+namespace {
+
+/// Relative RMS error between two acceleration fields.
+real_t rel_rms_error(const std::vector<real_t>& approx,
+                     const std::vector<real_t>& exact) {
+  real_t num = 0, den = 0;
+  for (std::size_t i = 0; i < exact.size(); i += 3) {
+    real_t e2 = 0, d2 = 0;
+    for (int d = 0; d < 3; ++d) {
+      const real_t diff = approx[i + d] - exact[i + d];
+      e2 += diff * diff;
+      d2 += exact[i + d] * exact[i + d];
+    }
+    num += e2;
+    den += d2;
+  }
+  return std::sqrt(num / std::max(den, real_t(1e-300)));
+}
+
+TEST(BarnesHut, TwoBodyExactForce) {
+  const Dataset pos = Dataset::from_points({{0, 0, 0}, {1, 0, 0}});
+  const std::vector<real_t> mass = {2.0, 3.0};
+  const BarnesHutResult direct = bh_bruteforce(pos, mass, 1.0, 0.0);
+  // a_0 = m_1 / r^2 toward +x; a_1 = m_0 / r^2 toward -x.
+  EXPECT_NEAR(direct.accel[0], 3.0, 1e-12);
+  EXPECT_NEAR(direct.accel[3], -2.0, 1e-12);
+  EXPECT_NEAR(direct.accel[1], 0.0, 1e-12);
+}
+
+class BhThetaSweep : public testing::TestWithParam<std::tuple<real_t, real_t>> {};
+
+TEST_P(BhThetaSweep, ErrorScalesWithTheta) {
+  const auto [theta, max_err] = GetParam();
+  const ParticleSet set = make_elliptical(3000, 101);
+  const BarnesHutResult exact =
+      bh_bruteforce(set.positions, set.masses, 1.0, 1e-3);
+  BarnesHutOptions options;
+  options.theta = theta;
+  options.softening = 1e-3;
+  const BarnesHutResult approx = bh_expert(set.positions, set.masses, options);
+  EXPECT_LT(rel_rms_error(approx.accel, exact.accel), max_err)
+      << "theta = " << theta;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, BhThetaSweep,
+                         testing::Values(std::make_tuple(0.2, 2e-3),
+                                         std::make_tuple(0.5, 2e-2),
+                                         std::make_tuple(0.8, 6e-2)));
+
+TEST(BarnesHut, ThetaZeroIsExact) {
+  const ParticleSet set = make_elliptical(800, 102);
+  const BarnesHutResult exact =
+      bh_bruteforce(set.positions, set.masses, 1.0, 1e-3);
+  BarnesHutOptions options;
+  options.theta = 0; // MAC never accepts: pure direct evaluation via leaves
+  options.softening = 1e-3;
+  const BarnesHutResult tree = bh_expert(set.positions, set.masses, options);
+  for (std::size_t i = 0; i < exact.accel.size(); ++i)
+    EXPECT_NEAR(tree.accel[i], exact.accel[i],
+                1e-9 * std::max(real_t(1), std::abs(exact.accel[i])));
+}
+
+TEST(BarnesHut, MomentumNearlyConserved) {
+  // Equal-mass direct sum: total force is exactly zero by Newton's third law;
+  // Barnes-Hut breaks the symmetry only by the multipole approximation.
+  const ParticleSet set = make_elliptical(2000, 103);
+  BarnesHutOptions options;
+  options.theta = 0.4;
+  const BarnesHutResult result = bh_expert(set.positions, set.masses, options);
+  real_t total[3] = {0, 0, 0};
+  real_t scale = 0;
+  for (index_t i = 0; i < set.positions.size(); ++i)
+    for (int d = 0; d < 3; ++d) {
+      total[d] += set.masses[i] * result.accel[3 * i + d];
+      scale += std::abs(set.masses[i] * result.accel[3 * i + d]);
+    }
+  for (int d = 0; d < 3; ++d)
+    EXPECT_LT(std::abs(total[d]), 1e-2 * scale / 3);
+}
+
+TEST(BarnesHut, FdpsBaselineMatchesAccuracy) {
+  const ParticleSet set = make_elliptical(2500, 104);
+  const BarnesHutResult exact =
+      bh_bruteforce(set.positions, set.masses, 1.0, 1e-3);
+  BarnesHutOptions options;
+  options.theta = 0.5;
+  options.softening = 1e-3;
+  const BarnesHutResult dual = bh_expert(set.positions, set.masses, options);
+  const BarnesHutResult single = fdps_like_bh(set.positions, set.masses, options);
+  EXPECT_LT(rel_rms_error(dual.accel, exact.accel), 2e-2);
+  EXPECT_LT(rel_rms_error(single.accel, exact.accel), 2e-2);
+}
+
+TEST(BarnesHut, FastRsqrtKnobStaysAccurate) {
+  const ParticleSet set = make_elliptical(1500, 105);
+  BarnesHutOptions accurate;
+  accurate.theta = 0.4;
+  BarnesHutOptions fast = accurate;
+  fast.fast_rsqrt = true;
+  const BarnesHutResult a = bh_expert(set.positions, set.masses, accurate);
+  const BarnesHutResult b = bh_expert(set.positions, set.masses, fast);
+  // fast_inv_sqrt has ~0.2% relative error; cubed ~0.6%.
+  EXPECT_LT(rel_rms_error(b.accel, a.accel), 1e-2);
+}
+
+TEST(BarnesHut, GScalesLinearly) {
+  const ParticleSet set = make_elliptical(500, 106);
+  BarnesHutOptions g1;
+  BarnesHutOptions g2;
+  g2.G = 2.0;
+  const BarnesHutResult a = bh_expert(set.positions, set.masses, g1);
+  const BarnesHutResult b = bh_expert(set.positions, set.masses, g2);
+  for (std::size_t i = 0; i < a.accel.size(); ++i)
+    EXPECT_NEAR(b.accel[i], 2 * a.accel[i],
+                1e-9 * std::max(real_t(1), std::abs(a.accel[i])));
+}
+
+TEST(BarnesHut, InvalidArgumentsThrow) {
+  const Dataset flat = make_uniform(10, 2, 107);
+  EXPECT_THROW(bh_bruteforce(flat, std::vector<real_t>(10, 1.0)),
+               std::invalid_argument);
+  const Dataset pos = make_uniform(10, 3, 108);
+  EXPECT_THROW(bh_expert(pos, std::vector<real_t>(9, 1.0), {}),
+               std::invalid_argument);
+}
+
+} // namespace
+} // namespace portal

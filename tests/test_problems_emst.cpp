@@ -1,0 +1,123 @@
+// Tests for the Euclidean minimum spanning tree: dual-tree Boruvka must match
+// Prim's oracle in total weight, produce a real spanning tree, and prune.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <tuple>
+#include <vector>
+
+#include "data/generators.h"
+#include "problems/emst.h"
+
+namespace portal {
+namespace {
+
+/// Union-find for spanning-tree validation.
+struct Dsu {
+  std::vector<index_t> parent;
+  explicit Dsu(index_t n) : parent(n) {
+    std::iota(parent.begin(), parent.end(), 0);
+  }
+  index_t find(index_t x) {
+    while (parent[x] != x) x = parent[x] = parent[parent[x]];
+    return x;
+  }
+  bool unite(index_t a, index_t b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return false;
+    parent[b] = a;
+    return true;
+  }
+};
+
+void expect_valid_spanning_tree(const EmstResult& result, const Dataset& data) {
+  const index_t n = data.size();
+  ASSERT_EQ(result.edges.size(), static_cast<std::size_t>(n - 1));
+  Dsu dsu(n);
+  real_t weight = 0;
+  for (const EmstEdge& e : result.edges) {
+    ASSERT_GE(e.a, 0);
+    ASSERT_LT(e.a, n);
+    ASSERT_GE(e.b, 0);
+    ASSERT_LT(e.b, n);
+    ASSERT_NE(e.a, e.b);
+    EXPECT_TRUE(dsu.unite(e.a, e.b)) << "cycle edge " << e.a << "-" << e.b;
+    // Edge weight equals the actual point distance.
+    real_t sq = 0;
+    for (index_t d = 0; d < data.dim(); ++d) {
+      const real_t diff = data.coord(e.a, d) - data.coord(e.b, d);
+      sq += diff * diff;
+    }
+    EXPECT_NEAR(e.weight * e.weight, sq, 1e-9 * std::max(real_t(1), sq));
+    weight += e.weight;
+  }
+  EXPECT_NEAR(weight, result.total_weight, 1e-9 * std::max(real_t(1), weight));
+}
+
+class EmstSweep
+    : public testing::TestWithParam<std::tuple<index_t, index_t, index_t, bool>> {};
+
+TEST_P(EmstSweep, MatchesPrimWeight) {
+  const auto [n, dim, leaf_size, parallel] = GetParam();
+  const Dataset data = make_gaussian_mixture(n, dim, 3, 800 + n + dim);
+  const EmstResult prim = emst_bruteforce(data);
+  EmstOptions options;
+  options.leaf_size = leaf_size;
+  options.parallel = parallel;
+  const EmstResult boruvka = emst_expert(data, options);
+
+  expect_valid_spanning_tree(boruvka, data);
+  // MST weight is unique even when the MST itself is not.
+  EXPECT_NEAR(boruvka.total_weight, prim.total_weight,
+              1e-7 * std::max(real_t(1), prim.total_weight));
+  EXPECT_GE(boruvka.boruvka_rounds, 1);
+  // Boruvka halves components every round: <= ceil(log2 n) + slack.
+  index_t log2n = 0;
+  while ((index_t(1) << log2n) < n) ++log2n;
+  EXPECT_LE(boruvka.boruvka_rounds, log2n + 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, EmstSweep,
+    testing::Values(std::make_tuple(10, 2, 4, false),
+                    std::make_tuple(100, 2, 8, false),
+                    std::make_tuple(300, 3, 16, false),
+                    std::make_tuple(300, 3, 16, true),
+                    std::make_tuple(500, 5, 32, false),
+                    std::make_tuple(64, 1, 8, false),
+                    std::make_tuple(701, 4, 8, true)));
+
+TEST(Emst, TwoPoints) {
+  const Dataset data = Dataset::from_points({{0, 0}, {3, 4}});
+  const EmstResult result = emst_expert(data, {});
+  ASSERT_EQ(result.edges.size(), 1u);
+  EXPECT_NEAR(result.total_weight, 5.0, 1e-12);
+}
+
+TEST(Emst, CollinearChain) {
+  // Points on a line: MST weight = span.
+  std::vector<std::vector<real_t>> points;
+  for (int i = 0; i < 20; ++i) points.push_back({static_cast<real_t>(i * i)});
+  const Dataset data = Dataset::from_points(points);
+  const EmstResult result = emst_expert(data, {});
+  EXPECT_NEAR(result.total_weight, 19.0 * 19.0, 1e-9); // sum of consecutive gaps
+}
+
+TEST(Emst, RejectsTooFewPoints) {
+  const Dataset one = Dataset::from_points({{1.0, 2.0}});
+  EXPECT_THROW(emst_expert(one, {}), std::invalid_argument);
+  EXPECT_THROW(emst_bruteforce(one), std::invalid_argument);
+}
+
+TEST(Emst, ComponentPruneFiresOnClusteredData) {
+  const Dataset data = make_gaussian_mixture(2000, 3, 6, 81);
+  EmstOptions options;
+  options.parallel = false;
+  const EmstResult result = emst_expert(data, options);
+  EXPECT_GT(result.stats.prunes, 0u);
+  expect_valid_spanning_tree(result, data);
+}
+
+} // namespace
+} // namespace portal

@@ -1,0 +1,128 @@
+// Tests for kernel density estimation: the approximation error must respect
+// the tau-derived bound (Sec. II-C), tau -> 0 must converge to brute force,
+// and normalization must turn kernel sums into densities.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "data/generators.h"
+#include "problems/kde.h"
+#include "util/threading.h"
+
+namespace portal {
+namespace {
+
+class KdeSweep
+    : public testing::TestWithParam<std::tuple<index_t, index_t, real_t, real_t>> {};
+
+TEST_P(KdeSweep, ApproxErrorWithinTauBound) {
+  const auto [n, dim, sigma, tau] = GetParam();
+  const Dataset reference = make_gaussian_mixture(n, dim, 3, 300 + n);
+  const Dataset query = make_gaussian_mixture(n / 2, dim, 3, 400 + n);
+
+  // Compare unnormalized kernel sums: the per-pair error is bounded by tau,
+  // so per-query error is bounded by tau * N.
+  const KdeResult brute = kde_bruteforce(query, reference, sigma, false);
+  KdeOptions options;
+  options.sigma = sigma;
+  options.tau = tau;
+  options.normalize = false;
+  const KdeResult expert = kde_expert(query, reference, options);
+
+  const real_t bound = tau * static_cast<real_t>(reference.size()) + 1e-9;
+  for (index_t i = 0; i < query.size(); ++i)
+    EXPECT_NEAR(expert.densities[i], brute.densities[i], bound) << "query " << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, KdeSweep,
+    testing::Values(std::make_tuple(200, 2, 0.5, 1e-2),
+                    std::make_tuple(500, 3, 1.0, 1e-3),
+                    std::make_tuple(500, 3, 2.0, 5e-2),
+                    std::make_tuple(300, 6, 1.5, 1e-3),
+                    std::make_tuple(800, 2, 0.25, 1e-4)));
+
+TEST(Kde, TauZeroIsExact) {
+  const Dataset data = make_gaussian_mixture(400, 3, 2, 21);
+  const KdeResult brute = kde_bruteforce(data, data, 1.0, false);
+  KdeOptions options;
+  options.sigma = 1.0;
+  options.tau = 0;
+  options.normalize = false;
+  options.parallel = false;
+  const KdeResult expert = kde_expert(data, data, options);
+  for (index_t i = 0; i < data.size(); ++i)
+    EXPECT_NEAR(expert.densities[i], brute.densities[i],
+                1e-9 * std::max(real_t(1), brute.densities[i]));
+}
+
+TEST(Kde, LargerTauPrunesMore) {
+  const Dataset data = make_gaussian_mixture(3000, 3, 5, 22);
+  KdeOptions tight;
+  tight.sigma = 1.0;
+  tight.tau = 1e-6;
+  tight.parallel = false;
+  KdeOptions loose = tight;
+  loose.tau = 1e-1;
+  const KdeResult a = kde_expert(data, data, tight);
+  const KdeResult b = kde_expert(data, data, loose);
+  EXPECT_LT(b.stats.base_cases, a.stats.base_cases);
+  EXPECT_GT(b.stats.prunes, 0u);
+}
+
+TEST(Kde, NormalizationIntegratesToUnitMass) {
+  // Densities of a standard normal sample, evaluated at the sample, averaged,
+  // approximate the expected density value; sanity-check scale (not exact).
+  const Dataset data = make_gaussian_mixture(2000, 1, 1, 23);
+  KdeOptions options;
+  options.sigma = 0.2;
+  options.tau = 0;
+  const KdeResult result = kde_expert(data, data, options);
+  for (index_t i = 0; i < data.size(); ++i) {
+    EXPECT_GT(result.densities[i], 0.0);
+    EXPECT_LT(result.densities[i], 5.0); // a pdf value, not a raw kernel sum
+  }
+}
+
+TEST(Kde, SelfContributionIncluded) {
+  // A single faraway point's density is dominated by its self-contribution:
+  // unnormalized sum >= K(0) = 1.
+  const Dataset data = Dataset::from_points({{0, 0}, {100, 100}});
+  const KdeResult result = kde_bruteforce(data, data, 1.0, false);
+  EXPECT_GE(result.densities[1], 1.0);
+  EXPECT_LT(result.densities[1], 1.0 + 1e-6);
+}
+
+TEST(Kde, ParallelMatchesSerial) {
+  const Dataset data = make_gaussian_mixture(1200, 3, 4, 24);
+  KdeOptions serial;
+  serial.sigma = 1.0;
+  serial.tau = 1e-3;
+  serial.parallel = false;
+  KdeOptions parallel = serial;
+  parallel.parallel = true;
+  parallel.task_depth = 5;
+  set_num_threads(4);
+  const KdeResult a = kde_expert(data, data, serial);
+  const KdeResult b = kde_expert(data, data, parallel);
+  // Same approximation decisions (tau identical), so same results modulo
+  // floating-point summation order inside leaves (which is also identical;
+  // only the outer accumulation order can differ via approximations).
+  for (index_t i = 0; i < data.size(); ++i)
+    EXPECT_NEAR(a.densities[i], b.densities[i],
+                1e-9 * std::max(real_t(1), std::abs(a.densities[i])));
+}
+
+TEST(Kde, InvalidArgumentsThrow) {
+  const Dataset a = make_uniform(10, 2, 25);
+  const Dataset b = make_uniform(10, 3, 26);
+  KdeOptions options;
+  EXPECT_THROW(kde_expert(a, b, options), std::invalid_argument);
+  options.sigma = 0;
+  EXPECT_THROW(kde_expert(a, a, options), std::invalid_argument);
+  EXPECT_THROW(kde_bruteforce(a, Dataset(0, 2), 1.0), std::invalid_argument);
+}
+
+} // namespace
+} // namespace portal

@@ -1,0 +1,165 @@
+// Tests for the k-nearest-neighbor problem: the dual-tree expert
+// implementation must reproduce brute force exactly (pruning is lossless for
+// pruning-class problems, Sec. II-B), across a TEST_P sweep of shapes.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "data/generators.h"
+#include "problems/knn.h"
+#include "util/threading.h"
+
+namespace portal {
+namespace {
+
+void expect_same_distances(const KnnResult& expected, const KnnResult& actual,
+                           real_t tol = 1e-9) {
+  ASSERT_EQ(expected.k, actual.k);
+  ASSERT_EQ(expected.distances.size(), actual.distances.size());
+  for (std::size_t i = 0; i < expected.distances.size(); ++i)
+    EXPECT_NEAR(expected.distances[i], actual.distances[i], tol)
+        << "at slot " << i;
+}
+
+class KnnSweep : public testing::TestWithParam<
+                     std::tuple<index_t, index_t, index_t, index_t, bool>> {};
+
+TEST_P(KnnSweep, ExpertMatchesBruteForce) {
+  const auto [n, dim, k, leaf_size, parallel] = GetParam();
+  const Dataset reference = make_gaussian_mixture(n, dim, 3, 100 + n);
+  const Dataset query = make_gaussian_mixture(n / 2 + 5, dim, 3, 200 + n);
+
+  const KnnResult brute = knn_bruteforce(query, reference, k);
+  KnnOptions options;
+  options.k = k;
+  options.leaf_size = leaf_size;
+  options.parallel = parallel;
+  const KnnResult expert = knn_expert(query, reference, options);
+
+  expect_same_distances(brute, expert);
+  // Distances ascending per row.
+  for (index_t i = 0; i < query.size(); ++i)
+    for (index_t j = 1; j < k; ++j)
+      EXPECT_LE(expert.distances[i * k + j - 1], expert.distances[i * k + j]);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, KnnSweep,
+    testing::Values(std::make_tuple(50, 2, 1, 8, false),
+                    std::make_tuple(200, 3, 5, 16, false),
+                    std::make_tuple(500, 2, 3, 32, true),
+                    std::make_tuple(300, 7, 10, 8, false),
+                    std::make_tuple(1000, 4, 2, 64, true),
+                    std::make_tuple(128, 12, 4, 4, false),
+                    std::make_tuple(64, 1, 8, 8, false)));
+
+TEST(Knn, SelfQueryFindsSelfFirst) {
+  const Dataset data = make_gaussian_mixture(300, 3, 2, 42);
+  KnnOptions options;
+  options.k = 2;
+  const KnnResult result = knn_expert(data, data, options);
+  for (index_t i = 0; i < data.size(); ++i) {
+    EXPECT_NEAR(result.distances[i * 2], 0.0, 1e-12);
+    EXPECT_EQ(result.indices[i * 2], i);
+  }
+}
+
+TEST(Knn, IndicesPointAtTrueNeighbors) {
+  // Distances recomputed from the returned indices must equal the reported
+  // distances (catches index permutation bugs that distance-only checks miss).
+  const Dataset reference = make_gaussian_mixture(200, 3, 2, 9);
+  const Dataset query = make_gaussian_mixture(70, 3, 2, 10);
+  KnnOptions options;
+  options.k = 3;
+  const KnnResult result = knn_expert(query, reference, options);
+  for (index_t i = 0; i < query.size(); ++i)
+    for (index_t j = 0; j < 3; ++j) {
+      const index_t r = result.indices[i * 3 + j];
+      ASSERT_GE(r, 0);
+      real_t sq = 0;
+      for (index_t d = 0; d < 3; ++d) {
+        const real_t diff = query.coord(i, d) - reference.coord(r, d);
+        sq += diff * diff;
+      }
+      EXPECT_NEAR(std::sqrt(sq), result.distances[i * 3 + j], 1e-9);
+    }
+}
+
+TEST(Knn, ManhattanAndChebyshevMetrics) {
+  const Dataset reference = make_gaussian_mixture(300, 4, 2, 11);
+  const Dataset query = make_gaussian_mixture(100, 4, 2, 12);
+  for (MetricKind metric : {MetricKind::Manhattan, MetricKind::Chebyshev}) {
+    const KnnResult brute = knn_bruteforce(query, reference, 4, metric);
+    KnnOptions options;
+    options.k = 4;
+    options.metric = metric;
+    const KnnResult expert = knn_expert(query, reference, options);
+    expect_same_distances(brute, expert);
+  }
+}
+
+TEST(Knn, PruningActuallyHappens) {
+  // Clustered data must let the dual-tree skip most node pairs.
+  const Dataset data = make_gaussian_mixture(4000, 3, 8, 13);
+  KnnOptions options;
+  options.k = 1;
+  options.parallel = false;
+  const KnnResult result = knn_expert(data, data, options);
+  EXPECT_GT(result.stats.prunes, 0u);
+  // Visited node pairs far fewer than leaves^2.
+  const std::uint64_t leaves = 4000 / 32 + 1;
+  EXPECT_LT(result.stats.base_cases, leaves * leaves / 4);
+}
+
+TEST(Knn, WorksWithColMajorLowDim) {
+  const Dataset reference = make_gaussian_mixture(400, 2, 3, 14); // col-major
+  ASSERT_EQ(reference.layout(), Layout::ColMajor);
+  const Dataset query = make_gaussian_mixture(150, 2, 3, 15);
+  const KnnResult brute = knn_bruteforce(query, reference, 3);
+  KnnOptions options;
+  options.k = 3;
+  const KnnResult expert = knn_expert(query, reference, options);
+  expect_same_distances(brute, expert);
+}
+
+TEST(Knn, KEqualsReferenceSize) {
+  const Dataset reference = make_uniform(16, 2, 16);
+  const Dataset query = make_uniform(8, 2, 17);
+  KnnOptions options;
+  options.k = 16;
+  const KnnResult expert = knn_expert(query, reference, options);
+  const KnnResult brute = knn_bruteforce(query, reference, 16);
+  expect_same_distances(brute, expert);
+}
+
+TEST(Knn, InvalidArgumentsThrow) {
+  const Dataset a = make_uniform(10, 2, 18);
+  const Dataset b = make_uniform(10, 3, 19);
+  KnnOptions options;
+  options.k = 1;
+  EXPECT_THROW(knn_expert(a, b, options), std::invalid_argument); // dim mismatch
+  options.k = 0;
+  EXPECT_THROW(knn_expert(a, a, options), std::invalid_argument);
+  options.k = 11;
+  EXPECT_THROW(knn_expert(a, a, options), std::invalid_argument); // k > n
+  EXPECT_THROW(knn_bruteforce(Dataset(0, 2), a, 1), std::invalid_argument);
+}
+
+TEST(Knn, ParallelMatchesSerial) {
+  const Dataset data = make_gaussian_mixture(1500, 3, 4, 20);
+  KnnOptions serial;
+  serial.k = 5;
+  serial.parallel = false;
+  KnnOptions parallel;
+  parallel.k = 5;
+  parallel.parallel = true;
+  parallel.task_depth = 6;
+  set_num_threads(4);
+  const KnnResult a = knn_expert(data, data, serial);
+  const KnnResult b = knn_expert(data, data, parallel);
+  expect_same_distances(a, b);
+}
+
+} // namespace
+} // namespace portal

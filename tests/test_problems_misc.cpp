@@ -1,0 +1,275 @@
+// Tests for range search, Hausdorff distance, 2-point correlation, naive
+// Bayes, and the library-style baselines (which must agree with the exact
+// oracles -- the Table V comparisons are about speed, never about results).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "baselines/mlpack_like.h"
+#include "baselines/sklearn_like.h"
+#include "data/generators.h"
+#include "problems/hausdorff.h"
+#include "problems/nbc.h"
+#include "problems/range_search.h"
+#include "problems/twopoint.h"
+
+namespace portal {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Range search.
+class RangeSweep
+    : public testing::TestWithParam<std::tuple<index_t, index_t, real_t, real_t>> {};
+
+TEST_P(RangeSweep, ExpertMatchesBruteForce) {
+  const auto [n, dim, h_lo, h_hi] = GetParam();
+  const Dataset reference = make_gaussian_mixture(n, dim, 3, 500 + n);
+  const Dataset query = make_gaussian_mixture(n / 3 + 4, dim, 3, 600 + n);
+
+  const RangeSearchResult brute =
+      range_search_bruteforce(query, reference, h_lo, h_hi);
+  RangeSearchOptions options;
+  options.h_lo = h_lo;
+  options.h_hi = h_hi;
+  const RangeSearchResult expert = range_search_expert(query, reference, options);
+
+  ASSERT_EQ(brute.offsets, expert.offsets);
+  EXPECT_EQ(brute.neighbors, expert.neighbors); // both sorted ascending
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RangeSweep,
+    testing::Values(std::make_tuple(150, 2, 0.0, 0.5),
+                    std::make_tuple(400, 3, 0.0, 2.0),
+                    std::make_tuple(400, 3, 1.0, 3.0), // annulus
+                    std::make_tuple(250, 5, 0.5, 6.0),
+                    std::make_tuple(600, 2, 0.0, 100.0))); // everything matches
+
+TEST(RangeSearch, BulkAcceptPathIsExercised) {
+  // A huge radius forces entire subtree accepts; counts must still be exact.
+  const Dataset data = make_gaussian_mixture(500, 2, 2, 31);
+  RangeSearchOptions options;
+  options.h_hi = 1e6;
+  const RangeSearchResult result = range_search_expert(data, data, options);
+  // The kernel is strict (h_lo < d), so the zero-distance self pair is out.
+  for (index_t i = 0; i < data.size(); ++i)
+    EXPECT_EQ(result.count(i), data.size() - 1);
+}
+
+TEST(RangeSearch, SelfExcludedByPositiveLowerBound) {
+  const Dataset data = make_gaussian_mixture(200, 3, 2, 32);
+  RangeSearchOptions options;
+  options.h_lo = 1e-9; // excludes the zero-distance self pair
+  options.h_hi = 1e6;
+  const RangeSearchResult result = range_search_expert(data, data, options);
+  for (index_t i = 0; i < data.size(); ++i)
+    EXPECT_EQ(result.count(i), data.size() - 1);
+}
+
+TEST(RangeSearch, InvalidArgumentsThrow) {
+  const Dataset a = make_uniform(10, 2, 33);
+  EXPECT_THROW(range_search_bruteforce(a, a, 2.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(range_search_bruteforce(a, a, -1.0, 1.0), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Hausdorff.
+TEST(Hausdorff, ExpertMatchesBruteForce) {
+  const Dataset a = make_gaussian_mixture(300, 3, 2, 41);
+  const Dataset b = make_gaussian_mixture(450, 3, 2, 42);
+  const HausdorffResult brute = hausdorff_bruteforce(a, b);
+  const HausdorffResult expert = hausdorff_expert(a, b, {});
+  EXPECT_NEAR(brute.directed_qr, expert.directed_qr, 1e-9);
+  EXPECT_NEAR(brute.directed_rq, expert.directed_rq, 1e-9);
+  EXPECT_NEAR(brute.symmetric, expert.symmetric, 1e-9);
+}
+
+TEST(Hausdorff, IdenticalSetsGiveZero) {
+  const Dataset a = make_gaussian_mixture(100, 2, 2, 43);
+  const HausdorffResult result = hausdorff_expert(a, a, {});
+  EXPECT_NEAR(result.symmetric, 0.0, 1e-12);
+}
+
+TEST(Hausdorff, KnownConfiguration) {
+  // A = {0}, B = {3, 10} on a line: h(A,B) = 3, h(B,A) = 10.
+  const Dataset a = Dataset::from_points({{0.0}});
+  const Dataset b = Dataset::from_points({{3.0}, {10.0}});
+  const HausdorffResult result = hausdorff_expert(a, b, {});
+  EXPECT_NEAR(result.directed_qr, 3.0, 1e-12);
+  EXPECT_NEAR(result.directed_rq, 10.0, 1e-12);
+  EXPECT_NEAR(result.symmetric, 10.0, 1e-12);
+}
+
+TEST(Hausdorff, DirectedIsAsymmetric) {
+  // A strict subset has zero directed distance to its superset.
+  const Dataset super = make_gaussian_mixture(200, 2, 2, 44);
+  std::vector<std::vector<real_t>> sub_points;
+  for (index_t i = 0; i < 50; ++i)
+    sub_points.push_back({super.coord(i, 0), super.coord(i, 1)});
+  const Dataset sub = Dataset::from_points(sub_points);
+  const HausdorffResult result = hausdorff_expert(sub, super, {});
+  EXPECT_NEAR(result.directed_qr, 0.0, 1e-12);
+  EXPECT_GT(result.directed_rq, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// 2-point correlation.
+class TwoPointSweep
+    : public testing::TestWithParam<std::tuple<index_t, index_t, real_t, index_t>> {};
+
+TEST_P(TwoPointSweep, ExpertMatchesBruteForce) {
+  const auto [n, dim, h, leaf_size] = GetParam();
+  const Dataset data = make_gaussian_mixture(n, dim, 4, 700 + n);
+  const TwoPointResult brute = twopoint_bruteforce(data, h);
+  TwoPointOptions options;
+  options.h = h;
+  options.leaf_size = leaf_size;
+  const TwoPointResult expert = twopoint_expert(data, options);
+  EXPECT_EQ(brute.pairs, expert.pairs);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, TwoPointSweep,
+    testing::Values(std::make_tuple(100, 2, 0.5, 8),
+                    std::make_tuple(500, 3, 1.0, 16),
+                    std::make_tuple(500, 3, 5.0, 32),
+                    std::make_tuple(800, 2, 0.1, 64),
+                    std::make_tuple(300, 6, 4.0, 4),
+                    std::make_tuple(1000, 3, 1e6, 32),  // everything within h
+                    std::make_tuple(1000, 3, 1e-9, 32))); // nothing within h
+
+TEST(TwoPoint, ExtremeRadiiClosedForms) {
+  const Dataset data = make_gaussian_mixture(400, 3, 2, 51);
+  TwoPointOptions all;
+  all.h = 1e9;
+  EXPECT_EQ(twopoint_expert(data, all).pairs,
+            static_cast<std::uint64_t>(400) * 399 / 2);
+  TwoPointOptions none;
+  none.h = 1e-12;
+  EXPECT_EQ(twopoint_expert(data, none).pairs, 0u);
+}
+
+TEST(TwoPoint, BulkAcceptReducesBaseCases) {
+  const Dataset data = make_gaussian_mixture(3000, 3, 5, 52);
+  TwoPointOptions wide;
+  wide.h = 1e6;
+  wide.parallel = false;
+  const TwoPointResult result = twopoint_expert(data, wide);
+  // Full-accept at the root-ish level: almost no base cases.
+  EXPECT_LT(result.stats.base_cases, 16u);
+}
+
+TEST(TwoPoint, SklearnBaselineAgrees) {
+  const Dataset data = make_gaussian_mixture(600, 3, 3, 53);
+  const real_t h = 1.5;
+  const TwoPointResult exact = twopoint_bruteforce(data, h);
+  const SklearnTwoPointResult baseline = sklearn_like_twopoint(data, h);
+  EXPECT_EQ(baseline.pairs, exact.pairs);
+}
+
+// ---------------------------------------------------------------------------
+// Naive Bayes.
+TEST(Nbc, TrainRecoversClassMoments) {
+  const LabeledDataset train = make_labeled_mixture(5000, 4, 3, 61);
+  const NbcModel model = nbc_train(train.points, train.labels, 3);
+  ASSERT_EQ(model.num_classes, 3);
+  real_t prior_sum = 0;
+  for (real_t p : model.priors) prior_sum += p;
+  EXPECT_NEAR(prior_sum, 1.0, 1e-12);
+  for (real_t v : model.variances) EXPECT_GT(v, 0.0);
+}
+
+TEST(Nbc, ExpertMatchesBruteforcePredictions) {
+  const LabeledDataset train = make_labeled_mixture(2000, 6, 4, 62);
+  const LabeledDataset test = make_labeled_mixture(500, 6, 4, 63);
+  const NbcModel model = nbc_train(train.points, train.labels, 4);
+  const std::vector<int> brute = nbc_predict_bruteforce(model, test.points);
+  const std::vector<int> expert = nbc_predict_expert(model, test.points);
+  const std::vector<int> mlpack = mlpack_like_nbc_predict(model, test.points);
+  EXPECT_EQ(brute, expert);
+  EXPECT_EQ(brute, mlpack);
+}
+
+TEST(Nbc, SeparatedClassesClassifyAccurately) {
+  // Well-separated mixture: NBC should recover the generating labels almost
+  // always (train == test distribution).
+  const LabeledDataset data = make_labeled_mixture(4000, 3, 3, 64);
+  const NbcModel model = nbc_train(data.points, data.labels, 3);
+  const std::vector<int> pred = nbc_predict_expert(model, data.points);
+  index_t correct = 0;
+  for (index_t i = 0; i < data.points.size(); ++i)
+    if (pred[i] == data.labels[i]) ++correct;
+  EXPECT_GT(static_cast<double>(correct) / data.points.size(), 0.9);
+}
+
+TEST(Nbc, JointLogLikelihoodConsistentWithPrediction) {
+  const LabeledDataset data = make_labeled_mixture(300, 4, 3, 65);
+  const NbcModel model = nbc_train(data.points, data.labels, 3);
+  const std::vector<real_t> joint = nbc_joint_log_likelihood(model, data.points);
+  const std::vector<int> pred = nbc_predict_expert(model, data.points);
+  for (index_t i = 0; i < data.points.size(); ++i) {
+    int best = 0;
+    for (index_t k = 1; k < 3; ++k)
+      if (joint[i * 3 + k] > joint[i * 3 + best]) best = static_cast<int>(k);
+    EXPECT_EQ(best, pred[i]);
+  }
+}
+
+TEST(Nbc, InvalidArgumentsThrow) {
+  const LabeledDataset data = make_labeled_mixture(50, 2, 2, 66);
+  EXPECT_THROW(nbc_train(data.points, std::vector<int>(49, 0), 2),
+               std::invalid_argument);
+  std::vector<int> bad_labels(50, 5);
+  EXPECT_THROW(nbc_train(data.points, bad_labels, 2), std::invalid_argument);
+  std::vector<int> one_class(50, 0);
+  EXPECT_THROW(nbc_train(data.points, one_class, 2), std::invalid_argument);
+}
+
+} // namespace
+} // namespace portal
+// ---------------------------------------------------------------------------
+// 3-point correlation: the m = 3 PowerSet-Tuples extension (Sec. II eq. 2).
+#include "problems/threepoint.h"
+
+namespace portal {
+namespace {
+
+class ThreePointSweep
+    : public testing::TestWithParam<std::tuple<index_t, real_t, index_t>> {};
+
+TEST_P(ThreePointSweep, ExpertMatchesBruteForce) {
+  const auto [n, h, leaf_size] = GetParam();
+  const Dataset data = make_gaussian_mixture(n, 3, 3, 900 + n);
+  const ThreePointResult brute = threepoint_bruteforce(data, h);
+  ThreePointOptions options;
+  options.h = h;
+  options.leaf_size = leaf_size;
+  const ThreePointResult expert = threepoint_expert(data, options);
+  EXPECT_EQ(brute.triples, expert.triples);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ThreePointSweep,
+                         testing::Values(std::make_tuple(60, 1.0, 8),
+                                         std::make_tuple(120, 2.0, 16),
+                                         std::make_tuple(120, 0.5, 4),
+                                         std::make_tuple(200, 1.5, 32),
+                                         std::make_tuple(80, 100.0, 8),
+                                         std::make_tuple(80, 1e-6, 8)));
+
+TEST(ThreePoint, ClosedFormExtremes) {
+  const Dataset data = make_gaussian_mixture(50, 3, 2, 901);
+  // Everything within h: C(50, 3) triples.
+  EXPECT_EQ(threepoint_expert(data, {1e9, 8}).triples, 50ull * 49 * 48 / 6);
+  // Nothing within h.
+  EXPECT_EQ(threepoint_expert(data, {1e-9, 8}).triples, 0u);
+}
+
+TEST(ThreePoint, InvalidRadiusThrows) {
+  const Dataset data = make_uniform(10, 3, 902);
+  EXPECT_THROW(threepoint_bruteforce(data, 0), std::invalid_argument);
+  EXPECT_THROW(threepoint_expert(data, {-1, 8}), std::invalid_argument);
+}
+
+} // namespace
+} // namespace portal

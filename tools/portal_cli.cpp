@@ -1,0 +1,339 @@
+// portal_cli -- run Portal N-body programs from the command line.
+//
+//   portal_cli <problem> [options]
+//
+// Problems:
+//   run FILE.portal                                    run a Portal script
+//                                                      (paper Appendix VIII)
+//   knn        --query F --reference F --k K           k-nearest neighbors
+//   kde        --query F --reference F --sigma S       Gaussian density sums
+//   rs         --query F --reference F --lo A --hi B   range search
+//   twopoint   --data F --h H                          2-point correlation
+//   threepoint --data F --h H                          3-point correlation
+//   hausdorff  --a F --b F                             directed + symmetric
+//   emst       --data F                                Euclidean MST
+//   bh         --data F --theta T [--masses F]         Barnes-Hut forces
+//
+// Shared options:
+//   --out FILE       write the result as CSV (problem-shaped rows)
+//   --leaf N         kd-tree leaf size (0 = auto-tune)
+//   --tau T          approximation threshold (KDE)
+//   --engine E       auto | pattern | jit | vm
+//   --validate       cross-check against the brute-force program
+//   --demo N[,DIM]   generate N clustered points instead of reading CSVs
+//   --serial         disable OpenMP
+//
+// Exit code 0 on success, 1 on usage errors, 2 on execution errors.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/parser.h"
+#include "core/portal.h"
+#include "data/generators.h"
+#include "problems/emst.h"
+#include "problems/threepoint.h"
+#include "util/csv.h"
+#include "util/threading.h"
+#include "util/timer.h"
+
+using namespace portal;
+
+namespace {
+
+struct Args {
+  std::string problem;
+  std::map<std::string, std::string> options;
+  bool has(const std::string& key) const { return options.count(key) > 0; }
+  std::string get(const std::string& key, const std::string& fallback = "") const {
+    auto it = options.find(key);
+    return it == options.end() ? fallback : it->second;
+  }
+  double num(const std::string& key, double fallback) const {
+    auto it = options.find(key);
+    return it == options.end() ? fallback : std::atof(it->second.c_str());
+  }
+};
+
+[[noreturn]] void usage(const char* message = nullptr) {
+  if (message != nullptr) std::fprintf(stderr, "error: %s\n\n", message);
+  std::fprintf(stderr,
+               "usage: portal_cli <knn|kde|rs|twopoint|threepoint|hausdorff|"
+               "emst|bh> [--query F] [--reference F] [--data F] [--a F] "
+               "[--b F]\n"
+               "       [--k K] [--sigma S] [--lo A] [--hi B] [--h H] "
+               "[--theta T] [--masses F]\n"
+               "       [--out FILE] [--leaf N] [--tau T] [--engine E] "
+               "[--validate] [--demo N[,DIM]] [--serial]\n");
+  std::exit(1);
+}
+
+Storage load(const Args& args, const std::string& key, std::uint64_t seed) {
+  if (args.has("demo")) {
+    const std::string spec = args.get("demo");
+    const auto comma = spec.find(',');
+    const index_t n = std::atoll(spec.c_str());
+    const index_t dim =
+        comma == std::string::npos ? 3 : std::atoll(spec.c_str() + comma + 1);
+    if (n <= 0 || dim <= 0) usage("--demo needs N[,DIM] with positive values");
+    return Storage(make_gaussian_mixture(n, dim, 5, seed));
+  }
+  const std::string path = args.get(key);
+  if (path.empty())
+    usage(("missing --" + key + " (or use --demo)").c_str());
+  return Storage(path);
+}
+
+PortalConfig config_from(const Args& args) {
+  PortalConfig config;
+  config.leaf_size = static_cast<index_t>(args.num("leaf", kDefaultLeafSize));
+  config.tau = args.num("tau", 1e-3);
+  config.theta = args.num("theta", 0.5);
+  config.parallel = !args.has("serial");
+  config.validate = args.has("validate");
+  const std::string engine = args.get("engine", "auto");
+  if (engine == "auto") config.engine = Engine::Auto;
+  else if (engine == "pattern") config.engine = Engine::Pattern;
+  else if (engine == "jit") config.engine = Engine::JIT;
+  else if (engine == "vm") config.engine = Engine::VM;
+  else usage("--engine must be auto | pattern | jit | vm");
+  return config;
+}
+
+void report(const PortalExpr& expr, double seconds) {
+  std::printf("engine: %s | %s\n", expr.artifacts().chosen_engine.c_str(),
+              expr.artifacts().problem_description.c_str());
+  std::printf("pairs visited %llu, pruned/approximated %llu, base cases %llu\n",
+              static_cast<unsigned long long>(expr.stats().pairs_visited),
+              static_cast<unsigned long long>(expr.stats().prunes),
+              static_cast<unsigned long long>(expr.stats().base_cases));
+  std::printf("total %.3fs (compile %.3fs, trees %.3fs, traversal %.3fs)\n",
+              seconds, expr.artifacts().compile_seconds,
+              expr.artifacts().tree_build_seconds,
+              expr.artifacts().traversal_seconds);
+}
+
+void write_matrix(const std::string& path, const Storage& out, bool indices) {
+  const index_t rows = out.rows();
+  const index_t cols = out.cols();
+  const index_t width = indices ? 2 * cols : cols;
+  std::vector<real_t> flat(static_cast<std::size_t>(rows) * width);
+  for (index_t i = 0; i < rows; ++i)
+    for (index_t j = 0; j < cols; ++j) {
+      if (indices) {
+        flat[i * width + j] = static_cast<real_t>(out.index_at(i, j));
+        flat[i * width + cols + j] = out.value(i, j);
+      } else {
+        flat[i * width + j] = out.value(i, j);
+      }
+    }
+  write_csv(path, flat.data(), rows, width);
+  std::printf("wrote %s (%lld rows)\n", path.c_str(),
+              static_cast<long long>(rows));
+}
+
+int run_script(const std::string& path, const Args& args) {
+  Timer timer;
+  const ParsedProgram program = run_portal_script_file(path);
+  if (!program.executed) {
+    std::fprintf(stderr, "script parsed but contained no execute(); nothing ran\n");
+    return 0;
+  }
+  Storage out = program.expr->getOutput();
+  report(*program.expr, timer.elapsed_s());
+  if (out.has_scalar()) {
+    std::printf("scalar result: %.10g\n", out.scalar());
+  } else if (out.has_lists()) {
+    std::uint64_t total = 0;
+    for (index_t i = 0; i < out.rows(); ++i) total += out.list_size(i);
+    std::printf("%lld CSR rows, %llu entries\n",
+                static_cast<long long>(out.rows()),
+                static_cast<unsigned long long>(total));
+  } else {
+    std::printf("%lld x %lld result matrix\n", static_cast<long long>(out.rows()),
+                static_cast<long long>(out.cols()));
+  }
+  if (args.has("out")) write_matrix(args.get("out"), out, out.has_indices());
+  return 0;
+}
+
+int run(const Args& args) {
+  if (args.problem == "run") {
+    const std::string script = args.get("script");
+    if (script.empty()) usage("run needs a script path: portal_cli run FILE");
+    return run_script(script, args);
+  }
+  const PortalConfig config = config_from(args);
+  Timer timer;
+
+  if (args.problem == "knn" || args.problem == "kde" || args.problem == "rs") {
+    Storage query = load(args, "query", 11);
+    Storage reference =
+        args.has("reference") || !args.has("demo")
+            ? load(args, "reference", 12)
+            : query; // demo mode without --reference: self-join
+
+    PortalExpr expr;
+    expr.addLayer(PortalOp::FORALL, query);
+    if (args.problem == "knn") {
+      const index_t k = static_cast<index_t>(args.num("k", 5));
+      expr.addLayer({PortalOp::KARGMIN, k}, reference, PortalFunc::EUCLIDEAN);
+    } else if (args.problem == "kde") {
+      expr.addLayer(PortalOp::SUM, reference,
+                    PortalFunc::gaussian(args.num("sigma", 1.0)));
+    } else {
+      expr.addLayer(PortalOp::UNIONARG, reference,
+                    PortalFunc::indicator(args.num("lo", 0.0) + 1e-12,
+                                          args.num("hi", 1.0)));
+    }
+    expr.execute(config);
+    Storage out = expr.getOutput();
+    report(expr, timer.elapsed_s());
+
+    if (args.problem == "rs") {
+      std::uint64_t total = 0;
+      for (index_t i = 0; i < query.size(); ++i) total += out.list_size(i);
+      std::printf("total neighbors: %llu (%.1f per query)\n",
+                  static_cast<unsigned long long>(total),
+                  static_cast<double>(total) / query.size());
+    } else if (args.has("out")) {
+      write_matrix(args.get("out"), out, args.problem == "knn");
+    }
+    return 0;
+  }
+
+  if (args.problem == "twopoint") {
+    Storage data = load(args, "data", 13);
+    const real_t h = args.num("h", 1.0);
+    Var q, r;
+    const Expr d = sqrt(pow(Expr(q) - Expr(r), 2));
+    PortalExpr expr;
+    expr.addLayer(PortalOp::SUM, q, data);
+    expr.addLayer(PortalOp::SUM, r, data, d < Expr(h));
+    expr.execute(config);
+    report(expr, timer.elapsed_s());
+    const double ordered = expr.getOutput().scalar();
+    std::printf("ordered pairs (incl. self): %.0f | distinct pairs within h: "
+                "%.0f\n",
+                ordered, (ordered - data.size()) / 2);
+    return 0;
+  }
+
+  if (args.problem == "threepoint") {
+    Storage data = load(args, "data", 14);
+    ThreePointOptions options;
+    options.h = args.num("h", 1.0);
+    options.leaf_size = config.leaf_size > 0 ? config.leaf_size : kDefaultLeafSize;
+    const ThreePointResult result = threepoint_expert(data.dataset(), options);
+    std::printf("triples within h: %llu (%.3fs)\n",
+                static_cast<unsigned long long>(result.triples),
+                timer.elapsed_s());
+    return 0;
+  }
+
+  if (args.problem == "hausdorff") {
+    Storage a = args.has("demo") ? load(args, "a", 15) : load(args, "a", 15);
+    Storage b = args.has("demo") ? Storage(make_gaussian_mixture(
+                                       a.size(), a.dim(), 5, 16))
+                                 : load(args, "b", 16);
+    real_t directed[2];
+    int slot = 0;
+    for (const auto& [q, r] : {std::pair(&a, &b), std::pair(&b, &a)}) {
+      PortalExpr expr;
+      expr.addLayer(PortalOp::MAX, *q);
+      expr.addLayer(PortalOp::MIN, *r, PortalFunc::EUCLIDEAN);
+      expr.execute(config);
+      directed[slot++] = expr.getOutput().scalar();
+    }
+    std::printf("h(A,B) = %.6f, h(B,A) = %.6f, H = %.6f (%.3fs)\n", directed[0],
+                directed[1], std::max(directed[0], directed[1]),
+                timer.elapsed_s());
+    return 0;
+  }
+
+  if (args.problem == "emst") {
+    Storage data = load(args, "data", 17);
+    EmstOptions options;
+    options.leaf_size = config.leaf_size > 0 ? config.leaf_size : kDefaultLeafSize;
+    options.parallel = config.parallel;
+    const EmstResult result = emst_expert(data.dataset(), options);
+    std::printf("MST weight %.6f over %zu edges, %lld Boruvka rounds (%.3fs)\n",
+                result.total_weight, result.edges.size(),
+                static_cast<long long>(result.boruvka_rounds),
+                timer.elapsed_s());
+    if (args.has("out")) {
+      std::vector<real_t> rows(result.edges.size() * 3);
+      for (std::size_t i = 0; i < result.edges.size(); ++i) {
+        rows[i * 3 + 0] = static_cast<real_t>(result.edges[i].a);
+        rows[i * 3 + 1] = static_cast<real_t>(result.edges[i].b);
+        rows[i * 3 + 2] = result.edges[i].weight;
+      }
+      write_csv(args.get("out"), rows.data(),
+                static_cast<index_t>(result.edges.size()), 3);
+      std::printf("wrote %s\n", args.get("out").c_str());
+    }
+    return 0;
+  }
+
+  if (args.problem == "bh") {
+    Storage data = args.has("demo")
+                       ? [&] {
+                           const index_t n =
+                               std::atoll(args.get("demo").c_str());
+                           ParticleSet set = make_elliptical(n, 18);
+                           Storage s(set.positions);
+                           s.set_weights(set.masses);
+                           return s;
+                         }()
+                       : load(args, "data", 18);
+    if (!data.has_weights() && args.has("masses")) {
+      const CsvTable masses = read_csv(args.get("masses"));
+      data.set_weights(masses.values);
+    }
+    PortalExpr expr;
+    expr.addLayer(PortalOp::FORALL, data);
+    expr.addLayer(PortalOp::SUM, data,
+                  PortalFunc::gravity(1.0, args.num("eps", 1e-3)));
+    expr.execute(config);
+    Storage out = expr.getOutput();
+    report(expr, timer.elapsed_s());
+    if (args.has("out")) write_matrix(args.get("out"), out, false);
+    return 0;
+  }
+
+  usage(("unknown problem '" + args.problem + "'").c_str());
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) usage();
+  Args args;
+  args.problem = argv[1];
+  int first_option = 2;
+  if (args.problem == "run" && argc >= 3 && std::strncmp(argv[2], "--", 2) != 0) {
+    args.options["script"] = argv[2];
+    first_option = 3;
+  }
+  for (int i = first_option; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--", 2) != 0) usage("options start with --");
+    const std::string key = arg + 2;
+    if (key == "validate" || key == "serial") {
+      args.options[key] = "1";
+    } else {
+      if (i + 1 >= argc) usage(("--" + key + " needs a value").c_str());
+      args.options[key] = argv[++i];
+    }
+  }
+
+  try {
+    return run(args);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "portal_cli: %s\n", e.what());
+    return 2;
+  }
+}
