@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_strength.dir/bench_ablation_strength.cpp.o"
+  "CMakeFiles/bench_ablation_strength.dir/bench_ablation_strength.cpp.o.d"
+  "bench_ablation_strength"
+  "bench_ablation_strength.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_strength.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

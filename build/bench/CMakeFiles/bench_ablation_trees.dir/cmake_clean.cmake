@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_trees.dir/bench_ablation_trees.cpp.o"
+  "CMakeFiles/bench_ablation_trees.dir/bench_ablation_trees.cpp.o.d"
+  "bench_ablation_trees"
+  "bench_ablation_trees.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_trees.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

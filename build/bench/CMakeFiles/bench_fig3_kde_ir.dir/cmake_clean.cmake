@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_kde_ir.dir/bench_fig3_kde_ir.cpp.o"
+  "CMakeFiles/bench_fig3_kde_ir.dir/bench_fig3_kde_ir.cpp.o.d"
+  "bench_fig3_kde_ir"
+  "bench_fig3_kde_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_kde_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_portal_vs_expert.dir/bench_table4_portal_vs_expert.cpp.o"
+  "CMakeFiles/bench_table4_portal_vs_expert.dir/bench_table4_portal_vs_expert.cpp.o.d"
+  "bench_table4_portal_vs_expert"
+  "bench_table4_portal_vs_expert.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_portal_vs_expert.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

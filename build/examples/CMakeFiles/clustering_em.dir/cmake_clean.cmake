@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clustering_em.dir/clustering_em.cpp.o"
+  "CMakeFiles/clustering_em.dir/clustering_em.cpp.o.d"
+  "clustering_em"
+  "clustering_em.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clustering_em.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/density_estimation.dir/density_estimation.cpp.o"
+  "CMakeFiles/density_estimation.dir/density_estimation.cpp.o.d"
+  "density_estimation"
+  "density_estimation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/density_estimation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

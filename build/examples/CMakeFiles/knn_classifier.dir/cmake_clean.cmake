@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/knn_classifier.dir/knn_classifier.cpp.o"
+  "CMakeFiles/knn_classifier.dir/knn_classifier.cpp.o.d"
+  "knn_classifier"
+  "knn_classifier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/knn_classifier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shape_matching.dir/shape_matching.cpp.o"
+  "CMakeFiles/shape_matching.dir/shape_matching.cpp.o.d"
+  "shape_matching"
+  "shape_matching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shape_matching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,56 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/fdps_like.cpp" "src/CMakeFiles/portal.dir/baselines/fdps_like.cpp.o" "gcc" "src/CMakeFiles/portal.dir/baselines/fdps_like.cpp.o.d"
+  "/root/repo/src/baselines/mlpack_like.cpp" "src/CMakeFiles/portal.dir/baselines/mlpack_like.cpp.o" "gcc" "src/CMakeFiles/portal.dir/baselines/mlpack_like.cpp.o.d"
+  "/root/repo/src/baselines/sklearn_like.cpp" "src/CMakeFiles/portal.dir/baselines/sklearn_like.cpp.o" "gcc" "src/CMakeFiles/portal.dir/baselines/sklearn_like.cpp.o.d"
+  "/root/repo/src/core/analysis.cpp" "src/CMakeFiles/portal.dir/core/analysis.cpp.o" "gcc" "src/CMakeFiles/portal.dir/core/analysis.cpp.o.d"
+  "/root/repo/src/core/codegen/jit.cpp" "src/CMakeFiles/portal.dir/core/codegen/jit.cpp.o" "gcc" "src/CMakeFiles/portal.dir/core/codegen/jit.cpp.o.d"
+  "/root/repo/src/core/codegen/pattern.cpp" "src/CMakeFiles/portal.dir/core/codegen/pattern.cpp.o" "gcc" "src/CMakeFiles/portal.dir/core/codegen/pattern.cpp.o.d"
+  "/root/repo/src/core/codegen/vm.cpp" "src/CMakeFiles/portal.dir/core/codegen/vm.cpp.o" "gcc" "src/CMakeFiles/portal.dir/core/codegen/vm.cpp.o.d"
+  "/root/repo/src/core/executor.cpp" "src/CMakeFiles/portal.dir/core/executor.cpp.o" "gcc" "src/CMakeFiles/portal.dir/core/executor.cpp.o.d"
+  "/root/repo/src/core/func.cpp" "src/CMakeFiles/portal.dir/core/func.cpp.o" "gcc" "src/CMakeFiles/portal.dir/core/func.cpp.o.d"
+  "/root/repo/src/core/ir/ir.cpp" "src/CMakeFiles/portal.dir/core/ir/ir.cpp.o" "gcc" "src/CMakeFiles/portal.dir/core/ir/ir.cpp.o.d"
+  "/root/repo/src/core/parser.cpp" "src/CMakeFiles/portal.dir/core/parser.cpp.o" "gcc" "src/CMakeFiles/portal.dir/core/parser.cpp.o.d"
+  "/root/repo/src/core/passes/lowering.cpp" "src/CMakeFiles/portal.dir/core/passes/lowering.cpp.o" "gcc" "src/CMakeFiles/portal.dir/core/passes/lowering.cpp.o.d"
+  "/root/repo/src/core/passes/passes.cpp" "src/CMakeFiles/portal.dir/core/passes/passes.cpp.o" "gcc" "src/CMakeFiles/portal.dir/core/passes/passes.cpp.o.d"
+  "/root/repo/src/core/portal_expr.cpp" "src/CMakeFiles/portal.dir/core/portal_expr.cpp.o" "gcc" "src/CMakeFiles/portal.dir/core/portal_expr.cpp.o.d"
+  "/root/repo/src/core/storage.cpp" "src/CMakeFiles/portal.dir/core/storage.cpp.o" "gcc" "src/CMakeFiles/portal.dir/core/storage.cpp.o.d"
+  "/root/repo/src/core/tuner.cpp" "src/CMakeFiles/portal.dir/core/tuner.cpp.o" "gcc" "src/CMakeFiles/portal.dir/core/tuner.cpp.o.d"
+  "/root/repo/src/core/var_expr.cpp" "src/CMakeFiles/portal.dir/core/var_expr.cpp.o" "gcc" "src/CMakeFiles/portal.dir/core/var_expr.cpp.o.d"
+  "/root/repo/src/data/dataset.cpp" "src/CMakeFiles/portal.dir/data/dataset.cpp.o" "gcc" "src/CMakeFiles/portal.dir/data/dataset.cpp.o.d"
+  "/root/repo/src/data/generators.cpp" "src/CMakeFiles/portal.dir/data/generators.cpp.o" "gcc" "src/CMakeFiles/portal.dir/data/generators.cpp.o.d"
+  "/root/repo/src/data/table2.cpp" "src/CMakeFiles/portal.dir/data/table2.cpp.o" "gcc" "src/CMakeFiles/portal.dir/data/table2.cpp.o.d"
+  "/root/repo/src/kernels/linalg.cpp" "src/CMakeFiles/portal.dir/kernels/linalg.cpp.o" "gcc" "src/CMakeFiles/portal.dir/kernels/linalg.cpp.o.d"
+  "/root/repo/src/kernels/metrics.cpp" "src/CMakeFiles/portal.dir/kernels/metrics.cpp.o" "gcc" "src/CMakeFiles/portal.dir/kernels/metrics.cpp.o.d"
+  "/root/repo/src/problems/barneshut.cpp" "src/CMakeFiles/portal.dir/problems/barneshut.cpp.o" "gcc" "src/CMakeFiles/portal.dir/problems/barneshut.cpp.o.d"
+  "/root/repo/src/problems/em.cpp" "src/CMakeFiles/portal.dir/problems/em.cpp.o" "gcc" "src/CMakeFiles/portal.dir/problems/em.cpp.o.d"
+  "/root/repo/src/problems/emst.cpp" "src/CMakeFiles/portal.dir/problems/emst.cpp.o" "gcc" "src/CMakeFiles/portal.dir/problems/emst.cpp.o.d"
+  "/root/repo/src/problems/hausdorff.cpp" "src/CMakeFiles/portal.dir/problems/hausdorff.cpp.o" "gcc" "src/CMakeFiles/portal.dir/problems/hausdorff.cpp.o.d"
+  "/root/repo/src/problems/kde.cpp" "src/CMakeFiles/portal.dir/problems/kde.cpp.o" "gcc" "src/CMakeFiles/portal.dir/problems/kde.cpp.o.d"
+  "/root/repo/src/problems/knn.cpp" "src/CMakeFiles/portal.dir/problems/knn.cpp.o" "gcc" "src/CMakeFiles/portal.dir/problems/knn.cpp.o.d"
+  "/root/repo/src/problems/nbc.cpp" "src/CMakeFiles/portal.dir/problems/nbc.cpp.o" "gcc" "src/CMakeFiles/portal.dir/problems/nbc.cpp.o.d"
+  "/root/repo/src/problems/range_search.cpp" "src/CMakeFiles/portal.dir/problems/range_search.cpp.o" "gcc" "src/CMakeFiles/portal.dir/problems/range_search.cpp.o.d"
+  "/root/repo/src/problems/threepoint.cpp" "src/CMakeFiles/portal.dir/problems/threepoint.cpp.o" "gcc" "src/CMakeFiles/portal.dir/problems/threepoint.cpp.o.d"
+  "/root/repo/src/problems/twopoint.cpp" "src/CMakeFiles/portal.dir/problems/twopoint.cpp.o" "gcc" "src/CMakeFiles/portal.dir/problems/twopoint.cpp.o.d"
+  "/root/repo/src/tree/balltree.cpp" "src/CMakeFiles/portal.dir/tree/balltree.cpp.o" "gcc" "src/CMakeFiles/portal.dir/tree/balltree.cpp.o.d"
+  "/root/repo/src/tree/bbox.cpp" "src/CMakeFiles/portal.dir/tree/bbox.cpp.o" "gcc" "src/CMakeFiles/portal.dir/tree/bbox.cpp.o.d"
+  "/root/repo/src/tree/kdtree.cpp" "src/CMakeFiles/portal.dir/tree/kdtree.cpp.o" "gcc" "src/CMakeFiles/portal.dir/tree/kdtree.cpp.o.d"
+  "/root/repo/src/tree/octree.cpp" "src/CMakeFiles/portal.dir/tree/octree.cpp.o" "gcc" "src/CMakeFiles/portal.dir/tree/octree.cpp.o.d"
+  "/root/repo/src/util/csv.cpp" "src/CMakeFiles/portal.dir/util/csv.cpp.o" "gcc" "src/CMakeFiles/portal.dir/util/csv.cpp.o.d"
+  "/root/repo/src/util/threading.cpp" "src/CMakeFiles/portal.dir/util/threading.cpp.o" "gcc" "src/CMakeFiles/portal.dir/util/threading.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

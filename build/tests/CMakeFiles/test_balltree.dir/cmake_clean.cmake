@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_balltree.dir/test_balltree.cpp.o"
+  "CMakeFiles/test_balltree.dir/test_balltree.cpp.o.d"
+  "test_balltree"
+  "test_balltree.pdb"
+  "test_balltree[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_balltree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

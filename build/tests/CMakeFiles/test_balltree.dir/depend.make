@@ -1,0 +1,2 @@
+# Empty dependencies file for test_balltree.
+# This may be replaced when dependencies are built.

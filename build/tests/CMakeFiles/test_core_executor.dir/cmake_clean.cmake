@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_executor.dir/test_core_executor.cpp.o"
+  "CMakeFiles/test_core_executor.dir/test_core_executor.cpp.o.d"
+  "test_core_executor"
+  "test_core_executor.pdb"
+  "test_core_executor[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_executor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_expr.dir/test_core_expr.cpp.o"
+  "CMakeFiles/test_core_expr.dir/test_core_expr.cpp.o.d"
+  "test_core_expr"
+  "test_core_expr.pdb"
+  "test_core_expr[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_expr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

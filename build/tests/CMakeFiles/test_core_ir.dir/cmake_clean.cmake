@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_ir.dir/test_core_ir.cpp.o"
+  "CMakeFiles/test_core_ir.dir/test_core_ir.cpp.o.d"
+  "test_core_ir"
+  "test_core_ir.pdb"
+  "test_core_ir[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

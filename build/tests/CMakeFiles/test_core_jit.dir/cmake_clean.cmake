@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_jit.dir/test_core_jit.cpp.o"
+  "CMakeFiles/test_core_jit.dir/test_core_jit.cpp.o.d"
+  "test_core_jit"
+  "test_core_jit.pdb"
+  "test_core_jit[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_jit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_problems_bh.dir/test_problems_bh.cpp.o"
+  "CMakeFiles/test_problems_bh.dir/test_problems_bh.cpp.o.d"
+  "test_problems_bh"
+  "test_problems_bh.pdb"
+  "test_problems_bh[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_problems_bh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_problems_emst.dir/test_problems_emst.cpp.o"
+  "CMakeFiles/test_problems_emst.dir/test_problems_emst.cpp.o.d"
+  "test_problems_emst"
+  "test_problems_emst.pdb"
+  "test_problems_emst[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_problems_emst.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_problems_kde.dir/test_problems_kde.cpp.o"
+  "CMakeFiles/test_problems_kde.dir/test_problems_kde.cpp.o.d"
+  "test_problems_kde"
+  "test_problems_kde.pdb"
+  "test_problems_kde[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_problems_kde.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_problems_knn.dir/test_problems_knn.cpp.o"
+  "CMakeFiles/test_problems_knn.dir/test_problems_knn.cpp.o.d"
+  "test_problems_knn"
+  "test_problems_knn.pdb"
+  "test_problems_knn[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_problems_knn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

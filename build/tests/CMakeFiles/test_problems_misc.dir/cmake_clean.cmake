@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_problems_misc.dir/test_problems_misc.cpp.o"
+  "CMakeFiles/test_problems_misc.dir/test_problems_misc.cpp.o.d"
+  "test_problems_misc"
+  "test_problems_misc.pdb"
+  "test_problems_misc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_problems_misc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

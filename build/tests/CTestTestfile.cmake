@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_data[1]_include.cmake")
+include("/root/repo/build/tests/test_kernels[1]_include.cmake")
+include("/root/repo/build/tests/test_tree[1]_include.cmake")
+include("/root/repo/build/tests/test_traversal[1]_include.cmake")
+include("/root/repo/build/tests/test_problems_knn[1]_include.cmake")
+include("/root/repo/build/tests/test_problems_kde[1]_include.cmake")
+include("/root/repo/build/tests/test_problems_misc[1]_include.cmake")
+include("/root/repo/build/tests/test_problems_emst[1]_include.cmake")
+include("/root/repo/build/tests/test_problems_em[1]_include.cmake")
+include("/root/repo/build/tests/test_problems_bh[1]_include.cmake")
+include("/root/repo/build/tests/test_core_expr[1]_include.cmake")
+include("/root/repo/build/tests/test_core_ir[1]_include.cmake")
+include("/root/repo/build/tests/test_core_portal[1]_include.cmake")
+include("/root/repo/build/tests/test_core_jit[1]_include.cmake")
+include("/root/repo/build/tests/test_core_executor[1]_include.cmake")
+include("/root/repo/build/tests/test_core_fuzz[1]_include.cmake")
+include("/root/repo/build/tests/test_balltree[1]_include.cmake")
+include("/root/repo/build/tests/test_core_parser[1]_include.cmake")
+include("/root/repo/build/tests/test_codegen_fuzz[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/portal_cli.dir/portal_cli.cpp.o"
+  "CMakeFiles/portal_cli.dir/portal_cli.cpp.o.d"
+  "portal_cli"
+  "portal_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/portal_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_knn "/root/repo/build/tools/portal_cli" "knn" "--demo" "2000" "--k" "3" "--validate")
+set_tests_properties(cli_knn PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_kde "/root/repo/build/tools/portal_cli" "kde" "--demo" "2000" "--sigma" "1.0")
+set_tests_properties(cli_kde PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_rs "/root/repo/build/tools/portal_cli" "rs" "--demo" "1500" "--hi" "1.5")
+set_tests_properties(cli_rs PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_twopoint "/root/repo/build/tools/portal_cli" "twopoint" "--demo" "1500" "--h" "1.0")
+set_tests_properties(cli_twopoint PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_threepoint "/root/repo/build/tools/portal_cli" "threepoint" "--demo" "200" "--h" "1.0")
+set_tests_properties(cli_threepoint PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_hausdorff "/root/repo/build/tools/portal_cli" "hausdorff" "--demo" "1000" "--a" "unused")
+set_tests_properties(cli_hausdorff PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_emst "/root/repo/build/tools/portal_cli" "emst" "--demo" "1500")
+set_tests_properties(cli_emst PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_bh "/root/repo/build/tools/portal_cli" "bh" "--demo" "3000" "--theta" "0.5")
+set_tests_properties(cli_bh PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_usage_error "/root/repo/build/tools/portal_cli" "nonsense")
+set_tests_properties(cli_usage_error PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;14;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_script_knn "/root/repo/build/tools/portal_cli" "run" "/root/repo/examples/scripts/knn.portal")
+set_tests_properties(cli_script_knn PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;19;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_script_twopoint "/root/repo/build/tools/portal_cli" "run" "/root/repo/examples/scripts/twopoint.portal")
+set_tests_properties(cli_script_twopoint PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;21;add_test;/root/repo/tools/CMakeLists.txt;0;")
