@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "core/codegen/vm.h"
+#include "core/verify/diagnostics.h"
 #include "core/passes/lowering.h"
 #include "kernels/linalg.h"
 #include "util/log.h"
@@ -12,8 +13,9 @@
 namespace portal {
 namespace {
 
-[[noreturn]] void bad_program(const std::string& message) {
-  throw std::invalid_argument("Portal: " + message);
+[[noreturn]] void bad_program(const char* code, const std::string& message) {
+  throw PortalDiagnosticError(
+      Diagnostic{Severity::Error, code, "analyze_layers", message});
 }
 
 /// Structural indicator recognition over the envelope IR:
@@ -115,7 +117,7 @@ void classify_envelope(KernelInfo* kernel) {
 ProblemPlan analyze_layers(const std::vector<LayerSpec>& layers,
                            const PortalConfig& config) {
   if (layers.size() != 2)
-    bad_program("expected exactly 2 layers (outer + inner); got " +
+    bad_program("PTL-E101", "expected exactly 2 layers (outer + inner); got " +
                 std::to_string(layers.size()) +
                 ". Multi-way (m > 2) problems are future work, matching the "
                 "paper's evaluated problem set");
@@ -127,11 +129,11 @@ ProblemPlan analyze_layers(const std::vector<LayerSpec>& layers,
 
   // --- layer validation -----------------------------------------------------
   if (!outer.storage.is_input() || !inner.storage.is_input())
-    bad_program("every layer needs an input Storage");
+    bad_program("PTL-E102", "every layer needs an input Storage");
   if (outer.storage.size() == 0 || inner.storage.size() == 0)
-    bad_program("empty dataset");
+    bad_program("PTL-E103", "empty dataset");
   if (outer.storage.dim() != inner.storage.dim())
-    bad_program("layer datasets disagree on dimensionality (" +
+    bad_program("PTL-E104", "layer datasets disagree on dimensionality (" +
                 std::to_string(outer.storage.dim()) + " vs " +
                 std::to_string(inner.storage.dim()) + ")");
   switch (outer.op.op) {
@@ -142,27 +144,27 @@ ProblemPlan analyze_layers(const std::vector<LayerSpec>& layers,
     case PortalOp::MAX:
       break;
     default:
-      bad_program(std::string("outer operator ") + op_name(outer.op.op) +
+      bad_program("PTL-E105", std::string("outer operator ") + op_name(outer.op.op) +
                   " is not supported as the outermost layer");
   }
   if (op_category(inner.op.op) == OpCategory::Multi &&
       inner.op.op != PortalOp::UNION && inner.op.op != PortalOp::UNIONARG) {
     if (inner.op.k < 1 || inner.op.k > inner.storage.size())
-      bad_program("multi-variable reduction k must be in [1, dataset size]");
+      bad_program("PTL-E106", "multi-variable reduction k must be in [1, dataset size]");
   }
   if (outer.has_kernel() && !inner.has_kernel())
-    bad_program("the kernel function belongs on the innermost layer "
+    bad_program("PTL-E107", "the kernel function belongs on the innermost layer "
                 "(Sec. III-C); outer layers take modifying functions only");
   if (!inner.has_kernel())
-    bad_program("the innermost layer requires a kernel function");
+    bad_program("PTL-E108", "the innermost layer requires a kernel function");
 
   // --- kernel construction ---------------------------------------------------
   const bool gravity = inner.func.kind() == PortalFunc::Kind::Gravity;
   if (gravity) {
     if (inner.storage.dim() != 3)
-      bad_program("the gravity kernel (Barnes-Hut) requires 3-D data");
+      bad_program("PTL-E109", "the gravity kernel (Barnes-Hut) requires 3-D data");
     if (outer.op.op != PortalOp::FORALL || inner.op.op != PortalOp::SUM)
-      bad_program("the gravity kernel requires the forall/sum layer pair");
+      bad_program("PTL-E110", "the gravity kernel requires the forall/sum layer pair");
     plan.kernel.is_gravity = true;
     plan.kernel.gravity_g = inner.func.gravity_g();
     plan.kernel.gravity_eps = inner.func.softening();
@@ -199,7 +201,7 @@ ProblemPlan analyze_layers(const std::vector<LayerSpec>& layers,
     plan.kernel.ast = inner.func.custom_expr();
   } else {
     if (outer.var_id >= 0 || inner.var_id >= 0)
-      bad_program("pre-defined PortalFuncs bind their own variables; use the "
+      bad_program("PTL-E111", "pre-defined PortalFuncs bind their own variables; use the "
                   "custom-kernel addLayer overload with explicit Vars");
     Var q_tmp("q"), r_tmp("r");
     plan.kernel.ast = inner.func.expand(q_tmp, r_tmp);
@@ -207,17 +209,17 @@ ProblemPlan analyze_layers(const std::vector<LayerSpec>& layers,
     plan.layers[1].var_id = r_tmp.id();
   }
   if (plan.layers[0].var_id < 0 || plan.layers[1].var_id < 0)
-    bad_program("custom kernels require both layers bound to Vars (use the "
+    bad_program("PTL-E112", "custom kernels require both layers bound to Vars (use the "
                 "addLayer overload that takes a Var)");
   const int bound_q = plan.layers[0].var_id;
   const int bound_r = plan.layers[1].var_id;
   if (bound_q == bound_r)
-    bad_program("outer and inner layers must bind distinct Vars");
+    bad_program("PTL-E113", "outer and inner layers must bind distinct Vars");
 
   // Validate var usage.
   for (int id : collect_var_ids(plan.kernel.ast))
     if (id != bound_q && id != bound_r)
-      bad_program("kernel references a Var not bound to any layer");
+      bad_program("PTL-E114", "kernel references a Var not bound to any layer");
 
   // Scalar-ize (implicit dim-sum at the top, Sec. IV-A).
   if (plan.kernel.ast.type() == ExprType::Vector)
@@ -286,10 +288,10 @@ ProblemPlan analyze_layers(const std::vector<LayerSpec>& layers,
   // exclude_same_label sanity (the MST constraint).
   if (config.exclude_same_label != nullptr) {
     if (outer.storage.identity() != inner.storage.identity())
-      bad_program("exclude_same_label requires both layers to share one dataset");
+      bad_program("PTL-E115", "exclude_same_label requires both layers to share one dataset");
     if (static_cast<index_t>(config.exclude_same_label->size()) !=
         outer.storage.size())
-      bad_program("exclude_same_label size must match the dataset");
+      bad_program("PTL-E116", "exclude_same_label size must match the dataset");
   }
 
   plan.description = describe_problem(plan);

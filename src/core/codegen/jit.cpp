@@ -11,6 +11,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "core/verify/verify.h"
 #include "kernels/linalg.h"
 #include "util/log.h"
 
@@ -200,6 +201,11 @@ static inline double portal_maha_naive(const double* q, const double* r, long di
 std::string emit_cpp_source(const ProblemPlan& plan) {
   if (plan.kernel.kernel_ir && ir_contains(plan.kernel.kernel_ir, IrOp::ExternalCall))
     throw std::runtime_error("jit: external kernels are not serializable");
+  // Verified-IR precondition: the printer indexes children by arity and
+  // would emit garbage C++ from malformed trees.
+  verify_executable_expr(plan.kernel.kernel_ir, "jit");
+  if (plan.kernel.normalized && plan.kernel.envelope_ir)
+    verify_executable_expr(plan.kernel.envelope_ir, "jit-envelope");
 
   std::ostringstream preamble;
   std::ostringstream body;

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <limits>
 
+#include "core/verify/verify.h"
 #include "problems/barneshut.h"
 #include "problems/kde.h"
 #include "problems/knn.h"
@@ -97,6 +98,10 @@ PatternDispatch try_pattern_execute(const ProblemPlan& plan,
   dispatch.name = recognize_pattern(plan, config);
   if (dispatch.name.empty()) return dispatch;
   dispatch.recognized = true;
+  // Light verified-IR precondition: recognition matched on the kernel IR, so
+  // it must at least be structurally sound before a specialized kernel runs.
+  if (plan.kernel.kernel_ir)
+    verify_executable_expr(plan.kernel.kernel_ir, "pattern");
 
   const Storage& qstore = plan.layers[0].storage;
   const Storage& rstore = plan.layers[1].storage;

@@ -5,13 +5,17 @@
 #include <limits>
 #include <stdexcept>
 
+#include "core/verify/verify.h"
 #include "kernels/fastmath.h"
 #include "kernels/linalg.h"
 
 namespace portal {
 
 VmProgram VmProgram::compile(const IrExprPtr& expr) {
-  if (!expr) throw std::invalid_argument("VmProgram: null expression");
+  // Verified-IR precondition: bytecode emission assumes structurally sound
+  // trees (arity, payloads, no Temp plumbing) and reports violations with
+  // the PTL-E codes instead of crashing mid-emit.
+  verify_executable_expr(expr, "vm");
   VmProgram program;
   program.emit(expr);
   return program;

@@ -81,6 +81,89 @@ bool ir_contains(const IrExprPtr& root, IrOp op) {
   return false;
 }
 
+const char* ir_op_name(IrOp op) {
+  switch (op) {
+    case IrOp::Const: return "const";
+    case IrOp::LoadQCoord: return "load_q";
+    case IrOp::LoadRCoord: return "load_r";
+    case IrOp::Dist: return "dist";
+    case IrOp::Temp: return "temp";
+    case IrOp::DMin: return "d_min";
+    case IrOp::DMax: return "d_max";
+    case IrOp::CenterDist: return "center_dist";
+    case IrOp::RCount: return "r_count";
+    case IrOp::Tau: return "tau";
+    case IrOp::QueryBound: return "query_bound";
+    case IrOp::Add: return "add";
+    case IrOp::Sub: return "sub";
+    case IrOp::Mul: return "mul";
+    case IrOp::Div: return "div";
+    case IrOp::Neg: return "neg";
+    case IrOp::Abs: return "abs";
+    case IrOp::Min: return "min";
+    case IrOp::Max: return "max";
+    case IrOp::Pow: return "pow";
+    case IrOp::Sqrt: return "sqrt";
+    case IrOp::FastSqrt: return "fast_sqrt";
+    case IrOp::InvSqrt: return "inv_sqrt";
+    case IrOp::FastInvSqrt: return "fast_inv_sqrt";
+    case IrOp::Exp: return "exp";
+    case IrOp::Log: return "log";
+    case IrOp::Less: return "less";
+    case IrOp::Greater: return "greater";
+    case IrOp::LogicalAnd: return "and";
+    case IrOp::DimSum: return "dim_sum";
+    case IrOp::DimMax: return "dim_max";
+    case IrOp::MahalanobisNaive: return "mahalanobis_naive";
+    case IrOp::MahalanobisChol: return "mahalanobis_chol";
+    case IrOp::ExternalCall: return "external_call";
+  }
+  return "?";
+}
+
+int ir_op_arity(IrOp op) {
+  switch (op) {
+    case IrOp::Const:
+    case IrOp::LoadQCoord:
+    case IrOp::LoadRCoord:
+    case IrOp::Dist:
+    case IrOp::Temp:
+    case IrOp::DMin:
+    case IrOp::DMax:
+    case IrOp::CenterDist:
+    case IrOp::RCount:
+    case IrOp::Tau:
+    case IrOp::QueryBound:
+    case IrOp::MahalanobisNaive: // leaf; the matrix payload carries the data
+    case IrOp::MahalanobisChol:
+    case IrOp::ExternalCall:
+      return 0;
+    case IrOp::Neg:
+    case IrOp::Abs:
+    case IrOp::Pow: // exponent lives in `value`, not a child
+    case IrOp::Sqrt:
+    case IrOp::FastSqrt:
+    case IrOp::InvSqrt:
+    case IrOp::FastInvSqrt:
+    case IrOp::Exp:
+    case IrOp::Log:
+    case IrOp::DimSum:
+    case IrOp::DimMax:
+      return 1;
+    case IrOp::Add:
+    case IrOp::Sub:
+    case IrOp::Mul:
+    case IrOp::Div:
+    case IrOp::Min:
+    case IrOp::Max:
+    case IrOp::Less:
+    case IrOp::Greater:
+    case IrOp::LogicalAnd:
+      return 2;
+  }
+  return 0;
+}
+
 index_t ir_node_count(const IrExprPtr& root) {
   if (!root) return 0;
   index_t count = 1;

@@ -98,6 +98,14 @@ IrExprPtr ir_rewrite(const IrExprPtr& root,
 /// True if the subtree contains the given op.
 bool ir_contains(const IrExprPtr& root, IrOp op);
 
+/// Lower-case mnemonic for an op ("dim_sum", "load_q", ...) -- diagnostics
+/// and IR paths.
+const char* ir_op_name(IrOp op);
+
+/// Required child count for an op. Every IrOp has a fixed arity; the
+/// verifier's structural rules (PTL-E002) are driven by this table.
+int ir_op_arity(IrOp op);
+
 /// Count nodes (pass-effect reporting in the Fig. 1 pipeline bench).
 index_t ir_node_count(const IrExprPtr& root);
 

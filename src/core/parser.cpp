@@ -7,6 +7,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "core/verify/diagnostics.h"
 #include "data/generators.h"
 
 namespace portal {
@@ -37,13 +38,17 @@ class Lexer {
     return token;
   }
 
-  [[noreturn]] void fail(const std::string& message) const {
-    throw std::invalid_argument("portal script:" + std::to_string(current_.line) +
-                                ":" + std::to_string(current_.col) + ": " +
-                                message +
-                                (current_.kind == Tok::End
-                                     ? " (at end of input)"
-                                     : " (at '" + current_.text + "')"));
+  /// PTL-P001 = syntax (token-level), PTL-P002 = semantic (name binding,
+  /// config values). The path carries the line:col context.
+  [[noreturn]] void fail(const std::string& message,
+                         const char* code = "PTL-P001") const {
+    throw PortalDiagnosticError(Diagnostic{
+        Severity::Error, code,
+        "portal script:" + std::to_string(current_.line) + ":" +
+            std::to_string(current_.col),
+        message + (current_.kind == Tok::End
+                       ? " (at end of input)"
+                       : " (at '" + current_.text + "')")});
   }
 
  private:
@@ -120,13 +125,16 @@ class Lexer {
 
 class Parser {
  public:
-  Parser(const std::string& source, std::string base_dir)
-      : lexer_(source), base_dir_(std::move(base_dir)) {}
+  Parser(const std::string& source, std::string base_dir,
+         const PortalConfig& base_config)
+      : lexer_(source), base_dir_(std::move(base_dir)) {
+    program_.config = base_config;
+  }
 
   ParsedProgram run() {
     while (lexer_.peek().kind != Tok::End) statement();
     if (!program_.expr)
-      lexer_.fail("script never declared a PortalExpr");
+      lexer_.fail("script never declared a PortalExpr", "PTL-P002");
     return std::move(program_);
   }
 
@@ -187,7 +195,7 @@ class Parser {
         dim = static_cast<index_t>(expect_number());
       }
       expect_punct(")");
-      if (n <= 0 || dim <= 0) lexer_.fail("demo(N, DIM) needs positive values");
+      if (n <= 0 || dim <= 0) lexer_.fail("demo(N, DIM) needs positive values", "PTL-P002");
       // Seed from the storage name: distinct names give distinct data.
       std::uint64_t seed = 0x5eedULL;
       for (char c : name) seed = seed * 131 + static_cast<unsigned char>(c);
@@ -216,7 +224,7 @@ class Parser {
   void portalexpr_stmt() {
     lexer_.take(); // PortalExpr
     const std::string name = expect_ident("a PortalExpr name");
-    if (program_.expr) lexer_.fail("scripts support a single PortalExpr");
+    if (program_.expr) lexer_.fail("scripts support a single PortalExpr", "PTL-P002");
     program_.expr = std::make_shared<PortalExpr>();
     expr_name_ = name;
     expect_punct(";");
@@ -234,16 +242,19 @@ class Parser {
       program_.config.leaf_size = static_cast<index_t>(expect_number());
     } else if (key == "parallel") {
       program_.config.parallel = expect_number() != 0;
+    } else if (key == "verify_ir") {
+      program_.config.verify_ir = expect_number() != 0;
     } else if (key == "engine") {
       const std::string engine = expect_ident("an engine name");
       if (engine == "auto") program_.config.engine = Engine::Auto;
       else if (engine == "pattern") program_.config.engine = Engine::Pattern;
       else if (engine == "jit") program_.config.engine = Engine::JIT;
       else if (engine == "vm") program_.config.engine = Engine::VM;
-      else lexer_.fail("engine must be auto | pattern | jit | vm");
+      else lexer_.fail("engine must be auto | pattern | jit | vm", "PTL-P002");
     } else {
       lexer_.fail("unknown config key '" + key +
-                  "' (tau, theta, leaf_size, parallel, engine)");
+                  "' (tau, theta, leaf_size, parallel, engine, verify_ir)",
+                  "PTL-P002");
     }
     expect_punct(";");
   }
@@ -251,7 +262,7 @@ class Parser {
   void method_stmt() {
     const std::string object = expect_ident("an object name");
     if (!program_.expr || object != expr_name_)
-      lexer_.fail("unknown object '" + object + "'");
+      lexer_.fail("unknown object '" + object + "'", "PTL-P002");
     expect_punct(".");
     const std::string method = expect_ident("a method name");
     if (method == "addLayer") {
@@ -262,7 +273,7 @@ class Parser {
       program_.expr->execute(program_.config);
       program_.executed = true;
     } else {
-      lexer_.fail("unknown method '" + method + "' (addLayer, execute)");
+      lexer_.fail("unknown method '" + method + "' (addLayer, execute)", "PTL-P002");
     }
     expect_punct(";");
   }
@@ -284,7 +295,7 @@ class Parser {
     }
     const auto storage_it = program_.storages.find(storage_name);
     if (storage_it == program_.storages.end())
-      lexer_.fail("unknown Storage '" + storage_name + "'");
+      lexer_.fail("unknown Storage '" + storage_name + "'", "PTL-P002");
 
     bool have_kernel = false;
     PortalFunc func = PortalFunc::NONE;
@@ -305,7 +316,7 @@ class Parser {
         program_.expr->addLayer(op, program_.vars.at(var_name),
                                 storage_it->second, kernel);
       } else if (have_kernel) {
-        lexer_.fail("Var-bound layers take an expression kernel");
+        lexer_.fail("Var-bound layers take an expression kernel", "PTL-P002");
       } else {
         program_.expr->addLayer(op, program_.vars.at(var_name),
                                 storage_it->second);
@@ -313,7 +324,7 @@ class Parser {
     } else if (have_kernel && kernel.valid()) {
       // Inline expression without a bound Var: disallow (which vars?).
       lexer_.fail("expression kernels require Var-bound layers "
-                  "(addLayer(OP, var, storage, expr))");
+                  "(addLayer(OP, var, storage, expr))", "PTL-P002");
     } else if (have_kernel) {
       program_.expr->addLayer(op, storage_it->second, func);
     } else {
@@ -338,7 +349,7 @@ class Parser {
     else if (name == "KARGMIN") op = PortalOp::KARGMIN;
     else if (name == "KARGMAX") op = PortalOp::KARGMAX;
     else {
-      lexer_.fail("unknown operator '" + name + "'");
+      lexer_.fail("unknown operator '" + name + "'", "PTL-P002");
     }
     expect_punct("(");
     const index_t k = static_cast<index_t>(expect_number());
@@ -460,7 +471,7 @@ class Parser {
         const std::string rn = expect_ident("a Var name");
         expect_punct(")");
         if (program_.vars.count(qn) == 0 || program_.vars.count(rn) == 0)
-          lexer_.fail("mahalanobis() needs declared Vars");
+          lexer_.fail("mahalanobis() needs declared Vars", "PTL-P002");
         return mahalanobis(program_.vars.at(qn), program_.vars.at(rn));
       }
       Expr inner = expression();
@@ -471,7 +482,7 @@ class Parser {
       if (name == "abs") return abs(inner);
       if (name == "dimsum") return dimsum(inner);
       if (name == "dimmax") return dimmax(inner);
-      lexer_.fail("unknown function '" + name + "'");
+      lexer_.fail("unknown function '" + name + "'", "PTL-P002");
     }
 
     // Bare identifier: a Var or a named Expr.
@@ -479,7 +490,7 @@ class Parser {
       return Expr(var->second);
     if (const auto expr = program_.exprs.find(name); expr != program_.exprs.end())
       return expr->second;
-    lexer_.fail("unknown identifier '" + name + "'");
+    lexer_.fail("unknown identifier '" + name + "'", "PTL-P002");
   }
 
   Lexer lexer_;
@@ -491,12 +502,14 @@ class Parser {
 } // namespace
 
 ParsedProgram run_portal_script(const std::string& source,
-                                const std::string& base_dir) {
-  Parser parser(source, base_dir);
+                                const std::string& base_dir,
+                                const PortalConfig& base_config) {
+  Parser parser(source, base_dir, base_config);
   return parser.run();
 }
 
-ParsedProgram run_portal_script_file(const std::string& path) {
+ParsedProgram run_portal_script_file(const std::string& path,
+                                     const PortalConfig& base_config) {
   std::ifstream in(path);
   if (!in)
     throw std::invalid_argument("portal script: cannot open '" + path + "'");
@@ -504,7 +517,7 @@ ParsedProgram run_portal_script_file(const std::string& path) {
   buffer << in.rdbuf();
   const auto slash = path.find_last_of('/');
   const std::string base_dir = slash == std::string::npos ? "." : path.substr(0, slash);
-  return run_portal_script(buffer.str(), base_dir);
+  return run_portal_script(buffer.str(), base_dir, base_config);
 }
 
 } // namespace portal

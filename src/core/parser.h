@@ -62,13 +62,17 @@ struct ParsedProgram {
   bool executed = false;
 };
 
-/// Parse and run a Portal script. Throws std::invalid_argument with
-/// line/column context on syntax or semantic errors. `base_dir` resolves
-/// relative CSV paths.
+/// Parse and run a Portal script. Throws PortalDiagnosticError (a
+/// std::invalid_argument) with line/column context: PTL-P001 for syntax
+/// errors, PTL-P002 for semantic ones. `base_dir` resolves relative CSV
+/// paths; `base_config` seeds the config that `set` statements override
+/// (portal_cli uses it to pre-set verify/dump flags).
 ParsedProgram run_portal_script(const std::string& source,
-                                const std::string& base_dir = ".");
+                                const std::string& base_dir = ".",
+                                const PortalConfig& base_config = {});
 
 /// Convenience: read the script from a file.
-ParsedProgram run_portal_script_file(const std::string& path);
+ParsedProgram run_portal_script_file(const std::string& path,
+                                     const PortalConfig& base_config = {});
 
 } // namespace portal

@@ -185,11 +185,35 @@ IrStmtPtr dce_pass(const IrStmtPtr& root) {
   return strip(root);
 }
 
-IrProgram PassManager::run(const IrProgram& input, Layout query_layout,
-                           index_t query_size, Layout ref_layout,
-                           index_t ref_size, CompileArtifacts* artifacts) {
+IrProgram PassManager::run(const IrProgram& input, const IrVerifyContext& vc,
+                           CompileArtifacts* artifacts) {
   IrProgram program = input;
   std::string trace;
+
+  // The -verify-each sandwich: re-check well-formedness at every pass
+  // boundary. From flattening onward loads must carry metadata matching the
+  // dataset layout, so the context tightens as the pipeline progresses.
+  IrVerifyContext stage_vc = vc;
+  stage_vc.after_flattening = false;
+  stage_vc.check_strides = false;
+  const auto verify_stage = [&](const char* stage) {
+    if (!verify_each_) return;
+    DiagnosticEngine diags = verify_program(program, stage_vc);
+    if (artifacts != nullptr) {
+      artifacts->verify_report += std::string("verify ") + stage + ": " +
+                                  std::to_string(diags.error_count()) +
+                                  " error(s), " +
+                                  std::to_string(diags.warning_count()) +
+                                  " warning(s)\n";
+      if (!diags.empty()) artifacts->verify_report += diags.report();
+    }
+    if (!diags.ok())
+      throw PortalDiagnosticError(
+          "Portal: IR verification failed after " + std::string(stage) + " (" +
+              std::to_string(diags.error_count()) + " error(s)):\n" +
+              diags.report(),
+          diags.diagnostics());
+  };
 
   const auto apply = [&](const char* name,
                          const std::function<IrExprPtr(const IrExprPtr&)>& fn) {
@@ -218,14 +242,21 @@ IrProgram PassManager::run(const IrProgram& input, Layout query_layout,
     PORTAL_LOG_DEBUG("pass %s: %lld -> %lld nodes", name,
                      static_cast<long long>(nodes_before),
                      static_cast<long long>(nodes_after));
+    verify_stage(name);
   };
 
   if (dump_ && artifacts != nullptr)
     artifacts->stages.emplace_back("lowering+storage-injection",
                                    ir_program_to_string(program));
+  verify_stage("lowering+storage-injection");
 
+  // From here on loads must carry flattening metadata with layout-consistent
+  // strides (PTL-E007).
+  stage_vc.after_flattening = true;
+  stage_vc.check_strides = true;
   apply("flattening", [&](const IrExprPtr& e) {
-    return flatten_pass(e, query_layout, query_size, ref_layout, ref_size);
+    return flatten_pass(e, vc.query_layout, vc.query_size, vc.ref_layout,
+                        vc.ref_size);
   });
   apply("numerical-optimization", numerical_optimization_pass);
   if (strength_) apply("strength-reduction", strength_reduction_pass);
@@ -240,6 +271,7 @@ IrProgram PassManager::run(const IrProgram& input, Layout query_layout,
   if (dump_ && artifacts != nullptr)
     artifacts->stages.emplace_back("dead-code-elimination",
                                    ir_program_to_string(program));
+  verify_stage("dead-code-elimination");
 
   if (artifacts != nullptr) artifacts->pipeline_trace += trace;
   return program;

@@ -12,6 +12,7 @@
 
 #include "core/ir/ir.h"
 #include "core/plan.h"
+#include "core/verify/verify.h"
 #include "data/dataset.h"
 
 namespace portal {
@@ -45,18 +46,24 @@ IrStmtPtr dce_pass(const IrStmtPtr& root);
 /// Runs the pipeline over an IrProgram, recording artifacts.
 class PassManager {
  public:
-  PassManager(bool enable_strength_reduction, bool dump_ir)
-      : strength_(enable_strength_reduction), dump_(dump_ir) {}
+  PassManager(bool enable_strength_reduction, bool dump_ir,
+              bool verify_each = true)
+      : strength_(enable_strength_reduction), dump_(dump_ir),
+        verify_each_(verify_each) {}
 
   /// Applies flattening -> numerical optimization -> strength reduction ->
   /// constant folding to all three traversal functions; returns the final
-  /// program and fills `artifacts`.
-  IrProgram run(const IrProgram& input, Layout query_layout, index_t query_size,
-                Layout ref_layout, index_t ref_size, CompileArtifacts* artifacts);
+  /// program and fills `artifacts`. With verify_each (PortalConfig::verify_ir)
+  /// the verifier sandwiches every stage: once on the lowered input, then
+  /// after each pass -- a pass that breaks an invariant is caught at its own
+  /// boundary, not three passes later. Errors throw PortalDiagnosticError.
+  IrProgram run(const IrProgram& input, const IrVerifyContext& vc,
+                CompileArtifacts* artifacts);
 
  private:
   bool strength_;
   bool dump_;
+  bool verify_each_;
 };
 
 } // namespace portal

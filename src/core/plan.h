@@ -115,6 +115,8 @@ struct PortalConfig {
   real_t theta = 0.5;    // Barnes-Hut MAC
   bool strength_reduction = true; // Sec. IV-E pass on/off (accuracy knob)
   bool dump_ir = false;           // record per-stage IR snapshots
+  bool verify_ir = true; // LLVM-style -verify-each: re-check IR well-formedness
+                         // after lowering and after every pass (PTL-E codes)
   bool validate = false; // also run the generated brute-force program and
                          // compare (Sec. IV: "generates the code for the
                          // brute-force algorithm ... used for correctness")
@@ -132,6 +134,7 @@ struct PortalConfig {
 struct CompileArtifacts {
   std::vector<std::pair<std::string, std::string>> stages; // (pass, dump)
   std::string pipeline_trace;
+  std::string verify_report; // per-stage verifier summary (verify_ir mode)
   std::string chosen_engine;
   std::string problem_description; // Table III-style row
   double compile_seconds = 0;

@@ -105,12 +105,17 @@ void PortalExpr::compile_if_needed() {
   // Middle end: lowering + storage injection, then the optimization passes.
   if (!plan_.kernel.is_gravity || plan_.kernel.kernel_ir) {
     plan_.ir = build_ir_program(plan_, config_.tau);
-    PassManager passes(config_.strength_reduction, config_.dump_ir);
+    PassManager passes(config_.strength_reduction, config_.dump_ir,
+                       config_.verify_ir);
     const LayerSpec& outer = plan_.layers[0];
     const LayerSpec& inner = plan_.layers[1];
-    plan_.ir = passes.run(plan_.ir, outer.storage.layout(), outer.storage.size(),
-                          inner.storage.layout(), inner.storage.size(),
-                          &artifacts_);
+    IrVerifyContext vc;
+    vc.dim = outer.storage.dim();
+    vc.query_layout = outer.storage.layout();
+    vc.query_size = outer.storage.size();
+    vc.ref_layout = inner.storage.layout();
+    vc.ref_size = inner.storage.size();
+    plan_.ir = passes.run(plan_.ir, vc, &artifacts_);
     // The kernel/envelope the backends execute are the post-pass versions:
     // pull them back out of the BaseCase assignment.
     const std::function<IrExprPtr(const IrStmtPtr&)> find_kernel =
@@ -129,6 +134,15 @@ void PortalExpr::compile_if_needed() {
       env = numerical_optimization_pass(env);
       if (config_.strength_reduction) env = strength_reduction_pass(env);
       env = constant_fold_pass(env);
+      if (config_.verify_ir) {
+        DiagnosticEngine diags;
+        verify_expr(env, IrContext::Envelope, IrVerifyContext{}, &diags,
+                    "envelope");
+        if (!diags.ok())
+          throw PortalDiagnosticError(
+              "Portal: envelope IR verification failed:\n" + diags.report(),
+              diags.diagnostics());
+      }
       plan_.kernel.envelope_ir = env;
       // Re-derive the envelope shape: passes preserve semantics, but the
       // indicator bounds were extracted pre-pass; keep them.

@@ -58,6 +58,15 @@ class PortalExpr {
   void execute();
   void execute(const PortalConfig& config);
 
+  /// Compile without executing: analysis, lowering, and the verified pass
+  /// pipeline. The `portal_cli verify` mode and IR tooling use this to get
+  /// artifacts()/plan() (including the verify_report) cheaply. Always
+  /// recompiles, so it reflects the current config even after an execute().
+  void compile() {
+    compiled_ = false;
+    compile_if_needed();
+  }
+
   /// Run the compiler's brute-force program instead of the tree algorithm
   /// (Sec. IV: emitted alongside for correctness checks; also the honest
   /// O(N^2) baseline for the asymptotic benches).

@@ -1,0 +1,64 @@
+#include "core/verify/diagnostics.h"
+
+namespace portal {
+
+std::string diagnostic_to_string(const Diagnostic& d) {
+  std::string out = severity_name(d.severity);
+  out += " [" + d.code + "]";
+  if (!d.path.empty()) out += " at " + d.path;
+  out += ": " + d.message;
+  return out;
+}
+
+void DiagnosticEngine::add(Severity severity, std::string code,
+                           std::string path, std::string message) {
+  if (severity == Severity::Error) ++errors_;
+  if (severity == Severity::Warning) ++warnings_;
+  diagnostics_.emplace_back(Diagnostic{severity, std::move(code), std::move(path),
+                                    std::move(message)});
+}
+
+bool DiagnosticEngine::has_code(const std::string& code) const {
+  for (const Diagnostic& d : diagnostics_)
+    if (d.code == code) return true;
+  return false;
+}
+
+std::string DiagnosticEngine::report() const {
+  std::string out;
+  for (const Diagnostic& d : diagnostics_) {
+    out += diagnostic_to_string(d);
+    out += '\n';
+  }
+  return out;
+}
+
+namespace {
+
+std::string summarize(const std::vector<Diagnostic>& diagnostics) {
+  for (const Diagnostic& d : diagnostics)
+    if (d.severity == Severity::Error) {
+      std::string out = "Portal: " + diagnostic_to_string(d);
+      std::size_t errors = 0;
+      for (const Diagnostic& e : diagnostics)
+        if (e.severity == Severity::Error) ++errors;
+      if (errors > 1)
+        out += " (+" + std::to_string(errors - 1) + " more errors)";
+      return out;
+    }
+  return "Portal: diagnostic error with no error findings";
+}
+
+} // namespace
+
+PortalDiagnosticError::PortalDiagnosticError(Diagnostic diagnostic)
+    : std::invalid_argument("Portal: " + diagnostic_to_string(diagnostic)),
+      diagnostics_{std::move(diagnostic)} {}
+
+PortalDiagnosticError::PortalDiagnosticError(std::string what,
+                                             std::vector<Diagnostic> diagnostics)
+    : std::invalid_argument(what.empty() ? summarize(diagnostics)
+                                         : std::move(what)),
+      diagnostics_(std::move(diagnostics)) {}
+
+} // namespace portal

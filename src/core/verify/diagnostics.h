@@ -1,0 +1,87 @@
+// Portal -- diagnostics framework: every static-analysis finding (verifier,
+// semantic analysis, parser) is a Diagnostic with a severity, a stable error
+// code (PTL-Exxx / PTL-Wxxx / PTL-Pxxx, see docs/DIAGNOSTICS.md), an IR path
+// or source location, and a user-actionable message. A DiagnosticEngine
+// collects findings so one verification sweep can report every problem at
+// once instead of throwing on the first.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace portal {
+
+enum class Severity { Error, Warning, Note };
+
+inline const char* severity_name(Severity s) {
+  switch (s) {
+    case Severity::Error: return "error";
+    case Severity::Warning: return "warning";
+    case Severity::Note: return "note";
+  }
+  return "?";
+}
+
+/// One finding. `path` locates it: an IR path for verifier findings
+/// ("base_case/loop[2]/assign(t)/mul/[0]"), a line:col for parser findings,
+/// or a layer index for semantic-analysis findings.
+struct Diagnostic {
+  Severity severity = Severity::Error;
+  std::string code;    // stable, e.g. "PTL-E012"
+  std::string path;
+  std::string message;
+};
+
+/// "error [PTL-E012] at base_case/...: message"
+std::string diagnostic_to_string(const Diagnostic& d);
+
+/// Collector for one analysis sweep. Cheap to construct; findings keep
+/// insertion order (the walk order of the IR).
+class DiagnosticEngine {
+ public:
+  void add(Severity severity, std::string code, std::string path,
+           std::string message);
+  void error(std::string code, std::string path, std::string message) {
+    add(Severity::Error, std::move(code), std::move(path), std::move(message));
+  }
+  void warning(std::string code, std::string path, std::string message) {
+    add(Severity::Warning, std::move(code), std::move(path), std::move(message));
+  }
+  void note(std::string code, std::string path, std::string message) {
+    add(Severity::Note, std::move(code), std::move(path), std::move(message));
+  }
+
+  const std::vector<Diagnostic>& diagnostics() const { return diagnostics_; }
+  std::size_t error_count() const { return errors_; }
+  std::size_t warning_count() const { return warnings_; }
+  bool ok() const { return errors_ == 0; }
+  bool empty() const { return diagnostics_.empty(); }
+
+  /// True if any finding carries the given code (unit-test hook).
+  bool has_code(const std::string& code) const;
+
+  /// All findings, one per line.
+  std::string report() const;
+
+ private:
+  std::vector<Diagnostic> diagnostics_;
+  std::size_t errors_ = 0;
+  std::size_t warnings_ = 0;
+};
+
+/// Thrown by the front end and the IR verifier on hard errors. Derives from
+/// std::invalid_argument so pre-diagnostics catch sites keep working; carries
+/// the structured findings for callers (portal_cli --verify) that want them.
+class PortalDiagnosticError : public std::invalid_argument {
+ public:
+  explicit PortalDiagnosticError(Diagnostic diagnostic);
+  PortalDiagnosticError(std::string what, std::vector<Diagnostic> diagnostics);
+
+  const std::vector<Diagnostic>& diagnostics() const { return diagnostics_; }
+
+ private:
+  std::vector<Diagnostic> diagnostics_;
+};
+
+} // namespace portal

@@ -1,0 +1,397 @@
+#include "core/verify/verify.h"
+
+#include <cmath>
+#include <set>
+#include <string>
+
+namespace portal {
+
+const char* ir_context_name(IrContext context) {
+  switch (context) {
+    case IrContext::BaseCase: return "base_case";
+    case IrContext::PruneApprox: return "prune_approx";
+    case IrContext::ComputeApprox: return "compute_approx";
+    case IrContext::Envelope: return "envelope";
+    case IrContext::Executable: return "executable";
+  }
+  return "?";
+}
+
+namespace {
+
+bool is_node_pair_atom(IrOp op) {
+  switch (op) {
+    case IrOp::DMin:
+    case IrOp::DMax:
+    case IrOp::CenterDist:
+    case IrOp::RCount:
+    case IrOp::Tau:
+    case IrOp::QueryBound:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_load(IrOp op) {
+  return op == IrOp::LoadQCoord || op == IrOp::LoadRCoord;
+}
+
+/// Rule layer 1: per-op structure and payloads (PTL-E00x).
+void check_structure(const IrExpr& e, const IrVerifyContext& vc,
+                     DiagnosticEngine* diags, const std::string& path) {
+  const int arity = ir_op_arity(e.op);
+  if (static_cast<int>(e.children.size()) != arity)
+    diags->error("PTL-E002", path,
+                 std::string(ir_op_name(e.op)) + " takes " +
+                     std::to_string(arity) + " operand(s) but has " +
+                     std::to_string(e.children.size()) +
+                     "; rebuild the node with the ir_* constructors");
+
+  switch (e.op) {
+    case IrOp::Const:
+      if (std::isnan(e.value))
+        diags->error("PTL-E003", path,
+                     "constant is NaN; a pass folded an undefined operation "
+                     "(0/0, log of a negative, ...)");
+      break;
+    case IrOp::Pow:
+      if (!std::isfinite(e.value))
+        diags->error("PTL-E004", path,
+                     "pow exponent payload (IrExpr::value) is not finite");
+      break;
+    case IrOp::MahalanobisNaive:
+    case IrOp::MahalanobisChol: {
+      const auto size = e.matrix.size();
+      const index_t m = static_cast<index_t>(
+          std::llround(std::sqrt(static_cast<double>(size))));
+      if (size == 0 || static_cast<std::size_t>(m) * m != size) {
+        diags->error("PTL-E005", path,
+                     std::string(ir_op_name(e.op)) + " matrix has " +
+                         std::to_string(size) +
+                         " entries, which is not a square m*m layout");
+      } else if (vc.dim > 0 && m != vc.dim) {
+        diags->error("PTL-E005", path,
+                     std::string(ir_op_name(e.op)) + " matrix is " +
+                         std::to_string(m) + "x" + std::to_string(m) +
+                         " but the dataset dimensionality is " +
+                         std::to_string(vc.dim));
+      }
+      break;
+    }
+    case IrOp::ExternalCall:
+      if (e.external == nullptr)
+        diags->error("PTL-E006", path,
+                     "external_call carries no callback; the kernel cannot "
+                     "be evaluated");
+      break;
+    case IrOp::Temp:
+      if (e.label.empty())
+        diags->error("PTL-E008", path, "temp node has an empty label");
+      break;
+    default:
+      break;
+  }
+
+  if (is_load(e.op)) {
+    const bool query = e.op == IrOp::LoadQCoord;
+    if (e.flattened) {
+      if (e.stride < 1)
+        diags->error("PTL-E007", path,
+                     "flattened load has stride " + std::to_string(e.stride) +
+                         "; strides are >= 1");
+      else if (vc.check_strides) {
+        const Layout layout = query ? vc.query_layout : vc.ref_layout;
+        const index_t expected =
+            layout == Layout::RowMajor ? 1 : (query ? vc.query_size : vc.ref_size);
+        if (e.stride != expected)
+          diags->error("PTL-E007", path,
+                       std::string(query ? "query" : "reference") +
+                           " load stride " + std::to_string(e.stride) +
+                           " does not match the dataset layout (" +
+                           (layout == Layout::RowMajor ? "row-major expects 1"
+                                                       : "column-major expects N = " +
+                                                             std::to_string(expected)) +
+                           ")");
+      }
+    } else if (vc.after_flattening) {
+      diags->error("PTL-E007", path,
+                   "load survived the flattening pass without flattening "
+                   "metadata; flatten_pass must visit every load");
+    }
+  }
+}
+
+/// Rule layer 2: atom scope (PTL-E01x).
+void check_scope(const IrExpr& e, IrContext context, bool in_dim_reduction,
+                 DiagnosticEngine* diags, const std::string& path) {
+  if (is_node_pair_atom(e.op)) {
+    if (context == IrContext::BaseCase || context == IrContext::Envelope)
+      diags->error("PTL-E010", path,
+                   std::string(ir_op_name(e.op)) +
+                       " is a node-pair atom; it is only meaningful in "
+                       "prune_approx/compute_approx, not in " +
+                       ir_context_name(context));
+    return;
+  }
+  if (is_load(e.op)) {
+    if (context == IrContext::PruneApprox || context == IrContext::ComputeApprox ||
+        context == IrContext::Envelope) {
+      diags->error("PTL-E011", path,
+                   "point loads are per-pair kernel atoms; " +
+                       std::string(ir_context_name(context)) +
+                       " works on node bounds (use DMin/DMax/Dist instead)");
+    } else if (context == IrContext::BaseCase && !in_dim_reduction) {
+      diags->error("PTL-E012", path,
+                   "point load outside a dim_sum/dim_max body: there is no "
+                   "active dimension index to load");
+    }
+    return;
+  }
+  if (e.op == IrOp::Dist &&
+      (context == IrContext::PruneApprox || context == IrContext::ComputeApprox)) {
+    diags->error("PTL-E014", path,
+                 "the exact pair distance does not exist for a node pair; "
+                 "prune/approx conditions use DMin/DMax/CenterDist bounds");
+    return;
+  }
+  if ((e.op == IrOp::DimSum || e.op == IrOp::DimMax) && in_dim_reduction)
+    diags->error("PTL-E013", path,
+                 "nested dimension reductions: the language has a single "
+                 "per-pair dimension loop (Sec. IV-A)");
+  if (e.op == IrOp::Temp &&
+      (context == IrContext::Executable || context == IrContext::Envelope))
+    diags->error("PTL-E009", path,
+                 "temp nodes are statement-IR plumbing and cannot be "
+                 "compiled; resolve the named value before emission");
+}
+
+void verify_expr_rec(const IrExprPtr& expr, IrContext context,
+                     const IrVerifyContext& vc, DiagnosticEngine* diags,
+                     const std::string& parent_path, bool in_dim_reduction,
+                     int depth) {
+  if (!expr) {
+    diags->error("PTL-E001", parent_path, "null IR node (missing operand)");
+    return;
+  }
+  if (depth > 512) {
+    diags->error("PTL-E001", parent_path,
+                 "expression nesting exceeds 512 levels; the tree is likely "
+                 "cyclic or corrupted");
+    return;
+  }
+  const std::string path = parent_path + "/" + ir_op_name(expr->op);
+  check_structure(*expr, vc, diags, path);
+  check_scope(*expr, context, in_dim_reduction, diags, path);
+
+  const bool enters_dim =
+      expr->op == IrOp::DimSum || expr->op == IrOp::DimMax;
+  for (std::size_t i = 0; i < expr->children.size(); ++i) {
+    const std::string child_path =
+        expr->children.size() > 1 ? path + "[" + std::to_string(i) + "]" : path;
+    verify_expr_rec(expr->children[i], context, vc, diags, child_path,
+                    in_dim_reduction || enters_dim, depth + 1);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule layer 3: statement structure + dataflow (PTL-E02x).
+
+/// "storage1[reference.size] (sorted)" -> "storage1"; "t" -> "t".
+std::string target_base_name(const std::string& text) {
+  std::size_t end = 0;
+  while (end < text.size() &&
+         (std::isalnum(static_cast<unsigned char>(text[end])) || text[end] == '_'))
+    ++end;
+  return text.substr(0, end);
+}
+
+bool is_storage_name(const std::string& name) {
+  return name.rfind("storage", 0) == 0;
+}
+
+void collect_temp_reads(const IrExprPtr& expr, std::set<std::string>* out) {
+  if (!expr) return;
+  if (expr->op == IrOp::Temp) out->insert(expr->label);
+  for (const IrExprPtr& child : expr->children) collect_temp_reads(child, out);
+}
+
+struct Dataflow {
+  std::set<std::string> defined; // alloc names + assigned targets, in order
+  std::set<std::string> allocs;
+  // (temp name, path) of assignments to non-storage temps -- dead-store scan.
+  std::vector<std::pair<std::string, std::string>> temp_assigns;
+  std::set<std::string> all_reads; // every temp read anywhere in the function
+};
+
+void collect_all_reads(const IrStmtPtr& stmt, std::set<std::string>* out) {
+  if (!stmt) return;
+  collect_temp_reads(stmt->expr, out);
+  // Accumulations/reductions read (and update) their own target -- mirror
+  // dce_pass exactly so the dead-store warning cross-validates it.
+  if (stmt->kind == IrStmtKind::Accum || stmt->kind == IrStmtKind::ReduceCmp)
+    out->insert(target_base_name(stmt->target));
+  for (const IrStmtPtr& child : stmt->body) collect_all_reads(child, out);
+}
+
+void check_reads_defined(const IrStmtPtr& stmt, const Dataflow& flow,
+                         DiagnosticEngine* diags, const std::string& path) {
+  std::set<std::string> reads;
+  collect_temp_reads(stmt->expr, &reads);
+  for (const std::string& name : reads)
+    if (flow.defined.count(name) == 0)
+      diags->error("PTL-E021", path,
+                   "temp '" + name +
+                       "' is read before any Alloc or assignment defines it");
+}
+
+void verify_stmt_rec(const IrStmtPtr& stmt, IrContext context,
+                     const IrVerifyContext& vc, DiagnosticEngine* diags,
+                     const std::string& parent_path, Dataflow* flow,
+                     std::size_t index) {
+  if (!stmt) {
+    diags->error("PTL-E001", parent_path, "null statement");
+    return;
+  }
+  const auto child_walk = [&](const std::string& path) {
+    for (std::size_t i = 0; i < stmt->body.size(); ++i)
+      verify_stmt_rec(stmt->body[i], context, vc, diags, path, flow, i);
+  };
+
+  switch (stmt->kind) {
+    case IrStmtKind::Block:
+      child_walk(parent_path);
+      return;
+    case IrStmtKind::Comment:
+      return;
+    case IrStmtKind::Alloc: {
+      const std::string path = parent_path + "/alloc[" + std::to_string(index) + "]";
+      const std::string name = target_base_name(stmt->text);
+      if (name.empty()) {
+        diags->error("PTL-E020", path,
+                     "alloc descriptor '" + stmt->text +
+                         "' does not start with a storage/temp name");
+        return;
+      }
+      flow->defined.insert(name);
+      flow->allocs.insert(name);
+      return;
+    }
+    case IrStmtKind::Loop: {
+      const std::string path = parent_path + "/loop[" + std::to_string(index) + "]";
+      if (stmt->text.empty())
+        diags->error("PTL-E020", path, "loop has an empty range descriptor");
+      child_walk(path);
+      return;
+    }
+    case IrStmtKind::AssignExpr:
+    case IrStmtKind::Accum:
+    case IrStmtKind::ReduceCmp: {
+      const char* kind_name = stmt->kind == IrStmtKind::AssignExpr
+                                  ? "assign"
+                                  : (stmt->kind == IrStmtKind::Accum ? "accum"
+                                                                     : "reduce");
+      const std::string path = parent_path + "/" + kind_name + "(" +
+                               stmt->target + ")";
+      if (stmt->target.empty())
+        diags->error("PTL-E020", path,
+                     std::string(kind_name) + " statement has no target");
+      if ((stmt->kind == IrStmtKind::Accum || stmt->kind == IrStmtKind::ReduceCmp) &&
+          stmt->accum_op.empty())
+        diags->error("PTL-E020", path,
+                     std::string(kind_name) +
+                         " statement has no accumulation operator");
+      if (!stmt->expr) {
+        diags->error("PTL-E020", path,
+                     std::string(kind_name) + " statement has no expression");
+        return;
+      }
+      verify_expr_rec(stmt->expr, context, vc, diags, path, false, 0);
+      check_reads_defined(stmt, *flow, diags, path);
+
+      const std::string base = target_base_name(stmt->target);
+      if (stmt->kind == IrStmtKind::AssignExpr) {
+        if (!base.empty()) {
+          if (!is_storage_name(base))
+            flow->temp_assigns.emplace_back(base, path);
+          flow->defined.insert(base);
+        }
+      } else {
+        // Accumulations fold into storage: the slot must exist before the
+        // loop body runs it (storage injection emits the Alloc).
+        if (!base.empty() && flow->allocs.count(base) == 0)
+          diags->error("PTL-E022", path,
+                       std::string(kind_name) + " target '" + base +
+                           "' has no backing Alloc; storage injection must "
+                           "declare the reduction slot first");
+      }
+      return;
+    }
+    case IrStmtKind::ReturnExpr: {
+      const std::string path = parent_path + "/return";
+      if (!stmt->expr) {
+        diags->error("PTL-E020", path, "return statement has no expression");
+        return;
+      }
+      verify_expr_rec(stmt->expr, context, vc, diags, path, false, 0);
+      check_reads_defined(stmt, *flow, diags, path);
+      return;
+    }
+  }
+}
+
+} // namespace
+
+void verify_expr(const IrExprPtr& expr, IrContext context,
+                 const IrVerifyContext& vc, DiagnosticEngine* diags,
+                 const std::string& root_path) {
+  verify_expr_rec(expr, context, vc, diags, root_path, false, 0);
+}
+
+void verify_stmt(const IrStmtPtr& stmt, IrContext context,
+                 const IrVerifyContext& vc, DiagnosticEngine* diags,
+                 const std::string& root_path) {
+  Dataflow flow;
+  collect_all_reads(stmt, &flow.all_reads);
+  verify_stmt_rec(stmt, context, vc, diags, root_path, &flow, 0);
+  for (const auto& [name, path] : flow.temp_assigns)
+    if (flow.all_reads.count(name) == 0)
+      diags->warning("PTL-W023", path,
+                     "temp '" + name +
+                         "' is assigned but never read (dead store; dce_pass "
+                         "should remove it)");
+}
+
+DiagnosticEngine verify_program(const IrProgram& program,
+                                const IrVerifyContext& vc) {
+  DiagnosticEngine diags;
+  verify_stmt(program.base_case, IrContext::BaseCase, vc, &diags, "base_case");
+  verify_stmt(program.prune_approx, IrContext::PruneApprox, vc, &diags,
+              "prune_approx");
+  verify_stmt(program.compute_approx, IrContext::ComputeApprox, vc, &diags,
+              "compute_approx");
+  return diags;
+}
+
+void verify_program_or_throw(const IrProgram& program, const IrVerifyContext& vc,
+                             const std::string& stage) {
+  DiagnosticEngine diags = verify_program(program, vc);
+  if (diags.ok()) return;
+  throw PortalDiagnosticError(
+      "Portal: IR verification failed " + stage + " (" +
+          std::to_string(diags.error_count()) + " error(s)):\n" + diags.report(),
+      diags.diagnostics());
+}
+
+void verify_executable_expr(const IrExprPtr& expr, const char* backend) {
+  DiagnosticEngine diags;
+  verify_expr(expr, IrContext::Executable, IrVerifyContext{}, &diags, backend);
+  if (diags.ok()) return;
+  throw PortalDiagnosticError(
+      std::string("Portal: ") + backend +
+          " given malformed IR (verified-IR precondition violated):\n" +
+          diags.report(),
+      diags.diagnostics());
+}
+
+} // namespace portal

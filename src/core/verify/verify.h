@@ -1,0 +1,78 @@
+// Portal -- the IR verifier: machine-checkable well-formedness rules for the
+// Portal IR, in the spirit of LLVM's -verify-each and PENCIL's platform-
+// neutral IR contracts. Three layers of checking (docs/DIAGNOSTICS.md has
+// the full error-code table):
+//
+//   1. structural (PTL-E00x): per-op arity and payload rules -- Const is a
+//      leaf, Pow carries a finite exponent in `value`, Mahalanobis matrices
+//      are dim x dim, flattened loads have a stride consistent with the
+//      dataset Layout.
+//   2. context/scope (PTL-E01x): node-pair atoms (DMin/DMax/CenterDist/
+//      RCount/Tau/QueryBound) are legal only in prune_approx/compute_approx;
+//      point loads only inside a DimSum/DimMax body of base_case; dimension
+//      reductions never nest; Dist never appears in node-pair scope.
+//   3. statement dataflow (PTL-E02x): named temps are defined before use,
+//      Accum/ReduceCmp targets are backed by an Alloc, and dead stores are
+//      reported as warnings (cross-validating dce_pass, which must leave
+//      none behind).
+//
+// PassManager::run verifies after every pass when PortalConfig::verify_ir is
+// set (the default); backends call verify_executable_expr as their
+// verified-IR precondition instead of re-checking shapes locally.
+#pragma once
+
+#include "core/ir/ir.h"
+#include "core/verify/diagnostics.h"
+#include "data/dataset.h"
+
+namespace portal {
+
+/// Where an expression sits; governs which atoms are legal (rule layer 2).
+enum class IrContext {
+  BaseCase,      // per point pair: loads (inside dim reductions), Dist, temps
+  PruneApprox,   // per node pair: DMin/DMax/CenterDist/RCount/Tau/QueryBound
+  ComputeApprox, // per node pair, same atom scope as PruneApprox
+  Envelope,      // function of the metric distance: Dist only, no points
+  Executable,    // backend precondition: structural rules + no Temp plumbing
+};
+
+const char* ir_context_name(IrContext context);
+
+/// What the verifier knows about the surrounding program. Zero/default
+/// fields disable the corresponding check (a standalone kernel expression
+/// has no dataset to check strides against).
+struct IrVerifyContext {
+  index_t dim = 0; // point dimensionality; 0 = unknown, skip matrix-dim rule
+  Layout query_layout = Layout::RowMajor;
+  index_t query_size = 0;
+  Layout ref_layout = Layout::RowMajor;
+  index_t ref_size = 0;
+  bool after_flattening = false; // loads must carry flattening metadata
+  bool check_strides = false;    // layouts/sizes above are authoritative
+};
+
+/// Verify one expression tree. `root_path` prefixes diagnostic paths.
+void verify_expr(const IrExprPtr& expr, IrContext context,
+                 const IrVerifyContext& vc, DiagnosticEngine* diags,
+                 const std::string& root_path = "expr");
+
+/// Verify one statement tree (structure + expressions + dataflow).
+void verify_stmt(const IrStmtPtr& stmt, IrContext context,
+                 const IrVerifyContext& vc, DiagnosticEngine* diags,
+                 const std::string& root_path);
+
+/// Verify the three traversal functions of a lowered program.
+DiagnosticEngine verify_program(const IrProgram& program,
+                                const IrVerifyContext& vc);
+
+/// Throw PortalDiagnosticError when the program has errors. `stage` names
+/// the pipeline point for the message ("after strength-reduction").
+void verify_program_or_throw(const IrProgram& program, const IrVerifyContext& vc,
+                             const std::string& stage);
+
+/// Backend precondition: structural soundness of an expression about to be
+/// compiled/emitted (VM bytecode, JIT C++). Throws PortalDiagnosticError on
+/// malformed trees; `backend` names the caller for the message.
+void verify_executable_expr(const IrExprPtr& expr, const char* backend);
+
+} // namespace portal

@@ -178,13 +178,15 @@ class DualTraverser {
         const index_t qc = q_children[qi];
         if constexpr (Par) {
           if (depth < task_depth_) {
-#pragma omp task default(shared) firstprivate(qc, depth)
+            // firstprivate keeps the task self-contained: libgomp's task
+            // synchronization is futex-based and invisible to TSan, so a
+            // default(shared) read of the parent's stack here reports as a
+            // phantom race. Each task sorts its own private children copy.
+#pragma omp task default(shared) firstprivate(qc, depth, rn, r_children)
             {
-              index_t ordered[8];
-              for (int i = 0; i < rn; ++i) ordered[i] = r_children[i];
-              order_by_score(qc, ordered, rn);
+              order_by_score(qc, r_children, rn);
               for (int ri = 0; ri < rn; ++ri)
-                recurse<Par>(qc, ordered[ri], depth + 1);
+                recurse<Par>(qc, r_children[ri], depth + 1);
             }
             continue;
           }
@@ -205,7 +207,7 @@ class DualTraverser {
         const index_t qc = q_children[qi];
         if constexpr (Par) {
           if (depth < task_depth_) {
-#pragma omp task default(shared) firstprivate(qc, depth)
+#pragma omp task default(shared) firstprivate(qc, r, depth)
             recurse<Par>(qc, r, depth + 1);
             continue;
           }

@@ -13,6 +13,7 @@
 #include "core/passes/lowering.h"
 #include "core/passes/passes.h"
 #include "core/portal.h"
+#include "core/verify/verify.h"
 #include "data/generators.h"
 #include "util/rng.h"
 
@@ -77,6 +78,15 @@ TEST(CodegenFuzz, VmPlainVsVmOptimizedVsJit) {
     IrExprPtr optimized_ir = strength_reduction_pass(plain_ir);
     optimized_ir = constant_fold_pass(optimized_ir);
 
+    // Fuzz invariant: every random kernel, before and after optimization,
+    // is verifier-clean -- passes must never manufacture malformed IR.
+    DiagnosticEngine verify_diags;
+    verify_expr(plain_ir, IrContext::Executable, IrVerifyContext{},
+                &verify_diags, "plain");
+    verify_expr(optimized_ir, IrContext::Executable, IrVerifyContext{},
+                &verify_diags, "optimized");
+    ASSERT_TRUE(verify_diags.ok()) << verify_diags.report();
+
     const VmProgram plain = VmProgram::compile(plain_ir);
     const VmProgram optimized = VmProgram::compile(optimized_ir);
 
@@ -139,6 +149,20 @@ TEST(CodegenFuzz, EndToEndProgramsAcrossEngines) {
       config.parallel = false;
       config.engine = engine;
       expr.execute(config);
+
+      // Fuzz invariant: the post-pass program IR verifies clean under the
+      // full dataset context (layout-consistent strides included).
+      IrVerifyContext vc;
+      vc.dim = query.dim();
+      vc.query_layout = query.layout();
+      vc.query_size = query.size();
+      vc.ref_layout = reference.layout();
+      vc.ref_size = reference.size();
+      vc.after_flattening = true;
+      vc.check_strides = true;
+      DiagnosticEngine verify_diags = verify_program(expr.plan().ir, vc);
+      ASSERT_TRUE(verify_diags.ok()) << verify_diags.report();
+
       Storage out = expr.getOutput();
       std::vector<real_t>& values = engine == Engine::VM ? vm_values : jit_values;
       for (index_t i = 0; i < out.rows(); ++i) values.push_back(out.value(i));

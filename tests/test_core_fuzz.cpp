@@ -11,6 +11,7 @@
 #include <tuple>
 
 #include "core/portal.h"
+#include "core/verify/verify.h"
 #include "data/generators.h"
 
 namespace portal {
@@ -53,6 +54,19 @@ TEST_P(ProgramFuzz, TreeEqualsBruteForce) {
   config.tau = c.approximate ? 1e-5 : 0;
   expr.execute(config);
   Storage tree_out = expr.getOutput();
+
+  // Fuzz invariant: every compiled program in the operator/metric grid is
+  // verifier-clean after the full pass pipeline.
+  IrVerifyContext vc;
+  vc.dim = query.dim();
+  vc.query_layout = query.layout();
+  vc.query_size = query.size();
+  vc.ref_layout = reference.layout();
+  vc.ref_size = reference.size();
+  vc.after_flattening = true;
+  vc.check_strides = true;
+  const DiagnosticEngine verify_diags = verify_program(expr.plan().ir, vc);
+  EXPECT_TRUE(verify_diags.ok()) << verify_diags.report();
 
   PortalExpr oracle;
   oracle.addLayer(c.outer, query);

@@ -1,0 +1,498 @@
+// The IR verifier: one test per diagnostic code (docs/DIAGNOSTICS.md).
+// Structural rules (PTL-E00x), scope rules (PTL-E01x), statement dataflow
+// (PTL-E02x), analysis diagnostics (PTL-E1xx), and parser codes (PTL-P00x).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "core/codegen/vm.h"
+#include "core/parser.h"
+#include "core/passes/passes.h"
+#include "core/portal.h"
+#include "core/verify/verify.h"
+#include "data/generators.h"
+
+namespace portal {
+namespace {
+
+IrExprPtr node(IrOp op, std::vector<IrExprPtr> children = {}) {
+  IrExpr e;
+  e.op = op;
+  e.children = std::move(children);
+  return std::make_shared<const IrExpr>(std::move(e));
+}
+
+DiagnosticEngine check(const IrExprPtr& expr,
+                       IrContext context = IrContext::BaseCase,
+                       IrVerifyContext vc = {}) {
+  DiagnosticEngine diags;
+  verify_expr(expr, context, vc, &diags);
+  return diags;
+}
+
+// --- structural rules (PTL-E00x) -------------------------------------------
+
+TEST(VerifyStructure, NullChildIsE001) {
+  const auto diags = check(node(IrOp::Neg, {nullptr}));
+  EXPECT_TRUE(diags.has_code("PTL-E001"));
+  EXPECT_EQ(diags.error_count(), 1u);
+}
+
+TEST(VerifyStructure, ArityMismatchIsE002) {
+  // Add with one child; Sqrt with two.
+  EXPECT_TRUE(check(node(IrOp::Add, {ir_const(1)})).has_code("PTL-E002"));
+  EXPECT_TRUE(check(node(IrOp::Sqrt, {ir_const(1), ir_const(2)}))
+                  .has_code("PTL-E002"));
+  // Const with a child is also an arity violation (leaves take none).
+  EXPECT_TRUE(check(node(IrOp::Const, {ir_const(1)})).has_code("PTL-E002"));
+}
+
+TEST(VerifyStructure, NanConstIsE003) {
+  EXPECT_TRUE(check(ir_const(std::numeric_limits<real_t>::quiet_NaN()))
+                  .has_code("PTL-E003"));
+  EXPECT_TRUE(check(ir_const(1.5)).ok());
+}
+
+TEST(VerifyStructure, NonFinitePowExponentIsE004) {
+  IrExpr e;
+  e.op = IrOp::Pow;
+  e.children = {ir_const(2)};
+  e.value = std::numeric_limits<real_t>::infinity();
+  const auto diags = check(std::make_shared<const IrExpr>(std::move(e)));
+  EXPECT_TRUE(diags.has_code("PTL-E004"));
+}
+
+TEST(VerifyStructure, BadMahalanobisMatrixIsE005) {
+  // 3 entries is not square.
+  IrExpr e;
+  e.op = IrOp::MahalanobisChol;
+  e.matrix = {1, 2, 3};
+  EXPECT_TRUE(check(std::make_shared<const IrExpr>(e)).has_code("PTL-E005"));
+  // 2x2 matrix against a 3-dimensional dataset.
+  e.matrix = {1, 0, 0, 1};
+  IrVerifyContext vc;
+  vc.dim = 3;
+  EXPECT_TRUE(check(std::make_shared<const IrExpr>(e), IrContext::BaseCase, vc)
+                  .has_code("PTL-E005"));
+  vc.dim = 2;
+  EXPECT_TRUE(check(std::make_shared<const IrExpr>(e), IrContext::BaseCase, vc).ok());
+}
+
+TEST(VerifyStructure, NullExternalCallIsE006) {
+  EXPECT_TRUE(check(node(IrOp::ExternalCall)).has_code("PTL-E006"));
+}
+
+TEST(VerifyStructure, FlatteningViolationsAreE007) {
+  // Un-flattened load after the flattening pass.
+  IrVerifyContext vc;
+  vc.after_flattening = true;
+  {
+    IrExpr e;
+    e.op = IrOp::LoadQCoord;
+    const auto load = std::make_shared<const IrExpr>(std::move(e));
+    const auto dim = node(IrOp::DimSum, {load});
+    EXPECT_TRUE(check(dim, IrContext::BaseCase, vc).has_code("PTL-E007"));
+  }
+  // Stride inconsistent with a row-major layout (expects 1).
+  vc.check_strides = true;
+  vc.query_layout = Layout::RowMajor;
+  vc.query_size = 100;
+  {
+    IrExpr e;
+    e.op = IrOp::LoadQCoord;
+    e.flattened = true;
+    e.stride = 100;
+    const auto load = std::make_shared<const IrExpr>(std::move(e));
+    const auto dim = node(IrOp::DimSum, {load});
+    EXPECT_TRUE(check(dim, IrContext::BaseCase, vc).has_code("PTL-E007"));
+  }
+  // Stride matching the layout is clean.
+  {
+    IrExpr e;
+    e.op = IrOp::LoadQCoord;
+    e.flattened = true;
+    e.stride = 1;
+    const auto load = std::make_shared<const IrExpr>(std::move(e));
+    const auto dim = node(IrOp::DimSum, {load});
+    EXPECT_TRUE(check(dim, IrContext::BaseCase, vc).ok());
+  }
+}
+
+TEST(VerifyStructure, EmptyTempLabelIsE008) {
+  EXPECT_TRUE(check(node(IrOp::Temp)).has_code("PTL-E008"));
+}
+
+// --- scope rules (PTL-E01x) -------------------------------------------------
+
+TEST(VerifyScope, TempInExecutableContextIsE009) {
+  IrExpr e;
+  e.op = IrOp::Temp;
+  e.label = "t";
+  const auto temp = std::make_shared<const IrExpr>(std::move(e));
+  EXPECT_TRUE(check(temp, IrContext::Executable).has_code("PTL-E009"));
+  EXPECT_TRUE(check(temp, IrContext::BaseCase).ok());
+}
+
+TEST(VerifyScope, NodePairAtomInBaseCaseIsE010) {
+  for (IrOp op : {IrOp::DMin, IrOp::DMax, IrOp::CenterDist, IrOp::RCount,
+                  IrOp::Tau, IrOp::QueryBound}) {
+    EXPECT_TRUE(check(node(op), IrContext::BaseCase).has_code("PTL-E010"))
+        << ir_op_name(op);
+    EXPECT_TRUE(check(node(op), IrContext::PruneApprox).ok()) << ir_op_name(op);
+  }
+}
+
+TEST(VerifyScope, LoadInNodePairScopeIsE011) {
+  const auto load = node(IrOp::LoadQCoord);
+  EXPECT_TRUE(check(load, IrContext::PruneApprox).has_code("PTL-E011"));
+  EXPECT_TRUE(check(load, IrContext::ComputeApprox).has_code("PTL-E011"));
+  EXPECT_TRUE(check(load, IrContext::Envelope).has_code("PTL-E011"));
+}
+
+TEST(VerifyScope, LoadOutsideDimReductionIsE012) {
+  const auto bare = node(IrOp::LoadRCoord);
+  EXPECT_TRUE(check(bare, IrContext::BaseCase).has_code("PTL-E012"));
+  const auto in_dim = node(IrOp::DimSum, {node(IrOp::LoadRCoord)});
+  EXPECT_TRUE(check(in_dim, IrContext::BaseCase).ok());
+  // Executable kernels run with an externally managed dimension loop.
+  EXPECT_TRUE(check(bare, IrContext::Executable).ok());
+}
+
+TEST(VerifyScope, NestedDimReductionsAreE013) {
+  const auto nested =
+      node(IrOp::DimSum, {node(IrOp::DimMax, {node(IrOp::LoadQCoord)})});
+  EXPECT_TRUE(check(nested, IrContext::BaseCase).has_code("PTL-E013"));
+}
+
+TEST(VerifyScope, DistInNodePairScopeIsE014) {
+  const auto dist = node(IrOp::Dist);
+  EXPECT_TRUE(check(dist, IrContext::PruneApprox).has_code("PTL-E014"));
+  EXPECT_TRUE(check(dist, IrContext::ComputeApprox).has_code("PTL-E014"));
+  // The exact distance is fine per point pair and in the envelope.
+  EXPECT_TRUE(check(dist, IrContext::BaseCase).ok());
+  EXPECT_TRUE(check(dist, IrContext::Envelope).ok());
+}
+
+// --- statement dataflow (PTL-E02x) ------------------------------------------
+
+DiagnosticEngine check_stmt(const IrStmtPtr& stmt,
+                            IrContext context = IrContext::BaseCase) {
+  DiagnosticEngine diags;
+  verify_stmt(stmt, context, IrVerifyContext{}, &diags, "base_case");
+  return diags;
+}
+
+IrExprPtr temp_read(const std::string& name) {
+  IrExpr e;
+  e.op = IrOp::Temp;
+  e.label = name;
+  return std::make_shared<const IrExpr>(std::move(e));
+}
+
+TEST(VerifyStmt, MalformedPayloadsAreE020) {
+  // Assign with no target.
+  EXPECT_TRUE(check_stmt(ir_block({ir_assign("", ir_const(1))}))
+                  .has_code("PTL-E020"));
+  // Accum with no operator.
+  EXPECT_TRUE(check_stmt(ir_block({ir_alloc("storage0 = 0"),
+                                   ir_accum("storage0", "", ir_const(1))}))
+                  .has_code("PTL-E020"));
+  // Loop with no range descriptor.
+  EXPECT_TRUE(check_stmt(ir_block({ir_loop("", {})})).has_code("PTL-E020"));
+  // Return with no expression.
+  EXPECT_TRUE(check_stmt(ir_block({ir_return(nullptr)})).has_code("PTL-E020"));
+}
+
+TEST(VerifyStmt, UseBeforeDefIsE021) {
+  const auto program = ir_block({
+      ir_assign("u", temp_read("t")), // t not yet defined
+      ir_assign("t", ir_const(1)),
+      ir_return(temp_read("u")),
+  });
+  const auto diags = check_stmt(program);
+  EXPECT_TRUE(diags.has_code("PTL-E021"));
+
+  const auto fixed = ir_block({
+      ir_assign("t", ir_const(1)),
+      ir_assign("u", temp_read("t")),
+      ir_return(temp_read("u")),
+  });
+  EXPECT_TRUE(check_stmt(fixed).ok());
+}
+
+TEST(VerifyStmt, AccumWithoutAllocIsE022) {
+  const auto program = ir_block({
+      ir_loop("r in node", {ir_accum("storage0", "+", ir_const(1))}),
+  });
+  EXPECT_TRUE(check_stmt(program).has_code("PTL-E022"));
+
+  const auto fixed = ir_block({
+      ir_alloc("storage0 (single reduction slot)"),
+      ir_loop("r in node", {ir_accum("storage0", "+", ir_const(1))}),
+  });
+  EXPECT_TRUE(check_stmt(fixed).ok());
+  // Indexed targets resolve to their base Alloc name.
+  const auto indexed = ir_block({
+      ir_alloc("storage0[query.size]"),
+      ir_loop("q in node", {ir_reduce("storage0[q]", "min", ir_const(1))}),
+  });
+  EXPECT_TRUE(check_stmt(indexed).ok());
+}
+
+TEST(VerifyStmt, DeadStoreIsW023Warning) {
+  const auto program = ir_block({
+      ir_assign("t", ir_const(1)), // never read
+      ir_return(ir_const(2)),
+  });
+  const auto diags = check_stmt(program);
+  EXPECT_TRUE(diags.has_code("PTL-W023"));
+  EXPECT_EQ(diags.error_count(), 0u); // warning only: program still valid
+  EXPECT_EQ(diags.warning_count(), 1u);
+  EXPECT_TRUE(diags.ok());
+}
+
+TEST(VerifyStmt, DceLeavesNoDeadStores) {
+  // Cross-validation: whatever dce_pass outputs must be W023-clean.
+  const auto program = ir_block({
+      ir_assign("t", ir_const(1)),
+      ir_assign("orphan", ir_const(2)),
+      ir_return(temp_read("t")),
+  });
+  EXPECT_TRUE(check_stmt(program).has_code("PTL-W023"));
+  const auto cleaned = dce_pass(program);
+  const auto diags = check_stmt(cleaned);
+  EXPECT_FALSE(diags.has_code("PTL-W023")) << diags.report();
+}
+
+// --- whole-program verification ---------------------------------------------
+
+TEST(VerifyProgram, LoweredProblemsAreClean) {
+  const Dataset qd = make_gaussian_mixture(60, 3, 3, 71);
+  const Dataset rd = make_gaussian_mixture(80, 3, 3, 72);
+  Storage query(qd), reference(rd);
+
+  struct Case {
+    OpSpec outer, inner;
+    PortalFunc func;
+  };
+  const Case cases[] = {
+      {{PortalOp::FORALL}, {PortalOp::KARGMIN, 5}, PortalFunc::EUCLIDEAN},
+      {{PortalOp::FORALL}, {PortalOp::SUM}, PortalFunc::gaussian(1.0)},
+      {{PortalOp::FORALL}, {PortalOp::UNIONARG}, PortalFunc::indicator(0.1, 2)},
+      {{PortalOp::MAX}, {PortalOp::MIN}, PortalFunc::EUCLIDEAN},
+      {{PortalOp::FORALL}, {PortalOp::SUM}, PortalFunc::MAHALANOBIS},
+  };
+  for (const Case& c : cases) {
+    PortalExpr expr;
+    expr.addLayer(c.outer, query);
+    expr.addLayer(c.inner, reference, c.func);
+    PortalConfig config;
+    config.engine = Engine::VM;
+    config.parallel = false;
+    expr.execute(config); // verify_ir defaults on: throws if any stage fails
+    const std::string& report = expr.artifacts().verify_report;
+    EXPECT_NE(report.find("0 error(s), 0 warning(s)"), std::string::npos)
+        << report;
+    EXPECT_EQ(report.find("error ["), std::string::npos) << report;
+  }
+}
+
+TEST(VerifyProgram, OrThrowCarriesDiagnostics) {
+  IrProgram program;
+  program.base_case = ir_block({ir_return(node(IrOp::DMin))});
+  program.prune_approx = ir_block({ir_return(ir_const(0))});
+  program.compute_approx = ir_block({ir_return(ir_const(0))});
+  try {
+    verify_program_or_throw(program, IrVerifyContext{}, "after test");
+    FAIL() << "expected PortalDiagnosticError";
+  } catch (const PortalDiagnosticError& e) {
+    ASSERT_FALSE(e.diagnostics().empty());
+    EXPECT_EQ(e.diagnostics()[0].code, "PTL-E010");
+    EXPECT_NE(std::string(e.what()).find("after test"), std::string::npos);
+  }
+}
+
+TEST(VerifyProgram, PassManagerRejectsCorruptedInput) {
+  // A base case whose kernel reads an undefined temp: the -verify-each
+  // sandwich must reject it at the lowering boundary, before any pass runs.
+  IrProgram program;
+  program.base_case = ir_block({ir_return(temp_read("ghost"))});
+  program.prune_approx = ir_block({ir_return(ir_const(0))});
+  program.compute_approx = ir_block({ir_return(ir_const(0))});
+  PassManager passes(true, false, true);
+  CompileArtifacts artifacts;
+  EXPECT_THROW(passes.run(program, IrVerifyContext{}, &artifacts),
+               PortalDiagnosticError);
+  EXPECT_NE(artifacts.verify_report.find("PTL-E021"), std::string::npos)
+      << artifacts.verify_report;
+}
+
+TEST(VerifyProgram, DisablingVerifyIrSkipsTheSandwich) {
+  const Dataset qd = make_gaussian_mixture(40, 2, 3, 73);
+  Storage storage(qd);
+  PortalExpr expr;
+  expr.addLayer(PortalOp::FORALL, storage);
+  expr.addLayer({PortalOp::KARGMIN, 3}, storage, PortalFunc::EUCLIDEAN);
+  PortalConfig config;
+  config.engine = Engine::VM;
+  config.parallel = false;
+  config.verify_ir = false;
+  expr.execute(config);
+  EXPECT_TRUE(expr.artifacts().verify_report.empty());
+}
+
+// --- backend preconditions ---------------------------------------------------
+
+TEST(VerifyBackend, VmRejectsTempNodes) {
+  try {
+    VmProgram::compile(temp_read("t"));
+    FAIL() << "expected PortalDiagnosticError";
+  } catch (const PortalDiagnosticError& e) {
+    EXPECT_EQ(e.diagnostics()[0].code, "PTL-E009");
+  }
+}
+
+TEST(VerifyBackend, VmRejectsNullAndMalformedTrees) {
+  EXPECT_THROW(VmProgram::compile(nullptr), PortalDiagnosticError);
+  EXPECT_THROW(VmProgram::compile(node(IrOp::Mul, {ir_const(1)})),
+               PortalDiagnosticError);
+  IrExpr maha;
+  maha.op = IrOp::MahalanobisChol;
+  maha.matrix = {1, 2, 3};
+  EXPECT_THROW(VmProgram::compile(std::make_shared<const IrExpr>(maha)),
+               PortalDiagnosticError);
+}
+
+// --- analysis diagnostics (PTL-E1xx) ----------------------------------------
+
+TEST(VerifyAnalysis, LayerCountIsE101) {
+  const Dataset d = make_gaussian_mixture(30, 2, 2, 74);
+  Storage storage(d);
+  PortalExpr expr;
+  expr.addLayer(PortalOp::FORALL, storage);
+  try {
+    expr.execute();
+    FAIL() << "expected PortalDiagnosticError";
+  } catch (const PortalDiagnosticError& e) {
+    EXPECT_EQ(e.diagnostics()[0].code, "PTL-E101");
+  }
+}
+
+TEST(VerifyAnalysis, DimMismatchIsE104) {
+  Storage a(make_gaussian_mixture(30, 2, 2, 75));
+  Storage b(make_gaussian_mixture(30, 3, 2, 76));
+  PortalExpr expr;
+  expr.addLayer(PortalOp::FORALL, a);
+  expr.addLayer({PortalOp::KARGMIN, 3}, b, PortalFunc::EUCLIDEAN);
+  try {
+    expr.execute();
+    FAIL() << "expected PortalDiagnosticError";
+  } catch (const PortalDiagnosticError& e) {
+    EXPECT_EQ(e.diagnostics()[0].code, "PTL-E104");
+  }
+}
+
+TEST(VerifyAnalysis, MissingKernelIsE108) {
+  Storage a(make_gaussian_mixture(30, 2, 2, 77));
+  PortalExpr expr;
+  expr.addLayer(PortalOp::FORALL, a);
+  expr.addLayer(PortalOp::SUM, a);
+  try {
+    expr.execute();
+    FAIL() << "expected PortalDiagnosticError";
+  } catch (const PortalDiagnosticError& e) {
+    EXPECT_EQ(e.diagnostics()[0].code, "PTL-E108");
+  }
+}
+
+TEST(VerifyAnalysis, GravityDimensionRuleIsE109) {
+  Storage a(make_gaussian_mixture(30, 2, 2, 78));
+  PortalExpr expr;
+  expr.addLayer(PortalOp::FORALL, a);
+  expr.addLayer(PortalOp::SUM, a, PortalFunc::gravity(1.0, 1e-3));
+  try {
+    expr.execute();
+    FAIL() << "expected PortalDiagnosticError";
+  } catch (const PortalDiagnosticError& e) {
+    EXPECT_EQ(e.diagnostics()[0].code, "PTL-E109");
+  }
+}
+
+// --- parser diagnostics (PTL-P00x) ------------------------------------------
+
+TEST(VerifyParser, SyntaxErrorIsP001) {
+  try {
+    run_portal_script("Storage q = ;\n");
+    FAIL() << "expected PortalDiagnosticError";
+  } catch (const PortalDiagnosticError& e) {
+    EXPECT_EQ(e.diagnostics()[0].code, "PTL-P001");
+    EXPECT_NE(e.diagnostics()[0].path.find("portal script:1:"),
+              std::string::npos);
+  }
+}
+
+TEST(VerifyParser, SemanticErrorIsP002) {
+  const char* script =
+      "Storage q = demo(50, 2);\n"
+      "PortalExpr e;\n"
+      "e.addLayer(FORALL, nosuchstorage);\n";
+  try {
+    run_portal_script(script);
+    FAIL() << "expected PortalDiagnosticError";
+  } catch (const PortalDiagnosticError& e) {
+    EXPECT_EQ(e.diagnostics()[0].code, "PTL-P002");
+  }
+}
+
+TEST(VerifyParser, BaseConfigSeedsScriptConfig) {
+  PortalConfig base;
+  base.verify_ir = false;
+  base.tau = 0.5;
+  const ParsedProgram program = run_portal_script(
+      "Storage q = demo(20, 2);\nPortalExpr e;\n", ".", base);
+  EXPECT_FALSE(program.config.verify_ir);
+  EXPECT_EQ(program.config.tau, 0.5);
+}
+
+TEST(VerifyParser, VerifyIrConfigKey) {
+  const ParsedProgram program = run_portal_script(
+      "set verify_ir = 0;\nStorage q = demo(20, 2);\nPortalExpr e;\n");
+  EXPECT_FALSE(program.config.verify_ir);
+}
+
+// --- diagnostics plumbing ----------------------------------------------------
+
+TEST(Diagnostics, ToStringFormat) {
+  const Diagnostic d{Severity::Error, "PTL-E002", "base_case/add",
+                     "add takes 2 operand(s) but has 1"};
+  EXPECT_EQ(diagnostic_to_string(d),
+            "error [PTL-E002] at base_case/add: add takes 2 operand(s) but has 1");
+}
+
+TEST(Diagnostics, EngineCountsAndReport) {
+  DiagnosticEngine diags;
+  EXPECT_TRUE(diags.ok());
+  EXPECT_TRUE(diags.empty());
+  diags.warning("PTL-W023", "p", "dead store");
+  EXPECT_TRUE(diags.ok()); // warnings do not fail verification
+  diags.error("PTL-E001", "q", "null node");
+  EXPECT_FALSE(diags.ok());
+  EXPECT_EQ(diags.error_count(), 1u);
+  EXPECT_EQ(diags.warning_count(), 1u);
+  const std::string report = diags.report();
+  EXPECT_NE(report.find("PTL-W023"), std::string::npos);
+  EXPECT_NE(report.find("PTL-E001"), std::string::npos);
+}
+
+TEST(Diagnostics, ErrorIsInvalidArgumentSubclass) {
+  // Existing EXPECT_THROW(..., std::invalid_argument) call sites keep
+  // working: the diagnostic error derives from it.
+  const PortalDiagnosticError error(
+      Diagnostic{Severity::Error, "PTL-E001", "x", "boom"});
+  const std::invalid_argument& base = error;
+  EXPECT_NE(std::string(base.what()).find("PTL-E001"), std::string::npos);
+}
+
+} // namespace
+} // namespace portal

@@ -5,6 +5,9 @@
 // Problems:
 //   run FILE.portal                                    run a Portal script
 //                                                      (paper Appendix VIII)
+//   verify FILE.portal                                 compile + IR-verify a
+//                                                      script and dump the
+//                                                      diagnostic report
 //   knn        --query F --reference F --k K           k-nearest neighbors
 //   kde        --query F --reference F --sigma S       Gaussian density sums
 //   rs         --query F --reference F --lo A --hi B   range search
@@ -22,8 +25,12 @@
 //   --validate       cross-check against the brute-force program
 //   --demo N[,DIM]   generate N clustered points instead of reading CSVs
 //   --serial         disable OpenMP
+//   --verify         print the per-stage IR verification report (the
+//                    -verify-each sandwich runs by default; --no-verify-ir
+//                    disables it)
 //
-// Exit code 0 on success, 1 on usage errors, 2 on execution errors.
+// Exit code 0 on success, 1 on usage errors, 2 on execution errors
+// (including IR verification failures, reported with their PTL codes).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -33,6 +40,7 @@
 
 #include "core/parser.h"
 #include "core/portal.h"
+#include "core/verify/diagnostics.h"
 #include "data/generators.h"
 #include "problems/emst.h"
 #include "problems/threepoint.h"
@@ -67,7 +75,8 @@ struct Args {
                "       [--k K] [--sigma S] [--lo A] [--hi B] [--h H] "
                "[--theta T] [--masses F]\n"
                "       [--out FILE] [--leaf N] [--tau T] [--engine E] "
-               "[--validate] [--demo N[,DIM]] [--serial]\n");
+               "[--validate] [--demo N[,DIM]] [--serial] [--verify]\n"
+               "       portal_cli run FILE.portal | verify FILE.portal\n");
   std::exit(1);
 }
 
@@ -94,6 +103,7 @@ PortalConfig config_from(const Args& args) {
   config.theta = args.num("theta", 0.5);
   config.parallel = !args.has("serial");
   config.validate = args.has("validate");
+  config.verify_ir = !args.has("no-verify-ir");
   const std::string engine = args.get("engine", "auto");
   if (engine == "auto") config.engine = Engine::Auto;
   else if (engine == "pattern") config.engine = Engine::Pattern;
@@ -101,6 +111,13 @@ PortalConfig config_from(const Args& args) {
   else if (engine == "vm") config.engine = Engine::VM;
   else usage("--engine must be auto | pattern | jit | vm");
   return config;
+}
+
+void print_verify_report(const PortalExpr& expr) {
+  const std::string& report = expr.artifacts().verify_report;
+  std::printf("-- IR verification report --\n%s",
+              report.empty() ? "(verifier disabled: --no-verify-ir)\n"
+                             : report.c_str());
 }
 
 void report(const PortalExpr& expr, double seconds) {
@@ -135,15 +152,30 @@ void write_matrix(const std::string& path, const Storage& out, bool indices) {
               static_cast<long long>(rows));
 }
 
-int run_script(const std::string& path, const Args& args) {
+int run_script(const std::string& path, const Args& args, bool verify_mode) {
   Timer timer;
-  const ParsedProgram program = run_portal_script_file(path);
+  PortalConfig base;
+  base.verify_ir = !args.has("no-verify-ir");
+  const ParsedProgram program = run_portal_script_file(path, base);
+  if (verify_mode && program.expr) {
+    // Recompile with the sandwich forced on: the whole point of `verify` is
+    // the report, even when the script itself sets `verify_ir = 0`.
+    PortalConfig vconfig = program.config;
+    vconfig.verify_ir = true;
+    program.expr->setConfig(vconfig);
+    program.expr->compile();
+    print_verify_report(*program.expr);
+    std::printf("verify: OK -- %s\n",
+                program.expr->artifacts().problem_description.c_str());
+    return 0;
+  }
   if (!program.executed) {
     std::fprintf(stderr, "script parsed but contained no execute(); nothing ran\n");
     return 0;
   }
   Storage out = program.expr->getOutput();
   report(*program.expr, timer.elapsed_s());
+  if (args.has("verify")) print_verify_report(*program.expr);
   if (out.has_scalar()) {
     std::printf("scalar result: %.10g\n", out.scalar());
   } else if (out.has_lists()) {
@@ -161,10 +193,12 @@ int run_script(const std::string& path, const Args& args) {
 }
 
 int run(const Args& args) {
-  if (args.problem == "run") {
+  if (args.problem == "run" || args.problem == "verify") {
     const std::string script = args.get("script");
-    if (script.empty()) usage("run needs a script path: portal_cli run FILE");
-    return run_script(script, args);
+    if (script.empty())
+      usage(("'" + args.problem + "' needs a script path: portal_cli " +
+             args.problem + " FILE").c_str());
+    return run_script(script, args, args.problem == "verify");
   }
   const PortalConfig config = config_from(args);
   Timer timer;
@@ -192,6 +226,7 @@ int run(const Args& args) {
     expr.execute(config);
     Storage out = expr.getOutput();
     report(expr, timer.elapsed_s());
+    if (args.has("verify")) print_verify_report(expr);
 
     if (args.problem == "rs") {
       std::uint64_t total = 0;
@@ -215,6 +250,7 @@ int run(const Args& args) {
     expr.addLayer(PortalOp::SUM, r, data, d < Expr(h));
     expr.execute(config);
     report(expr, timer.elapsed_s());
+    if (args.has("verify")) print_verify_report(expr);
     const double ordered = expr.getOutput().scalar();
     std::printf("ordered pairs (incl. self): %.0f | distinct pairs within h: "
                 "%.0f\n",
@@ -247,6 +283,7 @@ int run(const Args& args) {
       expr.addLayer(PortalOp::MIN, *r, PortalFunc::EUCLIDEAN);
       expr.execute(config);
       directed[slot++] = expr.getOutput().scalar();
+      if (args.has("verify") && slot == 1) print_verify_report(expr);
     }
     std::printf("h(A,B) = %.6f, h(B,A) = %.6f, H = %.6f (%.3fs)\n", directed[0],
                 directed[1], std::max(directed[0], directed[1]),
@@ -300,6 +337,7 @@ int run(const Args& args) {
     expr.execute(config);
     Storage out = expr.getOutput();
     report(expr, timer.elapsed_s());
+    if (args.has("verify")) print_verify_report(expr);
     if (args.has("out")) write_matrix(args.get("out"), out, false);
     return 0;
   }
@@ -314,7 +352,8 @@ int main(int argc, char** argv) {
   Args args;
   args.problem = argv[1];
   int first_option = 2;
-  if (args.problem == "run" && argc >= 3 && std::strncmp(argv[2], "--", 2) != 0) {
+  if ((args.problem == "run" || args.problem == "verify") && argc >= 3 &&
+      std::strncmp(argv[2], "--", 2) != 0) {
     args.options["script"] = argv[2];
     first_option = 3;
   }
@@ -322,7 +361,8 @@ int main(int argc, char** argv) {
     const char* arg = argv[i];
     if (std::strncmp(arg, "--", 2) != 0) usage("options start with --");
     const std::string key = arg + 2;
-    if (key == "validate" || key == "serial") {
+    if (key == "validate" || key == "serial" || key == "verify" ||
+        key == "no-verify-ir") {
       args.options[key] = "1";
     } else {
       if (i + 1 >= argc) usage(("--" + key + " needs a value").c_str());
@@ -332,6 +372,11 @@ int main(int argc, char** argv) {
 
   try {
     return run(args);
+  } catch (const PortalDiagnosticError& e) {
+    std::fprintf(stderr, "portal_cli: IR verification / analysis failed:\n");
+    for (const Diagnostic& d : e.diagnostics())
+      std::fprintf(stderr, "  %s\n", diagnostic_to_string(d).c_str());
+    return 2;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "portal_cli: %s\n", e.what());
     return 2;
