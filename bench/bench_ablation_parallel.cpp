@@ -5,12 +5,15 @@
 // harness exists so the sweep is one rebuild away on a real multicore box
 // (the paper's machine had 128 cores). Correctness under threads is covered
 // by the *.ParallelMatchesSerial tests regardless.
+#include <algorithm>
 #include <cstdio>
 
 #include "bench/bench_common.h"
 #include "data/generators.h"
 #include "problems/kde.h"
 #include "problems/knn.h"
+#include "tree/balltree.h"
+#include "tree/kdtree.h"
 #include "util/threading.h"
 
 using namespace portal;
@@ -48,8 +51,48 @@ int main() {
   }
   set_num_threads(hw_threads);
 
+  print_header("Tree construction -- serial vs task-parallel build");
+  print_row({"Tree", "n", "threads", "build(s)"});
+  for (index_t n : {index_t(100000), index_t(1000000)}) {
+    const index_t scaled =
+        std::max<index_t>(1000, static_cast<index_t>(n * bench_scale_from_env()));
+    const Dataset pts = make_uniform(scaled, 3, 91);
+    for (int threads : {1, 2, 4}) {
+      if (threads > 2 * hw_threads && threads > 4) break;
+      set_num_threads(threads);
+      const bool parallel = threads > 1;
+      const double kd_s =
+          time_best([&] { KdTree t(pts, kDefaultLeafSize, parallel); }, 3);
+      print_row({"kd", std::to_string(scaled), std::to_string(threads),
+                 fmt(kd_s)});
+      const double ball_s =
+          time_best([&] { BallTree t(pts, kDefaultLeafSize, parallel); }, 3);
+      print_row({"ball", std::to_string(scaled), std::to_string(threads),
+                 fmt(ball_s)});
+    }
+  }
+  set_num_threads(hw_threads);
+
+  print_header("Build vs traverse split (k-NN, dual kd-tree)");
+  {
+    const Dataset pts = make_uniform(
+        static_cast<index_t>(100000 * bench_scale_from_env()), 3, 92);
+    const KdTree qtree(pts, kDefaultLeafSize);
+    const KdTree rtree(pts, kDefaultLeafSize);
+    KnnOptions knn;
+    knn.k = 5;
+    knn.parallel = hw_threads > 1;
+    const KnnResult result = knn_dualtree_permuted(qtree, rtree, knn);
+    print_row({"phase", "time(s)", "", ""});
+    print_row({"tree build (q+r)",
+               fmt(qtree.stats().build_seconds + rtree.stats().build_seconds),
+               "", ""});
+    print_row({"traversal", fmt(result.stats.elapsed_seconds), "", ""});
+  }
+
   std::printf("\nOn one visible core the rows coincide; on a multicore\n"
               "machine k-NN and KDE scale with threads until the task depth\n"
-              "saturates them (the paper's Sec. IV-F scheme).\n");
+              "saturates them (the paper's Sec. IV-F scheme), and the tree\n"
+              "builds scale via the divide-and-conquer task recursion.\n");
   return 0;
 }

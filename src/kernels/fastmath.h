@@ -18,11 +18,17 @@ namespace portal {
 
 /// Quake-style fast inverse square root for doubles with one Newton-Raphson
 /// refinement step. Relative error is below ~0.2% after the refinement, the
-/// error bound the paper quotes for the LLVM intrinsic it uses. Returns +inf
-/// at x == 0, matching the hardware rsqrt semantics the paper's NaN-safety
-/// argument (Sec. IV-E) relies on.
+/// error bound the paper quotes for the LLVM intrinsic it uses. Edge cases
+/// match 1/sqrt(x) semantics (the paper's NaN-safety argument, Sec. IV-E):
+/// NaN for x < 0, +inf for 0, and 0 for +inf. Denormal inputs flush to +inf
+/// like hardware rsqrt -- the bit trick's Newton step overflows there, so
+/// treating them as zero is the accurate-to-spirit choice.
 inline double fast_inv_sqrt(double x) {
-  if (x == 0.0) return std::numeric_limits<double>::infinity();
+  if (x != x) return x; // NaN propagates
+  if (x < 0.0) return std::numeric_limits<double>::quiet_NaN();
+  if (x < std::numeric_limits<double>::min())
+    return std::numeric_limits<double>::infinity(); // 0 and denormals
+  if (x == std::numeric_limits<double>::infinity()) return 0.0;
   double half = 0.5 * x;
   std::uint64_t bits;
   std::memcpy(&bits, &x, sizeof(bits));
@@ -34,7 +40,11 @@ inline double fast_inv_sqrt(double x) {
 }
 
 inline float fast_inv_sqrt(float x) {
-  if (x == 0.0f) return std::numeric_limits<float>::infinity();
+  if (x != x) return x;
+  if (x < 0.0f) return std::numeric_limits<float>::quiet_NaN();
+  if (x < std::numeric_limits<float>::min())
+    return std::numeric_limits<float>::infinity();
+  if (x == std::numeric_limits<float>::infinity()) return 0.0f;
   float half = 0.5f * x;
   std::uint32_t bits;
   std::memcpy(&bits, &x, sizeof(bits));
@@ -54,9 +64,11 @@ inline real_t fast_sqrt(real_t x) { return real_t(1) / fast_inv_sqrt(x); }
 /// reduction ablation bench that quantifies the paper's Sec. IV-E choice.
 inline real_t fast_sqrt_unsafe(real_t x) { return x * fast_inv_sqrt(x); }
 
-/// pow(x, n) for small non-negative integer n as chained multiplications.
-/// The strength-reduction pass only fires for n < 4 (paper), but the helper
-/// handles any n >= 0 by square-and-multiply for completeness.
+/// pow(x, n) for small integer n as chained multiplications. The
+/// strength-reduction pass only fires for 0 <= n < 4 (paper), but the helper
+/// handles any int n by square-and-multiply for completeness; negative
+/// exponents are computed as 1 / pow_int(x, -n), so pow_int(0, -n) yields
+/// inf exactly like std::pow.
 inline real_t pow_int(real_t x, int n) {
   switch (n) {
     case 0: return real_t(1);
@@ -64,15 +76,19 @@ inline real_t pow_int(real_t x, int n) {
     case 2: return x * x;
     case 3: return x * x * x;
     default: {
+      // Magnitude as unsigned so n == INT_MIN does not overflow on negation.
+      const bool negative = n < 0;
+      unsigned int e = negative
+                           ? 0u - static_cast<unsigned int>(n)
+                           : static_cast<unsigned int>(n);
       real_t result = 1;
       real_t base = x;
-      int e = n;
       while (e > 0) {
-        if (e & 1) result *= base;
+        if (e & 1u) result *= base;
         base *= base;
         e >>= 1;
       }
-      return result;
+      return negative ? real_t(1) / result : result;
     }
   }
 }

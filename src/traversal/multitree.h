@@ -13,7 +13,6 @@
 #pragma once
 
 #include <array>
-#include <atomic>
 #include <utility>
 #include <vector>
 
@@ -25,6 +24,7 @@
 #include "traversal/rules.h"
 #include "util/common.h"
 #include "util/threading.h"
+#include "util/timer.h"
 
 namespace portal {
 
@@ -106,18 +106,33 @@ class DualTraverser {
         task_depth_(task_depth),
         split_(split) {}
 
-  void run_serial(index_t q, index_t r) { recurse<false>(q, r, 0); }
-  void run_parallel(index_t q, index_t r) {
-#pragma omp parallel
-#pragma omp single nowait
-    recurse<true>(q, r, 0);
+  void run_serial(index_t q, index_t r) {
+    // Stack-local accumulator: the hot recursion increments memory the
+    // compiler can prove nothing else aliases.
+    TraversalStats local;
+    recurse<false>(q, r, 0, local);
+    total_ += local;
   }
 
-  TraversalStats stats() const {
-    return {pairs_.load(std::memory_order_relaxed),
-            prunes_.load(std::memory_order_relaxed),
-            bases_.load(std::memory_order_relaxed)};
+  void run_parallel(index_t q, index_t r) {
+    // One padded slot per thread: a slot is only ever written by its owning
+    // thread (OpenMP tasks are tied, and merge_local runs at most once per
+    // task body), so the merges need no synchronization beyond the implicit
+    // barrier closing the parallel region.
+    thread_stats_.assign(static_cast<std::size_t>(omp_get_max_threads()),
+                         PaddedStats{});
+#pragma omp parallel
+#pragma omp single nowait
+    {
+      TraversalStats local;
+      recurse<true>(q, r, 0, local);
+      merge_local(local);
+    }
+    for (const PaddedStats& slot : thread_stats_) total_ += slot.stats;
+    thread_stats_.clear();
   }
+
+  TraversalStats stats() const { return total_; }
 
  private:
   /// Order reference children nearest-first when the rule set exposes a
@@ -139,11 +154,25 @@ class DualTraverser {
     }
   }
 
+  /// Cacheline-padded per-thread accumulator so neighboring threads' merges
+  /// never share a line (the false-sharing hazard the atomic counters had).
+  struct alignas(64) PaddedStats {
+    TraversalStats stats;
+  };
+
+  /// Fold a finished task's local counters into this thread's slot. Called
+  /// once per task, not per node pair.
+  void merge_local(const TraversalStats& local) {
+    thread_stats_[static_cast<std::size_t>(omp_get_thread_num())].stats += local;
+  }
+
+  /// `stats` is the enclosing task's private accumulator: counting is plain
+  /// increments on task-local state, zero shared RMWs per visited pair.
   template <bool Par>
-  void recurse(index_t q, index_t r, int depth) {
-    pairs_.fetch_add(1, std::memory_order_relaxed);
+  void recurse(index_t q, index_t r, int depth, TraversalStats& stats) {
+    ++stats.pairs_visited;
     if (rules_.prune_or_approx(q, r)) {
-      prunes_.fetch_add(1, std::memory_order_relaxed);
+      ++stats.prunes;
       return;
     }
 
@@ -151,7 +180,7 @@ class DualTraverser {
     const bool r_leaf = tree_node_is_leaf(rtree_, r);
 
     if (q_leaf && r_leaf) {
-      bases_.fetch_add(1, std::memory_order_relaxed);
+      ++stats.base_cases;
       rules_.base_case(q, r);
       return;
     }
@@ -184,9 +213,11 @@ class DualTraverser {
             // phantom race. Each task sorts its own private children copy.
 #pragma omp task default(shared) firstprivate(qc, depth, rn, r_children)
             {
+              TraversalStats task_stats;
               order_by_score(qc, r_children, rn);
               for (int ri = 0; ri < rn; ++ri)
-                recurse<Par>(qc, r_children[ri], depth + 1);
+                recurse<Par>(qc, r_children[ri], depth + 1, task_stats);
+              merge_local(task_stats);
             }
             continue;
           }
@@ -194,7 +225,8 @@ class DualTraverser {
         index_t ordered[8];
         for (int i = 0; i < rn; ++i) ordered[i] = r_children[i];
         order_by_score(qc, ordered, rn);
-        for (int ri = 0; ri < rn; ++ri) recurse<Par>(qc, ordered[ri], depth + 1);
+        for (int ri = 0; ri < rn; ++ri)
+          recurse<Par>(qc, ordered[ri], depth + 1, stats);
       }
       if constexpr (Par) {
         if (depth < task_depth_) {
@@ -208,11 +240,15 @@ class DualTraverser {
         if constexpr (Par) {
           if (depth < task_depth_) {
 #pragma omp task default(shared) firstprivate(qc, r, depth)
-            recurse<Par>(qc, r, depth + 1);
+            {
+              TraversalStats task_stats;
+              recurse<Par>(qc, r, depth + 1, task_stats);
+              merge_local(task_stats);
+            }
             continue;
           }
         }
-        recurse<Par>(qc, r, depth + 1);
+        recurse<Par>(qc, r, depth + 1, stats);
       }
       if constexpr (Par) {
         if (depth < task_depth_) {
@@ -223,7 +259,8 @@ class DualTraverser {
       // Query is a leaf: both reference children share its output range, so
       // they run sequentially in this task, nearest-first.
       order_by_score(q, r_children, rn);
-      for (int ri = 0; ri < rn; ++ri) recurse<Par>(q, r_children[ri], depth + 1);
+      for (int ri = 0; ri < rn; ++ri)
+        recurse<Par>(q, r_children[ri], depth + 1, stats);
     }
   }
 
@@ -232,18 +269,22 @@ class DualTraverser {
   Rules& rules_;
   int task_depth_;
   SplitPolicy split_;
-  std::atomic<std::uint64_t> pairs_{0};
-  std::atomic<std::uint64_t> prunes_{0};
-  std::atomic<std::uint64_t> bases_{0};
+  TraversalStats total_;
+  std::vector<PaddedStats> thread_stats_;
 };
 
 } // namespace detail
 
 /// Run Algorithm 1 for m = 2 over (qtree, rtree) with the given rule set.
+/// The returned stats carry exact counters (merged from per-task locals; no
+/// shared atomics are involved) plus the traversal wall-clock in
+/// `elapsed_seconds`, which together with the tree stats' `build_seconds`
+/// gives callers the build vs. traverse split.
 template <typename TreeQ, typename TreeR, typename Rules>
   requires DualRuleSet<Rules>
 TraversalStats dual_traverse(const TreeQ& qtree, const TreeR& rtree, Rules& rules,
                              const TraversalOptions& options = {}) {
+  Timer timer;
   detail::DualTraverser<TreeQ, TreeR, Rules> traverser(
       qtree, rtree, rules,
       options.task_depth >= 0 ? options.task_depth
@@ -254,7 +295,9 @@ TraversalStats dual_traverse(const TreeQ& qtree, const TreeR& rtree, Rules& rule
   } else {
     traverser.run_serial(qtree.root_index(), rtree.root_index());
   }
-  return traverser.stats();
+  TraversalStats stats = traverser.stats();
+  stats.elapsed_seconds = timer.elapsed_s();
+  return stats;
 }
 
 /// General m-way rule set: same contract as DualRuleSet but over node tuples.
@@ -270,6 +313,7 @@ concept MultiRuleSet = requires(R r, const std::vector<index_t>& nodes) {
 template <typename Tree, typename Rules>
   requires MultiRuleSet<Rules>
 TraversalStats multi_traverse(const std::vector<const Tree*>& trees, Rules& rules) {
+  Timer timer;
   TraversalStats stats;
   std::vector<index_t> nodes(trees.size());
   for (std::size_t i = 0; i < trees.size(); ++i) nodes[i] = trees[i]->root_index();
@@ -330,6 +374,7 @@ TraversalStats multi_traverse(const std::vector<const Tree*>& trees, Rules& rule
       if (i == trees.size()) break;
     }
   }
+  stats.elapsed_seconds = timer.elapsed_s();
   return stats;
 }
 

@@ -29,16 +29,27 @@ concept ScoredDualRuleSet = DualRuleSet<R> && requires(R r, index_t q, index_t r
   { r.score(q, ref) } -> std::convertible_to<real_t>;
 };
 
-/// Counters the traversal fills; cheap relaxed atomics in parallel runs.
+/// Counters the traversal fills. Plain (non-atomic) integers: the parallel
+/// traversal accumulates into a task-local copy threaded through each
+/// recursion and merges it into a cacheline-padded per-thread slot when the
+/// task finishes, so counting adds zero shared read-modify-writes per
+/// visited node pair. Merging happens at task boundaries; totals are exact
+/// once the traversal's join completes, and for a fixed (non-adaptive) rule
+/// set they equal the serial counts bit-for-bit.
 struct TraversalStats {
   std::uint64_t pairs_visited = 0;  // node tuples examined
   std::uint64_t prunes = 0;         // tuples handled by Prune/Approximate
   std::uint64_t base_cases = 0;     // leaf tuples evaluated exactly
+  /// Wall-clock seconds of the traversal itself (set by dual_traverse and
+  /// multi_traverse; excludes tree construction, whose cost lives in the
+  /// tree's own stats). Gives callers the build vs. traverse time split.
+  double elapsed_seconds = 0;
 
   TraversalStats& operator+=(const TraversalStats& other) {
     pairs_visited += other.pairs_visited;
     prunes += other.prunes;
     base_cases += other.base_cases;
+    elapsed_seconds += other.elapsed_seconds;
     return *this;
   }
 };

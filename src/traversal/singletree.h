@@ -32,7 +32,10 @@ concept ScoredSingleRuleSet = SingleRuleSet<R> && requires(R r, index_t node) {
 };
 
 /// Depth-first descent from the root. Serial: callers parallelize over
-/// queries (the natural axis for single-tree work).
+/// queries (the natural axis for single-tree work), so the stats counters
+/// are plain increments on the caller's stack. `elapsed_seconds` is left 0
+/// here -- a per-query clock read would dominate small descents; callers
+/// time whole query batches instead.
 template <typename Tree, typename Rules>
   requires SingleRuleSet<Rules>
 TraversalStats single_traverse(const Tree& tree, Rules& rules) {

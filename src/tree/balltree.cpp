@@ -4,7 +4,10 @@
 #include <cmath>
 #include <limits>
 #include <stdexcept>
+#include <utility>
 
+#include "tree/build.h"
+#include "util/threading.h"
 #include "util/timer.h"
 
 namespace portal {
@@ -92,25 +95,57 @@ real_t BallBound::max_dist(MetricKind kind, const BallBound& other,
   throw std::logic_error("BallBound::max_dist: unhandled metric");
 }
 
-BallTree::BallTree(const Dataset& data, index_t leaf_size) : leaf_size_(leaf_size) {
+BallTree::BallTree(const Dataset& data, index_t leaf_size, bool parallel_build)
+    : leaf_size_(leaf_size) {
   if (leaf_size <= 0) throw std::invalid_argument("BallTree: leaf_size must be > 0");
   if (data.dim() <= 0) throw std::invalid_argument("BallTree: empty dimensionality");
   Timer timer;
 
   const index_t n = data.size();
+  const index_t dim = data.dim();
   std::vector<index_t> order(n);
   for (index_t i = 0; i < n; ++i) order[i] = i;
-  nodes_.reserve(static_cast<std::size_t>(4 * (n / leaf_size + 2)));
-  if (n > 0) build_recursive(order, 0, n, 0, -1, data);
+
+  if (n > 0) {
+    nodes_.resize(static_cast<std::size_t>(
+        detail::median_subtree_nodes(n, leaf_size)));
+
+    // Root spread + coordinate sums; every other node receives both from
+    // its parent's post-split sweep.
+    BBox root_spread(dim);
+    std::vector<real_t> root_sum(dim, 0);
+    for (index_t i = 0; i < n; ++i) {
+      root_spread.include([&](index_t d) { return data.coord(i, d); });
+      for (index_t d = 0; d < dim; ++d) root_sum[d] += data.coord(i, d);
+    }
+
+    std::vector<std::pair<real_t, index_t>> scratch(
+        static_cast<std::size_t>(n));
+    build_input_ = &data;
+    build_order_ = &order;
+    build_scratch_ = &scratch;
+    const bool use_tasks = parallel_build && !in_parallel_region() &&
+                           num_threads() > 1 && n >= 2 * kMinParallelBuildCount;
+    if (use_tasks) {
+      const int task_depth = task_spawn_depth(num_threads());
+#pragma omp parallel
+#pragma omp single nowait
+      build_node(0, 0, n, 0, -1, std::move(root_spread), std::move(root_sum),
+                 task_depth);
+    } else {
+      build_node(0, 0, n, 0, -1, std::move(root_spread), std::move(root_sum),
+                 -1);
+    }
+    build_input_ = nullptr;
+    build_order_ = nullptr;
+    build_scratch_ = nullptr;
+  }
 
   perm_ = std::move(order);
-  inv_perm_.resize(n);
-  for (index_t i = 0; i < n; ++i) inv_perm_[perm_[i]] = i;
+  detail::fill_inverse_perm(perm_, inv_perm_, parallel_build);
 
-  data_ = Dataset(n, data.dim(), data.layout());
-  for (index_t i = 0; i < n; ++i)
-    for (index_t d = 0; d < data.dim(); ++d)
-      data_.coord(i, d) = data.coord(perm_[i], d);
+  data_ = Dataset(n, dim, data.layout());
+  detail::materialize_permuted(data, perm_, data_, parallel_build);
 
   stats_.num_nodes = static_cast<index_t>(nodes_.size());
   for (const BallNode& node : nodes_) {
@@ -123,63 +158,112 @@ BallTree::BallTree(const Dataset& data, index_t leaf_size) : leaf_size_(leaf_siz
   stats_.build_seconds = timer.elapsed_s();
 }
 
-index_t BallTree::build_recursive(std::vector<index_t>& order, index_t begin,
-                                  index_t end, index_t depth, index_t parent,
-                                  const Dataset& input) {
-  const index_t node_index = static_cast<index_t>(nodes_.size());
-  nodes_.emplace_back();
+void BallTree::build_node(index_t node_index, index_t begin, index_t end,
+                          index_t depth, index_t parent, BBox spread,
+                          std::vector<real_t> sum, int task_depth) {
+  const Dataset& input = *build_input_;
+  std::vector<index_t>& order = *build_order_;
   const index_t dim = input.dim();
+  const index_t count = end - begin;
 
-  // Centroid + covering radius (the tight ball).
-  std::vector<real_t> center(dim, 0);
-  for (index_t i = begin; i < end; ++i)
-    for (index_t d = 0; d < dim; ++d) center[d] += input.coord(order[i], d);
-  for (index_t d = 0; d < dim; ++d)
-    center[d] /= static_cast<real_t>(end - begin);
-  real_t radius_sq = 0;
-  // Also track per-dimension spread for the split choice.
-  std::vector<real_t> lo(dim, std::numeric_limits<real_t>::max());
-  std::vector<real_t> hi(dim, std::numeric_limits<real_t>::lowest());
-  for (index_t i = begin; i < end; ++i) {
-    real_t sq = 0;
-    for (index_t d = 0; d < dim; ++d) {
-      const real_t x = input.coord(order[i], d);
-      sq += (x - center[d]) * (x - center[d]);
-      lo[d] = std::min(lo[d], x);
-      hi[d] = std::max(hi[d], x);
-    }
-    radius_sq = std::max(radius_sq, sq);
-  }
+  // Centroid from the inherited sums -- O(dim), no point scan.
+  std::vector<real_t> center(std::move(sum));
+  for (index_t d = 0; d < dim; ++d) center[d] /= static_cast<real_t>(count);
 
   {
-    BallNode& node = nodes_.back();
+    BallNode& node = nodes_[static_cast<std::size_t>(node_index)];
     node.begin = begin;
     node.end = end;
     node.parent = parent;
     node.depth = depth;
-    node.box = BallBound(std::move(center), std::sqrt(radius_sq));
   }
 
-  if (end - begin <= leaf_size_) return node_index;
-
-  index_t split_dim = 0;
-  real_t best_spread = hi[0] - lo[0];
-  for (index_t d = 1; d < dim; ++d)
-    if (hi[d] - lo[d] > best_spread) {
-      best_spread = hi[d] - lo[d];
-      split_dim = d;
+  if (count <= leaf_size_) {
+    // Leaves only need the covering radius: one pass.
+    real_t radius_sq = 0;
+    for (index_t i = begin; i < end; ++i) {
+      const index_t p = order[i];
+      real_t sq = 0;
+      for (index_t d = 0; d < dim; ++d) {
+        const real_t diff = input.coord(p, d) - center[d];
+        sq += diff * diff;
+      }
+      radius_sq = std::max(radius_sq, sq);
     }
-  const index_t mid = begin + (end - begin) / 2;
-  std::nth_element(order.begin() + begin, order.begin() + mid, order.begin() + end,
-                   [&](index_t a, index_t b) {
-                     return input.coord(a, split_dim) < input.coord(b, split_dim);
+    nodes_[node_index].box = BallBound(std::move(center), std::sqrt(radius_sq));
+    return;
+  }
+
+  // Selection over contiguous (key, index) pairs, exactly as in the kd-tree
+  // build: one gather, then sequential comparisons.
+  const index_t split_dim = spread.widest_dim();
+  const index_t mid = begin + count / 2;
+  std::pair<real_t, index_t>* scratch = build_scratch_->data();
+  for (index_t i = begin; i < end; ++i) {
+    const index_t p = order[i];
+    scratch[i] = {input.coord(p, split_dim), p};
+  }
+  std::nth_element(scratch + begin, scratch + mid, scratch + end,
+                   [](const std::pair<real_t, index_t>& a,
+                      const std::pair<real_t, index_t>& b) {
+                     return a.first < b.first;
                    });
 
-  const index_t left = build_recursive(order, begin, mid, depth + 1, node_index, input);
-  const index_t right = build_recursive(order, mid, end, depth + 1, node_index, input);
+  // One sweep of the freshly partitioned (cache-hot) range writes the order
+  // back and gathers this node's covering radius plus both children's
+  // spread and coordinate sums.
+  constexpr real_t kMax = std::numeric_limits<real_t>::max();
+  constexpr real_t kLowest = std::numeric_limits<real_t>::lowest();
+  std::vector<real_t> left_lo(dim, kMax), left_hi(dim, kLowest);
+  std::vector<real_t> right_lo(dim, kMax), right_hi(dim, kLowest);
+  std::vector<real_t> left_sum(dim, 0), right_sum(dim, 0);
+  real_t radius_sq = 0;
+  for (index_t i = begin; i < end; ++i) {
+    const index_t p = scratch[i].second;
+    order[i] = p;
+    const bool is_left = i < mid;
+    real_t* lo = is_left ? left_lo.data() : right_lo.data();
+    real_t* hi = is_left ? left_hi.data() : right_hi.data();
+    real_t* child_sum = is_left ? left_sum.data() : right_sum.data();
+    real_t sq = 0;
+    for (index_t d = 0; d < dim; ++d) {
+      const real_t x = input.coord(p, d);
+      const real_t diff = x - center[d];
+      sq += diff * diff;
+      if (x < lo[d]) lo[d] = x;
+      if (x > hi[d]) hi[d] = x;
+      child_sum[d] += x;
+    }
+    radius_sq = std::max(radius_sq, sq);
+  }
+  nodes_[node_index].box = BallBound(std::move(center), std::sqrt(radius_sq));
+
+  BBox left_spread(dim);
+  left_spread.include_point(left_lo.data());
+  left_spread.include_point(left_hi.data());
+  BBox right_spread(dim);
+  right_spread.include_point(right_lo.data());
+  right_spread.include_point(right_hi.data());
+
+  const index_t left = node_index + 1;
+  const index_t right =
+      left + detail::median_subtree_nodes(mid - begin, leaf_size_);
   nodes_[node_index].left = left;
   nodes_[node_index].right = right;
-  return node_index;
+
+  if (depth < task_depth && count >= 2 * kMinParallelBuildCount) {
+#pragma omp task default(shared) firstprivate(left, begin, mid, depth, \
+    node_index, left_spread, left_sum, task_depth)
+    build_node(left, begin, mid, depth + 1, node_index, std::move(left_spread),
+               std::move(left_sum), task_depth);
+    build_node(right, mid, end, depth + 1, node_index, std::move(right_spread),
+               std::move(right_sum), task_depth);
+  } else {
+    build_node(left, begin, mid, depth + 1, node_index, std::move(left_spread),
+               std::move(left_sum), task_depth);
+    build_node(right, mid, end, depth + 1, node_index, std::move(right_spread),
+               std::move(right_sum), task_depth);
+  }
 }
 
 } // namespace portal

@@ -10,10 +10,12 @@
 // either tree unchanged.
 #pragma once
 
+#include <utility>
 #include <vector>
 
 #include "data/dataset.h"
 #include "kernels/metrics.h"
+#include "tree/bbox.h"
 #include "tree/kdtree.h" // kDefaultLeafSize
 #include "util/common.h"
 
@@ -81,10 +83,17 @@ struct BallTreeStats {
 /// Median-split ball tree: recursion splits at the median of the widest
 /// spread dimension (the same partitioning as the kd-tree, so comparisons
 /// isolate the *bound geometry*), but each node is covered by the tight ball
-/// around its centroid.
+/// around its centroid. The build mirrors the kd-tree's: task-parallel
+/// divide-and-conquer into a pre-sized preorder node array (deterministic --
+/// parallel and serial builds produce identical trees), with each node's
+/// covering radius, child spread boxes, and child coordinate sums all
+/// gathered in one sweep of the freshly partitioned range.
 class BallTree {
  public:
-  explicit BallTree(const Dataset& data, index_t leaf_size = kDefaultLeafSize);
+  /// `parallel_build` enables the OpenMP-task build; the resulting tree is
+  /// identical either way (see KdTree).
+  explicit BallTree(const Dataset& data, index_t leaf_size = kDefaultLeafSize,
+                    bool parallel_build = true);
 
   const Dataset& data() const { return data_; }
   const std::vector<index_t>& perm() const { return perm_; }
@@ -98,8 +107,22 @@ class BallTree {
   const BallTreeStats& stats() const { return stats_; }
 
  private:
-  index_t build_recursive(std::vector<index_t>& order, index_t begin, index_t end,
-                          index_t depth, index_t parent, const Dataset& input);
+  /// Fill node `node_index` from its precomputed per-dimension `spread`
+  /// (tight bbox, drives the split choice) and coordinate `sum` (centroid
+  /// numerator), then split and recurse -- as OpenMP tasks above
+  /// `task_depth`. One sweep after nth_element computes the node's covering
+  /// radius plus both children's spread/sum, so no node rescans its points.
+  void build_node(index_t node_index, index_t begin, index_t end, index_t depth,
+                  index_t parent, BBox spread, std::vector<real_t> sum,
+                  int task_depth);
+
+  // Build-time inputs; members so build tasks reach them through `this`
+  // (parent stack frames may unwind before a task runs). The scratch holds
+  // (split key, index) pairs so selection runs over contiguous memory; tasks
+  // share it because they own disjoint [begin, end) ranges.
+  const Dataset* build_input_ = nullptr;
+  std::vector<index_t>* build_order_ = nullptr;
+  std::vector<std::pair<real_t, index_t>>* build_scratch_ = nullptr;
 
   Dataset data_;
   std::vector<index_t> perm_;

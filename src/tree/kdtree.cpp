@@ -2,12 +2,16 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <utility>
 
+#include "tree/build.h"
+#include "util/threading.h"
 #include "util/timer.h"
 
 namespace portal {
 
-KdTree::KdTree(const Dataset& data, index_t leaf_size) : leaf_size_(leaf_size) {
+KdTree::KdTree(const Dataset& data, index_t leaf_size, bool parallel_build)
+    : leaf_size_(leaf_size) {
   if (leaf_size <= 0) throw std::invalid_argument("KdTree: leaf_size must be > 0");
   if (data.dim() <= 0) throw std::invalid_argument("KdTree: empty dimensionality");
   Timer timer;
@@ -16,21 +20,46 @@ KdTree::KdTree(const Dataset& data, index_t leaf_size) : leaf_size_(leaf_size) {
   std::vector<index_t> order(n);
   for (index_t i = 0; i < n; ++i) order[i] = i;
 
-  // Median splits at most double the leaf count going up; reserve generously
-  // so build_recursive never reallocates mid-recursion (indices stay valid,
-  // but reallocation would cost time).
-  nodes_.reserve(static_cast<std::size_t>(4 * (n / leaf_size + 2)));
-  if (n > 0) build_recursive(order, 0, n, 0, -1, data);
+  if (n > 0) {
+    // Exact node count from the split arithmetic: every build_node call
+    // writes into a pre-sized slot, no reallocation, no synchronization.
+    nodes_.resize(static_cast<std::size_t>(
+        detail::median_subtree_nodes(n, leaf_size)));
+
+    // The root is the only node whose box needs a dedicated scan; every
+    // other node receives its box from the parent's post-split sweep.
+    BBox root_box(data.dim());
+    for (index_t i = 0; i < n; ++i)
+      root_box.include([&](index_t d) { return data.coord(i, d); });
+
+    std::vector<std::pair<real_t, index_t>> scratch(
+        static_cast<std::size_t>(n));
+    build_input_ = &data;
+    build_order_ = &order;
+    build_scratch_ = &scratch;
+    const bool use_tasks = parallel_build && !in_parallel_region() &&
+                           num_threads() > 1 && n >= 2 * kMinParallelBuildCount;
+    if (use_tasks) {
+      const int task_depth = task_spawn_depth(num_threads());
+#pragma omp parallel
+#pragma omp single nowait
+      build_node(0, 0, n, 0, -1, std::move(root_box), task_depth);
+      // The implicit barrier closing the parallel region joins all build
+      // tasks; no taskwait is needed inside the recursion.
+    } else {
+      build_node(0, 0, n, 0, -1, std::move(root_box), -1);
+    }
+    build_input_ = nullptr;
+    build_order_ = nullptr;
+    build_scratch_ = nullptr;
+  }
 
   perm_ = std::move(order);
-  inv_perm_.resize(n);
-  for (index_t i = 0; i < n; ++i) inv_perm_[perm_[i]] = i;
+  detail::fill_inverse_perm(perm_, inv_perm_, parallel_build);
 
   // Materialize the permuted dataset (leaf ranges contiguous).
   data_ = Dataset(n, data.dim(), data.layout());
-  for (index_t i = 0; i < n; ++i)
-    for (index_t d = 0; d < data.dim(); ++d)
-      data_.coord(i, d) = data.coord(perm_[i], d);
+  detail::materialize_permuted(data, perm_, data_, parallel_build);
 
   stats_.num_nodes = static_cast<index_t>(nodes_.size());
   for (const KdNode& node : nodes_) {
@@ -43,42 +72,84 @@ KdTree::KdTree(const Dataset& data, index_t leaf_size) : leaf_size_(leaf_size) {
   stats_.build_seconds = timer.elapsed_s();
 }
 
-index_t KdTree::build_recursive(std::vector<index_t>& order, index_t begin,
-                                index_t end, index_t depth, index_t parent,
-                                const Dataset& input) {
-  const index_t node_index = static_cast<index_t>(nodes_.size());
-  nodes_.emplace_back();
+void KdTree::build_node(index_t node_index, index_t begin, index_t end,
+                        index_t depth, index_t parent, BBox box,
+                        int task_depth) {
+  const Dataset& input = *build_input_;
+  std::vector<index_t>& order = *build_order_;
   {
-    KdNode& node = nodes_.back();
+    KdNode& node = nodes_[static_cast<std::size_t>(node_index)];
     node.begin = begin;
     node.end = end;
     node.parent = parent;
     node.depth = depth;
-    node.box = BBox(input.dim());
-    for (index_t i = begin; i < end; ++i) {
-      const index_t p = order[i];
-      node.box.include([&](index_t d) { return input.coord(p, d); });
-    }
+    node.box = std::move(box);
   }
 
-  if (end - begin <= leaf_size_) return node_index;
+  const index_t count = end - begin;
+  if (count <= leaf_size_) return;
 
   // Median split along the widest bounding-box dimension (Sec. V-B).
+  // Selection runs over contiguous (key, index) pairs in the shared scratch
+  // (disjoint [begin, end) ranges across tasks): one gather extracts the
+  // split keys, then every nth_element comparison is a sequential load
+  // instead of two random gathers through the order array.
   const index_t split_dim = nodes_[node_index].box.widest_dim();
-  const index_t mid = begin + (end - begin) / 2;
-  std::nth_element(order.begin() + begin, order.begin() + mid, order.begin() + end,
-                   [&](index_t a, index_t b) {
-                     return input.coord(a, split_dim) < input.coord(b, split_dim);
+  const index_t mid = begin + count / 2;
+  std::pair<real_t, index_t>* scratch = build_scratch_->data();
+  for (index_t i = begin; i < end; ++i) {
+    const index_t p = order[i];
+    scratch[i] = {input.coord(p, split_dim), p};
+  }
+  std::nth_element(scratch + begin, scratch + mid, scratch + end,
+                   [](const std::pair<real_t, index_t>& a,
+                      const std::pair<real_t, index_t>& b) {
+                     return a.first < b.first;
                    });
 
   // Degenerate case: all coordinates equal along every dimension (duplicate
   // points). nth_element still provides a positional split, which keeps the
   // recursion terminating since mid > begin and mid < end for count > 1.
-  const index_t left = build_recursive(order, begin, mid, depth + 1, node_index, input);
-  const index_t right = build_recursive(order, mid, end, depth + 1, node_index, input);
+
+  // Single pass over the freshly partitioned (cache-hot) range writes the
+  // order back and fills both child boxes -- children never rescan their
+  // points on entry.
+  BBox left_box(input.dim());
+  BBox right_box(input.dim());
+  for (index_t i = begin; i < mid; ++i) {
+    const index_t p = scratch[i].second;
+    order[i] = p;
+    left_box.include([&](index_t d) { return input.coord(p, d); });
+  }
+  for (index_t i = mid; i < end; ++i) {
+    const index_t p = scratch[i].second;
+    order[i] = p;
+    right_box.include([&](index_t d) { return input.coord(p, d); });
+  }
+
+  // Preorder child indices from subtree sizes alone: identical whether the
+  // subtrees are built inline, by this thread later, or by another thread.
+  const index_t left = node_index + 1;
+  const index_t right =
+      left + detail::median_subtree_nodes(mid - begin, leaf_size_);
   nodes_[node_index].left = left;
   nodes_[node_index].right = right;
-  return node_index;
+
+  if (depth < task_depth && count >= 2 * kMinParallelBuildCount) {
+    // The left half becomes a task; firstprivate deep-copies the child box
+    // before this frame can unwind. The right half continues inline.
+#pragma omp task default(shared) \
+    firstprivate(left, begin, mid, depth, node_index, left_box, task_depth)
+    build_node(left, begin, mid, depth + 1, node_index, std::move(left_box),
+               task_depth);
+    build_node(right, mid, end, depth + 1, node_index, std::move(right_box),
+               task_depth);
+  } else {
+    build_node(left, begin, mid, depth + 1, node_index, std::move(left_box),
+               task_depth);
+    build_node(right, mid, end, depth + 1, node_index, std::move(right_box),
+               task_depth);
+  }
 }
 
 } // namespace portal

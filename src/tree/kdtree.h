@@ -2,12 +2,19 @@
 //
 // Binary space-partitioning tree built by *median split along the widest
 // bounding-box dimension* (the strategy used for both Portal and the expert
-// baseline in Sec. V-B). Every node stores a tight bounding box recomputed
-// from its points. Construction permutes a copy of the dataset so each leaf
+// baseline in Sec. V-B). Every node stores a tight bounding box; boxes are
+// computed in a single pass per split -- the partition sweep that follows
+// nth_element fills both child boxes while the range is cache-hot, so no
+// node ever rescans its points on entry. Construction is task-parallel
+// (divide-and-conquer over subranges, like pbbsbench's tree builds) yet
+// bit-for-bit deterministic: node indices are preorder positions computed
+// from subtree sizes alone, so the parallel build produces exactly the
+// serial tree. Construction permutes a copy of the dataset so each leaf
 // owns a contiguous coordinate range -- the base-case kernels then stream
 // cache-line-aligned memory.
 #pragma once
 
+#include <utility>
 #include <vector>
 
 #include "data/dataset.h"
@@ -45,7 +52,11 @@ class KdTree {
  public:
   /// Builds the tree over a copy of `data`, preserving data's layout.
   /// `leaf_size` is the paper's q: leaves hold at most q points (q > 0).
-  KdTree(const Dataset& data, index_t leaf_size = kDefaultLeafSize);
+  /// `parallel_build` enables the OpenMP-task divide-and-conquer build; the
+  /// resulting tree (nodes, boxes, permutation) is identical either way, so
+  /// the flag only exists for benchmarking and the determinism tests.
+  explicit KdTree(const Dataset& data, index_t leaf_size = kDefaultLeafSize,
+                  bool parallel_build = true);
 
   /// The permuted dataset: node [begin, end) ranges index into this.
   const Dataset& data() const { return data_; }
@@ -73,8 +84,23 @@ class KdTree {
   }
 
  private:
-  index_t build_recursive(std::vector<index_t>& order, index_t begin, index_t end,
-                          index_t depth, index_t parent, const Dataset& input);
+  /// Fill node `node_index` (begin/end/depth/parent and its precomputed
+  /// `box`), then split and recurse. Children's preorder indices follow from
+  /// subtree sizes, and both child boxes are computed in one sweep right
+  /// after the split, so recursive calls -- possibly OpenMP tasks when
+  /// `depth < task_depth` -- write disjoint, pre-sized state.
+  void build_node(index_t node_index, index_t begin, index_t end, index_t depth,
+                  index_t parent, BBox box, int task_depth);
+
+  // Build-time inputs, only valid while the constructor runs; members so
+  // build tasks reach them through `this` instead of stack frames that may
+  // unwind before a task executes. `build_scratch_` holds (split-dim key,
+  // point index) pairs so nth_element runs over contiguous memory instead of
+  // gathering coordinates through the order array on every comparison; tasks
+  // share it safely because each works a disjoint [begin, end) range.
+  const Dataset* build_input_ = nullptr;
+  std::vector<index_t>* build_order_ = nullptr;
+  std::vector<std::pair<real_t, index_t>>* build_scratch_ = nullptr;
 
   Dataset data_;
   std::vector<index_t> perm_;

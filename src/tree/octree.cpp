@@ -4,6 +4,9 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "tree/build.h"
+#include "util/timer.h"
+
 namespace portal {
 namespace {
 
@@ -19,13 +22,14 @@ inline int octant_of(const Dataset& input, index_t p, const real_t center[3]) {
 } // namespace
 
 Octree::Octree(const Dataset& positions, const std::vector<real_t>& masses,
-               index_t leaf_size)
+               index_t leaf_size, bool parallel_build)
     : leaf_size_(leaf_size) {
   if (positions.dim() != 3)
     throw std::invalid_argument("Octree: positions must be 3-D");
   if (static_cast<index_t>(masses.size()) != positions.size())
     throw std::invalid_argument("Octree: masses/positions size mismatch");
   if (leaf_size <= 0) throw std::invalid_argument("Octree: leaf_size must be > 0");
+  Timer timer;
 
   const index_t n = positions.size();
   std::vector<index_t> order(n);
@@ -48,16 +52,23 @@ Octree::Octree(const Dataset& positions, const std::vector<real_t>& masses,
   if (n > 0) build_recursive(order, 0, n, center, half_width, 0, positions, masses);
 
   perm_ = std::move(order);
-  inv_perm_.resize(n);
-  for (index_t i = 0; i < n; ++i) inv_perm_[perm_[i]] = i;
+  detail::fill_inverse_perm(perm_, inv_perm_, parallel_build);
 
   positions_ = Dataset(n, 3, positions.layout());
+  detail::materialize_permuted(positions, perm_, positions_, parallel_build);
   masses_.resize(n);
-  for (index_t i = 0; i < n; ++i) {
-    masses_[i] = masses[perm_[i]];
-    for (index_t d = 0; d < 3; ++d)
-      positions_.coord(i, d) = positions.coord(perm_[i], d);
+#pragma omp parallel for schedule(static) if (parallel_build && n >= (1 << 15))
+  for (index_t i = 0; i < n; ++i) masses_[i] = masses[perm_[i]];
+
+  stats_.num_nodes = static_cast<index_t>(nodes_.size());
+  for (const OctreeNode& node : nodes_) {
+    if (node.is_leaf()) {
+      ++stats_.num_leaves;
+      stats_.max_leaf_count = std::max(stats_.max_leaf_count, node.count());
+    }
   }
+  stats_.height = height_;
+  stats_.build_seconds = timer.elapsed_s();
 }
 
 index_t Octree::build_recursive(std::vector<index_t>& order, index_t begin,

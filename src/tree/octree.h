@@ -32,11 +32,24 @@ struct OctreeNode {
   real_t side() const { return 2 * half_width; }
 };
 
+/// Structural summary plus build timing, mirroring KdTreeStats/BallTreeStats
+/// so benches report the build vs. traverse split uniformly across trees.
+struct OctreeStats {
+  index_t num_nodes = 0;
+  index_t num_leaves = 0;
+  index_t height = 0;
+  index_t max_leaf_count = 0;
+  double build_seconds = 0;
+};
+
 class Octree {
  public:
   /// positions must be 3-D; masses.size() must equal positions.size().
+  /// The octant recursion itself is serial (cell subdivision is already
+  /// cheap next to the kd-tree's median selection); `parallel_build` only
+  /// parallelizes the permuted positions/masses materialization.
   Octree(const Dataset& positions, const std::vector<real_t>& masses,
-         index_t leaf_size = 16);
+         index_t leaf_size = 16, bool parallel_build = true);
 
   const Dataset& positions() const { return positions_; }
   const std::vector<real_t>& masses() const { return masses_; }
@@ -47,6 +60,7 @@ class Octree {
   index_t root_index() const { return 0; }
   index_t num_nodes() const { return static_cast<index_t>(nodes_.size()); }
   index_t height() const { return height_; }
+  const OctreeStats& stats() const { return stats_; }
 
  private:
   index_t build_recursive(std::vector<index_t>& order, index_t begin, index_t end,
@@ -60,6 +74,7 @@ class Octree {
   std::vector<OctreeNode> nodes_;
   index_t leaf_size_ = 16;
   index_t height_ = 0;
+  OctreeStats stats_;
 };
 
 } // namespace portal

@@ -10,6 +10,8 @@ void set_num_threads(int n) {
   if (n > 0) omp_set_num_threads(n);
 }
 
+bool in_parallel_region() { return omp_in_parallel() != 0; }
+
 int task_spawn_depth(int threads) {
   if (threads <= 1) return 0;
   int depth = 0;

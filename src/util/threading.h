@@ -17,4 +17,14 @@ void set_num_threads(int n);
 /// roughly 4x as many tasks as threads for load balance.
 int task_spawn_depth(int threads);
 
+/// True when called from inside an active OpenMP parallel region. Tree
+/// constructors use this to avoid opening a nested region (which OpenMP
+/// would serialize anyway) when a caller already parallelized around them.
+bool in_parallel_region();
+
+/// Smallest subrange worth a build task: below this, nth_element and the
+/// box pass finish faster than task bookkeeping, so the divide-and-conquer
+/// tree builds recurse inline.
+inline constexpr index_t kMinParallelBuildCount = 4096;
+
 } // namespace portal

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <vector>
 
 #include "kernels/fastmath.h"
@@ -50,6 +51,55 @@ TEST(FastMath, PowIntExactForSmallExponents) {
   EXPECT_DOUBLE_EQ(pow_int(3.0, 3), 27.0);
   EXPECT_DOUBLE_EQ(pow_int(2.0, 10), 1024.0);
   EXPECT_DOUBLE_EQ(pow_int(-2.0, 3), -8.0);
+}
+
+TEST(FastMath, PowIntNegativeExponents) {
+  // Regression: pow_int used to return 1 for every negative exponent because
+  // the square-and-multiply loop guard `n > 0` was false on entry.
+  EXPECT_DOUBLE_EQ(pow_int(2.0, -1), 0.5);
+  EXPECT_DOUBLE_EQ(pow_int(2.0, -2), 0.25);
+  EXPECT_DOUBLE_EQ(pow_int(2.0, -3), 0.125);
+  EXPECT_DOUBLE_EQ(pow_int(-2.0, -3), -0.125);
+  EXPECT_DOUBLE_EQ(pow_int(10.0, -2), 0.01);
+  EXPECT_DOUBLE_EQ(pow_int(0.5, -3), 8.0);
+  // The full n in {-3..3} sweep against std::pow.
+  for (int n = -3; n <= 3; ++n) {
+    EXPECT_DOUBLE_EQ(pow_int(1.5, n), std::pow(1.5, n)) << "n=" << n;
+    EXPECT_DOUBLE_EQ(pow_int(-1.5, n), std::pow(-1.5, n)) << "n=" << n;
+  }
+}
+
+TEST(FastMath, InvSqrtEdgeCasesDouble) {
+  // Regression: the bit-trick produced garbage (not NaN) for x < 0, and the
+  // Newton step overflowed for denormal inputs. The contract now matches
+  // hardware rsqrt: NaN for negatives, +inf for zero and denormals (flush-
+  // to-zero semantics), 0 for +inf, and NaN propagates.
+  EXPECT_TRUE(std::isnan(fast_inv_sqrt(-1.0)));
+  EXPECT_TRUE(std::isnan(fast_inv_sqrt(-0.25)));
+  EXPECT_TRUE(std::isnan(fast_inv_sqrt(-std::numeric_limits<double>::infinity())));
+  EXPECT_TRUE(std::isnan(fast_inv_sqrt(std::numeric_limits<double>::quiet_NaN())));
+  EXPECT_EQ(fast_inv_sqrt(0.0), std::numeric_limits<double>::infinity());
+  EXPECT_EQ(fast_inv_sqrt(std::numeric_limits<double>::denorm_min()),
+            std::numeric_limits<double>::infinity());
+  EXPECT_EQ(fast_inv_sqrt(0.5 * std::numeric_limits<double>::min()),
+            std::numeric_limits<double>::infinity());
+  EXPECT_EQ(fast_inv_sqrt(std::numeric_limits<double>::infinity()), 0.0);
+  // Smallest normal still goes through the approximation path.
+  const double tiny = std::numeric_limits<double>::min();
+  EXPECT_NEAR(fast_inv_sqrt(tiny) / (1.0 / std::sqrt(tiny)), 1.0, 2e-3);
+}
+
+TEST(FastMath, InvSqrtEdgeCasesFloat) {
+  EXPECT_TRUE(std::isnan(fast_inv_sqrt(-1.0f)));
+  EXPECT_TRUE(std::isnan(fast_inv_sqrt(-std::numeric_limits<float>::infinity())));
+  EXPECT_TRUE(std::isnan(fast_inv_sqrt(std::numeric_limits<float>::quiet_NaN())));
+  EXPECT_EQ(fast_inv_sqrt(0.0f), std::numeric_limits<float>::infinity());
+  EXPECT_EQ(fast_inv_sqrt(std::numeric_limits<float>::denorm_min()),
+            std::numeric_limits<float>::infinity());
+  EXPECT_EQ(fast_inv_sqrt(std::numeric_limits<float>::infinity()), 0.0f);
+  const float tiny = std::numeric_limits<float>::min();
+  EXPECT_NEAR(fast_inv_sqrt(tiny) * std::sqrt(tiny), 1.0f, 2e-3f);
+  EXPECT_NEAR(fast_inv_sqrt(4.0f), 0.5f, 2e-3f);
 }
 
 TEST(Metrics, KnownValues) {

@@ -87,6 +87,57 @@ TEST(DualTraverse, ParallelMatchesSerialCoverage) {
   EXPECT_EQ(serial_rules.point_pairs.load(), parallel_rules.point_pairs.load());
 }
 
+/// Non-adaptive rule set: pruning depends only on node geometry (a fixed
+/// distance threshold), never on accumulated results, so the set of visited
+/// pairs -- and therefore every TraversalStats counter -- is independent of
+/// traversal order and thread interleaving.
+struct FixedThresholdRules {
+  const KdTree* qtree = nullptr;
+  const KdTree* rtree = nullptr;
+  real_t sq_threshold = 0;
+
+  bool prune_or_approx(index_t q, index_t r) {
+    return qtree->node(q).box.min_sq_dist(rtree->node(r).box) > sq_threshold;
+  }
+  real_t score(index_t q, index_t r) {
+    return qtree->node(q).box.min_sq_dist(rtree->node(r).box);
+  }
+  void base_case(index_t, index_t) {}
+};
+
+TEST(DualTraverse, ParallelMatchesSerialStatsExactly) {
+  // The per-task/per-thread stats counters must merge to EXACTLY the serial
+  // totals (not approximately -- the merge is associative integer addition
+  // and the visited set is order-independent for a non-adaptive rule set).
+  const Dataset qdata = make_gaussian_mixture(600, 3, 3, 11);
+  const Dataset rdata = make_gaussian_mixture(800, 3, 3, 12);
+  const KdTree qtree(qdata, 8);
+  const KdTree rtree(rdata, 8);
+
+  FixedThresholdRules serial_rules{&qtree, &rtree, real_t(0.25)};
+  TraversalOptions serial_opt;
+  serial_opt.parallel = false;
+  const TraversalStats serial = dual_traverse(qtree, rtree, serial_rules, serial_opt);
+  // The threshold must actually bite for this to be a meaningful check.
+  EXPECT_GT(serial.prunes, 0u);
+  EXPECT_GT(serial.base_cases, 0u);
+
+  set_num_threads(4);
+  for (int task_depth : {1, 3, 6}) {
+    FixedThresholdRules parallel_rules{&qtree, &rtree, real_t(0.25)};
+    TraversalOptions parallel_opt;
+    parallel_opt.parallel = true;
+    parallel_opt.task_depth = task_depth;
+    const TraversalStats parallel =
+        dual_traverse(qtree, rtree, parallel_rules, parallel_opt);
+    EXPECT_EQ(serial.pairs_visited, parallel.pairs_visited)
+        << "task_depth=" << task_depth;
+    EXPECT_EQ(serial.prunes, parallel.prunes) << "task_depth=" << task_depth;
+    EXPECT_EQ(serial.base_cases, parallel.base_cases)
+        << "task_depth=" << task_depth;
+  }
+}
+
 /// Rule set that prunes everything: Algorithm 1 line 1-2 short-circuit.
 struct PruneAllRules {
   bool prune_or_approx(index_t, index_t) { return true; }

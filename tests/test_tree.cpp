@@ -8,10 +8,12 @@
 #include <vector>
 
 #include "data/generators.h"
+#include "tree/balltree.h"
 #include "tree/bbox.h"
 #include "tree/kdtree.h"
 #include "tree/octree.h"
 #include "util/rng.h"
+#include "util/threading.h"
 
 namespace portal {
 namespace {
@@ -194,6 +196,94 @@ TEST(KdTree, DepthIsLogarithmic) {
   const KdTree tree(data, 16);
   // Median splits: height <= ceil(log2(n / leaf)) + 1 ~ 11.
   EXPECT_LE(tree.stats().height, 13);
+}
+
+// ---------------------------------------------------------------------------
+// Parallel build determinism: the task-parallel build must produce a tree
+// bit-for-bit identical to the serial build (node indices are preorder
+// positions computed from subtree sizes alone; nth_element runs on identical
+// subrange contents either way).
+
+void ExpectIdenticalKdTrees(const KdTree& serial, const KdTree& parallel) {
+  ASSERT_EQ(serial.num_nodes(), parallel.num_nodes());
+  EXPECT_EQ(serial.perm(), parallel.perm());
+  EXPECT_EQ(serial.inverse_perm(), parallel.inverse_perm());
+  for (index_t i = 0; i < serial.num_nodes(); ++i) {
+    const KdNode& a = serial.node(i);
+    const KdNode& b = parallel.node(i);
+    EXPECT_EQ(a.begin, b.begin) << "node " << i;
+    EXPECT_EQ(a.end, b.end) << "node " << i;
+    EXPECT_EQ(a.left, b.left) << "node " << i;
+    EXPECT_EQ(a.right, b.right) << "node " << i;
+    EXPECT_EQ(a.parent, b.parent) << "node " << i;
+    EXPECT_EQ(a.depth, b.depth) << "node " << i;
+    for (index_t d = 0; d < a.box.dim(); ++d) {
+      EXPECT_EQ(a.box.lo(d), b.box.lo(d)) << "node " << i << " dim " << d;
+      EXPECT_EQ(a.box.hi(d), b.box.hi(d)) << "node " << i << " dim " << d;
+    }
+  }
+  EXPECT_EQ(serial.stats().num_nodes, parallel.stats().num_nodes);
+  EXPECT_EQ(serial.stats().num_leaves, parallel.stats().num_leaves);
+  EXPECT_EQ(serial.stats().height, parallel.stats().height);
+  EXPECT_EQ(serial.stats().max_leaf_count, parallel.stats().max_leaf_count);
+}
+
+TEST(KdTreeParallelBuild, DegenerateInputsMatchSerial) {
+  set_num_threads(4); // the task path needs >1 configured threads
+  // All-duplicate points (nth_element on all-equal keys), large enough that
+  // the parallel path actually spawns tasks.
+  {
+    std::vector<std::vector<real_t>> points(20000, {1.0, 2.0, 3.0});
+    const Dataset data = Dataset::from_points(points);
+    const KdTree serial(data, 8, /*parallel_build=*/false);
+    const KdTree parallel(data, 8, /*parallel_build=*/true);
+    ExpectIdenticalKdTrees(serial, parallel);
+  }
+  // n < leaf_size: single leaf either way.
+  {
+    const Dataset data = make_uniform(5, 3, 21);
+    const KdTree serial(data, 8, false);
+    const KdTree parallel(data, 8, true);
+    ASSERT_EQ(parallel.num_nodes(), 1);
+    EXPECT_TRUE(parallel.root().is_leaf());
+    ExpectIdenticalKdTrees(serial, parallel);
+  }
+  // n = 0: empty tree, no nodes, no crash.
+  {
+    const Dataset data(0, 3);
+    const KdTree serial(data, 8, false);
+    const KdTree parallel(data, 8, true);
+    EXPECT_EQ(parallel.num_nodes(), 0);
+    EXPECT_TRUE(parallel.perm().empty());
+    ExpectIdenticalKdTrees(serial, parallel);
+  }
+}
+
+TEST(KdTreeParallelBuild, LargeRandomMatchesSerial) {
+  set_num_threads(4);
+  const Dataset data = make_gaussian_mixture(20000, 3, 4, 33);
+  const KdTree serial(data, 16, false);
+  const KdTree parallel(data, 16, true);
+  ExpectIdenticalKdTrees(serial, parallel);
+}
+
+TEST(BallTreeParallelBuild, MatchesSerial) {
+  set_num_threads(4);
+  const Dataset data = make_gaussian_mixture(20000, 3, 4, 34);
+  const BallTree serial(data, 16, false);
+  const BallTree parallel(data, 16, true);
+  ASSERT_EQ(serial.num_nodes(), parallel.num_nodes());
+  EXPECT_EQ(serial.perm(), parallel.perm());
+  for (index_t i = 0; i < serial.num_nodes(); ++i) {
+    const BallNode& a = serial.node(i);
+    const BallNode& b = parallel.node(i);
+    EXPECT_EQ(a.begin, b.begin) << "node " << i;
+    EXPECT_EQ(a.left, b.left) << "node " << i;
+    EXPECT_EQ(a.right, b.right) << "node " << i;
+    EXPECT_EQ(a.box.radius(), b.box.radius()) << "node " << i;
+    for (index_t d = 0; d < a.box.dim(); ++d)
+      EXPECT_EQ(a.box.center(d), b.box.center(d)) << "node " << i;
+  }
 }
 
 // ---------------------------------------------------------------------------
