@@ -37,7 +37,7 @@ int main() {
       knn.parallel = threads > 1;
       knn.task_depth = depth;
       const double knn_s =
-          time_best([&] { knn_expert(data, data, knn); }, 2);
+          time_best("bench/knn_expert", [&] { knn_expert(data, data, knn); }, 2);
       print_row({"k-NN", std::to_string(threads), std::to_string(depth),
                  fmt(knn_s)});
     }
@@ -46,7 +46,7 @@ int main() {
     kde.tau = 1e-3;
     kde.parallel = threads > 1;
     const double kde_s =
-        time_best([&] { kde_expert(data, data, kde); }, 2);
+        time_best("bench/kde_expert", [&] { kde_expert(data, data, kde); }, 2);
     print_row({"KDE", std::to_string(threads), "auto", fmt(kde_s)});
   }
   set_num_threads(hw_threads);
@@ -61,12 +61,13 @@ int main() {
       if (threads > 2 * hw_threads && threads > 4) break;
       set_num_threads(threads);
       const bool parallel = threads > 1;
-      const double kd_s =
-          time_best([&] { KdTree t(pts, kDefaultLeafSize, parallel); }, 3);
+      const double kd_s = time_best(
+          "bench/kd_build", [&] { KdTree t(pts, kDefaultLeafSize, parallel); }, 3);
       print_row({"kd", std::to_string(scaled), std::to_string(threads),
                  fmt(kd_s)});
-      const double ball_s =
-          time_best([&] { BallTree t(pts, kDefaultLeafSize, parallel); }, 3);
+      const double ball_s = time_best(
+          "bench/ball_build", [&] { BallTree t(pts, kDefaultLeafSize, parallel); },
+          3);
       print_row({"ball", std::to_string(scaled), std::to_string(threads),
                  fmt(ball_s)});
     }

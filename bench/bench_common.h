@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "data/table2.h"
+#include "obs/trace.h"
 #include "util/timer.h"
 
 namespace portal::bench {
@@ -24,11 +25,36 @@ inline double time_once(const std::function<void()>& fn) {
   return timer.elapsed_s();
 }
 
+/// Labeled flavor: the measured span also lands in the session trace (under
+/// "bench/<label>") when tracing is on, so a PORTAL_TRACE run of a bench
+/// yields a Chrome timeline of its measured sections for free.
+inline double time_once(const char* label, const std::function<void()>& fn) {
+  obs::ScopedTimer scope(obs::enabled() ? obs::intern_timer(label)
+                                        : obs::MetricId(0));
+  Timer timer;
+  fn();
+  const double elapsed = timer.elapsed_s();
+  scope.stop();
+  return elapsed;
+}
+
 /// Best of `reps` runs (used for the shorter ablation measurements).
 inline double time_best(const std::function<void()>& fn, int reps = 3) {
   double best = 1e300;
   for (int i = 0; i < reps; ++i) {
     const double t = time_once(fn);
+    if (t < best) best = t;
+  }
+  return best;
+}
+
+/// Labeled best-of: every rep is traced; the returned number is still the
+/// minimum wall-clock.
+inline double time_best(const char* label, const std::function<void()>& fn,
+                        int reps = 3) {
+  double best = 1e300;
+  for (int i = 0; i < reps; ++i) {
+    const double t = time_once(label, fn);
     if (t < best) best = t;
   }
   return best;

@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Trace-overhead smoke check: runs bench_ablation_parallel with tracing off
+# and with PORTAL_TRACE=1, best-of-N wall clock each, and fails if the traced
+# run exceeds the budget (default 2%) plus a small absolute epsilon that
+# absorbs scheduler noise at smoke scale.
+#
+# Usage: scripts/check_trace_overhead.sh [path-to-bench] [scale] [reps]
+# Env:   PORTAL_OVERHEAD_BUDGET_PCT (default 2)
+#        PORTAL_OVERHEAD_EPSILON_MS (default 150)
+set -euo pipefail
+
+BENCH="${1:-build/bench/bench_ablation_parallel}"
+SCALE="${2:-0.05}"
+REPS="${3:-5}"
+BUDGET_PCT="${PORTAL_OVERHEAD_BUDGET_PCT:-2}"
+EPSILON_MS="${PORTAL_OVERHEAD_EPSILON_MS:-150}"
+
+if [[ ! -x "$BENCH" ]]; then
+  echo "error: bench binary not found or not executable: $BENCH" >&2
+  exit 2
+fi
+
+# Best-of-REPS wall time in nanoseconds for the given environment overrides.
+best_ns() {
+  local best=""
+  for _ in $(seq "$REPS"); do
+    local start end elapsed
+    start=$(date +%s%N)
+    env PORTAL_BENCH_SCALE="$SCALE" "$@" "$BENCH" > /dev/null
+    end=$(date +%s%N)
+    elapsed=$((end - start))
+    if [[ -z "$best" || "$elapsed" -lt "$best" ]]; then best=$elapsed; fi
+  done
+  echo "$best"
+}
+
+# Warm-up run so first-touch costs (page cache, CPU governor) hit neither mode.
+env PORTAL_BENCH_SCALE="$SCALE" "$BENCH" > /dev/null
+
+off_ns=$(best_ns)
+on_ns=$(best_ns PORTAL_TRACE=1)
+
+# allowed = off * (1 + budget/100) + epsilon
+allowed_ns=$((off_ns + off_ns * BUDGET_PCT / 100 + EPSILON_MS * 1000000))
+
+printf 'tracing off : %d.%03d s (best of %s)\n' \
+  $((off_ns / 1000000000)) $((off_ns / 1000000 % 1000)) "$REPS"
+printf 'tracing on  : %d.%03d s (best of %s)\n' \
+  $((on_ns / 1000000000)) $((on_ns / 1000000 % 1000)) "$REPS"
+printf 'budget      : %s%% + %s ms => %d.%03d s allowed\n' \
+  "$BUDGET_PCT" "$EPSILON_MS" \
+  $((allowed_ns / 1000000000)) $((allowed_ns / 1000000 % 1000))
+
+if [[ "$on_ns" -gt "$allowed_ns" ]]; then
+  echo "FAIL: traced run exceeds the ${BUDGET_PCT}% overhead budget" >&2
+  exit 1
+fi
+echo "OK: trace overhead within budget"

@@ -13,6 +13,7 @@
 
 #include "core/verify/verify.h"
 #include "kernels/linalg.h"
+#include "obs/trace.h"
 #include "util/log.h"
 
 namespace portal {
@@ -244,6 +245,7 @@ std::unique_ptr<JitModule> JitModule::compile(const ProblemPlan& plan) {
     return nullptr;
   if (plan.kernel.is_gravity) return nullptr; // pattern-backend shape
 
+  PORTAL_OBS_SCOPE(compile_scope, "jit/compile");
   static std::atomic<int> counter{0};
   const int id = counter.fetch_add(1);
   const std::string base =
@@ -285,6 +287,7 @@ std::unique_ptr<JitModule> JitModule::compile(const ProblemPlan& plan) {
 
   std::remove(cpp_path.c_str());
   std::remove(log_path.c_str());
+  PORTAL_OBS_COUNT("jit/modules_compiled", 1);
   PORTAL_LOG_INFO("jit: compiled kernel module %s", so_path.c_str());
   return module;
 }
@@ -299,6 +302,7 @@ EvaluatorFns JitModule::evaluators() const {
   const KernelFn kernel = kernel_;
   fns.kernel_pair = [kernel](const real_t* q, const real_t* r, index_t dim,
                              real_t* scratch) {
+    PORTAL_OBS_COUNT("jit/kernel_evals", 1);
     return kernel(q, r, static_cast<long>(dim), scratch);
   };
   if (envelope_ != nullptr) {

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "core/verify/verify.h"
+#include "obs/trace.h"
 #include "problems/barneshut.h"
 #include "problems/kde.h"
 #include "problems/knn.h"
@@ -98,6 +99,9 @@ PatternDispatch try_pattern_execute(const ProblemPlan& plan,
   dispatch.name = recognize_pattern(plan, config);
   if (dispatch.name.empty()) return dispatch;
   dispatch.recognized = true;
+  PORTAL_OBS_COUNT("pattern/dispatches", 1);
+  if (obs::enabled()) obs::instant_event("pattern/" + dispatch.name);
+  PORTAL_OBS_SCOPE(pattern_scope, "pattern/execute");
   // Light verified-IR precondition: recognition matched on the kernel IR, so
   // it must at least be structurally sound before a specialized kernel runs.
   if (plan.kernel.kernel_ir)

@@ -8,6 +8,7 @@
 #include "core/verify/verify.h"
 #include "kernels/fastmath.h"
 #include "kernels/linalg.h"
+#include "obs/trace.h"
 
 namespace portal {
 
@@ -16,6 +17,7 @@ VmProgram VmProgram::compile(const IrExprPtr& expr) {
   // trees (arity, payloads, no Temp plumbing) and reports violations with
   // the PTL-E codes instead of crashing mid-emit.
   verify_executable_expr(expr, "vm");
+  PORTAL_OBS_COUNT("vm/programs_compiled", 1);
   VmProgram program;
   program.emit(expr);
   return program;
@@ -127,6 +129,7 @@ void VmProgram::emit(const IrExprPtr& e) {
 }
 
 real_t VmProgram::run(const VmContext& ctx) const {
+  PORTAL_OBS_COUNT("vm/kernel_evals", 1);
   real_t stack[64];
   int sp = 0;
   struct DimFrame {

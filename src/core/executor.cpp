@@ -7,6 +7,7 @@
 
 #include <omp.h>
 
+#include "obs/trace.h"
 #include "problems/common.h"
 #include "traversal/multitree.h"
 #include "util/log.h"
@@ -366,6 +367,7 @@ class GenericRules {
   bool qi_is_self(index_t, index_t) const { return false; }
 
   void bulk_accept(const KdNode& qnode, const KdNode& rnode) {
+    PORTAL_OBS_COUNT("rules/bulk_accepts", 1);
     // Indicator kernel value is exactly 1 across the accepted pair.
     for (index_t qi = qnode.begin; qi < qnode.end; ++qi) {
       if (traits_.is_sum) {
@@ -385,6 +387,7 @@ class GenericRules {
   }
 
   void apply_approx(const KdNode& qnode, const KdNode& rnode) {
+    PORTAL_OBS_COUNT("rules/approximations", 1);
     Workspace& ws = workspaces_[omp_get_thread_num()];
     // Center-to-center distance in the metric's natural space.
     const index_t dim = qtree_.data().dim();
@@ -593,23 +596,27 @@ ExecutionResult execute_generic(const ProblemPlan& plan, const PortalConfig& con
 
   ExecutionResult result;
   Timer timer;
+  PORTAL_OBS_SCOPE(tree_scope, "executor/tree_build");
   TreeCache local_cache;
   TreeCache* trees = cache != nullptr ? cache : &local_cache;
   const auto qtree = trees->get(outer.storage, config.leaf_size);
   const auto rtree = outer.storage.identity() == inner.storage.identity()
                          ? qtree
                          : trees->get(inner.storage, config.leaf_size);
+  tree_scope.stop();
   result.tree_seconds = timer.elapsed_s();
 
   QueryState state;
   state.init(inner_traits(inner.op), outer.storage.size(), inner.storage.size());
 
   timer.reset();
+  PORTAL_OBS_SCOPE(traverse_scope, "executor/traversal");
   GenericRules rules(plan, config, eval, *qtree, *rtree, state);
   TraversalOptions topt;
   topt.parallel = config.parallel;
   topt.task_depth = config.task_depth;
   result.stats = dual_traverse(*qtree, *rtree, rules, topt);
+  traverse_scope.stop();
   result.traversal_seconds = timer.elapsed_s();
 
   result.output = finalize(plan, state, &qtree->perm(), &rtree->perm());
@@ -635,6 +642,7 @@ ExecutionResult execute_bruteforce(const ProblemPlan& plan,
   const bool identity_env = plan.kernel.shape == EnvelopeShape::Identity;
   const std::vector<index_t>* labels = config.exclude_same_label;
 
+  PORTAL_OBS_SCOPE(brute_scope, "executor/bruteforce");
   Timer timer;
 #pragma omp parallel if (config.parallel)
   {

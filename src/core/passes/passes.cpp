@@ -4,6 +4,7 @@
 #include <set>
 
 #include "kernels/linalg.h"
+#include "obs/trace.h"
 #include "util/log.h"
 
 namespace portal {
@@ -187,6 +188,7 @@ IrStmtPtr dce_pass(const IrStmtPtr& root) {
 
 IrProgram PassManager::run(const IrProgram& input, const IrVerifyContext& vc,
                            CompileArtifacts* artifacts) {
+  PORTAL_OBS_SCOPE(pipeline_scope, "compile/passes");
   IrProgram program = input;
   std::string trace;
 
@@ -198,6 +200,7 @@ IrProgram PassManager::run(const IrProgram& input, const IrVerifyContext& vc,
   stage_vc.check_strides = false;
   const auto verify_stage = [&](const char* stage) {
     if (!verify_each_) return;
+    PORTAL_OBS_SCOPE(verify_scope, "verify/pass-sandwich");
     DiagnosticEngine diags = verify_program(program, stage_vc);
     if (artifacts != nullptr) {
       artifacts->verify_report += std::string("verify ") + stage + ": " +
@@ -217,6 +220,12 @@ IrProgram PassManager::run(const IrProgram& input, const IrVerifyContext& vc,
 
   const auto apply = [&](const char* name,
                          const std::function<IrExprPtr(const IrExprPtr&)>& fn) {
+    // Per-pass wall time + IR node in/out counters. Dynamic interning is fine
+    // here: passes run once per compile, not per point pair.
+    const bool traced = obs::enabled();
+    obs::ScopedTimer pass_scope(
+        traced ? obs::intern_timer((std::string("pass/") + name).c_str())
+               : obs::MetricId(0));
     index_t nodes_before = 0, nodes_after = 0;
     const auto count_program = [&](const IrProgram& p) {
       index_t total = 0;
@@ -235,6 +244,13 @@ IrProgram PassManager::run(const IrProgram& input, const IrVerifyContext& vc,
     program.prune_approx = ir_stmt_rewrite(program.prune_approx, fn);
     program.compute_approx = ir_stmt_rewrite(program.compute_approx, fn);
     nodes_after = count_program(program);
+    if (traced) {
+      const std::string prefix = std::string("pass/") + name;
+      obs::counter_add(obs::intern_counter((prefix + "/ir_nodes_in").c_str()),
+                       static_cast<std::uint64_t>(nodes_before));
+      obs::counter_add(obs::intern_counter((prefix + "/ir_nodes_out").c_str()),
+                       static_cast<std::uint64_t>(nodes_after));
+    }
     trace += std::string(name) + ": " + std::to_string(nodes_before) + " -> " +
              std::to_string(nodes_after) + " IR nodes\n";
     if (dump_ && artifacts != nullptr)
@@ -264,9 +280,12 @@ IrProgram PassManager::run(const IrProgram& input, const IrVerifyContext& vc,
 
   // Statement-level DCE (Sec. IV-F): the expression passes above can orphan
   // temp assignments (a fully folded condition no longer reads t).
-  program.base_case = dce_pass(program.base_case);
-  program.prune_approx = dce_pass(program.prune_approx);
-  program.compute_approx = dce_pass(program.compute_approx);
+  {
+    PORTAL_OBS_SCOPE(dce_scope, "pass/dead-code-elimination");
+    program.base_case = dce_pass(program.base_case);
+    program.prune_approx = dce_pass(program.prune_approx);
+    program.compute_approx = dce_pass(program.compute_approx);
+  }
   trace += "dead-code-elimination\n";
   if (dump_ && artifacts != nullptr)
     artifacts->stages.emplace_back("dead-code-elimination",

@@ -9,6 +9,7 @@
 #include "core/codegen/vm.h"
 #include "core/passes/lowering.h"
 #include "core/passes/passes.h"
+#include "obs/trace.h"
 #include "util/log.h"
 #include "util/timer.h"
 
@@ -95,6 +96,7 @@ const ProblemPlan& PortalExpr::plan() const {
 
 void PortalExpr::compile_if_needed() {
   if (compiled_) return;
+  PORTAL_OBS_SCOPE(compile_scope, "compile/total");
   Timer timer;
   artifacts_ = CompileArtifacts{};
 
@@ -161,6 +163,7 @@ void PortalExpr::execute(const PortalConfig& config) {
 }
 
 void PortalExpr::execute() {
+  PORTAL_OBS_SCOPE(execute_scope, "execute/total");
   // leaf_size == 0: auto-tune on a subsample (paper Sec. V-B's empirical
   // leaf-size tuning as a feature).
   bool tuned_leaf = false;
@@ -236,6 +239,8 @@ void PortalExpr::execute() {
   artifacts_.traversal_seconds = result.traversal_seconds;
   stats_ = result.stats;
   output_ = Storage(result.output);
+  if (obs::enabled())
+    obs::instant_event("engine/" + artifacts_.chosen_engine);
 
   // Validation mode: run the generated brute-force program and compare
   // (approximation problems validate within the tau-derived bound instead).

@@ -1,6 +1,7 @@
 #include "core/tuner.h"
 
 #include "core/portal_expr.h"
+#include "obs/trace.h"
 #include "util/log.h"
 #include "util/timer.h"
 
@@ -53,12 +54,18 @@ TuneReport tune_leaf_size(const std::vector<LayerSpec>& layers,
   probe_config.dump_ir = false;
   probe_config.exclude_same_label = nullptr;
 
+  PORTAL_OBS_SCOPE(tune_scope, "tuner/leaf_size");
   double best_time = 1e300;
   report.best_leaf_size = candidates.front();
   for (const index_t leaf : candidates) {
     probe_config.leaf_size = leaf;
     PortalExpr expr;
     for (const LayerSpec& layer : probe_layers) expr.addLayerSpec(layer);
+    const bool traced = obs::enabled();
+    obs::ScopedTimer probe_scope(
+        traced ? obs::intern_timer(
+                     ("tuner/probe/leaf=" + std::to_string(leaf)).c_str())
+               : obs::MetricId(0));
     Timer timer;
     try {
       expr.execute(probe_config);
@@ -68,12 +75,16 @@ TuneReport tune_leaf_size(const std::vector<LayerSpec>& layers,
       continue;
     }
     const double elapsed = timer.elapsed_s();
+    PORTAL_OBS_COUNT("tuner/probes", 1);
     report.probes.emplace_back(leaf, elapsed);
     if (elapsed < best_time) {
       best_time = elapsed;
       report.best_leaf_size = leaf;
     }
   }
+  if (obs::enabled())
+    obs::instant_event("tuner/picked_leaf=" +
+                       std::to_string(report.best_leaf_size));
   PORTAL_LOG_INFO("leaf-size tuner picked %lld",
                   static_cast<long long>(report.best_leaf_size));
   return report;

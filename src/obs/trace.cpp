@@ -1,0 +1,353 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+
+namespace portal::obs {
+namespace {
+
+using clock = std::chrono::steady_clock;
+
+/// Per-thread metric storage. The whole block is owned by the registry (a
+/// thread caches a raw pointer in TLS), so slots survive thread exit and
+/// collect() can walk them without lifetime games. alignas keeps neighboring
+/// threads' hot words on distinct cachelines.
+struct alignas(64) ThreadSlot {
+  std::uint64_t counters[kMaxMetrics] = {};
+  struct TimerAgg {
+    std::uint64_t count = 0;
+    std::uint64_t total_ns = 0;
+    std::uint64_t min_ns = std::numeric_limits<std::uint64_t>::max();
+    std::uint64_t max_ns = 0;
+  };
+  TimerAgg timers[kMaxMetrics] = {};
+  std::vector<TraceEvent> events;
+  int tid = 0;
+};
+
+struct Registry {
+  std::mutex mutex;
+  std::map<std::string, MetricId> counter_ids;
+  std::vector<std::string> counter_names;
+  std::map<std::string, MetricId> timer_ids;
+  std::vector<std::string> timer_names;
+  std::vector<std::unique_ptr<ThreadSlot>> slots;
+  std::vector<TraceEvent> instants; // cold, mutex-protected
+  clock::time_point epoch = clock::now();
+  int next_tid = 0;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry(); // leaked: outlives atexit writers
+  return *r;
+}
+
+std::atomic<bool> g_enabled{false};
+
+/// Parse PORTAL_TRACE once. Returns the trace output path ("" when the value
+/// is a bare on/off switch).
+std::string init_from_env() {
+  const char* env = std::getenv("PORTAL_TRACE");
+  if (env == nullptr || *env == '\0') return {};
+  if (std::strcmp(env, "0") == 0 || std::strcmp(env, "off") == 0) return {};
+  g_enabled.store(true, std::memory_order_relaxed);
+  if (std::strcmp(env, "1") == 0 || std::strcmp(env, "on") == 0) return {};
+  return env;
+}
+
+const std::string& env_path_storage() {
+  static const std::string path = init_from_env();
+  return path;
+}
+
+/// Ensure env parsing runs before main() so enabled() is settled early and
+/// an env-specified path gets its atexit dump registered.
+struct EnvInit {
+  EnvInit() {
+    const std::string& path = env_path_storage();
+    if (!path.empty())
+      std::atexit(+[] { write_chrome_trace(env_path_storage()); });
+  }
+} g_env_init;
+
+ThreadSlot& local_slot() {
+  thread_local ThreadSlot* slot = [] {
+    Registry& reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    reg.slots.push_back(std::make_unique<ThreadSlot>());
+    reg.slots.back()->tid = reg.next_tid++;
+    return reg.slots.back().get();
+  }();
+  return *slot;
+}
+
+MetricId intern(std::map<std::string, MetricId>& ids,
+                std::vector<std::string>& names, const char* name) {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  const auto it = ids.find(name);
+  if (it != ids.end()) return it->second;
+  if (names.size() >= kMaxMetrics - 1) {
+    // Clamp to the shared overflow slot registered below.
+    const auto overflow = ids.find("obs/overflow");
+    if (overflow != ids.end()) return overflow->second;
+    names.emplace_back("obs/overflow");
+    const MetricId id = static_cast<MetricId>(names.size() - 1);
+    ids.emplace("obs/overflow", id);
+    return id;
+  }
+  names.emplace_back(name);
+  const MetricId id = static_cast<MetricId>(names.size() - 1);
+  ids.emplace(name, id);
+  return id;
+}
+
+void append_json_string(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+} // namespace
+
+bool enabled() noexcept { return g_enabled.load(std::memory_order_relaxed); }
+
+void set_enabled(bool on) noexcept {
+  g_enabled.store(on, std::memory_order_relaxed);
+}
+
+const std::string& env_trace_path() { return env_path_storage(); }
+
+MetricId intern_counter(const char* name) {
+  Registry& reg = registry();
+  return intern(reg.counter_ids, reg.counter_names, name);
+}
+
+MetricId intern_timer(const char* name) {
+  Registry& reg = registry();
+  return intern(reg.timer_ids, reg.timer_names, name);
+}
+
+void counter_add(MetricId id, std::uint64_t delta) noexcept {
+  if (id >= kMaxMetrics) return;
+  local_slot().counters[id] += delta;
+}
+
+double now_us() noexcept {
+  return std::chrono::duration<double, std::micro>(clock::now() -
+                                                   registry().epoch)
+      .count();
+}
+
+void timer_record(MetricId id, double start_us, std::uint64_t dur_ns) {
+  if (id >= kMaxMetrics) return;
+  ThreadSlot& slot = local_slot();
+  ThreadSlot::TimerAgg& agg = slot.timers[id];
+  ++agg.count;
+  agg.total_ns += dur_ns;
+  agg.min_ns = std::min(agg.min_ns, dur_ns);
+  agg.max_ns = std::max(agg.max_ns, dur_ns);
+
+  TraceEvent event;
+  {
+    Registry& reg = registry();
+    // Name lookup is cold relative to the span itself; the lock also guards
+    // against a concurrent intern growing the name vector.
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    event.name = reg.timer_names[id];
+  }
+  event.phase = 'X';
+  event.ts_us = start_us;
+  event.dur_us = static_cast<double>(dur_ns) / 1e3;
+  event.tid = slot.tid;
+  slot.events.push_back(std::move(event));
+}
+
+void instant_event(const std::string& name) {
+  if (!enabled()) return;
+  TraceEvent event;
+  event.name = name;
+  event.phase = 'i';
+  event.ts_us = now_us();
+  event.tid = local_slot().tid;
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  reg.instants.push_back(std::move(event));
+}
+
+std::uint64_t TraceReport::counter(const std::string& name) const {
+  for (const CounterStat& c : counters)
+    if (c.name == name) return c.value;
+  return 0;
+}
+
+double TraceReport::timer_seconds(const std::string& name) const {
+  for (const TimerStat& t : timers)
+    if (t.name == name) return static_cast<double>(t.total_ns) / 1e9;
+  return 0;
+}
+
+std::uint64_t TraceReport::timer_count(const std::string& name) const {
+  for (const TimerStat& t : timers)
+    if (t.name == name) return t.count;
+  return 0;
+}
+
+std::string TraceReport::human_table() const {
+  std::string out;
+  char line[256];
+  if (!timers.empty()) {
+    std::snprintf(line, sizeof(line), "%-40s %10s %12s %12s %12s\n", "timer",
+                  "count", "total(ms)", "min(ms)", "max(ms)");
+    out += line;
+    for (const TimerStat& t : timers) {
+      std::snprintf(line, sizeof(line), "%-40s %10llu %12.3f %12.3f %12.3f\n",
+                    t.name.c_str(), static_cast<unsigned long long>(t.count),
+                    static_cast<double>(t.total_ns) / 1e6,
+                    static_cast<double>(t.min_ns) / 1e6,
+                    static_cast<double>(t.max_ns) / 1e6);
+      out += line;
+    }
+  }
+  if (!counters.empty()) {
+    std::snprintf(line, sizeof(line), "%-40s %22s\n", "counter", "value");
+    out += line;
+    for (const CounterStat& c : counters) {
+      std::snprintf(line, sizeof(line), "%-40s %22llu\n", c.name.c_str(),
+                    static_cast<unsigned long long>(c.value));
+      out += line;
+    }
+  }
+  if (out.empty()) out = "(trace empty)\n";
+  return out;
+}
+
+std::string TraceReport::chrome_json() const {
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  char buf[128];
+  for (const TraceEvent& e : events) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":";
+    append_json_string(out, e.name);
+    out += ",\"cat\":\"portal\",\"ph\":\"";
+    out += e.phase;
+    out += '"';
+    std::snprintf(buf, sizeof(buf), ",\"ts\":%.3f", e.ts_us);
+    out += buf;
+    if (e.phase == 'X') {
+      std::snprintf(buf, sizeof(buf), ",\"dur\":%.3f", e.dur_us);
+      out += buf;
+    }
+    if (e.phase == 'i') out += ",\"s\":\"t\"";
+    std::snprintf(buf, sizeof(buf), ",\"pid\":1,\"tid\":%d}", e.tid);
+    out += buf;
+  }
+  // Counter totals as a single summary event at the end of the timeline so
+  // they survive into the viewer without per-sample streams.
+  for (const CounterStat& c : counters) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":";
+    append_json_string(out, c.name);
+    std::snprintf(buf, sizeof(buf),
+                  ",\"cat\":\"portal\",\"ph\":\"C\",\"ts\":%.3f,"
+                  "\"pid\":1,\"tid\":0,\"args\":{\"value\":%llu}}",
+                  events.empty() ? 0.0 : events.back().ts_us,
+                  static_cast<unsigned long long>(c.value));
+    out += buf;
+  }
+  out += "]}";
+  return out;
+}
+
+TraceReport collect() {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  TraceReport report;
+
+  std::vector<std::uint64_t> counter_totals(reg.counter_names.size(), 0);
+  std::vector<ThreadSlot::TimerAgg> timer_totals(reg.timer_names.size());
+  for (const auto& slot : reg.slots) {
+    for (std::size_t i = 0; i < counter_totals.size(); ++i)
+      counter_totals[i] += slot->counters[i];
+    for (std::size_t i = 0; i < timer_totals.size(); ++i) {
+      const ThreadSlot::TimerAgg& agg = slot->timers[i];
+      if (agg.count == 0) continue;
+      ThreadSlot::TimerAgg& total = timer_totals[i];
+      total.count += agg.count;
+      total.total_ns += agg.total_ns;
+      total.min_ns = std::min(total.min_ns, agg.min_ns);
+      total.max_ns = std::max(total.max_ns, agg.max_ns);
+    }
+    report.events.insert(report.events.end(), slot->events.begin(),
+                         slot->events.end());
+  }
+  report.events.insert(report.events.end(), reg.instants.begin(),
+                       reg.instants.end());
+
+  for (std::size_t i = 0; i < counter_totals.size(); ++i)
+    if (counter_totals[i] != 0)
+      report.counters.push_back({reg.counter_names[i], counter_totals[i]});
+  for (std::size_t i = 0; i < timer_totals.size(); ++i)
+    if (timer_totals[i].count != 0)
+      report.timers.push_back({reg.timer_names[i], timer_totals[i].count,
+                               timer_totals[i].total_ns, timer_totals[i].min_ns,
+                               timer_totals[i].max_ns});
+
+  std::sort(report.counters.begin(), report.counters.end(),
+            [](const CounterStat& a, const CounterStat& b) {
+              return a.name < b.name;
+            });
+  std::sort(report.timers.begin(), report.timers.end(),
+            [](const TimerStat& a, const TimerStat& b) { return a.name < b.name; });
+  std::sort(report.events.begin(), report.events.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              return a.ts_us < b.ts_us;
+            });
+  return report;
+}
+
+void reset() {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  for (const auto& slot : reg.slots) {
+    std::memset(slot->counters, 0, sizeof(slot->counters));
+    for (auto& agg : slot->timers) agg = ThreadSlot::TimerAgg{};
+    slot->events.clear();
+  }
+  reg.instants.clear();
+}
+
+bool write_chrome_trace(const std::string& path) {
+  const std::string json = collect().chrome_json();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+} // namespace portal::obs

@@ -6,6 +6,7 @@
 #include <omp.h>
 
 #include "kernels/gaussian.h"
+#include "obs/trace.h"
 #include "problems/common.h"
 #include "traversal/multitree.h"
 #include "util/threading.h"
@@ -43,6 +44,7 @@ class KdeRules {
     const real_t kmax = kernel_.eval_sq(dmin_sq);
     const real_t kmin = kernel_.eval_sq(dmax_sq);
     if (kmax - kmin > tau_) return false;
+    PORTAL_OBS_COUNT("rules/approximations", 1);
 
     // ComputeApprox: center kernel value times reference-node density, added
     // to every query point in Nq. Query ranges are task-disjoint, so the

@@ -18,6 +18,7 @@
 
 #include <omp.h>
 
+#include "obs/trace.h"
 #include "tree/balltree.h"
 #include "tree/kdtree.h"
 #include "tree/octree.h"
@@ -284,6 +285,7 @@ template <typename TreeQ, typename TreeR, typename Rules>
   requires DualRuleSet<Rules>
 TraversalStats dual_traverse(const TreeQ& qtree, const TreeR& rtree, Rules& rules,
                              const TraversalOptions& options = {}) {
+  PORTAL_OBS_SCOPE(traverse_scope, "traversal/dual");
   Timer timer;
   detail::DualTraverser<TreeQ, TreeR, Rules> traverser(
       qtree, rtree, rules,
@@ -297,6 +299,11 @@ TraversalStats dual_traverse(const TreeQ& qtree, const TreeR& rtree, Rules& rule
   }
   TraversalStats stats = traverser.stats();
   stats.elapsed_seconds = timer.elapsed_s();
+  // Unify the task-merged stats with the session counters: one bulk add per
+  // traversal, so the per-pair hot path stays untouched.
+  PORTAL_OBS_COUNT("traversal/pairs_visited", stats.pairs_visited);
+  PORTAL_OBS_COUNT("traversal/prunes", stats.prunes);
+  PORTAL_OBS_COUNT("traversal/base_cases", stats.base_cases);
   return stats;
 }
 
@@ -313,6 +320,7 @@ concept MultiRuleSet = requires(R r, const std::vector<index_t>& nodes) {
 template <typename Tree, typename Rules>
   requires MultiRuleSet<Rules>
 TraversalStats multi_traverse(const std::vector<const Tree*>& trees, Rules& rules) {
+  PORTAL_OBS_SCOPE(traverse_scope, "traversal/multi");
   Timer timer;
   TraversalStats stats;
   std::vector<index_t> nodes(trees.size());
@@ -375,6 +383,9 @@ TraversalStats multi_traverse(const std::vector<const Tree*>& trees, Rules& rule
     }
   }
   stats.elapsed_seconds = timer.elapsed_s();
+  PORTAL_OBS_COUNT("traversal/pairs_visited", stats.pairs_visited);
+  PORTAL_OBS_COUNT("traversal/prunes", stats.prunes);
+  PORTAL_OBS_COUNT("traversal/base_cases", stats.base_cases);
   return stats;
 }
 

@@ -76,6 +76,11 @@ TraversalStats single_traverse(const Tree& tree, Rules& rules) {
       for (int i = 0; i < count; ++i) stack[top++] = children[i];
     }
   }
+  // One bulk merge into the session counters per descent; single-tree
+  // descents run per query, so no per-node instrumentation here.
+  PORTAL_OBS_COUNT("traversal/single/nodes_visited", stats.pairs_visited);
+  PORTAL_OBS_COUNT("traversal/single/prunes", stats.prunes);
+  PORTAL_OBS_COUNT("traversal/single/base_cases", stats.base_cases);
   return stats;
 }
 

@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/trace.h"
 #include "tree/build.h"
 #include "util/threading.h"
 #include "util/timer.h"
@@ -99,6 +100,7 @@ BallTree::BallTree(const Dataset& data, index_t leaf_size, bool parallel_build)
     : leaf_size_(leaf_size) {
   if (leaf_size <= 0) throw std::invalid_argument("BallTree: leaf_size must be > 0");
   if (data.dim() <= 0) throw std::invalid_argument("BallTree: empty dimensionality");
+  PORTAL_OBS_SCOPE(build_scope, "tree/ball/build");
   Timer timer;
 
   const index_t n = data.size();
@@ -112,13 +114,16 @@ BallTree::BallTree(const Dataset& data, index_t leaf_size, bool parallel_build)
 
     // Root spread + coordinate sums; every other node receives both from
     // its parent's post-split sweep.
+    PORTAL_OBS_SCOPE(bounds_scope, "tree/ball/root_bounds");
     BBox root_spread(dim);
     std::vector<real_t> root_sum(dim, 0);
     for (index_t i = 0; i < n; ++i) {
       root_spread.include([&](index_t d) { return data.coord(i, d); });
       for (index_t d = 0; d < dim; ++d) root_sum[d] += data.coord(i, d);
     }
+    bounds_scope.stop();
 
+    PORTAL_OBS_SCOPE(partition_scope, "tree/ball/partition");
     std::vector<std::pair<real_t, index_t>> scratch(
         static_cast<std::size_t>(n));
     build_input_ = &data;
@@ -141,11 +146,15 @@ BallTree::BallTree(const Dataset& data, index_t leaf_size, bool parallel_build)
     build_scratch_ = nullptr;
   }
 
+  PORTAL_OBS_SCOPE(materialize_scope, "tree/ball/materialize");
   perm_ = std::move(order);
   detail::fill_inverse_perm(perm_, inv_perm_, parallel_build);
 
   data_ = Dataset(n, dim, data.layout());
   detail::materialize_permuted(data, perm_, data_, parallel_build);
+  materialize_scope.stop();
+  PORTAL_OBS_COUNT("tree/ball/builds", 1);
+  PORTAL_OBS_COUNT("tree/ball/points", static_cast<std::uint64_t>(n));
 
   stats_.num_nodes = static_cast<index_t>(nodes_.size());
   for (const BallNode& node : nodes_) {

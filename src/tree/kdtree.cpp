@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/trace.h"
 #include "tree/build.h"
 #include "util/threading.h"
 #include "util/timer.h"
@@ -14,6 +15,7 @@ KdTree::KdTree(const Dataset& data, index_t leaf_size, bool parallel_build)
     : leaf_size_(leaf_size) {
   if (leaf_size <= 0) throw std::invalid_argument("KdTree: leaf_size must be > 0");
   if (data.dim() <= 0) throw std::invalid_argument("KdTree: empty dimensionality");
+  PORTAL_OBS_SCOPE(build_scope, "tree/kd/build");
   Timer timer;
 
   const index_t n = data.size();
@@ -28,10 +30,13 @@ KdTree::KdTree(const Dataset& data, index_t leaf_size, bool parallel_build)
 
     // The root is the only node whose box needs a dedicated scan; every
     // other node receives its box from the parent's post-split sweep.
+    PORTAL_OBS_SCOPE(bounds_scope, "tree/kd/root_bounds");
     BBox root_box(data.dim());
     for (index_t i = 0; i < n; ++i)
       root_box.include([&](index_t d) { return data.coord(i, d); });
+    bounds_scope.stop();
 
+    PORTAL_OBS_SCOPE(partition_scope, "tree/kd/partition");
     std::vector<std::pair<real_t, index_t>> scratch(
         static_cast<std::size_t>(n));
     build_input_ = &data;
@@ -54,12 +59,16 @@ KdTree::KdTree(const Dataset& data, index_t leaf_size, bool parallel_build)
     build_scratch_ = nullptr;
   }
 
+  PORTAL_OBS_SCOPE(materialize_scope, "tree/kd/materialize");
   perm_ = std::move(order);
   detail::fill_inverse_perm(perm_, inv_perm_, parallel_build);
 
   // Materialize the permuted dataset (leaf ranges contiguous).
   data_ = Dataset(n, data.dim(), data.layout());
   detail::materialize_permuted(data, perm_, data_, parallel_build);
+  materialize_scope.stop();
+  PORTAL_OBS_COUNT("tree/kd/builds", 1);
+  PORTAL_OBS_COUNT("tree/kd/points", static_cast<std::uint64_t>(n));
 
   stats_.num_nodes = static_cast<index_t>(nodes_.size());
   for (const KdNode& node : nodes_) {

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/trace.h"
 #include "tree/build.h"
 #include "util/timer.h"
 
@@ -29,6 +30,7 @@ Octree::Octree(const Dataset& positions, const std::vector<real_t>& masses,
   if (static_cast<index_t>(masses.size()) != positions.size())
     throw std::invalid_argument("Octree: masses/positions size mismatch");
   if (leaf_size <= 0) throw std::invalid_argument("Octree: leaf_size must be > 0");
+  PORTAL_OBS_SCOPE(build_scope, "tree/octree/build");
   Timer timer;
 
   const index_t n = positions.size();
@@ -36,9 +38,11 @@ Octree::Octree(const Dataset& positions, const std::vector<real_t>& masses,
   for (index_t i = 0; i < n; ++i) order[i] = i;
 
   // Root cell: cube enclosing all particles, centered on the data midpoint.
+  PORTAL_OBS_SCOPE(bounds_scope, "tree/octree/root_bounds");
   BBox root_box(3);
   for (index_t i = 0; i < n; ++i)
     root_box.include([&](index_t d) { return positions.coord(i, d); });
+  bounds_scope.stop();
   real_t center[3];
   real_t half_width = 0;
   for (int d = 0; d < 3; ++d) {
@@ -48,9 +52,12 @@ Octree::Octree(const Dataset& positions, const std::vector<real_t>& masses,
   // Tiny epsilon so points exactly on the max boundary stay inside.
   half_width = half_width * real_t(1.0000001) + real_t(1e-12);
 
+  PORTAL_OBS_SCOPE(partition_scope, "tree/octree/partition");
   nodes_.reserve(static_cast<std::size_t>(8 * (n / leaf_size + 2)));
   if (n > 0) build_recursive(order, 0, n, center, half_width, 0, positions, masses);
+  partition_scope.stop();
 
+  PORTAL_OBS_SCOPE(materialize_scope, "tree/octree/materialize");
   perm_ = std::move(order);
   detail::fill_inverse_perm(perm_, inv_perm_, parallel_build);
 
@@ -59,6 +66,9 @@ Octree::Octree(const Dataset& positions, const std::vector<real_t>& masses,
   masses_.resize(n);
 #pragma omp parallel for schedule(static) if (parallel_build && n >= (1 << 15))
   for (index_t i = 0; i < n; ++i) masses_[i] = masses[perm_[i]];
+  materialize_scope.stop();
+  PORTAL_OBS_COUNT("tree/octree/builds", 1);
+  PORTAL_OBS_COUNT("tree/octree/points", static_cast<std::uint64_t>(n));
 
   stats_.num_nodes = static_cast<index_t>(nodes_.size());
   for (const OctreeNode& node : nodes_) {

@@ -3,13 +3,26 @@
 // constant-folded) VM, and the C++-source JIT -- which must agree within the
 // documented fast-math envelope. This is the differential test that keeps
 // the three "LLVM substitutes" honest against each other.
+//
+// The DifferentialConformance suite below extends the kernel-level fuzz to
+// whole random layer chains: every chain is executed through the VM, the JIT,
+// and (when a specialized kernel matches) the pattern engine, each run with
+// config.validate = true so the engine self-checks against the generated
+// brute-force program; engine outputs are then compared elementwise against
+// each other. The RNG seed comes from PORTAL_FUZZ_SEED (logged at the start
+// of each test) so a sanitizer-CI failure is reproducible locally.
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
 
 #include "core/analysis.h"
 #include "core/codegen/jit.h"
+#include "core/codegen/pattern.h"
 #include "core/codegen/vm.h"
+#include "core/executor.h"
+#include "core/ir/ir.h"
 #include "core/passes/lowering.h"
 #include "core/passes/passes.h"
 #include "core/portal.h"
@@ -19,6 +32,16 @@
 
 namespace portal {
 namespace {
+
+/// Fuzz seed: PORTAL_FUZZ_SEED env override, fixed default. CI pins the env
+/// so sanitizer runs are reproducible; the value is printed on entry either
+/// way so a red run can be replayed.
+std::uint64_t fuzz_seed() {
+  const char* env = std::getenv("PORTAL_FUZZ_SEED");
+  if (env != nullptr && *env != '\0')
+    return std::strtoull(env, nullptr, 10);
+  return 20260806ull;
+}
 
 /// Random kernel AST generator. Depth-bounded; always scalar-rooted.
 /// Generated functions stay in "safe" numeric ranges: exp arguments are
@@ -171,6 +194,260 @@ TEST(CodegenFuzz, EndToEndProgramsAcrossEngines) {
     for (std::size_t i = 0; i < vm_values.size(); ++i)
       EXPECT_NEAR(vm_values[i], jit_values[i],
                   1e-9 * std::max(std::abs(vm_values[i]), real_t(1)))
+          << "query " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Differential conformance: random layer chains across all three engines.
+// ---------------------------------------------------------------------------
+
+/// One randomly generated two-layer Portal program.
+struct ChainSpec {
+  std::string description;
+  OpSpec outer{PortalOp::FORALL};
+  OpSpec inner{PortalOp::SUM};
+  bool self_join = false;     // reference aliases the query storage
+  bool use_custom = false;    // kernel is a random Expr over (q, r)
+  PortalFunc func = PortalFunc::EUCLIDEAN;
+  Expr custom_kernel;
+};
+
+/// Random 3x3 SPD covariance: A A^T + eps I with A ~ U(-1,1)^{3x3}.
+std::vector<real_t> random_spd3(Rng& rng) {
+  real_t a[9];
+  for (real_t& x : a) x = rng.uniform(-1, 1);
+  std::vector<real_t> cov(9, 0);
+  for (int i = 0; i < 3; ++i)
+    for (int j = 0; j < 3; ++j) {
+      for (int k = 0; k < 3; ++k) cov[i * 3 + j] += a[i * 3 + k] * a[j * 3 + k];
+      if (i == j) cov[i * 3 + j] += real_t(0.5);
+    }
+  return cov;
+}
+
+/// Draw one chain. Families deliberately overweight the pattern-eligible
+/// shapes so the pattern engine participates in a healthy fraction of chains.
+ChainSpec draw_chain(Rng& rng, const Var& q, const Var& r, int chain_index,
+                     std::uint64_t seed) {
+  ChainSpec spec;
+  switch (rng.uniform_index(9)) {
+    case 0: // KDE shape: pattern-eligible Gaussian density sum
+      spec.description = "kde";
+      spec.inner = OpSpec(PortalOp::SUM);
+      spec.func = PortalFunc::gaussian(rng.uniform(0.4, 1.5));
+      return spec;
+    case 1: { // k-NN shape: pattern-eligible
+      spec.description = "knn";
+      spec.inner = OpSpec(PortalOp::KARGMIN,
+                          static_cast<index_t>(1 + rng.uniform_index(5)));
+      spec.func = PortalFunc::EUCLIDEAN;
+      return spec;
+    }
+    case 2: // range search shape: pattern-eligible
+      spec.description = "range-search";
+      spec.inner = OpSpec(PortalOp::UNIONARG);
+      spec.func = PortalFunc::indicator(rng.uniform(0.0, 0.3) + 1e-9,
+                                        rng.uniform(0.9, 2.0));
+      return spec;
+    case 3: // directed Hausdorff shape: pattern-eligible, scalar output
+      spec.description = "hausdorff";
+      spec.outer = OpSpec(PortalOp::MAX);
+      spec.inner = OpSpec(PortalOp::MIN);
+      spec.func = PortalFunc::EUCLIDEAN;
+      return spec;
+    case 4: // two-point shape: pattern-eligible, self-join scalar count.
+            // Written as d < h (lo implicitly -inf) because the pattern
+            // matcher requires an unbounded-below indicator for two-point.
+      spec.description = "two-point";
+      spec.outer = OpSpec(PortalOp::SUM);
+      spec.inner = OpSpec(PortalOp::SUM);
+      spec.self_join = true;
+      spec.use_custom = true;
+      spec.custom_kernel =
+          sqrt(pow(Expr(q) - Expr(r), 2)) < Expr(rng.uniform(0.8, 1.6));
+      return spec;
+    case 5: { // Mahalanobis reduction: exercises the Cholesky rewrite
+      spec.description = "mahalanobis-argmin";
+      spec.inner = rng.uniform_index(2) == 0
+                       ? OpSpec(PortalOp::ARGMIN)
+                       : OpSpec(PortalOp::KARGMIN,
+                                static_cast<index_t>(2 + rng.uniform_index(3)));
+      spec.func = PortalFunc::mahalanobis_with(random_spd3(rng));
+      return spec;
+    }
+    case 6: { // Mahalanobis kernel inside a custom sum (Fig. 3 style)
+      spec.description = "mahalanobis-exp-sum";
+      spec.inner = OpSpec(PortalOp::SUM);
+      spec.use_custom = true;
+      spec.custom_kernel =
+          exp(Expr(-rng.uniform(0.1, 0.5)) * mahalanobis(q, r, random_spd3(rng)));
+      return spec;
+    }
+    case 7: { // random custom kernel under a min-reduction
+      spec.description = "custom-min";
+      spec.inner = OpSpec(PortalOp::MIN);
+      spec.use_custom = true;
+      AstFuzzer fuzzer(seed * 1000 + chain_index, q, r);
+      spec.custom_kernel = fuzzer.scalar_kernel();
+      return spec;
+    }
+    default: { // random custom kernel summed
+      spec.description = "custom-sum";
+      spec.inner = OpSpec(PortalOp::SUM);
+      spec.use_custom = true;
+      AstFuzzer fuzzer(seed * 2000 + chain_index, q, r);
+      spec.custom_kernel = fuzzer.scalar_kernel();
+      return spec;
+    }
+  }
+}
+
+/// Execute one chain on one engine. validate = true makes the run self-check
+/// against the generated brute-force program (tau-scaled tolerance for
+/// approximation problems). Returns the output storage.
+Storage run_chain(const ChainSpec& spec, const Var& q, const Var& r,
+                  const Storage& query, const Storage& reference, Engine engine,
+                  ProblemCategory* category) {
+  PortalExpr expr;
+  if (spec.use_custom) {
+    expr.addLayer(spec.outer, q, query);
+    expr.addLayer(spec.inner, r, reference, spec.custom_kernel);
+  } else {
+    expr.addLayer(spec.outer, query);
+    expr.addLayer(spec.inner, reference, spec.func);
+  }
+  PortalConfig config;
+  config.engine = engine;
+  config.parallel = false; // deterministic accumulation order per engine
+  config.validate = true;  // every engine run is checked against brute force
+  config.tau = 1e-3;
+  config.leaf_size = 16;
+  expr.execute(config);
+  if (category != nullptr) *category = expr.plan().category;
+  return expr.getOutput();
+}
+
+TEST(DifferentialConformance, RandomChainsAgreeAcrossEngines) {
+  const std::uint64_t seed = fuzz_seed();
+  std::printf("PORTAL_FUZZ_SEED=%llu\n",
+              static_cast<unsigned long long>(seed));
+  Rng rng(seed);
+
+  const bool jit = jit_available();
+  constexpr int kChains = 200;
+  int pattern_hits = 0;
+  int maha_chains = 0;
+
+  for (int chain = 0; chain < kChains; ++chain) {
+    Var q, r;
+    const ChainSpec spec = draw_chain(rng, q, r, chain, seed);
+    const index_t nq = 24 + static_cast<index_t>(rng.uniform_index(32));
+    const index_t nr = 32 + static_cast<index_t>(rng.uniform_index(48));
+    Storage query(make_gaussian_mixture(nq, 3, 3, seed + 31 * chain));
+    Storage reference = spec.self_join
+                            ? query
+                            : Storage(make_gaussian_mixture(
+                                  nr, 3, 3, seed + 31 * chain + 17));
+    SCOPED_TRACE("chain " + std::to_string(chain) + " [" + spec.description +
+                 "] seed=" + std::to_string(seed) +
+                 (spec.use_custom
+                      ? " kernel: " + spec.custom_kernel.to_string()
+                      : ""));
+
+    // Baseline: the VM engine (always available, interprets the post-pass
+    // IR directly).
+    ProblemCategory category = ProblemCategory::Exhaustive;
+    Storage baseline;
+    ASSERT_NO_THROW(baseline = run_chain(spec, q, r, query, reference,
+                                         Engine::VM, &category));
+
+    // Approximation problems: each engine is within tau * |R| of the exact
+    // answer (enforced by validate above), so two engines can differ by at
+    // most twice that; exact problems must agree to float-noise.
+    const real_t tolerance =
+        category == ProblemCategory::Approximation
+            ? 2 * real_t(1e-3) * static_cast<real_t>(reference.size())
+            : real_t(1e-6);
+
+    if (jit) {
+      Storage jit_out;
+      ASSERT_NO_THROW(jit_out = run_chain(spec, q, r, query, reference,
+                                          Engine::JIT, nullptr));
+      const std::string mismatch =
+          compare_outputs(baseline.output(), jit_out.output(), tolerance);
+      EXPECT_TRUE(mismatch.empty()) << "vm vs jit: " << mismatch;
+    }
+
+    try {
+      Storage pattern_out =
+          run_chain(spec, q, r, query, reference, Engine::Pattern, nullptr);
+      ++pattern_hits;
+      const std::string mismatch =
+          compare_outputs(baseline.output(), pattern_out.output(), tolerance);
+      EXPECT_TRUE(mismatch.empty()) << "vm vs pattern: " << mismatch;
+    } catch (const std::invalid_argument&) {
+      // No specialized kernel matches this chain; VM/JIT coverage stands.
+    }
+
+    if (spec.description.rfind("mahalanobis", 0) == 0) ++maha_chains;
+  }
+
+  // The family mix must actually exercise what this suite claims to cover.
+  EXPECT_GE(pattern_hits, kChains / 8)
+      << "pattern engine participated in too few chains";
+  EXPECT_GE(maha_chains, kChains / 16)
+      << "Mahalanobis chains under-represented";
+}
+
+TEST(DifferentialConformance, MahalanobisLowersToCholeskyAndEnginesAgree) {
+  const std::uint64_t seed = fuzz_seed() ^ 0x9e3779b97f4a7c15ull;
+  std::printf("PORTAL_FUZZ_SEED=%llu (derived)\n",
+              static_cast<unsigned long long>(fuzz_seed()));
+  Rng rng(seed);
+  const bool jit = jit_available();
+
+  for (int trial = 0; trial < 10; ++trial) {
+    Var q, r;
+    const std::vector<real_t> cov = random_spd3(rng);
+    const Expr kernel =
+        exp(Expr(-rng.uniform(0.1, 0.4)) * mahalanobis(q, r, cov));
+    SCOPED_TRACE("trial " + std::to_string(trial));
+
+    Storage query(make_gaussian_mixture(40, 3, 2, seed + trial));
+    Storage reference(make_gaussian_mixture(60, 3, 2, seed + trial + 5));
+
+    std::vector<real_t> outputs[2];
+    for (int which = 0; which < (jit ? 2 : 1); ++which) {
+      PortalExpr expr;
+      expr.addLayer(PortalOp::FORALL, q, query);
+      expr.addLayer(PortalOp::SUM, r, reference, kernel);
+      PortalConfig config;
+      config.engine = which == 0 ? Engine::VM : Engine::JIT;
+      config.parallel = false;
+      config.validate = true;
+      expr.execute(config);
+
+      // The numerical-optimization pass must have rewritten the naive
+      // quadratic form into the Cholesky solve (Sec. IV-E): that is the
+      // whole point of the Mahalanobis chain family.
+      ASSERT_TRUE(expr.plan().kernel.kernel_ir != nullptr);
+      EXPECT_TRUE(
+          ir_contains(expr.plan().kernel.kernel_ir, IrOp::MahalanobisChol))
+          << "expected MahalanobisChol in post-pass kernel IR";
+      EXPECT_FALSE(
+          ir_contains(expr.plan().kernel.kernel_ir, IrOp::MahalanobisNaive))
+          << "naive Mahalanobis survived the pass pipeline";
+
+      Storage out = expr.getOutput();
+      for (index_t i = 0; i < out.rows(); ++i)
+        outputs[which].push_back(out.value(i));
+    }
+    if (!jit) continue;
+    ASSERT_EQ(outputs[0].size(), outputs[1].size());
+    for (std::size_t i = 0; i < outputs[0].size(); ++i)
+      EXPECT_NEAR(outputs[0][i], outputs[1][i],
+                  1e-7 * std::max(std::abs(outputs[0][i]), real_t(1)))
           << "query " << i;
   }
 }

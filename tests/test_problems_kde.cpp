@@ -7,6 +7,7 @@
 #include <tuple>
 
 #include "data/generators.h"
+#include "obs/trace.h"
 #include "problems/kde.h"
 #include "util/threading.h"
 
@@ -69,6 +70,42 @@ TEST(Kde, LargerTauPrunesMore) {
   const KdeResult b = kde_expert(data, data, loose);
   EXPECT_LT(b.stats.base_cases, a.stats.base_cases);
   EXPECT_GT(b.stats.prunes, 0u);
+}
+
+// Prune/approximate correctness, cross-checked against the trace counters:
+// the approximated result must stay within the tau-derived bound of the exact
+// answer, AND the run must actually have pruned and approximated (otherwise
+// the bound is vacuous -- an all-base-case traversal trivially matches brute
+// force without exercising the approximation machinery at all).
+TEST(Kde, ApproximationIsObservableAndWithinBound) {
+  obs::set_enabled(true);
+  obs::reset();
+  const Dataset data = make_gaussian_mixture(4000, 3, 4, 29);
+  const real_t sigma = 0.7;
+  const real_t tau = 1e-3;
+  KdeOptions options;
+  options.sigma = sigma;
+  options.tau = tau;
+  options.normalize = false;
+  const KdeResult expert = kde_expert(data, data, options);
+  const obs::TraceReport report = obs::collect();
+  obs::set_enabled(false);
+  obs::reset();
+
+  const KdeResult brute = kde_bruteforce(data, data, sigma, false);
+  const real_t bound = tau * static_cast<real_t>(data.size()) + 1e-9;
+  for (index_t i = 0; i < data.size(); ++i)
+    ASSERT_NEAR(expert.densities[i], brute.densities[i], bound) << "query " << i;
+
+  // The counters prove the bound was earned, not vacuous.
+  EXPECT_GT(report.counter("traversal/prunes"), 0u);
+  EXPECT_GT(report.counter("rules/approximations"), 0u);
+  EXPECT_GT(report.counter("traversal/pairs_visited"), 0u);
+  // Approximation + pruning must have skipped work: strictly fewer base cases
+  // than the n^2 node-pair worst case implies the traversal cut branches.
+  EXPECT_LT(report.counter("traversal/base_cases"),
+            static_cast<std::uint64_t>(data.size()) *
+                static_cast<std::uint64_t>(data.size()));
 }
 
 TEST(Kde, NormalizationIntegratesToUnitMass) {

@@ -371,5 +371,91 @@ TEST(Octree, HandlesCoincidentParticles) {
   EXPECT_NEAR(tree.node(0).mass, 50.0, 1e-12);
 }
 
+// ---------------------------------------------------------------------------
+// Octree parallel-build determinism (mirrors the kd/ball coverage above):
+// `parallel_build` only parallelizes the materialization phase, so parallel
+// and serial builds must be bit-identical in every observable field.
+// ---------------------------------------------------------------------------
+
+void ExpectIdenticalOctrees(const Octree& serial, const Octree& parallel) {
+  ASSERT_EQ(serial.num_nodes(), parallel.num_nodes());
+  EXPECT_EQ(serial.perm(), parallel.perm());
+  EXPECT_EQ(serial.inverse_perm(), parallel.inverse_perm());
+  EXPECT_EQ(serial.height(), parallel.height());
+  EXPECT_EQ(serial.masses(), parallel.masses());
+  for (index_t i = 0; i < serial.num_nodes(); ++i) {
+    const OctreeNode& a = serial.node(i);
+    const OctreeNode& b = parallel.node(i);
+    EXPECT_EQ(a.begin, b.begin) << "node " << i;
+    EXPECT_EQ(a.end, b.end) << "node " << i;
+    EXPECT_EQ(a.leaf, b.leaf) << "node " << i;
+    EXPECT_EQ(a.depth, b.depth) << "node " << i;
+    EXPECT_EQ(a.mass, b.mass) << "node " << i;
+    EXPECT_EQ(a.half_width, b.half_width) << "node " << i;
+    for (int d = 0; d < 3; ++d) {
+      EXPECT_EQ(a.center[d], b.center[d]) << "node " << i << " dim " << d;
+      EXPECT_EQ(a.com[d], b.com[d]) << "node " << i << " dim " << d;
+    }
+    for (int c = 0; c < 8; ++c)
+      EXPECT_EQ(a.children[c], b.children[c]) << "node " << i << " child " << c;
+    if (a.count() > 0) {
+      for (index_t d = 0; d < 3; ++d) {
+        EXPECT_EQ(a.box.lo(d), b.box.lo(d)) << "node " << i << " dim " << d;
+        EXPECT_EQ(a.box.hi(d), b.box.hi(d)) << "node " << i << " dim " << d;
+      }
+    }
+  }
+  const index_t n = serial.positions().size();
+  ASSERT_EQ(n, parallel.positions().size());
+  for (index_t i = 0; i < n; ++i)
+    for (index_t d = 0; d < 3; ++d)
+      EXPECT_EQ(serial.positions().coord(i, d), parallel.positions().coord(i, d))
+          << "point " << i << " dim " << d;
+}
+
+TEST(OctreeParallelBuild, LargeRandomMatchesSerial) {
+  set_num_threads(4);
+  const Dataset data = make_gaussian_mixture(40000, 3, 4, 35);
+  std::vector<real_t> masses(40000);
+  for (index_t i = 0; i < 40000; ++i) masses[i] = 0.5 + (i % 7) * 0.25;
+  const Octree serial(data, masses, 16, /*parallel_build=*/false);
+  const Octree parallel(data, masses, 16, /*parallel_build=*/true);
+  ExpectIdenticalOctrees(serial, parallel);
+}
+
+TEST(OctreeParallelBuild, DegenerateInputsMatchSerial) {
+  set_num_threads(4);
+  // All-duplicate points, large enough (>= 1<<15) that the parallelized
+  // materialization actually kicks in. The depth cap stops the recursion.
+  {
+    std::vector<std::vector<real_t>> points(40000, {1.0, 2.0, 3.0});
+    const Dataset data = Dataset::from_points(points);
+    const std::vector<real_t> masses(40000, 1.0);
+    const Octree serial(data, masses, 8, false);
+    const Octree parallel(data, masses, 8, true);
+    ExpectIdenticalOctrees(serial, parallel);
+  }
+  // n < leaf_size: single leaf either way.
+  {
+    const Dataset data = make_uniform(5, 3, 22);
+    const std::vector<real_t> masses(5, 1.0);
+    const Octree serial(data, masses, 8, false);
+    const Octree parallel(data, masses, 8, true);
+    ASSERT_EQ(parallel.num_nodes(), 1);
+    EXPECT_TRUE(parallel.node(0).is_leaf());
+    ExpectIdenticalOctrees(serial, parallel);
+  }
+  // n = 0: no nodes, empty perm, no crash.
+  {
+    const Dataset data(0, 3);
+    const std::vector<real_t> masses;
+    const Octree serial(data, masses, 8, false);
+    const Octree parallel(data, masses, 8, true);
+    EXPECT_EQ(parallel.num_nodes(), 0);
+    EXPECT_TRUE(parallel.perm().empty());
+    ExpectIdenticalOctrees(serial, parallel);
+  }
+}
+
 } // namespace
 } // namespace portal

@@ -28,6 +28,10 @@
 //   --verify         print the per-stage IR verification report (the
 //                    -verify-each sandwich runs by default; --no-verify-ir
 //                    disables it)
+//   --trace[=FILE]   enable pipeline tracing: print the timer/counter table
+//                    after the run; with =FILE also write a Chrome
+//                    chrome://tracing / Perfetto JSON trace there
+//                    (PORTAL_TRACE=FILE does the same without the flag)
 //
 // Exit code 0 on success, 1 on usage errors, 2 on execution errors
 // (including IR verification failures, reported with their PTL codes).
@@ -42,6 +46,7 @@
 #include "core/portal.h"
 #include "core/verify/diagnostics.h"
 #include "data/generators.h"
+#include "obs/trace.h"
 #include "problems/emst.h"
 #include "problems/threepoint.h"
 #include "util/csv.h"
@@ -76,6 +81,7 @@ struct Args {
                "[--theta T] [--masses F]\n"
                "       [--out FILE] [--leaf N] [--tau T] [--engine E] "
                "[--validate] [--demo N[,DIM]] [--serial] [--verify]\n"
+               "       [--trace[=FILE]]\n"
                "       portal_cli run FILE.portal | verify FILE.portal\n");
   std::exit(1);
 }
@@ -360,9 +366,14 @@ int main(int argc, char** argv) {
   for (int i = first_option; i < argc; ++i) {
     const char* arg = argv[i];
     if (std::strncmp(arg, "--", 2) != 0) usage("options start with --");
+    // --key=value form (required for optional-value flags like --trace).
+    if (const char* eq = std::strchr(arg + 2, '=')) {
+      args.options[std::string(arg + 2, eq)] = eq + 1;
+      continue;
+    }
     const std::string key = arg + 2;
     if (key == "validate" || key == "serial" || key == "verify" ||
-        key == "no-verify-ir") {
+        key == "no-verify-ir" || key == "trace") {
       args.options[key] = "1";
     } else {
       if (i + 1 >= argc) usage(("--" + key + " needs a value").c_str());
@@ -370,8 +381,24 @@ int main(int argc, char** argv) {
     }
   }
 
+  const bool tracing = args.has("trace");
+  if (tracing) obs::set_enabled(true);
+
   try {
-    return run(args);
+    const int rc = run(args);
+    if (tracing) {
+      const obs::TraceReport trace = obs::collect();
+      std::printf("-- trace --\n%s", trace.human_table().c_str());
+      const std::string trace_path = args.get("trace");
+      if (trace_path != "1" && !trace_path.empty()) {
+        if (obs::write_chrome_trace(trace_path))
+          std::printf("wrote Chrome trace to %s\n", trace_path.c_str());
+        else
+          std::fprintf(stderr, "portal_cli: cannot write trace to %s\n",
+                       trace_path.c_str());
+      }
+    }
+    return rc;
   } catch (const PortalDiagnosticError& e) {
     std::fprintf(stderr, "portal_cli: IR verification / analysis failed:\n");
     for (const Diagnostic& d : e.diagnostics())
