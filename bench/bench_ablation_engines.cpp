@@ -1,79 +1,180 @@
 // Ablation: the three Portal backends (pattern / JIT / VM) plus the emitted
-// brute-force program, on the same k-NN and KDE workloads. Quantifies what
-// each stage of DESIGN.md Sec. 4's engine ladder buys -- the reproduction's
-// stand-in for "LLVM-generated code vs interpreted IR".
-#include <benchmark/benchmark.h>
+// brute-force program, on the same k-NN and KDE workloads -- what each stage
+// of DESIGN.md Sec. 4's engine ladder buys. A second section toggles the
+// SIMD-batched base cases (PortalConfig::batch_base_cases) against the
+// scalar per-pair path on every engine, and a third measures the leaf-tile
+// distance kernels in isolation -- together quantifying the Sec. IV-F
+// data-parallelism layer.
+//
+// Layout policy context for reading the numbers (paper Sec. III-B/IV-F):
+// datasets with dim <= 4 store column-major, and sq_dists_to_range's
+// dimension-outer loop over that layout already auto-vectorizes -- so at
+// dim 3 the scalar path is effectively SoA and batched == scalar is the
+// EXPECTED result. The SoA mirror earns its keep on row-major data
+// (dim > 4), where the scalar path walks points one at a time.
+//
+// --json=FILE additionally writes the portal-bench-v1 trajectory snapshot
+// (scripts/bench_snapshot.sh; archived per-commit by the CI bench-smoke job).
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
 
+#include "bench/bench_common.h"
+#include "core/codegen/jit.h"
 #include "core/portal.h"
 #include "data/generators.h"
+#include "kernels/batch.h"
+#include "problems/common.h"
+#include "tree/soa_mirror.h"
 
 using namespace portal;
+using namespace portal::bench;
 
 namespace {
 
-const Dataset& knn_data() {
-  static const Dataset data = make_gaussian_mixture(8000, 3, 4, 11);
-  return data;
-}
-
-const Dataset& kde_data() {
-  static const Dataset data = make_gaussian_mixture(8000, 3, 4, 12);
-  return data;
-}
-
-void run_knn(benchmark::State& state, Engine engine) {
-  Storage data(knn_data());
-  for (auto _ : state) {
+double run_knn(const Storage& data, Engine engine, bool batch,
+               index_t leaf_size = 0) {
+  return time_best("bench/engines_knn", [&] {
     PortalExpr expr;
     expr.addLayer(PortalOp::FORALL, data);
     expr.addLayer({PortalOp::KARGMIN, 5}, data, PortalFunc::EUCLIDEAN);
     PortalConfig config;
     config.engine = engine;
+    config.batch_base_cases = batch;
+    if (leaf_size > 0) config.leaf_size = leaf_size;
     expr.execute(config);
-    benchmark::DoNotOptimize(expr.getOutput());
-  }
+  });
 }
 
-void run_kde(benchmark::State& state, Engine engine) {
-  Storage data(kde_data());
-  for (auto _ : state) {
+double run_kde(const Storage& data, Engine engine, bool batch,
+               index_t leaf_size = 0) {
+  return time_best("bench/engines_kde", [&] {
     PortalExpr expr;
     expr.addLayer(PortalOp::FORALL, data);
     expr.addLayer(PortalOp::SUM, data, PortalFunc::gaussian(1.0));
     PortalConfig config;
     config.engine = engine;
+    config.batch_base_cases = batch;
+    if (leaf_size > 0) config.leaf_size = leaf_size;
     config.tau = 1e-3;
     expr.execute(config);
-    benchmark::DoNotOptimize(expr.getOutput());
-  }
+  });
 }
-
-void BM_Knn_Pattern(benchmark::State& s) { run_knn(s, Engine::Pattern); }
-void BM_Knn_Jit(benchmark::State& s) { run_knn(s, Engine::JIT); }
-void BM_Knn_Vm(benchmark::State& s) { run_knn(s, Engine::VM); }
-void BM_Kde_Pattern(benchmark::State& s) { run_kde(s, Engine::Pattern); }
-void BM_Kde_Jit(benchmark::State& s) { run_kde(s, Engine::JIT); }
-void BM_Kde_Vm(benchmark::State& s) { run_kde(s, Engine::VM); }
-
-void BM_Knn_BruteForceProgram(benchmark::State& state) {
-  Storage data(knn_data());
-  for (auto _ : state) {
-    PortalExpr expr;
-    expr.addLayer(PortalOp::FORALL, data);
-    expr.addLayer({PortalOp::KARGMIN, 5}, data, PortalFunc::EUCLIDEAN);
-    expr.setConfig({});
-    benchmark::DoNotOptimize(expr.executeBruteForce());
-  }
-}
-
-BENCHMARK(BM_Knn_Pattern)->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_Knn_Jit)->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_Knn_Vm)->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_Kde_Pattern)->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_Kde_Jit)->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_Kde_Vm)->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_Knn_BruteForceProgram)->Unit(benchmark::kMillisecond);
 
 } // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const std::string json_path = JsonReport::extract_json_path(&argc, argv);
+  JsonReport report;
+
+  const index_t n = std::max<index_t>(
+      500, static_cast<index_t>(8000 * bench_scale_from_env()));
+  Storage knn_data(make_gaussian_mixture(n, 3, 4, 11));
+  Storage kde_data(make_gaussian_mixture(n, 3, 4, 12));
+  const bool jit = jit_available();
+
+  print_header("Engine ladder -- pattern / JIT / VM / brute force (n=" +
+               std::to_string(n) + ")");
+  print_row({"Problem", "engine", "time(s)"});
+  for (Engine engine : {Engine::Pattern, Engine::JIT, Engine::VM}) {
+    if (engine == Engine::JIT && !jit) {
+      print_row({"(jit)", "unavailable", "-"});
+      continue;
+    }
+    const double knn_s = run_knn(knn_data, engine, true);
+    print_row({"k-NN", engine_name(engine), fmt(knn_s)});
+    report.add("ablation_engines/knn", engine_name(engine), knn_s);
+    const double kde_s = run_kde(kde_data, engine, true);
+    print_row({"KDE", engine_name(engine), fmt(kde_s)});
+    report.add("ablation_engines/kde", engine_name(engine), kde_s);
+  }
+  {
+    PortalExpr expr;
+    expr.addLayer(PortalOp::FORALL, knn_data);
+    expr.addLayer({PortalOp::KARGMIN, 5}, knn_data, PortalFunc::EUCLIDEAN);
+    expr.setConfig({});
+    const double brute_s =
+        time_once("bench/engines_brute", [&] { expr.executeBruteForce(); });
+    print_row({"k-NN", "brute-force", fmt(brute_s)});
+    report.add("ablation_engines/knn", "brute_force", brute_s);
+  }
+
+  // End-to-end toggle at dim 3 (col-major: scalar path already vectorized,
+  // parity expected) and dim 10 (row-major: the mirror supplies the lane
+  // layout the scalar path lacks). Leaf 64 at dim 10 keeps base cases large
+  // enough for the tiles to matter.
+  print_header("Batched vs scalar base cases (SqEuclidean k-NN / KDE)");
+  print_row({"Problem", "dim", "engine", "scalar(s)", "batched(s)", "speedup"});
+  for (const index_t dim : {index_t(3), index_t(10)}) {
+    const Storage data(make_gaussian_mixture(n, dim, 4, 11));
+    const index_t leaf = dim > kColMajorMaxDim ? 64 : 0;
+    const std::string tag = "_d" + std::to_string(dim);
+    for (Engine engine : {Engine::Pattern, Engine::VM}) {
+      const double knn_scalar = run_knn(data, engine, false, leaf);
+      const double knn_batched = run_knn(data, engine, true, leaf);
+      print_row({"k-NN", std::to_string(dim), engine_name(engine),
+                 fmt(knn_scalar), fmt(knn_batched),
+                 fmt(knn_scalar / knn_batched, "%.2fx")});
+      report.add("ablation_engines/knn_" + std::string(engine_name(engine)) + tag,
+                 "scalar", knn_scalar);
+      report.add("ablation_engines/knn_" + std::string(engine_name(engine)) + tag,
+                 "batched", knn_batched);
+      const double kde_scalar = run_kde(data, engine, false, leaf);
+      const double kde_batched = run_kde(data, engine, true, leaf);
+      print_row({"KDE", std::to_string(dim), engine_name(engine),
+                 fmt(kde_scalar), fmt(kde_batched),
+                 fmt(kde_scalar / kde_batched, "%.2fx")});
+      report.add("ablation_engines/kde_" + std::string(engine_name(engine)) + tag,
+                 "scalar", kde_scalar);
+      report.add("ablation_engines/kde_" + std::string(engine_name(engine)) + tag,
+                 "batched", kde_batched);
+    }
+  }
+
+  // The tile kernels in isolation: one query point against every leaf-sized
+  // tile of a 4096-point set, scalar row walk vs SoA lanes. This is the pure
+  // data-parallel speedup before traversal costs (bounds, heap updates, exp)
+  // dilute it.
+  print_header("Leaf-tile SqEuclidean throughput -- scalar rows vs SoA lanes");
+  print_row({"dim", "layout", "tile", "scalar(s)", "batched(s)", "speedup"});
+  const int sweeps = std::max(
+      1, static_cast<int>(400 * bench_scale_from_env()));
+  for (const index_t dim : {index_t(3), index_t(10)}) {
+    const Dataset pts = make_gaussian_mixture(4096, dim, 4, 7);
+    SoaMirror mirror;
+    mirror.build(pts, false);
+    std::vector<real_t> qpt(dim, real_t(0.25));
+    std::vector<real_t> dists(pts.size());
+    const char* layout = pts.layout() == Layout::ColMajor ? "col" : "row";
+    for (const index_t tile : {index_t(16), index_t(64)}) {
+      const double scalar_s = time_best("bench/tile_scalar", [&] {
+        for (int s = 0; s < sweeps; ++s)
+          for (index_t b = 0; b + tile <= pts.size(); b += tile)
+            sq_dists_to_range(pts, b, b + tile, qpt.data(), dists.data());
+      }, 5);
+      const double batched_s = time_best("bench/tile_batch", [&] {
+        for (int s = 0; s < sweeps; ++s)
+          for (index_t b = 0; b + tile <= pts.size(); b += tile)
+            batch::sq_dists(mirror.tile(b, tile), qpt.data(), dists.data());
+      }, 5);
+      print_row({std::to_string(dim), layout, std::to_string(tile),
+                 fmt(scalar_s), fmt(batched_s),
+                 fmt(scalar_s / batched_s, "%.2fx")});
+      const std::string name = "ablation_engines/tile_sqdist_d" +
+                               std::to_string(dim) + "_t" + std::to_string(tile);
+      report.add(name, "scalar", scalar_s);
+      report.add(name, "batched", batched_s);
+    }
+  }
+
+  std::printf("\nThe ladder isolates codegen quality (pattern > JIT > VM on\n"
+              "the same traversal); the batched sections isolate the SIMD\n"
+              "tile base cases, which produce bitwise-identical results to\n"
+              "the scalar path (see tests/test_codegen_fuzz.cpp). Dim-3\n"
+              "parity is the layout policy working: col-major scalar loops\n"
+              "already vectorize, so the mirror pays off on row-major data.\n");
+
+  if (!json_path.empty() && !report.write(json_path)) return 1;
+  return 0;
+}

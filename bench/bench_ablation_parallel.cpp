@@ -7,6 +7,7 @@
 // by the *.ParallelMatchesSerial tests regardless.
 #include <algorithm>
 #include <cstdio>
+#include <string>
 
 #include "bench/bench_common.h"
 #include "data/generators.h"
@@ -19,7 +20,10 @@
 using namespace portal;
 using namespace portal::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string json_path = JsonReport::extract_json_path(&argc, argv);
+  JsonReport report;
+
   print_header("Parallel scaling -- threads x task-spawn depth");
   const Dataset data = make_gaussian_mixture(
       static_cast<index_t>(20000 * bench_scale_from_env()), 3, 5, 71);
@@ -40,6 +44,8 @@ int main() {
           time_best("bench/knn_expert", [&] { knn_expert(data, data, knn); }, 2);
       print_row({"k-NN", std::to_string(threads), std::to_string(depth),
                  fmt(knn_s)});
+      report.add("ablation_parallel/knn_t" + std::to_string(threads),
+                 "depth_" + std::to_string(depth), knn_s);
     }
     KdeOptions kde;
     kde.sigma = 1.0;
@@ -48,8 +54,37 @@ int main() {
     const double kde_s =
         time_best("bench/kde_expert", [&] { kde_expert(data, data, kde); }, 2);
     print_row({"KDE", std::to_string(threads), "auto", fmt(kde_s)});
+    report.add("ablation_parallel/kde_t" + std::to_string(threads), "auto",
+               kde_s);
   }
   set_num_threads(hw_threads);
+
+  // The task-parallel upper tree composes with the SIMD tiles in the leaves
+  // (paper Sec. IV-F: tasks above, data parallelism below) -- toggle the
+  // tiles at full thread count to isolate their share.
+  print_header("Batched vs scalar base cases (expert kernels, all threads)");
+  print_row({"Problem", "mode", "time(s)"});
+  for (const bool batch : {false, true}) {
+    const char* mode = batch ? "batched" : "scalar";
+    KnnOptions knn;
+    knn.k = 5;
+    knn.parallel = hw_threads > 1;
+    knn.batch = batch;
+    const double knn_s =
+        time_best("bench/knn_expert", [&] { knn_expert(data, data, knn); }, 2);
+    print_row({"k-NN", mode, fmt(knn_s)});
+    report.add("ablation_parallel/knn_expert", mode, knn_s);
+
+    KdeOptions kde;
+    kde.sigma = 1.0;
+    kde.tau = 1e-3;
+    kde.parallel = hw_threads > 1;
+    kde.batch = batch;
+    const double kde_s =
+        time_best("bench/kde_expert", [&] { kde_expert(data, data, kde); }, 2);
+    print_row({"KDE", mode, fmt(kde_s)});
+    report.add("ablation_parallel/kde_expert", mode, kde_s);
+  }
 
   print_header("Tree construction -- serial vs task-parallel build");
   print_row({"Tree", "n", "threads", "build(s)"});
@@ -95,5 +130,7 @@ int main() {
               "machine k-NN and KDE scale with threads until the task depth\n"
               "saturates them (the paper's Sec. IV-F scheme), and the tree\n"
               "builds scale via the divide-and-conquer task recursion.\n");
+
+  if (!json_path.empty() && !report.write(json_path)) return 1;
   return 0;
 }

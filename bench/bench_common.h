@@ -13,9 +13,93 @@
 
 #include "data/table2.h"
 #include "obs/trace.h"
+#include "util/threading.h"
 #include "util/timer.h"
 
 namespace portal::bench {
+
+inline const char* compiler_id() {
+#if defined(__clang__)
+  return "clang " __clang_version__;
+#elif defined(__GNUC__)
+  return "gcc " __VERSION__;
+#else
+  return "unknown";
+#endif
+}
+
+/// Machine-readable bench trajectory (--json=FILE): rows accumulate during a
+/// run and serialize as the portal-bench-v1 document
+///
+///   { "schema": "portal-bench-v1",
+///     "machine": { "threads": T, "bench_scale": S, "compiler": "...",
+///                  "real_t_bytes": B },
+///     "benches": [ { "bench": "...", "metric": "...", "value": V,
+///                    "unit": "s" }, ... ] }
+///
+/// so CI can archive one snapshot per commit and plot trajectories across
+/// history (scripts/bench_snapshot.sh drives this).
+class JsonReport {
+ public:
+  /// Pop --json=FILE out of argv (benches may hand the rest to other
+  /// parsers). Returns the path, or "" when the flag is absent.
+  static std::string extract_json_path(int* argc, char** argv) {
+    for (int i = 1; i < *argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg.rfind("--json=", 0) == 0) {
+        for (int j = i; j + 1 < *argc; ++j) argv[j] = argv[j + 1];
+        --*argc;
+        return arg.substr(7);
+      }
+    }
+    return {};
+  }
+
+  void add(const std::string& bench, const std::string& metric, double value,
+           const std::string& unit = "s") {
+    rows_.push_back({bench, metric, value, unit});
+  }
+
+  bool empty() const { return rows_.empty(); }
+
+  /// Serialize; returns false (with a stderr note) on I/O failure so a bench
+  /// run never dies on an unwritable path.
+  bool write(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+      return false;
+    }
+    std::fprintf(f, "{\n  \"schema\": \"portal-bench-v1\",\n");
+    std::fprintf(f,
+                 "  \"machine\": {\"threads\": %d, \"bench_scale\": %.6g, "
+                 "\"compiler\": \"%s\", \"real_t_bytes\": %d},\n",
+                 num_threads(), bench_scale_from_env(), compiler_id(),
+                 static_cast<int>(sizeof(real_t)));
+    std::fprintf(f, "  \"benches\": [\n");
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      const Row& row = rows_[i];
+      std::fprintf(f,
+                   "    {\"bench\": \"%s\", \"metric\": \"%s\", "
+                   "\"value\": %.17g, \"unit\": \"%s\"}%s\n",
+                   row.bench.c_str(), row.metric.c_str(), row.value,
+                   row.unit.c_str(), i + 1 < rows_.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote bench trajectory to %s\n", path.c_str());
+    return true;
+  }
+
+ private:
+  struct Row {
+    std::string bench;
+    std::string metric;
+    double value;
+    std::string unit;
+  };
+  std::vector<Row> rows_;
+};
 
 /// Wall-clock one invocation (the table benches measure full problem runs,
 /// which are long enough that single-shot timing is stable).

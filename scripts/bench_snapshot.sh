@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Snapshot the ablation bench trajectory into one machine-readable JSON file
+# (schema portal-bench-v1; see bench/bench_common.h JsonReport).
+#
+#   usage: scripts/bench_snapshot.sh [BUILD_DIR] [OUT.json]
+#
+# Scale with PORTAL_BENCH_SCALE as usual (CI bench-smoke runs a tiny scale
+# and uploads the file as a per-commit artifact so regressions leave a
+# plottable trail; local full-scale runs feed EXPERIMENTS.md).
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+OUT="${2:-BENCH_ablation.json}"
+BIN="$BUILD_DIR/bench/bench_ablation_engines"
+
+if [[ ! -x "$BIN" ]]; then
+  echo "error: $BIN not built (cmake --build $BUILD_DIR --target bench_ablation_engines)" >&2
+  exit 1
+fi
+
+"$BIN" --json="$OUT"

@@ -127,6 +127,7 @@ PatternDispatch try_pattern_execute(const ProblemPlan& plan,
     options.parallel = config.parallel;
     options.task_depth = config.task_depth;
     options.metric = kernel.metric;
+    options.batch = config.batch_base_cases;
     const KnnResult knn = knn_dualtree_permuted(*qtree, *rtree, options);
     res.stats = knn.stats;
     res.traversal_seconds = timer.elapsed_s();
@@ -175,6 +176,7 @@ PatternDispatch try_pattern_execute(const ProblemPlan& plan,
     options.normalize = false; // Portal semantics: the raw kernel sum
     options.parallel = config.parallel;
     options.task_depth = config.task_depth;
+    options.batch = config.batch_base_cases;
     const KdeResult kde = kde_dualtree_permuted(*qtree, *rtree, options);
     res.stats = kde.stats;
     res.traversal_seconds = timer.elapsed_s();
@@ -200,6 +202,7 @@ PatternDispatch try_pattern_execute(const ProblemPlan& plan,
     options.leaf_size = config.leaf_size;
     options.parallel = config.parallel;
     options.task_depth = config.task_depth;
+    options.batch = config.batch_base_cases;
     const RangeSearchResult rs =
         range_search_expert(qstore.dataset(), rstore.dataset(), options);
     res.stats = rs.stats;
@@ -220,6 +223,7 @@ PatternDispatch try_pattern_execute(const ProblemPlan& plan,
     options.leaf_size = config.leaf_size;
     options.parallel = config.parallel;
     options.task_depth = config.task_depth;
+    options.batch = config.batch_base_cases;
     const TwoPointResult tp = twopoint_expert(qstore.dataset(), options);
     res.stats = tp.stats;
     res.traversal_seconds = timer.elapsed_s();

@@ -9,6 +9,7 @@
 #include "kernels/fastmath.h"
 #include "kernels/linalg.h"
 #include "obs/trace.h"
+#include "util/aligned.h"
 
 namespace portal {
 
@@ -249,6 +250,227 @@ real_t VmProgram::run(const VmContext& ctx) const {
     }
   }
   return sp > 0 ? stack[sp - 1] : 0;
+}
+
+void VmProgram::run_batch(const BatchContext& ctx, real_t* out) const {
+  PORTAL_OBS_COUNT("vm/batch_evals", 1);
+  // Lane width: one SoA stack slot is a kLanes-wide vector. 16 doubles spans
+  // two AVX-512 / four AVX2 registers; the whole stack stays under 8 KiB.
+  constexpr index_t kLanes = 16;
+
+  for (index_t block = 0; block < ctx.count; block += kLanes) {
+    const index_t w = std::min(kLanes, ctx.count - block);
+    alignas(kCacheLineBytes) real_t stack[64][kLanes];
+    int sp = 0;
+    struct DimFrame {
+      real_t acc[kLanes];
+      bool is_sum;
+      index_t d;
+    };
+    DimFrame frames[4];
+    int fp = 0;
+    index_t current_d = 0;
+
+    const auto broadcast = [&](real_t v) {
+      real_t* slot = stack[sp++];
+#pragma omp simd
+      for (index_t l = 0; l < w; ++l) slot[l] = v;
+    };
+
+    for (std::size_t ip = 0; ip < code_.size(); ++ip) {
+      const Instr& ins = code_[ip];
+      real_t* top = sp > 0 ? stack[sp - 1] : nullptr;
+      real_t* under = sp > 1 ? stack[sp - 2] : nullptr;
+      switch (ins.op) {
+        case Op::PushConst: broadcast(ins.value); break;
+        case Op::LoadQCoord: broadcast(ctx.q[current_d]); break;
+        case Op::LoadRCoord: {
+          const real_t* slice =
+              ctx.rlanes + current_d * ctx.rstride + ctx.rbegin + block;
+          real_t* slot = stack[sp++];
+#pragma omp simd
+          for (index_t l = 0; l < w; ++l) slot[l] = slice[l];
+          break;
+        }
+        // Node-pair atoms are absent from pair kernels; they read as the
+        // defaulted-VmContext zeros so run_batch degrades exactly like
+        // run_pair would on such a program.
+        case Op::Dist:
+        case Op::DMin:
+        case Op::DMax:
+        case Op::CenterDist:
+        case Op::RCount:
+        case Op::Tau:
+        case Op::Bound: broadcast(0); break;
+        case Op::Add:
+#pragma omp simd
+          for (index_t l = 0; l < w; ++l) under[l] += top[l];
+          --sp;
+          break;
+        case Op::Sub:
+#pragma omp simd
+          for (index_t l = 0; l < w; ++l) under[l] -= top[l];
+          --sp;
+          break;
+        case Op::Mul:
+#pragma omp simd
+          for (index_t l = 0; l < w; ++l) under[l] *= top[l];
+          --sp;
+          break;
+        case Op::Div:
+#pragma omp simd
+          for (index_t l = 0; l < w; ++l) under[l] /= top[l];
+          --sp;
+          break;
+        case Op::Neg:
+#pragma omp simd
+          for (index_t l = 0; l < w; ++l) top[l] = -top[l];
+          break;
+        case Op::Abs:
+#pragma omp simd
+          for (index_t l = 0; l < w; ++l) top[l] = std::abs(top[l]);
+          break;
+        case Op::Min:
+#pragma omp simd
+          for (index_t l = 0; l < w; ++l) under[l] = std::min(under[l], top[l]);
+          --sp;
+          break;
+        case Op::Max:
+#pragma omp simd
+          for (index_t l = 0; l < w; ++l) under[l] = std::max(under[l], top[l]);
+          --sp;
+          break;
+        case Op::PowConst: {
+          const real_t exponent = ins.value;
+          const real_t intpart = std::nearbyint(exponent);
+          if (exponent == intpart && intpart >= 0 && intpart <= 32) {
+            const int e = static_cast<int>(intpart);
+            for (index_t l = 0; l < w; ++l) top[l] = pow_int(top[l], e);
+          } else {
+            for (index_t l = 0; l < w; ++l) top[l] = std::pow(top[l], exponent);
+          }
+          break;
+        }
+        case Op::Sqrt:
+#pragma omp simd
+          for (index_t l = 0; l < w; ++l) top[l] = std::sqrt(top[l]);
+          break;
+        case Op::FastSqrt:
+          for (index_t l = 0; l < w; ++l) top[l] = fast_sqrt(top[l]);
+          break;
+        case Op::InvSqrt:
+#pragma omp simd
+          for (index_t l = 0; l < w; ++l) top[l] = real_t(1) / std::sqrt(top[l]);
+          break;
+        case Op::FastInvSqrt:
+          for (index_t l = 0; l < w; ++l) top[l] = fast_inv_sqrt(top[l]);
+          break;
+        case Op::Exp:
+          for (index_t l = 0; l < w; ++l) top[l] = std::exp(top[l]);
+          break;
+        case Op::Log:
+          for (index_t l = 0; l < w; ++l) top[l] = std::log(top[l]);
+          break;
+        case Op::Less:
+#pragma omp simd
+          for (index_t l = 0; l < w; ++l)
+            under[l] = under[l] < top[l] ? 1 : 0;
+          --sp;
+          break;
+        case Op::Greater:
+#pragma omp simd
+          for (index_t l = 0; l < w; ++l)
+            under[l] = under[l] > top[l] ? 1 : 0;
+          --sp;
+          break;
+        case Op::And:
+#pragma omp simd
+          for (index_t l = 0; l < w; ++l)
+            under[l] = (under[l] != 0 && top[l] != 0) ? 1 : 0;
+          --sp;
+          break;
+        case Op::BeginDimSum:
+        case Op::BeginDimMax: {
+          const real_t init = ins.op == Op::BeginDimSum
+                                  ? real_t(0)
+                                  : std::numeric_limits<real_t>::lowest();
+          if (ctx.dim == 0) { // no dimensions: identity element, skip the body
+            broadcast(init);
+            ip = static_cast<std::size_t>(ins.arg);
+            break;
+          }
+          DimFrame& frame = frames[fp++];
+          for (index_t l = 0; l < kLanes; ++l) frame.acc[l] = init;
+          frame.is_sum = ins.op == Op::BeginDimSum;
+          frame.d = 0;
+          current_d = 0;
+          break;
+        }
+        case Op::EndDim: {
+          DimFrame& frame = frames[fp - 1];
+          const real_t* body = stack[--sp];
+          if (frame.is_sum) {
+#pragma omp simd
+            for (index_t l = 0; l < w; ++l) frame.acc[l] += body[l];
+          } else {
+#pragma omp simd
+            for (index_t l = 0; l < w; ++l)
+              frame.acc[l] = std::max(frame.acc[l], body[l]);
+          }
+          ++frame.d;
+          if (frame.d < ctx.dim) {
+            current_d = frame.d;
+            ip = static_cast<std::size_t>(ins.arg) - 1; // loop back
+          } else {
+            real_t* slot = stack[sp++];
+#pragma omp simd
+            for (index_t l = 0; l < w; ++l) slot[l] = frame.acc[l];
+            --fp;
+            current_d = fp > 0 ? frames[fp - 1].d : 0;
+          }
+          break;
+        }
+        case Op::Maha: {
+          // Per-lane scalar solve over a gathered contiguous point; the
+          // blocked batch::maha_sq_dists flavor serves the specialized
+          // paths, while the VM keeps the generic (exact-parity) fallback.
+          const MahaEntry& entry = mahas_[ins.arg];
+          real_t* rpt = ctx.scratch + 2 * ctx.dim;
+          real_t* slot = stack[sp++];
+          for (index_t l = 0; l < w; ++l) {
+            const index_t j = ctx.rbegin + block + l;
+            for (index_t d = 0; d < ctx.dim; ++d)
+              rpt[d] = ctx.rlanes[d * ctx.rstride + j];
+            slot[l] = entry.use_chol
+                          ? mahalanobis_sq_cholesky(ctx.q, rpt, entry.matrix,
+                                                    entry.m, ctx.scratch)
+                          : mahalanobis_sq_naive(ctx.q, rpt, entry.matrix,
+                                                 entry.m);
+          }
+          break;
+        }
+        case Op::External: {
+          real_t* rpt = ctx.scratch + 2 * ctx.dim;
+          real_t* slot = stack[sp++];
+          for (index_t l = 0; l < w; ++l) {
+            const index_t j = ctx.rbegin + block + l;
+            for (index_t d = 0; d < ctx.dim; ++d)
+              rpt[d] = ctx.rlanes[d * ctx.rstride + j];
+            slot[l] = externals_[ins.arg](ctx.q, rpt, ctx.dim);
+          }
+          break;
+        }
+      }
+    }
+    real_t* tile_out = out + block;
+    if (sp > 0) {
+      const real_t* result = stack[sp - 1];
+#pragma omp simd
+      for (index_t l = 0; l < w; ++l) tile_out[l] = result[l];
+    } else {
+      for (index_t l = 0; l < w; ++l) tile_out[l] = 0;
+    }
+  }
 }
 
 } // namespace portal

@@ -65,6 +65,27 @@ class VmProgram {
     return run(ctx);
   }
 
+  /// Inputs for the batched flavor: one query point against `count`
+  /// reference lanes from a SoA mirror (tree/soa_mirror.h); lane j's d-th
+  /// coordinate is rlanes[d * rstride + rbegin + j]. Node-pair atoms (Dist,
+  /// DMin, ...) read as 0, exactly like run_pair's defaulted VmContext.
+  struct BatchContext {
+    const real_t* q = nullptr;
+    const real_t* rlanes = nullptr;
+    index_t rstride = 0;
+    index_t rbegin = 0;
+    index_t count = 0;
+    index_t dim = 0;
+    real_t* scratch = nullptr; // 3*dim reals (Mahalanobis/External gather)
+  };
+
+  /// Evaluate one opcode stream across a whole lane array: the value stack
+  /// is structure-of-arrays (each slot a lane vector), so every opcode is a
+  /// `#pragma omp simd` sweep over the tile. Per lane this executes the same
+  /// operations in the same order as run_pair, so out[j] is bit-for-bit
+  /// run_pair(q, r_j). Thread-safe like run().
+  void run_batch(const BatchContext& ctx, real_t* out) const;
+
  private:
   enum class Op : std::uint8_t {
     PushConst,

@@ -7,6 +7,7 @@
 
 #include <omp.h>
 
+#include "kernels/batch.h"
 #include "obs/trace.h"
 #include "problems/common.h"
 #include "traversal/multitree.h"
@@ -140,10 +141,13 @@ class GenericRules {
     for (Workspace& ws : workspaces_) {
       ws.qpt.resize(dim);
       ws.rpt.resize(dim);
-      ws.scratch.resize(4 * dim + 4);
+      // 4*dim+4 covers point_distance gathers; the batched Mahalanobis solve
+      // works kMahaBlock lanes at a time and needs 2*dim*kMahaBlock.
+      ws.scratch.resize(std::max(4 * dim + 4, 2 * dim * batch::kMahaBlock));
       ws.dists.resize(max_leaf);
       ws.vals.resize(max_leaf);
     }
+    batch_ = config.batch_base_cases && !rtree.mirror().empty();
     if (plan.category == ProblemCategory::Pruning && traits_.is_reduction)
       bounds_ = std::vector<AtomicBound>(qtree.num_nodes());
     if (config.exclude_same_label != nullptr) {
@@ -246,24 +250,40 @@ class GenericRules {
         }
       }
 
-      // Kernel values for this query against the whole reference leaf.
+      // Kernel values for this query against the whole reference leaf,
+      // tile-batched over the SoA mirror when the backend supports it.
       const real_t* vals = ws.vals.data();
       if (normalized) {
-        natural_dists(metric_, maha_, rtree_.data(), rnode.begin, rnode.end,
-                      ws.qpt.data(), ws.dists.data(), ws.scratch.data(),
-                      ws.rpt.data());
+        if (batch_) {
+          batch::natural_dists(metric_, rtree_.mirror().tile(rnode.begin, rcount),
+                               ws.qpt.data(), maha_, ws.scratch.data(),
+                               ws.dists.data());
+          batch::count_batch_tile(rcount);
+        } else {
+          natural_dists(metric_, maha_, rtree_.data(), rnode.begin, rnode.end,
+                        ws.qpt.data(), ws.dists.data(), ws.scratch.data(),
+                        ws.rpt.data());
+          batch::count_scalar_tail(rcount);
+        }
         if (identity_env_) {
           vals = ws.dists.data(); // envelope is the identity: no copy
         } else {
           for (index_t j = 0; j < rcount; ++j)
             ws.vals[j] = eval_.envelope(ws.dists[j]);
         }
+      } else if (batch_ && eval_.kernel_batch) {
+        const SoaMirror& mirror = rtree_.mirror();
+        eval_.kernel_batch(ws.qpt.data(), mirror.lanes(), mirror.stride(),
+                           rnode.begin, rcount, dim, ws.scratch.data(),
+                           ws.vals.data());
+        batch::count_batch_tile(rcount);
       } else {
         for (index_t j = 0; j < rcount; ++j) {
           rtree_.data().copy_point(rnode.begin + j, ws.rpt.data());
           ws.vals[j] = eval_.kernel_pair(ws.qpt.data(), ws.rpt.data(), dim,
                                          ws.scratch.data());
         }
+        batch::count_scalar_tail(rcount);
       }
 
       const index_t ql = q_labels_.empty() ? -1 : q_labels_[qi];
@@ -449,6 +469,7 @@ class GenericRules {
   const MahalanobisContext* maha_;
   bool identity_env_;
   real_t tau_;
+  bool batch_ = false;
   std::vector<AtomicBound> bounds_;
   std::vector<index_t> q_labels_, r_labels_;
   std::vector<index_t> q_node_label_, r_node_label_;

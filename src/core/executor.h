@@ -27,6 +27,18 @@ struct EvaluatorFns {
   /// Mahalanobis). Required when the kernel is NOT normalized.
   std::function<real_t(const real_t*, const real_t*, index_t, real_t*)>
       kernel_pair;
+
+  /// Optional batched flavor of kernel_pair: evaluate one query point
+  /// against `count` SoA reference lanes (lane j's d-th coordinate at
+  /// rlanes[d * rstride + rbegin + j]; see tree/soa_mirror.h), writing
+  /// out[0..count). Must agree with kernel_pair per lane (the VM backend is
+  /// bit-exact; see VmProgram::run_batch). Scratch: 3*dim reals. Backends
+  /// without a batched path (JIT) leave this null and the executor falls
+  /// back to the per-pair loop, counted as base/scalar_pairs.
+  std::function<void(const real_t* q, const real_t* rlanes, index_t rstride,
+                     index_t rbegin, index_t count, index_t dim,
+                     real_t* scratch, real_t* out)>
+      kernel_batch;
 };
 
 /// kd-trees are cached across execute() calls keyed by (dataset identity,

@@ -114,6 +114,10 @@ struct PortalConfig {
   real_t tau = 1e-3;     // approximation threshold (approximation problems)
   real_t theta = 0.5;    // Barnes-Hut MAC
   bool strength_reduction = true; // Sec. IV-E pass on/off (accuracy knob)
+  bool batch_base_cases = true;   // SIMD tile evaluation of leaf x leaf blocks
+                                  // (Sec. IV-F data parallelism; off = the
+                                  // scalar per-pair path, kept as the ablation
+                                  // baseline and differential oracle)
   bool dump_ir = false;           // record per-stage IR snapshots
   bool verify_ir = true; // LLVM-style -verify-each: re-check IR well-formedness
                          // after lowering and after every pass (PTL-E codes)

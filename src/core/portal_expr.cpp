@@ -226,6 +226,22 @@ void PortalExpr::execute() {
                                     index_t dim, real_t* scratch) {
         return kernel_vm.run_pair(q, r, dim, scratch);
       };
+      // Batched flavor: the same program interpreted across a whole SoA lane
+      // tile (bit-for-bit run_pair per lane; see VmProgram::run_batch).
+      fns.kernel_batch = [kernel_vm](const real_t* q, const real_t* rlanes,
+                                     index_t rstride, index_t rbegin,
+                                     index_t count, index_t dim,
+                                     real_t* scratch, real_t* out) {
+        VmProgram::BatchContext bctx;
+        bctx.q = q;
+        bctx.rlanes = rlanes;
+        bctx.rstride = rstride;
+        bctx.rbegin = rbegin;
+        bctx.count = count;
+        bctx.dim = dim;
+        bctx.scratch = scratch;
+        kernel_vm.run_batch(bctx, out);
+      };
       if (plan_.kernel.normalized && plan_.kernel.envelope_ir) {
         const VmProgram env_vm = VmProgram::compile(plan_.kernel.envelope_ir);
         fns.envelope = [env_vm](real_t d) { return env_vm.run_envelope(d); };

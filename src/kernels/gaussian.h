@@ -19,6 +19,10 @@ class GaussianKernel {
 
   real_t sigma() const { return sigma_; }
 
+  /// Precomputed 1 / (2 sigma^2) for the batched lane kernels
+  /// (kernels/batch.h evaluates exp(-sq * inv_two_sigma_sq) per lane).
+  real_t inv_two_sigma_sq() const { return inv_two_sigma_sq_; }
+
   real_t eval_sq(real_t sq_dist) const {
     return std::exp(-sq_dist * inv_two_sigma_sq_);
   }

@@ -1,0 +1,167 @@
+#include "problems/golden.h"
+
+#include <algorithm>
+
+#include "data/generators.h"
+#include "problems/emst.h"
+#include "problems/hausdorff.h"
+#include "problems/kde.h"
+#include "problems/knn.h"
+#include "problems/range_search.h"
+#include "problems/twopoint.h"
+#include "util/csv.h"
+
+namespace portal {
+namespace {
+
+constexpr index_t kGoldenLeafSize = 16;
+
+/// Everything runs serial: deterministic accumulation order is the whole
+/// point of a golden table. (The batched base cases are bitwise-identical to
+/// the scalar path, so they do not perturb these numbers either way.)
+template <typename Options>
+Options serial_options() {
+  Options options;
+  options.leaf_size = kGoldenLeafSize;
+  options.parallel = false;
+  return options;
+}
+
+GoldenTable golden_knn(const Dataset& query, const Dataset& reference) {
+  auto options = serial_options<KnnOptions>();
+  options.k = 4;
+  options.metric = MetricKind::Euclidean;
+  const KnnResult knn = knn_expert(query, reference, options);
+
+  GoldenTable table;
+  table.name = "knn";
+  table.rows = query.size();
+  table.cols = 2 * options.k; // [idx_0..idx_3, dist_0..dist_3] per query
+  for (index_t j = 0; j < options.k; ++j) table.integer_cols.push_back(j);
+  table.values.reserve(static_cast<std::size_t>(table.rows) * table.cols);
+  for (index_t i = 0; i < query.size(); ++i) {
+    for (index_t j = 0; j < options.k; ++j)
+      table.values.push_back(static_cast<real_t>(knn.indices[i * options.k + j]));
+    for (index_t j = 0; j < options.k; ++j)
+      table.values.push_back(knn.distances[i * options.k + j]);
+  }
+  return table;
+}
+
+GoldenTable golden_kde(const Dataset& query, const Dataset& reference) {
+  auto options = serial_options<KdeOptions>();
+  options.sigma = real_t(0.7);
+  options.tau = real_t(1e-4);
+  options.normalize = true;
+  const KdeResult kde = kde_expert(query, reference, options);
+
+  GoldenTable table;
+  table.name = "kde";
+  table.rows = query.size();
+  table.cols = 1;
+  table.values = kde.densities;
+  return table;
+}
+
+GoldenTable golden_range_search(const Dataset& query, const Dataset& reference) {
+  auto options = serial_options<RangeSearchOptions>();
+  options.h_lo = real_t(0.2);
+  options.h_hi = real_t(1.1);
+  options.sort_neighbors = true;
+  const RangeSearchResult rs = range_search_expert(query, reference, options);
+
+  // CSR flattened to (query, neighbor) pairs -- rectangular, and already
+  // deterministic because neighbors are sorted per query.
+  GoldenTable table;
+  table.name = "range_search";
+  table.cols = 2;
+  table.integer_cols = {0, 1};
+  for (index_t i = 0; i < query.size(); ++i)
+    for (index_t o = rs.offsets[i]; o < rs.offsets[i + 1]; ++o) {
+      table.values.push_back(static_cast<real_t>(i));
+      table.values.push_back(static_cast<real_t>(rs.neighbors[o]));
+    }
+  table.rows = static_cast<index_t>(table.values.size()) / 2;
+  return table;
+}
+
+GoldenTable golden_emst(const Dataset& data) {
+  const EmstResult mst = emst_expert(data, serial_options<EmstOptions>());
+
+  // Canonical edge order: endpoints normalized a < b, rows sorted by
+  // (weight, a, b). The MST of a generic-position dataset is unique, so this
+  // is stable across any correct implementation.
+  std::vector<EmstEdge> edges = mst.edges;
+  for (EmstEdge& e : edges)
+    if (e.a > e.b) std::swap(e.a, e.b);
+  std::sort(edges.begin(), edges.end(), [](const EmstEdge& x, const EmstEdge& y) {
+    if (x.weight != y.weight) return x.weight < y.weight;
+    if (x.a != y.a) return x.a < y.a;
+    return x.b < y.b;
+  });
+
+  GoldenTable table;
+  table.name = "emst";
+  table.rows = static_cast<index_t>(edges.size());
+  table.cols = 3; // [a, b, weight]
+  table.integer_cols = {0, 1};
+  for (const EmstEdge& e : edges) {
+    table.values.push_back(static_cast<real_t>(e.a));
+    table.values.push_back(static_cast<real_t>(e.b));
+    table.values.push_back(e.weight);
+  }
+  return table;
+}
+
+GoldenTable golden_twopoint(const Dataset& data) {
+  auto options = serial_options<TwoPointOptions>();
+  options.h = real_t(0.9);
+  const TwoPointResult tp = twopoint_expert(data, options);
+
+  GoldenTable table;
+  table.name = "twopoint";
+  table.rows = 1;
+  table.cols = 1;
+  table.integer_cols = {0};
+  table.values.push_back(static_cast<real_t>(tp.pairs));
+  return table;
+}
+
+GoldenTable golden_hausdorff(const Dataset& query, const Dataset& reference) {
+  const HausdorffResult h =
+      hausdorff_expert(query, reference, serial_options<HausdorffOptions>());
+
+  GoldenTable table;
+  table.name = "hausdorff";
+  table.rows = 1;
+  table.cols = 3; // [directed_qr, directed_rq, symmetric]
+  table.values = {h.directed_qr, h.directed_rq, h.symmetric};
+  return table;
+}
+
+} // namespace
+
+std::vector<GoldenTable> compute_golden_tables() {
+  // Two gaussian-mixture clouds; self-join problems (EMST, two-point) run on
+  // the query cloud. Sizes are deliberately non-multiples of the leaf size
+  // so the traversals end in ragged tiles.
+  const Dataset query = make_gaussian_mixture(123, 3, 3, kGoldenSeed);
+  const Dataset reference = make_gaussian_mixture(157, 3, 3, kGoldenSeed + 1);
+
+  std::vector<GoldenTable> tables;
+  tables.push_back(golden_knn(query, reference));
+  tables.push_back(golden_kde(query, reference));
+  tables.push_back(golden_range_search(query, reference));
+  tables.push_back(golden_emst(query));
+  tables.push_back(golden_twopoint(query));
+  tables.push_back(golden_hausdorff(query, reference));
+  return tables;
+}
+
+void dump_golden_tables(const std::string& dir) {
+  for (const GoldenTable& table : compute_golden_tables())
+    write_csv(dir + "/" + table.name + ".csv", table.values.data(), table.rows,
+              table.cols);
+}
+
+} // namespace portal

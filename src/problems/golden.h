@@ -1,0 +1,39 @@
+// Portal -- golden regression tables for the six Table-IV problems.
+//
+// One pinned-seed dataset pair, serial execution, fixed options: the exact
+// numbers these produce are committed under tests/golden/*.csv and guarded
+// by tests/test_golden.cpp. A legitimate behavior change regenerates them
+// with `portal_cli --dump-golden=DIR`; anything else that moves the numbers
+// is a regression the suite is designed to catch.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/common.h"
+
+namespace portal {
+
+/// The RNG seed and shapes behind every golden table. Changing any of these
+/// invalidates the committed CSVs -- regenerate them in the same commit.
+inline constexpr std::uint64_t kGoldenSeed = 20260806ull;
+
+struct GoldenTable {
+  std::string name;           // CSV basename, e.g. "knn" -> knn.csv
+  std::vector<real_t> values; // row-major rows x cols
+  index_t rows = 0;
+  index_t cols = 0;
+  /// Columns holding integral identifiers (point indices, counts): compared
+  /// exactly by the golden test; the rest compare within a small relative
+  /// tolerance to absorb libm variation across platforms.
+  std::vector<index_t> integer_cols;
+};
+
+/// Compute all six tables (k-NN, KDE, range search, EMST, two-point,
+/// Hausdorff) on the pinned-seed datasets with serial options.
+std::vector<GoldenTable> compute_golden_tables();
+
+/// Write every table to `<dir>/<name>.csv` (CSV dialect of util/csv.h).
+void dump_golden_tables(const std::string& dir);
+
+} // namespace portal

@@ -33,6 +33,7 @@ HausdorffResult hausdorff_expert(const Dataset& a, const Dataset& b,
   knn.leaf_size = options.leaf_size;
   knn.parallel = options.parallel;
   knn.task_depth = options.task_depth;
+  knn.batch = options.batch; // tile evaluation happens in the k-NN base cases
 
   HausdorffResult result;
   const KnnResult ab = knn_expert(a, b, knn);

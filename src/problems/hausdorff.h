@@ -20,6 +20,7 @@ struct HausdorffOptions {
   index_t leaf_size = kDefaultLeafSize;
   bool parallel = true;
   int task_depth = -1;
+  bool batch = true; // rides on k-NN's batched base cases
 };
 
 struct HausdorffResult {

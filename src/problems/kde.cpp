@@ -5,6 +5,7 @@
 
 #include <omp.h>
 
+#include "kernels/batch.h"
 #include "kernels/gaussian.h"
 #include "obs/trace.h"
 #include "problems/common.h"
@@ -23,6 +24,7 @@ class KdeRules {
         kernel_(options.sigma),
         tau_(options.tau),
         densities_(densities),
+        batch_(options.batch && !rtree.mirror().empty()),
         workspaces_(num_threads()) {
     const index_t max_leaf = rtree.stats().max_leaf_count;
     const index_t dim = qtree.data().dim();
@@ -75,10 +77,22 @@ class KdeRules {
     const index_t rcount = rnode.count();
     for (index_t qi = qnode.begin; qi < qnode.end; ++qi) {
       qtree_.data().copy_point(qi, ws.qpt.data());
-      sq_dists_to_range(rtree_.data(), rnode.begin, rnode.end, ws.qpt.data(),
-                        ws.dists.data());
       real_t total = 0;
-      for (index_t j = 0; j < rcount; ++j) total += kernel_.eval_sq(ws.dists[j]);
+      if (batch_) {
+        // Distances evaluate lane-parallel off the SoA mirror; the fused
+        // exp-sum then runs in the same ascending-j order as the scalar
+        // path, so the result is bitwise-identical.
+        batch::sq_dists(rtree_.mirror().tile(rnode.begin, rcount),
+                        ws.qpt.data(), ws.dists.data());
+        batch::count_batch_tile(rcount);
+        total += batch::gaussian_sq_sum(ws.dists.data(), rcount,
+                                        kernel_.inv_two_sigma_sq());
+      } else {
+        sq_dists_to_range(rtree_.data(), rnode.begin, rnode.end, ws.qpt.data(),
+                          ws.dists.data());
+        batch::count_scalar_tail(rcount);
+        for (index_t j = 0; j < rcount; ++j) total += kernel_.eval_sq(ws.dists[j]);
+      }
       densities_[qi] += total;
     }
   }
@@ -95,6 +109,7 @@ class KdeRules {
   GaussianKernel kernel_;
   real_t tau_;
   std::vector<real_t>& densities_;
+  bool batch_;
   std::vector<Workspace> workspaces_;
 };
 

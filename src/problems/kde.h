@@ -25,6 +25,7 @@ struct KdeOptions {
   bool normalize = true;  // apply (2 pi sigma^2)^{-d/2} / N at the end
   bool parallel = true;
   int task_depth = -1;
+  bool batch = true;     // SIMD tile base cases over the tree's SoA mirror
 };
 
 struct KdeResult {

@@ -5,6 +5,7 @@
 
 #include <omp.h>
 
+#include "kernels/batch.h"
 #include "problems/common.h"
 #include "traversal/multitree.h"
 #include "util/threading.h"
@@ -37,6 +38,7 @@ class KnnRules {
         dists_(dists),
         ids_(ids),
         node_bounds_(qtree.num_nodes()),
+        batch_(options.batch && !rtree.mirror().empty()),
         workspaces_(num_threads()) {
     const index_t max_leaf = rtree.stats().max_leaf_count;
     for (KnnWorkspace& ws : workspaces_) {
@@ -69,8 +71,17 @@ class KnnRules {
       // Point-level prune before touching reference coordinates.
       const real_t point_min = point_box_min(ws.qpt.data(), rnode.box);
       if (point_min <= list.worst()) {
-        dists_to_range(options_.metric, rtree_.data(), rnode.begin, rnode.end,
-                       ws.qpt.data(), ws.dists.data());
+        // Batched flavor streams the SoA mirror tile (same dimension-outer
+        // accumulation order as dists_to_range, so results are identical).
+        if (batch_) {
+          batch::dists(options_.metric, rtree_.mirror().tile(rnode.begin, rcount),
+                       ws.qpt.data(), nullptr, nullptr, ws.dists.data());
+          batch::count_batch_tile(rcount);
+        } else {
+          dists_to_range(options_.metric, rtree_.data(), rnode.begin, rnode.end,
+                         ws.qpt.data(), ws.dists.data());
+          batch::count_scalar_tail(rcount);
+        }
         for (index_t j = 0; j < rcount; ++j)
           list.insert(ws.dists[j], rnode.begin + j);
       }
@@ -117,6 +128,7 @@ class KnnRules {
   std::vector<real_t>& dists_;
   std::vector<index_t>& ids_;
   std::vector<AtomicBound> node_bounds_;
+  bool batch_;
   std::vector<KnnWorkspace> workspaces_;
 };
 

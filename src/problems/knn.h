@@ -23,6 +23,7 @@ struct KnnOptions {
   MetricKind metric = MetricKind::Euclidean;
   bool parallel = true;
   int task_depth = -1; // -1: derive from thread count
+  bool batch = true;   // SIMD tile base cases over the tree's SoA mirror
 };
 
 struct KnnResult {

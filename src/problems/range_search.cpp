@@ -5,6 +5,7 @@
 
 #include <omp.h>
 
+#include "kernels/batch.h"
 #include "problems/common.h"
 #include "traversal/multitree.h"
 #include "util/threading.h"
@@ -22,6 +23,7 @@ class RangeRules {
         lo_sq_(options.h_lo * options.h_lo),
         hi_sq_(options.h_hi * options.h_hi),
         lists_(lists),
+        batch_(options.batch && !rtree.mirror().empty()),
         workspaces_(num_threads()) {
     const index_t max_leaf = rtree.stats().max_leaf_count;
     for (Workspace& ws : workspaces_) {
@@ -57,8 +59,15 @@ class RangeRules {
     const index_t rcount = rnode.count();
     for (index_t qi = qnode.begin; qi < qnode.end; ++qi) {
       qtree_.data().copy_point(qi, ws.qpt.data());
-      sq_dists_to_range(rtree_.data(), rnode.begin, rnode.end, ws.qpt.data(),
-                        ws.dists.data());
+      if (batch_) {
+        batch::sq_dists(rtree_.mirror().tile(rnode.begin, rcount),
+                        ws.qpt.data(), ws.dists.data());
+        batch::count_batch_tile(rcount);
+      } else {
+        sq_dists_to_range(rtree_.data(), rnode.begin, rnode.end, ws.qpt.data(),
+                          ws.dists.data());
+        batch::count_scalar_tail(rcount);
+      }
       std::vector<index_t>& list = lists_[qi];
       for (index_t j = 0; j < rcount; ++j)
         if (ws.dists[j] > lo_sq_ && ws.dists[j] < hi_sq_)
@@ -77,6 +86,7 @@ class RangeRules {
   real_t lo_sq_;
   real_t hi_sq_;
   std::vector<std::vector<index_t>>& lists_;
+  bool batch_;
   std::vector<Workspace> workspaces_;
 };
 

@@ -23,6 +23,7 @@ struct RangeSearchOptions {
   bool parallel = true;
   int task_depth = -1;
   bool sort_neighbors = true; // ascending index per query (deterministic output)
+  bool batch = true; // SIMD tile base cases over the tree's SoA mirror
 };
 
 /// CSR-shaped result: query i's neighbors are

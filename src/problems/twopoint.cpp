@@ -5,6 +5,7 @@
 
 #include <omp.h>
 
+#include "kernels/batch.h"
 #include "problems/common.h"
 #include "traversal/multitree.h"
 #include "util/threading.h"
@@ -14,8 +15,11 @@ namespace {
 
 class TwoPointRules {
  public:
-  TwoPointRules(const KdTree& tree, real_t h)
-      : tree_(tree), h_sq_(h * h), workspaces_(num_threads()) {
+  TwoPointRules(const KdTree& tree, real_t h, bool batch)
+      : tree_(tree),
+        h_sq_(h * h),
+        batch_(batch && !tree.mirror().empty()),
+        workspaces_(num_threads()) {
     const index_t max_leaf = tree.stats().max_leaf_count;
     for (Workspace& ws : workspaces_) {
       ws.qpt.resize(tree.data().dim());
@@ -60,13 +64,21 @@ class TwoPointRules {
     std::uint64_t local = 0;
 
     if (q == r) {
-      // Within one leaf: count i < j once.
+      // Within one leaf: count i < j once. The self-join tiles are ragged
+      // (count shrinks by one per row) -- the batch kernels take any count.
       for (index_t i = qnode.begin; i < qnode.end; ++i) {
         tree_.data().copy_point(i, ws.qpt.data());
         const index_t count = qnode.end - (i + 1);
         if (count <= 0) continue;
-        sq_dists_to_range(tree_.data(), i + 1, qnode.end, ws.qpt.data(),
+        if (batch_) {
+          batch::sq_dists(tree_.mirror().tile(i + 1, count), ws.qpt.data(),
                           ws.dists.data());
+          batch::count_batch_tile(count);
+        } else {
+          sq_dists_to_range(tree_.data(), i + 1, qnode.end, ws.qpt.data(),
+                            ws.dists.data());
+          batch::count_scalar_tail(count);
+        }
         for (index_t j = 0; j < count; ++j)
           if (ws.dists[j] < h_sq_) ++local;
       }
@@ -75,8 +87,15 @@ class TwoPointRules {
       const index_t rcount = rnode.count();
       for (index_t i = qnode.begin; i < qnode.end; ++i) {
         tree_.data().copy_point(i, ws.qpt.data());
-        sq_dists_to_range(tree_.data(), rnode.begin, rnode.end, ws.qpt.data(),
-                          ws.dists.data());
+        if (batch_) {
+          batch::sq_dists(tree_.mirror().tile(rnode.begin, rcount),
+                          ws.qpt.data(), ws.dists.data());
+          batch::count_batch_tile(rcount);
+        } else {
+          sq_dists_to_range(tree_.data(), rnode.begin, rnode.end, ws.qpt.data(),
+                            ws.dists.data());
+          batch::count_scalar_tail(rcount);
+        }
         for (index_t j = 0; j < rcount; ++j)
           if (ws.dists[j] < h_sq_) ++local;
       }
@@ -92,6 +111,7 @@ class TwoPointRules {
 
   const KdTree& tree_;
   real_t h_sq_;
+  bool batch_;
   std::atomic<std::uint64_t> pairs_{0};
   std::vector<Workspace> workspaces_;
 };
@@ -126,7 +146,7 @@ TwoPointResult twopoint_bruteforce(const Dataset& data, real_t h) {
 TwoPointResult twopoint_expert(const Dataset& data, const TwoPointOptions& options) {
   if (options.h <= 0) throw std::invalid_argument("twopoint: h must be positive");
   const KdTree tree(data, options.leaf_size);
-  TwoPointRules rules(tree, options.h);
+  TwoPointRules rules(tree, options.h, options.batch);
   TraversalOptions topt;
   topt.parallel = options.parallel;
   topt.task_depth = options.task_depth;

@@ -24,6 +24,7 @@ struct TwoPointOptions {
   index_t leaf_size = kDefaultLeafSize;
   bool parallel = true;
   int task_depth = -1;
+  bool batch = true; // SIMD tile base cases over the tree's SoA mirror
 };
 
 struct TwoPointResult {

@@ -152,6 +152,7 @@ BallTree::BallTree(const Dataset& data, index_t leaf_size, bool parallel_build)
 
   data_ = Dataset(n, dim, data.layout());
   detail::materialize_permuted(data, perm_, data_, parallel_build);
+  mirror_.build(data_, parallel_build);
   materialize_scope.stop();
   PORTAL_OBS_COUNT("tree/ball/builds", 1);
   PORTAL_OBS_COUNT("tree/ball/points", static_cast<std::uint64_t>(n));

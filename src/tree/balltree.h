@@ -17,6 +17,7 @@
 #include "kernels/metrics.h"
 #include "tree/bbox.h"
 #include "tree/kdtree.h" // kDefaultLeafSize
+#include "tree/soa_mirror.h"
 #include "util/common.h"
 
 namespace portal {
@@ -96,6 +97,8 @@ class BallTree {
                     bool parallel_build = true);
 
   const Dataset& data() const { return data_; }
+  /// SoA mirror of data() for the batched base cases (tree/soa_mirror.h).
+  const SoaMirror& mirror() const { return mirror_; }
   const std::vector<index_t>& perm() const { return perm_; }
   const std::vector<index_t>& inverse_perm() const { return inv_perm_; }
   index_t leaf_size() const { return leaf_size_; }
@@ -125,6 +128,7 @@ class BallTree {
   std::vector<std::pair<real_t, index_t>>* build_scratch_ = nullptr;
 
   Dataset data_;
+  SoaMirror mirror_;
   std::vector<index_t> perm_;
   std::vector<index_t> inv_perm_;
   std::vector<BallNode> nodes_;

@@ -66,6 +66,7 @@ KdTree::KdTree(const Dataset& data, index_t leaf_size, bool parallel_build)
   // Materialize the permuted dataset (leaf ranges contiguous).
   data_ = Dataset(n, data.dim(), data.layout());
   detail::materialize_permuted(data, perm_, data_, parallel_build);
+  mirror_.build(data_, parallel_build);
   materialize_scope.stop();
   PORTAL_OBS_COUNT("tree/kd/builds", 1);
   PORTAL_OBS_COUNT("tree/kd/points", static_cast<std::uint64_t>(n));

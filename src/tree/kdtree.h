@@ -19,6 +19,7 @@
 
 #include "data/dataset.h"
 #include "tree/bbox.h"
+#include "tree/soa_mirror.h"
 #include "util/common.h"
 
 namespace portal {
@@ -60,6 +61,10 @@ class KdTree {
 
   /// The permuted dataset: node [begin, end) ranges index into this.
   const Dataset& data() const { return data_; }
+
+  /// SoA mirror of data() for the batched base cases: leaf ranges are
+  /// contiguous lane runs (tree/soa_mirror.h).
+  const SoaMirror& mirror() const { return mirror_; }
 
   /// new index -> original index (data().point(i) was input point perm()[i]).
   const std::vector<index_t>& perm() const { return perm_; }
@@ -103,6 +108,7 @@ class KdTree {
   std::vector<std::pair<real_t, index_t>>* build_scratch_ = nullptr;
 
   Dataset data_;
+  SoaMirror mirror_;
   std::vector<index_t> perm_;
   std::vector<index_t> inv_perm_;
   std::vector<KdNode> nodes_;

@@ -66,6 +66,7 @@ Octree::Octree(const Dataset& positions, const std::vector<real_t>& masses,
   masses_.resize(n);
 #pragma omp parallel for schedule(static) if (parallel_build && n >= (1 << 15))
   for (index_t i = 0; i < n; ++i) masses_[i] = masses[perm_[i]];
+  mirror_.build(positions_, parallel_build);
   materialize_scope.stop();
   PORTAL_OBS_COUNT("tree/octree/builds", 1);
   PORTAL_OBS_COUNT("tree/octree/points", static_cast<std::uint64_t>(n));

@@ -11,6 +11,7 @@
 
 #include "data/dataset.h"
 #include "tree/bbox.h"
+#include "tree/soa_mirror.h"
 #include "util/common.h"
 
 namespace portal {
@@ -52,6 +53,8 @@ class Octree {
          index_t leaf_size = 16, bool parallel_build = true);
 
   const Dataset& positions() const { return positions_; }
+  /// SoA mirror of positions() for the batched base cases (tree/soa_mirror.h).
+  const SoaMirror& mirror() const { return mirror_; }
   const std::vector<real_t>& masses() const { return masses_; }
   const std::vector<index_t>& perm() const { return perm_; }
   const std::vector<index_t>& inverse_perm() const { return inv_perm_; }
@@ -68,6 +71,7 @@ class Octree {
                           const Dataset& input, const std::vector<real_t>& input_mass);
 
   Dataset positions_;
+  SoaMirror mirror_;
   std::vector<real_t> masses_;
   std::vector<index_t> perm_;
   std::vector<index_t> inv_perm_;

@@ -1,0 +1,37 @@
+#include "tree/soa_mirror.h"
+
+#include <cstring>
+
+#include "obs/trace.h"
+#include "util/threading.h"
+
+namespace portal {
+
+void SoaMirror::build(const Dataset& data, bool parallel) {
+  PORTAL_OBS_SCOPE(mirror_scope, "tree/soa_mirror");
+  size_ = data.size();
+  dim_ = data.dim();
+  // Round the slice length up to a full cache line of reals so every
+  // dimension lane starts 64-byte aligned (the buffer itself is aligned).
+  constexpr index_t lane_reals =
+      static_cast<index_t>(kCacheLineBytes / sizeof(real_t));
+  stride_ = (size_ + lane_reals - 1) / lane_reals * lane_reals;
+  lanes_.allocate(static_cast<std::size_t>(dim_) * stride_);
+  if (size_ == 0) return;
+
+  real_t* out = lanes_.data();
+  const bool use_threads = parallel && !in_parallel_region() && num_threads() > 1;
+#pragma omp parallel for schedule(static) if (use_threads)
+  for (index_t d = 0; d < dim_; ++d) {
+    real_t* slice = out + d * stride_;
+    if (data.layout() == Layout::ColMajor) {
+      std::memcpy(slice, data.col_ptr(d),
+                  static_cast<std::size_t>(size_) * sizeof(real_t));
+    } else {
+      for (index_t i = 0; i < size_; ++i) slice[i] = data.coord(i, d);
+    }
+  }
+  PORTAL_OBS_COUNT("tree/soa_mirror/points", static_cast<std::uint64_t>(size_));
+}
+
+} // namespace portal

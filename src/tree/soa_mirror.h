@@ -1,0 +1,57 @@
+// Portal -- SoA leaf mirror for batched base cases (paper Sec. IV-F).
+//
+// The trees permute their dataset so every leaf owns a contiguous
+// [begin, end) range. Mirroring that permuted dataset once into
+// dimension-major lanes -- each dimension a 64-byte-aligned slice of
+// `stride` points -- turns every leaf into a ready-made SIMD tile: the
+// batched kernels in kernels/batch.h stream `lane(d) + leaf.begin` with
+// unit-stride loads regardless of the Dataset's layout policy (which
+// switches to row-major above 4 dimensions, where per-point loads would
+// otherwise gather). The mirror is immutable after the build and lives
+// exactly as long as its tree, so tiles can be consumed from any thread.
+#pragma once
+
+#include "data/dataset.h"
+#include "kernels/batch.h"
+#include "util/aligned.h"
+#include "util/common.h"
+
+namespace portal {
+
+class SoaMirror {
+ public:
+  SoaMirror() = default;
+
+  /// Mirror `data` (the tree's permuted dataset). `parallel` matches the
+  /// tree's build flag; the copy is deterministic either way.
+  void build(const Dataset& data, bool parallel);
+
+  bool empty() const { return size_ == 0; }
+  index_t size() const { return size_; }
+  index_t dim() const { return dim_; }
+
+  /// Points per dimension slice; padded up so each slice starts on a cache
+  /// line. Padding entries are zero and never addressed by [begin, end)
+  /// leaf ranges.
+  index_t stride() const { return stride_; }
+
+  /// Base of the dimension-major storage: point j's d-th coordinate lives at
+  /// lanes()[d * stride() + j].
+  const real_t* lanes() const { return lanes_.data(); }
+
+  /// Dimension slice d (64-byte aligned).
+  const real_t* lane(index_t d) const { return lanes_.data() + d * stride_; }
+
+  /// View of a leaf's [begin, begin + count) range as a batch tile.
+  batch::Tile tile(index_t begin, index_t count) const {
+    return batch::Tile{lanes_.data(), stride_, begin, count, dim_};
+  }
+
+ private:
+  index_t size_ = 0;
+  index_t dim_ = 0;
+  index_t stride_ = 0;
+  AlignedBuffer<real_t> lanes_;
+};
+
+} // namespace portal

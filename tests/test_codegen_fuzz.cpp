@@ -14,8 +14,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 #include "core/analysis.h"
 #include "core/codegen/jit.h"
@@ -308,7 +310,8 @@ ChainSpec draw_chain(Rng& rng, const Var& q, const Var& r, int chain_index,
 /// approximation problems). Returns the output storage.
 Storage run_chain(const ChainSpec& spec, const Var& q, const Var& r,
                   const Storage& query, const Storage& reference, Engine engine,
-                  ProblemCategory* category) {
+                  ProblemCategory* category, bool batch = true,
+                  index_t leaf_size = 16) {
   PortalExpr expr;
   if (spec.use_custom) {
     expr.addLayer(spec.outer, q, query);
@@ -322,7 +325,8 @@ Storage run_chain(const ChainSpec& spec, const Var& q, const Var& r,
   config.parallel = false; // deterministic accumulation order per engine
   config.validate = true;  // every engine run is checked against brute force
   config.tau = 1e-3;
-  config.leaf_size = 16;
+  config.leaf_size = leaf_size;
+  config.batch_base_cases = batch;
   expr.execute(config);
   if (category != nullptr) *category = expr.plan().category;
   return expr.getOutput();
@@ -370,6 +374,20 @@ TEST(DifferentialConformance, RandomChainsAgreeAcrossEngines) {
             ? 2 * real_t(1e-3) * static_cast<real_t>(reference.size())
             : real_t(1e-6);
 
+    // Batched-vs-scalar differential: the baseline ran with the SIMD tile
+    // base cases on (the default); the scalar per-pair path is the oracle.
+    // Tolerance is ZERO -- per-lane operation order is identical and the
+    // build carries no -ffast-math, so agreement must be bitwise.
+    {
+      Storage scalar_out;
+      ASSERT_NO_THROW(scalar_out = run_chain(spec, q, r, query, reference,
+                                             Engine::VM, nullptr,
+                                             /*batch=*/false));
+      const std::string mismatch =
+          compare_outputs(scalar_out.output(), baseline.output(), 0);
+      EXPECT_TRUE(mismatch.empty()) << "batched vm vs scalar vm: " << mismatch;
+    }
+
     if (jit) {
       Storage jit_out;
       ASSERT_NO_THROW(jit_out = run_chain(spec, q, r, query, reference,
@@ -386,6 +404,14 @@ TEST(DifferentialConformance, RandomChainsAgreeAcrossEngines) {
       const std::string mismatch =
           compare_outputs(baseline.output(), pattern_out.output(), tolerance);
       EXPECT_TRUE(mismatch.empty()) << "vm vs pattern: " << mismatch;
+
+      // The pattern engine's own batched/scalar pair must also be bitwise.
+      Storage pattern_scalar =
+          run_chain(spec, q, r, query, reference, Engine::Pattern, nullptr,
+                    /*batch=*/false);
+      const std::string bmis =
+          compare_outputs(pattern_scalar.output(), pattern_out.output(), 0);
+      EXPECT_TRUE(bmis.empty()) << "batched pattern vs scalar pattern: " << bmis;
     } catch (const std::invalid_argument&) {
       // No specialized kernel matches this chain; VM/JIT coverage stands.
     }
@@ -398,6 +424,161 @@ TEST(DifferentialConformance, RandomChainsAgreeAcrossEngines) {
       << "pattern engine participated in too few chains";
   EXPECT_GE(maha_chains, kChains / 16)
       << "Mahalanobis chains under-represented";
+}
+
+/// ULP distance between two doubles (monotone integer mapping). Identical
+/// bit patterns (and +0/-0) are 0; NaNs are "infinitely" far unless both NaN.
+std::int64_t ulp_distance(real_t a, real_t b) {
+  if (std::isnan(a) || std::isnan(b))
+    return (std::isnan(a) && std::isnan(b)) ? 0
+                                            : std::numeric_limits<std::int64_t>::max();
+  std::int64_t ia, ib;
+  std::memcpy(&ia, &a, sizeof(ia));
+  std::memcpy(&ib, &b, sizeof(ib));
+  if (ia < 0) ia = std::numeric_limits<std::int64_t>::min() - ia;
+  if (ib < 0) ib = std::numeric_limits<std::int64_t>::min() - ib;
+  const std::int64_t d = ia - ib;
+  return d < 0 ? -d : d;
+}
+
+// VmProgram::run_batch vs run_pair, lane by lane: the SoA interpreter claims
+// bit-for-bit parity with the scalar pair interpreter. Sweeps dim 1/2/3/10
+// and ragged lane counts around the 16-lane block width (1, q-1, q, q+1),
+// with a nonzero tile offset and padded stride, on both the plain and the
+// strength-reduced (fast-math) programs. Plain programs must agree exactly;
+// fast-math ops are allowed <= 2 ULP per the documented envelope (in
+// practice the per-lane code is identical and the distance observed is 0).
+TEST(CodegenFuzz, RunBatchMatchesRunPairPerLane) {
+  const std::uint64_t seed = fuzz_seed();
+  std::printf("PORTAL_FUZZ_SEED=%llu\n", static_cast<unsigned long long>(seed));
+  Rng rng(seed ^ 0xb10cba7cull);
+
+  const index_t dims[] = {1, 2, 3, 10};
+  const index_t counts[] = {1, 15, 16, 17};
+
+  for (int trial = 0; trial < 6; ++trial) {
+    Var q, r;
+    IrExprPtr plain_ir;
+    std::string label;
+    if (trial < 4) {
+      AstFuzzer fuzzer(seed + 40 * trial, q, r);
+      const Expr kernel = fuzzer.scalar_kernel();
+      label = kernel.to_string();
+      plain_ir = lower_kernel_expr(kernel, q.id(), r.id(), {});
+    } else if (trial == 4) {
+      // Mahalanobis atom: exercises the per-lane gather + scalar solve path.
+      const Expr kernel = exp(Expr(-0.25) * mahalanobis(q, r, random_spd3(rng)));
+      label = "mahalanobis";
+      plain_ir = lower_kernel_expr(kernel, q.id(), r.id(), {});
+      plain_ir = numerical_optimization_pass(plain_ir);
+    } else {
+      // Gaussian tail only: Exp-heavy program.
+      const Expr kernel = exp(Expr(-0.3) * dimsum(pow(Expr(q) - Expr(r), 2)));
+      label = "gaussian";
+      plain_ir = lower_kernel_expr(kernel, q.id(), r.id(), {});
+    }
+    IrExprPtr fast_ir = strength_reduction_pass(plain_ir);
+    fast_ir = constant_fold_pass(fast_ir);
+
+    const VmProgram programs[] = {VmProgram::compile(plain_ir),
+                                  VmProgram::compile(fast_ir)};
+    const std::int64_t max_ulp[] = {0, 2};
+
+    for (index_t dim : dims) {
+      // trial 4 lowered a dim-3 covariance: only valid at dim 3.
+      if (trial == 4 && dim != 3) continue;
+      for (index_t count : counts) {
+        SCOPED_TRACE("kernel [" + label + "] dim=" + std::to_string(dim) +
+                     " count=" + std::to_string(count));
+        // Hand-built SoA mirror slice: padded stride, nonzero begin offset.
+        const index_t rbegin = 3;
+        const index_t stride = rbegin + count + 5;
+        std::vector<real_t> lanes(static_cast<std::size_t>(dim) * stride, -7);
+        std::vector<real_t> qpt(dim);
+        for (index_t d = 0; d < dim; ++d) {
+          qpt[d] = rng.uniform(-3, 3);
+          for (index_t j = 0; j < count; ++j)
+            lanes[d * stride + rbegin + j] = rng.uniform(-3, 3);
+        }
+
+        std::vector<real_t> scratch(3 * dim + 8), out(count),
+            rpt(dim), pair_scratch(3 * dim + 8);
+        for (int p = 0; p < 2; ++p) {
+          VmProgram::BatchContext bctx;
+          bctx.q = qpt.data();
+          bctx.rlanes = lanes.data();
+          bctx.rstride = stride;
+          bctx.rbegin = rbegin;
+          bctx.count = count;
+          bctx.dim = dim;
+          bctx.scratch = scratch.data();
+          programs[p].run_batch(bctx, out.data());
+
+          for (index_t j = 0; j < count; ++j) {
+            for (index_t d = 0; d < dim; ++d)
+              rpt[d] = lanes[d * stride + rbegin + j];
+            const real_t expect =
+                programs[p].run_pair(qpt.data(), rpt.data(), dim,
+                                     pair_scratch.data());
+            EXPECT_LE(ulp_distance(expect, out[j]), max_ulp[p])
+                << (p == 0 ? "plain" : "optimized") << " lane " << j
+                << ": run_pair=" << expect << " run_batch=" << out[j];
+          }
+        }
+      }
+    }
+  }
+}
+
+// End-to-end batched/scalar exactness across dimensionalities and ragged
+// leaf shapes: leaf sizes 1 (degenerate tiles), 15/16 (around the VM's
+// 16-lane block) over point counts that leave ragged tails. Every engine
+// pair must agree with tolerance ZERO.
+TEST(DifferentialConformance, BatchedScalarExactAcrossDimsAndLeafSizes) {
+  const std::uint64_t seed = fuzz_seed() ^ 0x5ca1ab1eull;
+  Rng rng(seed);
+  const index_t dims[] = {1, 2, 3, 10};
+  const index_t leaf_sizes[] = {1, 15, 16};
+
+  for (index_t dim : dims) {
+    Var q, r;
+    ChainSpec specs[3];
+    specs[0].description = "knn";
+    specs[0].inner = OpSpec(PortalOp::KARGMIN, 3);
+    specs[0].func = PortalFunc::EUCLIDEAN;
+    specs[1].description = "kde";
+    specs[1].inner = OpSpec(PortalOp::SUM);
+    specs[1].func = PortalFunc::gaussian(real_t(0.8));
+    specs[2].description = "custom-sum";
+    specs[2].inner = OpSpec(PortalOp::SUM);
+    specs[2].use_custom = true;
+    AstFuzzer fuzzer(seed + dim, q, r);
+    specs[2].custom_kernel = fuzzer.scalar_kernel();
+
+    // 77 and 53 points: not multiples of any tested leaf size, so every
+    // traversal ends in ragged tiles.
+    Storage query(make_gaussian_mixture(53, dim, 2, seed + dim));
+    Storage reference(make_gaussian_mixture(77, dim, 2, seed + dim + 9));
+
+    for (const ChainSpec& spec : specs) {
+      for (index_t leaf : leaf_sizes) {
+        SCOPED_TRACE("[" + spec.description + "] dim=" + std::to_string(dim) +
+                     " leaf=" + std::to_string(leaf));
+        for (Engine engine : {Engine::VM, Engine::Pattern}) {
+          if (engine == Engine::Pattern && spec.use_custom) continue;
+          Storage batched, scalar;
+          ASSERT_NO_THROW(batched = run_chain(spec, q, r, query, reference,
+                                              engine, nullptr, true, leaf));
+          ASSERT_NO_THROW(scalar = run_chain(spec, q, r, query, reference,
+                                             engine, nullptr, false, leaf));
+          const std::string mismatch =
+              compare_outputs(scalar.output(), batched.output(), 0);
+          EXPECT_TRUE(mismatch.empty())
+              << engine_name(engine) << ": " << mismatch;
+        }
+      }
+    }
+  }
 }
 
 TEST(DifferentialConformance, MahalanobisLowersToCholeskyAndEnginesAgree) {

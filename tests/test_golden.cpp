@@ -1,0 +1,76 @@
+// Golden regression wall: the six Table-IV problems (k-NN, KDE, range
+// search, EMST, two-point, Hausdorff) computed on pinned-seed datasets with
+// serial options must reproduce the CSVs committed under tests/golden/.
+//
+// Index columns compare exactly; real-valued columns compare within a tight
+// relative tolerance (the CSVs are written %.17g, so the slack only absorbs
+// libm differences across platforms/compilers, not algorithm drift). A
+// legitimate behavior change regenerates the files in the same commit:
+//
+//   portal_cli --dump-golden=tests/golden
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "problems/golden.h"
+#include "util/csv.h"
+
+#ifndef PORTAL_GOLDEN_DIR
+#error "PORTAL_GOLDEN_DIR must point at the committed tests/golden directory"
+#endif
+
+namespace portal {
+namespace {
+
+constexpr real_t kRelTolerance = 1e-9;
+
+TEST(Golden, TablesMatchCommittedCsvs) {
+  const std::vector<GoldenTable> tables = compute_golden_tables();
+  ASSERT_EQ(tables.size(), 6u);
+
+  for (const GoldenTable& table : tables) {
+    SCOPED_TRACE("table " + table.name);
+    const std::string path =
+        std::string(PORTAL_GOLDEN_DIR) + "/" + table.name + ".csv";
+    CsvTable committed;
+    ASSERT_NO_THROW(committed = read_csv(path))
+        << "missing golden file " << path
+        << " -- regenerate with portal_cli --dump-golden=tests/golden";
+
+    ASSERT_EQ(committed.rows, table.rows);
+    ASSERT_EQ(committed.cols, table.cols);
+    for (index_t i = 0; i < table.rows; ++i)
+      for (index_t j = 0; j < table.cols; ++j) {
+        const real_t want = committed.values[i * table.cols + j];
+        const real_t got = table.values[i * table.cols + j];
+        const bool exact =
+            std::find(table.integer_cols.begin(), table.integer_cols.end(),
+                      j) != table.integer_cols.end();
+        if (exact) {
+          EXPECT_EQ(want, got) << "row " << i << " col " << j;
+        } else {
+          EXPECT_NEAR(want, got,
+                      kRelTolerance * std::max(std::abs(want), real_t(1)))
+              << "row " << i << " col " << j;
+        }
+      }
+  }
+}
+
+// The tables themselves must be non-degenerate -- a golden file of zeros
+// would happily "match" a broken regeneration.
+TEST(Golden, TablesAreNonDegenerate) {
+  for (const GoldenTable& table : compute_golden_tables()) {
+    SCOPED_TRACE("table " + table.name);
+    EXPECT_GT(table.rows, 0);
+    EXPECT_GT(table.cols, 0);
+    real_t sum_abs = 0;
+    for (real_t v : table.values) sum_abs += std::abs(v);
+    EXPECT_GT(sum_abs, 0) << "all-zero golden table";
+  }
+}
+
+} // namespace
+} // namespace portal

@@ -7,6 +7,7 @@
 #include <limits>
 #include <vector>
 
+#include "kernels/batch.h"
 #include "kernels/fastmath.h"
 #include "kernels/gaussian.h"
 #include "kernels/linalg.h"
@@ -298,6 +299,22 @@ TEST(Gaussian, LogPdfMatchesClosedForm1D) {
       -0.5 * (std::log(kTwoPi * 4.0) + (x - mu) * (x - mu) / 4.0);
   EXPECT_NEAR(log_gaussian_pdf(&x, &mu, ctx, scratch), expected, 1e-12);
   EXPECT_NEAR(log_gaussian_pdf_naive(&x, &mu, ctx), expected, 1e-12);
+}
+
+TEST(Gaussian, BatchedSumIsBitwiseEqualToOrderedLanes) {
+  // The fused exp-accumulate used by the batched KDE base case must equal
+  // gaussian_sq lanes summed in ascending order, bit for bit -- that is the
+  // contract that lets kde.cpp skip the intermediate values pass.
+  Rng rng(99);
+  for (const index_t count : {index_t(1), index_t(15), index_t(16), index_t(33)}) {
+    std::vector<real_t> sq(count), vals(count);
+    for (real_t& v : sq) v = rng.uniform(0.0, 9.0);
+    const real_t c = 0.37;
+    batch::gaussian_sq(sq.data(), count, c, vals.data());
+    real_t ordered = 0;
+    for (index_t j = 0; j < count; ++j) ordered += vals[j];
+    EXPECT_EQ(batch::gaussian_sq_sum(sq.data(), count, c), ordered);
+  }
 }
 
 } // namespace

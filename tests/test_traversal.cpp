@@ -312,6 +312,14 @@ TEST(DualTraverse, LargerSplitCoversEveryPairOnOctree) {
 
 // ---------------------------------------------------------------------------
 // Single-tree traversal module (the baselines' engine).
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "kernels/batch.h"
+#include "problems/common.h"
+#include "problems/kde.h"
+#include "problems/knn.h"
 #include "traversal/singletree.h"
 
 namespace portal {
@@ -364,6 +372,190 @@ TEST(SingleTraverse, BulkTakeStillCoversEveryPoint) {
   const TraversalStats stats = single_traverse(tree, rules);
   EXPECT_EQ(rules.points, static_cast<std::uint64_t>(data.size()));
   EXPECT_EQ(stats.pairs_visited, 1u); // root consumed immediately
+}
+
+// ---------------------------------------------------------------------------
+// Batch-of-queries single-tree search over SoA tiles (the per-query flavor of
+// the batched base cases): each query descends the reference tree and leaves
+// evaluate through batch::sq_dists on the tree's mirror. Verified three ways:
+// against brute force, against the dual-tree expert, and batched-vs-scalar
+// (which must be EXACT -- identical traversal, bitwise-identical base case).
+// ---------------------------------------------------------------------------
+
+struct SingleKnnRules {
+  const KdTree* tree = nullptr;
+  const real_t* qpt = nullptr;
+  index_t k = 1;
+  bool batch = true;
+  std::vector<real_t> dists;     // leaf scratch
+  std::vector<real_t> best_sq;   // ascending, size <= k
+  std::vector<index_t> best_idx; // tree-order indices, parallel to best_sq
+
+  real_t worst_sq() const {
+    return static_cast<index_t>(best_sq.size()) < k
+               ? std::numeric_limits<real_t>::infinity()
+               : best_sq.back();
+  }
+
+  void offer(real_t sq, index_t idx) {
+    if (sq >= worst_sq()) return;
+    auto pos = std::upper_bound(best_sq.begin(), best_sq.end(), sq);
+    const auto at = pos - best_sq.begin();
+    best_sq.insert(pos, sq);
+    best_idx.insert(best_idx.begin() + at, idx);
+    if (static_cast<index_t>(best_sq.size()) > k) {
+      best_sq.pop_back();
+      best_idx.pop_back();
+    }
+  }
+
+  bool prune_or_take(index_t node) {
+    return tree->node(node).box.min_sq_dist_point(qpt) > worst_sq();
+  }
+
+  void base_case(index_t node) {
+    const KdNode& n = tree->node(node);
+    const index_t count = n.count();
+    if (batch)
+      batch::sq_dists(tree->mirror().tile(n.begin, count), qpt, dists.data());
+    else
+      sq_dists_to_range(tree->data(), n.begin, n.end, qpt, dists.data());
+    for (index_t j = 0; j < count; ++j) offer(dists[j], n.begin + j);
+  }
+
+  real_t score(index_t node) {
+    return tree->node(node).box.min_sq_dist_point(qpt);
+  }
+};
+
+/// Batch of queries through the single-tree search; results in original
+/// reference indexing, natural (un-squared) distances, like knn_expert.
+KnnResult single_tree_knn(const Dataset& query, const KdTree& tree, index_t k,
+                          bool batch) {
+  KnnResult result;
+  result.k = k;
+  std::vector<real_t> qpt(query.dim());
+  SingleKnnRules rules;
+  rules.tree = &tree;
+  rules.k = k;
+  rules.batch = batch;
+  rules.dists.resize(tree.stats().max_leaf_count);
+  for (index_t i = 0; i < query.size(); ++i) {
+    query.copy_point(i, qpt.data());
+    rules.qpt = qpt.data();
+    rules.best_sq.clear();
+    rules.best_idx.clear();
+    single_traverse(tree, rules);
+    for (index_t j = 0; j < k; ++j) {
+      result.indices.push_back(tree.perm()[rules.best_idx[j]]);
+      result.distances.push_back(std::sqrt(rules.best_sq[j]));
+    }
+  }
+  return result;
+}
+
+TEST(SingleTraverse, BatchedKnnMatchesBruteForceAndDualTree) {
+  const Dataset query = make_gaussian_mixture(90, 3, 3, 69);
+  const Dataset reference = make_gaussian_mixture(131, 3, 3, 70);
+  const index_t k = 3;
+  const KdTree tree(reference, 10); // 131 points / leaf 10: ragged tiles
+
+  const KnnResult batched = single_tree_knn(query, tree, k, true);
+  const KnnResult brute = knn_bruteforce(query, reference, k);
+  KnnOptions dual_options;
+  dual_options.k = k;
+  dual_options.leaf_size = 10;
+  dual_options.parallel = false;
+  const KnnResult dual = knn_expert(query, reference, dual_options);
+
+  ASSERT_EQ(batched.indices.size(), brute.indices.size());
+  for (std::size_t i = 0; i < batched.indices.size(); ++i) {
+    EXPECT_EQ(batched.indices[i], brute.indices[i]) << "at " << i;
+    EXPECT_EQ(batched.indices[i], dual.indices[i]) << "at " << i;
+    EXPECT_NEAR(batched.distances[i], brute.distances[i],
+                1e-12 * std::max(brute.distances[i], real_t(1)))
+        << "at " << i;
+  }
+}
+
+TEST(SingleTraverse, BatchedKnnIsBitwiseEqualToScalar) {
+  // Same descent, same leaves; only the base-case evaluation differs. The
+  // batched tile kernel accumulates per lane in the same dimension order as
+  // the scalar helper, so agreement must be exact, including at leaf size 1
+  // (degenerate single-lane tiles).
+  for (index_t leaf : {index_t(1), index_t(7), index_t(16)}) {
+    const Dataset query = make_gaussian_mixture(60, 5, 2, 71);
+    const Dataset reference = make_gaussian_mixture(97, 5, 2, 72);
+    const KdTree tree(reference, leaf);
+    const KnnResult batched = single_tree_knn(query, tree, 4, true);
+    const KnnResult scalar = single_tree_knn(query, tree, 4, false);
+    ASSERT_EQ(batched.indices, scalar.indices) << "leaf " << leaf;
+    ASSERT_EQ(batched.distances, scalar.distances) << "leaf " << leaf;
+  }
+}
+
+/// Exhaustive single-tree Gaussian sum over tiles (no pruning): the KDE
+/// base case without the approximation rule.
+struct SingleKdeRules {
+  const KdTree* tree = nullptr;
+  const real_t* qpt = nullptr;
+  real_t inv_two_sigma_sq = 1;
+  bool batch = true;
+  std::vector<real_t> dists;
+  std::vector<real_t> vals;
+  real_t total = 0;
+
+  bool prune_or_take(index_t) { return false; }
+  void base_case(index_t node) {
+    const KdNode& n = tree->node(node);
+    const index_t count = n.count();
+    if (batch) {
+      batch::sq_dists(tree->mirror().tile(n.begin, count), qpt, dists.data());
+      batch::gaussian_sq(dists.data(), count, inv_two_sigma_sq, vals.data());
+      for (index_t j = 0; j < count; ++j) total += vals[j];
+    } else {
+      sq_dists_to_range(tree->data(), n.begin, n.end, qpt, dists.data());
+      for (index_t j = 0; j < count; ++j)
+        total += std::exp(-dists[j] * inv_two_sigma_sq);
+    }
+  }
+};
+
+TEST(SingleTraverse, BatchedKdeSumMatchesBruteForceAndScalar) {
+  const Dataset query = make_gaussian_mixture(50, 3, 2, 73);
+  const Dataset reference = make_gaussian_mixture(83, 3, 2, 74);
+  const real_t sigma = real_t(0.8);
+  const KdTree tree(reference, 12);
+  const KdeResult brute = kde_bruteforce(query, reference, sigma,
+                                         /*normalize=*/false);
+
+  std::vector<real_t> qpt(query.dim());
+  SingleKdeRules rules;
+  rules.tree = &tree;
+  rules.inv_two_sigma_sq = 1 / (2 * sigma * sigma);
+  rules.dists.resize(tree.stats().max_leaf_count);
+  rules.vals.resize(tree.stats().max_leaf_count);
+  for (index_t i = 0; i < query.size(); ++i) {
+    query.copy_point(i, qpt.data());
+    rules.qpt = qpt.data();
+
+    rules.batch = true;
+    rules.total = 0;
+    single_traverse(tree, rules);
+    const real_t batched = rules.total;
+
+    rules.batch = false;
+    rules.total = 0;
+    single_traverse(tree, rules);
+    const real_t scalar = rules.total;
+
+    // Identical leaf visit order + bitwise base case: exact.
+    EXPECT_EQ(batched, scalar) << "query " << i;
+    // Brute force sums in a different (dataset) order: float-noise only.
+    EXPECT_NEAR(batched, brute.densities[i],
+                1e-12 * std::max(std::abs(brute.densities[i]), real_t(1)))
+        << "query " << i;
+  }
 }
 
 TEST(SingleTraverse, WorksOnOctrees) {

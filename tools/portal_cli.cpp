@@ -48,6 +48,7 @@
 #include "data/generators.h"
 #include "obs/trace.h"
 #include "problems/emst.h"
+#include "problems/golden.h"
 #include "problems/threepoint.h"
 #include "util/csv.h"
 #include "util/threading.h"
@@ -82,7 +83,9 @@ struct Args {
                "       [--out FILE] [--leaf N] [--tau T] [--engine E] "
                "[--validate] [--demo N[,DIM]] [--serial] [--verify]\n"
                "       [--trace[=FILE]]\n"
-               "       portal_cli run FILE.portal | verify FILE.portal\n");
+               "       portal_cli run FILE.portal | verify FILE.portal\n"
+               "       portal_cli --dump-golden=DIR   regenerate "
+               "tests/golden/*.csv\n");
   std::exit(1);
 }
 
@@ -355,6 +358,21 @@ int run(const Args& args) {
 
 int main(int argc, char** argv) {
   if (argc < 2) usage();
+  // Golden-table regeneration (tests/test_golden.cpp guards the output):
+  // handled before problem dispatch because it takes no problem name.
+  if (std::strncmp(argv[1], "--dump-golden", 13) == 0) {
+    const char* eq = std::strchr(argv[1], '=');
+    const std::string dir =
+        eq != nullptr ? eq + 1 : (argc >= 3 ? argv[2] : ".");
+    try {
+      dump_golden_tables(dir);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "portal_cli: %s\n", e.what());
+      return 2;
+    }
+    std::printf("wrote golden tables to %s/\n", dir.c_str());
+    return 0;
+  }
   Args args;
   args.problem = argv[1];
   int first_option = 2;
