@@ -1,0 +1,186 @@
+// Serving-runtime benchmark: a closed-loop client fleet drives PortalService
+// with a repeat-query workload (the plan cache's sweet spot) and reports
+// sustained QPS, latency quantiles, and the cache hit rate. The run is split
+// into a warmup phase (compiles the mix's plans, fills caches, settles the
+// workers) and a measured phase; only the measured phase feeds the report.
+//
+// Acceptance gate (ISSUE PR-5): after warmup the plan-cache hit rate over the
+// measured phase must exceed 99% -- every request re-resolves its chain
+// through the cache the way a serving frontend would, so a sub-99% rate
+// means the descriptor fast path broke. The process exits non-zero on that
+// regression so CI catches it.
+//
+// JSON rows (portal-bench-v1, --json=FILE): per-mix QPS, p50/p95/p99/mean
+// latency, hit rate, and mean batch size.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "data/generators.h"
+#include "serve/service.h"
+
+using namespace portal;
+using namespace portal::bench;
+
+namespace {
+
+struct MixEntry {
+  const char* name;
+  LayerSpec inner;
+};
+
+struct RunResult {
+  double qps = 0;
+  double p50_ms = 0, p95_ms = 0, p99_ms = 0, mean_ms = 0;
+  double hit_rate = 0;
+  double mean_batch = 0;
+  std::uint64_t requests = 0;
+  std::uint64_t failed = 0;
+};
+
+RunResult drive(serve::PortalService& service, const std::vector<MixEntry>& mix,
+                const Dataset& reference, int clients, double seconds) {
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> ok{0}, failed{0};
+  std::vector<std::thread> fleet;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int c = 0; c < clients; ++c)
+    fleet.emplace_back([&, c] {
+      std::uint64_t state = 0x2545f4914f6cdd1dull * (c + 1) + 11;
+      const auto next = [&state] {
+        state ^= state << 13; state ^= state >> 7; state ^= state << 17;
+        return state;
+      };
+      std::vector<real_t> point(static_cast<std::size_t>(reference.dim()));
+      while (!stop.load(std::memory_order_acquire)) {
+        const serve::PlanHandle plan =
+            service.prepare(mix[next() % mix.size()].inner);
+        const index_t base = static_cast<index_t>(
+            next() % static_cast<std::uint64_t>(reference.size()));
+        for (index_t d = 0; d < reference.dim(); ++d)
+          point[static_cast<std::size_t>(d)] =
+              reference.coord(base, d) +
+              static_cast<real_t>(next() % 1000) * 1e-4;
+        const serve::Response resp = service.submit(plan, point).get();
+        (resp.status == serve::Status::Ok ? ok : failed)
+            .fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  std::this_thread::sleep_for(
+      std::chrono::milliseconds(static_cast<long long>(seconds * 1e3)));
+  stop.store(true, std::memory_order_release);
+  for (auto& client : fleet) client.join();
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  const serve::ServiceStats stats = service.stats();
+  const obs::LatencyHistogram::Snapshot lat = service.latency();
+  RunResult result;
+  result.requests = ok.load();
+  result.failed = failed.load();
+  result.qps = static_cast<double>(ok.load()) / elapsed;
+  result.p50_ms = lat.quantile(0.50) * 1e3;
+  result.p95_ms = lat.quantile(0.95) * 1e3;
+  result.p99_ms = lat.quantile(0.99) * 1e3;
+  result.mean_ms = lat.mean_seconds() * 1e3;
+  result.hit_rate = stats.plan_cache.hit_rate();
+  result.mean_batch = stats.mean_batch();
+  return result;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  const std::string json_path = JsonReport::extract_json_path(&argc, argv);
+  JsonReport json;
+  print_header("Serving runtime -- sustained repeat-query workload");
+
+  const double scale = bench_scale_from_env();
+  const index_t n = std::max<index_t>(2000, static_cast<index_t>(100000 * scale));
+  const int clients = 8;
+  const double warmup_s = std::min(1.0, 0.2 + scale);
+  const double measure_s = std::min(4.0, 0.5 + 3 * scale);
+  const Dataset reference = make_gaussian_mixture(n, 3, 5, 20260806);
+
+  std::vector<MixEntry> mixes;
+  {
+    MixEntry knn{"knn", {}};
+    knn.inner.op = {PortalOp::KARGMIN, 5};
+    knn.inner.func = PortalFunc::EUCLIDEAN;
+    MixEntry kde{"kde", {}};
+    kde.inner.op = PortalOp::SUM;
+    kde.inner.func = PortalFunc::gaussian(0.5);
+    MixEntry rs{"rs", {}};
+    rs.inner.op = PortalOp::UNION;
+    rs.inner.func = PortalFunc::indicator(0, 0.5);
+    mixes.push_back(knn);
+    mixes.push_back(kde);
+    mixes.push_back(rs);
+  }
+
+  bool gate_ok = true;
+  print_row({"mix", "QPS", "p50 ms", "p95 ms", "p99 ms", "hit rate", "batch"});
+  for (std::size_t subset : {std::size_t{1}, mixes.size()}) {
+    const std::vector<MixEntry> mix(mixes.begin(),
+                                    mixes.begin() +
+                                        static_cast<std::ptrdiff_t>(subset));
+    const std::string label = subset == 1 ? "knn-only" : "knn+kde+rs";
+    serve::ServiceOptions options;
+    options.workers = 4;
+    options.queue_capacity = 4096;
+    options.block_on_full = true;
+    serve::PortalService service(options);
+    service.publish(reference);
+
+    // Warmup: compile every plan in the mix and let the workers settle.
+    // Not measured, not part of the hit-rate gate.
+    drive(service, mix, reference, clients, warmup_s);
+    // stats() carries over; measure the deltas of the sustained phase.
+    const serve::ServiceStats before = service.stats();
+    const RunResult run = drive(service, mix, reference, clients, measure_s);
+    const serve::ServiceStats after = service.stats();
+    const double measured_hits = static_cast<double>(after.plan_cache.hits -
+                                                     before.plan_cache.hits);
+    const double measured_misses = static_cast<double>(
+        after.plan_cache.misses - before.plan_cache.misses);
+    const double hit_rate =
+        measured_hits / std::max(1.0, measured_hits + measured_misses);
+
+    print_row({label, fmt(run.qps, "%.0f"), fmt(run.p50_ms), fmt(run.p95_ms),
+               fmt(run.p99_ms), fmt(hit_rate * 100, "%.2f%%"),
+               fmt(run.mean_batch, "%.2f")});
+    if (run.failed != 0) {
+      std::printf("  !! %llu requests failed\n",
+                  static_cast<unsigned long long>(run.failed));
+      gate_ok = false;
+    }
+    if (hit_rate <= 0.99) {
+      std::printf("  !! plan-cache hit rate %.4f <= 0.99 after warmup\n",
+                  hit_rate);
+      gate_ok = false;
+    }
+
+    json.add("serve/" + label, "qps", run.qps, "1/s");
+    json.add("serve/" + label, "latency_p50", run.p50_ms * 1e-3);
+    json.add("serve/" + label, "latency_p95", run.p95_ms * 1e-3);
+    json.add("serve/" + label, "latency_p99", run.p99_ms * 1e-3);
+    json.add("serve/" + label, "latency_mean", run.mean_ms * 1e-3);
+    json.add("serve/" + label, "plan_cache_hit_rate", hit_rate, "ratio");
+    json.add("serve/" + label, "mean_batch", run.mean_batch, "requests");
+    service.stop();
+  }
+
+  if (!json_path.empty()) json.write(json_path);
+  if (!gate_ok) {
+    std::printf("\nFAIL: serving acceptance gate\n");
+    return 1;
+  }
+  std::printf("\nOK: hit rate > 99%% after warmup on every mix\n");
+  return 0;
+}

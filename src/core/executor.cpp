@@ -601,11 +601,17 @@ std::shared_ptr<OutputData> finalize(const ProblemPlan& plan, QueryState& state,
 std::shared_ptr<const KdTree> TreeCache::get(const Storage& storage,
                                              index_t leaf_size) {
   const auto key = std::make_pair(storage.identity(), leaf_size);
-  auto it = cache_.find(key);
-  if (it != cache_.end()) return it->second.tree;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = cache_.find(key);
+    if (it != cache_.end()) return it->second.tree;
+  }
+  // Build outside the lock: tree construction is the expensive part and must
+  // not serialize concurrent executions hitting other keys.
   auto tree = std::make_shared<const KdTree>(storage.dataset(), leaf_size);
-  cache_.emplace(key, Entry{storage.shared_dataset(), tree});
-  return tree;
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, inserted] = cache_.emplace(key, Entry{storage.shared_dataset(), tree});
+  return it->second.tree; // racing builders converge on the first insert
 }
 
 ExecutionResult execute_generic(const ProblemPlan& plan, const PortalConfig& config,

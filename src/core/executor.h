@@ -10,6 +10,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 
 #include "core/plan.h"
 #include "tree/kdtree.h"
@@ -45,6 +46,13 @@ struct EvaluatorFns {
 /// leaf size) so iterative programs (Boruvka MST, EM) rebuild nothing. The
 /// cache pins each dataset, so an identity pointer can never be recycled by
 /// a different dataset while its tree is cached.
+///
+/// Thread-safe: get() is callable from concurrent executions of the same
+/// cached plan (the serving runtime's workers share one cache). The lock
+/// covers only map access; a missing tree is built *outside* the lock, so
+/// a slow build never serializes hits on other datasets. Two threads racing
+/// on the same cold key may both build; the first insert wins and both get
+/// a valid tree (the loser's build is dropped -- trees are immutable).
 class TreeCache {
  public:
   std::shared_ptr<const KdTree> get(const Storage& storage, index_t leaf_size);
@@ -54,6 +62,7 @@ class TreeCache {
     std::shared_ptr<const Dataset> pinned;
     std::shared_ptr<const KdTree> tree;
   };
+  std::mutex mutex_;
   std::map<std::pair<const void*, index_t>, Entry> cache_;
 };
 

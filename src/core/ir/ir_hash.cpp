@@ -1,0 +1,138 @@
+#include "core/ir/ir_hash.h"
+
+#include <cstring>
+
+#include "core/plan.h"
+
+namespace portal {
+namespace {
+
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+// Sentinels folded into the stream so adjacent fields can never alias each
+// other (e.g. an empty label followed by a child list must hash differently
+// from a one-char label and an empty list).
+enum : std::uint64_t {
+  kTagNull = 0x9e3779b97f4a7c15ull,
+  kTagExpr = 0xc2b2ae3d27d4eb4full,
+  kTagStmt = 0x165667b19e3779f9ull,
+  kTagString = 0x27d4eb2f165667c5ull,
+  kTagEnd = 0x85ebca6b2b2ae35dull,
+};
+
+std::uint64_t mix_bytes(std::uint64_t h, const void* data, std::size_t len) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+std::uint64_t mix_real(std::uint64_t h, real_t value) {
+  // Bit pattern, not value: distinguishes -0.0 from 0.0 and keeps NaN
+  // payloads stable. Canonical for the cache's purpose -- two plans whose
+  // constants differ only in bit pattern evaluate differently anyway.
+  std::uint64_t bits = 0;
+  static_assert(sizeof(real_t) <= sizeof(bits));
+  std::memcpy(&bits, &value, sizeof(real_t));
+  return ir_hash_mix(h, bits);
+}
+
+std::uint64_t mix_string(std::uint64_t h, const std::string& s) {
+  h = ir_hash_mix(h, kTagString);
+  h = ir_hash_mix(h, s.size());
+  return mix_bytes(h, s.data(), s.size());
+}
+
+// External kernels compare by code identity when possible (a plain function
+// pointer wrapped in the std::function), otherwise by wrapper address --
+// distinct opaque callables must never share a compiled plan, at the cost of
+// copies of the same wrapper hashing apart (a cache miss, never a collision).
+std::uint64_t external_identity(const ExternalKernelFn& fn) {
+  if (!fn) return 0;
+  using RawFn = real_t (*)(const real_t*, const real_t*, index_t);
+  if (const RawFn* target = fn.target<RawFn>())
+    return static_cast<std::uint64_t>(reinterpret_cast<std::uintptr_t>(*target));
+  return static_cast<std::uint64_t>(reinterpret_cast<std::uintptr_t>(&fn));
+}
+
+} // namespace
+
+std::uint64_t ir_hash_mix(std::uint64_t h, std::uint64_t word) {
+  return mix_bytes(h, &word, sizeof(word));
+}
+
+std::uint64_t ir_expr_hash(const IrExprPtr& expr, std::uint64_t seed) {
+  if (!expr) return ir_hash_mix(seed, kTagNull);
+  std::uint64_t h = ir_hash_mix(seed, kTagExpr);
+  h = ir_hash_mix(h, static_cast<std::uint64_t>(expr->op));
+  h = mix_real(h, expr->value);
+  h = ir_hash_mix(h, expr->flattened ? 1 : 0);
+  h = ir_hash_mix(h, static_cast<std::uint64_t>(expr->stride));
+  h = ir_hash_mix(h, expr->matrix.size());
+  for (real_t m : expr->matrix) h = mix_real(h, m);
+  h = ir_hash_mix(h, external_identity(expr->external));
+  h = mix_string(h, expr->label);
+  h = ir_hash_mix(h, expr->children.size());
+  for (const IrExprPtr& child : expr->children) h = ir_expr_hash(child, h);
+  return ir_hash_mix(h, kTagEnd);
+}
+
+std::uint64_t ir_stmt_hash(const IrStmtPtr& stmt, std::uint64_t seed) {
+  if (!stmt) return ir_hash_mix(seed, kTagNull);
+  std::uint64_t h = ir_hash_mix(seed, kTagStmt);
+  h = ir_hash_mix(h, static_cast<std::uint64_t>(stmt->kind));
+  h = mix_string(h, stmt->text);
+  h = mix_string(h, stmt->target);
+  h = mix_string(h, stmt->accum_op);
+  h = ir_expr_hash(stmt->expr, h);
+  h = ir_hash_mix(h, stmt->body.size());
+  for (const IrStmtPtr& child : stmt->body) h = ir_stmt_hash(child, h);
+  return ir_hash_mix(h, kTagEnd);
+}
+
+std::uint64_t ir_program_hash(const IrProgram& program, std::uint64_t seed) {
+  std::uint64_t h = ir_stmt_hash(program.base_case, seed);
+  h = ir_stmt_hash(program.prune_approx, h);
+  return ir_stmt_hash(program.compute_approx, h);
+}
+
+std::uint64_t plan_fingerprint(const ProblemPlan& plan) {
+  std::uint64_t h = kIrHashSeed;
+  // Layer operator sequence. Storage identity and names are deliberately
+  // omitted -- only shape-relevant facts, which the lowered IR also encodes
+  // (dim via flattening strides, layout via the injected loads), plus the
+  // operator itself and its k.
+  h = ir_hash_mix(h, plan.layers.size());
+  for (const LayerSpec& layer : plan.layers) {
+    h = ir_hash_mix(h, static_cast<std::uint64_t>(layer.op.op));
+    h = ir_hash_mix(h, static_cast<std::uint64_t>(layer.op.k));
+    h = ir_hash_mix(h, static_cast<std::uint64_t>(layer.storage.dim()));
+    h = ir_hash_mix(h, static_cast<std::uint64_t>(layer.storage.layout()));
+    h = ir_hash_mix(h, external_identity(layer.external));
+  }
+  // Normalized kernel facts the backends read outside the IR.
+  h = ir_hash_mix(h, plan.kernel.normalized ? 1 : 0);
+  h = ir_hash_mix(h, static_cast<std::uint64_t>(plan.kernel.metric));
+  h = ir_hash_mix(h, static_cast<std::uint64_t>(plan.kernel.shape));
+  h = mix_real(h, plan.kernel.indicator_lo);
+  h = mix_real(h, plan.kernel.indicator_hi);
+  h = ir_hash_mix(h, plan.kernel.is_gravity ? 1 : 0);
+  h = mix_real(h, plan.kernel.gravity_g);
+  h = mix_real(h, plan.kernel.gravity_eps);
+  h = ir_hash_mix(h, external_identity(plan.kernel.external));
+  if (plan.kernel.maha) {
+    const std::vector<real_t>& chol = plan.kernel.maha->chol();
+    h = ir_hash_mix(h, chol.size());
+    for (real_t v : chol) h = mix_real(h, v);
+  } else {
+    h = ir_hash_mix(h, kTagNull);
+  }
+  h = ir_expr_hash(plan.kernel.kernel_ir, h);
+  h = ir_expr_hash(plan.kernel.envelope_ir, h);
+  h = ir_hash_mix(h, static_cast<std::uint64_t>(plan.category));
+  return ir_program_hash(plan.ir, h);
+}
+
+} // namespace portal

@@ -1,0 +1,58 @@
+// Portal -- canonical structural hashing of verified IR (the plan-cache key).
+//
+// The serving runtime (src/serve) compiles a layer chain once through the
+// full pass pipeline and then answers every structurally identical request
+// from the cached artifact. "Structurally identical" is decided here: two
+// programs share a fingerprint exactly when their post-pass IR -- the three
+// traversal functions, the kernel expression, the envelope, and the layer
+// operator sequence -- are node-for-node equal. Storage *identity* (which
+// dataset object a layer binds) is deliberately excluded: the compiled
+// bytecode only reads shapes the IR already bakes in (dim via flattening
+// strides, layout via the injected load forms), so equal chains over
+// different datasets of the same shape legitimately share one compiled plan.
+//
+// The hash is FNV-1a over a canonical preorder serialization. It is stable
+// within a process run and across runs of the same binary; it is NOT a
+// cryptographic hash -- the plan cache is keyed by (fingerprint) with the
+// expectation that structurally distinct chains practically never collide
+// (tests/test_serve.cpp pins this for the paper's problem families).
+#pragma once
+
+#include <cstdint>
+
+#include "core/ir/ir.h"
+
+namespace portal {
+
+struct ProblemPlan; // core/plan.h (avoid the cycle: plan.h includes ir.h)
+
+/// FNV-1a offset basis; exposed so callers can chain hashes.
+inline constexpr std::uint64_t kIrHashSeed = 1469598103934665603ull;
+
+/// Mix one 64-bit word into an FNV-1a accumulator.
+std::uint64_t ir_hash_mix(std::uint64_t h, std::uint64_t word);
+
+/// Canonical structural hash of an expression tree. Covers op codes, child
+/// order, constant payloads (bit pattern), flattening strides, Mahalanobis /
+/// external payloads, and labels. Null subtrees hash to a fixed sentinel.
+std::uint64_t ir_expr_hash(const IrExprPtr& expr,
+                           std::uint64_t seed = kIrHashSeed);
+
+/// Canonical structural hash of a statement tree (kinds, descriptors,
+/// targets, accumulation ops, embedded expressions).
+std::uint64_t ir_stmt_hash(const IrStmtPtr& stmt,
+                           std::uint64_t seed = kIrHashSeed);
+
+/// Hash of the three traversal functions of an IrProgram.
+std::uint64_t ir_program_hash(const IrProgram& program,
+                              std::uint64_t seed = kIrHashSeed);
+
+/// The plan-cache key: layer operator sequence (op kind, k, kernel
+/// provenance -- but not storage identity or names), the normalized kernel
+/// (metric, envelope shape, indicator bounds, post-pass kernel + envelope
+/// IR), problem category, and the post-pass IrProgram. Computed by
+/// PortalExpr::compile_if_needed() into ProblemPlan::fingerprint; the serve
+/// PlanCache keys on it directly.
+std::uint64_t plan_fingerprint(const ProblemPlan& plan);
+
+} // namespace portal

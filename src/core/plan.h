@@ -153,6 +153,12 @@ struct ProblemPlan {
   ProblemCategory category = ProblemCategory::Exhaustive;
   IrProgram ir;                  // the three traversal functions, post-passes
   std::string description;
+  /// Canonical structural hash of the verified post-pass IR + layer operator
+  /// sequence (core/ir/ir_hash.h). Storage identity is excluded, so equal
+  /// chains over same-shaped datasets share a fingerprint -- the plan-reuse
+  /// key the serving runtime's compiled-plan cache (src/serve) is built on.
+  /// Filled by PortalExpr::compile_if_needed(); 0 = not yet computed.
+  std::uint64_t fingerprint = 0;
 };
 
 } // namespace portal

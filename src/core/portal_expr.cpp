@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "core/analysis.h"
+#include "core/ir/ir_hash.h"
 #include "core/tuner.h"
 #include "core/codegen/jit.h"
 #include "core/codegen/pattern.h"
@@ -152,6 +153,11 @@ void PortalExpr::compile_if_needed() {
         classify_envelope(&plan_.kernel);
     }
   }
+
+  // Canonical plan identity for the serve-layer compiled-plan cache: hash
+  // the verified post-pass IR, never the pre-pass form, so two chains that
+  // optimize to the same program share one cached plan.
+  plan_.fingerprint = plan_fingerprint(plan_);
 
   artifacts_.compile_seconds = timer.elapsed_s();
   compiled_ = true;

@@ -1,0 +1,106 @@
+#include "obs/histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <limits>
+
+namespace portal::obs {
+
+namespace {
+constexpr std::uint64_t kMinSentinel =
+    std::numeric_limits<std::uint64_t>::max();
+} // namespace
+
+std::uint64_t LatencyHistogram::to_ns(double seconds) noexcept {
+  if (!(seconds > 0)) return 1; // clamp NaN/negative/zero into the first bin
+  const double ns = seconds * 1e9;
+  if (ns >= 9.2e18) return std::uint64_t{1} << 62;
+  return std::max<std::uint64_t>(1, static_cast<std::uint64_t>(std::llround(ns)));
+}
+
+int LatencyHistogram::bucket_index(std::uint64_t ns) noexcept {
+  // Octave = floor(log2(ns)); within an octave, 4 equal linear sub-buckets
+  // selected by the two bits below the leading bit. Octaves 0 and 1 are
+  // narrower than 4 ns, so some of their sub-buckets alias -- harmless, the
+  // bucket bounds below stay consistent with this mapping.
+  const int octave =
+      std::min(kOctaves - 1, static_cast<int>(std::bit_width(ns)) - 1);
+  const int shift = std::max(0, octave - 2);
+  const int sub = static_cast<int>((ns >> shift) & 3);
+  return octave == 0 ? 0 : octave * kSubBuckets + sub;
+}
+
+double LatencyHistogram::bucket_lower_ns(int index) noexcept {
+  const int octave = index / kSubBuckets;
+  const int sub = index % kSubBuckets;
+  const double base = std::ldexp(1.0, octave);
+  return octave == 0 ? 1.0 : base + sub * (base / kSubBuckets);
+}
+
+double LatencyHistogram::bucket_width_ns(int index) noexcept {
+  const int octave = index / kSubBuckets;
+  return octave == 0 ? 1.0 : std::ldexp(1.0, octave) / kSubBuckets;
+}
+
+void LatencyHistogram::record_ns(std::uint64_t ns) noexcept {
+  if (ns == 0) ns = 1; // zero shares the first bin (bit_width(0) has no octave)
+  buckets_[static_cast<std::size_t>(bucket_index(ns))].fetch_add(
+      1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_ns_.fetch_add(ns, std::memory_order_relaxed);
+  std::uint64_t seen = min_ns_.load(std::memory_order_relaxed);
+  while (ns < seen &&
+         !min_ns_.compare_exchange_weak(seen, ns, std::memory_order_relaxed)) {
+  }
+  seen = max_ns_.load(std::memory_order_relaxed);
+  while (ns > seen &&
+         !max_ns_.compare_exchange_weak(seen, ns, std::memory_order_relaxed)) {
+  }
+}
+
+LatencyHistogram::Snapshot LatencyHistogram::snapshot() const {
+  Snapshot snap;
+  for (int i = 0; i < kBuckets; ++i)
+    snap.buckets[static_cast<std::size_t>(i)] =
+        buckets_[static_cast<std::size_t>(i)].load(std::memory_order_relaxed);
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.sum_seconds = static_cast<double>(sum_ns_.load(std::memory_order_relaxed)) * 1e-9;
+  const std::uint64_t min_ns = min_ns_.load(std::memory_order_relaxed);
+  snap.min_seconds = min_ns == kMinSentinel ? 0 : static_cast<double>(min_ns) * 1e-9;
+  snap.max_seconds =
+      static_cast<double>(max_ns_.load(std::memory_order_relaxed)) * 1e-9;
+  return snap;
+}
+
+double LatencyHistogram::Snapshot::quantile(double q) const {
+  if (count == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the target sample (1-based), then walk the cumulative counts.
+  const double rank = std::max(1.0, q * static_cast<double>(count));
+  std::uint64_t cumulative = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    const std::uint64_t in_bucket = buckets[static_cast<std::size_t>(i)];
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(cumulative + in_bucket) >= rank) {
+      // Linear interpolation inside the bucket, clamped to observed extremes
+      // so p0/p100 report real samples rather than bucket edges.
+      const double frac =
+          (rank - static_cast<double>(cumulative)) / static_cast<double>(in_bucket);
+      const double ns = bucket_lower_ns(i) + frac * bucket_width_ns(i);
+      return std::clamp(ns * 1e-9, min_seconds, max_seconds);
+    }
+    cumulative += in_bucket;
+  }
+  return max_seconds;
+}
+
+void LatencyHistogram::reset() {
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_ns_.store(0, std::memory_order_relaxed);
+  min_ns_.store(kMinSentinel, std::memory_order_relaxed);
+  max_ns_.store(0, std::memory_order_relaxed);
+}
+
+} // namespace portal::obs

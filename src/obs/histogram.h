@@ -1,0 +1,76 @@
+// Portal -- wait-free log-linear latency histograms (serving-path metrics).
+//
+// The query-serving runtime (src/serve) needs per-request latency
+// percentiles and queue-depth distributions that are *always on* -- unlike
+// the trace counters in obs/trace.h, which are disabled-by-default
+// instrumentation, a service's p99 is part of its contract and must be
+// collectable at any moment without a tracing session. So this is a
+// standalone fixed-footprint histogram, cheap enough to sit on every
+// request completion:
+//   * record() is two relaxed atomic adds plus two relaxed min/max CAS
+//     loops -- no locks, no allocation, safe from any thread;
+//   * buckets are HdrHistogram-style log-linear: 4 linear sub-buckets per
+//     power-of-two octave, giving <= 12.5% relative error on any reported
+//     quantile across the full range (1 ns .. ~2^62 ns);
+//   * snapshot() is a relaxed sweep -- concurrent writers may be missed by
+//     one increment but nothing tears (all slots are word-sized).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+
+namespace portal::obs {
+
+class LatencyHistogram {
+ public:
+  /// 62 octaves x 4 sub-buckets. Index 0 holds ns in [1, 2); the top bucket
+  /// absorbs any overflow.
+  static constexpr int kSubBuckets = 4;
+  static constexpr int kOctaves = 62;
+  static constexpr int kBuckets = kOctaves * kSubBuckets;
+
+  LatencyHistogram() { reset(); }
+
+  /// Record one duration in seconds. Thread-safe, wait-free, allocation-free.
+  void record(double seconds) noexcept { record_ns(to_ns(seconds)); }
+
+  /// Record one duration in integer nanoseconds (also used for unitless
+  /// distributions like queue depth -- quantiles are unit-agnostic).
+  void record_ns(std::uint64_t ns) noexcept;
+
+  /// Point-in-time aggregate. Quantiles interpolate within the landing
+  /// bucket, so the relative error is bounded by the bucket width (12.5%).
+  struct Snapshot {
+    std::uint64_t count = 0;
+    double sum_seconds = 0;
+    double min_seconds = 0;
+    double max_seconds = 0;
+    std::array<std::uint64_t, kBuckets> buckets{};
+
+    double mean_seconds() const { return count ? sum_seconds / count : 0; }
+    /// q in [0, 1]: 0.5 = median, 0.99 = p99. Returns 0 on an empty snapshot.
+    double quantile(double q) const;
+  };
+
+  Snapshot snapshot() const;
+
+  /// Zero every slot. Not linearizable against concurrent writers (a racing
+  /// record may land on either side); callers quiesce between measured
+  /// sections, exactly like obs::reset().
+  void reset();
+
+ private:
+  static std::uint64_t to_ns(double seconds) noexcept;
+  static int bucket_index(std::uint64_t ns) noexcept;
+  static double bucket_lower_ns(int index) noexcept;
+  static double bucket_width_ns(int index) noexcept;
+
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_;
+  std::atomic<std::uint64_t> count_;
+  std::atomic<std::uint64_t> sum_ns_;
+  std::atomic<std::uint64_t> min_ns_;
+  std::atomic<std::uint64_t> max_ns_;
+};
+
+} // namespace portal::obs

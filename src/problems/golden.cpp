@@ -1,6 +1,8 @@
 #include "problems/golden.h"
 
 #include <algorithm>
+#include <cstdlib>
+#include <cstring>
 
 #include "data/generators.h"
 #include "problems/emst.h"
@@ -17,13 +19,19 @@ namespace {
 constexpr index_t kGoldenLeafSize = 16;
 
 /// Everything runs serial: deterministic accumulation order is the whole
-/// point of a golden table. (The batched base cases are bitwise-identical to
-/// the scalar path, so they do not perturb these numbers either way.)
+/// point of a golden table. The batched base cases are bitwise-identical to
+/// the scalar path, so they do not perturb these numbers either way -- and
+/// CI proves that claim by running the golden suite twice, with
+/// PORTAL_GOLDEN_BATCH=0 and =1, against the same committed tables.
 template <typename Options>
 Options serial_options() {
   Options options;
   options.leaf_size = kGoldenLeafSize;
   options.parallel = false;
+  if constexpr (requires { options.batch; }) {
+    if (const char* env = std::getenv("PORTAL_GOLDEN_BATCH"))
+      options.batch = std::strcmp(env, "0") != 0;
+  }
   return options;
 }
 

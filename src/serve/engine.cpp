@@ -1,0 +1,466 @@
+#include "serve/engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+#include "kernels/batch.h"
+#include "problems/common.h"
+#include "traversal/singletree.h"
+
+namespace portal::serve {
+namespace {
+
+/// Immutable per-query context threaded through the rule sets and the
+/// brute-force oracle so both sides compute with the exact same helpers.
+struct Ctx {
+  const CompiledPlan* plan = nullptr;
+  const KdTree* tree = nullptr;
+  const real_t* qpt = nullptr;
+  const MahalanobisContext* maha = nullptr;
+  MetricKind metric = MetricKind::SqEuclidean;
+  bool identity_env = false;
+  bool normalized = false;
+  bool batch = false;
+  Workspace* ws = nullptr;
+};
+
+Ctx make_ctx(const CompiledPlan& plan, const KdTree& tree, const real_t* point,
+             bool batch, Workspace& ws) {
+  Ctx ctx;
+  ctx.plan = &plan;
+  ctx.tree = &tree;
+  ctx.qpt = point;
+  ctx.maha = plan.plan.kernel.maha.get();
+  ctx.metric = plan.plan.kernel.metric;
+  ctx.identity_env = plan.plan.kernel.shape == EnvelopeShape::Identity;
+  ctx.normalized = plan.plan.kernel.normalized;
+  ctx.batch = batch;
+  ctx.ws = &ws;
+  return ctx;
+}
+
+void prepare_workspace(const CompiledPlan& plan, const KdTree& tree,
+                       const real_t* point, index_t leaf_capacity,
+                       Workspace& ws) {
+  const index_t dim = tree.data().dim();
+  ws.rpt.resize(static_cast<std::size_t>(dim));
+  // Covers point_distance gathers (4*dim+4), the blocked Mahalanobis solve
+  // (2*dim*kMahaBlock), and run_batch's External gather (3*dim).
+  ws.scratch.resize(static_cast<std::size_t>(
+      std::max<index_t>(4 * dim + 4, 2 * dim * batch::kMahaBlock)));
+  ws.dists.resize(static_cast<std::size_t>(leaf_capacity));
+  ws.vals.resize(static_cast<std::size_t>(leaf_capacity));
+  if (plan.is_reduction) {
+    ws.knn_dists.resize(static_cast<std::size_t>(plan.slots));
+    ws.knn_ids.resize(static_cast<std::size_t>(plan.slots));
+  }
+  if (plan.plan.kernel.metric != MetricKind::SqEuclidean &&
+      plan.plan.kernel.metric != MetricKind::Euclidean) {
+    ws.qbox = BBox(dim);
+    ws.qbox.include_point(point);
+  }
+}
+
+real_t envelope(const Ctx& ctx, real_t d) {
+  return ctx.plan->envelope_vm.run_envelope(d);
+}
+
+/// Point-to-node lower bound in the metric's natural space. L2 family goes
+/// through the direct point-box routine; other metrics reuse the node-pair
+/// bounds with a degenerate (zero-volume) query box.
+real_t node_min(const Ctx& ctx, const KdNode& node) {
+  if (ctx.metric == MetricKind::SqEuclidean)
+    return node.box.min_sq_dist_point(ctx.qpt);
+  if (ctx.metric == MetricKind::Euclidean)
+    return std::sqrt(node.box.min_sq_dist_point(ctx.qpt));
+  return node.box.min_dist(ctx.metric, ctx.ws->qbox, ctx.maha);
+}
+
+real_t node_max(const Ctx& ctx, const KdNode& node) {
+  if (ctx.metric == MetricKind::SqEuclidean)
+    return node.box.max_sq_dist_point(ctx.qpt);
+  if (ctx.metric == MetricKind::Euclidean)
+    return std::sqrt(node.box.max_sq_dist_point(ctx.qpt));
+  return node.box.max_dist(ctx.metric, ctx.ws->qbox, ctx.maha);
+}
+
+/// Scalar natural-space distances to [begin, end) -- the same operation
+/// sequence as the executor's scalar path, so it is bitwise-comparable with
+/// batch::natural_dists over the same points.
+void natural_range(const Ctx& ctx, index_t begin, index_t end, real_t* out) {
+  const Dataset& rdata = ctx.tree->data();
+  const index_t count = end - begin;
+  switch (ctx.metric) {
+    case MetricKind::SqEuclidean:
+      sq_dists_to_range(rdata, begin, end, ctx.qpt, out);
+      return;
+    case MetricKind::Euclidean:
+      sq_dists_to_range(rdata, begin, end, ctx.qpt, out);
+      for (index_t j = 0; j < count; ++j) out[j] = std::sqrt(out[j]);
+      return;
+    case MetricKind::Manhattan:
+      l1_dists_to_range(rdata, begin, end, ctx.qpt, out);
+      return;
+    case MetricKind::Chebyshev:
+      linf_dists_to_range(rdata, begin, end, ctx.qpt, out);
+      return;
+    case MetricKind::Mahalanobis:
+      for (index_t j = 0; j < count; ++j) {
+        rdata.copy_point(begin + j, ctx.ws->rpt.data());
+        out[j] = ctx.maha->sq_dist(ctx.qpt, ctx.ws->rpt.data(),
+                                   ctx.ws->scratch.data());
+      }
+      return;
+  }
+  throw std::logic_error("serve: unhandled metric");
+}
+
+/// Kernel values of the query against a contiguous permuted range; returns a
+/// pointer into workspace buffers (the distance buffer itself when the
+/// envelope is the identity). Mirrors the executor's base case exactly.
+const real_t* range_values(const Ctx& ctx, index_t begin, index_t count) {
+  Workspace& ws = *ctx.ws;
+  const index_t dim = ctx.tree->data().dim();
+  if (ctx.normalized) {
+    if (ctx.batch) {
+      batch::natural_dists(ctx.metric, ctx.tree->mirror().tile(begin, count),
+                           ctx.qpt, ctx.maha, ws.scratch.data(),
+                           ws.dists.data());
+      batch::count_batch_tile(count);
+    } else {
+      natural_range(ctx, begin, begin + count, ws.dists.data());
+      batch::count_scalar_tail(count);
+    }
+    if (ctx.identity_env) return ws.dists.data();
+    for (index_t j = 0; j < count; ++j)
+      ws.vals[static_cast<std::size_t>(j)] = envelope(ctx, ws.dists[static_cast<std::size_t>(j)]);
+    return ws.vals.data();
+  }
+  if (ctx.batch) {
+    const SoaMirror& mirror = ctx.tree->mirror();
+    VmProgram::BatchContext bctx;
+    bctx.q = ctx.qpt;
+    bctx.rlanes = mirror.lanes();
+    bctx.rstride = mirror.stride();
+    bctx.rbegin = begin;
+    bctx.count = count;
+    bctx.dim = dim;
+    bctx.scratch = ws.scratch.data();
+    ctx.plan->kernel_vm.run_batch(bctx, ws.vals.data());
+    batch::count_batch_tile(count);
+  } else {
+    for (index_t j = 0; j < count; ++j) {
+      ctx.tree->data().copy_point(begin + j, ws.rpt.data());
+      ws.vals[static_cast<std::size_t>(j)] = ctx.plan->kernel_vm.run_pair(
+          ctx.qpt, ws.rpt.data(), dim, ws.scratch.data());
+    }
+    batch::count_scalar_tail(count);
+  }
+  return ws.vals.data();
+}
+
+/// Natural-space distance from the query point to a node's box center (the
+/// approximation representative, exactly as the executor's apply_approx).
+real_t center_dist(const Ctx& ctx, const KdNode& node) {
+  Workspace& ws = *ctx.ws;
+  node.box.center_point(ws.rpt.data());
+  if (ctx.metric == MetricKind::Mahalanobis)
+    return ctx.maha->sq_dist(ctx.qpt, ws.rpt.data(), ws.scratch.data());
+  const real_t d = point_distance(
+      ctx.metric == MetricKind::Euclidean ? MetricKind::SqEuclidean : ctx.metric,
+      ctx.qpt, 1, ws.rpt.data(), 1, ctx.tree->data().dim());
+  return ctx.metric == MetricKind::Euclidean ? std::sqrt(d) : d;
+}
+
+/// Comparative reductions (k-NN family): scored nearest-first descent with
+/// envelope-bound pruning against the current k-th best.
+class ReductionRules {
+ public:
+  ReductionRules(const Ctx& ctx)
+      : ctx_(ctx),
+        sense_(ctx.plan->sense),
+        list_(ctx.ws->knn_dists.data(), ctx.ws->knn_ids.data(),
+              ctx.plan->slots) {
+    list_.reset();
+    const KernelInfo& kernel = ctx.plan->plan.kernel;
+    // Indicator + comparative op is degenerate (zeros are candidates too, so
+    // distance cuts are unsound) -- evaluate exhaustively, like the executor.
+    prunable_ = ctx.plan->plan.category == ProblemCategory::Pruning &&
+                kernel.normalized &&
+                kernel.shape != EnvelopeShape::Indicator &&
+                kernel.shape != EnvelopeShape::Opaque;
+  }
+
+  bool prune_or_take(index_t n) {
+    if (!prunable_) return false;
+    const KdNode& node = ctx_.tree->node(n);
+    const real_t dmin = node_min(ctx_, node);
+    if (ctx_.identity_env && sense_ > 0) return dmin > list_.worst();
+    real_t emin, emax;
+    if (ctx_.identity_env) {
+      emin = dmin;
+      emax = node_max(ctx_, node);
+    } else {
+      const real_t a = envelope(ctx_, dmin);
+      const real_t b = envelope(ctx_, node_max(ctx_, node));
+      emin = std::min(a, b);
+      emax = std::max(a, b);
+    }
+    return std::min(sense_ * emin, sense_ * emax) > list_.worst();
+  }
+
+  real_t score(index_t n) { return node_min(ctx_, ctx_.tree->node(n)); }
+
+  void base_case(index_t n) {
+    const KdNode& node = ctx_.tree->node(n);
+    const real_t* vals = range_values(ctx_, node.begin, node.count());
+    for (index_t j = 0; j < node.count(); ++j)
+      list_.insert(sense_ * vals[j], node.begin + j);
+  }
+
+ private:
+  Ctx ctx_;
+  real_t sense_;
+  KnnList list_;
+  bool prunable_ = false;
+};
+
+/// SUM plans (KDE family): unscored preorder descent -- leaves accumulate in
+/// ascending permuted order, which is what makes tau == 0 bitwise-match the
+/// ascending brute-force sweep. Indicator sums (counting) bulk-accept /
+/// bulk-reject on interval containment; smooth envelopes approximate whole
+/// nodes only within the tau budget.
+class SumRules {
+ public:
+  SumRules(const Ctx& ctx, real_t tau) : ctx_(ctx), tau_(tau) {
+    const KernelInfo& kernel = ctx.plan->plan.kernel;
+    indicator_ = kernel.normalized && kernel.shape == EnvelopeShape::Indicator;
+    lo_ = kernel.indicator_lo;
+    hi_ = kernel.indicator_hi;
+    approx_ = ctx.plan->plan.category == ProblemCategory::Approximation &&
+              kernel.normalized;
+  }
+
+  bool prune_or_take(index_t n) {
+    const KdNode& node = ctx_.tree->node(n);
+    if (indicator_) {
+      const real_t dmin = node_min(ctx_, node);
+      const real_t dmax = node_max(ctx_, node);
+      if (dmin >= hi_ || dmax <= lo_) return true; // contributes exactly 0
+      if (dmin > lo_ && dmax < hi_) {              // every pair is exactly 1
+        total_ += static_cast<real_t>(node.count());
+        return true;
+      }
+      return false;
+    }
+    if (!approx_ || tau_ <= 0) return false;
+    const real_t dmin = node_min(ctx_, node);
+    const real_t dmax = node_max(ctx_, node);
+    real_t emin, emax;
+    if (ctx_.identity_env) {
+      emin = dmin;
+      emax = dmax;
+    } else {
+      const real_t a = envelope(ctx_, dmin);
+      const real_t b = envelope(ctx_, dmax);
+      emin = std::min(a, b);
+      emax = std::max(a, b);
+    }
+    if (emax - emin > tau_) return false;
+    const real_t center = center_dist(ctx_, node);
+    total_ += static_cast<real_t>(node.count()) *
+              (ctx_.identity_env ? center : envelope(ctx_, center));
+    return true;
+  }
+
+  void base_case(index_t n) {
+    const KdNode& node = ctx_.tree->node(n);
+    const real_t* vals = range_values(ctx_, node.begin, node.count());
+    for (index_t j = 0; j < node.count(); ++j) total_ += vals[j];
+  }
+
+  real_t total() const { return total_; }
+
+ private:
+  Ctx ctx_;
+  real_t tau_;
+  real_t total_ = 0;
+  bool indicator_ = false;
+  bool approx_ = false;
+  real_t lo_ = 0, hi_ = 0;
+};
+
+/// UNION/UNIONARG plans (range search): collect every reference with a
+/// non-zero kernel value; indicator envelopes prune by interval containment.
+class UnionRules {
+ public:
+  UnionRules(const Ctx& ctx, bool want_values, std::vector<index_t>* ids,
+             std::vector<real_t>* values)
+      : ctx_(ctx), want_values_(want_values), ids_(ids), values_(values) {
+    const KernelInfo& kernel = ctx.plan->plan.kernel;
+    indicator_ = kernel.normalized && kernel.shape == EnvelopeShape::Indicator;
+    lo_ = kernel.indicator_lo;
+    hi_ = kernel.indicator_hi;
+  }
+
+  bool prune_or_take(index_t n) {
+    if (!indicator_) return false;
+    const KdNode& node = ctx_.tree->node(n);
+    const real_t dmin = node_min(ctx_, node);
+    const real_t dmax = node_max(ctx_, node);
+    if (dmin >= hi_ || dmax <= lo_) return true;
+    if (dmin > lo_ && dmax < hi_) {
+      for (index_t rj = node.begin; rj < node.end; ++rj) {
+        ids_->push_back(rj);
+        if (want_values_) values_->push_back(1); // indicator interior: exact
+      }
+      return true;
+    }
+    return false;
+  }
+
+  void base_case(index_t n) {
+    const KdNode& node = ctx_.tree->node(n);
+    const real_t* vals = range_values(ctx_, node.begin, node.count());
+    for (index_t j = 0; j < node.count(); ++j) {
+      if (vals[j] == 0) continue;
+      ids_->push_back(node.begin + j);
+      if (want_values_) values_->push_back(vals[j]);
+    }
+  }
+
+ private:
+  Ctx ctx_;
+  bool want_values_;
+  std::vector<index_t>* ids_;
+  std::vector<real_t>* values_;
+  bool indicator_ = false;
+  real_t lo_ = 0, hi_ = 0;
+};
+
+/// Reduction slots -> original-order output (sense undone, NaN sentinels),
+/// same convention as the executor's finalize.
+void finalize_reduction(const CompiledPlan& plan, const KdTree& tree,
+                        const Workspace& ws, QueryResult* out) {
+  out->values.resize(static_cast<std::size_t>(plan.slots));
+  out->ids.assign(static_cast<std::size_t>(plan.is_arg ? plan.slots : 0), -1);
+  for (index_t j = 0; j < plan.slots; ++j) {
+    const real_t v = ws.knn_dists[static_cast<std::size_t>(j)];
+    out->values[static_cast<std::size_t>(j)] =
+        v == std::numeric_limits<real_t>::max()
+            ? std::numeric_limits<real_t>::quiet_NaN()
+            : plan.sense * v;
+    if (plan.is_arg) {
+      const index_t id = ws.knn_ids[static_cast<std::size_t>(j)];
+      out->ids[static_cast<std::size_t>(j)] = id >= 0 ? tree.perm()[id] : -1;
+    }
+  }
+}
+
+/// Union results -> original reference ids, sorted ascending (values follow),
+/// matching the executor's CSR ordering.
+void finalize_union(const KdTree& tree, bool want_values,
+                    std::vector<index_t>* ids, std::vector<real_t>* values,
+                    QueryResult* out) {
+  for (index_t& id : *ids) id = tree.perm()[id];
+  if (!want_values) {
+    std::sort(ids->begin(), ids->end());
+    out->ids = std::move(*ids);
+    return;
+  }
+  std::vector<std::size_t> order(ids->size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return (*ids)[a] < (*ids)[b];
+  });
+  out->ids.resize(ids->size());
+  out->values.resize(values->size());
+  for (std::size_t s = 0; s < order.size(); ++s) {
+    out->ids[s] = (*ids)[order[s]];
+    out->values[s] = (*values)[order[s]];
+  }
+}
+
+const KdTree& serving_tree(const CompiledPlan& plan,
+                           const TreeSnapshot& snapshot) {
+  if (!snapshot.kd())
+    throw std::invalid_argument(
+        "serve: snapshot was built without a kd-tree (SnapshotOptions.build_kd)");
+  const KdTree& tree = *snapshot.kd();
+  if (tree.data().dim() != plan.dim)
+    throw std::invalid_argument("serve: plan dimensionality " +
+                                std::to_string(plan.dim) +
+                                " does not match snapshot dimensionality " +
+                                std::to_string(tree.data().dim()));
+  return tree;
+}
+
+} // namespace
+
+QueryResult run_query(const CompiledPlan& plan, const TreeSnapshot& snapshot,
+                      const real_t* point, const EngineOptions& options,
+                      Workspace& ws) {
+  const KdTree& tree = serving_tree(plan, snapshot);
+  prepare_workspace(plan, tree, point, tree.stats().max_leaf_count, ws);
+  const bool batch = options.batch_base_cases && !tree.mirror().empty();
+  const Ctx ctx = make_ctx(plan, tree, point, batch, ws);
+
+  QueryResult result;
+  if (plan.is_reduction) {
+    ReductionRules rules(ctx);
+    result.stats = single_traverse(tree, rules);
+    finalize_reduction(plan, tree, ws, &result);
+  } else if (plan.is_sum) {
+    SumRules rules(ctx, options.tau);
+    result.stats = single_traverse(tree, rules);
+    result.values = {rules.total()};
+  } else {
+    std::vector<index_t> ids;
+    std::vector<real_t> values;
+    UnionRules rules(ctx, plan.is_union, &ids, &values);
+    result.stats = single_traverse(tree, rules);
+    finalize_union(tree, plan.is_union, &ids, &values, &result);
+  }
+  return result;
+}
+
+QueryResult run_query_bruteforce(const CompiledPlan& plan,
+                                 const TreeSnapshot& snapshot,
+                                 const real_t* point) {
+  const KdTree& tree = serving_tree(plan, snapshot);
+  const index_t nr = tree.data().size();
+  Workspace ws;
+  // Size the value buffers for the whole dataset: the oracle is one flat
+  // scalar sweep in ascending permuted order (bitwise-comparable with the
+  // preorder leaf accumulation of the tree engine).
+  prepare_workspace(plan, tree, point, nr, ws);
+  const Ctx ctx = make_ctx(plan, tree, point, /*batch=*/false, ws);
+
+  const real_t* vals = range_values(ctx, 0, nr);
+  QueryResult result;
+  if (plan.is_reduction) {
+    KnnList list(ws.knn_dists.data(), ws.knn_ids.data(), plan.slots);
+    list.reset();
+    for (index_t j = 0; j < nr; ++j) list.insert(plan.sense * vals[j], j);
+    finalize_reduction(plan, tree, ws, &result);
+  } else if (plan.is_sum) {
+    real_t total = 0;
+    for (index_t j = 0; j < nr; ++j) total += vals[j];
+    result.values = {total};
+  } else {
+    std::vector<index_t> ids;
+    std::vector<real_t> values;
+    for (index_t j = 0; j < nr; ++j) {
+      if (vals[j] == 0) continue;
+      ids.push_back(j);
+      if (plan.is_union) values.push_back(vals[j]);
+    }
+    finalize_union(tree, plan.is_union, &ids, &values, &result);
+  }
+  return result;
+}
+
+} // namespace portal::serve

@@ -1,0 +1,72 @@
+// Portal -- the per-request query engine of the serving runtime.
+//
+// Where the batch executor answers "every query point against every
+// reference point" with the dual-tree traversal, serving answers *one
+// arriving point at a time*: each request is a single-tree descent
+// (traversal/singletree.h) of the current snapshot's kd-tree, driven by the
+// same rule shapes as the executor's generic reducers -- envelope-bound
+// pruning for the comparative reductions, indicator interval logic for
+// range queries, tau-bounded approximation for KDE-style sums -- and
+// feeding the same SIMD-batched leaf tiles (kernels/batch.h).
+//
+// Determinism contract: with tau == 0 the engine is *bitwise* equal to the
+// serial brute-force oracle below. Sums accumulate in ascending permuted
+// order (the unscored descent visits leaves left-to-right), leaf distances
+// go through batch::natural_dists (bit-for-bit the scalar path), and the
+// envelope runs through the exact same VmProgram on both sides. The
+// concurrent stress tests pin this at tolerance zero.
+#pragma once
+
+#include <vector>
+
+#include "serve/plan_cache.h"
+#include "traversal/multitree.h"
+#include "tree/bbox.h"
+#include "tree/snapshot.h"
+
+namespace portal::serve {
+
+/// Reusable per-worker scratch; sized lazily to the largest (plan, snapshot)
+/// combination seen. Never shared between threads.
+struct Workspace {
+  std::vector<real_t> rpt;      // dim-contiguous reference point copy
+  std::vector<real_t> scratch;  // kernel scratch (Mahalanobis solves)
+  std::vector<real_t> dists;    // leaf distances
+  std::vector<real_t> vals;     // leaf kernel values
+  std::vector<real_t> knn_dists; // reduction slots (sense space)
+  std::vector<index_t> knn_ids;
+  BBox qbox; // degenerate query box for non-L2 point-to-node bounds
+};
+
+/// One answered query. Reductions fill `slots` values (sense applied, NaN
+/// for unfilled slots) plus original-order reference ids for the arg
+/// flavors; SUM fills one value; UNION/UNIONARG fill ids sorted by original
+/// reference index (values alongside for UNION).
+struct QueryResult {
+  std::vector<real_t> values;
+  std::vector<index_t> ids;
+  TraversalStats stats;
+};
+
+struct EngineOptions {
+  bool batch_base_cases = true; // SoA leaf tiles vs scalar per-pair loop
+  real_t tau = 0; // approximation budget for SUM plans; 0 = exact
+};
+
+/// Answer one request against the snapshot's kd-tree. Reentrant: any number
+/// of threads may run queries against the same plan and snapshot, each with
+/// its own Workspace. Throws std::invalid_argument when the snapshot has no
+/// kd-tree or the plan/snapshot dimensions disagree.
+QueryResult run_query(const CompiledPlan& plan, const TreeSnapshot& snapshot,
+                      const real_t* point, const EngineOptions& options,
+                      Workspace& ws);
+
+/// The serial O(N) oracle: same kernels, same envelope VM, one pass over the
+/// snapshot's points in ascending permuted order. With tau == 0 the results
+/// match run_query bitwise (values; arg ids can legitimately differ on
+/// exactly tied distances). Differential tests cross-check against this.
+QueryResult run_query_bruteforce(const CompiledPlan& plan,
+                                 const TreeSnapshot& snapshot,
+                                 const real_t* point);
+
+} // namespace portal::serve

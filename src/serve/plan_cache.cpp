@@ -1,0 +1,189 @@
+#include "serve/plan_cache.h"
+
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include "core/ir/ir_hash.h"
+#include "core/portal_expr.h"
+#include "obs/trace.h"
+
+namespace portal::serve {
+namespace {
+
+std::uint64_t mix_real(std::uint64_t h, real_t value) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(real_t) <= sizeof(bits));
+  std::memcpy(&bits, &value, sizeof(real_t));
+  return ir_hash_mix(h, bits);
+}
+
+/// True when the chain's compiled form is fully determined by the descriptor
+/// fields hashed below. Custom Expr kernels would need a structural AST hash
+/// (the post-pass fingerprint provides exactly that, so they just take the
+/// compile-then-dedupe path), and covariance-from-data kernels read the
+/// reference points themselves.
+bool fast_keyable(const LayerSpec& inner) {
+  if (inner.custom_kernel.valid() || inner.external != nullptr) return false;
+  const PortalFunc::Kind kind = inner.func.kind();
+  if (kind == PortalFunc::Kind::Custom) return false;
+  if ((kind == PortalFunc::Kind::Mahalanobis ||
+       kind == PortalFunc::Kind::GaussianMaha) &&
+      inner.func.covariance().empty())
+    return false;
+  return true;
+}
+
+/// Pre-compile key: everything that feeds the compiler except storage
+/// identity. Data shape (dim, layout) is included because the flattened IR
+/// bakes it in; tau and strength_reduction because they change the emitted
+/// IR (approximation conditions, rewritten subtrees).
+std::uint64_t descriptor_key(const LayerSpec& inner, const Dataset& reference,
+                             const PortalConfig& config) {
+  std::uint64_t h = kIrHashSeed;
+  h = ir_hash_mix(h, 0x53455256ull); // 'SERV' domain tag
+  h = ir_hash_mix(h, static_cast<std::uint64_t>(inner.op.op));
+  h = ir_hash_mix(h, static_cast<std::uint64_t>(inner.op.k));
+  h = ir_hash_mix(h, static_cast<std::uint64_t>(inner.func.kind()));
+  h = mix_real(h, inner.func.sigma());
+  h = mix_real(h, inner.func.gravity_g());
+  h = mix_real(h, inner.func.softening());
+  h = mix_real(h, inner.func.lo());
+  h = mix_real(h, inner.func.hi());
+  h = ir_hash_mix(h, inner.func.covariance().size());
+  for (real_t v : inner.func.covariance()) h = mix_real(h, v);
+  h = ir_hash_mix(h, static_cast<std::uint64_t>(reference.dim()));
+  h = ir_hash_mix(h, static_cast<std::uint64_t>(reference.layout()));
+  h = mix_real(h, config.tau);
+  h = ir_hash_mix(h, config.strength_reduction ? 1 : 0);
+  return h;
+}
+
+const char* supported_ops_message() {
+  return "serve: unsupported inner operator (supported: MIN/MAX/ARGMIN/ARGMAX, "
+         "KMIN/KMAX/KARGMIN/KARGMAX, SUM, UNION/UNIONARG)";
+}
+
+PlanHandle compile_plan(const LayerSpec& inner, const Dataset& reference,
+                        const PortalConfig& config) {
+  auto compiled = std::make_shared<CompiledPlan>();
+
+  // Resolve the operator traits up front so unsupported shapes fail before
+  // the (much more expensive) compile.
+  switch (inner.op.op) {
+    case PortalOp::SUM:
+      compiled->is_sum = true;
+      break;
+    case PortalOp::UNION:
+      compiled->is_union = true;
+      break;
+    case PortalOp::UNIONARG:
+      compiled->is_unionarg = true;
+      break;
+    case PortalOp::MIN:
+    case PortalOp::MAX:
+    case PortalOp::ARGMIN:
+    case PortalOp::ARGMAX:
+    case PortalOp::KMIN:
+    case PortalOp::KMAX:
+    case PortalOp::KARGMIN:
+    case PortalOp::KARGMAX:
+      compiled->is_reduction = true;
+      compiled->is_arg = op_is_arg(inner.op.op);
+      compiled->sense = op_is_min_like(inner.op.op) ? real_t(1) : real_t(-1);
+      compiled->slots =
+          op_category(inner.op.op) == OpCategory::Multi ? inner.op.k : 1;
+      if (compiled->slots < 1)
+        throw std::invalid_argument("serve: k must be >= 1");
+      break;
+    default:
+      throw std::invalid_argument(supported_ops_message());
+  }
+  compiled->op = inner.op.op;
+  compiled->dim = reference.dim();
+
+  // Compile through the standard pipeline: FORALL over a query-shape
+  // template, the client's inner layer over the real reference points (so
+  // data-reading analyses like covariance-from-data see actual values). The
+  // query template never gets executed -- serving evaluates the compiled
+  // kernel on contiguous request points -- so a 2-point placeholder of the
+  // right dim/layout is all the front end needs.
+  PortalExpr expr;
+  LayerSpec outer;
+  outer.op = OpSpec(PortalOp::FORALL);
+  outer.storage = Storage(Dataset(2, reference.dim()));
+  expr.addLayerSpec(outer);
+  LayerSpec in = inner;
+  in.storage = Storage(reference);
+  expr.addLayerSpec(std::move(in));
+  expr.setConfig(config);
+  expr.compile();
+
+  compiled->plan = expr.plan();
+  compiled->fingerprint = compiled->plan.fingerprint;
+  compiled->compile_seconds = expr.artifacts().compile_seconds;
+
+  if (compiled->plan.kernel.is_gravity)
+    throw std::invalid_argument(
+        "serve: the gravity kernel is vector-valued and not servable");
+  if (!compiled->plan.kernel.kernel_ir)
+    throw std::invalid_argument("serve: kernel did not lower to IR");
+
+  compiled->kernel_vm = VmProgram::compile(compiled->plan.kernel.kernel_ir);
+  if (compiled->plan.kernel.normalized && compiled->plan.kernel.envelope_ir) {
+    compiled->envelope_vm = VmProgram::compile(compiled->plan.kernel.envelope_ir);
+    compiled->has_envelope = true;
+  }
+  return compiled;
+}
+
+} // namespace
+
+PlanHandle PlanCache::get_or_compile(const LayerSpec& inner,
+                                     const Dataset& reference,
+                                     const PortalConfig& config) {
+  const bool keyable = fast_keyable(inner);
+  const std::uint64_t descriptor =
+      keyable ? descriptor_key(inner, reference, config) : 0;
+
+  if (keyable) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = by_descriptor_.find(descriptor);
+    if (it != by_descriptor_.end()) {
+      ++stats_.hits;
+      PORTAL_OBS_COUNT("serve/plan_cache_hit", 1);
+      return it->second;
+    }
+  }
+
+  // Compile outside the lock: the pipeline can take milliseconds and must
+  // never stall concurrent hits on other chains.
+  PlanHandle fresh = compile_plan(inner, reference, config);
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto [fit, inserted] = by_fingerprint_.emplace(fresh->fingerprint, fresh);
+  if (keyable) by_descriptor_.emplace(descriptor, fit->second);
+  if (inserted) {
+    ++stats_.misses;
+    PORTAL_OBS_COUNT("serve/plan_cache_miss", 1);
+  } else {
+    // A chain that missed the descriptor level but whose verified IR matches
+    // an existing plan (custom kernel spelled differently, or a raced
+    // compile): the cache still serves one shared artifact.
+    ++stats_.hits;
+    PORTAL_OBS_COUNT("serve/plan_cache_hit", 1);
+  }
+  return fit->second;
+}
+
+PlanCache::Stats PlanCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+std::size_t PlanCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return by_fingerprint_.size();
+}
+
+} // namespace portal::serve

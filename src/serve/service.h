@@ -1,0 +1,161 @@
+// Portal -- PortalService: the concurrent query-serving runtime
+// (DESIGN.md Sec. 13, docs/SERVING.md).
+//
+// Ties the three serving pieces together behind one object:
+//   * a PlanCache (serve/plan_cache.h): prepare() resolves a layer chain to
+//     a shared compiled plan, compiling at most once per distinct chain;
+//   * a SnapshotSlot (tree/snapshot.h): publish() copy-rebuild-swaps an
+//     immutable dataset + tree epoch; in-flight requests keep the epoch
+//     they started on;
+//   * a micro-batching scheduler: submit() enqueues onto a bounded MPMC
+//     queue (admission control: reject or block when full, per-request
+//     deadlines), worker threads dequeue and coalesce same-plan requests
+//     into one batch answered back-to-back against one pinned snapshot
+//     tree, fulfilling a std::future per request with the result, the
+//     serving epoch, and the measured latency.
+//
+// Observability: always-on latency and queue-depth histograms
+// (obs/histogram.h) plus serve/* trace counters (docs/OBSERVABILITY.md).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/histogram.h"
+#include "serve/engine.h"
+#include "serve/plan_cache.h"
+#include "tree/snapshot.h"
+
+namespace portal::serve {
+
+enum class Status {
+  Ok,       // answered; result/epoch/latency valid
+  Rejected, // admission control: queue full (or service stopped)
+  Expired,  // deadline passed before a worker picked the request up
+  Error,    // the engine threw; see Response::error
+};
+
+const char* status_name(Status s);
+
+struct Response {
+  Status status = Status::Rejected;
+  QueryResult result;       // valid when status == Ok
+  std::uint64_t epoch = 0;  // snapshot epoch that answered the request
+  double latency_ms = 0;    // submit() to fulfillment
+  std::string error;
+};
+
+struct ServiceOptions {
+  int workers = 2;
+  std::size_t queue_capacity = 1024;
+  std::size_t max_batch = 64;      // same-plan requests coalesced per dequeue
+  double default_deadline_ms = 0;  // 0 = no deadline
+  bool block_on_full = false;      // false: reject when full; true: submit()
+                                   // blocks until space (backpressure)
+  real_t tau = 0;                  // SUM approximation budget; 0 = exact
+  bool batch_base_cases = true;    // SIMD leaf tiles in the engine
+  bool strength_reduction = true;  // compiler knob passed to plan compiles
+  SnapshotOptions snapshot;        // leaf size + which trees publish() builds
+};
+
+struct ServiceStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t expired = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t batches = 0;          // worker dequeues
+  std::uint64_t batched_requests = 0; // requests served through those batches
+  std::size_t queue_depth = 0;        // at the time of the stats() call
+  std::uint64_t epoch = 0;            // current snapshot epoch (0 = none)
+  PlanCache::Stats plan_cache;
+
+  double mean_batch() const {
+    return batches == 0 ? 0
+                        : static_cast<double>(batched_requests) /
+                              static_cast<double>(batches);
+  }
+};
+
+class PortalService {
+ public:
+  explicit PortalService(ServiceOptions options = {});
+  ~PortalService(); // stop()s and drains
+  PortalService(const PortalService&) = delete;
+  PortalService& operator=(const PortalService&) = delete;
+
+  /// Copy-rebuild-swap: build the next snapshot epoch over `data` and make
+  /// it current. Safe at any time, including under full query load.
+  std::shared_ptr<const TreeSnapshot> publish(Dataset data);
+  std::shared_ptr<const TreeSnapshot> publish(
+      std::shared_ptr<const Dataset> data);
+
+  /// Current snapshot (null before the first publish). Holding the returned
+  /// pointer pins that epoch.
+  std::shared_ptr<const TreeSnapshot> snapshot() const { return slot_.load(); }
+
+  /// Resolve a query chain (FORALL over request points -> inner layer) to a
+  /// compiled plan, through the plan cache. Requires a published dataset
+  /// (the chain compiles against its shape). Throws std::invalid_argument
+  /// for unsupported operators/kernels, std::logic_error before publish().
+  PlanHandle prepare(const OpSpec& op, const PortalFunc& func);
+  PlanHandle prepare(LayerSpec inner); // inner.storage is ignored
+
+  /// Enqueue one query point. Returns immediately with a future that
+  /// resolves to the Response (including non-Ok admission outcomes, so
+  /// callers have one result path). `deadline_ms` < 0 means "use the
+  /// service default"; 0 disables the deadline for this request.
+  std::future<Response> submit(PlanHandle plan, std::vector<real_t> point,
+                               double deadline_ms = -1);
+
+  ServiceStats stats() const;
+  obs::LatencyHistogram::Snapshot latency() const { return latency_.snapshot(); }
+  /// Queue depth observed at each submit (quantiles are unit-agnostic).
+  obs::LatencyHistogram::Snapshot queue_depth() const { return depth_.snapshot(); }
+  const ServiceOptions& options() const { return options_; }
+
+  /// Drain the queue (workers finish everything already admitted), then join
+  /// the workers. New submits are rejected from the moment stop() is
+  /// entered. Idempotent; the destructor calls it.
+  void stop();
+
+ private:
+  struct Pending {
+    std::promise<Response> promise;
+    PlanHandle plan;
+    std::vector<real_t> point;
+    double deadline_ms = 0;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  void worker_loop();
+  void fulfill(Pending& pending, Response response);
+
+  ServiceOptions options_;
+  SnapshotSlot slot_;
+  PlanCache cache_;
+
+  std::mutex stop_mutex_;    // serializes stop() (see service.cpp)
+  mutable std::mutex mutex_; // guards queue_ and stopping_
+  std::condition_variable work_cv_;
+  std::condition_variable space_cv_;
+  std::deque<std::unique_ptr<Pending>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+
+  obs::LatencyHistogram latency_;
+  obs::LatencyHistogram depth_;
+  std::atomic<std::uint64_t> submitted_{0}, completed_{0}, rejected_{0},
+      expired_{0}, errors_{0}, batches_{0}, batched_requests_{0};
+};
+
+} // namespace portal::serve

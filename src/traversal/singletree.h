@@ -73,7 +73,11 @@ TraversalStats single_traverse(const Tree& tree, Rules& rules) {
         }
       for (int i = count - 1; i >= 0; --i) stack[top++] = children[i];
     } else {
-      for (int i = 0; i < count; ++i) stack[top++] = children[i];
+      // Preorder left-first: push the last child first so child 0 pops
+      // first. Unscored descents therefore visit leaves in ascending
+      // permuted order -- load-bearing for the serving engine's bitwise
+      // SUM determinism contract (src/serve/engine.h).
+      for (int i = count - 1; i >= 0; --i) stack[top++] = children[i];
     }
   }
   // One bulk merge into the session counters per descent; single-tree
@@ -82,6 +86,49 @@ TraversalStats single_traverse(const Tree& tree, Rules& rules) {
   PORTAL_OBS_COUNT("traversal/single/prunes", stats.prunes);
   PORTAL_OBS_COUNT("traversal/single/base_cases", stats.base_cases);
   return stats;
+}
+
+/// Multi-query single-tree entry point: run one descent per query index in
+/// [0, num_queries) over a shared immutable tree. `make_rules(q)` constructs
+/// the q-th query's rule set, so every descent owns all of its mutable state
+/// on the caller's stack -- nothing is shared between queries except the
+/// tree, which makes this entry point *reentrant*: any number of threads may
+/// call it (or single_traverse) concurrently on the same tree. This is the
+/// traversal core of the serving runtime's micro-batches (src/serve): a
+/// worker coalesces same-plan requests and answers them with one
+/// for_each_query sweep over the current snapshot.
+///
+/// `parallel` splits the queries across OpenMP threads (batch mode);
+/// serving workers pass false and parallelize across batches instead.
+/// Returns the summed stats over all descents either way.
+template <typename Tree, typename MakeRules>
+TraversalStats for_each_query(const Tree& tree, index_t num_queries,
+                              MakeRules&& make_rules, bool parallel = false) {
+  TraversalStats total;
+  if (parallel) {
+    index_t pairs = 0, prunes = 0, bases = 0;
+#pragma omp parallel for schedule(dynamic, 8) \
+    reduction(+ : pairs, prunes, bases)
+    for (index_t q = 0; q < num_queries; ++q) {
+      auto rules = make_rules(q);
+      const TraversalStats s = single_traverse(tree, rules);
+      pairs += s.pairs_visited;
+      prunes += s.prunes;
+      bases += s.base_cases;
+    }
+    total.pairs_visited = pairs;
+    total.prunes = prunes;
+    total.base_cases = bases;
+  } else {
+    for (index_t q = 0; q < num_queries; ++q) {
+      auto rules = make_rules(q);
+      const TraversalStats s = single_traverse(tree, rules);
+      total.pairs_visited += s.pairs_visited;
+      total.prunes += s.prunes;
+      total.base_cases += s.base_cases;
+    }
+  }
+  return total;
 }
 
 } // namespace portal

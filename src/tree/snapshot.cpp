@@ -1,0 +1,51 @@
+#include "tree/snapshot.h"
+
+#include <stdexcept>
+#include <vector>
+
+namespace portal {
+
+std::shared_ptr<const TreeSnapshot> TreeSnapshot::build(
+    std::shared_ptr<const Dataset> source, std::uint64_t epoch,
+    const SnapshotOptions& options) {
+  if (!source || source->empty())
+    throw std::invalid_argument("TreeSnapshot::build: empty dataset");
+  if (options.build_octree && source->dim() != 3)
+    throw std::invalid_argument(
+        "TreeSnapshot::build: octree snapshots require 3-D data");
+
+  auto snap = std::shared_ptr<TreeSnapshot>(new TreeSnapshot());
+  snap->epoch_ = epoch;
+  snap->source_ = std::move(source);
+  // Each tree copies + permutes the dataset internally, so the builds are
+  // independent of each other and of later reads of source_.
+  if (options.build_kd)
+    snap->kd_ = std::make_shared<const KdTree>(*snap->source_, options.leaf_size);
+  if (options.build_ball)
+    snap->ball_ =
+        std::make_shared<const BallTree>(*snap->source_, options.leaf_size);
+  if (options.build_octree) {
+    const std::vector<real_t> unit_masses(
+        static_cast<std::size_t>(snap->source_->size()), real_t{1});
+    snap->octree_ = std::make_shared<const Octree>(*snap->source_, unit_masses,
+                                                   options.leaf_size);
+  }
+  return snap;
+}
+
+std::shared_ptr<const TreeSnapshot> SnapshotSlot::publish(
+    std::shared_ptr<const Dataset> source, const SnapshotOptions& options) {
+  std::lock_guard<std::mutex> writer(publish_mutex_);
+  const std::uint64_t epoch = next_epoch_++;
+  // The expensive part -- tree construction -- happens with only the writer
+  // lock held; readers keep load()ing the previous epoch throughout.
+  std::shared_ptr<const TreeSnapshot> snap =
+      TreeSnapshot::build(std::move(source), epoch, options);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    current_ = snap;
+  }
+  return snap;
+}
+
+} // namespace portal

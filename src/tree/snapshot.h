@@ -1,0 +1,113 @@
+// Portal -- immutable dataset snapshots for the concurrent serving runtime.
+//
+// The query-serving engine (src/serve) answers requests against a *frozen*
+// view of the reference data: a pinned dataset plus the spatial indexes
+// built over it. Updates never mutate a live tree -- a writer builds a
+// complete replacement snapshot off to the side (copy-rebuild) and then
+// publishes it with one pointer swap, so in-flight traversals keep reading
+// the epoch they started on and every request's answer is attributable to
+// exactly one epoch. This is classic RCU-by-shared_ptr: readers pin a
+// snapshot for the duration of a traversal; the last reader of a retired
+// epoch frees it.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+#include "tree/balltree.h"
+#include "tree/kdtree.h"
+#include "tree/octree.h"
+
+namespace portal {
+
+/// Which indexes a snapshot materializes. The kd-tree is the serving
+/// default (every supported query runs on it); ball tree and octree are
+/// opt-in for workloads that want them (octree requires 3-D data and is
+/// built with unit masses unless the publisher supplies its own).
+struct SnapshotOptions {
+  index_t leaf_size = kDefaultLeafSize;
+  bool build_kd = true;
+  bool build_ball = false;
+  bool build_octree = false;
+};
+
+/// One immutable epoch: the source dataset (original point order, pinned so
+/// external label arrays and identity keys stay valid) plus the trees built
+/// over it. All members are set once at build time and never mutated, so a
+/// snapshot is safe to read from any number of threads with no locking.
+class TreeSnapshot {
+ public:
+  /// Builds every index requested by `options` over `source`. Heavy -- runs
+  /// outside any lock (see SnapshotSlot::publish). Throws if `source` is
+  /// null/empty or if build_octree is set on non-3-D data.
+  static std::shared_ptr<const TreeSnapshot> build(
+      std::shared_ptr<const Dataset> source, std::uint64_t epoch,
+      const SnapshotOptions& options);
+
+  std::uint64_t epoch() const { return epoch_; }
+  const std::shared_ptr<const Dataset>& source() const { return source_; }
+  index_t size() const { return source_->size(); }
+  index_t dim() const { return source_->dim(); }
+
+  /// Null when the corresponding SnapshotOptions flag was off.
+  const std::shared_ptr<const KdTree>& kd() const { return kd_; }
+  const std::shared_ptr<const BallTree>& ball() const { return ball_; }
+  const std::shared_ptr<const Octree>& octree() const { return octree_; }
+
+ private:
+  TreeSnapshot() = default;
+
+  std::uint64_t epoch_ = 0;
+  std::shared_ptr<const Dataset> source_;
+  std::shared_ptr<const KdTree> kd_;
+  std::shared_ptr<const BallTree> ball_;
+  std::shared_ptr<const Octree> octree_;
+};
+
+/// The single mutable cell of the serving data plane: an epoch-versioned
+/// pointer to the current TreeSnapshot.
+///
+/// load() hands out a shared_ptr copy under a short mutex hold -- no tree
+/// work ever happens inside the lock, so readers only contend on the
+/// pointer copy itself (a few nanoseconds at per-batch granularity). A
+/// plain mutex is deliberate over std::atomic<shared_ptr>: it is portable
+/// across the toolchains CI exercises and is exactly what ThreadSanitizer
+/// models best.
+///
+/// publish() serializes writers: the replacement snapshot is built with no
+/// locks held, then swapped in under the pointer mutex. Epochs are handed
+/// out monotonically, and because builders hold `publish_mutex_` from epoch
+/// grant to swap, epoch N is never published after N+1 -- readers observe
+/// a strictly increasing epoch sequence with no gaps going backward.
+class SnapshotSlot {
+ public:
+  /// Current snapshot, or null before the first publish. The returned
+  /// pointer pins the epoch for as long as the caller holds it.
+  std::shared_ptr<const TreeSnapshot> load() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return current_;
+  }
+
+  /// Epoch of the current snapshot (0 = nothing published yet).
+  std::uint64_t current_epoch() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return current_ ? current_->epoch() : 0;
+  }
+
+  /// Copy-rebuild-swap: build a snapshot of `source` at the next epoch,
+  /// then make it current. Returns the published snapshot. Readers holding
+  /// the previous epoch are unaffected; its memory is reclaimed when the
+  /// last of them drops its pointer.
+  std::shared_ptr<const TreeSnapshot> publish(
+      std::shared_ptr<const Dataset> source, const SnapshotOptions& options);
+
+ private:
+  mutable std::mutex mutex_;     // guards current_ only
+  std::mutex publish_mutex_;     // serializes writers across build+swap
+  std::uint64_t next_epoch_ = 1; // guarded by publish_mutex_
+  std::shared_ptr<const TreeSnapshot> current_;
+};
+
+} // namespace portal

@@ -35,11 +35,15 @@
 //
 // Exit code 0 on success, 1 on usage errors, 2 on execution errors
 // (including IR verification failures, reported with their PTL codes).
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <map>
 #include <string>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "core/parser.h"
@@ -50,6 +54,7 @@
 #include "problems/emst.h"
 #include "problems/golden.h"
 #include "problems/threepoint.h"
+#include "serve/service.h"
 #include "util/csv.h"
 #include "util/threading.h"
 #include "util/timer.h"
@@ -83,6 +88,10 @@ struct Args {
                "       [--out FILE] [--leaf N] [--tau T] [--engine E] "
                "[--validate] [--demo N[,DIM]] [--serial] [--verify]\n"
                "       [--trace[=FILE]]\n"
+               "       portal_cli serve-bench [--reference F | --demo N[,DIM]]"
+               " [--workers W] [--clients C]\n"
+               "           [--seconds S] [--mix knn,kde,rs] [--queue N] "
+               "[--batch N] [--deadline MS]\n"
                "       portal_cli run FILE.portal | verify FILE.portal\n"
                "       portal_cli --dump-golden=DIR   regenerate "
                "tests/golden/*.csv\n");
@@ -198,6 +207,125 @@ int run_script(const std::string& path, const Args& args, bool verify_mode) {
                 static_cast<long long>(out.cols()));
   }
   if (args.has("out")) write_matrix(args.get("out"), out, out.has_indices());
+  return 0;
+}
+
+// serve-bench: drive the concurrent serving runtime (src/serve) with a
+// closed-loop client fleet and print QPS, latency quantiles, plan-cache hit
+// rate, and scheduler stats. See docs/SERVING.md for examples.
+int run_serve_bench(const Args& args) {
+  serve::ServiceOptions options;
+  options.workers = static_cast<int>(args.num("workers", 4));
+  options.queue_capacity =
+      static_cast<std::size_t>(args.num("queue", 4096));
+  options.max_batch = static_cast<std::size_t>(args.num("batch", 64));
+  options.default_deadline_ms = args.num("deadline", 0);
+  options.block_on_full = true; // closed-loop clients: backpressure, not drops
+  options.tau = args.num("tau", 0);
+  options.snapshot.leaf_size =
+      static_cast<index_t>(args.num("leaf", kDefaultLeafSize));
+
+  Storage reference = load(args, "reference", 31);
+  const index_t dim = reference.dim();
+  serve::PortalService service(options);
+  service.publish(reference.dataset());
+
+  // The request mix: comma-separated problem names, each resolved through
+  // the plan cache once here (warmup) and then repeatedly by the clients.
+  std::vector<std::pair<std::string, LayerSpec>> mix;
+  std::string mix_spec = args.get("mix", "knn,kde,rs");
+  for (std::size_t pos = 0; pos < mix_spec.size();) {
+    const std::size_t comma = mix_spec.find(',', pos);
+    const std::string name = mix_spec.substr(
+        pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    LayerSpec inner;
+    if (name == "knn") {
+      inner.op = {PortalOp::KARGMIN, static_cast<index_t>(args.num("k", 5))};
+      inner.func = PortalFunc::EUCLIDEAN;
+    } else if (name == "kde") {
+      inner.op = PortalOp::SUM;
+      inner.func = PortalFunc::gaussian(args.num("sigma", 1.0));
+    } else if (name == "rs") {
+      inner.op = PortalOp::UNION;
+      inner.func = PortalFunc::indicator(args.num("lo", 0.0) + 1e-12,
+                                         args.num("hi", 1.0));
+    } else {
+      usage("--mix entries must be knn | kde | rs");
+    }
+    mix.emplace_back(name, std::move(inner));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+
+  std::vector<serve::PlanHandle> plans;
+  for (auto& [name, inner] : mix) plans.push_back(service.prepare(inner));
+
+  const int clients = static_cast<int>(args.num("clients", 8));
+  const double seconds = args.num("seconds", 3.0);
+  std::printf("serve-bench: %lld points dim %lld | %d workers, %d clients, "
+              "%.1fs, mix=%s\n",
+              static_cast<long long>(reference.size()),
+              static_cast<long long>(dim), options.workers, clients, seconds,
+              mix_spec.c_str());
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> sent{0}, ok{0}, failed{0};
+  std::vector<std::thread> fleet;
+  Timer timer;
+  for (int c = 0; c < clients; ++c)
+    fleet.emplace_back([&, c] {
+      std::uint64_t state = 0x9e3779b97f4a7c15ull * (c + 1) + 1;
+      const auto next = [&state] {
+        state ^= state << 13; state ^= state >> 7; state ^= state << 17;
+        return state;
+      };
+      std::vector<real_t> point(static_cast<std::size_t>(dim));
+      while (!stop.load(std::memory_order_acquire)) {
+        // Resolve the chain through the plan cache every request, the way a
+        // real frontend would -- after the warmup prepares above, these are
+        // all cache hits (the bench reports the hit rate).
+        const serve::PlanHandle plan =
+            service.prepare(mix[next() % mix.size()].second);
+        const index_t base = static_cast<index_t>(
+            next() % static_cast<std::uint64_t>(reference.size()));
+        for (index_t d = 0; d < dim; ++d)
+          point[static_cast<std::size_t>(d)] =
+              reference.dataset().coord(base, d) +
+              static_cast<real_t>(next() % 1000) * 1e-4;
+        sent.fetch_add(1, std::memory_order_relaxed);
+        const serve::Response resp = service.submit(plan, point).get();
+        (resp.status == serve::Status::Ok ? ok : failed)
+            .fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  std::this_thread::sleep_for(
+      std::chrono::milliseconds(static_cast<long long>(seconds * 1e3)));
+  stop.store(true, std::memory_order_release);
+  for (auto& client : fleet) client.join();
+  const double elapsed = timer.elapsed_s();
+
+  const serve::ServiceStats stats = service.stats();
+  const obs::LatencyHistogram::Snapshot lat = service.latency();
+  const obs::LatencyHistogram::Snapshot depth = service.queue_depth();
+  std::printf("requests: %llu ok, %llu failed | QPS %.0f\n",
+              static_cast<unsigned long long>(ok.load()),
+              static_cast<unsigned long long>(failed.load()),
+              static_cast<double>(ok.load()) / elapsed);
+  std::printf("latency ms: p50 %.3f  p95 %.3f  p99 %.3f  max %.3f  mean %.3f\n",
+              lat.quantile(0.50) * 1e3, lat.quantile(0.95) * 1e3,
+              lat.quantile(0.99) * 1e3, lat.max_seconds * 1e3,
+              lat.mean_seconds() * 1e3);
+  std::printf("plan cache: %llu hits, %llu misses (%.2f%% hit rate)\n",
+              static_cast<unsigned long long>(stats.plan_cache.hits),
+              static_cast<unsigned long long>(stats.plan_cache.misses),
+              stats.plan_cache.hit_rate() * 100);
+  std::printf("scheduler: %llu batches, %.2f requests/batch | queue depth "
+              "p50 %.0f p99 %.0f | epoch %llu\n",
+              static_cast<unsigned long long>(stats.batches),
+              stats.mean_batch(), depth.quantile(0.5) * 1e9,
+              depth.quantile(0.99) * 1e9,
+              static_cast<unsigned long long>(stats.epoch));
+  service.stop();
   return 0;
 }
 
@@ -350,6 +478,8 @@ int run(const Args& args) {
     if (args.has("out")) write_matrix(args.get("out"), out, false);
     return 0;
   }
+
+  if (args.problem == "serve-bench") return run_serve_bench(args);
 
   usage(("unknown problem '" + args.problem + "'").c_str());
 }
