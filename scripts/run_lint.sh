@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# clang-tidy gate over the production sources (src/ and tools/ -- tests and
+# benches follow gtest/benchmark idioms the profile deliberately excludes).
+# The check set lives in .clang-tidy; this script only supplies the file list
+# and the compilation database, and promotes every enabled check to an error
+# so CI fails on any finding.
+#
+# Usage: scripts/run_lint.sh [build-dir]
+#   build-dir (default: build) must have been configured with
+#   CMAKE_EXPORT_COMPILE_COMMANDS=ON (the top-level CMakeLists.txt always
+#   sets it) so compile_commands.json exists.
+# Env:
+#   CLANG_TIDY  clang-tidy binary to use (default: clang-tidy)
+#   LINT_JOBS   parallel clang-tidy processes (default: nproc)
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+CLANG_TIDY="${CLANG_TIDY:-clang-tidy}"
+JOBS="${LINT_JOBS:-$(nproc)}"
+
+if ! command -v "$CLANG_TIDY" > /dev/null; then
+  echo "error: $CLANG_TIDY not found (install clang-tidy or set CLANG_TIDY)" >&2
+  exit 2
+fi
+if [[ ! -f "$BUILD_DIR/compile_commands.json" ]]; then
+  echo "error: $BUILD_DIR/compile_commands.json missing -- configure first:" >&2
+  echo "  cmake -B $BUILD_DIR -S ." >&2
+  exit 2
+fi
+
+cd "$(dirname "$0")/.."
+
+# Production translation units only, from git so generated/builddir files
+# never sneak in.
+mapfile -t FILES < <(git ls-files 'src/*.cpp' 'tools/*.cpp')
+if [[ ${#FILES[@]} -eq 0 ]]; then
+  echo "error: no source files found (run from the repo checkout)" >&2
+  exit 2
+fi
+
+echo "clang-tidy (${#FILES[@]} files, $JOBS jobs, warnings-as-errors)"
+printf '%s\n' "${FILES[@]}" |
+  xargs -P "$JOBS" -n 8 "$CLANG_TIDY" -p "$BUILD_DIR" --quiet \
+    --warnings-as-errors='*'
+echo "clang-tidy: clean"

@@ -1,0 +1,212 @@
+// Portal -- lint rule implementations (analysis/lint.h).
+#include "core/analysis/lint.h"
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "core/ops.h"
+
+namespace portal {
+
+namespace {
+
+constexpr real_t kInf = std::numeric_limits<real_t>::infinity();
+
+/// Largest x with exp(x) finite in double precision (~709.78); above it the
+/// kernel overflows to +inf on every pair.
+constexpr real_t kExpOverflow = 709.0;
+
+std::string format_real(real_t v) {
+  if (v == kInf) return "inf";
+  if (v == -kInf) return "-inf";
+  std::ostringstream out;
+  out << v;
+  return out.str();
+}
+
+/// Must-analysis: find a node whose result is non-finite for *every* input
+/// in the achievable ranges (0/0 or sqrt/log of a certainly-negative value,
+/// exp certain to overflow). Returns true and fills path/why on the first
+/// hit; the may_nan interval flag is deliberately not enough to fire.
+bool find_guaranteed_nonfinite(const IrExprPtr& node, const AnalysisInputs& in,
+                               const std::string& path, std::string* where,
+                               std::string* why) {
+  if (node == nullptr) return false;
+  const std::string here =
+      path.empty() ? ir_op_name(node->op) : path + "/" + ir_op_name(node->op);
+  for (const IrExprPtr& child : node->children) {
+    if (find_guaranteed_nonfinite(child, in, here, where, why)) return true;
+  }
+  auto child_range = [&](std::size_t i) -> ValueInterval {
+    return i < node->children.size()
+               ? analyze_expr(node->children[i], in).range
+               : ValueInterval::top();
+  };
+  switch (node->op) {
+    case IrOp::Log: {
+      const ValueInterval c = child_range(0);
+      if (c.hi < 0) {
+        *where = here;
+        *why = "log of a value that is always negative (NaN on every pair)";
+        return true;
+      }
+      if (c.is_point() && c.lo == 0) {
+        *where = here;
+        *why = "log(0): the argument is identically zero (-inf on every pair)";
+        return true;
+      }
+      return false;
+    }
+    case IrOp::Sqrt:
+    case IrOp::FastSqrt:
+    case IrOp::InvSqrt:
+    case IrOp::FastInvSqrt: {
+      const ValueInterval c = child_range(0);
+      if (c.hi < 0) {
+        *where = here;
+        *why = "square root of a value that is always negative (NaN on every "
+               "pair)";
+        return true;
+      }
+      return false;
+    }
+    case IrOp::Div: {
+      const ValueInterval d = child_range(1);
+      if (d.is_point() && d.lo == 0) {
+        *where = here;
+        *why = "division by a value that is identically zero";
+        return true;
+      }
+      return false;
+    }
+    case IrOp::Pow: {
+      const ValueInterval c = child_range(0);
+      if (node->value < 0 && c.is_point() && c.lo == 0) {
+        *where = here;
+        *why = "negative power of a value that is identically zero";
+        return true;
+      }
+      return false;
+    }
+    case IrOp::Exp: {
+      const ValueInterval c = child_range(0);
+      if (c.lo > kExpOverflow) {
+        *where = here;
+        *why = "exp argument always exceeds " + format_real(kExpOverflow) +
+               " (overflows to inf on every pair)";
+        return true;
+      }
+      return false;
+    }
+    default:
+      return false;
+  }
+}
+
+void lint_constant_kernel(const ProblemPlan& plan, const AnalysisInputs& in,
+                          DiagnosticEngine* diags) {
+  const KernelInfo& kernel = plan.kernel;
+  if (kernel.kernel_ir == nullptr || kernel.is_gravity) return;
+  const ExprFacts f = analyze_expr(kernel.kernel_ir, in);
+  if (f.depends_on_dist || f.depends_on_coords) return;
+  diags->warning("PTL-W101", "kernel",
+                 "kernel value " +
+                     (f.range.is_point() ? format_real(f.range.lo)
+                                         : std::string("is constant")) +
+                     " does not depend on the point pair; every output slot "
+                     "receives the same reduction of a constant");
+}
+
+void lint_indicator_bounds(const ProblemPlan& plan, const KernelFacts& facts,
+                           DiagnosticEngine* diags) {
+  if (!facts.envelope_indicator) return;
+  const KernelInfo& kernel = plan.kernel;
+  const real_t lo = kernel.indicator_lo;
+  const real_t hi = kernel.indicator_hi;
+  const std::string bounds =
+      "I(" + format_real(lo) + " < d < " + format_real(hi) + ")";
+  if (lo >= hi) {
+    diags->warning("PTL-W102", "kernel/envelope",
+                   "prune condition " + bounds +
+                       " is unsatisfiable (lower bound >= upper bound): the "
+                       "kernel is identically zero");
+    return;
+  }
+  // Disjoint from the achievable distance interval between the datasets'
+  // bounding boxes: also identically zero for *these* datasets.
+  if (lo >= facts.dist_hi || hi <= facts.dist_lo) {
+    diags->warning("PTL-W102", "kernel/envelope",
+                   "prune condition " + bounds +
+                       " never holds for these datasets (achievable distance "
+                       "range is [" + format_real(facts.dist_lo) + ", " +
+                       format_real(facts.dist_hi) +
+                       "]): the kernel is identically zero");
+    return;
+  }
+  if (lo < facts.dist_lo && hi > facts.dist_hi && facts.dist_hi < kInf) {
+    diags->warning("PTL-W103", "kernel/envelope",
+                   "prune condition " + bounds +
+                       " holds for every pair (achievable distance range is "
+                       "[" + format_real(facts.dist_lo) + ", " +
+                       format_real(facts.dist_hi) +
+                       "]): the traversal selects everything and prunes "
+                       "nothing");
+  }
+}
+
+void lint_nonfinite_kernel(const ProblemPlan& plan, const AnalysisInputs& in,
+                           DiagnosticEngine* diags) {
+  const KernelInfo& kernel = plan.kernel;
+  if (kernel.kernel_ir == nullptr || kernel.is_gravity) return;
+  std::string where, why;
+  if (find_guaranteed_nonfinite(kernel.kernel_ir, in, "kernel", &where, &why)) {
+    diags->warning("PTL-W104", where, "kernel is guaranteed non-finite: " + why);
+  }
+}
+
+void lint_disabled_prune(const ProblemPlan& plan, const KernelFacts& facts,
+                         DiagnosticEngine* diags) {
+  if (plan.layers.empty()) return;
+  const PortalOp op = plan.layers.back().op.op;
+  if (!op_is_comparative(op) || facts.reduction_prune_legal) return;
+  std::string reason;
+  if (!plan.kernel.normalized) {
+    reason = "the kernel is opaque to the analyzer";
+  } else if (facts.envelope_indicator) {
+    reason = "an indicator envelope gives every pair the same two values, so "
+             "the reduction bound carries no information";
+  } else {
+    reason = "the envelope is not provably monotone in the distance";
+  }
+  diags->warning(
+      "PTL-W105", "layers/" + std::string(op_name(op)),
+      std::string(op_name(op)) +
+          " requests a pruning traversal but no prune rule can be generated "
+          "(" + reason + "): the traversal silently runs exhaustively");
+}
+
+void lint_ignored_tau(const ProblemPlan& plan, const PortalConfig& config,
+                      DiagnosticEngine* diags) {
+  if (!config.tau_explicit) return;
+  if (plan.category == ProblemCategory::Approximation) return;
+  diags->warning("PTL-W106", "config/tau",
+                 "tau=" + format_real(config.tau) + " supplied but the " +
+                     category_name(plan.category) +
+                     " problem family never reads it (tau only drives "
+                     "approximation problems)");
+}
+
+} // namespace
+
+void lint_plan(const ProblemPlan& plan, const PortalConfig& config,
+               const KernelFacts& facts, const AnalysisInputs& inputs,
+               DiagnosticEngine* diags) {
+  lint_constant_kernel(plan, inputs, diags);
+  lint_indicator_bounds(plan, facts, diags);
+  lint_nonfinite_kernel(plan, inputs, diags);
+  lint_disabled_prune(plan, facts, diags);
+  lint_ignored_tau(plan, config, diags);
+}
+
+} // namespace portal

@@ -1,0 +1,31 @@
+// Portal -- the lint pass: semantic warnings (PTL-Wxxx) derived from the
+// dataflow analysis (analysis/dataflow.h).
+//
+// Codes are stable and append-only (docs/DIAGNOSTICS.md policy, same as the
+// verifier's PTL-E range). Lint never changes compilation results: warnings
+// ride on CompileArtifacts and surface through `portal_cli lint` (human or
+// JSON, optionally warnings-as-errors).
+//
+//   PTL-W101  constant kernel: result does not depend on the point pair
+//   PTL-W102  unsatisfiable prune condition: indicator is identically zero
+//   PTL-W103  always-true prune condition: indicator passes every pair
+//   PTL-W104  guaranteed non-finite kernel (NaN / overflow on every pair)
+//   PTL-W105  comparative reduction without a provable envelope: pruning
+//             silently disabled, traversal runs exhaustively
+//   PTL-W106  tau supplied to a problem family that ignores it
+#pragma once
+
+#include "core/analysis/dataflow.h"
+#include "core/plan.h"
+#include "core/verify/diagnostics.h"
+
+namespace portal {
+
+/// Run every lint rule over the compiled plan, emitting PTL-Wxxx warnings
+/// into `diags`. `facts`/`inputs` come from the same compile's analysis
+/// sweep (compute_kernel_facts / make_analysis_inputs).
+void lint_plan(const ProblemPlan& plan, const PortalConfig& config,
+               const KernelFacts& facts, const AnalysisInputs& inputs,
+               DiagnosticEngine* diags);
+
+} // namespace portal

@@ -62,15 +62,24 @@ std::string recognize_pattern(const ProblemPlan& plan, const PortalConfig& confi
 
   const bool euclid_family = kernel.metric == MetricKind::Euclidean ||
                              kernel.metric == MetricKind::SqEuclidean;
+  // Envelope classification consulted by recognition: analysis-gated plans
+  // answer from the proven KernelFacts, facts-free plans from the legacy
+  // shape match. The facts are defined to coincide with the shape
+  // comparisons, so recognition is bitwise unchanged (gating fuzz wall).
+  const bool use_facts = plan.analysis_gated && plan.facts.computed;
+  const bool identity_env = use_facts
+                                ? plan.facts.envelope_identity
+                                : kernel.shape == EnvelopeShape::Identity;
+  const bool indicator_env = use_facts
+                                 ? plan.facts.envelope_indicator
+                                 : kernel.shape == EnvelopeShape::Indicator;
 
   if (outer.op == PortalOp::FORALL && is_min_family(inner.op) &&
-      kernel.shape == EnvelopeShape::Identity &&
-      kernel.metric != MetricKind::Mahalanobis)
+      identity_env && kernel.metric != MetricKind::Mahalanobis)
     return "knn";
 
   if (outer.op == PortalOp::FORALL && inner.op == PortalOp::UNIONARG &&
-      kernel.shape == EnvelopeShape::Indicator && euclid_family &&
-      kernel.indicator_lo >= 0 &&
+      indicator_env && euclid_family && kernel.indicator_lo >= 0 &&
       kernel.indicator_hi < std::numeric_limits<real_t>::infinity())
     return "range-search";
 
@@ -79,15 +88,14 @@ std::string recognize_pattern(const ProblemPlan& plan, const PortalConfig& confi
     return "kde";
 
   if (outer.op == PortalOp::SUM && inner.op == PortalOp::SUM &&
-      kernel.shape == EnvelopeShape::Indicator && euclid_family &&
+      indicator_env && euclid_family &&
       kernel.indicator_lo == -std::numeric_limits<real_t>::infinity() &&
       kernel.indicator_hi < std::numeric_limits<real_t>::infinity() &&
       plan.layers[0].storage.identity() == plan.layers[1].storage.identity())
     return "two-point";
 
   if (outer.op == PortalOp::MAX && inner.op == PortalOp::MIN &&
-      kernel.shape == EnvelopeShape::Identity &&
-      kernel.metric == MetricKind::Euclidean)
+      identity_env && kernel.metric == MetricKind::Euclidean)
     return "hausdorff";
 
   return {};

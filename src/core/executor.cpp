@@ -133,7 +133,17 @@ class GenericRules {
         traits_(state.traits),
         metric_(plan.kernel.metric),
         maha_(plan.kernel.maha.get()),
-        identity_env_(plan.kernel.shape == EnvelopeShape::Identity),
+        // Envelope classification consulted by the prune rules: with
+        // analysis_gated the proven KernelFacts answer, otherwise (or for
+        // hand-built plans without facts) the legacy shape match. The facts
+        // are defined to coincide with the shape comparisons, so the two
+        // oracles always agree -- pinned bitwise by the gating fuzz wall.
+        identity_env_(plan.analysis_gated && plan.facts.computed
+                          ? plan.facts.envelope_identity
+                          : plan.kernel.shape == EnvelopeShape::Identity),
+        indicator_env_(plan.analysis_gated && plan.facts.computed
+                           ? plan.facts.envelope_indicator
+                           : plan.kernel.shape == EnvelopeShape::Indicator),
         tau_(config.tau),
         workspaces_(num_threads()) {
     const index_t dim = qtree.data().dim();
@@ -176,7 +186,7 @@ class GenericRules {
     switch (plan_.category) {
       case ProblemCategory::Pruning: {
         const real_t dmin = qnode.box.min_dist(metric_, rnode.box, maha_);
-        if (plan_.kernel.shape == EnvelopeShape::Indicator) {
+        if (indicator_env_) {
           const real_t lo = plan_.kernel.indicator_lo;
           const real_t hi = plan_.kernel.indicator_hi;
           const real_t dmax = qnode.box.max_dist(metric_, rnode.box, maha_);
@@ -322,7 +332,7 @@ class GenericRules {
   /// Bounds on the envelope over a distance interval. Monotone envelopes use
   /// the endpoints; indicators need interval logic (endpoints under-cover).
   void envelope_bounds(real_t dmin, real_t dmax, real_t* emin, real_t* emax) {
-    if (plan_.kernel.shape == EnvelopeShape::Indicator) {
+    if (indicator_env_) {
       const real_t lo = plan_.kernel.indicator_lo;
       const real_t hi = plan_.kernel.indicator_hi;
       *emax = (dmax <= lo || dmin >= hi) ? 0 : 1;
@@ -468,6 +478,7 @@ class GenericRules {
   MetricKind metric_;
   const MahalanobisContext* maha_;
   bool identity_env_;
+  bool indicator_env_;
   real_t tau_;
   bool batch_ = false;
   std::vector<AtomicBound> bounds_;

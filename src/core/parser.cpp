@@ -236,6 +236,7 @@ class Parser {
     expect_punct("=");
     if (key == "tau") {
       program_.config.tau = expect_number();
+      program_.config.tau_explicit = true; // PTL-W106 keys on explicit tau
     } else if (key == "theta") {
       program_.config.theta = expect_number();
     } else if (key == "leaf_size") {

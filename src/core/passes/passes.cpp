@@ -292,6 +292,12 @@ IrProgram PassManager::run(const IrProgram& input, const IrVerifyContext& vc,
                                    ir_program_to_string(program));
   verify_stage("dead-code-elimination");
 
+  if (analysis_hook_) {
+    PORTAL_OBS_SCOPE(analysis_scope, "pass/analysis");
+    analysis_hook_(program, artifacts);
+    trace += "analysis\n";
+  }
+
   if (artifacts != nullptr) artifacts->pipeline_trace += trace;
   return program;
 }

@@ -60,10 +60,20 @@ class PassManager {
   IrProgram run(const IrProgram& input, const IrVerifyContext& vc,
                 CompileArtifacts* artifacts);
 
+  /// Optional analysis stage running inside the verify sandwich, after the
+  /// final post-DCE verification: receives the verified final program so it
+  /// can record per-function dataflow facts on the artifacts (ISSUE 6 --
+  /// the analysis framework plugs in here without passes.cpp depending on
+  /// core/analysis).
+  using AnalysisHook =
+      std::function<void(const IrProgram&, CompileArtifacts*)>;
+  void set_analysis_hook(AnalysisHook hook) { analysis_hook_ = std::move(hook); }
+
  private:
   bool strength_;
   bool dump_;
   bool verify_each_;
+  AnalysisHook analysis_hook_;
 };
 
 } // namespace portal

@@ -7,8 +7,10 @@
 #include <string>
 #include <vector>
 
+#include "core/analysis/facts.h"
 #include "core/func.h"
 #include "core/ir/ir.h"
+#include "core/verify/diagnostics.h"
 #include "core/ops.h"
 #include "core/storage.h"
 #include "core/var_expr.h"
@@ -125,6 +127,17 @@ struct PortalConfig {
                          // compare (Sec. IV: "generates the code for the
                          // brute-force algorithm ... used for correctness")
   real_t validate_tolerance = 1e-6;
+  /// Engines consult the analysis framework's proven KernelFacts for prune
+  /// legality instead of re-matching envelope shapes (ISSUE 6). The facts
+  /// are defined to coincide with the legacy conditions, so flipping this
+  /// changes *which oracle answers*, never the answer -- the differential
+  /// fuzz wall (test_codegen_fuzz) pins that bitwise.
+  bool analysis_gated_prune = true;
+  /// True when the user supplied tau explicitly (CLI --tau, script
+  /// `set tau=`, or test setup) rather than inheriting the default; lets
+  /// lint warn when tau is handed to a problem family that ignores it
+  /// (PTL-W106) without firing on every defaulted config.
+  bool tau_explicit = false;
 
   /// Optional per-point group labels (query and reference sides; for a
   /// shared dataset point i has label labels[i] in original order). When
@@ -141,6 +154,11 @@ struct CompileArtifacts {
   std::string verify_report; // per-stage verifier summary (verify_ir mode)
   std::string chosen_engine;
   std::string problem_description; // Table III-style row
+  /// PTL-Wxxx findings from the analysis/lint pass (insertion order; empty
+  /// on a lint-clean program) and the same findings pre-rendered one per
+  /// line. Consumed by `portal_cli lint` and the unit tests.
+  std::vector<Diagnostic> lint_diagnostics;
+  std::string lint_report;
   double compile_seconds = 0;
   double tree_build_seconds = 0;
   double traversal_seconds = 0;
@@ -159,6 +177,14 @@ struct ProblemPlan {
   /// key the serving runtime's compiled-plan cache (src/serve) is built on.
   /// Filled by PortalExpr::compile_if_needed(); 0 = not yet computed.
   std::uint64_t fingerprint = 0;
+  /// Kernel properties proven by the analysis framework (core/analysis),
+  /// cached next to the fingerprint so every consumer -- pattern engine,
+  /// generic executor, serve rule sets, lint -- reads one oracle.
+  /// facts.computed == false (hand-built plans) always falls back to the
+  /// legacy shape-matching rules.
+  KernelFacts facts;
+  /// Snapshot of PortalConfig::analysis_gated_prune at compile time.
+  bool analysis_gated = true;
 };
 
 } // namespace portal

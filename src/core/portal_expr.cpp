@@ -3,6 +3,8 @@
 #include <stdexcept>
 
 #include "core/analysis.h"
+#include "core/analysis/dataflow.h"
+#include "core/analysis/lint.h"
 #include "core/ir/ir_hash.h"
 #include "core/tuner.h"
 #include "core/codegen/jit.h"
@@ -110,6 +112,17 @@ void PortalExpr::compile_if_needed() {
     plan_.ir = build_ir_program(plan_, config_.tau);
     PassManager passes(config_.strength_reduction, config_.dump_ir,
                        config_.verify_ir);
+    const AnalysisInputs analysis_inputs = make_analysis_inputs(plan_, config_);
+    // The per-function analysis summary rides in the verify sandwich report,
+    // so it honors the same switch: verify_ir = false means an empty report.
+    const bool report_analysis = config_.verify_ir;
+    passes.set_analysis_hook(
+        [&analysis_inputs, report_analysis](const IrProgram& program,
+                                            CompileArtifacts* arts) {
+          if (arts == nullptr || !report_analysis) return;
+          arts->verify_report +=
+              analyze_program_summary(program, analysis_inputs);
+        });
     const LayerSpec& outer = plan_.layers[0];
     const LayerSpec& inner = plan_.layers[1];
     IrVerifyContext vc;
@@ -154,9 +167,24 @@ void PortalExpr::compile_if_needed() {
     }
   }
 
+  // Analysis facts + lint over the *final* kernel/envelope (post-pass, post
+  // re-classification), cached on the plan next to the fingerprint so every
+  // backend reads one legality oracle. The facts mirror the legacy rule-set
+  // conditions exactly; analysis_gated only switches which oracle answers.
+  plan_.analysis_gated = config_.analysis_gated_prune;
+  {
+    const AnalysisInputs inputs = make_analysis_inputs(plan_, config_);
+    plan_.facts = compute_kernel_facts(plan_, inputs);
+    DiagnosticEngine lint;
+    lint_plan(plan_, config_, plan_.facts, inputs, &lint);
+    artifacts_.lint_diagnostics = lint.diagnostics();
+    artifacts_.lint_report = lint.report();
+  }
+
   // Canonical plan identity for the serve-layer compiled-plan cache: hash
   // the verified post-pass IR, never the pre-pass form, so two chains that
-  // optimize to the same program share one cached plan.
+  // optimize to the same program share one cached plan. Analysis facts are
+  // derived data and deliberately not hashed.
   plan_.fingerprint = plan_fingerprint(plan_);
 
   artifacts_.compile_seconds = timer.elapsed_s();

@@ -8,7 +8,8 @@
 #include <limits>
 #include <map>
 #include <memory>
-#include <mutex>
+
+#include "util/thread_annotations.h"
 
 namespace portal::obs {
 namespace {
@@ -33,15 +34,15 @@ struct alignas(64) ThreadSlot {
 };
 
 struct Registry {
-  std::mutex mutex;
-  std::map<std::string, MetricId> counter_ids;
-  std::vector<std::string> counter_names;
-  std::map<std::string, MetricId> timer_ids;
-  std::vector<std::string> timer_names;
-  std::vector<std::unique_ptr<ThreadSlot>> slots;
-  std::vector<TraceEvent> instants; // cold, mutex-protected
-  clock::time_point epoch = clock::now();
-  int next_tid = 0;
+  Mutex mutex;
+  std::map<std::string, MetricId> counter_ids PORTAL_GUARDED_BY(mutex);
+  std::vector<std::string> counter_names PORTAL_GUARDED_BY(mutex);
+  std::map<std::string, MetricId> timer_ids PORTAL_GUARDED_BY(mutex);
+  std::vector<std::string> timer_names PORTAL_GUARDED_BY(mutex);
+  std::vector<std::unique_ptr<ThreadSlot>> slots PORTAL_GUARDED_BY(mutex);
+  std::vector<TraceEvent> instants PORTAL_GUARDED_BY(mutex); // cold
+  clock::time_point epoch = clock::now(); // set once; read lock-free
+  int next_tid PORTAL_GUARDED_BY(mutex) = 0;
 };
 
 Registry& registry() {
@@ -80,7 +81,7 @@ struct EnvInit {
 ThreadSlot& local_slot() {
   thread_local ThreadSlot* slot = [] {
     Registry& reg = registry();
-    std::lock_guard<std::mutex> lock(reg.mutex);
+    MutexLock lock(reg.mutex);
     reg.slots.push_back(std::make_unique<ThreadSlot>());
     reg.slots.back()->tid = reg.next_tid++;
     return reg.slots.back().get();
@@ -88,10 +89,14 @@ ThreadSlot& local_slot() {
   return *slot;
 }
 
-MetricId intern(std::map<std::string, MetricId>& ids,
-                std::vector<std::string>& names, const char* name) {
-  Registry& reg = registry();
-  std::lock_guard<std::mutex> lock(reg.mutex);
+/// Registry-side interning for both metric kinds. The kind is selected under
+/// the lock (references to guarded members may only be formed while holding
+/// it -- the analysis checks reference escapes, not just direct accesses).
+MetricId intern(Registry& reg, bool timer, const char* name) {
+  MutexLock lock(reg.mutex);
+  std::map<std::string, MetricId>& ids = timer ? reg.timer_ids : reg.counter_ids;
+  std::vector<std::string>& names =
+      timer ? reg.timer_names : reg.counter_names;
   const auto it = ids.find(name);
   if (it != ids.end()) return it->second;
   if (names.size() >= kMaxMetrics - 1) {
@@ -141,13 +146,11 @@ void set_enabled(bool on) noexcept {
 const std::string& env_trace_path() { return env_path_storage(); }
 
 MetricId intern_counter(const char* name) {
-  Registry& reg = registry();
-  return intern(reg.counter_ids, reg.counter_names, name);
+  return intern(registry(), /*timer=*/false, name);
 }
 
 MetricId intern_timer(const char* name) {
-  Registry& reg = registry();
-  return intern(reg.timer_ids, reg.timer_names, name);
+  return intern(registry(), /*timer=*/true, name);
 }
 
 void counter_add(MetricId id, std::uint64_t delta) noexcept {
@@ -175,7 +178,7 @@ void timer_record(MetricId id, double start_us, std::uint64_t dur_ns) {
     Registry& reg = registry();
     // Name lookup is cold relative to the span itself; the lock also guards
     // against a concurrent intern growing the name vector.
-    std::lock_guard<std::mutex> lock(reg.mutex);
+    MutexLock lock(reg.mutex);
     event.name = reg.timer_names[id];
   }
   event.phase = 'X';
@@ -193,7 +196,7 @@ void instant_event(const std::string& name) {
   event.ts_us = now_us();
   event.tid = local_slot().tid;
   Registry& reg = registry();
-  std::lock_guard<std::mutex> lock(reg.mutex);
+  MutexLock lock(reg.mutex);
   reg.instants.push_back(std::move(event));
 }
 
@@ -286,7 +289,7 @@ std::string TraceReport::chrome_json() const {
 
 TraceReport collect() {
   Registry& reg = registry();
-  std::lock_guard<std::mutex> lock(reg.mutex);
+  MutexLock lock(reg.mutex);
   TraceReport report;
 
   std::vector<std::uint64_t> counter_totals(reg.counter_names.size(), 0);
@@ -333,7 +336,7 @@ TraceReport collect() {
 
 void reset() {
   Registry& reg = registry();
-  std::lock_guard<std::mutex> lock(reg.mutex);
+  MutexLock lock(reg.mutex);
   for (const auto& slot : reg.slots) {
     std::memset(slot->counters, 0, sizeof(slot->counters));
     for (auto& agg : slot->timers) agg = ThreadSlot::TimerAgg{};

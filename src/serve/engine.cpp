@@ -27,6 +27,15 @@ struct Ctx {
   Workspace* ws = nullptr;
 };
 
+/// Analysis-gated legality lookup: plans carrying computed KernelFacts
+/// answer from the proven facts; hand-built plans (facts.computed == false)
+/// or gating turned off fall back to the legacy shape-derived condition.
+/// The facts are defined to coincide with the legacy expressions, so both
+/// oracles always agree -- the gating fuzz wall pins this bitwise.
+bool gated_fact(const ProblemPlan& plan, bool fact, bool legacy) {
+  return plan.analysis_gated && plan.facts.computed ? fact : legacy;
+}
+
 Ctx make_ctx(const CompiledPlan& plan, const KdTree& tree, const real_t* point,
              bool batch, Workspace& ws) {
   Ctx ctx;
@@ -35,7 +44,9 @@ Ctx make_ctx(const CompiledPlan& plan, const KdTree& tree, const real_t* point,
   ctx.qpt = point;
   ctx.maha = plan.plan.kernel.maha.get();
   ctx.metric = plan.plan.kernel.metric;
-  ctx.identity_env = plan.plan.kernel.shape == EnvelopeShape::Identity;
+  ctx.identity_env =
+      gated_fact(plan.plan, plan.plan.facts.envelope_identity,
+                 plan.plan.kernel.shape == EnvelopeShape::Identity);
   ctx.normalized = plan.plan.kernel.normalized;
   ctx.batch = batch;
   ctx.ws = &ws;
@@ -188,10 +199,12 @@ class ReductionRules {
     const KernelInfo& kernel = ctx.plan->plan.kernel;
     // Indicator + comparative op is degenerate (zeros are candidates too, so
     // distance cuts are unsound) -- evaluate exhaustively, like the executor.
-    prunable_ = ctx.plan->plan.category == ProblemCategory::Pruning &&
-                kernel.normalized &&
-                kernel.shape != EnvelopeShape::Indicator &&
-                kernel.shape != EnvelopeShape::Opaque;
+    prunable_ = gated_fact(ctx.plan->plan,
+                           ctx.plan->plan.facts.reduction_prune_legal,
+                           ctx.plan->plan.category == ProblemCategory::Pruning &&
+                               kernel.normalized &&
+                               kernel.shape != EnvelopeShape::Indicator &&
+                               kernel.shape != EnvelopeShape::Opaque);
   }
 
   bool prune_or_take(index_t n) {
@@ -237,11 +250,15 @@ class SumRules {
  public:
   SumRules(const Ctx& ctx, real_t tau) : ctx_(ctx), tau_(tau) {
     const KernelInfo& kernel = ctx.plan->plan.kernel;
-    indicator_ = kernel.normalized && kernel.shape == EnvelopeShape::Indicator;
+    indicator_ = gated_fact(
+        ctx.plan->plan, ctx.plan->plan.facts.indicator_prune_legal,
+        kernel.normalized && kernel.shape == EnvelopeShape::Indicator);
     lo_ = kernel.indicator_lo;
     hi_ = kernel.indicator_hi;
-    approx_ = ctx.plan->plan.category == ProblemCategory::Approximation &&
-              kernel.normalized;
+    approx_ = gated_fact(ctx.plan->plan, ctx.plan->plan.facts.approx_legal,
+                         ctx.plan->plan.category ==
+                                 ProblemCategory::Approximation &&
+                             kernel.normalized);
   }
 
   bool prune_or_take(index_t n) {
@@ -301,7 +318,9 @@ class UnionRules {
              std::vector<real_t>* values)
       : ctx_(ctx), want_values_(want_values), ids_(ids), values_(values) {
     const KernelInfo& kernel = ctx.plan->plan.kernel;
-    indicator_ = kernel.normalized && kernel.shape == EnvelopeShape::Indicator;
+    indicator_ = gated_fact(
+        ctx.plan->plan, ctx.plan->plan.facts.indicator_prune_legal,
+        kernel.normalized && kernel.shape == EnvelopeShape::Indicator);
     lo_ = kernel.indicator_lo;
     hi_ = kernel.indicator_hi;
   }

@@ -147,7 +147,7 @@ PlanHandle PlanCache::get_or_compile(const LayerSpec& inner,
       keyable ? descriptor_key(inner, reference, config) : 0;
 
   if (keyable) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     auto it = by_descriptor_.find(descriptor);
     if (it != by_descriptor_.end()) {
       ++stats_.hits;
@@ -160,7 +160,7 @@ PlanHandle PlanCache::get_or_compile(const LayerSpec& inner,
   // never stall concurrent hits on other chains.
   PlanHandle fresh = compile_plan(inner, reference, config);
 
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto [fit, inserted] = by_fingerprint_.emplace(fresh->fingerprint, fresh);
   if (keyable) by_descriptor_.emplace(descriptor, fit->second);
   if (inserted) {
@@ -177,12 +177,12 @@ PlanHandle PlanCache::get_or_compile(const LayerSpec& inner,
 }
 
 PlanCache::Stats PlanCache::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return stats_;
 }
 
 std::size_t PlanCache::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return by_fingerprint_.size();
 }
 

@@ -24,10 +24,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 
 #include "core/codegen/vm.h"
 #include "core/plan.h"
+#include "util/thread_annotations.h"
 
 namespace portal::serve {
 
@@ -93,10 +93,10 @@ class PlanCache {
   std::size_t size() const;
 
  private:
-  mutable std::mutex mutex_;
-  std::map<std::uint64_t, PlanHandle> by_descriptor_;
-  std::map<std::uint64_t, PlanHandle> by_fingerprint_;
-  Stats stats_;
+  mutable Mutex mutex_;
+  std::map<std::uint64_t, PlanHandle> by_descriptor_ PORTAL_GUARDED_BY(mutex_);
+  std::map<std::uint64_t, PlanHandle> by_fingerprint_ PORTAL_GUARDED_BY(mutex_);
+  Stats stats_ PORTAL_GUARDED_BY(mutex_);
 };
 
 } // namespace portal::serve

@@ -105,26 +105,31 @@ std::future<Response> PortalService::submit(PlanHandle plan,
     return future;
   }
 
+  bool admitted = false;
+  bool stopped = false;
   {
-    std::unique_lock<std::mutex> lock(mutex_);
-    if (options_.block_on_full)
-      space_cv_.wait(lock, [&] {
-        return stopping_ || queue_.size() < options_.queue_capacity;
-      });
-    if (stopping_ || queue_.size() >= options_.queue_capacity) {
-      const bool stopped = stopping_;
-      lock.unlock();
-      rejected_.fetch_add(1, std::memory_order_relaxed);
-      PORTAL_OBS_COUNT("serve/rejected", 1);
-      Response resp;
-      resp.status = Status::Rejected;
-      resp.error = stopped ? "service stopped" : "queue full";
-      fulfill(*pending, std::move(resp));
-      return future;
+    MutexLock lock(mutex_);
+    if (options_.block_on_full) {
+      while (!stopping_ && queue_.size() >= options_.queue_capacity)
+        space_cv_.wait(mutex_);
     }
-    depth_.record_ns(queue_.size());
-    queue_.push_back(std::move(pending));
-    submitted_.fetch_add(1, std::memory_order_relaxed);
+    if (stopping_ || queue_.size() >= options_.queue_capacity) {
+      stopped = stopping_;
+    } else {
+      depth_.record_ns(queue_.size());
+      queue_.push_back(std::move(pending));
+      submitted_.fetch_add(1, std::memory_order_relaxed);
+      admitted = true;
+    }
+  }
+  if (!admitted) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    PORTAL_OBS_COUNT("serve/rejected", 1);
+    Response resp;
+    resp.status = Status::Rejected;
+    resp.error = stopped ? "service stopped" : "queue full";
+    fulfill(*pending, std::move(resp));
+    return future;
   }
   PORTAL_OBS_COUNT("serve/submitted", 1);
   work_cv_.notify_one();
@@ -137,8 +142,8 @@ void PortalService::worker_loop() {
   while (true) {
     batch.clear();
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      work_cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+      MutexLock lock(mutex_);
+      while (!stopping_ && queue_.empty()) work_cv_.wait(mutex_);
       if (queue_.empty()) break; // stopping and fully drained
       batch.push_back(std::move(queue_.front()));
       queue_.pop_front();
@@ -214,7 +219,7 @@ ServiceStats PortalService::stats() const {
   s.batches = batches_.load(std::memory_order_relaxed);
   s.batched_requests = batched_requests_.load(std::memory_order_relaxed);
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     s.queue_depth = queue_.size();
   }
   s.epoch = slot_.current_epoch();
@@ -225,9 +230,9 @@ ServiceStats PortalService::stats() const {
 void PortalService::stop() {
   // Serialize whole-stop against concurrent stop() calls (explicit stop
   // racing the destructor); the queue mutex alone can't cover the joins.
-  std::lock_guard<std::mutex> stop_lock(stop_mutex_);
+  MutexLock stop_lock(stop_mutex_);
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stopping_ = true;
   }
   work_cv_.notify_all();
@@ -239,7 +244,7 @@ void PortalService::stop() {
   // have slipped a request in after the last worker left.
   std::deque<std::unique_ptr<Pending>> leftovers;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     leftovers.swap(queue_);
   }
   for (std::unique_ptr<Pending>& pending : leftovers) {

@@ -20,12 +20,10 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -34,6 +32,7 @@
 #include "serve/engine.h"
 #include "serve/plan_cache.h"
 #include "tree/snapshot.h"
+#include "util/thread_annotations.h"
 
 namespace portal::serve {
 
@@ -144,12 +143,12 @@ class PortalService {
   SnapshotSlot slot_;
   PlanCache cache_;
 
-  std::mutex stop_mutex_;    // serializes stop() (see service.cpp)
-  mutable std::mutex mutex_; // guards queue_ and stopping_
-  std::condition_variable work_cv_;
-  std::condition_variable space_cv_;
-  std::deque<std::unique_ptr<Pending>> queue_;
-  bool stopping_ = false;
+  Mutex stop_mutex_;    // serializes stop() (see service.cpp)
+  mutable Mutex mutex_; // guards queue_ and stopping_
+  CondVar work_cv_;
+  CondVar space_cv_;
+  std::deque<std::unique_ptr<Pending>> queue_ PORTAL_GUARDED_BY(mutex_);
+  bool stopping_ PORTAL_GUARDED_BY(mutex_) = false;
   std::vector<std::thread> workers_;
 
   obs::LatencyHistogram latency_;

@@ -18,6 +18,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 
 #include "core/analysis.h"
 #include "core/codegen/jit.h"
@@ -30,6 +31,9 @@
 #include "core/portal.h"
 #include "core/verify/verify.h"
 #include "data/generators.h"
+#include "serve/engine.h"
+#include "serve/plan_cache.h"
+#include "tree/snapshot.h"
 #include "util/rng.h"
 
 namespace portal {
@@ -311,7 +315,7 @@ ChainSpec draw_chain(Rng& rng, const Var& q, const Var& r, int chain_index,
 Storage run_chain(const ChainSpec& spec, const Var& q, const Var& r,
                   const Storage& query, const Storage& reference, Engine engine,
                   ProblemCategory* category, bool batch = true,
-                  index_t leaf_size = 16) {
+                  index_t leaf_size = 16, bool gated = true) {
   PortalExpr expr;
   if (spec.use_custom) {
     expr.addLayer(spec.outer, q, query);
@@ -327,6 +331,7 @@ Storage run_chain(const ChainSpec& spec, const Var& q, const Var& r,
   config.tau = 1e-3;
   config.leaf_size = leaf_size;
   config.batch_base_cases = batch;
+  config.analysis_gated_prune = gated;
   expr.execute(config);
   if (category != nullptr) *category = expr.plan().category;
   return expr.getOutput();
@@ -424,6 +429,131 @@ TEST(DifferentialConformance, RandomChainsAgreeAcrossEngines) {
       << "pattern engine participated in too few chains";
   EXPECT_GE(maha_chains, kChains / 16)
       << "Mahalanobis chains under-represented";
+}
+
+// Analysis-gated prune legality: with config.analysis_gated_prune ON the
+// engines answer "may I prune / is this an identity envelope / may I
+// approximate" from the KernelFacts proven by the dataflow sweep
+// (core/analysis); OFF re-matches envelope shapes the legacy way. The facts
+// are *defined* to coincide with the legacy conditions, so flipping the flag
+// swaps the oracle without ever changing an answer -- every engine must
+// produce bitwise-identical output (tolerance ZERO, values and arg ids)
+// either way. This is the acceptance wall for the gated-prune refactor.
+TEST(DifferentialConformance, AnalysisGatedPruningBitwiseIdentical) {
+  const std::uint64_t seed = fuzz_seed();
+  std::printf("PORTAL_FUZZ_SEED=%llu\n",
+              static_cast<unsigned long long>(seed));
+  Rng rng(seed ^ 0x9e3779b97f4a7c15ull);
+
+  const bool jit = jit_available();
+  constexpr int kChains = 60;
+
+  for (int chain = 0; chain < kChains; ++chain) {
+    Var q, r;
+    const ChainSpec spec = draw_chain(rng, q, r, chain, seed);
+    const index_t nq = 20 + static_cast<index_t>(rng.uniform_index(24));
+    const index_t nr = 32 + static_cast<index_t>(rng.uniform_index(40));
+    Storage query(make_gaussian_mixture(nq, 3, 3, seed + 97 * chain));
+    Storage reference = spec.self_join
+                            ? query
+                            : Storage(make_gaussian_mixture(
+                                  nr, 3, 3, seed + 97 * chain + 13));
+    SCOPED_TRACE("chain " + std::to_string(chain) + " [" + spec.description +
+                 "] seed=" + std::to_string(seed) +
+                 (spec.use_custom
+                      ? " kernel: " + spec.custom_kernel.to_string()
+                      : ""));
+
+    for (Engine engine : {Engine::VM, Engine::JIT, Engine::Pattern}) {
+      if (engine == Engine::JIT && !jit) continue;
+      Storage on, off;
+      try {
+        on = run_chain(spec, q, r, query, reference, engine, nullptr,
+                       /*batch=*/true, /*leaf_size=*/16, /*gated=*/true);
+        off = run_chain(spec, q, r, query, reference, engine, nullptr,
+                        /*batch=*/true, /*leaf_size=*/16, /*gated=*/false);
+      } catch (const std::invalid_argument&) {
+        // Pattern engine: no specialized kernel matches this chain. Both
+        // runs throw identically (the flag never changes matchability).
+        continue;
+      }
+      const std::string mismatch = compare_outputs(on.output(), off.output(), 0);
+      EXPECT_TRUE(mismatch.empty())
+          << engine_name(engine) << " gated vs legacy: " << mismatch;
+    }
+  }
+}
+
+// Same invariant through the serving runtime at tau = 0: the single-query
+// engine's prune/approximation decisions route through the same gated_fact
+// helper, so a plan compiled with gating ON must answer every query bitwise
+// identically (values AND ids) to one compiled with gating OFF.
+TEST(DifferentialConformance, ServeEngineGatedPruningBitwiseIdentical) {
+  const Dataset reference = make_gaussian_mixture(400, 3, 3, 20260807);
+  const Dataset queries = make_gaussian_mixture(16, 3, 3, 11);
+  const auto snapshot =
+      TreeSnapshot::build(std::make_shared<const Dataset>(reference), 1, {});
+
+  std::vector<LayerSpec> chains;
+  {
+    LayerSpec knn;
+    knn.op = OpSpec(PortalOp::KARGMIN, 4);
+    knn.func = PortalFunc::EUCLIDEAN;
+    chains.push_back(knn);
+    LayerSpec kde;
+    kde.op = OpSpec(PortalOp::SUM);
+    kde.func = PortalFunc::gaussian(0.8);
+    chains.push_back(kde);
+    LayerSpec range;
+    range.op = OpSpec(PortalOp::UNIONARG);
+    range.func = PortalFunc::indicator(1e-9, 1.2);
+    chains.push_back(range);
+    LayerSpec nn;
+    nn.op = OpSpec(PortalOp::MIN);
+    nn.func = PortalFunc::EUCLIDEAN;
+    chains.push_back(nn);
+  }
+
+  for (std::size_t c = 0; c < chains.size(); ++c) {
+    SCOPED_TRACE("serve chain " + std::to_string(c));
+    PortalConfig config;
+    config.tau = 0;
+    config.analysis_gated_prune = true;
+    serve::PlanCache gated_cache;
+    serve::PlanHandle gated =
+        gated_cache.get_or_compile(chains[c], reference, config);
+    config.analysis_gated_prune = false;
+    serve::PlanCache legacy_cache;
+    serve::PlanHandle legacy =
+        legacy_cache.get_or_compile(chains[c], reference, config);
+    ASSERT_TRUE(gated);
+    ASSERT_TRUE(legacy);
+    EXPECT_TRUE(gated->plan.analysis_gated);
+    EXPECT_FALSE(legacy->plan.analysis_gated);
+
+    serve::Workspace ws;
+    serve::EngineOptions options;
+    options.tau = 0;
+    for (index_t i = 0; i < queries.size(); ++i) {
+      std::vector<real_t> pt(queries.dim());
+      for (index_t d = 0; d < queries.dim(); ++d) pt[d] = queries.coord(i, d);
+      const serve::QueryResult a =
+          serve::run_query(*gated, *snapshot, pt.data(), options, ws);
+      const serve::QueryResult b =
+          serve::run_query(*legacy, *snapshot, pt.data(), options, ws);
+      ASSERT_EQ(a.values.size(), b.values.size());
+      for (std::size_t v = 0; v < b.values.size(); ++v) {
+        if (std::isnan(b.values[v])) {
+          EXPECT_TRUE(std::isnan(a.values[v])) << "query " << i << " slot " << v;
+        } else {
+          EXPECT_EQ(a.values[v], b.values[v]) << "query " << i << " slot " << v;
+        }
+      }
+      ASSERT_EQ(a.ids.size(), b.ids.size());
+      for (std::size_t v = 0; v < b.ids.size(); ++v)
+        EXPECT_EQ(a.ids[v], b.ids[v]) << "query " << i << " slot " << v;
+    }
+  }
 }
 
 /// ULP distance between two doubles (monotone integer mapping). Identical

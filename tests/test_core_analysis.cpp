@@ -1,0 +1,448 @@
+// Tests for the IR dataflow analysis framework (src/core/analysis/):
+// kernel-property inference (intervals, monotonicity, symmetry, legality
+// facts) and the PTL-Wxxx lint pass. Every warning code gets a firing AND a
+// non-firing program, per the append-only diagnostics contract
+// (docs/DIAGNOSTICS.md).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "core/analysis/dataflow.h"
+#include "core/analysis/lint.h"
+#include "core/portal.h"
+#include "data/generators.h"
+
+namespace portal {
+namespace {
+
+constexpr real_t kInf = std::numeric_limits<real_t>::infinity();
+
+bool has_code(const std::vector<Diagnostic>& diags, const std::string& code) {
+  for (const Diagnostic& d : diags)
+    if (d.code == code) return true;
+  return false;
+}
+
+Storage cluster_at(real_t center, index_t n = 40, index_t dim = 3,
+                   unsigned seed = 7) {
+  Dataset base = make_gaussian_mixture(n, dim, 1, seed);
+  for (index_t i = 0; i < base.size(); ++i)
+    for (index_t d = 0; d < dim; ++d) base.coord(i, d) += center;
+  return Storage(std::move(base));
+}
+
+// -- kernel-property inference ----------------------------------------------
+
+TEST(AnalysisFacts, KnnChainProvesIdentityEnvelope) {
+  Storage query(make_gaussian_mixture(80, 3, 2, 11));
+  Storage reference(make_gaussian_mixture(150, 3, 2, 12));
+  PortalExpr expr;
+  expr.addLayer(PortalOp::FORALL, query);
+  expr.addLayer({PortalOp::KARGMIN, 3}, reference, PortalFunc::EUCLIDEAN);
+  expr.compile();
+
+  const KernelFacts& facts = expr.plan().facts;
+  ASSERT_TRUE(facts.computed);
+  EXPECT_TRUE(facts.envelope_identity);
+  EXPECT_FALSE(facts.envelope_indicator);
+  EXPECT_EQ(facts.mono, Monotonicity::NonDecreasing);
+  EXPECT_EQ(facts.mono_confidence, FactConfidence::Proven);
+  EXPECT_TRUE(facts.reduction_prune_legal);
+  EXPECT_FALSE(facts.indicator_prune_legal);
+  EXPECT_FALSE(facts.approx_legal);
+  // KARGMIN breaks commutativity at kernel-value ties.
+  EXPECT_FALSE(facts.accum_commutative);
+  EXPECT_FALSE(facts.accum_associative);
+  // Normalized kernel: pair dependence flows only through the symmetric
+  // distance.
+  EXPECT_TRUE(facts.symmetric);
+  // Distance bounds come from the actual bounding boxes.
+  EXPECT_GE(facts.dist_lo, 0);
+  EXPECT_LT(facts.dist_hi, kInf);
+  EXPECT_FALSE(facts.may_nan);
+}
+
+TEST(AnalysisFacts, GaussianKernelProvenNonIncreasing) {
+  Storage data(make_gaussian_mixture(120, 3, 2, 21));
+  PortalExpr expr;
+  expr.addLayer(PortalOp::FORALL, data);
+  expr.addLayer(PortalOp::SUM, data, PortalFunc::gaussian(0.8));
+  expr.compile();
+
+  const KernelFacts& facts = expr.plan().facts;
+  ASSERT_TRUE(facts.computed);
+  EXPECT_EQ(facts.mono, Monotonicity::NonIncreasing);
+  EXPECT_EQ(facts.mono_confidence, FactConfidence::Proven);
+  EXPECT_TRUE(facts.approx_legal);
+  EXPECT_FALSE(facts.reduction_prune_legal);
+  // exp(-d^2 / 2s^2) lives in (0, 1] on the achievable distance range.
+  EXPECT_GE(facts.value_lo, 0);
+  EXPECT_LE(facts.value_hi, 1 + 1e-12);
+  EXPECT_FALSE(facts.may_nan);
+  EXPECT_TRUE(facts.accum_commutative);
+  EXPECT_TRUE(facts.accum_associative);
+}
+
+TEST(AnalysisFacts, IndicatorChainFacts) {
+  Storage data(make_gaussian_mixture(100, 3, 2, 31));
+  PortalExpr expr;
+  expr.addLayer(PortalOp::FORALL, data);
+  expr.addLayer(PortalOp::UNIONARG, data, PortalFunc::indicator(0.1, 1.5));
+  expr.compile();
+
+  const KernelFacts& facts = expr.plan().facts;
+  ASSERT_TRUE(facts.computed);
+  EXPECT_TRUE(facts.envelope_indicator);
+  EXPECT_TRUE(facts.indicator_prune_legal);
+  EXPECT_FALSE(facts.reduction_prune_legal);
+  // A step function is not monotone.
+  EXPECT_NE(facts.mono_confidence, FactConfidence::Proven);
+}
+
+TEST(AnalysisFacts, ExternalKernelIsOpaque) {
+  Storage data(make_gaussian_mixture(60, 3, 1, 41));
+  PortalExpr expr;
+  expr.addLayer(PortalOp::FORALL, data);
+  expr.addLayer(
+      PortalOp::SUM, data,
+      [](const real_t* a, const real_t* b, index_t dim) {
+        real_t s = 0;
+        for (index_t d = 0; d < dim; ++d) s += a[d] * b[d];
+        return s;
+      },
+      "dot");
+  expr.compile();
+
+  const KernelFacts& facts = expr.plan().facts;
+  ASSERT_TRUE(facts.computed);
+  EXPECT_FALSE(facts.symmetric); // no structural view into the callable
+  EXPECT_FALSE(facts.envelope_identity);
+  EXPECT_FALSE(facts.reduction_prune_legal);
+  EXPECT_FALSE(facts.approx_legal);
+  EXPECT_EQ(facts.mono, Monotonicity::Unknown);
+}
+
+// -- the interval/monotonicity sweep itself ---------------------------------
+
+TEST(AnalysisSweep, IntervalAndMonotonicityRules) {
+  AnalysisInputs in;
+  in.dist_lo = 1;
+  in.dist_hi = 4;
+
+  auto dist = std::make_shared<IrExpr>();
+  dist->op = IrOp::Dist;
+  auto c2 = std::make_shared<IrExpr>();
+  c2->op = IrOp::Const;
+  c2->value = 2;
+
+  // 2 * d: range [2, 8], non-decreasing.
+  auto mul = std::make_shared<IrExpr>();
+  mul->op = IrOp::Mul;
+  mul->children = {c2, dist};
+  ExprFacts f = analyze_expr(mul, in);
+  EXPECT_DOUBLE_EQ(f.range.lo, 2);
+  EXPECT_DOUBLE_EQ(f.range.hi, 8);
+  EXPECT_EQ(f.mono, Monotonicity::NonDecreasing);
+  EXPECT_TRUE(f.depends_on_dist);
+
+  // -d: flips direction.
+  auto neg = std::make_shared<IrExpr>();
+  neg->op = IrOp::Neg;
+  neg->children = {dist};
+  f = analyze_expr(neg, in);
+  EXPECT_EQ(f.mono, Monotonicity::NonIncreasing);
+  EXPECT_DOUBLE_EQ(f.range.lo, -4);
+  EXPECT_DOUBLE_EQ(f.range.hi, -1);
+
+  // 2 / d: decreasing, range [1/2, 2].
+  auto div = std::make_shared<IrExpr>();
+  div->op = IrOp::Div;
+  div->children = {c2, dist};
+  f = analyze_expr(div, in);
+  EXPECT_EQ(f.mono, Monotonicity::NonIncreasing);
+  EXPECT_DOUBLE_EQ(f.range.lo, 0.5);
+  EXPECT_DOUBLE_EQ(f.range.hi, 2);
+  EXPECT_FALSE(f.range.may_nan);
+
+  // d - d is treated conservatively (no cancellation in interval land).
+  auto sub = std::make_shared<IrExpr>();
+  sub->op = IrOp::Sub;
+  sub->children = {dist, dist};
+  f = analyze_expr(sub, in);
+  EXPECT_EQ(f.mono, Monotonicity::Unknown);
+
+  // Coordinate loads poison monotonicity-in-distance.
+  auto q = std::make_shared<IrExpr>();
+  q->op = IrOp::LoadQCoord;
+  auto mixed = std::make_shared<IrExpr>();
+  mixed->op = IrOp::Add;
+  mixed->children = {dist, q};
+  f = analyze_expr(mixed, in);
+  EXPECT_EQ(f.mono, Monotonicity::Unknown);
+  EXPECT_TRUE(f.depends_on_coords);
+}
+
+TEST(AnalysisSweep, DivisionByIntervalContainingZeroMayNan) {
+  AnalysisInputs in;
+  in.dist_lo = 0;
+  in.dist_hi = 4;
+  auto dist = std::make_shared<IrExpr>();
+  dist->op = IrOp::Dist;
+  auto one = std::make_shared<IrExpr>();
+  one->op = IrOp::Const;
+  one->value = 1;
+  auto div = std::make_shared<IrExpr>();
+  div->op = IrOp::Div;
+  div->children = {one, dist};
+  const ExprFacts f = analyze_expr(div, in);
+  // 1/[0,4]: unbounded, but 1/0 = inf, not NaN.
+  EXPECT_FALSE(f.range.may_nan);
+
+  auto div00 = std::make_shared<IrExpr>();
+  div00->op = IrOp::Div;
+  div00->children = {dist, dist};
+  EXPECT_TRUE(analyze_expr(div00, in).range.may_nan); // 0/0 possible
+}
+
+TEST(AnalysisSweep, StructuralSymmetry) {
+  Var q, r;
+  (void)q;
+  (void)r;
+  auto load_q = std::make_shared<IrExpr>();
+  load_q->op = IrOp::LoadQCoord;
+  auto load_r = std::make_shared<IrExpr>();
+  load_r->op = IrOp::LoadRCoord;
+  auto sub = std::make_shared<IrExpr>();
+  sub->op = IrOp::Sub;
+  sub->children = {load_q, load_r};
+  // q - r swaps to r - q: not structurally identical.
+  EXPECT_FALSE(ir_kernel_symmetric(sub));
+  // A kernel with no coordinate dependence is trivially symmetric.
+  auto c = std::make_shared<IrExpr>();
+  c->op = IrOp::Const;
+  c->value = 3;
+  EXPECT_TRUE(ir_kernel_symmetric(c));
+  EXPECT_TRUE(ir_structurally_equal(sub, sub));
+  EXPECT_FALSE(ir_structurally_equal(sub, c));
+}
+
+// -- PTL-W101: constant kernel ----------------------------------------------
+
+TEST(Lint, W101FiresOnConstantKernel) {
+  Storage data(make_gaussian_mixture(50, 3, 1, 51));
+  Var q, r;
+  PortalExpr expr;
+  expr.addLayer(PortalOp::FORALL, q, data);
+  expr.addLayer(PortalOp::SUM, r, data, Expr(2.0) + Expr(1.0));
+  expr.compile();
+  EXPECT_TRUE(has_code(expr.artifacts().lint_diagnostics, "PTL-W101"));
+}
+
+TEST(Lint, W101QuietOnDistanceKernel) {
+  Storage data(make_gaussian_mixture(50, 3, 1, 52));
+  PortalExpr expr;
+  expr.addLayer(PortalOp::FORALL, data);
+  expr.addLayer(PortalOp::SUM, data, PortalFunc::gaussian(1.0));
+  expr.compile();
+  EXPECT_FALSE(has_code(expr.artifacts().lint_diagnostics, "PTL-W101"));
+}
+
+// -- PTL-W102: unsatisfiable prune condition --------------------------------
+
+TEST(Lint, W102FiresWhenIndicatorDisjointFromData) {
+  // Two clusters ~100 apart; the shell [0.5, 1.5] can never hold.
+  Storage a = cluster_at(0);
+  Storage b = cluster_at(100);
+  PortalExpr expr;
+  expr.addLayer(PortalOp::FORALL, a);
+  expr.addLayer(PortalOp::UNIONARG, b, PortalFunc::indicator(0.5, 1.5));
+  expr.compile();
+  EXPECT_TRUE(has_code(expr.artifacts().lint_diagnostics, "PTL-W102"));
+}
+
+TEST(Lint, W102QuietWhenIndicatorAchievable) {
+  Storage data(make_gaussian_mixture(100, 3, 2, 53));
+  PortalExpr expr;
+  expr.addLayer(PortalOp::FORALL, data);
+  expr.addLayer(PortalOp::UNIONARG, data, PortalFunc::indicator(0.1, 1.5));
+  expr.compile();
+  EXPECT_FALSE(has_code(expr.artifacts().lint_diagnostics, "PTL-W102"));
+  EXPECT_FALSE(has_code(expr.artifacts().lint_diagnostics, "PTL-W103"));
+}
+
+// -- PTL-W103: always-true prune condition ----------------------------------
+
+TEST(Lint, W103FiresWhenIndicatorCoversEverything) {
+  Storage data(make_gaussian_mixture(80, 3, 2, 54));
+  Var q, r;
+  PortalExpr expr;
+  expr.addLayer(PortalOp::FORALL, q, data);
+  // d < 1e9 holds for every achievable pair: selects all, prunes nothing.
+  expr.addLayer(PortalOp::SUM, r, data,
+                sqrt(pow(Expr(q) - Expr(r), 2)) < Expr(1e9));
+  expr.compile();
+  EXPECT_TRUE(has_code(expr.artifacts().lint_diagnostics, "PTL-W103"));
+}
+
+TEST(Lint, W103QuietWhenBoundBites) {
+  Storage data(make_gaussian_mixture(80, 3, 2, 55));
+  Var q, r;
+  PortalExpr expr;
+  expr.addLayer(PortalOp::FORALL, q, data);
+  expr.addLayer(PortalOp::SUM, r, data,
+                sqrt(pow(Expr(q) - Expr(r), 2)) < Expr(1.0));
+  expr.compile();
+  EXPECT_FALSE(has_code(expr.artifacts().lint_diagnostics, "PTL-W103"));
+}
+
+// -- PTL-W104: guaranteed non-finite kernel ---------------------------------
+
+TEST(Lint, W104FiresOnGuaranteedNaN) {
+  Storage data(make_gaussian_mixture(50, 3, 1, 56));
+  Var q, r;
+  PortalExpr expr;
+  expr.addLayer(PortalOp::FORALL, q, data);
+  // log(-1 - d): argument is <= -1 for every pair -> NaN always.
+  expr.addLayer(PortalOp::SUM, r, data,
+                log(Expr(-1.0) - sqrt(pow(Expr(q) - Expr(r), 2))));
+  expr.compile();
+  EXPECT_TRUE(has_code(expr.artifacts().lint_diagnostics, "PTL-W104"));
+}
+
+TEST(Lint, W104QuietOnFiniteKernel) {
+  Storage data(make_gaussian_mixture(50, 3, 1, 57));
+  PortalExpr expr;
+  expr.addLayer(PortalOp::FORALL, data);
+  expr.addLayer(PortalOp::SUM, data, PortalFunc::gaussian(0.5));
+  expr.compile();
+  EXPECT_FALSE(has_code(expr.artifacts().lint_diagnostics, "PTL-W104"));
+}
+
+// -- PTL-W105: pruning traversal without a usable prune rule ----------------
+
+TEST(Lint, W105FiresOnOpaqueKernelUnderArgmin) {
+  Storage data(make_gaussian_mixture(60, 3, 2, 58));
+  Var q, r;
+  PortalExpr expr;
+  expr.addLayer(PortalOp::FORALL, q, data);
+  // A dot-product kernel reaches coordinates outside the distance atom, so
+  // no envelope exists and ARGMIN cannot prune.
+  expr.addLayer(PortalOp::ARGMIN, r, data, dimsum(Expr(q) * Expr(r)));
+  expr.compile();
+  EXPECT_TRUE(has_code(expr.artifacts().lint_diagnostics, "PTL-W105"));
+}
+
+TEST(Lint, W105QuietOnPrunableChain) {
+  Storage data(make_gaussian_mixture(60, 3, 2, 59));
+  PortalExpr expr;
+  expr.addLayer(PortalOp::FORALL, data);
+  expr.addLayer(PortalOp::ARGMIN, data, PortalFunc::EUCLIDEAN);
+  expr.compile();
+  EXPECT_FALSE(has_code(expr.artifacts().lint_diagnostics, "PTL-W105"));
+}
+
+// -- PTL-W106: tau supplied to a family that ignores it ---------------------
+
+TEST(Lint, W106FiresWhenTauIgnored) {
+  Storage data(make_gaussian_mixture(60, 3, 2, 60));
+  PortalExpr expr;
+  expr.addLayer(PortalOp::FORALL, data);
+  expr.addLayer({PortalOp::KARGMIN, 3}, data, PortalFunc::EUCLIDEAN);
+  PortalConfig config;
+  config.tau = 0.01;
+  config.tau_explicit = true; // as `set tau = ...` / --tau mark it
+  expr.setConfig(config);
+  expr.compile();
+  EXPECT_TRUE(has_code(expr.artifacts().lint_diagnostics, "PTL-W106"));
+}
+
+TEST(Lint, W106QuietWhenTauDrivesApproximation) {
+  Storage data(make_gaussian_mixture(60, 3, 2, 61));
+  PortalExpr expr;
+  expr.addLayer(PortalOp::FORALL, data);
+  expr.addLayer(PortalOp::SUM, data, PortalFunc::gaussian(0.8));
+  PortalConfig config;
+  config.tau = 0.01;
+  config.tau_explicit = true;
+  expr.setConfig(config);
+  expr.compile();
+  EXPECT_FALSE(has_code(expr.artifacts().lint_diagnostics, "PTL-W106"));
+}
+
+TEST(Lint, W106QuietWhenTauDefaulted) {
+  Storage data(make_gaussian_mixture(60, 3, 2, 62));
+  PortalExpr expr;
+  expr.addLayer(PortalOp::FORALL, data);
+  expr.addLayer({PortalOp::KARGMIN, 3}, data, PortalFunc::EUCLIDEAN);
+  expr.compile(); // tau not explicitly set: nothing to warn about
+  EXPECT_FALSE(has_code(expr.artifacts().lint_diagnostics, "PTL-W106"));
+}
+
+// -- analysis-gated prune legality ------------------------------------------
+
+TEST(AnalysisGating, GatedAndLegacySelectionAgree) {
+  // The facts are defined to coincide with the legacy shape comparisons;
+  // results must be bitwise identical with gating on and off. (The fuzz
+  // suite drives this across random chains; this is the deterministic core.)
+  Storage query(make_gaussian_mixture(60, 3, 2, 63));
+  Storage reference(make_gaussian_mixture(120, 3, 2, 64));
+
+  auto run = [&](bool gated) {
+    PortalConfig config;
+    config.parallel = false;
+    config.analysis_gated_prune = gated;
+    config.engine = Engine::VM;
+
+    PortalExpr expr;
+    expr.addLayer(PortalOp::FORALL, query);
+    expr.addLayer({PortalOp::KMIN, 3}, reference, PortalFunc::EUCLIDEAN);
+    expr.execute(config);
+    EXPECT_EQ(expr.plan().analysis_gated, gated);
+    Storage out = expr.getOutput();
+    std::vector<real_t> values;
+    for (index_t i = 0; i < out.rows(); ++i)
+      for (index_t j = 0; j < out.cols(); ++j)
+        values.push_back(out.value(i, j));
+    return values;
+  };
+
+  const std::vector<real_t> gated = run(true);
+  const std::vector<real_t> legacy = run(false);
+  ASSERT_EQ(gated.size(), legacy.size());
+  for (std::size_t i = 0; i < gated.size(); ++i)
+    EXPECT_EQ(gated[i], legacy[i]) << "slot " << i; // bitwise, not NEAR
+}
+
+TEST(AnalysisGating, FactsCachedOnPlanNextToFingerprint) {
+  Storage data(make_gaussian_mixture(60, 3, 2, 65));
+  PortalExpr expr;
+  expr.addLayer(PortalOp::FORALL, data);
+  expr.addLayer(PortalOp::SUM, data, PortalFunc::gaussian(0.8));
+  expr.compile();
+  EXPECT_NE(expr.plan().fingerprint, 0u);
+  EXPECT_TRUE(expr.plan().facts.computed);
+  // Facts must not perturb plan identity: recompiling with gating off keeps
+  // the fingerprint (same verified IR).
+  const std::uint64_t fp = expr.plan().fingerprint;
+  PortalConfig config;
+  config.analysis_gated_prune = false;
+  expr.setConfig(config);
+  expr.compile();
+  EXPECT_EQ(expr.plan().fingerprint, fp);
+}
+
+// -- pass-manager hook: analysis runs in the verify sandwich ----------------
+
+TEST(AnalysisHook, SummaryAppearsInVerifyReport) {
+  Storage data(make_gaussian_mixture(60, 3, 2, 66));
+  PortalExpr expr;
+  expr.addLayer(PortalOp::FORALL, data);
+  expr.addLayer(PortalOp::SUM, data, PortalFunc::gaussian(0.8));
+  expr.compile();
+  EXPECT_NE(expr.artifacts().verify_report.find("analysis:"), std::string::npos);
+  EXPECT_NE(expr.artifacts().pipeline_trace.find("analysis"), std::string::npos);
+}
+
+} // namespace
+} // namespace portal

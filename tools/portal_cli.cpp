@@ -8,6 +8,10 @@
 //   verify FILE.portal                                 compile + IR-verify a
 //                                                      script and dump the
 //                                                      diagnostic report
+//   lint FILE.portal [--json] [--werror]               compile a script and
+//                                                      report PTL-Wxxx lint
+//                                                      findings (human text,
+//                                                      or stable JSON for CI)
 //   knn        --query F --reference F --k K           k-nearest neighbors
 //   kde        --query F --reference F --sigma S       Gaussian density sums
 //   rs         --query F --reference F --lo A --hi B   range search
@@ -33,8 +37,12 @@
 //                    chrome://tracing / Perfetto JSON trace there
 //                    (PORTAL_TRACE=FILE does the same without the flag)
 //
-// Exit code 0 on success, 1 on usage errors, 2 on execution errors
-// (including IR verification failures, reported with their PTL codes).
+// Exit-code contract (documented in docs/DIAGNOSTICS.md, relied on by CI):
+//   0  success (lint/verify: clean, or warnings without --werror)
+//   1  usage errors
+//   2  hard errors (execution failures, IR verification PTL-E errors)
+//   3  warnings promoted by --werror (lint and verify modes): lets CI gate
+//      on warnings without conflating them with verifier failures.
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -92,7 +100,9 @@ struct Args {
                " [--workers W] [--clients C]\n"
                "           [--seconds S] [--mix knn,kde,rs] [--queue N] "
                "[--batch N] [--deadline MS]\n"
-               "       portal_cli run FILE.portal | verify FILE.portal\n"
+               "       portal_cli run FILE.portal | verify FILE.portal "
+               "[--werror]\n"
+               "       portal_cli lint FILE.portal [--json] [--werror]\n"
                "       portal_cli --dump-golden=DIR   regenerate "
                "tests/golden/*.csv\n");
   std::exit(1);
@@ -118,6 +128,7 @@ PortalConfig config_from(const Args& args) {
   PortalConfig config;
   config.leaf_size = static_cast<index_t>(args.num("leaf", kDefaultLeafSize));
   config.tau = args.num("tau", 1e-3);
+  config.tau_explicit = args.has("tau"); // PTL-W106 keys on explicit tau
   config.theta = args.num("theta", 0.5);
   config.parallel = !args.has("serial");
   config.validate = args.has("validate");
@@ -170,6 +181,77 @@ void write_matrix(const std::string& path, const Storage& out, bool indices) {
               static_cast<long long>(rows));
 }
 
+/// Count verifier warnings in the textual report ("warning [PTL-Wxxx] ..."
+/// lines emitted by the pass sandwich).
+std::size_t count_report_warnings(const std::string& report) {
+  std::size_t count = 0;
+  for (std::size_t pos = report.find("warning ["); pos != std::string::npos;
+       pos = report.find("warning [", pos + 1))
+    ++count;
+  return count;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// `portal_cli lint`: compile the script and report the PTL-Wxxx findings the
+// analysis framework attached to the compile artifacts. The JSON layout is
+// deliberately stable -- fixed key order, insertion-ordered diagnostics, one
+// diagnostic per line -- so CI can diff it against a checked-in expectation.
+int run_lint(const std::string& path, const Args& args) {
+  PortalConfig base;
+  base.verify_ir = !args.has("no-verify-ir");
+  const ParsedProgram program = run_portal_script_file(path, base);
+  if (!program.expr) {
+    std::fprintf(stderr, "script defined no expression; nothing to lint\n");
+    return 0;
+  }
+  program.expr->setConfig(program.config);
+  program.expr->compile();
+  const CompileArtifacts& arts = program.expr->artifacts();
+  const std::vector<Diagnostic>& findings = arts.lint_diagnostics;
+  if (args.has("json")) {
+    std::printf("{\n  \"file\": \"%s\",\n  \"diagnostics\": [",
+                json_escape(path).c_str());
+    for (std::size_t i = 0; i < findings.size(); ++i) {
+      const Diagnostic& d = findings[i];
+      std::printf("%s\n    {\"severity\": \"%s\", \"code\": \"%s\", "
+                  "\"path\": \"%s\", \"message\": \"%s\"}",
+                  i == 0 ? "" : ",", severity_name(d.severity),
+                  json_escape(d.code).c_str(), json_escape(d.path).c_str(),
+                  json_escape(d.message).c_str());
+    }
+    std::printf("%s],\n  \"summary\": {\"warnings\": %zu}\n}\n",
+                findings.empty() ? "" : "\n  ", findings.size());
+  } else if (findings.empty()) {
+    std::printf("lint: clean -- %s\n", arts.problem_description.c_str());
+  } else {
+    std::printf("%s", arts.lint_report.c_str());
+    std::printf("lint: %zu warning(s) -- %s\n", findings.size(),
+                arts.problem_description.c_str());
+  }
+  return !findings.empty() && args.has("werror") ? 3 : 0;
+}
+
 int run_script(const std::string& path, const Args& args, bool verify_mode) {
   Timer timer;
   PortalConfig base;
@@ -183,9 +265,13 @@ int run_script(const std::string& path, const Args& args, bool verify_mode) {
     program.expr->setConfig(vconfig);
     program.expr->compile();
     print_verify_report(*program.expr);
-    std::printf("verify: OK -- %s\n",
-                program.expr->artifacts().problem_description.c_str());
-    return 0;
+    const CompileArtifacts& arts = program.expr->artifacts();
+    if (!arts.lint_diagnostics.empty())
+      std::printf("-- lint findings --\n%s", arts.lint_report.c_str());
+    std::printf("verify: OK -- %s\n", arts.problem_description.c_str());
+    const std::size_t warnings = arts.lint_diagnostics.size() +
+                                 count_report_warnings(arts.verify_report);
+    return warnings > 0 && args.has("werror") ? 3 : 0;
   }
   if (!program.executed) {
     std::fprintf(stderr, "script parsed but contained no execute(); nothing ran\n");
@@ -330,11 +416,13 @@ int run_serve_bench(const Args& args) {
 }
 
 int run(const Args& args) {
-  if (args.problem == "run" || args.problem == "verify") {
+  if (args.problem == "run" || args.problem == "verify" ||
+      args.problem == "lint") {
     const std::string script = args.get("script");
     if (script.empty())
       usage(("'" + args.problem + "' needs a script path: portal_cli " +
              args.problem + " FILE").c_str());
+    if (args.problem == "lint") return run_lint(script, args);
     return run_script(script, args, args.problem == "verify");
   }
   const PortalConfig config = config_from(args);
@@ -506,8 +594,9 @@ int main(int argc, char** argv) {
   Args args;
   args.problem = argv[1];
   int first_option = 2;
-  if ((args.problem == "run" || args.problem == "verify") && argc >= 3 &&
-      std::strncmp(argv[2], "--", 2) != 0) {
+  if ((args.problem == "run" || args.problem == "verify" ||
+       args.problem == "lint") &&
+      argc >= 3 && std::strncmp(argv[2], "--", 2) != 0) {
     args.options["script"] = argv[2];
     first_option = 3;
   }
@@ -521,7 +610,8 @@ int main(int argc, char** argv) {
     }
     const std::string key = arg + 2;
     if (key == "validate" || key == "serial" || key == "verify" ||
-        key == "no-verify-ir" || key == "trace") {
+        key == "no-verify-ir" || key == "trace" || key == "json" ||
+        key == "werror") {
       args.options[key] = "1";
     } else {
       if (i + 1 >= argc) usage(("--" + key + " needs a value").c_str());
