@@ -2,12 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <deque>
 #include <limits>
 #include <numeric>
 #include <stdexcept>
 
 #include "kernels/batch.h"
 #include "problems/common.h"
+#include "traversal/cursor.h"
 #include "traversal/singletree.h"
 
 namespace portal::serve {
@@ -186,6 +188,17 @@ real_t center_dist(const Ctx& ctx, const KdNode& node) {
   return ctx.metric == MetricKind::Euclidean ? std::sqrt(d) : d;
 }
 
+/// Suspension-point prefetch (traversal/cursor.h hook): the cursor already
+/// requested the node struct itself; when the node it will pop next is a
+/// leaf, also request the head of the SoA tile its base case will stream, so
+/// the lines arrive while the worker resumes a sibling query's descent.
+void prefetch_leaf_tile(const Ctx& ctx, index_t n) {
+  if (!ctx.batch) return;
+  const KdNode& node = ctx.tree->node(n);
+  if (!node.is_leaf()) return;
+  PORTAL_PREFETCH_READ(ctx.tree->mirror().tile(node.begin, 1).lane(0));
+}
+
 /// Comparative reductions (k-NN family): scored nearest-first descent with
 /// envelope-bound pruning against the current k-th best.
 class ReductionRules {
@@ -226,6 +239,8 @@ class ReductionRules {
   }
 
   real_t score(index_t n) { return node_min(ctx_, ctx_.tree->node(n)); }
+
+  void prefetch(index_t n) const { prefetch_leaf_tile(ctx_, n); }
 
   void base_case(index_t n) {
     const KdNode& node = ctx_.tree->node(n);
@@ -293,6 +308,8 @@ class SumRules {
     return true;
   }
 
+  void prefetch(index_t n) const { prefetch_leaf_tile(ctx_, n); }
+
   void base_case(index_t n) {
     const KdNode& node = ctx_.tree->node(n);
     const real_t* vals = range_values(ctx_, node.begin, node.count());
@@ -340,6 +357,8 @@ class UnionRules {
     }
     return false;
   }
+
+  void prefetch(index_t n) const { prefetch_leaf_tile(ctx_, n); }
 
   void base_case(index_t n) {
     const KdNode& node = ctx_.tree->node(n);
@@ -403,6 +422,59 @@ void finalize_union(const KdTree& tree, bool want_values,
   }
 }
 
+/// Round-robin interleaving core: keep up to `interleave_width` descents in
+/// flight and give each `resume_steps` node visits per turn, admitting the
+/// next query of the batch into a slot as soon as its occupant finishes (the
+/// redwood-rt ExecutorManager shape). `start(q)` constructs query q's rule
+/// set (emplacing it into `rules`, so rules[q] stays addressable);
+/// `finish(q, stats)` finalizes its result once the descent completes.
+/// Scheduling never reorders any single query's visits, so each query is
+/// bitwise-identical to its standalone descent.
+template <typename Rules, typename Start, typename Finish>
+void interleave_descents(const KdTree& tree, index_t count,
+                         const EngineOptions& options, std::deque<Rules>& rules,
+                         Start&& start, Finish&& finish) {
+  const index_t width = std::max<index_t>(1, options.interleave_width);
+  const index_t steps = std::max<index_t>(1, options.resume_steps);
+
+  // Cursors are neither copyable nor movable (the frontier pins its inline
+  // buffer); a deque gives them stable addresses across admissions.
+  std::deque<TraversalCursor<KdTree, Rules>> cursors;
+  std::vector<index_t> active; // in-flight cursor (== query) indices
+  index_t next = 0;
+  const auto admit = [&] {
+    start(next); // emplaces rules[next]
+    cursors.emplace_back(tree, rules.back());
+    ++next;
+  };
+  while (next < count && next < width) {
+    admit();
+    active.push_back(next - 1);
+  }
+
+  std::uint64_t rounds = 0;
+  while (!active.empty()) {
+    ++rounds;
+    for (std::size_t s = 0; s < active.size();) {
+      const index_t c = active[s];
+      if (cursors[static_cast<std::size_t>(c)].resume(steps) !=
+          CursorState::Done) {
+        ++s;
+        continue;
+      }
+      finish(c, cursors[static_cast<std::size_t>(c)].stats());
+      if (next < count) {
+        admit();
+        active[s] = next - 1; // reuse the freed slot, keep round-robin order
+        ++s;
+      } else {
+        active.erase(active.begin() + static_cast<std::ptrdiff_t>(s));
+      }
+    }
+  }
+  PORTAL_OBS_COUNT("serve/interleave/rounds", rounds);
+}
+
 const KdTree& serving_tree(const CompiledPlan& plan,
                            const TreeSnapshot& snapshot) {
   if (!snapshot.kd())
@@ -444,6 +516,66 @@ QueryResult run_query(const CompiledPlan& plan, const TreeSnapshot& snapshot,
     finalize_union(tree, plan.is_union, &ids, &values, &result);
   }
   return result;
+}
+
+void run_query_batch(const CompiledPlan& plan, const TreeSnapshot& snapshot,
+                     const real_t* const* points, index_t count,
+                     const EngineOptions& options, BatchWorkspace& ws,
+                     QueryResult* results) {
+  if (count <= 0) return;
+  const KdTree& tree = serving_tree(plan, snapshot);
+  // Grow the per-query workspace pool up front: rule sets capture Workspace
+  // pointers, so no resize may happen once the first descent starts.
+  if (ws.per_query.size() < static_cast<std::size_t>(count))
+    ws.per_query.resize(static_cast<std::size_t>(count));
+  const bool batch = options.batch_base_cases && !tree.mirror().empty();
+  const index_t leaf_cap = tree.stats().max_leaf_count;
+  PORTAL_OBS_COUNT("serve/interleave/batches", 1);
+  PORTAL_OBS_COUNT("serve/interleave/queries", static_cast<std::uint64_t>(count));
+
+  const auto start_ctx = [&](index_t q) {
+    Workspace& w = ws.per_query[static_cast<std::size_t>(q)];
+    prepare_workspace(plan, tree, points[q], leaf_cap, w);
+    return make_ctx(plan, tree, points[q], batch, w);
+  };
+
+  if (plan.is_reduction) {
+    std::deque<ReductionRules> rules;
+    interleave_descents<ReductionRules>(
+        tree, count, options, rules,
+        [&](index_t q) { rules.emplace_back(start_ctx(q)); },
+        [&](index_t q, const TraversalStats& s) {
+          results[q].stats = s;
+          finalize_reduction(plan, tree,
+                             ws.per_query[static_cast<std::size_t>(q)],
+                             &results[q]);
+        });
+  } else if (plan.is_sum) {
+    std::deque<SumRules> rules;
+    interleave_descents<SumRules>(
+        tree, count, options, rules,
+        [&](index_t q) { rules.emplace_back(start_ctx(q), options.tau); },
+        [&](index_t q, const TraversalStats& s) {
+          results[q].stats = s;
+          results[q].values = {rules[static_cast<std::size_t>(q)].total()};
+        });
+  } else {
+    std::vector<std::vector<index_t>> ids(static_cast<std::size_t>(count));
+    std::vector<std::vector<real_t>> values(static_cast<std::size_t>(count));
+    std::deque<UnionRules> rules;
+    interleave_descents<UnionRules>(
+        tree, count, options, rules,
+        [&](index_t q) {
+          rules.emplace_back(start_ctx(q), plan.is_union,
+                             &ids[static_cast<std::size_t>(q)],
+                             &values[static_cast<std::size_t>(q)]);
+        },
+        [&](index_t q, const TraversalStats& s) {
+          results[q].stats = s;
+          finalize_union(tree, plan.is_union, &ids[static_cast<std::size_t>(q)],
+                         &values[static_cast<std::size_t>(q)], &results[q]);
+        });
+  }
 }
 
 QueryResult run_query_bruteforce(const CompiledPlan& plan,

@@ -68,6 +68,23 @@ PlanHandle PortalService::prepare(LayerSpec inner) {
   return cache_.get_or_compile(inner, *snap->source(), config);
 }
 
+bool PortalService::past_deadline(const Pending& pending) const {
+  return pending.deadline_ms > 0 &&
+         elapsed_ms(pending.enqueued, std::chrono::steady_clock::now()) >
+             pending.deadline_ms;
+}
+
+bool PortalService::expire_if_late(Pending& pending, const char* why) {
+  if (!past_deadline(pending)) return false;
+  expired_.fetch_add(1, std::memory_order_relaxed);
+  PORTAL_OBS_COUNT("serve/expired", 1);
+  Response resp;
+  resp.status = Status::Expired;
+  resp.error = why;
+  fulfill(pending, std::move(resp));
+  return true;
+}
+
 void PortalService::fulfill(Pending& pending, Response response) {
   response.latency_ms =
       elapsed_ms(pending.enqueued, std::chrono::steady_clock::now());
@@ -136,8 +153,60 @@ std::future<Response> PortalService::submit(PlanHandle plan,
   return future;
 }
 
+/// One coalesced batch through the interleaved engine path: per-request
+/// deadline check immediately before execution (late arrivals expire without
+/// burning engine time), one run_query_batch over the survivors, then a
+/// per-request re-check before fulfillment so a request whose deadline
+/// passed *during* execution is answered Expired, never a late Ok. An
+/// engine throw fails the whole batch (the interleaved descents share the
+/// engine invocation), fulfilling every live request with the error.
+void PortalService::run_batch_interleaved(
+    std::vector<std::unique_ptr<Pending>>& batch, const TreeSnapshot& snap,
+    const EngineOptions& eopt, BatchWorkspace& bws) {
+  std::vector<Pending*> live;
+  std::vector<const real_t*> points;
+  live.reserve(batch.size());
+  points.reserve(batch.size());
+  for (std::unique_ptr<Pending>& pending : batch) {
+    if (expire_if_late(*pending, "deadline exceeded in queue")) continue;
+    live.push_back(pending.get());
+    points.push_back(pending->point.data());
+  }
+  if (live.empty()) return;
+
+  std::vector<QueryResult> results(live.size());
+  try {
+    run_query_batch(*live.front()->plan, snap, points.data(),
+                    static_cast<index_t>(live.size()), eopt, bws,
+                    results.data());
+  } catch (const std::exception& e) {
+    for (Pending* pending : live) {
+      errors_.fetch_add(1, std::memory_order_relaxed);
+      Response resp;
+      resp.status = Status::Error;
+      resp.error = e.what();
+      fulfill(*pending, std::move(resp));
+    }
+    return;
+  }
+
+  for (std::size_t i = 0; i < live.size(); ++i) {
+    Pending& pending = *live[i];
+    if (expire_if_late(pending, "deadline exceeded during execution"))
+      continue;
+    completed_.fetch_add(1, std::memory_order_relaxed);
+    PORTAL_OBS_COUNT("serve/completed", 1);
+    Response resp;
+    resp.status = Status::Ok;
+    resp.result = std::move(results[i]);
+    resp.epoch = snap.epoch();
+    fulfill(pending, std::move(resp));
+  }
+}
+
 void PortalService::worker_loop() {
   Workspace ws;
+  BatchWorkspace bws;
   std::vector<std::unique_ptr<Pending>> batch;
   while (true) {
     batch.clear();
@@ -176,17 +245,21 @@ void PortalService::worker_loop() {
     EngineOptions eopt;
     eopt.batch_base_cases = options_.batch_base_cases;
     eopt.tau = options_.tau;
+    eopt.interleave_width = options_.interleave_width;
+    eopt.resume_steps = options_.resume_steps;
 
+    if (options_.interleave && snap) {
+      run_batch_interleaved(batch, *snap, eopt, bws);
+      continue;
+    }
+
+    // Recursive baseline: one run-to-completion descent per request.
     for (std::unique_ptr<Pending>& pending : batch) {
+      // Deadline check at this request's turn, not just at dequeue: the
+      // requests ahead of it in the batch may have consumed its budget.
+      if (expire_if_late(*pending, "deadline exceeded in queue")) continue;
       Response resp;
-      const double waited = elapsed_ms(pending->enqueued,
-                                       std::chrono::steady_clock::now());
-      if (pending->deadline_ms > 0 && waited > pending->deadline_ms) {
-        resp.status = Status::Expired;
-        resp.error = "deadline exceeded in queue";
-        expired_.fetch_add(1, std::memory_order_relaxed);
-        PORTAL_OBS_COUNT("serve/expired", 1);
-      } else if (!snap) {
+      if (!snap) {
         resp.status = Status::Error;
         resp.error = "no dataset published";
         errors_.fetch_add(1, std::memory_order_relaxed);
@@ -196,12 +269,20 @@ void PortalService::worker_loop() {
                                   pending->point.data(), eopt, ws);
           resp.status = Status::Ok;
           resp.epoch = snap->epoch();
-          completed_.fetch_add(1, std::memory_order_relaxed);
-          PORTAL_OBS_COUNT("serve/completed", 1);
         } catch (const std::exception& e) {
           resp.status = Status::Error;
           resp.error = e.what();
           errors_.fetch_add(1, std::memory_order_relaxed);
+        }
+        // Re-check after execution: the deadline may have passed *during*
+        // this request's own descent, and a deadline-carrying client has
+        // stopped waiting -- fulfilling Ok here would under-count expiries
+        // and misreport a late answer as on-time.
+        if (resp.status == Status::Ok) {
+          if (expire_if_late(*pending, "deadline exceeded during execution"))
+            continue;
+          completed_.fetch_add(1, std::memory_order_relaxed);
+          PORTAL_OBS_COUNT("serve/completed", 1);
         }
       }
       fulfill(*pending, std::move(resp));

@@ -63,6 +63,14 @@ struct ServiceOptions {
   real_t tau = 0;                  // SUM approximation budget; 0 = exact
   bool batch_base_cases = true;    // SIMD leaf tiles in the engine
   bool strength_reduction = true;  // compiler knob passed to plan compiles
+  /// Answer each coalesced micro-batch with interleaved resumable descents
+  /// (engine.h run_query_batch): the worker round-robins resume() slices
+  /// across the batch so one request's cache miss hides behind another's
+  /// compute. false = the recursive baseline, one run_query per request.
+  /// Either way every answer is bitwise-identical (docs/SERVING.md).
+  bool interleave = true;
+  index_t interleave_width = 16;   // in-flight descents per worker
+  index_t resume_steps = 32;       // node visits per resume() slice
   SnapshotOptions snapshot;        // leaf size + which trees publish() builds
 };
 
@@ -137,7 +145,15 @@ class PortalService {
   };
 
   void worker_loop();
+  void run_batch_interleaved(std::vector<std::unique_ptr<Pending>>& batch,
+                             const TreeSnapshot& snap,
+                             const EngineOptions& eopt, BatchWorkspace& bws);
   void fulfill(Pending& pending, Response response);
+  /// Has this request's deadline passed as of now?
+  bool past_deadline(const Pending& pending) const;
+  /// Fulfill Expired (counting it) if the deadline has passed; returns
+  /// whether the request was consumed.
+  bool expire_if_late(Pending& pending, const char* why);
 
   ServiceOptions options_;
   SnapshotSlot slot_;

@@ -1,0 +1,267 @@
+// Portal -- resumable single-tree traversal: the executor-model form of the
+// depth-first descent (DESIGN.md Sec. 15).
+//
+// The classic descent in traversal/singletree.h runs one query to completion;
+// every node or SoA-tile cache miss stalls the calling thread. The serving
+// runtime instead wants *many* in-flight descents per worker so one query's
+// miss is hidden behind another's compute -- the executor model of Dekate et
+// al. and redwood-rt's NnExecutor. This header provides the two pieces:
+//
+//   * NodeFrontier: the explicit descent stack as a first-class, bound-safe
+//     object -- an inline small buffer covering every balanced tree plus heap
+//     growth for pathological shapes. This replaces the unchecked
+//     `index_t stack[512]` the old descent carried (its "~512" bound was an
+//     octree-only argument; kd/ball builds have no depth cap, and a
+//     degenerate tree could overflow it silently).
+//   * TraversalCursor: a suspended descent. `resume(max_steps)` pops and
+//     processes up to max_steps nodes, then suspends, issuing a software
+//     prefetch for the next node (and, through the optional rule-set hook,
+//     its SoA tile) so the line is in flight while the worker runs a sibling
+//     cursor. `next_leaf()` is the device-backend flavor: it advances to the
+//     next leaf base case and yields it *without* executing it -- the
+//     explicit (query, leaf-tile) work frontier an accelerator queue
+//     consumes (ROADMAP item 3).
+//
+// Determinism contract: a cursor pops, prunes, expands, and evaluates nodes
+// in *exactly* the order of single_traverse -- both sides share
+// push_ordered_children below -- so any interleaving of resume() calls
+// across queries is bitwise-identical to running each query's recursive
+// descent alone. The differential fuzz wall (test_codegen_fuzz
+// CursorVsRecursiveBitwiseIdentical) pins this at tau = 0.
+#pragma once
+
+#include <concepts>
+#include <utility>
+#include <vector>
+
+#include "obs/trace.h"
+#include "traversal/multitree.h"
+#include "traversal/rules.h"
+#include "util/common.h"
+
+/// Read-prefetch with high temporal locality; a no-op where unsupported.
+#if defined(__GNUC__) || defined(__clang__)
+#define PORTAL_PREFETCH_READ(addr) __builtin_prefetch((addr), 0, 3)
+#else
+#define PORTAL_PREFETCH_READ(addr) ((void)0)
+#endif
+
+namespace portal {
+
+/// Rule set for one descent: `prune_or_take(node)` returns true when the
+/// subtree is fully handled (pruned as irrelevant OR consumed in bulk, e.g. a
+/// Barnes-Hut cell acceptance); `base_case(node)` evaluates a leaf exactly.
+template <typename R>
+concept SingleRuleSet = requires(R r, index_t node) {
+  { r.prune_or_take(node) } -> std::convertible_to<bool>;
+  { r.base_case(node) };
+};
+
+/// Optional nearest-first child ordering, exactly as in the dual traversal.
+template <typename R>
+concept ScoredSingleRuleSet = SingleRuleSet<R> && requires(R r, index_t node) {
+  { r.score(node) } -> std::convertible_to<real_t>;
+};
+
+/// Optional prefetch hook: called with the node a suspended cursor will pop
+/// next, so rule sets can start the loads their base case will need (the
+/// serving rules prefetch the leaf's SoA tile lane).
+template <typename R>
+concept PrefetchingSingleRuleSet = requires(R r, index_t node) {
+  { r.prefetch(node) };
+};
+
+/// The descent stack as a first-class object: LIFO of node indices with an
+/// inline buffer sized for every tree the builders produce (binary median
+/// splits stay under ~64 entries; the depth-60 octree worst case is ~428)
+/// and transparent heap growth beyond it, so no tree shape -- including
+/// degenerate externally-built ones -- can overflow it.
+class NodeFrontier {
+ public:
+  NodeFrontier() = default;
+  // data_ points into the object; default copy/move would alias the source's
+  // buffer. Traversals own their frontier for one descent, so neither is
+  // needed.
+  NodeFrontier(const NodeFrontier&) = delete;
+  NodeFrontier& operator=(const NodeFrontier&) = delete;
+
+  bool empty() const { return size_ == 0; }
+  index_t size() const { return size_; }
+  /// Next node resume() will pop; callers must check !empty().
+  index_t top() const { return data_[size_ - 1]; }
+  index_t pop() { return data_[--size_]; }
+  void push(index_t node) {
+    if (size_ == capacity_) grow();
+    data_[size_++] = node;
+  }
+  void clear() { size_ = 0; }
+  /// True once the descent outgrew the inline buffer (obs: the same event
+  /// bumps traversal/cursor/frontier_spills).
+  bool spilled() const { return data_ != small_; }
+
+  /// Inline capacity: one cacheline-friendly page that covers the worst case
+  /// of every in-tree builder without touching the heap.
+  static constexpr index_t kInlineCapacity = 512;
+
+ private:
+  void grow() {
+    const index_t next_capacity = capacity_ * 2;
+    heap_.resize(static_cast<std::size_t>(next_capacity));
+    if (data_ == small_) std::copy(small_, small_ + size_, heap_.data());
+    data_ = heap_.data(); // resize preserves prior heap contents
+    capacity_ = next_capacity;
+    PORTAL_OBS_COUNT("traversal/cursor/frontier_spills", 1);
+  }
+
+  index_t small_[kInlineCapacity];
+  std::vector<index_t> heap_;
+  index_t* data_ = small_;
+  index_t size_ = 0;
+  index_t capacity_ = kInlineCapacity;
+};
+
+/// Expand one non-leaf node onto the frontier in oracle order: scored rule
+/// sets push farthest-first so the nearest child pops first; unscored rule
+/// sets push right-to-left so leaves evaluate in ascending permuted order
+/// (load-bearing for the serving engine's bitwise SUM determinism,
+/// src/serve/engine.h). Shared by single_traverse and TraversalCursor so the
+/// two forms cannot drift apart.
+template <typename Rules>
+  requires SingleRuleSet<Rules>
+inline void push_ordered_children(Rules& rules, index_t* children, int count,
+                                  NodeFrontier& frontier) {
+  if constexpr (ScoredSingleRuleSet<Rules>) {
+    real_t score[8];
+    for (int i = 0; i < count; ++i) score[i] = rules.score(children[i]);
+    for (int i = 1; i < count; ++i)
+      for (int j = i; j > 0 && score[j] < score[j - 1]; --j) {
+        std::swap(score[j], score[j - 1]);
+        std::swap(children[j], children[j - 1]);
+      }
+  }
+  for (int i = count - 1; i >= 0; --i) frontier.push(children[i]);
+}
+
+enum class CursorState {
+  Active, // frontier non-empty; call resume() again
+  Done,   // descent finished; stats() is final
+};
+
+/// One suspended single-tree descent. Construction seeds the frontier with
+/// the root; resume(max_steps) advances the same state machine
+/// single_traverse runs, then suspends with a prefetch of the next node so
+/// callers can hide the miss behind another cursor's compute. Cursors hold
+/// references to the tree and rule set -- both must outlive the cursor --
+/// and are neither copyable nor movable (the frontier pins its inline
+/// buffer); hold them in a std::deque for stable addresses.
+template <typename Tree, typename Rules>
+  requires SingleRuleSet<Rules>
+class TraversalCursor {
+ public:
+  TraversalCursor(const Tree& tree, Rules& rules)
+      : tree_(&tree), rules_(&rules) {
+    frontier_.push(tree.root_index());
+  }
+  TraversalCursor(const TraversalCursor&) = delete;
+  TraversalCursor& operator=(const TraversalCursor&) = delete;
+
+  bool done() const { return done_; }
+  /// Exact same counters single_traverse would return for this query;
+  /// partial until done() (monotone across resumes).
+  const TraversalStats& stats() const { return stats_; }
+  const NodeFrontier& frontier() const { return frontier_; }
+
+  /// Pop and process up to `max_steps` nodes (a step is one node visit:
+  /// prune, base case, or expansion -- the unit stats.pairs_visited counts).
+  /// Returns Done when the descent completed within the budget; otherwise
+  /// suspends at the step boundary with the next node's cacheline already
+  /// requested.
+  CursorState resume(index_t max_steps) {
+    if (done_) return CursorState::Done;
+    ++resumes_;
+    index_t children[8];
+    for (index_t step = 0; step < max_steps; ++step) {
+      if (frontier_.empty()) return finish();
+      step_once(children);
+    }
+    if (frontier_.empty()) return finish();
+    ++suspends_;
+    prefetch_next();
+    return CursorState::Active;
+  }
+
+  /// Device-backend flavor: advance (pruning and expanding inline) until the
+  /// next leaf base case *would* run, and return that leaf without executing
+  /// it -- the caller owns the leaf-tile work (a host caller runs
+  /// rules.base_case(leaf); an accelerator backend enqueues the tile).
+  /// Returns -1 when the descent is finished. The yielded leaf is counted in
+  /// stats().base_cases at yield time, so draining next_leaf() and running
+  /// each base case reproduces single_traverse's stats exactly.
+  index_t next_leaf() {
+    if (done_) return -1;
+    index_t children[8];
+    while (!frontier_.empty()) {
+      const index_t node = frontier_.pop();
+      ++stats_.pairs_visited;
+      if (rules_->prune_or_take(node)) {
+        ++stats_.prunes;
+        continue;
+      }
+      if (tree_node_is_leaf(*tree_, node)) {
+        ++stats_.base_cases;
+        prefetch_next();
+        return node;
+      }
+      const int count = tree_children(*tree_, node, children);
+      push_ordered_children(*rules_, children, count, frontier_);
+    }
+    finish();
+    return -1;
+  }
+
+ private:
+  void step_once(index_t* children) {
+    const index_t node = frontier_.pop();
+    ++stats_.pairs_visited;
+    if (rules_->prune_or_take(node)) {
+      ++stats_.prunes;
+      return;
+    }
+    if (tree_node_is_leaf(*tree_, node)) {
+      ++stats_.base_cases;
+      rules_->base_case(node);
+      return;
+    }
+    const int count = tree_children(*tree_, node, children);
+    push_ordered_children(*rules_, children, count, frontier_);
+  }
+
+  /// Suspension point: request the next node's line (and let the rule set
+  /// request its leaf tile) so the loads overlap a sibling cursor's compute.
+  void prefetch_next() {
+    const index_t next = frontier_.top();
+    PORTAL_PREFETCH_READ(&tree_->node(next));
+    if constexpr (PrefetchingSingleRuleSet<Rules>) rules_->prefetch(next);
+    ++prefetches_;
+  }
+
+  CursorState finish() {
+    done_ = true;
+    // One bulk merge per descent, mirroring single_traverse's flush policy.
+    PORTAL_OBS_COUNT("traversal/cursor/descents", 1);
+    PORTAL_OBS_COUNT("traversal/cursor/steps", stats_.pairs_visited);
+    PORTAL_OBS_COUNT("traversal/cursor/resumes", resumes_);
+    PORTAL_OBS_COUNT("traversal/cursor/suspends", suspends_);
+    PORTAL_OBS_COUNT("traversal/cursor/prefetches", prefetches_);
+    return CursorState::Done;
+  }
+
+  const Tree* tree_;
+  Rules* rules_;
+  NodeFrontier frontier_;
+  TraversalStats stats_;
+  std::uint64_t resumes_ = 0, suspends_ = 0, prefetches_ = 0;
+  bool done_ = false;
+};
+
+} // namespace portal

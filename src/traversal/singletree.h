@@ -8,49 +8,39 @@
 // queries arrive online rather than in batch.
 #pragma once
 
-#include <concepts>
-
+#include "traversal/cursor.h"
 #include "traversal/multitree.h"
 #include "traversal/rules.h"
 #include "util/common.h"
 
 namespace portal {
 
-/// Rule set for one descent: `prune_or_take(node)` returns true when the
-/// subtree is fully handled (pruned as irrelevant OR consumed in bulk, e.g. a
-/// Barnes-Hut cell acceptance); `base_case(node)` evaluates a leaf exactly.
-template <typename R>
-concept SingleRuleSet = requires(R r, index_t node) {
-  { r.prune_or_take(node) } -> std::convertible_to<bool>;
-  { r.base_case(node) };
-};
-
-/// Optional nearest-first child ordering, exactly as in the dual traversal.
-template <typename R>
-concept ScoredSingleRuleSet = SingleRuleSet<R> && requires(R r, index_t node) {
-  { r.score(node) } -> std::convertible_to<real_t>;
-};
-
 /// Depth-first descent from the root. Serial: callers parallelize over
 /// queries (the natural axis for single-tree work), so the stats counters
 /// are plain increments on the caller's stack. `elapsed_seconds` is left 0
 /// here -- a per-query clock read would dominate small descents; callers
 /// time whole query batches instead.
+///
+/// This run-to-completion form is the bitwise oracle for the resumable
+/// TraversalCursor (traversal/cursor.h): both share push_ordered_children,
+/// so they visit nodes and evaluate leaves in the same order by
+/// construction.
 template <typename Tree, typename Rules>
   requires SingleRuleSet<Rules>
 TraversalStats single_traverse(const Tree& tree, Rules& rules) {
   TraversalStats stats;
   // Explicit stack: single-tree descents can be deep and run per query, so
-  // recursion overhead and stack depth both matter.
-  // Worst case: (tree height) x (fan-out - 1) pending siblings; the octree
-  // depth cap of 60 with 8-way nodes bounds this at ~512.
-  index_t stack[512];
-  int top = 0;
-  stack[top++] = tree.root_index();
+  // recursion overhead and stack depth both matter. NodeFrontier's inline
+  // buffer covers every in-tree builder's worst case (binary median splits
+  // stay shallow; the depth-60 octree needs ~428 slots) and grows onto the
+  // heap for anything deeper -- the previous fixed 512-entry array could be
+  // silently overflowed by a degenerate depth-uncapped tree.
+  NodeFrontier frontier;
+  frontier.push(tree.root_index());
 
   index_t children[8];
-  while (top > 0) {
-    const index_t node = stack[--top];
+  while (!frontier.empty()) {
+    const index_t node = frontier.pop();
     ++stats.pairs_visited;
     if (rules.prune_or_take(node)) {
       ++stats.prunes;
@@ -62,23 +52,7 @@ TraversalStats single_traverse(const Tree& tree, Rules& rules) {
       continue;
     }
     const int count = tree_children(tree, node, children);
-    if constexpr (ScoredSingleRuleSet<Rules>) {
-      // Nearest-first: push farthest first so the nearest pops first.
-      real_t score[8];
-      for (int i = 0; i < count; ++i) score[i] = rules.score(children[i]);
-      for (int i = 1; i < count; ++i)
-        for (int j = i; j > 0 && score[j] < score[j - 1]; --j) {
-          std::swap(score[j], score[j - 1]);
-          std::swap(children[j], children[j - 1]);
-        }
-      for (int i = count - 1; i >= 0; --i) stack[top++] = children[i];
-    } else {
-      // Preorder left-first: push the last child first so child 0 pops
-      // first. Unscored descents therefore visit leaves in ascending
-      // permuted order -- load-bearing for the serving engine's bitwise
-      // SUM determinism contract (src/serve/engine.h).
-      for (int i = count - 1; i >= 0; --i) stack[top++] = children[i];
-    }
+    push_ordered_children(rules, children, count, frontier);
   }
   // One bulk merge into the session counters per descent; single-tree
   // descents run per query, so no per-node instrumentation here.

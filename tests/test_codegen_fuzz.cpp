@@ -33,6 +33,10 @@
 #include "data/generators.h"
 #include "serve/engine.h"
 #include "serve/plan_cache.h"
+#include "traversal/cursor.h"
+#include "traversal/singletree.h"
+#include "tree/balltree.h"
+#include "tree/octree.h"
 #include "tree/snapshot.h"
 #include "util/rng.h"
 
@@ -552,6 +556,173 @@ TEST(DifferentialConformance, ServeEngineGatedPruningBitwiseIdentical) {
       ASSERT_EQ(a.ids.size(), b.ids.size());
       for (std::size_t v = 0; v < b.ids.size(); ++v)
         EXPECT_EQ(a.ids[v], b.ids[v]) << "query " << i << " slot " << v;
+    }
+  }
+}
+
+// The resumable-traversal wall (traversal/cursor.h): the TraversalCursor and
+// the interleaved serve batch path claim *bitwise* identity with the
+// run-to-completion descent at tau = 0 -- any interleaving of resume() slices
+// across queries must be invisible in values, ids, and per-query traversal
+// counters. Two axes:
+//   1. random serve chains x batch_base_cases on/off x random interleave
+//      grains: run_query_batch vs per-query run_query (the recursive oracle);
+//   2. random kd/ball/octree shapes x random resume grains: a raw cursor
+//      (resume-driven and next_leaf-driven) vs single_traverse.
+TEST(DifferentialConformance, CursorVsRecursiveBitwiseIdentical) {
+  const std::uint64_t seed = fuzz_seed();
+  std::printf("PORTAL_FUZZ_SEED=%llu\n", static_cast<unsigned long long>(seed));
+  Rng rng(seed ^ 0xcafef00dd15ea5e5ull);
+
+  // Axis 1: serve chains. run_query runs single_traverse to completion, so
+  // it *is* the recursive oracle for the interleaved path.
+  constexpr int kChains = 24;
+  for (int c = 0; c < kChains; ++c) {
+    LayerSpec inner;
+    switch (rng.uniform_index(8)) {
+      case 0:
+        inner.op = OpSpec(PortalOp::KARGMIN,
+                          1 + static_cast<index_t>(rng.uniform_index(6)));
+        inner.func = PortalFunc::EUCLIDEAN;
+        break;
+      case 1:
+        inner.op = OpSpec(PortalOp::KMIN,
+                          1 + static_cast<index_t>(rng.uniform_index(4)));
+        inner.func = PortalFunc::SQREUCDIST;
+        break;
+      case 2:
+        inner.op = OpSpec(PortalOp::MIN);
+        inner.func = PortalFunc::MANHATTAN;
+        break;
+      case 3:
+        inner.op = OpSpec(PortalOp::KARGMAX,
+                          1 + static_cast<index_t>(rng.uniform_index(4)));
+        inner.func = PortalFunc::CHEBYSHEV;
+        break;
+      case 4:
+        inner.op = OpSpec(PortalOp::SUM);
+        inner.func = PortalFunc::gaussian(rng.uniform(0.3, 1.2));
+        break;
+      case 5:
+        inner.op = OpSpec(PortalOp::SUM);
+        inner.func = PortalFunc::indicator(0, rng.uniform(0.4, 1.5));
+        break;
+      case 6:
+        inner.op = OpSpec(PortalOp::UNION);
+        inner.func = PortalFunc::indicator(0, rng.uniform(0.4, 1.5));
+        break;
+      default:
+        inner.op = OpSpec(PortalOp::UNIONARG);
+        inner.func = PortalFunc::indicator(1e-9, rng.uniform(0.4, 1.5));
+        break;
+    }
+    const index_t nr = 200 + static_cast<index_t>(rng.uniform_index(200));
+    const index_t nq = 6 + static_cast<index_t>(rng.uniform_index(14));
+    const index_t leaf = 1 + static_cast<index_t>(rng.uniform_index(16));
+    SCOPED_TRACE("serve chain " + std::to_string(c) + " leaf " +
+                 std::to_string(leaf) + " seed=" + std::to_string(seed));
+
+    const Dataset reference = make_gaussian_mixture(nr, 3, 3, seed + 31 * c);
+    const Dataset queries = make_gaussian_mixture(nq, 3, 3, seed + 31 * c + 7);
+    const auto snapshot = TreeSnapshot::build(
+        std::make_shared<const Dataset>(reference), leaf, {});
+    serve::PlanCache cache;
+    serve::PlanHandle plan =
+        cache.get_or_compile(inner, reference, PortalConfig{});
+    ASSERT_TRUE(plan);
+
+    std::vector<std::vector<real_t>> pts;
+    std::vector<const real_t*> ptrs;
+    for (index_t i = 0; i < nq; ++i) {
+      std::vector<real_t> pt(3);
+      for (index_t d = 0; d < 3; ++d) pt[d] = queries.coord(i, d);
+      pts.push_back(std::move(pt));
+    }
+    for (const auto& pt : pts) ptrs.push_back(pt.data());
+
+    for (const bool batch : {true, false}) {
+      serve::EngineOptions options;
+      options.tau = 0;
+      options.batch_base_cases = batch;
+      options.interleave_width =
+          1 + static_cast<index_t>(rng.uniform_index(16));
+      options.resume_steps = 1 + static_cast<index_t>(rng.uniform_index(48));
+
+      serve::BatchWorkspace bws;
+      std::vector<serve::QueryResult> got(pts.size());
+      serve::run_query_batch(*plan, *snapshot, ptrs.data(), nq, options, bws,
+                             got.data());
+      serve::Workspace ws;
+      for (index_t i = 0; i < nq; ++i) {
+        const serve::QueryResult want =
+            serve::run_query(*plan, *snapshot, pts[static_cast<std::size_t>(i)].data(),
+                             options, ws);
+        const auto& g = got[static_cast<std::size_t>(i)];
+        ASSERT_EQ(g.values.size(), want.values.size());
+        for (std::size_t v = 0; v < want.values.size(); ++v) {
+          if (std::isnan(want.values[v])) {
+            EXPECT_TRUE(std::isnan(g.values[v])) << "query " << i << " slot " << v;
+          } else {
+            EXPECT_EQ(g.values[v], want.values[v]) << "query " << i << " slot " << v;
+          }
+        }
+        ASSERT_EQ(g.ids.size(), want.ids.size());
+        for (std::size_t v = 0; v < want.ids.size(); ++v)
+          EXPECT_EQ(g.ids[v], want.ids[v]) << "query " << i << " slot " << v;
+        EXPECT_EQ(g.stats.pairs_visited, want.stats.pairs_visited)
+            << "query " << i << " batch " << batch;
+        EXPECT_EQ(g.stats.prunes, want.stats.prunes);
+        EXPECT_EQ(g.stats.base_cases, want.stats.base_cases);
+      }
+    }
+  }
+
+  // Axis 2: raw cursor vs single_traverse across all three tree shapes.
+  for (int trial = 0; trial < 12; ++trial) {
+    const index_t n = 100 + static_cast<index_t>(rng.uniform_index(400));
+    const index_t leaf = 1 + static_cast<index_t>(rng.uniform_index(16));
+    const index_t grain = 1 + static_cast<index_t>(rng.uniform_index(64));
+    const int shape = static_cast<int>(rng.uniform_index(3));
+    SCOPED_TRACE("tree trial " + std::to_string(trial) + " shape " +
+                 std::to_string(shape) + " n " + std::to_string(n) + " leaf " +
+                 std::to_string(leaf) + " grain " + std::to_string(grain));
+
+    const auto check = [&](const auto& tree) {
+      using Tree = std::decay_t<decltype(tree)>;
+      struct CountRules {
+        const Tree* tree = nullptr;
+        std::uint64_t points = 0;
+        bool prune_or_take(index_t) { return false; }
+        void base_case(index_t node) {
+          points += static_cast<std::uint64_t>(tree->node(node).count());
+        }
+      };
+      CountRules oracle{&tree};
+      const TraversalStats want = single_traverse(tree, oracle);
+
+      CountRules rules{&tree};
+      TraversalCursor<Tree, CountRules> cursor(tree, rules);
+      while (cursor.resume(grain) != CursorState::Done) continue;
+      EXPECT_EQ(rules.points, oracle.points);
+      EXPECT_EQ(cursor.stats().pairs_visited, want.pairs_visited);
+      EXPECT_EQ(cursor.stats().base_cases, want.base_cases);
+
+      // next_leaf drain: the host runs each yielded leaf's base case.
+      CountRules drain{&tree};
+      TraversalCursor<Tree, CountRules> yielder(tree, drain);
+      for (index_t l = yielder.next_leaf(); l >= 0; l = yielder.next_leaf())
+        drain.base_case(l);
+      EXPECT_EQ(drain.points, oracle.points);
+      EXPECT_EQ(yielder.stats().base_cases, want.base_cases);
+    };
+
+    if (shape == 0) {
+      check(KdTree(make_gaussian_mixture(n, 3, 3, seed + 131 * trial), leaf));
+    } else if (shape == 1) {
+      check(BallTree(make_gaussian_mixture(n, 3, 3, seed + 131 * trial), leaf));
+    } else {
+      const ParticleSet set = make_elliptical(n, seed + 131 * trial);
+      check(Octree(set.positions, set.masses, leaf));
     }
   }
 }

@@ -30,6 +30,7 @@
 namespace portal {
 namespace {
 
+using serve::BatchWorkspace;
 using serve::CompiledPlan;
 using serve::EngineOptions;
 using serve::PlanCache;
@@ -38,6 +39,7 @@ using serve::PortalService;
 using serve::QueryResult;
 using serve::Response;
 using serve::run_query;
+using serve::run_query_batch;
 using serve::run_query_bruteforce;
 using serve::ServiceOptions;
 using serve::Status;
@@ -453,6 +455,54 @@ TEST_F(ServeEngineTest, KminGaussianValues) {
   check_chain(chain({PortalOp::KMAX, 3}, PortalFunc::gaussian(0.8)));
 }
 
+TEST_F(ServeEngineTest, InterleavedBatchBitwiseMatchesPerQuery) {
+  // The interleaved batch path must be indistinguishable from running each
+  // query alone -- values, ids, AND per-query traversal stats -- at every
+  // interleave granularity, across all three rule families.
+  const std::vector<LayerSpec> chains = {
+      chain({PortalOp::KARGMIN, 5}, PortalFunc::EUCLIDEAN),
+      chain(PortalOp::SUM, PortalFunc::gaussian(0.6)),
+      chain(PortalOp::UNION, PortalFunc::indicator(0, 1.0)),
+      chain(PortalOp::MIN, PortalFunc::MANHATTAN),
+  };
+  PlanCache cache;
+  std::vector<std::vector<real_t>> pts;
+  std::vector<const real_t*> ptrs;
+  for (index_t i = 0; i < queries_.size(); ++i) {
+    std::vector<real_t> pt(queries_.dim());
+    for (index_t d = 0; d < queries_.dim(); ++d) pt[d] = queries_.coord(i, d);
+    pts.push_back(std::move(pt));
+  }
+  for (const auto& pt : pts) ptrs.push_back(pt.data());
+
+  for (const LayerSpec& inner : chains) {
+    PlanHandle plan = cache.get_or_compile(inner, reference_, serve_config());
+    ASSERT_TRUE(plan);
+    for (const index_t width : {index_t(1), index_t(3), index_t(16)}) {
+      for (const index_t steps : {index_t(1), index_t(32)}) {
+        EngineOptions options;
+        options.interleave_width = width;
+        options.resume_steps = steps;
+        BatchWorkspace bws;
+        std::vector<QueryResult> got(pts.size());
+        run_query_batch(*plan, *snapshot_, ptrs.data(),
+                        static_cast<index_t>(ptrs.size()), options, bws,
+                        got.data());
+        Workspace ws;
+        for (std::size_t i = 0; i < pts.size(); ++i) {
+          const QueryResult want =
+              run_query(*plan, *snapshot_, pts[i].data(), options, ws);
+          expect_bitwise(got[i], want);
+          EXPECT_EQ(got[i].stats.pairs_visited, want.stats.pairs_visited)
+              << "query " << i << " width " << width << " steps " << steps;
+          EXPECT_EQ(got[i].stats.prunes, want.stats.prunes);
+          EXPECT_EQ(got[i].stats.base_cases, want.stats.base_cases);
+        }
+      }
+    }
+  }
+}
+
 TEST_F(ServeEngineTest, RejectsDimensionMismatch) {
   PlanCache cache;
   PlanHandle plan = cache.get_or_compile(
@@ -658,6 +708,40 @@ TEST(ServeService, DeadlineExpiresInQueue) {
   EXPECT_EQ(resp.status, Status::Expired);
   EXPECT_GE(service.stats().expired, 1u);
   for (auto& future : ahead) future.get();
+}
+
+TEST(ServeService, DeadlineExpiresDuringExecution) {
+  // Regression: deadlines used to be checked only *before* a request ran, so
+  // a request whose budget was consumed by its own execution was still
+  // fulfilled Ok -- a late answer the deadline-carrying client had already
+  // abandoned, and an expiry the serve/expired counter never saw. The fix
+  // re-checks immediately before fulfillment.
+  //
+  // Determinism: the worker is idle, so the queue wait is far below the 6ms
+  // deadline and the pre-run check passes; the slow kernel then sleeps 200us
+  // for each of the 64 reference points (>=12.8ms per query), so by
+  // fulfillment the deadline has deterministically passed. Both the
+  // interleaved path and the recursive baseline must expire it.
+  for (const bool interleave : {true, false}) {
+    ServiceOptions options;
+    options.workers = 1;
+    options.interleave = interleave;
+    PortalService service(options);
+    service.publish(make_uniform(64, 2, 3));
+    PlanHandle plan = slow_plan(service);
+
+    // Warm the worker (plan state, snapshot load) with no deadline.
+    ASSERT_EQ(service.submit(plan, {0.5, 0.5}).get().status, Status::Ok);
+
+    Response resp = service.submit(plan, {0.5, 0.5}, 6.0).get();
+    EXPECT_EQ(resp.status, Status::Expired) << "interleave " << interleave;
+    EXPECT_NE(resp.error.find("during execution"), std::string::npos)
+        << resp.error;
+    EXPECT_GE(resp.latency_ms, 6.0);
+    const auto stats = service.stats();
+    EXPECT_EQ(stats.expired, 1u);
+    EXPECT_EQ(stats.completed, 1u); // only the warm-up completed
+  }
 }
 
 TEST(ServeService, CoalescesSamePlanRequests) {

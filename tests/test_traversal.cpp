@@ -576,3 +576,276 @@ TEST(SingleTraverse, WorksOnOctrees) {
 
 } // namespace
 } // namespace portal
+
+// ---------------------------------------------------------------------------
+// Resumable traversal (traversal/cursor.h): NodeFrontier bound safety and
+// TraversalCursor parity with the run-to-completion oracle.
+#include <thread>
+
+#include "traversal/cursor.h"
+
+namespace portal {
+namespace {
+
+TEST(CursorFrontier, GrowsPastInlineCapacityAndStaysLifo) {
+  NodeFrontier frontier;
+  const index_t n = NodeFrontier::kInlineCapacity * 5 + 3;
+  for (index_t i = 0; i < n; ++i) frontier.push(i);
+  EXPECT_TRUE(frontier.spilled());
+  EXPECT_EQ(frontier.size(), n);
+  for (index_t i = n - 1; i >= 0; --i) {
+    ASSERT_EQ(frontier.top(), i);
+    ASSERT_EQ(frontier.pop(), i);
+  }
+  EXPECT_TRUE(frontier.empty());
+}
+
+/// Degenerate externally-built tree: a right spine of `depth` internal nodes,
+/// each hanging one pending leaf. The unscored descent pops the spine child
+/// first, so the pending leaves pile up on the frontier -- max occupancy is
+/// `depth` entries. With depth > 512 this overflowed the fixed
+/// `index_t stack[512]` the old single_traverse carried (ASan flagged the
+/// write past the array); NodeFrontier spills to the heap instead. No in-tree
+/// builder produces this shape (binary median splits are balanced, the octree
+/// caps depth at 60) -- which is exactly why the old bound went unnoticed.
+struct ChainNode {
+  index_t spine = -1; // next spine node; -1 = leaf
+  index_t leaf = -1;  // pending leaf child
+};
+
+struct ChainTree {
+  index_t depth;
+  std::vector<ChainNode> nodes; // [0, depth) spine, [depth, 2*depth) leaves
+  explicit ChainTree(index_t d) : depth(d), nodes(static_cast<std::size_t>(2 * d)) {
+    for (index_t i = 0; i + 1 < d; ++i) {
+      nodes[static_cast<std::size_t>(i)].spine = i + 1;
+      nodes[static_cast<std::size_t>(i)].leaf = d + i;
+    }
+  }
+  index_t root_index() const { return 0; }
+  const ChainNode& node(index_t i) const {
+    return nodes[static_cast<std::size_t>(i)];
+  }
+};
+
+bool tree_node_is_leaf(const ChainTree& tree, index_t n) {
+  return tree.node(n).spine < 0;
+}
+
+int tree_children(const ChainTree& tree, index_t n, index_t out[8]) {
+  const ChainNode& node = tree.node(n);
+  if (node.spine < 0) return 0;
+  out[0] = node.spine;
+  out[1] = node.leaf;
+  return 2;
+}
+
+struct ChainCountRules {
+  std::uint64_t leaves = 0;
+  bool prune_or_take(index_t) { return false; }
+  void base_case(index_t) { ++leaves; }
+};
+
+TEST(SingleTraverse, DeepDegenerateTreeDoesNotOverflowStack) {
+  const index_t depth = NodeFrontier::kInlineCapacity + 88; // 600-node spine
+  const ChainTree tree(depth);
+  ChainCountRules rules;
+  const TraversalStats stats = single_traverse(tree, rules);
+  // depth-1 pending leaves plus the terminal spine node.
+  EXPECT_EQ(rules.leaves, static_cast<std::uint64_t>(depth));
+  EXPECT_EQ(stats.base_cases, static_cast<std::uint64_t>(depth));
+  EXPECT_EQ(stats.prunes, 0u);
+}
+
+TEST(CursorTraversal, FrontierSpillsOnDeepDegenerateTree) {
+  const index_t depth = NodeFrontier::kInlineCapacity + 88;
+  const ChainTree tree(depth);
+  ChainCountRules rules;
+  TraversalCursor<ChainTree, ChainCountRules> cursor(tree, rules);
+  while (cursor.resume(17) != CursorState::Done) continue;
+  EXPECT_TRUE(cursor.frontier().spilled());
+  EXPECT_EQ(rules.leaves, static_cast<std::uint64_t>(depth));
+}
+
+TEST(SingleTraverse, DuplicateAndCollinearPointsAtLeafSizeOne) {
+  // All-duplicate and all-collinear datasets at leaf_size 1: the positional
+  // median split keeps even these balanced, so the descent must complete with
+  // every point covered (robustness companion to the ChainTree overflow
+  // regression, using the real builders end to end).
+  const index_t n = 512;
+  for (int shape = 0; shape < 2; ++shape) {
+    std::vector<real_t> raw(static_cast<std::size_t>(n) * 3);
+    for (index_t i = 0; i < n; ++i)
+      for (index_t d = 0; d < 3; ++d)
+        raw[static_cast<std::size_t>(i * 3 + d)] =
+            shape == 0 ? real_t(1.5) : real_t(i) * (d == 0 ? 1 : 0);
+    const Dataset data = Dataset::from_row_major(raw.data(), n, 3);
+    std::vector<real_t> qpt(3, 0);
+
+    const KdTree kd(data, 1);
+    SingleCountRules kd_rules;
+    kd_rules.tree = &kd;
+    kd_rules.qpt = qpt.data();
+    single_traverse(kd, kd_rules);
+    EXPECT_EQ(kd_rules.points, static_cast<std::uint64_t>(n)) << "shape " << shape;
+
+    const BallTree ball(data, 1);
+    struct BallCount {
+      const BallTree* tree = nullptr;
+      std::uint64_t points = 0;
+      bool prune_or_take(index_t) { return false; }
+      void base_case(index_t node) {
+        points += static_cast<std::uint64_t>(tree->node(node).count());
+      }
+    } ball_rules;
+    ball_rules.tree = &ball;
+    single_traverse(ball, ball_rules);
+    EXPECT_EQ(ball_rules.points, static_cast<std::uint64_t>(n)) << "shape " << shape;
+  }
+}
+
+TEST(CursorTraversal, ScoredKnnBitwiseMatchesOracleAcrossResumeGrains) {
+  const Dataset query = make_gaussian_mixture(40, 3, 3, 75);
+  const Dataset reference = make_gaussian_mixture(211, 3, 3, 76);
+  const KdTree tree(reference, 8);
+  std::vector<real_t> qpt(query.dim());
+
+  for (const index_t grain : {index_t(1), index_t(7), index_t(64)}) {
+    for (index_t i = 0; i < query.size(); ++i) {
+      query.copy_point(i, qpt.data());
+
+      SingleKnnRules oracle;
+      oracle.tree = &tree;
+      oracle.qpt = qpt.data();
+      oracle.k = 4;
+      oracle.dists.resize(tree.stats().max_leaf_count);
+      const TraversalStats want = single_traverse(tree, oracle);
+
+      SingleKnnRules rules = oracle;
+      rules.best_sq.clear();
+      rules.best_idx.clear();
+      TraversalCursor<KdTree, SingleKnnRules> cursor(tree, rules);
+      std::uint64_t resumes = 0;
+      while (cursor.resume(grain) != CursorState::Done) ++resumes;
+      ASSERT_TRUE(cursor.done());
+
+      // Same visit order, same arithmetic: bitwise-identical results and
+      // identical traversal counters, at every suspension granularity.
+      EXPECT_EQ(rules.best_sq, oracle.best_sq) << "grain " << grain << " q " << i;
+      EXPECT_EQ(rules.best_idx, oracle.best_idx) << "grain " << grain << " q " << i;
+      EXPECT_EQ(cursor.stats().pairs_visited, want.pairs_visited);
+      EXPECT_EQ(cursor.stats().prunes, want.prunes);
+      EXPECT_EQ(cursor.stats().base_cases, want.base_cases);
+      if (grain == 1 && want.pairs_visited > 1)
+        EXPECT_GT(resumes, 0u) << "grain 1 must actually suspend mid-descent";
+    }
+  }
+}
+
+/// Unscored kd count rules (no score(): preorder, leaves ascending).
+struct KdUnscoredCount {
+  const KdTree* tree = nullptr;
+  std::uint64_t points = 0;
+  bool prune_or_take(index_t) { return false; }
+  void base_case(index_t node) {
+    points += static_cast<std::uint64_t>(tree->node(node).count());
+  }
+};
+
+TEST(CursorTraversal, NextLeafDrainReproducesOracleInAscendingOrder) {
+  const Dataset reference = make_gaussian_mixture(300, 3, 3, 77);
+  const KdTree tree(reference, 16);
+
+  KdUnscoredCount oracle;
+  oracle.tree = &tree;
+  const TraversalStats want = single_traverse(tree, oracle);
+
+  KdUnscoredCount rules;
+  rules.tree = &tree;
+  TraversalCursor<KdTree, KdUnscoredCount> cursor(tree, rules);
+  index_t prev_begin = -1;
+  std::uint64_t yielded = 0;
+  for (index_t leaf = cursor.next_leaf(); leaf >= 0; leaf = cursor.next_leaf()) {
+    ++yielded;
+    // The host caller owns the base case: run it, as a device queue would
+    // consume the yielded leaf tile.
+    rules.base_case(leaf);
+    // Unscored descent: leaves yield in ascending permuted order (the
+    // serving engine's SUM determinism relies on this).
+    EXPECT_GT(tree.node(leaf).begin, prev_begin);
+    prev_begin = tree.node(leaf).begin;
+  }
+  EXPECT_TRUE(cursor.done());
+  EXPECT_EQ(yielded, want.base_cases);
+  EXPECT_EQ(rules.points, oracle.points);
+  EXPECT_EQ(cursor.stats().pairs_visited, want.pairs_visited);
+  EXPECT_EQ(cursor.stats().base_cases, want.base_cases);
+}
+
+TEST(CursorTraversal, WorksOnOctreesAndBallTrees) {
+  const ParticleSet set = make_elliptical(500, 78);
+  const Octree octree(set.positions, set.masses, 8);
+  struct OctCount {
+    const Octree* tree = nullptr;
+    std::uint64_t points = 0;
+    bool prune_or_take(index_t) { return false; }
+    void base_case(index_t node) {
+      points += static_cast<std::uint64_t>(tree->node(node).count());
+    }
+  } oct_rules;
+  oct_rules.tree = &octree;
+  TraversalCursor<Octree, OctCount> oct_cursor(octree, oct_rules);
+  while (oct_cursor.resume(9) != CursorState::Done) continue;
+  EXPECT_EQ(oct_rules.points, static_cast<std::uint64_t>(set.positions.size()));
+
+  const Dataset data = make_gaussian_mixture(400, 3, 3, 79);
+  const BallTree ball(data, 8);
+  struct BallCount {
+    const BallTree* tree = nullptr;
+    std::uint64_t points = 0;
+    bool prune_or_take(index_t) { return false; }
+    void base_case(index_t node) {
+      points += static_cast<std::uint64_t>(tree->node(node).count());
+    }
+  } ball_rules;
+  ball_rules.tree = &ball;
+  TraversalCursor<BallTree, BallCount> ball_cursor(ball, ball_rules);
+  while (ball_cursor.resume(9) != CursorState::Done) continue;
+  EXPECT_EQ(ball_rules.points, static_cast<std::uint64_t>(data.size()));
+}
+
+TEST(CursorTraversal, ReentrantAcrossThreads) {
+  const Dataset query = make_gaussian_mixture(8, 3, 3, 80);
+  const Dataset reference = make_gaussian_mixture(257, 3, 3, 81);
+  const KdTree tree(reference, 8); // shared, immutable
+
+  std::vector<std::thread> threads;
+  std::vector<int> ok(static_cast<std::size_t>(query.size()), 0);
+  for (index_t t = 0; t < query.size(); ++t) {
+    threads.emplace_back([&, t] {
+      std::vector<real_t> qpt(query.dim());
+      query.copy_point(t, qpt.data());
+
+      SingleKnnRules oracle;
+      oracle.tree = &tree;
+      oracle.qpt = qpt.data();
+      oracle.k = 3;
+      oracle.dists.resize(tree.stats().max_leaf_count);
+      single_traverse(tree, oracle);
+
+      SingleKnnRules rules = oracle;
+      rules.best_sq.clear();
+      rules.best_idx.clear();
+      TraversalCursor<KdTree, SingleKnnRules> cursor(tree, rules);
+      while (cursor.resume(5) != CursorState::Done) continue;
+      ok[static_cast<std::size_t>(t)] =
+          rules.best_sq == oracle.best_sq && rules.best_idx == oracle.best_idx;
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  for (index_t t = 0; t < query.size(); ++t)
+    EXPECT_TRUE(ok[static_cast<std::size_t>(t)]) << "thread " << t;
+}
+
+} // namespace
+} // namespace portal
