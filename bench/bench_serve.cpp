@@ -185,6 +185,95 @@ int main(int argc, char** argv) {
     }
   }
 
+  // --- live ingestion: sustained writes against the delta tree while a
+  // --- reader fleet keeps querying (ISSUE PR-8). Writers self-pace through
+  // --- ingest admission control (a full delta blocks the insert until the
+  // --- background merger frees it), so writes/s is the *sustainable* rate,
+  // --- merges included -- not a burst into an unbounded buffer. The gate:
+  // --- no read failures and no rejected writes; read p99 under write load
+  // --- lands in the JSON next to the read-only p99 above.
+  {
+    print_header("Serving runtime -- live ingestion under concurrent reads");
+    serve::ServiceOptions options;
+    options.workers = 4;
+    options.queue_capacity = 4096;
+    options.block_on_full = true;
+    options.delta_capacity = std::max<index_t>(4096, n / 8);
+    options.merge_threshold = options.delta_capacity / 4;
+    options.ingest_wait_ms = 2000;
+    serve::PortalService service(options);
+    service.publish(reference);
+
+    std::atomic<bool> wstop{false};
+    std::atomic<std::uint64_t> writes{0}, removes{0}, write_rejects{0};
+    std::vector<std::thread> writers;
+    const auto wt0 = std::chrono::steady_clock::now();
+    for (int w = 0; w < 2; ++w)
+      writers.emplace_back([&, w] {
+        std::uint64_t state = 0x9e3779b97f4a7c15ull * (w + 1) + 7;
+        const auto next = [&state] {
+          state ^= state << 13; state ^= state >> 7; state ^= state << 17;
+          return state;
+        };
+        std::vector<real_t> point(static_cast<std::size_t>(reference.dim()));
+        while (!wstop.load(std::memory_order_acquire)) {
+          const index_t base = static_cast<index_t>(
+              next() % static_cast<std::uint64_t>(reference.size()));
+          for (index_t d = 0; d < reference.dim(); ++d)
+            point[static_cast<std::size_t>(d)] =
+                reference.coord(base, d) +
+                static_cast<real_t>(next() % 100000) * 1e-7;
+          if (service.insert(point).status == serve::IngestStatus::Ok) {
+            writes.fetch_add(1, std::memory_order_relaxed);
+            // Every fourth point is taken back out: merges see slot kills
+            // and re-homed tombstones, and the live set grows slowly enough
+            // that merge cost stays representative across the run.
+            if (next() % 4 == 0 &&
+                service.remove(point).status == serve::IngestStatus::Ok)
+              removes.fetch_add(1, std::memory_order_relaxed);
+          } else {
+            write_rejects.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      });
+
+    const std::vector<MixEntry> mix(mixes.begin(), mixes.begin() + 1);
+    drive(service, mix, reference, clients, warmup_s);
+    const RunResult run = drive(service, mix, reference, clients, measure_s);
+    wstop.store(true, std::memory_order_release);
+    for (auto& writer : writers) writer.join();
+    const double welapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - wt0)
+            .count();
+    const serve::ServiceStats stats = service.stats();
+    service.stop();
+
+    const double writes_per_s =
+        static_cast<double>(writes.load() + removes.load()) / welapsed;
+    print_row({"metric", "writes/s", "read QPS", "read p99 ms", "merges",
+               "live pts"});
+    print_row({"ingest", fmt(writes_per_s, "%.0f"), fmt(run.qps, "%.0f"),
+               fmt(run.p99_ms),
+               fmt(static_cast<double>(stats.ingest.merges), "%.0f"),
+               fmt(static_cast<double>(stats.ingest.delta_count +
+                                       stats.ingest.merged_points),
+                   "%.0f")});
+    if (run.failed != 0 || write_rejects.load() != 0) {
+      std::printf("  !! %llu reads failed, %llu writes rejected under load\n",
+                  static_cast<unsigned long long>(run.failed),
+                  static_cast<unsigned long long>(write_rejects.load()));
+      gate_ok = false;
+    }
+    json.add("serve/ingest", "writes_per_s", writes_per_s, "1/s");
+    json.add("serve/ingest", "read_qps", run.qps, "1/s");
+    json.add("serve/ingest", "read_latency_p50", run.p50_ms * 1e-3);
+    json.add("serve/ingest", "read_latency_p99", run.p99_ms * 1e-3);
+    json.add("serve/ingest", "merges",
+             static_cast<double>(stats.ingest.merges), "count");
+    json.add("serve/ingest", "merged_points",
+             static_cast<double>(stats.ingest.merged_points), "count");
+  }
+
   if (!json_path.empty()) json.write(json_path);
   if (!gate_ok) {
     std::printf("\nFAIL: serving acceptance gate\n");

@@ -27,7 +27,40 @@ struct Ctx {
   bool normalized = false;
   bool batch = false;
   Workspace* ws = nullptr;
+  // Live-view fields (null/0/false on snapshot-only queries, which keeps
+  // every new branch below off the legacy hot path).
+  const DeltaTree* delta = nullptr;
+  std::uint64_t watermark = 0;
+  index_t delta_count = 0;  // visible delta slots are [0, delta_count)
+  bool filter_main = false; // this generation holds main tombstones
 };
+
+/// Attach a pinned view's delta side to a query context. filter_main stays
+/// false when the generation never tombstoned a main point, so the descent
+/// pays zero per-point cost for the insert-only workload.
+void attach_view(Ctx& ctx, const LiveView& view) {
+  if (!view.delta) return;
+  ctx.delta = view.delta.get();
+  ctx.watermark = view.watermark;
+  ctx.delta_count = view.delta_count;
+  ctx.filter_main = view.filter_main;
+}
+
+/// Is permuted main index j visible in this query's view?
+inline bool main_alive(const Ctx& ctx, index_t j) {
+  return !ctx.filter_main || !ctx.delta->main_dead(j, ctx.watermark);
+}
+
+/// Visible (non-tombstoned) points under a node; equals node.count() on
+/// tombstone-free views. Bulk accepts must add exactly this many points --
+/// a removed point is absent from the visible set, not a zero contribution.
+index_t alive_count(const Ctx& ctx, const KdNode& node) {
+  if (!ctx.filter_main) return node.count();
+  index_t alive = 0;
+  for (index_t j = node.begin; j < node.end; ++j)
+    alive += ctx.delta->main_dead(j, ctx.watermark) ? 0 : 1;
+  return alive;
+}
 
 /// Analysis-gated legality lookup: plans carrying computed KernelFacts
 /// answer from the proven facts; hand-built plans (facts.computed == false)
@@ -175,6 +208,44 @@ const real_t* range_values(const Ctx& ctx, index_t begin, index_t count) {
   return ws.vals.data();
 }
 
+/// Kernel value of the query against one delta slot, computed with the exact
+/// per-point operation sequence of the main-tree base cases: the normalized
+/// path runs the same *_dists_to_range primitives on a one-slot range (their
+/// per-point FP sequence does not depend on the surrounding range), the
+/// opaque path runs the same kernel VM run_pair as the scalar leaf loop. The
+/// live brute-force oracle calls this too, which is what makes two-root
+/// answers bitwise-comparable at tau == 0.
+real_t delta_value(const Ctx& ctx, index_t slot) {
+  Workspace& ws = *ctx.ws;
+  const Dataset& dpts = ctx.delta->points();
+  if (ctx.normalized) {
+    real_t d = 0;
+    switch (ctx.metric) {
+      case MetricKind::SqEuclidean:
+        sq_dists_to_range(dpts, slot, slot + 1, ctx.qpt, &d);
+        break;
+      case MetricKind::Euclidean:
+        sq_dists_to_range(dpts, slot, slot + 1, ctx.qpt, &d);
+        d = std::sqrt(d);
+        break;
+      case MetricKind::Manhattan:
+        l1_dists_to_range(dpts, slot, slot + 1, ctx.qpt, &d);
+        break;
+      case MetricKind::Chebyshev:
+        linf_dists_to_range(dpts, slot, slot + 1, ctx.qpt, &d);
+        break;
+      case MetricKind::Mahalanobis:
+        dpts.copy_point(slot, ws.rpt.data());
+        d = ctx.maha->sq_dist(ctx.qpt, ws.rpt.data(), ws.scratch.data());
+        break;
+    }
+    return ctx.identity_env ? d : envelope(ctx, d);
+  }
+  dpts.copy_point(slot, ws.rpt.data());
+  return ctx.plan->kernel_vm.run_pair(ctx.qpt, ws.rpt.data(), dpts.dim(),
+                                      ws.scratch.data());
+}
+
 /// Natural-space distance from the query point to a node's box center (the
 /// approximation representative, exactly as the executor's apply_approx).
 real_t center_dist(const Ctx& ctx, const KdNode& node) {
@@ -245,8 +316,22 @@ class ReductionRules {
   void base_case(index_t n) {
     const KdNode& node = ctx_.tree->node(n);
     const real_t* vals = range_values(ctx_, node.begin, node.count());
-    for (index_t j = 0; j < node.count(); ++j)
+    for (index_t j = 0; j < node.count(); ++j) {
+      if (!main_alive(ctx_, node.begin + j)) continue;
       list_.insert(sense_ * vals[j], node.begin + j);
+    }
+  }
+
+  /// Second-root sweep: fold the visible delta slots into the reduction
+  /// after the main descent, insertion order, ids offset past the main tree
+  /// (finalize maps permuted main ids through perm(); delta ids pass through
+  /// untouched).
+  void drain_delta() {
+    const index_t nr = ctx_.tree->data().size();
+    for (index_t s = 0; s < ctx_.delta_count; ++s) {
+      if (ctx_.delta->slot_dead(s, ctx_.watermark)) continue;
+      list_.insert(sense_ * delta_value(ctx_, s), nr + s);
+    }
   }
 
  private:
@@ -283,7 +368,7 @@ class SumRules {
       const real_t dmax = node_max(ctx_, node);
       if (dmin >= hi_ || dmax <= lo_) return true; // contributes exactly 0
       if (dmin > lo_ && dmax < hi_) {              // every pair is exactly 1
-        total_ += static_cast<real_t>(node.count());
+        total_ += static_cast<real_t>(alive_count(ctx_, node));
         return true;
       }
       return false;
@@ -303,7 +388,7 @@ class SumRules {
     }
     if (emax - emin > tau_) return false;
     const real_t center = center_dist(ctx_, node);
-    total_ += static_cast<real_t>(node.count()) *
+    total_ += static_cast<real_t>(alive_count(ctx_, node)) *
               (ctx_.identity_env ? center : envelope(ctx_, center));
     return true;
   }
@@ -313,7 +398,20 @@ class SumRules {
   void base_case(index_t n) {
     const KdNode& node = ctx_.tree->node(n);
     const real_t* vals = range_values(ctx_, node.begin, node.count());
-    for (index_t j = 0; j < node.count(); ++j) total_ += vals[j];
+    for (index_t j = 0; j < node.count(); ++j) {
+      if (!main_alive(ctx_, node.begin + j)) continue;
+      total_ += vals[j];
+    }
+  }
+
+  /// Delta slots accumulate strictly after the main sum, insertion order --
+  /// the same additions in the same order as the live oracle's canonical
+  /// sweep, so tau == 0 stays bitwise across the two roots.
+  void drain_delta() {
+    for (index_t s = 0; s < ctx_.delta_count; ++s) {
+      if (ctx_.delta->slot_dead(s, ctx_.watermark)) continue;
+      total_ += delta_value(ctx_, s);
+    }
   }
 
   real_t total() const { return total_; }
@@ -350,6 +448,7 @@ class UnionRules {
     if (dmin >= hi_ || dmax <= lo_) return true;
     if (dmin > lo_ && dmax < hi_) {
       for (index_t rj = node.begin; rj < node.end; ++rj) {
+        if (!main_alive(ctx_, rj)) continue;
         ids_->push_back(rj);
         if (want_values_) values_->push_back(1); // indicator interior: exact
       }
@@ -365,6 +464,7 @@ class UnionRules {
     const real_t* vals = range_values(ctx_, node.begin, node.count());
     for (index_t j = 0; j < node.count(); ++j) {
       if (vals[j] == 0) continue;
+      if (!main_alive(ctx_, node.begin + j)) continue;
       ids_->push_back(node.begin + j);
       if (want_values_) values_->push_back(vals[j]);
     }
@@ -393,8 +493,28 @@ void finalize_reduction(const CompiledPlan& plan, const KdTree& tree,
             : plan.sense * v;
     if (plan.is_arg) {
       const index_t id = ws.knn_ids[static_cast<std::size_t>(j)];
-      out->ids[static_cast<std::size_t>(j)] = id >= 0 ? tree.perm()[id] : -1;
+      // Permuted main indices map back through perm(); delta ids (>= main
+      // size) are already client-space (`main_size + slot`).
+      out->ids[static_cast<std::size_t>(j)] =
+          id < 0 ? -1 : (id >= tree.data().size() ? id : tree.perm()[id]);
     }
+  }
+}
+
+/// Union delta drain: collect visible delta slots with non-zero kernel value
+/// in insertion order, already client-space and ascending (every delta id is
+/// above every main id, so finalize can append them after the sorted main
+/// block without re-sorting).
+void drain_delta_union(const Ctx& ctx, bool want_values,
+                       std::vector<index_t>* delta_ids,
+                       std::vector<real_t>* delta_values) {
+  const index_t nr = ctx.tree->data().size();
+  for (index_t s = 0; s < ctx.delta_count; ++s) {
+    if (ctx.delta->slot_dead(s, ctx.watermark)) continue;
+    const real_t v = delta_value(ctx, s);
+    if (v == 0) continue;
+    delta_ids->push_back(nr + s);
+    if (want_values) delta_values->push_back(v);
   }
 }
 
@@ -402,11 +522,15 @@ void finalize_reduction(const CompiledPlan& plan, const KdTree& tree,
 /// matching the executor's CSR ordering.
 void finalize_union(const KdTree& tree, bool want_values,
                     std::vector<index_t>* ids, std::vector<real_t>* values,
-                    QueryResult* out) {
+                    QueryResult* out,
+                    const std::vector<index_t>* delta_ids = nullptr,
+                    const std::vector<real_t>* delta_values = nullptr) {
   for (index_t& id : *ids) id = tree.perm()[id];
   if (!want_values) {
     std::sort(ids->begin(), ids->end());
     out->ids = std::move(*ids);
+    if (delta_ids)
+      out->ids.insert(out->ids.end(), delta_ids->begin(), delta_ids->end());
     return;
   }
   std::vector<std::size_t> order(ids->size());
@@ -419,6 +543,11 @@ void finalize_union(const KdTree& tree, bool want_values,
   for (std::size_t s = 0; s < order.size(); ++s) {
     out->ids[s] = (*ids)[order[s]];
     out->values[s] = (*values)[order[s]];
+  }
+  if (delta_ids) {
+    out->ids.insert(out->ids.end(), delta_ids->begin(), delta_ids->end());
+    out->values.insert(out->values.end(), delta_values->begin(),
+                       delta_values->end());
   }
 }
 
@@ -489,39 +618,50 @@ const KdTree& serving_tree(const CompiledPlan& plan,
   return tree;
 }
 
-} // namespace
-
-QueryResult run_query(const CompiledPlan& plan, const TreeSnapshot& snapshot,
-                      const real_t* point, const EngineOptions& options,
-                      Workspace& ws) {
+/// Shared single-query core: snapshot-only callers pass a null view (every
+/// live branch compiles out to the legacy behavior bit for bit).
+QueryResult run_query_impl(const CompiledPlan& plan,
+                           const TreeSnapshot& snapshot, const LiveView* view,
+                           const real_t* point, const EngineOptions& options,
+                           Workspace& ws) {
   const KdTree& tree = serving_tree(plan, snapshot);
   prepare_workspace(plan, tree, point, tree.stats().max_leaf_count, ws);
   const bool batch = options.batch_base_cases && !tree.mirror().empty();
-  const Ctx ctx = make_ctx(plan, tree, point, batch, ws);
+  Ctx ctx = make_ctx(plan, tree, point, batch, ws);
+  if (view) attach_view(ctx, *view);
 
   QueryResult result;
   if (plan.is_reduction) {
     ReductionRules rules(ctx);
     result.stats = single_traverse(tree, rules);
+    if (ctx.delta) rules.drain_delta();
     finalize_reduction(plan, tree, ws, &result);
   } else if (plan.is_sum) {
     SumRules rules(ctx, options.tau);
     result.stats = single_traverse(tree, rules);
+    if (ctx.delta) rules.drain_delta();
     result.values = {rules.total()};
   } else {
     std::vector<index_t> ids;
     std::vector<real_t> values;
+    std::vector<index_t> delta_ids;
+    std::vector<real_t> delta_values;
     UnionRules rules(ctx, plan.is_union, &ids, &values);
     result.stats = single_traverse(tree, rules);
-    finalize_union(tree, plan.is_union, &ids, &values, &result);
+    if (ctx.delta)
+      drain_delta_union(ctx, plan.is_union, &delta_ids, &delta_values);
+    finalize_union(tree, plan.is_union, &ids, &values, &result,
+                   ctx.delta ? &delta_ids : nullptr,
+                   ctx.delta ? &delta_values : nullptr);
   }
   return result;
 }
 
-void run_query_batch(const CompiledPlan& plan, const TreeSnapshot& snapshot,
-                     const real_t* const* points, index_t count,
-                     const EngineOptions& options, BatchWorkspace& ws,
-                     QueryResult* results) {
+void run_query_batch_impl(const CompiledPlan& plan,
+                          const TreeSnapshot& snapshot, const LiveView* view,
+                          const real_t* const* points, index_t count,
+                          const EngineOptions& options, BatchWorkspace& ws,
+                          QueryResult* results) {
   if (count <= 0) return;
   const KdTree& tree = serving_tree(plan, snapshot);
   // Grow the per-query workspace pool up front: rule sets capture Workspace
@@ -536,7 +676,9 @@ void run_query_batch(const CompiledPlan& plan, const TreeSnapshot& snapshot,
   const auto start_ctx = [&](index_t q) {
     Workspace& w = ws.per_query[static_cast<std::size_t>(q)];
     prepare_workspace(plan, tree, points[q], leaf_cap, w);
-    return make_ctx(plan, tree, points[q], batch, w);
+    Ctx ctx = make_ctx(plan, tree, points[q], batch, w);
+    if (view) attach_view(ctx, *view);
+    return ctx;
   };
 
   if (plan.is_reduction) {
@@ -546,6 +688,8 @@ void run_query_batch(const CompiledPlan& plan, const TreeSnapshot& snapshot,
         [&](index_t q) { rules.emplace_back(start_ctx(q)); },
         [&](index_t q, const TraversalStats& s) {
           results[q].stats = s;
+          ReductionRules& r = rules[static_cast<std::size_t>(q)];
+          if (view && view->delta) r.drain_delta();
           finalize_reduction(plan, tree,
                              ws.per_query[static_cast<std::size_t>(q)],
                              &results[q]);
@@ -557,7 +701,9 @@ void run_query_batch(const CompiledPlan& plan, const TreeSnapshot& snapshot,
         [&](index_t q) { rules.emplace_back(start_ctx(q), options.tau); },
         [&](index_t q, const TraversalStats& s) {
           results[q].stats = s;
-          results[q].values = {rules[static_cast<std::size_t>(q)].total()};
+          SumRules& r = rules[static_cast<std::size_t>(q)];
+          if (view && view->delta) r.drain_delta();
+          results[q].values = {r.total()};
         });
   } else {
     std::vector<std::vector<index_t>> ids(static_cast<std::size_t>(count));
@@ -572,46 +718,126 @@ void run_query_batch(const CompiledPlan& plan, const TreeSnapshot& snapshot,
         },
         [&](index_t q, const TraversalStats& s) {
           results[q].stats = s;
+          std::vector<index_t> delta_ids;
+          std::vector<real_t> delta_values;
+          if (view && view->delta) {
+            Ctx ctx = make_ctx(plan, tree, points[q], batch,
+                               ws.per_query[static_cast<std::size_t>(q)]);
+            attach_view(ctx, *view);
+            drain_delta_union(ctx, plan.is_union, &delta_ids, &delta_values);
+          }
           finalize_union(tree, plan.is_union, &ids[static_cast<std::size_t>(q)],
-                         &values[static_cast<std::size_t>(q)], &results[q]);
+                         &values[static_cast<std::size_t>(q)], &results[q],
+                         view && view->delta ? &delta_ids : nullptr,
+                         view && view->delta ? &delta_values : nullptr);
         });
   }
 }
 
-QueryResult run_query_bruteforce(const CompiledPlan& plan,
-                                 const TreeSnapshot& snapshot,
-                                 const real_t* point) {
+QueryResult run_query_bruteforce_impl(const CompiledPlan& plan,
+                                      const TreeSnapshot& snapshot,
+                                      const LiveView* view,
+                                      const real_t* point) {
   const KdTree& tree = serving_tree(plan, snapshot);
   const index_t nr = tree.data().size();
   Workspace ws;
   // Size the value buffers for the whole dataset: the oracle is one flat
-  // scalar sweep in ascending permuted order (bitwise-comparable with the
-  // preorder leaf accumulation of the tree engine).
+  // scalar sweep in canonical visible order -- ascending permuted main
+  // indices minus tombstones, then live delta slots in insertion order --
+  // bitwise-comparable with the two-root engine's accumulation.
   prepare_workspace(plan, tree, point, nr, ws);
-  const Ctx ctx = make_ctx(plan, tree, point, /*batch=*/false, ws);
+  Ctx ctx = make_ctx(plan, tree, point, /*batch=*/false, ws);
+  if (view) attach_view(ctx, *view);
 
   const real_t* vals = range_values(ctx, 0, nr);
   QueryResult result;
   if (plan.is_reduction) {
     KnnList list(ws.knn_dists.data(), ws.knn_ids.data(), plan.slots);
     list.reset();
-    for (index_t j = 0; j < nr; ++j) list.insert(plan.sense * vals[j], j);
+    for (index_t j = 0; j < nr; ++j) {
+      if (!main_alive(ctx, j)) continue;
+      list.insert(plan.sense * vals[j], j);
+    }
+    for (index_t s = 0; s < ctx.delta_count; ++s) {
+      if (ctx.delta->slot_dead(s, ctx.watermark)) continue;
+      list.insert(plan.sense * delta_value(ctx, s), nr + s);
+    }
     finalize_reduction(plan, tree, ws, &result);
   } else if (plan.is_sum) {
     real_t total = 0;
-    for (index_t j = 0; j < nr; ++j) total += vals[j];
+    for (index_t j = 0; j < nr; ++j) {
+      if (!main_alive(ctx, j)) continue;
+      total += vals[j];
+    }
+    for (index_t s = 0; s < ctx.delta_count; ++s) {
+      if (ctx.delta->slot_dead(s, ctx.watermark)) continue;
+      total += delta_value(ctx, s);
+    }
     result.values = {total};
   } else {
     std::vector<index_t> ids;
     std::vector<real_t> values;
     for (index_t j = 0; j < nr; ++j) {
-      if (vals[j] == 0) continue;
+      if (vals[j] == 0 || !main_alive(ctx, j)) continue;
       ids.push_back(j);
       if (plan.is_union) values.push_back(vals[j]);
     }
-    finalize_union(tree, plan.is_union, &ids, &values, &result);
+    std::vector<index_t> delta_ids;
+    std::vector<real_t> delta_values;
+    if (ctx.delta)
+      drain_delta_union(ctx, plan.is_union, &delta_ids, &delta_values);
+    finalize_union(tree, plan.is_union, &ids, &values, &result,
+                   ctx.delta ? &delta_ids : nullptr,
+                   ctx.delta ? &delta_values : nullptr);
   }
   return result;
+}
+
+const TreeSnapshot& view_snapshot(const LiveView& view) {
+  if (!view.snapshot)
+    throw std::invalid_argument("serve: LiveView carries no snapshot");
+  return *view.snapshot;
+}
+
+} // namespace
+
+QueryResult run_query(const CompiledPlan& plan, const TreeSnapshot& snapshot,
+                      const real_t* point, const EngineOptions& options,
+                      Workspace& ws) {
+  return run_query_impl(plan, snapshot, nullptr, point, options, ws);
+}
+
+QueryResult run_query(const CompiledPlan& plan, const LiveView& view,
+                      const real_t* point, const EngineOptions& options,
+                      Workspace& ws) {
+  return run_query_impl(plan, view_snapshot(view), &view, point, options, ws);
+}
+
+void run_query_batch(const CompiledPlan& plan, const TreeSnapshot& snapshot,
+                     const real_t* const* points, index_t count,
+                     const EngineOptions& options, BatchWorkspace& ws,
+                     QueryResult* results) {
+  run_query_batch_impl(plan, snapshot, nullptr, points, count, options, ws,
+                       results);
+}
+
+void run_query_batch(const CompiledPlan& plan, const LiveView& view,
+                     const real_t* const* points, index_t count,
+                     const EngineOptions& options, BatchWorkspace& ws,
+                     QueryResult* results) {
+  run_query_batch_impl(plan, view_snapshot(view), &view, points, count,
+                       options, ws, results);
+}
+
+QueryResult run_query_bruteforce(const CompiledPlan& plan,
+                                 const TreeSnapshot& snapshot,
+                                 const real_t* point) {
+  return run_query_bruteforce_impl(plan, snapshot, nullptr, point);
+}
+
+QueryResult run_query_bruteforce(const CompiledPlan& plan,
+                                 const LiveView& view, const real_t* point) {
+  return run_query_bruteforce_impl(plan, view_snapshot(view), &view, point);
 }
 
 } // namespace portal::serve

@@ -22,6 +22,7 @@
 #include "serve/plan_cache.h"
 #include "traversal/multitree.h"
 #include "tree/bbox.h"
+#include "tree/delta.h"
 #include "tree/snapshot.h"
 
 namespace portal::serve {
@@ -99,5 +100,41 @@ void run_query_batch(const CompiledPlan& plan, const TreeSnapshot& snapshot,
 QueryResult run_query_bruteforce(const CompiledPlan& plan,
                                  const TreeSnapshot& snapshot,
                                  const real_t* point);
+
+// --- Two-root live variants (incremental ingestion, DESIGN.md Sec. 16) ---
+//
+// The LiveView overloads answer against a pinned (snapshot, delta,
+// watermark) triple: the main kd-tree descent runs exactly as above but
+// skips main points tombstoned at or before the watermark (and counts only
+// survivors in indicator/approximation bulk accepts), then the visible
+// delta slots are drained in insertion order through the same scalar
+// kernels. The canonical visible order -- main points ascending by permuted
+// index, then delta slots ascending -- is what the live brute-force oracle
+// sweeps, so tau == 0 answers are bitwise-equal to it for every op,
+// including SUM (same additions in the same order). Client-visible ids:
+// main points keep their original dataset indices; a delta point reports
+// `main_size + slot` (stable within its generation; a merge starts a new
+// one). A null view.delta (or an all-visible view) degrades bitwise to the
+// snapshot-only paths above.
+
+QueryResult run_query(const CompiledPlan& plan, const LiveView& view,
+                      const real_t* point, const EngineOptions& options,
+                      Workspace& ws);
+
+/// Interleaved micro-batch against a live view: per-query main descents are
+/// scheduled exactly as the snapshot overload (bitwise-identical visit
+/// order); each query drains the delta at its own finish, so results equal
+/// the single-query live path bit for bit.
+void run_query_batch(const CompiledPlan& plan, const LiveView& view,
+                     const real_t* const* points, index_t count,
+                     const EngineOptions& options, BatchWorkspace& ws,
+                     QueryResult* results);
+
+/// The live oracle: one scalar sweep over the exact point-set the view
+/// pins, in canonical visible order (main permuted-ascending minus
+/// tombstones, then live delta slots). The concurrent ingest stress suites
+/// compare every pinned read against this at tolerance zero.
+QueryResult run_query_bruteforce(const CompiledPlan& plan,
+                                 const LiveView& view, const real_t* point);
 
 } // namespace portal::serve

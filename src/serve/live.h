@@ -1,0 +1,143 @@
+// Portal -- LiveStore: the mutable data plane of the serving runtime
+// (DESIGN.md Sec. 16, docs/SERVING.md "Live ingestion").
+//
+// Owns the (main snapshot, delta generation) pointer pair, the monotone
+// mutation clock, and the background merger. Writes go through insert() /
+// remove() under one mutex (O(dim) holds -- never tree work); readers pin()
+// a LiveView, a fully consistent copy of the pair plus the clock watermark,
+// so a merge publish can never tear a reader between an old main and a new
+// delta. When the delta crosses merge_threshold (or overflows), a merge
+// gathers the visible union -- sharded by the kd-tree's top-level splits so
+// the copy and the task-parallel rebuild both use the machine -- publishes
+// a fresh epoch through SnapshotSlot, and replays the post-cut mutation-log
+// suffix into a fresh delta generation with original seqs preserved:
+// pinned views keep answering their old (epoch, watermark) exactly, and new
+// pins see the identical visible set re-rooted under the new epoch.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "tree/delta.h"
+#include "tree/snapshot.h"
+#include "util/thread_annotations.h"
+
+namespace portal::serve {
+
+struct LiveStoreOptions {
+  SnapshotOptions snapshot;     // leaf size + which trees merges rebuild
+  index_t delta_capacity = 4096;  // slots per delta generation
+  index_t merge_threshold = 1024; // pending slots that wake the merger
+  /// true: a dedicated merger thread rebuilds behind the writers (inserts at
+  /// the full delta block up to overflow_wait_ms for it, then reject).
+  /// false: the overflowing insert runs the merge synchronously inline --
+  /// deterministic, what the edge-case unit tests pin.
+  bool background_merge = true;
+  double overflow_wait_ms = 500;
+};
+
+enum class IngestStatus {
+  Ok,       // applied; seq (and id, for inserts) valid
+  Rejected, // admission control: delta full and merge could not drain it
+  NotFound, // remove(): no visible point matches the coordinates
+};
+
+struct IngestResult {
+  IngestStatus status = IngestStatus::Rejected;
+  std::uint64_t seq = 0; // mutation-clock stamp when status == Ok
+  index_t id = -1;       // inserts: client-visible id (main_size + slot)
+  std::string error;
+};
+
+struct LiveStoreStats {
+  std::uint64_t inserts = 0;
+  std::uint64_t removes = 0;
+  std::uint64_t remove_misses = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t merges = 0;      // full merges (new epoch published)
+  std::uint64_t compactions = 0; // all-dead merges (same epoch, fresh delta)
+  std::uint64_t merged_points = 0;
+  std::uint64_t watermark = 0; // mutation clock at the stats() call
+  std::uint64_t epoch = 0;     // current snapshot epoch (0 = none)
+  index_t delta_count = 0;     // slots used in the current generation
+};
+
+class LiveStore {
+ public:
+  explicit LiveStore(LiveStoreOptions options = {});
+  ~LiveStore(); // stop()s the merger
+  LiveStore(const LiveStore&) = delete;
+  LiveStore& operator=(const LiveStore&) = delete;
+
+  /// Full replace: build a snapshot of `data` (next epoch) and reset the
+  /// delta to an empty generation. Mutations applied concurrently with the
+  /// build land in the generation being retired and are discarded with it --
+  /// publish is a point-in-time replacement, not a merge.
+  std::shared_ptr<const TreeSnapshot> publish(
+      std::shared_ptr<const Dataset> data);
+
+  /// Pin a consistent (snapshot, delta, watermark) view. Null before the
+  /// first publish. O(1): returns the cached view rebuilt on each mutation.
+  std::shared_ptr<const LiveView> pin() const;
+
+  /// Current main snapshot / epoch / clock (conveniences over pin()).
+  std::shared_ptr<const TreeSnapshot> snapshot() const;
+  std::uint64_t current_epoch() const;
+  std::uint64_t watermark() const;
+
+  /// Append one point (dim must match the published dataset). On overflow:
+  /// background merger gets overflow_wait_ms to drain, else the calling
+  /// thread merges synchronously; Rejected only if the delta is still full.
+  IngestResult insert(const real_t* point, index_t dim);
+
+  /// Tombstone the unique visible point with exactly these coordinates
+  /// (newest delta slot first, then the main tree via an exact kd descent).
+  /// NotFound when nothing visible matches.
+  IngestResult remove(const real_t* point, index_t dim);
+
+  /// Run one merge now (synchronously, on this thread). Returns true if it
+  /// published a new epoch or compacted; false for the empty-delta no-op.
+  bool merge_now();
+
+  LiveStoreStats stats() const;
+
+  /// Join the merger thread; further merges are synchronous-only. Idempotent
+  /// (the destructor calls it). Readers and writers stay valid.
+  void stop();
+
+ private:
+  void merger_loop();
+  bool merge_once();
+  bool merge_due_locked() const PORTAL_REQUIRES(mu_);
+  void rebuild_view_locked() PORTAL_REQUIRES(mu_);
+  /// Replay log entries with seq > cut into `fresh`, translating indices
+  /// through the merge maps (null new_kd = compaction: main ids unchanged).
+  void replay_suffix(const DeltaTree& old_delta, std::uint64_t cut,
+                     index_t count_at_cut, const KdTree* new_kd,
+                     const std::vector<index_t>& main_to_new,
+                     const std::vector<index_t>& delta_to_new,
+                     DeltaTree& fresh);
+
+  LiveStoreOptions options_;
+  SnapshotSlot slot_; // epoch grants + monotone-publish assertions
+
+  mutable Mutex mu_; // guards everything below + all delta mutation calls
+  std::shared_ptr<const TreeSnapshot> snap_ PORTAL_GUARDED_BY(mu_);
+  std::shared_ptr<DeltaTree> delta_ PORTAL_GUARDED_BY(mu_);
+  std::shared_ptr<const LiveView> view_ PORTAL_GUARDED_BY(mu_);
+  std::uint64_t seq_ PORTAL_GUARDED_BY(mu_) = 0;
+  bool stopping_ PORTAL_GUARDED_BY(mu_) = false;
+  CondVar merge_cv_; // wakes the merger (threshold / overflow / stop)
+  CondVar space_cv_; // wakes inserts blocked on a full delta
+
+  Mutex merge_mutex_; // serializes merges (merger thread vs merge_now)
+  std::thread merger_;
+
+  std::atomic<std::uint64_t> inserts_{0}, removes_{0}, remove_misses_{0},
+      rejected_{0}, merges_{0}, compactions_{0}, merged_points_{0};
+};
+
+} // namespace portal::serve

@@ -12,6 +12,23 @@ double elapsed_ms(std::chrono::steady_clock::time_point from,
   return std::chrono::duration<double, std::milli>(to - from).count();
 }
 
+ServiceOptions normalize(ServiceOptions options) {
+  if (options.workers < 1) options.workers = 1;
+  if (options.max_batch < 1) options.max_batch = 1;
+  if (options.queue_capacity < 1) options.queue_capacity = 1;
+  return options;
+}
+
+LiveStoreOptions live_options(const ServiceOptions& options) {
+  LiveStoreOptions lo;
+  lo.snapshot = options.snapshot;
+  lo.delta_capacity = options.delta_capacity;
+  lo.merge_threshold = options.merge_threshold;
+  lo.background_merge = options.background_merge;
+  lo.overflow_wait_ms = options.ingest_wait_ms;
+  return lo;
+}
+
 } // namespace
 
 const char* status_name(Status s) {
@@ -25,10 +42,7 @@ const char* status_name(Status s) {
 }
 
 PortalService::PortalService(ServiceOptions options)
-    : options_(std::move(options)) {
-  if (options_.workers < 1) options_.workers = 1;
-  if (options_.max_batch < 1) options_.max_batch = 1;
-  if (options_.queue_capacity < 1) options_.queue_capacity = 1;
+    : options_(normalize(std::move(options))), store_(live_options(options_)) {
   workers_.reserve(static_cast<std::size_t>(options_.workers));
   for (int i = 0; i < options_.workers; ++i)
     workers_.emplace_back(&PortalService::worker_loop, this);
@@ -42,7 +56,7 @@ std::shared_ptr<const TreeSnapshot> PortalService::publish(Dataset data) {
 
 std::shared_ptr<const TreeSnapshot> PortalService::publish(
     std::shared_ptr<const Dataset> data) {
-  auto snap = slot_.publish(std::move(data), options_.snapshot);
+  auto snap = store_.publish(std::move(data));
   PORTAL_OBS_COUNT("serve/publishes", 1);
   return snap;
 }
@@ -55,7 +69,7 @@ PlanHandle PortalService::prepare(const OpSpec& op, const PortalFunc& func) {
 }
 
 PlanHandle PortalService::prepare(LayerSpec inner) {
-  auto snap = slot_.load();
+  auto snap = store_.snapshot();
   if (!snap)
     throw std::logic_error(
         "PortalService::prepare: publish() a dataset first (plans compile "
@@ -161,8 +175,9 @@ std::future<Response> PortalService::submit(PlanHandle plan,
 /// engine throw fails the whole batch (the interleaved descents share the
 /// engine invocation), fulfilling every live request with the error.
 void PortalService::run_batch_interleaved(
-    std::vector<std::unique_ptr<Pending>>& batch, const TreeSnapshot& snap,
-    const EngineOptions& eopt, BatchWorkspace& bws) {
+    std::vector<std::unique_ptr<Pending>>& batch,
+    const std::shared_ptr<const LiveView>& view, const EngineOptions& eopt,
+    BatchWorkspace& bws) {
   std::vector<Pending*> live;
   std::vector<const real_t*> points;
   live.reserve(batch.size());
@@ -176,7 +191,7 @@ void PortalService::run_batch_interleaved(
 
   std::vector<QueryResult> results(live.size());
   try {
-    run_query_batch(*live.front()->plan, snap, points.data(),
+    run_query_batch(*live.front()->plan, *view, points.data(),
                     static_cast<index_t>(live.size()), eopt, bws,
                     results.data());
   } catch (const std::exception& e) {
@@ -199,7 +214,9 @@ void PortalService::run_batch_interleaved(
     Response resp;
     resp.status = Status::Ok;
     resp.result = std::move(results[i]);
-    resp.epoch = snap.epoch();
+    resp.epoch = view->epoch();
+    resp.watermark = view->watermark;
+    if (options_.capture_view) resp.view = view;
     fulfill(pending, std::move(resp));
   }
 }
@@ -239,17 +256,18 @@ void PortalService::worker_loop() {
     PORTAL_OBS_COUNT("serve/coalesced",
                      static_cast<std::uint64_t>(batch.size()));
 
-    // Pin one snapshot for the whole batch: every member is answered at the
-    // same epoch even if a publish() lands mid-batch.
-    const std::shared_ptr<const TreeSnapshot> snap = slot_.load();
+    // Pin one live view for the whole batch: every member is answered at
+    // the same (epoch, watermark) even if a publish, ingest, or merge lands
+    // mid-batch.
+    const std::shared_ptr<const LiveView> view = store_.pin();
     EngineOptions eopt;
     eopt.batch_base_cases = options_.batch_base_cases;
     eopt.tau = options_.tau;
     eopt.interleave_width = options_.interleave_width;
     eopt.resume_steps = options_.resume_steps;
 
-    if (options_.interleave && snap) {
-      run_batch_interleaved(batch, *snap, eopt, bws);
+    if (options_.interleave && view) {
+      run_batch_interleaved(batch, view, eopt, bws);
       continue;
     }
 
@@ -259,16 +277,18 @@ void PortalService::worker_loop() {
       // requests ahead of it in the batch may have consumed its budget.
       if (expire_if_late(*pending, "deadline exceeded in queue")) continue;
       Response resp;
-      if (!snap) {
+      if (!view) {
         resp.status = Status::Error;
         resp.error = "no dataset published";
         errors_.fetch_add(1, std::memory_order_relaxed);
       } else {
         try {
-          resp.result = run_query(*pending->plan, *snap,
+          resp.result = run_query(*pending->plan, *view,
                                   pending->point.data(), eopt, ws);
           resp.status = Status::Ok;
-          resp.epoch = snap->epoch();
+          resp.epoch = view->epoch();
+          resp.watermark = view->watermark;
+          if (options_.capture_view) resp.view = view;
         } catch (const std::exception& e) {
           resp.status = Status::Error;
           resp.error = e.what();
@@ -303,8 +323,9 @@ ServiceStats PortalService::stats() const {
     MutexLock lock(mutex_);
     s.queue_depth = queue_.size();
   }
-  s.epoch = slot_.current_epoch();
+  s.epoch = store_.current_epoch();
   s.plan_cache = cache_.stats();
+  s.ingest = store_.stats();
   return s;
 }
 
@@ -321,6 +342,8 @@ void PortalService::stop() {
   for (std::thread& worker : workers_)
     if (worker.joinable()) worker.join();
   workers_.clear();
+  // Join the background merger too; merges stay available synchronously.
+  store_.stop();
   // Workers drain the queue before exiting, but a submit() racing stop() may
   // have slipped a request in after the last worker left.
   std::deque<std::unique_ptr<Pending>> leftovers;

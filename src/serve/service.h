@@ -4,9 +4,12 @@
 // Ties the three serving pieces together behind one object:
 //   * a PlanCache (serve/plan_cache.h): prepare() resolves a layer chain to
 //     a shared compiled plan, compiling at most once per distinct chain;
-//   * a SnapshotSlot (tree/snapshot.h): publish() copy-rebuild-swaps an
-//     immutable dataset + tree epoch; in-flight requests keep the epoch
-//     they started on;
+//   * a LiveStore (serve/live.h): publish() copy-rebuild-swaps an immutable
+//     dataset + tree epoch; insert()/remove() land in a bounded delta
+//     generation beside it and a background merger folds them into fresh
+//     epochs; every batch answers against one pinned (snapshot, delta,
+//     watermark) view, so in-flight requests keep the point-set they
+//     started on;
 //   * a micro-batching scheduler: submit() enqueues onto a bounded MPMC
 //     queue (admission control: reject or block when full, per-request
 //     deadlines), worker threads dequeue and coalesce same-plan requests
@@ -30,6 +33,7 @@
 
 #include "obs/histogram.h"
 #include "serve/engine.h"
+#include "serve/live.h"
 #include "serve/plan_cache.h"
 #include "tree/snapshot.h"
 #include "util/thread_annotations.h"
@@ -49,8 +53,16 @@ struct Response {
   Status status = Status::Rejected;
   QueryResult result;       // valid when status == Ok
   std::uint64_t epoch = 0;  // snapshot epoch that answered the request
+  /// Mutation-clock watermark of the pinned view that answered the request:
+  /// (epoch, watermark) names the exact visible point-set the answer is
+  /// attributable to (tree/delta.h).
+  std::uint64_t watermark = 0;
   double latency_ms = 0;    // submit() to fulfillment
   std::string error;
+  /// The pinned view itself, set only when ServiceOptions::capture_view:
+  /// lets differential tests brute-force the exact point-set this answer
+  /// saw, long after the store has merged past it.
+  std::shared_ptr<const LiveView> view;
 };
 
 struct ServiceOptions {
@@ -72,6 +84,16 @@ struct ServiceOptions {
   index_t interleave_width = 16;   // in-flight descents per worker
   index_t resume_steps = 32;       // node visits per resume() slice
   SnapshotOptions snapshot;        // leaf size + which trees publish() builds
+  // --- live ingestion (serve/live.h, docs/SERVING.md "Live ingestion") ---
+  index_t delta_capacity = 4096;   // slots per delta generation
+  index_t merge_threshold = 1024;  // pending slots that wake the merger
+  bool background_merge = true;    // false: overflow merges run inline
+  double ingest_wait_ms = 500;     // overflow admission window for insert()
+  /// Attach the pinned LiveView to every Ok response (Response::view). Off
+  /// by default: it extends the lifetime of retired generations for as long
+  /// as callers hold their responses. The ingest stress tests turn it on to
+  /// replay each answer against its exact point-set.
+  bool capture_view = false;
 };
 
 struct ServiceStats {
@@ -85,6 +107,7 @@ struct ServiceStats {
   std::size_t queue_depth = 0;        // at the time of the stats() call
   std::uint64_t epoch = 0;            // current snapshot epoch (0 = none)
   PlanCache::Stats plan_cache;
+  LiveStoreStats ingest;              // insert/remove/merge counters
 
   double mean_batch() const {
     return batches == 0 ? 0
@@ -108,7 +131,38 @@ class PortalService {
 
   /// Current snapshot (null before the first publish). Holding the returned
   /// pointer pins that epoch.
-  std::shared_ptr<const TreeSnapshot> snapshot() const { return slot_.load(); }
+  std::shared_ptr<const TreeSnapshot> snapshot() const {
+    return store_.snapshot();
+  }
+
+  /// Pin the current (snapshot, delta, watermark) view -- what the next
+  /// admitted query batch would answer against. Null before publish().
+  std::shared_ptr<const LiveView> view() const { return store_.pin(); }
+
+  // --- live ingestion endpoints (serve/live.h). Synchronous: they return
+  // --- once the mutation is visible to the next pinned view (O(dim) mutex
+  // --- hold for inserts; removals of main-tree points add one exact
+  // --- kd descent). Safe from any thread, concurrent with queries, merges,
+  // --- and publish().
+
+  /// Append one point. Ok => Response-visible at seq; id is the
+  /// client-visible identity (main_size + slot for the current generation).
+  /// Rejected when the delta is full and a merge could not drain it within
+  /// ingest_wait_ms (admission control, mirroring submit()'s queue policy).
+  IngestResult insert(const std::vector<real_t>& point) {
+    return store_.insert(point.data(), static_cast<index_t>(point.size()));
+  }
+
+  /// Tombstone the unique visible point with exactly these coordinates.
+  /// NotFound when nothing visible matches.
+  IngestResult remove(const std::vector<real_t>& point) {
+    return store_.remove(point.data(), static_cast<index_t>(point.size()));
+  }
+
+  /// Run one delta merge synchronously on the calling thread (tests and
+  /// orderly shutdown; the background merger does this on its own once the
+  /// delta crosses merge_threshold).
+  bool merge_now() { return store_.merge_now(); }
 
   /// Resolve a query chain (FORALL over request points -> inner layer) to a
   /// compiled plan, through the plan cache. Requires a published dataset
@@ -146,7 +200,7 @@ class PortalService {
 
   void worker_loop();
   void run_batch_interleaved(std::vector<std::unique_ptr<Pending>>& batch,
-                             const TreeSnapshot& snap,
+                             const std::shared_ptr<const LiveView>& view,
                              const EngineOptions& eopt, BatchWorkspace& bws);
   void fulfill(Pending& pending, Response response);
   /// Has this request's deadline passed as of now?
@@ -156,7 +210,7 @@ class PortalService {
   bool expire_if_late(Pending& pending, const char* why);
 
   ServiceOptions options_;
-  SnapshotSlot slot_;
+  LiveStore store_; // snapshot slot + delta generation + background merger
   PlanCache cache_;
 
   Mutex stop_mutex_;    // serializes stop() (see service.cpp)

@@ -1,0 +1,79 @@
+#include "tree/delta.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace portal {
+
+DeltaTree::DeltaTree(index_t dim, index_t capacity, index_t main_size)
+    : capacity_(capacity),
+      main_size_(main_size),
+      points_(capacity, dim),
+      insert_seq_(static_cast<std::size_t>(capacity), 0),
+      kill_seq_(static_cast<std::size_t>(capacity)),
+      main_kill_seq_(static_cast<std::size_t>(main_size)) {
+  if (dim <= 0 || capacity <= 0 || main_size < 0)
+    throw std::invalid_argument("DeltaTree: non-positive dim/capacity");
+  log_.reserve(static_cast<std::size_t>(capacity));
+}
+
+index_t DeltaTree::append(const real_t* point, std::uint64_t seq) {
+  if (count_ >= capacity_) return -1;
+  const index_t slot = count_;
+  for (index_t d = 0; d < points_.dim(); ++d)
+    points_.coord(slot, d) = point[d];
+  insert_seq_[static_cast<std::size_t>(slot)] = seq;
+  log_.push_back({seq, MutationKind::Insert, slot});
+  // count_ itself only becomes reader-visible through a LiveView pinned
+  // under the owner's mutex, which orders the coordinate writes above.
+  ++count_;
+  return slot;
+}
+
+void DeltaTree::kill_slot(index_t slot, std::uint64_t seq) {
+  assert(slot >= 0 && slot < count_);
+  assert(kill_seq_[static_cast<std::size_t>(slot)].load(
+             std::memory_order_relaxed) == 0);
+  kill_seq_[static_cast<std::size_t>(slot)].store(seq,
+                                                  std::memory_order_relaxed);
+  log_.push_back({seq, MutationKind::RemoveDelta, slot});
+}
+
+void DeltaTree::kill_main(index_t permuted_index, std::uint64_t seq) {
+  assert(permuted_index >= 0 && permuted_index < main_size_);
+  assert(main_kill_seq_[static_cast<std::size_t>(permuted_index)].load(
+             std::memory_order_relaxed) == 0);
+  main_kill_seq_[static_cast<std::size_t>(permuted_index)].store(
+      seq, std::memory_order_relaxed);
+  main_kill_count_.fetch_add(1, std::memory_order_relaxed);
+  log_.push_back({seq, MutationKind::RemoveMain, permuted_index});
+}
+
+void DeltaTree::copy_main_kills(const DeltaTree& from) {
+  assert(main_size_ == from.main_size_);
+  std::uint64_t copied = 0;
+  for (index_t i = 0; i < main_size_; ++i) {
+    const std::uint64_t k = from.main_kill_seq_[static_cast<std::size_t>(i)]
+                                .load(std::memory_order_relaxed);
+    if (k == 0) continue;
+    main_kill_seq_[static_cast<std::size_t>(i)].store(
+        k, std::memory_order_relaxed);
+    ++copied;
+  }
+  main_kill_count_.fetch_add(copied, std::memory_order_relaxed);
+}
+
+index_t LiveView::live_size() const {
+  index_t n = snapshot ? snapshot->size() : 0;
+  if (!delta) return n;
+  if (filter_main) {
+    n = 0;
+    for (index_t i = 0; i < snapshot->size(); ++i)
+      n += main_visible(i) ? 1 : 0;
+  }
+  for (index_t s = 0; s < delta_count; ++s)
+    n += delta->slot_dead(s, watermark) ? 0 : 1;
+  return n;
+}
+
+} // namespace portal

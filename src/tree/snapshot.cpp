@@ -1,6 +1,8 @@
 #include "tree/snapshot.h"
 
 #include <stdexcept>
+#include <string>
+#include <utility>
 #include <vector>
 
 namespace portal {
@@ -41,11 +43,39 @@ std::shared_ptr<const TreeSnapshot> SnapshotSlot::publish(
   // lock held; readers keep load()ing the previous epoch throughout.
   std::shared_ptr<const TreeSnapshot> snap =
       TreeSnapshot::build(std::move(source), epoch, options);
+  install(snap, epoch);
+  return snap;
+}
+
+std::shared_ptr<const TreeSnapshot> SnapshotSlot::publish_with(
+    const SnapshotBuilder& build) {
+  std::lock_guard<std::mutex> writer(publish_mutex_);
+  const std::uint64_t epoch = next_epoch_++;
+  std::shared_ptr<const TreeSnapshot> snap = build(epoch);
+  install(std::move(snap), epoch);
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    current_ = snap;
+    return current_;
   }
-  return snap;
+}
+
+void SnapshotSlot::install(std::shared_ptr<const TreeSnapshot> snap,
+                           std::uint64_t granted) {
+  if (!snap)
+    throw std::logic_error("SnapshotSlot: builder returned a null snapshot");
+  if (snap->epoch() != granted)
+    throw std::logic_error(
+        "SnapshotSlot: builder returned a snapshot stamped with epoch " +
+        std::to_string(snap->epoch()) + ", but epoch " +
+        std::to_string(granted) + " was granted (stale snapshot reused?)");
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::uint64_t cur = current_ ? current_->epoch() : 0;
+  if (snap->epoch() <= cur || snap->epoch() < max_observed_)
+    throw std::logic_error(
+        "SnapshotSlot: publishing epoch " + std::to_string(snap->epoch()) +
+        " would move the slot backward (current " + std::to_string(cur) +
+        ", max observed " + std::to_string(max_observed_) + ")");
+  current_ = std::move(snap);
 }
 
 } // namespace portal

@@ -13,8 +13,11 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
+#include <stdexcept>
+#include <string>
 
 #include "tree/balltree.h"
 #include "tree/kdtree.h"
@@ -83,10 +86,28 @@ class TreeSnapshot {
 /// a strictly increasing epoch sequence with no gaps going backward.
 class SnapshotSlot {
  public:
+  /// Builds the replacement snapshot for a granted epoch. Runs with only the
+  /// writer lock held; must return a snapshot carrying exactly that epoch.
+  using SnapshotBuilder =
+      std::function<std::shared_ptr<const TreeSnapshot>(std::uint64_t epoch)>;
+
   /// Current snapshot, or null before the first publish. The returned
   /// pointer pins the epoch for as long as the caller holds it.
+  ///
+  /// Monotone-observation assertion: once any reader has seen epoch N, no
+  /// later load() may return an epoch < N. The swap path already guarantees
+  /// this, but a stale shared_ptr smuggled back through publish_with (the
+  /// TreeCache-style bug this guards against) used to be silently served;
+  /// now the retired epoch is caught here and at install time.
   std::shared_ptr<const TreeSnapshot> load() const {
     std::lock_guard<std::mutex> lock(mutex_);
+    const std::uint64_t epoch = current_ ? current_->epoch() : 0;
+    if (epoch < max_observed_)
+      throw std::logic_error(
+          "SnapshotSlot::load: epoch " + std::to_string(epoch) +
+          " observed after epoch " + std::to_string(max_observed_) +
+          " was already served (retired snapshot republished?)");
+    max_observed_ = epoch;
     return current_;
   }
 
@@ -103,11 +124,28 @@ class SnapshotSlot {
   std::shared_ptr<const TreeSnapshot> publish(
       std::shared_ptr<const Dataset> source, const SnapshotOptions& options);
 
+  /// Generalized publish: grants the next epoch, runs `build` (with only the
+  /// writer lock held -- readers are unaffected), and installs the result.
+  /// The delta-merge path uses this to build a snapshot from a gathered
+  /// union dataset instead of a caller-supplied one. Throws std::logic_error
+  /// -- without installing anything -- if the builder returns null, a
+  /// snapshot stamped with a different epoch than the granted one, or an
+  /// epoch not strictly above the current one (a retired snapshot resurfacing
+  /// through a stale cache must never be re-published).
+  std::shared_ptr<const TreeSnapshot> publish_with(const SnapshotBuilder& build);
+
  private:
-  mutable std::mutex mutex_;     // guards current_ only
+  /// Swap-in under mutex_ with the monotonicity assertions. Requires
+  /// publish_mutex_ held.
+  void install(std::shared_ptr<const TreeSnapshot> snap, std::uint64_t granted);
+
+  mutable std::mutex mutex_;     // guards current_ and max_observed_
   std::mutex publish_mutex_;     // serializes writers across build+swap
   std::uint64_t next_epoch_ = 1; // guarded by publish_mutex_
   std::shared_ptr<const TreeSnapshot> current_;
+  /// Highest epoch any reader has observed through load(); lets load()
+  /// detect a backward swap the instant it would become visible.
+  mutable std::uint64_t max_observed_ = 0;
 };
 
 } // namespace portal

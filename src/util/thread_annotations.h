@@ -16,6 +16,7 @@
 // whose lock state the checker cannot track).
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 
@@ -84,6 +85,14 @@ class PORTAL_SCOPED_CAPABILITY MutexLock {
 class CondVar {
  public:
   void wait(Mutex& mutex) PORTAL_REQUIRES(mutex) { cv_.wait(mutex); }
+  /// Timed wait for bounded blocking (ingest overflow admission): same
+  /// explicit-predicate-loop convention as wait().
+  template <class Rep, class Period>
+  std::cv_status wait_for(Mutex& mutex,
+                          const std::chrono::duration<Rep, Period>& timeout)
+      PORTAL_REQUIRES(mutex) {
+    return cv_.wait_for(mutex, timeout);
+  }
   void notify_one() { cv_.notify_one(); }
   void notify_all() { cv_.notify_all(); }
 

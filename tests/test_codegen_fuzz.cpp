@@ -13,12 +13,14 @@
 // of each test) so a sanitizer-CI failure is reproducible locally.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
+#include <vector>
 
 #include "core/analysis.h"
 #include "core/codegen/jit.h"
@@ -32,6 +34,7 @@
 #include "core/verify/verify.h"
 #include "data/generators.h"
 #include "serve/engine.h"
+#include "serve/live.h"
 #include "serve/plan_cache.h"
 #include "traversal/cursor.h"
 #include "traversal/singletree.h"
@@ -931,6 +934,241 @@ TEST(DifferentialConformance, MahalanobisLowersToCholeskyAndEnginesAgree) {
       EXPECT_NEAR(outputs[0][i], outputs[1][i],
                   1e-7 * std::max(std::abs(outputs[0][i]), real_t(1)))
           << "query " << i;
+  }
+}
+
+// The live-ingestion wall (tree/delta.h, serve/live.h): random op chains x
+// random insert/remove/merge interleavings against a LiveStore. At every
+// checkpoint the two-root sweep (main kd descent + delta drain) is compared
+//   1. bitwise against the live brute-force oracle over the exact pinned
+//      point-set, with batch base cases on/off and the interleaved batch
+//      path at a random grain (batch on/off x interleave on/off);
+//   2. against a single kd-tree rebuilt from scratch over the live union in
+//      canonical visible order: per-element bitwise for reductions (ids
+//      translated through the union construction order) and set-equal
+//      bitwise for range queries; indicator SUMs (integer-valued partials)
+//      bitwise, smooth SUMs within reassociation tolerance -- the rebuilt
+//      tree sums the same values in a different bracketing.
+TEST(DifferentialConformance, LiveTwoRootVsRebuiltUnionTree) {
+  const std::uint64_t seed = fuzz_seed();
+  std::printf("PORTAL_FUZZ_SEED=%llu\n", static_cast<unsigned long long>(seed));
+  Rng rng(seed ^ 0x0de17a2007a15e11ull);
+
+  const Dataset reference = make_gaussian_mixture(200, 3, 3, seed ^ 0x51);
+  enum class Kind { Reduction, SmoothSum, CountSum, Union };
+  struct LiveChain {
+    LayerSpec spec;
+    Kind kind;
+  };
+  std::vector<LiveChain> chains;
+  {
+    LayerSpec knn;
+    knn.op = OpSpec(PortalOp::KARGMIN, 4);
+    knn.func = PortalFunc::EUCLIDEAN;
+    chains.push_back({knn, Kind::Reduction});
+    LayerSpec kmin;
+    kmin.op = OpSpec(PortalOp::KMIN, 3);
+    kmin.func = PortalFunc::gaussian(0.9);
+    chains.push_back({kmin, Kind::Reduction});
+    LayerSpec kde;
+    kde.op = OpSpec(PortalOp::SUM);
+    kde.func = PortalFunc::gaussian(0.8);
+    chains.push_back({kde, Kind::SmoothSum});
+    LayerSpec count;
+    count.op = OpSpec(PortalOp::SUM);
+    count.func = PortalFunc::indicator(1e-9, 1.1);
+    chains.push_back({count, Kind::CountSum});
+    LayerSpec range;
+    range.op = OpSpec(PortalOp::UNIONARG);
+    range.func = PortalFunc::indicator(1e-9, 1.2);
+    chains.push_back({range, Kind::Union});
+  }
+  PortalConfig config;
+  config.tau = 0;
+  serve::PlanCache cache;
+  std::vector<serve::PlanHandle> plans;
+  for (const LiveChain& c : chains)
+    plans.push_back(cache.get_or_compile(c.spec, reference, config));
+
+  const auto bitwise_values = [](const serve::QueryResult& got,
+                                 const serve::QueryResult& want,
+                                 const char* what) {
+    ASSERT_EQ(got.values.size(), want.values.size()) << what;
+    for (std::size_t v = 0; v < want.values.size(); ++v) {
+      if (std::isnan(want.values[v])) {
+        EXPECT_TRUE(std::isnan(got.values[v])) << what << " slot " << v;
+      } else {
+        EXPECT_EQ(got.values[v], want.values[v]) << what << " slot " << v;
+      }
+    }
+  };
+
+  constexpr int kRounds = 3;
+  constexpr int kSteps = 120;
+  constexpr int kCheckEvery = 40;
+  for (int round = 0; round < kRounds; ++round) {
+    SCOPED_TRACE("round " + std::to_string(round));
+    serve::LiveStoreOptions sopt;
+    sopt.delta_capacity = 64;
+    sopt.merge_threshold = 64;
+    sopt.background_merge = false; // merges only where the fuzz chose them
+    serve::LiveStore store(sopt);
+    store.publish(std::make_shared<const Dataset>(reference));
+
+    // Mirror of the coordinates currently visible (the fuzz removes real
+    // points -- main-tree and delta alike -- never guesses).
+    std::vector<std::vector<real_t>> mirror;
+    for (index_t i = 0; i < reference.size(); ++i) {
+      std::vector<real_t> pt(3);
+      for (index_t d = 0; d < 3; ++d) pt[d] = reference.coord(i, d);
+      mirror.push_back(std::move(pt));
+    }
+
+    for (int step = 1; step <= kSteps; ++step) {
+      const real_t dice = rng.uniform();
+      if (dice < 0.55) {
+        std::vector<real_t> pt = {rng.uniform(-2, 2), rng.uniform(-2, 2),
+                                  rng.uniform(-2, 2)};
+        ASSERT_EQ(store.insert(pt.data(), 3).status,
+                  serve::IngestStatus::Ok);
+        mirror.push_back(std::move(pt));
+      } else if (dice < 0.85 && !mirror.empty()) {
+        const std::size_t pick =
+            static_cast<std::size_t>(rng.uniform_index(mirror.size()));
+        ASSERT_EQ(store.remove(mirror[pick].data(), 3).status,
+                  serve::IngestStatus::Ok);
+        mirror.erase(mirror.begin() + static_cast<std::ptrdiff_t>(pick));
+      } else if (dice < 0.95) {
+        const real_t ghost[] = {rng.uniform(5, 6), rng.uniform(5, 6),
+                                rng.uniform(5, 6)};
+        ASSERT_EQ(store.remove(ghost, 3).status,
+                  serve::IngestStatus::NotFound);
+      } else {
+        store.merge_now();
+      }
+      if (step % kCheckEvery != 0) continue;
+      SCOPED_TRACE("step " + std::to_string(step));
+
+      const auto view = store.pin();
+      ASSERT_EQ(view->live_size(), static_cast<index_t>(mirror.size()));
+
+      // Rebuild a single tree over the live union, recording each canonical
+      // position's live client id so union-tree ids translate back.
+      const KdTree& kd = *view->snapshot->kd();
+      const index_t main_size = view->snapshot->size();
+      auto union_data =
+          std::make_shared<Dataset>(view->live_size(), index_t{3});
+      std::vector<index_t> live_id; // canonical position -> live client id
+      index_t pos = 0;
+      for (index_t j = 0; j < main_size; ++j) {
+        if (!view->main_visible(j)) continue;
+        for (index_t d = 0; d < 3; ++d)
+          union_data->coord(pos, d) = kd.data().coord(j, d);
+        live_id.push_back(kd.perm()[static_cast<std::size_t>(j)]);
+        ++pos;
+      }
+      for (index_t s = 0; s < view->delta_count; ++s) {
+        if (!view->slot_visible(s)) continue;
+        for (index_t d = 0; d < 3; ++d)
+          union_data->coord(pos, d) = view->delta->points().coord(s, d);
+        live_id.push_back(main_size + s);
+        ++pos;
+      }
+      ASSERT_EQ(pos, view->live_size());
+      const auto union_snap = TreeSnapshot::build(union_data, 1, {});
+
+      const Dataset probes = make_gaussian_mixture(6, 3, 3, rng.next_u64());
+      std::vector<const real_t*> probe_ptrs;
+      std::vector<std::vector<real_t>> probe_store;
+      for (index_t q = 0; q < probes.size(); ++q) {
+        std::vector<real_t> pt(3);
+        for (index_t d = 0; d < 3; ++d) pt[d] = probes.coord(q, d);
+        probe_store.push_back(std::move(pt));
+      }
+      for (const auto& pt : probe_store) probe_ptrs.push_back(pt.data());
+
+      for (std::size_t c = 0; c < chains.size(); ++c) {
+        SCOPED_TRACE("chain " + std::to_string(c));
+        const serve::PlanHandle& plan = plans[c];
+        serve::Workspace ws;
+        serve::BatchWorkspace bws;
+        serve::EngineOptions eopt;
+        eopt.interleave_width =
+            static_cast<index_t>(1 + rng.uniform_index(8));
+        eopt.resume_steps = static_cast<index_t>(1 + rng.uniform_index(48));
+        std::vector<serve::QueryResult> batched(probe_store.size());
+        serve::run_query_batch(*plan, *view, probe_ptrs.data(),
+                               static_cast<index_t>(probe_store.size()), eopt,
+                               bws, batched.data());
+
+        for (std::size_t q = 0; q < probe_store.size(); ++q) {
+          SCOPED_TRACE("probe " + std::to_string(q));
+          const real_t* pt = probe_ptrs[q];
+          const serve::QueryResult oracle =
+              serve::run_query_bruteforce(*plan, *view, pt);
+
+          // Axis 1: engine vs live oracle, bitwise, across batch on/off and
+          // the interleaved path.
+          for (const bool batch : {true, false}) {
+            eopt.batch_base_cases = batch;
+            const serve::QueryResult got =
+                serve::run_query(*plan, *view, pt, eopt, ws);
+            bitwise_values(got, oracle, batch ? "live batched" : "live scalar");
+            ASSERT_EQ(got.ids.size(), oracle.ids.size());
+            for (std::size_t v = 0; v < oracle.ids.size(); ++v)
+              EXPECT_EQ(got.ids[v], oracle.ids[v]) << "slot " << v;
+          }
+          bitwise_values(batched[q], oracle, "live interleaved");
+          ASSERT_EQ(batched[q].ids.size(), oracle.ids.size());
+          for (std::size_t v = 0; v < oracle.ids.size(); ++v)
+            EXPECT_EQ(batched[q].ids[v], oracle.ids[v]) << "slot " << v;
+
+          // Axis 2: the rebuilt union tree names the same point-set.
+          const serve::QueryResult other =
+              serve::run_query_bruteforce(*plan, *union_snap, pt);
+          switch (chains[c].kind) {
+            case Kind::Reduction: {
+              bitwise_values(other, oracle, "union reduction");
+              ASSERT_EQ(other.ids.size(), oracle.ids.size());
+              for (std::size_t v = 0; v < oracle.ids.size(); ++v) {
+                if (oracle.ids[v] < 0) {
+                  EXPECT_EQ(other.ids[v], oracle.ids[v]);
+                } else {
+                  EXPECT_EQ(live_id[static_cast<std::size_t>(other.ids[v])],
+                            oracle.ids[v])
+                      << "slot " << v;
+                }
+              }
+              break;
+            }
+            case Kind::CountSum: {
+              // Integer-valued partials: any summation order is exact.
+              bitwise_values(other, oracle, "union count");
+              break;
+            }
+            case Kind::SmoothSum: {
+              ASSERT_EQ(other.values.size(), 1u);
+              ASSERT_EQ(oracle.values.size(), 1u);
+              EXPECT_NEAR(other.values[0], oracle.values[0], 1e-9);
+              break;
+            }
+            case Kind::Union: {
+              // Same member set; the two sides order ids differently
+              // (original-reference vs canonical-construction), so compare
+              // as translated sorted sets.
+              std::vector<index_t> got_ids;
+              for (const index_t id : other.ids)
+                got_ids.push_back(live_id[static_cast<std::size_t>(id)]);
+              std::sort(got_ids.begin(), got_ids.end());
+              std::vector<index_t> want_ids = oracle.ids;
+              std::sort(want_ids.begin(), want_ids.end());
+              EXPECT_EQ(got_ids, want_ids);
+              break;
+            }
+          }
+        }
+      }
+    }
   }
 }
 

@@ -939,5 +939,221 @@ TEST(ExecutorReentrancy, SharedTreeCacheConcurrentGet) {
   EXPECT_EQ(cache.get(sb, 32).get(), trees[1].get());
 }
 
+// ---------------------------------------------------------------------------
+// Live ingestion through the service (serve/live.h): the insert/remove
+// endpoints, merge behavior under the scheduler, and the concurrent
+// write/read wall -- N writers and M readers against one PortalService, with
+// every Ok read replayed bitwise against the brute-force oracle over the
+// exact point-set its pinned (epoch, watermark) view names.
+// ---------------------------------------------------------------------------
+
+TEST(ServeIngest, EndpointsMutateAndReport) {
+  ServiceOptions options;
+  options.workers = 1;
+  options.delta_capacity = 32;
+  options.merge_threshold = 32;
+  options.background_merge = false;
+  PortalService service(options);
+
+  const Dataset data = make_uniform(50, 3, 21);
+  // Ingest before publish is admission-rejected, mirroring submit().
+  EXPECT_EQ(service.insert({1.0, 2.0, 3.0}).status,
+            serve::IngestStatus::Rejected);
+  service.publish(data);
+
+  const auto ins = service.insert({0.5, 0.5, 0.5});
+  ASSERT_EQ(ins.status, serve::IngestStatus::Ok);
+  EXPECT_EQ(ins.seq, 1u);
+  EXPECT_EQ(ins.id, 50);
+  EXPECT_EQ(service.remove({0.5, 0.5, 0.5}).status, serve::IngestStatus::Ok);
+  EXPECT_EQ(service.remove({0.5, 0.5, 0.5}).status,
+            serve::IngestStatus::NotFound);
+
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.ingest.inserts, 1u);
+  EXPECT_EQ(stats.ingest.removes, 1u);
+  EXPECT_EQ(stats.ingest.remove_misses, 1u);
+  EXPECT_EQ(stats.ingest.watermark, 2u);
+
+  // Served answers carry the (epoch, watermark) they are attributable to.
+  const PlanHandle plan =
+      service.prepare({PortalOp::KARGMIN, 3}, PortalFunc::EUCLIDEAN);
+  const Response resp =
+      service.submit(plan, query_point(data, 0)).get();
+  ASSERT_EQ(resp.status, Status::Ok);
+  EXPECT_EQ(resp.epoch, 1u);
+  EXPECT_EQ(resp.watermark, 2u);
+  EXPECT_EQ(resp.view, nullptr); // capture_view off by default
+}
+
+TEST(ServeIngest, InsertedPointsAnswerQueriesThroughTheScheduler) {
+  for (const bool interleave : {true, false}) {
+    SCOPED_TRACE(interleave ? "interleaved" : "recursive");
+    ServiceOptions options;
+    options.workers = 2;
+    options.interleave = interleave;
+    options.delta_capacity = 64;
+    options.merge_threshold = 64;
+    options.background_merge = false;
+    options.capture_view = true;
+    PortalService service(options);
+    const Dataset data = make_uniform(80, 3, 22);
+    service.publish(data);
+    const PlanHandle plan =
+        service.prepare({PortalOp::KARGMIN, 2}, PortalFunc::EUCLIDEAN);
+
+    const Dataset extra = make_uniform(10, 3, 23);
+    for (index_t i = 0; i < extra.size(); ++i) {
+      std::vector<real_t> pt(3);
+      for (index_t d = 0; d < 3; ++d) pt[d] = extra.coord(i, d);
+      const auto ins = service.insert(pt);
+      ASSERT_EQ(ins.status, serve::IngestStatus::Ok);
+      // A query at the inserted point finds it at distance exactly zero,
+      // reported under its client id, and replays bitwise against the
+      // oracle on the response's own pinned view.
+      const Response resp = service.submit(plan, pt).get();
+      ASSERT_EQ(resp.status, Status::Ok);
+      ASSERT_TRUE(resp.view);
+      EXPECT_GE(resp.watermark, ins.seq);
+      expect_bitwise(resp.result,
+                     run_query_bruteforce(*plan, *resp.view, pt.data()));
+      EXPECT_EQ(resp.result.values[0], 0.0);
+      EXPECT_EQ(resp.result.ids[0], ins.id);
+    }
+    service.stop();
+    EXPECT_EQ(service.stats().errors, 0u);
+  }
+}
+
+/// The concurrent write/read wall. kWriters threads stream inserts and
+/// removals of their own points while kReaders threads submit queries across
+/// several plans; the delta is small enough that the background merger
+/// publishes several epochs mid-flight. Every Ok response must replay
+/// *bitwise* against run_query_bruteforce over the exact point-set its
+/// pinned view names -- a torn read (main tree from epoch N, delta from
+/// N+1), a lost insert, or a resurrected tombstone all break equality.
+TEST(ServeIngest, ConcurrentWritersAndReadersBitwiseAtPinnedViews) {
+  constexpr int kWriters = 2, kReaders = 2;
+  constexpr index_t kPerWriter = 120;
+  ServiceOptions options;
+  options.workers = 2;
+  options.queue_capacity = 4096;
+  options.block_on_full = true;
+  options.delta_capacity = 96;
+  options.merge_threshold = 24; // several merge publishes over the run
+  options.background_merge = true;
+  options.capture_view = true;
+  PortalService service(options);
+  const Dataset data = make_uniform(300, 3, 24);
+  service.publish(data);
+
+  std::vector<PlanHandle> plans;
+  plans.push_back(
+      service.prepare({PortalOp::KARGMIN, 4}, PortalFunc::EUCLIDEAN));
+  plans.push_back(service.prepare(PortalOp::SUM, PortalFunc::gaussian(0.8)));
+  plans.push_back(
+      service.prepare(PortalOp::UNIONARG, PortalFunc::indicator(1e-9, 0.9)));
+
+  std::atomic<int> write_failures{0};
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      // Each writer streams its own point set (distinct seeds make cross-
+      // writer coordinate collisions measure-zero) and removes every third
+      // point it inserted, so merges see both slot kills and re-homed
+      // tombstones.
+      const Dataset mine = make_uniform(kPerWriter, 3, 1000 + w);
+      for (index_t i = 0; i < mine.size(); ++i) {
+        std::vector<real_t> pt(3);
+        for (index_t d = 0; d < 3; ++d) pt[d] = mine.coord(i, d);
+        if (service.insert(pt).status != serve::IngestStatus::Ok)
+          write_failures.fetch_add(1);
+        if (i % 3 == 2 &&
+            service.remove(pt).status != serve::IngestStatus::Ok)
+          write_failures.fetch_add(1);
+      }
+    });
+  }
+
+  std::atomic<int> reader_mismatches{0};
+  std::atomic<int> not_ok{0};
+  std::atomic<std::uint64_t> reads{0};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&, r] {
+      // A fixed read budget (not "until the writers finish"): under a
+      // sanitizer the writers may be slow or fast, but every reader always
+      // overlaps real ingest traffic and always exercises the oracle.
+      constexpr std::size_t kReads = 90;
+      const Dataset probes = make_uniform(24, 3, 2000 + r);
+      std::size_t p = 0;
+      std::uint64_t last_mark = 0;
+      while (p < kReads) {
+        const PlanHandle& plan = plans[p % plans.size()];
+        std::vector<real_t> pt(3);
+        for (index_t d = 0; d < 3; ++d)
+          pt[d] = probes.coord(static_cast<index_t>(p % 24), d);
+        ++p;
+        const Response resp = service.submit(plan, pt).get();
+        if (resp.status != Status::Ok) {
+          not_ok.fetch_add(1);
+          continue;
+        }
+        reads.fetch_add(1);
+        if (!resp.view || resp.view->epoch() != resp.epoch ||
+            resp.view->watermark != resp.watermark ||
+            resp.watermark < last_mark) {
+          reader_mismatches.fetch_add(1);
+          continue;
+        }
+        last_mark = resp.watermark;
+        const QueryResult oracle =
+            run_query_bruteforce(*plan, *resp.view, pt.data());
+        if (resp.result.values.size() != oracle.values.size() ||
+            resp.result.ids.size() != oracle.ids.size()) {
+          reader_mismatches.fetch_add(1);
+          continue;
+        }
+        for (std::size_t v = 0; v < oracle.values.size(); ++v) {
+          const bool same =
+              std::isnan(oracle.values[v])
+                  ? std::isnan(resp.result.values[v])
+                  : resp.result.values[v] == oracle.values[v];
+          if (!same) reader_mismatches.fetch_add(1);
+        }
+        for (std::size_t v = 0; v < oracle.ids.size(); ++v)
+          if (resp.result.ids[v] != oracle.ids[v])
+            reader_mismatches.fetch_add(1);
+      }
+    });
+  }
+
+  for (std::thread& w : writers) w.join();
+  for (std::thread& r : readers) r.join();
+  service.stop();
+
+  EXPECT_EQ(write_failures.load(), 0);
+  EXPECT_EQ(reader_mismatches.load(), 0);
+  EXPECT_EQ(not_ok.load(), 0);
+  EXPECT_GT(reads.load(), 0u);
+
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.ingest.inserts,
+            static_cast<std::uint64_t>(kWriters) * kPerWriter);
+  EXPECT_EQ(stats.ingest.removes,
+            static_cast<std::uint64_t>(kWriters) * (kPerWriter / 3));
+  EXPECT_EQ(stats.ingest.rejected, 0u);
+  EXPECT_GE(stats.ingest.merges, 1u); // the merger actually ran mid-flight
+  EXPECT_EQ(stats.errors, 0u);
+
+  // Ground truth: after a final drain-merge the store holds exactly the
+  // union every writer left behind.
+  service.merge_now();
+  const auto view = service.view();
+  ASSERT_TRUE(view);
+  EXPECT_EQ(view->live_size(),
+            300 + kWriters * (kPerWriter - kPerWriter / 3));
+}
+
 } // namespace
 } // namespace portal

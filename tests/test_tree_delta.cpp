@@ -1,0 +1,633 @@
+// Tests for the incremental-ingestion data plane (tree/delta.h,
+// serve/live.h): DeltaTree slot/tombstone visibility at pinned watermarks,
+// LiveView point-set semantics, the SnapshotSlot monotone-publish
+// assertions (publish_with epoch grants, stale-snapshot rejection), and the
+// LiveStore lifecycle edge cases the merge design pins -- remove-then-
+// reinsert, main-tree tombstones, delta overflow forcing a synchronous
+// merge, empty-delta no-op merges, all-dead compaction, pinned views
+// surviving a merge bitwise, and epoch monotonicity across racing merges.
+// The whole file runs in the TSan and ASan CI jobs (ctest -R
+// 'TreeDelta|LiveStore').
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "data/generators.h"
+#include "serve/engine.h"
+#include "serve/live.h"
+#include "serve/plan_cache.h"
+#include "tree/delta.h"
+#include "tree/snapshot.h"
+
+namespace portal {
+namespace {
+
+using serve::EngineOptions;
+using serve::IngestResult;
+using serve::IngestStatus;
+using serve::LiveStore;
+using serve::LiveStoreOptions;
+using serve::PlanCache;
+using serve::PlanHandle;
+using serve::QueryResult;
+using serve::run_query;
+using serve::run_query_bruteforce;
+using serve::Workspace;
+
+LayerSpec chain(OpSpec op, PortalFunc func) {
+  LayerSpec inner;
+  inner.op = op;
+  inner.func = func;
+  return inner;
+}
+
+PlanHandle compile(const LayerSpec& spec, const Dataset& reference) {
+  PortalConfig config;
+  config.tau = 0;
+  PlanCache cache;
+  return cache.get_or_compile(spec, reference, config);
+}
+
+std::vector<real_t> point_of(const Dataset& data, index_t i) {
+  std::vector<real_t> pt(data.dim());
+  for (index_t d = 0; d < data.dim(); ++d) pt[d] = data.coord(i, d);
+  return pt;
+}
+
+/// Values bitwise (NaN-aware), ids exactly.
+void expect_bitwise(const QueryResult& got, const QueryResult& want) {
+  ASSERT_EQ(got.values.size(), want.values.size());
+  for (std::size_t i = 0; i < want.values.size(); ++i) {
+    if (std::isnan(want.values[i])) {
+      EXPECT_TRUE(std::isnan(got.values[i])) << "slot " << i;
+    } else {
+      EXPECT_EQ(got.values[i], want.values[i]) << "slot " << i;
+    }
+  }
+  ASSERT_EQ(got.ids.size(), want.ids.size());
+  for (std::size_t i = 0; i < want.ids.size(); ++i)
+    EXPECT_EQ(got.ids[i], want.ids[i]) << "slot " << i;
+}
+
+// ---------------------------------------------------------------------------
+// DeltaTree
+// ---------------------------------------------------------------------------
+
+TEST(TreeDelta, CtorValidatesShape) {
+  EXPECT_THROW(DeltaTree(0, 8, 10), std::invalid_argument);
+  EXPECT_THROW(DeltaTree(3, 0, 10), std::invalid_argument);
+  DeltaTree delta(3, 8, 0); // empty main side is fine (pre-publish shape)
+  EXPECT_EQ(delta.capacity(), 8);
+  EXPECT_EQ(delta.main_size(), 0);
+}
+
+TEST(TreeDelta, AppendStoresPointsSeqsAndLog) {
+  DeltaTree delta(2, 3, 10);
+  const real_t a[] = {1.0, 2.0};
+  const real_t b[] = {3.0, 4.0};
+  EXPECT_EQ(delta.append(a, 1), 0);
+  EXPECT_EQ(delta.append(b, 2), 1);
+  EXPECT_EQ(delta.count(), 2);
+  EXPECT_EQ(delta.points().coord(0, 1), 2.0);
+  EXPECT_EQ(delta.points().coord(1, 0), 3.0);
+  EXPECT_EQ(delta.insert_seq(0), 1u);
+  EXPECT_EQ(delta.insert_seq(1), 2u);
+  ASSERT_EQ(delta.log().size(), 2u);
+  EXPECT_EQ(delta.log()[1].kind, DeltaTree::MutationKind::Insert);
+  EXPECT_EQ(delta.log()[1].index, 1);
+  EXPECT_EQ(delta.log()[1].seq, 2u);
+
+  // Bounded: the third slot fills the store, the fourth append reports full.
+  EXPECT_EQ(delta.append(a, 3), 2);
+  EXPECT_EQ(delta.append(b, 4), -1);
+  EXPECT_EQ(delta.count(), 3);
+}
+
+TEST(TreeDelta, SlotTombstoneVisibilityByWatermark) {
+  DeltaTree delta(1, 4, 0);
+  const real_t p[] = {7.0};
+  delta.append(p, 1);
+  delta.append(p, 2);
+  delta.kill_slot(0, 5);
+
+  // kill seq 0 = alive at every watermark.
+  EXPECT_FALSE(delta.slot_dead(1, 1));
+  EXPECT_FALSE(delta.slot_dead(1, 100));
+  // Killed at 5: alive to views pinned strictly before, dead at and after.
+  EXPECT_FALSE(delta.slot_dead(0, 4));
+  EXPECT_TRUE(delta.slot_dead(0, 5));
+  EXPECT_TRUE(delta.slot_dead(0, 6));
+  ASSERT_EQ(delta.log().size(), 3u);
+  EXPECT_EQ(delta.log()[2].kind, DeltaTree::MutationKind::RemoveDelta);
+}
+
+TEST(TreeDelta, MainTombstonesAndWholesaleCopy) {
+  DeltaTree delta(2, 4, 6);
+  EXPECT_EQ(delta.main_kill_count(), 0u);
+  delta.kill_main(3, 2);
+  delta.kill_main(5, 7);
+  EXPECT_EQ(delta.main_kill_count(), 2u);
+  EXPECT_TRUE(delta.main_dead(3, 2));
+  EXPECT_FALSE(delta.main_dead(3, 1));
+  EXPECT_FALSE(delta.main_dead(5, 6));
+  EXPECT_TRUE(delta.main_dead(5, 7));
+  EXPECT_FALSE(delta.main_dead(0, 100));
+
+  // Compaction carry-over: same main tree, kill state copied verbatim with
+  // seqs preserved (watermark semantics must not shift), nothing re-logged.
+  DeltaTree fresh(2, 4, 6);
+  fresh.copy_main_kills(delta);
+  EXPECT_EQ(fresh.main_kill_count(), 2u);
+  EXPECT_FALSE(fresh.main_dead(3, 1));
+  EXPECT_TRUE(fresh.main_dead(3, 2));
+  EXPECT_TRUE(fresh.main_dead(5, 7));
+  EXPECT_TRUE(fresh.log().empty());
+}
+
+TEST(TreeDelta, RemoveThenReinsertIsAFreshSlot) {
+  // Re-inserting removed coordinates never resurrects the old slot: each
+  // watermark sees exactly the incarnations alive at its pin time.
+  DeltaTree delta(2, 4, 0);
+  const real_t p[] = {1.5, -2.5};
+  const index_t first = delta.append(p, 1);
+  delta.kill_slot(first, 2);
+  const index_t second = delta.append(p, 3);
+  ASSERT_NE(first, second);
+
+  EXPECT_FALSE(delta.slot_dead(first, 1)); // view at 1: first alive
+  EXPECT_TRUE(delta.slot_dead(first, 2));  // view at 2: gone
+  EXPECT_TRUE(delta.slot_dead(first, 3));  // view at 3: first gone...
+  EXPECT_FALSE(delta.slot_dead(second, 3)); // ...second alive
+  EXPECT_EQ(delta.insert_seq(second), 3u);
+}
+
+TEST(TreeDelta, LiveViewNamesTheExactPointSet) {
+  const auto source =
+      std::make_shared<const Dataset>(make_uniform(20, 2, 77));
+  const auto snap = TreeSnapshot::build(source, 1, {});
+  auto delta = std::make_shared<DeltaTree>(2, 8, snap->size());
+  const real_t p[] = {0.5, 0.5};
+  delta->append(p, 1);
+  delta->append(p, 2);
+  delta->append(p, 3);
+  delta->kill_slot(1, 4);
+  delta->kill_main(0, 5);
+
+  LiveView view;
+  view.snapshot = snap;
+  view.delta = delta;
+  view.watermark = 4;  // pinned before the main kill
+  view.delta_count = 2; // pinned before the third append
+  view.filter_main = true;
+  EXPECT_EQ(view.epoch(), 1u);
+  EXPECT_TRUE(view.slot_visible(0));
+  EXPECT_FALSE(view.slot_visible(1)); // killed at 4 <= watermark
+  EXPECT_FALSE(view.slot_visible(2)); // beyond the pinned count
+  EXPECT_TRUE(view.main_visible(0));  // killed at 5 > watermark
+  EXPECT_EQ(view.live_size(), 20 + 1);
+
+  view.watermark = 5;
+  EXPECT_FALSE(view.main_visible(0));
+  EXPECT_EQ(view.live_size(), 19 + 1);
+}
+
+// ---------------------------------------------------------------------------
+// SnapshotSlot monotone-publish assertions (the latent seed bug: the epoch
+// docs promised monotone observation but nothing enforced it -- a stale
+// snapshot handed back through a builder used to be silently served).
+// ---------------------------------------------------------------------------
+
+TEST(SnapshotMonotone, PublishWithGrantsSequentialEpochs) {
+  SnapshotSlot slot;
+  SnapshotOptions options;
+  const auto data = std::make_shared<const Dataset>(make_uniform(30, 2, 1));
+  const auto first = slot.publish_with([&](std::uint64_t epoch) {
+    EXPECT_EQ(epoch, 1u);
+    return TreeSnapshot::build(data, epoch, options);
+  });
+  ASSERT_TRUE(first);
+  EXPECT_EQ(first->epoch(), 1u);
+  const auto second = slot.publish_with([&](std::uint64_t epoch) {
+    EXPECT_EQ(epoch, 2u);
+    return TreeSnapshot::build(data, epoch, options);
+  });
+  EXPECT_EQ(second->epoch(), 2u);
+  EXPECT_EQ(slot.load().get(), second.get());
+}
+
+TEST(SnapshotMonotone, PublishWithRejectsStaleOrNullSnapshots) {
+  SnapshotSlot slot;
+  SnapshotOptions options;
+  const auto data = std::make_shared<const Dataset>(make_uniform(30, 2, 2));
+  const auto current = slot.publish(data, options);
+  ASSERT_EQ(current->epoch(), 1u);
+
+  // A builder that ignores its epoch grant and hands back the snapshot it
+  // cached earlier (the TreeCache-style bug) must be rejected, not served.
+  EXPECT_THROW(slot.publish_with([&](std::uint64_t) { return current; }),
+               std::logic_error);
+  EXPECT_THROW(slot.publish_with(
+                   [](std::uint64_t) {
+                     return std::shared_ptr<const TreeSnapshot>();
+                   }),
+               std::logic_error);
+  // A snapshot stamped with a made-up epoch differing from the grant is
+  // rejected even when it would move forward.
+  EXPECT_THROW(slot.publish_with([&](std::uint64_t epoch) {
+                 return TreeSnapshot::build(data, epoch + 7, options);
+               }),
+               std::logic_error);
+
+  // Nothing was installed: readers still see epoch 1 and loads stay legal.
+  EXPECT_EQ(slot.load().get(), current.get());
+  EXPECT_EQ(slot.current_epoch(), 1u);
+
+  // And the slot recovers: the next well-behaved publish lands the epoch
+  // after the failed grants (grants are consumed, never reissued).
+  const auto next = slot.publish_with([&](std::uint64_t epoch) {
+    return TreeSnapshot::build(data, epoch, options);
+  });
+  EXPECT_GT(next->epoch(), 1u);
+  EXPECT_EQ(slot.load().get(), next.get());
+}
+
+TEST(SnapshotMonotone, ConcurrentReadersObserveMonotoneEpochs) {
+  SnapshotSlot slot;
+  SnapshotOptions options;
+  const auto data = std::make_shared<const Dataset>(make_uniform(64, 2, 3));
+  slot.publish(data, options);
+
+  std::atomic<bool> done{false};
+  std::atomic<int> violations{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&] {
+      std::uint64_t last = 0;
+      while (!done.load(std::memory_order_acquire)) {
+        // load() itself throws if the slot would serve a retired epoch;
+        // per-reader monotonicity is re-checked here on top.
+        const auto snap = slot.load();
+        if (snap->epoch() < last) violations.fetch_add(1);
+        last = snap->epoch();
+      }
+    });
+  }
+  for (int e = 0; e < 24; ++e) slot.publish(data, options);
+  done.store(true, std::memory_order_release);
+  for (std::thread& r : readers) r.join();
+  EXPECT_EQ(violations.load(), 0);
+  EXPECT_EQ(slot.current_epoch(), 25u);
+}
+
+// ---------------------------------------------------------------------------
+// LiveStore lifecycle
+// ---------------------------------------------------------------------------
+
+LiveStoreOptions small_store(index_t capacity, index_t threshold,
+                             bool background) {
+  LiveStoreOptions options;
+  options.delta_capacity = capacity;
+  options.merge_threshold = threshold;
+  options.background_merge = background;
+  return options;
+}
+
+TEST(LiveStore, RejectsBeforePublishAndOnDimMismatch) {
+  LiveStore store(small_store(8, 8, false));
+  const real_t p[] = {1.0, 2.0};
+  EXPECT_EQ(store.insert(p, 2).status, IngestStatus::Rejected);
+  EXPECT_EQ(store.remove(p, 2).status, IngestStatus::Rejected);
+  EXPECT_EQ(store.pin(), nullptr);
+
+  store.publish(std::make_shared<const Dataset>(make_uniform(16, 3, 4)));
+  EXPECT_EQ(store.insert(p, 2).status, IngestStatus::Rejected);
+  const real_t q[] = {1.0, 2.0, 3.0};
+  EXPECT_EQ(store.insert(q, 3).status, IngestStatus::Ok);
+}
+
+TEST(LiveStore, InsertsAreVisibleAndBitwiseAgainstTheLiveOracle) {
+  const Dataset reference = make_uniform(64, 3, 5);
+  LiveStore store(small_store(32, 32, false));
+  store.publish(std::make_shared<const Dataset>(reference));
+  EXPECT_EQ(store.current_epoch(), 1u);
+
+  const Dataset extra = make_uniform(5, 3, 55);
+  for (index_t i = 0; i < extra.size(); ++i) {
+    const auto pt = point_of(extra, i);
+    const IngestResult r = store.insert(pt.data(), 3);
+    ASSERT_EQ(r.status, IngestStatus::Ok);
+    EXPECT_EQ(r.seq, static_cast<std::uint64_t>(i + 1));
+    EXPECT_EQ(r.id, 64 + i); // client id = main_size + slot
+  }
+
+  const auto view = store.pin();
+  ASSERT_TRUE(view);
+  EXPECT_EQ(view->watermark, 5u);
+  EXPECT_EQ(view->live_size(), 69);
+
+  const auto knn = compile(chain({PortalOp::KARGMIN, 4}, PortalFunc::EUCLIDEAN),
+                           reference);
+  const auto kde = compile(chain(PortalOp::SUM, PortalFunc::gaussian(0.7)),
+                           reference);
+  Workspace ws;
+  EngineOptions eopt;
+  for (index_t i = 0; i < extra.size(); ++i) {
+    const auto pt = point_of(extra, i);
+    const QueryResult got_knn = run_query(*knn, *view, pt.data(), eopt, ws);
+    expect_bitwise(got_knn, run_query_bruteforce(*knn, *view, pt.data()));
+    // The query point itself was inserted: its own delta id must win slot 0
+    // at distance exactly zero.
+    EXPECT_EQ(got_knn.ids[0], 64 + i);
+    EXPECT_EQ(got_knn.values[0], 0.0);
+    const QueryResult got_kde = run_query(*kde, *view, pt.data(), eopt, ws);
+    expect_bitwise(got_kde, run_query_bruteforce(*kde, *view, pt.data()));
+  }
+}
+
+TEST(LiveStore, RemoveTombstonesMainPointsExactly) {
+  const Dataset reference = make_uniform(48, 2, 6);
+  LiveStore store(small_store(16, 16, false));
+  store.publish(std::make_shared<const Dataset>(reference));
+
+  const auto target = point_of(reference, 7);
+  ASSERT_EQ(store.remove(target.data(), 2).status, IngestStatus::Ok);
+  EXPECT_EQ(store.pin()->live_size(), 47);
+
+  // The tombstoned point is invisible to queries: a nearest-neighbour probe
+  // at its exact coordinates no longer finds distance zero / its id.
+  const auto nn = compile(chain(PortalOp::ARGMIN, PortalFunc::EUCLIDEAN),
+                          reference);
+  Workspace ws;
+  const auto view = store.pin();
+  const QueryResult got =
+      run_query(*nn, *view, target.data(), EngineOptions{}, ws);
+  expect_bitwise(got, run_query_bruteforce(*nn, *view, target.data()));
+  EXPECT_NE(got.ids[0], 7);
+
+  // Removing it again: nothing visible matches anymore.
+  EXPECT_EQ(store.remove(target.data(), 2).status, IngestStatus::NotFound);
+  const real_t nowhere[] = {1e9, -1e9};
+  EXPECT_EQ(store.remove(nowhere, 2).status, IngestStatus::NotFound);
+  const auto stats = store.stats();
+  EXPECT_EQ(stats.removes, 1u);
+  EXPECT_EQ(stats.remove_misses, 2u);
+}
+
+TEST(LiveStore, RemoveTakesTheNewestIncarnationFirst) {
+  const Dataset reference = make_uniform(16, 2, 8);
+  LiveStore store(small_store(16, 16, false));
+  store.publish(std::make_shared<const Dataset>(reference));
+
+  const real_t p[] = {0.25, 0.75};
+  ASSERT_EQ(store.insert(p, 2).status, IngestStatus::Ok); // slot 0
+  ASSERT_EQ(store.remove(p, 2).status, IngestStatus::Ok); // kills slot 0
+  ASSERT_EQ(store.insert(p, 2).status, IngestStatus::Ok); // fresh slot 1
+  EXPECT_EQ(store.pin()->live_size(), 17);
+
+  // One more remove takes out the reinserted copy, not a double-kill.
+  ASSERT_EQ(store.remove(p, 2).status, IngestStatus::Ok);
+  EXPECT_EQ(store.pin()->live_size(), 16);
+  EXPECT_EQ(store.remove(p, 2).status, IngestStatus::NotFound);
+}
+
+TEST(LiveStore, OverflowRunsASynchronousMergeInline) {
+  const Dataset reference = make_uniform(40, 3, 9);
+  LiveStore store(small_store(8, 8, /*background=*/false));
+  store.publish(std::make_shared<const Dataset>(reference));
+
+  // 20 inserts through an 8-slot delta: every overflow must merge inline
+  // (new epoch, drained delta) and then succeed -- never a rejection.
+  const Dataset extra = make_uniform(20, 3, 99);
+  for (index_t i = 0; i < extra.size(); ++i) {
+    const auto pt = point_of(extra, i);
+    ASSERT_EQ(store.insert(pt.data(), 3).status, IngestStatus::Ok) << i;
+  }
+  const auto stats = store.stats();
+  EXPECT_GE(stats.merges, 2u);
+  EXPECT_EQ(stats.rejected, 0u);
+  EXPECT_GT(stats.epoch, 1u);
+  EXPECT_EQ(store.pin()->live_size(), 60);
+
+  // Post-merge queries still match the oracle bitwise on the merged set.
+  const auto knn = compile(chain({PortalOp::KARGMIN, 3}, PortalFunc::EUCLIDEAN),
+                           reference);
+  Workspace ws;
+  const auto view = store.pin();
+  for (index_t i = 0; i < 8; ++i) {
+    const auto pt = point_of(extra, i);
+    expect_bitwise(run_query(*knn, *view, pt.data(), EngineOptions{}, ws),
+                   run_query_bruteforce(*knn, *view, pt.data()));
+  }
+}
+
+TEST(LiveStore, EmptyDeltaMergeIsANoop) {
+  LiveStore store(small_store(8, 8, false));
+  EXPECT_FALSE(store.merge_now()); // nothing published yet
+  store.publish(std::make_shared<const Dataset>(make_uniform(32, 2, 10)));
+  const std::uint64_t epoch = store.current_epoch();
+  EXPECT_FALSE(store.merge_now());
+  EXPECT_EQ(store.current_epoch(), epoch); // no epoch churn
+  const auto stats = store.stats();
+  EXPECT_EQ(stats.merges, 0u);
+  EXPECT_EQ(stats.compactions, 0u);
+}
+
+TEST(LiveStore, AllDeadMergeCompactsWithoutAnEpoch) {
+  const Dataset reference = make_uniform(4, 2, 11);
+  LiveStore store(small_store(8, 8, false));
+  store.publish(std::make_shared<const Dataset>(reference));
+
+  // Kill every main point and a full insert+remove delta round-trip: the
+  // visible union is empty, so there is nothing to build a tree over.
+  for (index_t i = 0; i < reference.size(); ++i) {
+    const auto pt = point_of(reference, i);
+    ASSERT_EQ(store.remove(pt.data(), 2).status, IngestStatus::Ok);
+  }
+  const real_t p[] = {5.0, 5.0};
+  ASSERT_EQ(store.insert(p, 2).status, IngestStatus::Ok);
+  ASSERT_EQ(store.remove(p, 2).status, IngestStatus::Ok);
+  ASSERT_EQ(store.pin()->live_size(), 0);
+
+  const std::uint64_t epoch = store.current_epoch();
+  EXPECT_TRUE(store.merge_now()); // compaction: delta reclaimed...
+  EXPECT_EQ(store.current_epoch(), epoch); // ...same main epoch
+  const auto stats = store.stats();
+  EXPECT_EQ(stats.compactions, 1u);
+  EXPECT_EQ(stats.merges, 0u);
+  EXPECT_EQ(stats.delta_count, 0);
+  EXPECT_EQ(store.pin()->live_size(), 0);
+
+  // The store keeps working: a fresh insert is visible and merges normally.
+  ASSERT_EQ(store.insert(p, 2).status, IngestStatus::Ok);
+  EXPECT_EQ(store.pin()->live_size(), 1);
+  EXPECT_TRUE(store.merge_now());
+  EXPECT_GT(store.current_epoch(), epoch);
+  EXPECT_EQ(store.pin()->live_size(), 1);
+}
+
+TEST(LiveStore, PinnedViewsSurviveAMergeBitwise) {
+  const Dataset reference = make_uniform(128, 3, 12);
+  LiveStore store(small_store(64, 64, false));
+  store.publish(std::make_shared<const Dataset>(reference));
+
+  const Dataset extra = make_uniform(16, 3, 13);
+  for (index_t i = 0; i < extra.size(); ++i) {
+    const auto pt = point_of(extra, i);
+    ASSERT_EQ(store.insert(pt.data(), 3).status, IngestStatus::Ok);
+  }
+  const auto doomed = point_of(reference, 3);
+  ASSERT_EQ(store.remove(doomed.data(), 3).status, IngestStatus::Ok);
+
+  const auto pinned = store.pin();
+  const auto knn = compile(chain({PortalOp::KARGMIN, 5}, PortalFunc::EUCLIDEAN),
+                           reference);
+  const auto count =
+      compile(chain(PortalOp::SUM, PortalFunc::indicator(0, 0.8)), reference);
+  Workspace ws;
+  const Dataset probes = make_uniform(8, 3, 14);
+  std::vector<QueryResult> before;
+  for (index_t i = 0; i < probes.size(); ++i) {
+    const auto pt = point_of(probes, i);
+    before.push_back(run_query(*knn, *pinned, pt.data(), EngineOptions{}, ws));
+    before.push_back(
+        run_query(*count, *pinned, pt.data(), EngineOptions{}, ws));
+  }
+
+  ASSERT_TRUE(store.merge_now());
+  EXPECT_EQ(store.current_epoch(), 2u);
+  EXPECT_EQ(store.pin()->live_size(), 128 + 16 - 1);
+  EXPECT_EQ(store.stats().delta_count, 0);
+
+  // The pinned pre-merge view still answers its exact old point-set,
+  // bit for bit -- the retired generation's visible state is immutable.
+  std::size_t b = 0;
+  for (index_t i = 0; i < probes.size(); ++i) {
+    const auto pt = point_of(probes, i);
+    expect_bitwise(run_query(*knn, *pinned, pt.data(), EngineOptions{}, ws),
+                   before[b++]);
+    expect_bitwise(run_query(*count, *pinned, pt.data(), EngineOptions{}, ws),
+                   before[b++]);
+  }
+
+  // And the merged epoch answers the same point-set through its new tree:
+  // the indicator count (integer-valued, order-free) must agree exactly;
+  // the knn distance values are per-point identical computations.
+  const auto merged = store.pin();
+  b = 0;
+  for (index_t i = 0; i < probes.size(); ++i) {
+    const auto pt = point_of(probes, i);
+    const QueryResult knn_new =
+        run_query(*knn, *merged, pt.data(), EngineOptions{}, ws);
+    expect_bitwise(knn_new, run_query_bruteforce(*knn, *merged, pt.data()));
+    const QueryResult& knn_old = before[b++];
+    ASSERT_EQ(knn_new.values.size(), knn_old.values.size());
+    for (std::size_t v = 0; v < knn_old.values.size(); ++v)
+      EXPECT_EQ(knn_new.values[v], knn_old.values[v]) << "slot " << v;
+    const QueryResult count_new =
+        run_query(*count, *merged, pt.data(), EngineOptions{}, ws);
+    EXPECT_EQ(count_new.values[0], before[b++].values[0]);
+  }
+}
+
+TEST(LiveStore, MergeTranslatesTombstonesLandedDuringTheMergeWindow) {
+  // A removal of a *merged* point that lands after the merge cut must be
+  // replayed as a tombstone at the point's new permuted home. Single-
+  // threaded proxy: remove a delta-inserted point after it merged into the
+  // main tree -- the exact kd descent must find it there and kill it.
+  const Dataset reference = make_uniform(32, 2, 15);
+  LiveStore store(small_store(8, 8, false));
+  store.publish(std::make_shared<const Dataset>(reference));
+  const real_t p[] = {0.125, 0.625};
+  ASSERT_EQ(store.insert(p, 2).status, IngestStatus::Ok);
+  ASSERT_TRUE(store.merge_now());
+  EXPECT_EQ(store.pin()->live_size(), 33);
+
+  // Now in the main tree of epoch 2; removing goes through the kd descent.
+  ASSERT_EQ(store.remove(p, 2).status, IngestStatus::Ok);
+  EXPECT_EQ(store.pin()->live_size(), 32);
+  const auto nn =
+      compile(chain(PortalOp::MIN, PortalFunc::EUCLIDEAN), reference);
+  Workspace ws;
+  const auto view = store.pin();
+  const QueryResult got = run_query(*nn, *view, p, EngineOptions{}, ws);
+  expect_bitwise(got, run_query_bruteforce(*nn, *view, p));
+  EXPECT_GT(got.values[0], 0.0); // its exact location is empty again
+
+  // Merging the lone tombstone publishes a 32-point epoch with it gone.
+  ASSERT_TRUE(store.merge_now());
+  EXPECT_EQ(store.pin()->live_size(), 32);
+  EXPECT_EQ(store.pin()->snapshot->size(), 32);
+}
+
+TEST(LiveStore, RacingMergesKeepEpochsMonotone) {
+  // Two threads hammering merge_now while a writer streams inserts and a
+  // reader pins views: merge_mutex_ serializes the merges, the slot's
+  // install-time assertions reject any non-monotone publish (they would
+  // throw, failing the test), and every pinned view must carry an epoch and
+  // watermark no older than the previous pin on that thread.
+  const Dataset reference = make_uniform(96, 2, 16);
+  LiveStore store(small_store(64, 16, /*background=*/true));
+  store.publish(std::make_shared<const Dataset>(reference));
+
+  std::atomic<bool> done{false};
+  std::atomic<int> violations{0};
+  std::thread writer([&] {
+    const Dataset stream = make_uniform(400, 2, 17);
+    for (index_t i = 0; i < stream.size(); ++i) {
+      const auto pt = point_of(stream, i);
+      if (store.insert(pt.data(), 2).status != IngestStatus::Ok)
+        violations.fetch_add(1);
+    }
+    done.store(true, std::memory_order_release);
+  });
+  std::vector<std::thread> mergers;
+  for (int t = 0; t < 2; ++t) {
+    mergers.emplace_back([&] {
+      while (!done.load(std::memory_order_acquire)) store.merge_now();
+    });
+  }
+  std::thread reader([&] {
+    std::uint64_t last_epoch = 0, last_mark = 0;
+    while (!done.load(std::memory_order_acquire)) {
+      const auto view = store.pin();
+      if (view->epoch() < last_epoch || view->watermark < last_mark)
+        violations.fetch_add(1);
+      last_epoch = view->epoch();
+      last_mark = view->watermark;
+    }
+  });
+  writer.join();
+  reader.join();
+  for (std::thread& m : mergers) m.join();
+  store.stop();
+
+  EXPECT_EQ(violations.load(), 0);
+  // Every insert was admitted; after a final merge the live set is exact.
+  store.merge_now();
+  EXPECT_EQ(store.pin()->live_size(), 96 + 400);
+  EXPECT_EQ(store.stats().watermark, 400u);
+}
+
+TEST(LiveStore, PublishReplacesAndDiscardsTheDelta) {
+  const Dataset first = make_uniform(24, 2, 18);
+  LiveStore store(small_store(8, 8, false));
+  store.publish(std::make_shared<const Dataset>(first));
+  const real_t p[] = {9.0, 9.0};
+  ASSERT_EQ(store.insert(p, 2).status, IngestStatus::Ok);
+  ASSERT_EQ(store.pin()->live_size(), 25);
+
+  // Full replace: the pending delta belongs to the retired generation.
+  const Dataset second = make_uniform(10, 2, 19);
+  store.publish(std::make_shared<const Dataset>(second));
+  EXPECT_EQ(store.current_epoch(), 2u);
+  EXPECT_EQ(store.pin()->live_size(), 10);
+  EXPECT_EQ(store.stats().delta_count, 0);
+}
+
+} // namespace
+} // namespace portal

@@ -102,6 +102,8 @@ struct Args {
                "[--batch N] [--deadline MS]\n"
                "           [--interleave 0|1] [--interleave-width N] "
                "[--resume-steps N]\n"
+               "           [--ingest-writers W] [--delta-capacity N] "
+               "[--merge-threshold N]\n"
                "       portal_cli run FILE.portal | verify FILE.portal "
                "[--werror]\n"
                "       portal_cli lint FILE.portal [--json] [--werror]\n"
@@ -318,6 +320,14 @@ int run_serve_bench(const Args& args) {
   options.resume_steps = static_cast<index_t>(args.num("resume-steps", 32));
   options.snapshot.leaf_size =
       static_cast<index_t>(args.num("leaf", kDefaultLeafSize));
+  // Live-ingestion knobs (serve/live.h): --ingest-writers starts a writer
+  // fleet streaming inserts/removes beside the readers; the delta sizing
+  // knobs trade merge frequency against per-query delta-drain cost.
+  options.delta_capacity =
+      static_cast<index_t>(args.num("delta-capacity", 4096));
+  options.merge_threshold =
+      static_cast<index_t>(args.num("merge-threshold", 1024));
+  const int ingest_writers = static_cast<int>(args.num("ingest-writers", 0));
 
   Storage reference = load(args, "reference", 31);
   const index_t dim = reference.dim();
@@ -364,8 +374,36 @@ int run_serve_bench(const Args& args) {
 
   std::atomic<bool> stop{false};
   std::atomic<std::uint64_t> sent{0}, ok{0}, failed{0};
+  std::atomic<std::uint64_t> writes{0}, write_rejects{0};
   std::vector<std::thread> fleet;
   Timer timer;
+  for (int w = 0; w < ingest_writers; ++w)
+    fleet.emplace_back([&, w] {
+      std::uint64_t state = 0x2545f4914f6cdd1dull * (w + 13) + 5;
+      const auto next = [&state] {
+        state ^= state << 13; state ^= state >> 7; state ^= state << 17;
+        return state;
+      };
+      std::vector<real_t> point(static_cast<std::size_t>(dim));
+      while (!stop.load(std::memory_order_acquire)) {
+        const index_t base = static_cast<index_t>(
+            next() % static_cast<std::uint64_t>(reference.size()));
+        for (index_t d = 0; d < dim; ++d)
+          point[static_cast<std::size_t>(d)] =
+              reference.dataset().coord(base, d) +
+              static_cast<real_t>(next() % 100000) * 1e-7;
+        if (service.insert(point).status == serve::IngestStatus::Ok) {
+          writes.fetch_add(1, std::memory_order_relaxed);
+          // Every fourth insert is taken back out so the live set grows
+          // slowly and merges exercise tombstones, not just appends.
+          if (next() % 4 == 0 &&
+              service.remove(point).status == serve::IngestStatus::Ok)
+            writes.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          write_rejects.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
   for (int c = 0; c < clients; ++c)
     fleet.emplace_back([&, c] {
       std::uint64_t state = 0x9e3779b97f4a7c15ull * (c + 1) + 1;
@@ -419,6 +457,15 @@ int run_serve_bench(const Args& args) {
               stats.mean_batch(), depth.quantile(0.5) * 1e9,
               depth.quantile(0.99) * 1e9,
               static_cast<unsigned long long>(stats.epoch));
+  if (ingest_writers > 0)
+    std::printf("ingest: %.0f writes/s (%llu rejected) | %llu merges, "
+                "%llu compactions, %llu points merged | watermark %llu\n",
+                static_cast<double>(writes.load()) / elapsed,
+                static_cast<unsigned long long>(write_rejects.load()),
+                static_cast<unsigned long long>(stats.ingest.merges),
+                static_cast<unsigned long long>(stats.ingest.compactions),
+                static_cast<unsigned long long>(stats.ingest.merged_points),
+                static_cast<unsigned long long>(stats.ingest.watermark));
   service.stop();
   return 0;
 }
