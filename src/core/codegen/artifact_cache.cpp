@@ -1,0 +1,355 @@
+#include "core/codegen/artifact_cache.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/ir/ir_hash.h"
+#include "obs/trace.h"
+#include "util/log.h"
+
+namespace fs = std::filesystem;
+
+namespace portal {
+namespace {
+
+constexpr const char* kManifestMagic = "portal-jit-artifact v1";
+
+std::string hex64(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+/// Whole-file read; empty optional on any I/O failure (a vanished or
+/// unreadable entry is a reject, not an error).
+bool read_file(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (!in.good() && !in.eof()) return false;
+  *out = buf.str();
+  return true;
+}
+
+/// Parsed manifest sidecar. `compiler` is free text (informational; the
+/// compiler identity is already folded into the key).
+struct Manifest {
+  std::uint64_t key = 0;
+  std::uint64_t source_hash = 0;
+  std::uint64_t so_bytes = 0;
+  std::uint64_t so_hash = 0;
+  std::string compiler;
+};
+
+bool parse_manifest(const std::string& text, Manifest* m) {
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line) || line != kManifestMagic) return false;
+  bool have_key = false, have_src = false, have_bytes = false, have_hash = false;
+  while (std::getline(in, line)) {
+    // The manifest is machine-written: any line that is not a known
+    // `field value` pair means the file was tampered with or torn, and the
+    // whole entry is rejected.
+    const std::size_t space = line.find(' ');
+    if (space == std::string::npos) return false;
+    const std::string field = line.substr(0, space);
+    const std::string value = line.substr(space + 1);
+    char* end = nullptr;
+    if (field == "key") {
+      m->key = std::strtoull(value.c_str(), &end, 16);
+      have_key = end != nullptr && *end == '\0';
+    } else if (field == "source_hash") {
+      m->source_hash = std::strtoull(value.c_str(), &end, 16);
+      have_src = end != nullptr && *end == '\0';
+    } else if (field == "so_bytes") {
+      m->so_bytes = std::strtoull(value.c_str(), &end, 10);
+      have_bytes = end != nullptr && *end == '\0';
+    } else if (field == "so_hash") {
+      m->so_hash = std::strtoull(value.c_str(), &end, 16);
+      have_hash = end != nullptr && *end == '\0';
+    } else if (field == "compiler") {
+      m->compiler = value;
+    } else {
+      return false; // unknown field: not something this emitter wrote
+    }
+  }
+  return have_key && have_src && have_bytes && have_hash;
+}
+
+std::string render_manifest(std::uint64_t key, std::uint64_t source_hash,
+                            std::string_view compiler,
+                            const std::string& so_bytes) {
+  std::ostringstream out;
+  out << kManifestMagic << "\n"
+      << "key " << hex64(key) << "\n"
+      << "source_hash " << hex64(source_hash) << "\n"
+      << "so_bytes " << so_bytes.size() << "\n"
+      << "so_hash " << hex64(fnv1a_bytes(so_bytes)) << "\n"
+      << "compiler " << compiler << "\n";
+  return out.str();
+}
+
+/// Write-to-temp + rename. The temp name carries pid + a process counter so
+/// concurrent publishers never collide on the staging file; rename() is
+/// atomic, so readers see the old entry or the new one, never a torn file.
+bool atomic_write(const fs::path& final_path, const std::string& bytes) {
+  static std::atomic<unsigned> counter{0};
+  const fs::path tmp =
+      final_path.parent_path() /
+      (".tmp." + std::to_string(getpid()) + "." +
+       std::to_string(counter.fetch_add(1)) + final_path.filename().string());
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return false;
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    if (!out.good()) {
+      out.close();
+      std::error_code ec;
+      fs::remove(tmp, ec);
+      return false;
+    }
+  }
+  std::error_code ec;
+  fs::rename(tmp, final_path, ec);
+  if (ec) {
+    fs::remove(tmp, ec);
+    return false;
+  }
+  return true;
+}
+
+bool is_entry_so(const fs::path& p) {
+  const std::string name = p.filename().string();
+  return name.size() == 20 && name.rfind("k", 0) == 0 &&
+         name.compare(name.size() - 3, 3, ".so") == 0;
+}
+
+} // namespace
+
+std::uint64_t fnv1a_bytes(std::string_view bytes) {
+  std::uint64_t h = kIrHashSeed;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::uint64_t artifact_cache_key(std::uint64_t ir_fingerprint,
+                                 std::uint64_t source_hash,
+                                 std::string_view compiler_identity,
+                                 std::uint64_t emitter_version) {
+  std::uint64_t h = kIrHashSeed;
+  h = ir_hash_mix(h, 0x4a415254ull); // 'JART' domain tag
+  h = ir_hash_mix(h, ir_fingerprint);
+  h = ir_hash_mix(h, source_hash);
+  h = ir_hash_mix(h, fnv1a_bytes(compiler_identity));
+  h = ir_hash_mix(h, emitter_version);
+  return h;
+}
+
+ArtifactCache::ArtifactCache(Options options) : options_(std::move(options)) {
+  if (options_.dir.empty())
+    throw std::runtime_error("artifact cache: empty directory path");
+  std::error_code ec;
+  fs::create_directories(options_.dir, ec);
+  if (!fs::is_directory(options_.dir))
+    throw std::runtime_error("artifact cache: cannot create directory " +
+                             options_.dir);
+}
+
+std::string ArtifactCache::so_path(std::uint64_t key) const {
+  return (fs::path(options_.dir) / ("k" + hex64(key) + ".so")).string();
+}
+
+std::string ArtifactCache::manifest_path(std::uint64_t key) const {
+  return (fs::path(options_.dir) / ("k" + hex64(key) + ".manifest")).string();
+}
+
+std::string ArtifactCache::lookup(std::uint64_t key,
+                                  std::uint64_t expected_source_hash) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::string so = so_path(key);
+  const std::string manifest = manifest_path(key);
+
+  std::error_code ec;
+  const bool so_exists = fs::exists(so, ec);
+  const bool manifest_exists = fs::exists(manifest, ec);
+  if (!so_exists && !manifest_exists) {
+    ++stats_.misses;
+    PORTAL_OBS_COUNT("jit/artifact/misses", 1);
+    return "";
+  }
+
+  // Something is there: either a valid entry or debris (torn publish,
+  // truncation, a manifest for a different compile that hashed to the same
+  // name). Validate everything before trusting it.
+  const auto reject = [&](const char* why) {
+    ++stats_.rejects;
+    PORTAL_OBS_COUNT("jit/artifact/rejects", 1);
+    PORTAL_LOG_WARN("artifact cache: rejecting entry k%s (%s)",
+                    hex64(key).c_str(), why);
+    std::error_code rec;
+    fs::remove(so, rec);
+    fs::remove(manifest, rec);
+    return std::string();
+  };
+
+  std::string manifest_text;
+  Manifest m;
+  if (!manifest_exists || !read_file(manifest, &manifest_text) ||
+      !parse_manifest(manifest_text, &m))
+    return reject("missing or malformed manifest");
+  if (m.key != key) return reject("manifest key mismatch");
+  if (m.source_hash != expected_source_hash)
+    return reject("stale source hash");
+  std::string so_bytes;
+  if (!so_exists || !read_file(so, &so_bytes))
+    return reject("missing or unreadable .so");
+  if (so_bytes.size() != m.so_bytes || fnv1a_bytes(so_bytes) != m.so_hash)
+    return reject("corrupted .so (size/hash mismatch)");
+
+  ++stats_.hits;
+  PORTAL_OBS_COUNT("jit/artifact/hits", 1);
+  return so;
+}
+
+std::string ArtifactCache::publish(std::uint64_t key, std::uint64_t source_hash,
+                                   std::string_view compiler_identity,
+                                   const std::string& so_file) {
+  std::string so_bytes;
+  if (!read_file(so_file, &so_bytes)) return "";
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::string so = so_path(key);
+  // The .so lands first, the manifest second: a reader that races the gap
+  // sees a manifest/.so hash mismatch and rejects, never a torn dlopen.
+  if (!atomic_write(so, so_bytes)) return "";
+  if (!atomic_write(manifest_path(key),
+                    render_manifest(key, source_hash, compiler_identity,
+                                    so_bytes))) {
+    std::error_code ec;
+    fs::remove(so, ec);
+    return "";
+  }
+  ++stats_.publishes;
+  evict_over_bound_locked();
+  return so;
+}
+
+void ArtifactCache::evict_over_bound_locked() {
+  if (options_.max_entries == 0) return;
+  struct Aged {
+    fs::path so;
+    fs::file_time_type mtime;
+  };
+  std::vector<Aged> entries;
+  std::error_code ec;
+  for (const auto& e : fs::directory_iterator(options_.dir, ec)) {
+    if (!is_entry_so(e.path())) continue;
+    std::error_code mec;
+    const auto mtime = fs::last_write_time(e.path(), mec);
+    if (!mec) entries.push_back({e.path(), mtime});
+  }
+  if (entries.size() <= options_.max_entries) return;
+  std::sort(entries.begin(), entries.end(),
+            [](const Aged& a, const Aged& b) { return a.mtime < b.mtime; });
+  const std::size_t excess = entries.size() - options_.max_entries;
+  for (std::size_t i = 0; i < excess; ++i) {
+    std::error_code rec;
+    fs::remove(entries[i].so, rec);
+    fs::path manifest = entries[i].so;
+    manifest.replace_extension(".manifest");
+    fs::remove(manifest, rec);
+    ++stats_.evictions;
+    PORTAL_OBS_COUNT("jit/artifact/evictions", 1);
+  }
+}
+
+std::size_t ArtifactCache::purge() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t removed = 0;
+  std::error_code ec;
+  for (const auto& e : fs::directory_iterator(options_.dir, ec)) {
+    if (!is_entry_so(e.path())) continue;
+    std::error_code rec;
+    fs::remove(e.path(), rec);
+    fs::path manifest = e.path();
+    manifest.replace_extension(".manifest");
+    fs::remove(manifest, rec);
+    ++removed;
+  }
+  return removed;
+}
+
+std::vector<ArtifactCache::EntryInfo> ArtifactCache::list() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<EntryInfo> out;
+  std::error_code ec;
+  for (const auto& e : fs::directory_iterator(options_.dir, ec)) {
+    if (!is_entry_so(e.path())) continue;
+    EntryInfo info;
+    info.key_hex = e.path().filename().string().substr(1, 16);
+    std::string so_bytes, manifest_text;
+    Manifest m;
+    fs::path manifest = e.path();
+    manifest.replace_extension(".manifest");
+    if (read_file(e.path().string(), &so_bytes) &&
+        read_file(manifest.string(), &manifest_text) &&
+        parse_manifest(manifest_text, &m)) {
+      info.source_hash = m.source_hash;
+      info.so_bytes = so_bytes.size();
+      info.compiler = m.compiler;
+      info.valid = so_bytes.size() == m.so_bytes &&
+                   fnv1a_bytes(so_bytes) == m.so_hash &&
+                   info.key_hex == hex64(m.key);
+    }
+    out.push_back(std::move(info));
+  }
+  std::sort(out.begin(), out.end(), [](const EntryInfo& a, const EntryInfo& b) {
+    return a.key_hex < b.key_hex;
+  });
+  return out;
+}
+
+std::size_t ArtifactCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t n = 0;
+  std::error_code ec;
+  for (const auto& e : fs::directory_iterator(options_.dir, ec))
+    if (is_entry_so(e.path())) ++n;
+  return n;
+}
+
+ArtifactCache::Stats ArtifactCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+ArtifactCache* ArtifactCache::process_cache() {
+  static const std::unique_ptr<ArtifactCache> cache = [] {
+    const char* dir = std::getenv("PORTAL_JIT_CACHE_DIR");
+    if (dir == nullptr || *dir == '\0') return std::unique_ptr<ArtifactCache>();
+    try {
+      Options options;
+      options.dir = dir;
+      return std::make_unique<ArtifactCache>(std::move(options));
+    } catch (const std::exception& e) {
+      PORTAL_LOG_WARN("artifact cache: PORTAL_JIT_CACHE_DIR unusable: %s",
+                      e.what());
+      return std::unique_ptr<ArtifactCache>();
+    }
+  }();
+  return cache.get();
+}
+
+} // namespace portal

@@ -1,0 +1,121 @@
+// Portal -- the cross-process compiled-plan artifact cache (DESIGN.md
+// Sec. 17).
+//
+// The serve PlanCache deduplicates compiles at two levels (descriptor key,
+// canonical post-pass IR fingerprint), but both live inside one process: a
+// restarted server pays the full g++ latency for every distinct chain again.
+// ArtifactCache adds the third, on-disk level: the JIT publishes each
+// compiled `.so` under a key derived from the IR fingerprint, the emitted
+// source hash, the compiler identity, and the emitter version, and later
+// processes dlopen the artifact instead of invoking the compiler at all
+// (warm start with zero compiles).
+//
+// Trust model: the cache directory is plain files, so nothing in it is
+// believed without verification. Every artifact carries a manifest sidecar
+// recording the key, the source hash, and the byte length + FNV-1a hash of
+// the `.so`; lookup() re-hashes the `.so` and rejects on any mismatch
+// (truncated file, torn publish, stale manifest, wrong compiler). A rejected
+// entry is removed and reported as `jit/artifact/rejects` -- it is never
+// dlopen'd. Publishing is write-to-temp + rename-into-place (atomic on
+// POSIX), so concurrent publishers of the same key converge on one valid
+// artifact and readers only ever see complete files.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace portal {
+
+/// FNV-1a over a byte string (the manifest's `.so` digest and the compiler
+/// identity mix; exposed for tests).
+std::uint64_t fnv1a_bytes(std::string_view bytes);
+
+/// The on-disk cache key. Mixes every input that can change the machine
+/// code: the canonical post-pass IR fingerprint (core/ir/ir_hash.h), the
+/// hash of the emitted C++ source (covers hand-built plans whose fingerprint
+/// is 0, and any emitter change the version bump missed), the compiler
+/// identity string (binary + flags + --version line), and the emitter
+/// version (bumped whenever emit_cpp_source changes shape).
+std::uint64_t artifact_cache_key(std::uint64_t ir_fingerprint,
+                                 std::uint64_t source_hash,
+                                 std::string_view compiler_identity,
+                                 std::uint64_t emitter_version);
+
+class ArtifactCache {
+ public:
+  struct Options {
+    std::string dir;
+    /// Entries beyond this bound are evicted oldest-manifest-first on
+    /// publish. 0 = unbounded.
+    std::size_t max_entries = 256;
+  };
+
+  /// Per-handle outcome counters (the process-wide view is the
+  /// jit/artifact/* obs counters; these serve tests and the CLI, which run
+  /// with obs off).
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t rejects = 0;
+    std::uint64_t publishes = 0;
+    std::uint64_t evictions = 0;
+  };
+
+  /// One validated (or rejected) entry, as the CLI inspect subcommand
+  /// reports it.
+  struct EntryInfo {
+    std::string key_hex;
+    std::uint64_t source_hash = 0;
+    std::uint64_t so_bytes = 0;
+    std::string compiler;
+    bool valid = false;
+  };
+
+  /// Creates the directory if missing. Throws std::runtime_error when the
+  /// path exists but is not a directory or cannot be created.
+  explicit ArtifactCache(Options options);
+
+  const std::string& dir() const { return options_.dir; }
+
+  /// Path to a fully validated `.so` for `key`, or "" on miss/reject.
+  /// Invalid entries are unlinked so the follow-up publish starts clean.
+  std::string lookup(std::uint64_t key, std::uint64_t expected_source_hash);
+
+  /// Publish a freshly compiled `.so` (copied from `so_file`, which the
+  /// caller keeps owning) under `key`. Returns the final artifact path, or
+  /// "" when publishing failed (cache dir vanished, disk full) -- the caller
+  /// then just keeps running off its own copy.
+  std::string publish(std::uint64_t key, std::uint64_t source_hash,
+                      std::string_view compiler_identity,
+                      const std::string& so_file);
+
+  /// Remove every artifact + manifest; returns the number of entries
+  /// removed.
+  std::size_t purge();
+
+  /// Validated directory listing (CLI inspect; also re-used by eviction).
+  std::vector<EntryInfo> list() const;
+
+  std::size_t size() const;
+  Stats stats() const;
+
+  /// The process-wide cache configured by PORTAL_JIT_CACHE_DIR (read once);
+  /// nullptr when the variable is unset/empty or the directory cannot be
+  /// created. JitModule::compile(plan) consults this by default.
+  static ArtifactCache* process_cache();
+
+ private:
+  std::string so_path(std::uint64_t key) const;
+  std::string manifest_path(std::uint64_t key) const;
+  void evict_over_bound_locked();
+
+  Options options_;
+  mutable std::mutex mutex_;
+  Stats stats_;
+};
+
+} // namespace portal

@@ -145,6 +145,14 @@ class GenericRules {
                            ? plan.facts.envelope_indicator
                            : plan.kernel.shape == EnvelopeShape::Indicator),
         tau_(config.tau),
+        // Exact comparative reductions over L2 select in squared space (one
+        // sqrt per surviving slot at finish() instead of one per candidate)
+        // -- the same transform the expert k-NN kernel applies. Monotone, so
+        // prune decisions and the selected set are unchanged; VM and JIT
+        // share this rule set, so their bitwise pairing is preserved.
+        sq_select_(identity_env_ && traits_.is_reduction && traits_.sense > 0 &&
+                   metric_ == MetricKind::Euclidean &&
+                   plan.category == ProblemCategory::Pruning),
         workspaces_(num_threads()) {
     const index_t dim = qtree.data().dim();
     const index_t max_leaf = rtree.stats().max_leaf_count;
@@ -185,7 +193,7 @@ class GenericRules {
 
     switch (plan_.category) {
       case ProblemCategory::Pruning: {
-        const real_t dmin = qnode.box.min_dist(metric_, rnode.box, maha_);
+        const real_t dmin = qnode.box.min_dist(select_metric(), rnode.box, maha_);
         if (indicator_env_) {
           const real_t lo = plan_.kernel.indicator_lo;
           const real_t hi = plan_.kernel.indicator_hi;
@@ -204,8 +212,9 @@ class GenericRules {
           return false;
         }
         // Comparative reduction with monotone envelope: prune when the best
-        // achievable sense-space value cannot beat the node bound.
-        const real_t dmax = qnode.box.max_dist(metric_, rnode.box, maha_);
+        // achievable sense-space value cannot beat the node bound. Under
+        // sq-space selection dmin was already computed squared below.
+        const real_t dmax = qnode.box.max_dist(select_metric(), rnode.box, maha_);
         real_t emin, emax;
         envelope_bounds(dmin, dmax, &emin, &emax);
         const real_t pair_best = std::min(traits_.sense * emin, traits_.sense * emax);
@@ -228,7 +237,17 @@ class GenericRules {
   }
 
   real_t score(index_t q, index_t r) {
-    return qtree_.node(q).box.min_dist(metric_, rtree_.node(r).box, maha_);
+    return qtree_.node(q).box.min_dist(select_metric(), rtree_.node(r).box,
+                                       maha_);
+  }
+
+  /// Map sq-space reduction state back to natural distances (one sqrt per
+  /// surviving slot; the max() sentinel marks an unfilled slot and passes
+  /// through untouched).
+  void finish() {
+    if (!sq_select_) return;
+    for (real_t& v : state_.values)
+      if (v != std::numeric_limits<real_t>::max()) v = std::sqrt(v);
   }
 
   void base_case(index_t q, index_t r) {
@@ -253,7 +272,8 @@ class GenericRules {
       if (point_prunable) {
         const real_t worst = state_.values[qi * traits_.slots + (traits_.slots - 1)];
         real_t point_min = rnode.box.min_sq_dist_point(ws.qpt.data());
-        if (metric_ == MetricKind::Euclidean) point_min = std::sqrt(point_min);
+        if (metric_ == MetricKind::Euclidean && !sq_select_)
+          point_min = std::sqrt(point_min);
         if (point_min > worst) {
           leaf_bound = std::max(leaf_bound, worst);
           continue;
@@ -263,16 +283,25 @@ class GenericRules {
       // Kernel values for this query against the whole reference leaf,
       // tile-batched over the SoA mirror when the backend supports it.
       const real_t* vals = ws.vals.data();
-      if (normalized) {
+      if (normalized && batch_ && eval_.leaf_values && !identity_env_) {
+        // Fused leaf loop (JIT backend): metric + envelope in one
+        // specialized pass, bitwise-equal to the generic pair below.
+        const SoaMirror& mirror = rtree_.mirror();
+        eval_.leaf_values(ws.qpt.data(), mirror.lanes(), mirror.stride(),
+                          rnode.begin, rcount, dim, ws.scratch.data(),
+                          ws.vals.data());
+        batch::count_batch_tile(rcount);
+      } else if (normalized) {
         if (batch_) {
-          batch::natural_dists(metric_, rtree_.mirror().tile(rnode.begin, rcount),
+          batch::natural_dists(select_metric(),
+                               rtree_.mirror().tile(rnode.begin, rcount),
                                ws.qpt.data(), maha_, ws.scratch.data(),
                                ws.dists.data());
           batch::count_batch_tile(rcount);
         } else {
-          natural_dists(metric_, maha_, rtree_.data(), rnode.begin, rnode.end,
-                        ws.qpt.data(), ws.dists.data(), ws.scratch.data(),
-                        ws.rpt.data());
+          natural_dists(select_metric(), maha_, rtree_.data(), rnode.begin,
+                        rnode.end, ws.qpt.data(), ws.dists.data(),
+                        ws.scratch.data(), ws.rpt.data());
           batch::count_scalar_tail(rcount);
         }
         if (identity_env_) {
@@ -328,6 +357,14 @@ class GenericRules {
     std::vector<real_t> dists;
     std::vector<real_t> vals;
   };
+
+  /// The space every comparison lives in: squared L2 under sq-space
+  /// selection, the plan metric otherwise. Mixing spaces would make the
+  /// bound propagation unsound, so every min_dist/max_dist/leaf distance
+  /// goes through this one switch.
+  MetricKind select_metric() const {
+    return sq_select_ ? MetricKind::SqEuclidean : metric_;
+  }
 
   /// Bounds on the envelope over a distance interval. Monotone envelopes use
   /// the endpoints; indicators need interval logic (endpoints under-cover).
@@ -480,6 +517,7 @@ class GenericRules {
   bool identity_env_;
   bool indicator_env_;
   real_t tau_;
+  bool sq_select_;
   bool batch_ = false;
   std::vector<AtomicBound> bounds_;
   std::vector<index_t> q_labels_, r_labels_;
@@ -654,6 +692,7 @@ ExecutionResult execute_generic(const ProblemPlan& plan, const PortalConfig& con
   topt.parallel = config.parallel;
   topt.task_depth = config.task_depth;
   result.stats = dual_traverse(*qtree, *rtree, rules, topt);
+  rules.finish();
   traverse_scope.stop();
   result.traversal_seconds = timer.elapsed_s();
 

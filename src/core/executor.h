@@ -40,6 +40,17 @@ struct EvaluatorFns {
                      index_t rbegin, index_t count, index_t dim,
                      real_t* scratch, real_t* out)>
       kernel_batch;
+
+  /// Optional fused leaf loop for NORMALIZED plans (same tile signature as
+  /// kernel_batch): metric distances + envelope in one specialized pass,
+  /// writing finished kernel values to out[0..count). Must be bitwise-equal
+  /// per lane to batch::natural_dists followed by `envelope` (the JIT's
+  /// fused emission is; see DESIGN.md Sec. 17). When null the executor runs
+  /// the generic natural_dists + envelope pair.
+  std::function<void(const real_t* q, const real_t* rlanes, index_t rstride,
+                     index_t rbegin, index_t count, index_t dim,
+                     real_t* scratch, real_t* out)>
+      leaf_values;
 };
 
 /// kd-trees are cached across execute() calls keyed by (dataset identity,

@@ -26,6 +26,11 @@ struct Ctx {
   bool identity_env = false;
   bool normalized = false;
   bool batch = false;
+  // Fused JIT leaf loops (plan_cache.h; null when the plan has no JIT
+  // module or batching is off). Bitwise-equal per lane to the VM paths
+  // below, so taking them never changes an answer.
+  JitModule::BatchFn fused_values = nullptr;
+  JitModule::BatchFn fused_batch = nullptr;
   Workspace* ws = nullptr;
   // Live-view fields (null/0/false on snapshot-only queries, which keeps
   // every new branch below off the legacy hot path).
@@ -84,6 +89,10 @@ Ctx make_ctx(const CompiledPlan& plan, const KdTree& tree, const real_t* point,
                  plan.plan.kernel.shape == EnvelopeShape::Identity);
   ctx.normalized = plan.plan.kernel.normalized;
   ctx.batch = batch;
+  if (batch) {
+    ctx.fused_values = plan.fused_values;
+    ctx.fused_batch = plan.fused_batch;
+  }
   ctx.ws = &ws;
   return ctx;
 }
@@ -171,6 +180,15 @@ const real_t* range_values(const Ctx& ctx, index_t begin, index_t count) {
   Workspace& ws = *ctx.ws;
   const index_t dim = ctx.tree->data().dim();
   if (ctx.normalized) {
+    if (ctx.fused_values != nullptr && !ctx.identity_env) {
+      // Fused JIT leaf loop: metric + envelope in one specialized pass
+      // (bitwise-equal to natural_dists followed by envelope()).
+      const SoaMirror& mirror = ctx.tree->mirror();
+      ctx.fused_values(ctx.qpt, mirror.lanes(), mirror.stride(), begin, count,
+                       dim, ws.scratch.data(), ws.vals.data());
+      batch::count_batch_tile(count);
+      return ws.vals.data();
+    }
     if (ctx.batch) {
       batch::natural_dists(ctx.metric, ctx.tree->mirror().tile(begin, count),
                            ctx.qpt, ctx.maha, ws.scratch.data(),
@@ -187,6 +205,14 @@ const real_t* range_values(const Ctx& ctx, index_t begin, index_t count) {
   }
   if (ctx.batch) {
     const SoaMirror& mirror = ctx.tree->mirror();
+    if (ctx.fused_batch != nullptr) {
+      // Fused JIT tile loop over the opaque kernel (bitwise-equal per lane
+      // to VmProgram::run_batch).
+      ctx.fused_batch(ctx.qpt, mirror.lanes(), mirror.stride(), begin, count,
+                      dim, ws.scratch.data(), ws.vals.data());
+      batch::count_batch_tile(count);
+      return ws.vals.data();
+    }
     VmProgram::BatchContext bctx;
     bctx.q = ctx.qpt;
     bctx.rlanes = mirror.lanes();

@@ -7,6 +7,7 @@
 #include "core/ir/ir_hash.h"
 #include "core/portal_expr.h"
 #include "obs/trace.h"
+#include "util/log.h"
 
 namespace portal::serve {
 namespace {
@@ -64,8 +65,27 @@ const char* supported_ops_message() {
          "KMIN/KMAX/KARGMIN/KARGMAX, SUM, UNION/UNIONARG)";
 }
 
-PlanHandle compile_plan(const LayerSpec& inner, const Dataset& reference,
-                        const PortalConfig& config) {
+/// Attach a JIT module (fused leaf loops + persistent artifact) to a freshly
+/// compiled plan. Failure is soft: the VM programs stay authoritative, so a
+/// broken toolchain degrades throughput, never availability.
+void attach_jit(CompiledPlan& compiled, ArtifactCache* artifacts) {
+  if (!jit_available()) return;
+  try {
+    std::shared_ptr<const JitModule> module =
+        JitModule::compile(compiled.plan, artifacts);
+    if (module != nullptr) {
+      compiled.fused_values = module->fused_values_fn();
+      compiled.fused_batch = module->fused_batch_fn();
+      compiled.jit = std::move(module);
+    }
+  } catch (const std::exception& e) {
+    PORTAL_LOG_WARN("serve: jit compile failed, serving via VM: %s", e.what());
+  }
+}
+
+std::shared_ptr<CompiledPlan> compile_plan(const LayerSpec& inner,
+                                           const Dataset& reference,
+                                           const PortalConfig& config) {
   auto compiled = std::make_shared<CompiledPlan>();
 
   // Resolve the operator traits up front so unsupported shapes fail before
@@ -139,6 +159,26 @@ PlanHandle compile_plan(const LayerSpec& inner, const Dataset& reference,
 
 } // namespace
 
+void PlanCache::configure_jit(const JitOptions& options) {
+  std::shared_ptr<ArtifactCache> artifacts;
+  if (options.enabled && !options.cache_dir.empty()) {
+    ArtifactCache::Options cache_options;
+    cache_options.dir = options.cache_dir;
+    cache_options.max_entries = options.max_entries;
+    // An unusable directory downgrades to uncached JIT (every process
+    // compiles); serving still works.
+    try {
+      artifacts = std::make_shared<ArtifactCache>(std::move(cache_options));
+    } catch (const std::exception& e) {
+      PORTAL_LOG_WARN("serve: jit cache dir unusable, compiling uncached: %s",
+                      e.what());
+    }
+  }
+  MutexLock lock(mutex_);
+  jit_options_ = options;
+  artifacts_ = std::move(artifacts);
+}
+
 PlanHandle PlanCache::get_or_compile(const LayerSpec& inner,
                                      const Dataset& reference,
                                      const PortalConfig& config) {
@@ -156,9 +196,21 @@ PlanHandle PlanCache::get_or_compile(const LayerSpec& inner,
     }
   }
 
-  // Compile outside the lock: the pipeline can take milliseconds and must
-  // never stall concurrent hits on other chains.
-  PlanHandle fresh = compile_plan(inner, reference, config);
+  bool jit_enabled = false;
+  std::shared_ptr<ArtifactCache> artifacts;
+  {
+    MutexLock lock(mutex_);
+    jit_enabled = jit_options_.enabled;
+    artifacts = artifacts_;
+  }
+
+  // Compile outside the lock: the pipeline can take milliseconds (plus a
+  // compiler invocation under JIT serving) and must never stall concurrent
+  // hits on other chains.
+  std::shared_ptr<CompiledPlan> fresh = compile_plan(inner, reference, config);
+  if (jit_enabled)
+    attach_jit(*fresh, artifacts != nullptr ? artifacts.get()
+                                            : ArtifactCache::process_cache());
 
   MutexLock lock(mutex_);
   auto [fit, inserted] = by_fingerprint_.emplace(fresh->fingerprint, fresh);

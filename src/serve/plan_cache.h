@@ -24,7 +24,9 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <string>
 
+#include "core/codegen/jit.h"
 #include "core/codegen/vm.h"
 #include "core/plan.h"
 #include "util/thread_annotations.h"
@@ -41,6 +43,17 @@ struct CompiledPlan {
   VmProgram kernel_vm;
   VmProgram envelope_vm; // valid iff has_envelope
   bool has_envelope = false;
+
+  /// The plan's JIT module when the cache was configured for JIT serving
+  /// (configure_jit) and the compile succeeded; nullptr otherwise. The VM
+  /// programs above always remain valid -- they are the fallback for
+  /// non-batch paths and the oracle the differential walls compare against.
+  /// Held shared so the dlopen mapping outlives every in-flight request;
+  /// the raw fused entry points are cached beside it for the per-leaf hot
+  /// path (no dlsym, no std::function).
+  std::shared_ptr<const JitModule> jit;
+  JitModule::BatchFn fused_values = nullptr; // normalized: metric + envelope
+  JitModule::BatchFn fused_batch = nullptr;  // opaque kernel per SoA lane
 
   /// Inner-operator traits, pre-resolved so the engine never re-derives them
   /// per request (same decomposition as the executor's reducers).
@@ -63,6 +76,20 @@ using PlanHandle = std::shared_ptr<const CompiledPlan>;
 
 class PlanCache {
  public:
+  /// JIT serving configuration (ServiceOptions::jit / jit_cache_dir). With
+  /// `enabled`, every compiled plan also gets a JitModule with the fused
+  /// leaf-loop entry points; artifacts persist in `cache_dir` (or in the
+  /// PORTAL_JIT_CACHE_DIR process cache when empty) so a restarted service
+  /// warm-starts with zero compiler invocations. A failed JIT compile logs
+  /// and falls back to the VM -- it never fails the prepare().
+  struct JitOptions {
+    bool enabled = false;
+    std::string cache_dir;
+    std::size_t max_entries = 256;
+  };
+
+  void configure_jit(const JitOptions& options);
+
   struct Stats {
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
@@ -97,6 +124,8 @@ class PlanCache {
   std::map<std::uint64_t, PlanHandle> by_descriptor_ PORTAL_GUARDED_BY(mutex_);
   std::map<std::uint64_t, PlanHandle> by_fingerprint_ PORTAL_GUARDED_BY(mutex_);
   Stats stats_ PORTAL_GUARDED_BY(mutex_);
+  JitOptions jit_options_ PORTAL_GUARDED_BY(mutex_);
+  std::shared_ptr<ArtifactCache> artifacts_ PORTAL_GUARDED_BY(mutex_);
 };
 
 } // namespace portal::serve

@@ -43,6 +43,12 @@ const char* status_name(Status s) {
 
 PortalService::PortalService(ServiceOptions options)
     : options_(normalize(std::move(options))), store_(live_options(options_)) {
+  if (options_.jit) {
+    PlanCache::JitOptions jit;
+    jit.enabled = true;
+    jit.cache_dir = options_.jit_cache_dir;
+    cache_.configure_jit(jit);
+  }
   workers_.reserve(static_cast<std::size_t>(options_.workers));
   for (int i = 0; i < options_.workers; ++i)
     workers_.emplace_back(&PortalService::worker_loop, this);

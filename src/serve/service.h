@@ -75,6 +75,13 @@ struct ServiceOptions {
   real_t tau = 0;                  // SUM approximation budget; 0 = exact
   bool batch_base_cases = true;    // SIMD leaf tiles in the engine
   bool strength_reduction = true;  // compiler knob passed to plan compiles
+  /// Also JIT-compile every served plan (fused leaf-tile loops; the VM
+  /// stays the fallback and the bitwise oracle). Compiled `.so` artifacts
+  /// persist in jit_cache_dir -- or the PORTAL_JIT_CACHE_DIR process cache
+  /// when empty -- so a restarted service warm-starts with zero compiler
+  /// invocations (DESIGN.md Sec. 17, docs/SERVING.md).
+  bool jit = false;
+  std::string jit_cache_dir;
   /// Answer each coalesced micro-batch with interleaved resumable descents
   /// (engine.h run_query_batch): the worker round-robins resume() slices
   /// across the batch so one request's cache miss hides behind another's

@@ -19,10 +19,12 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <memory>
 #include <vector>
 
 #include "core/analysis.h"
+#include "core/codegen/artifact_cache.h"
 #include "core/codegen/jit.h"
 #include "core/codegen/pattern.h"
 #include "core/codegen/vm.h"
@@ -33,6 +35,7 @@
 #include "core/portal.h"
 #include "core/verify/verify.h"
 #include "data/generators.h"
+#include "kernels/batch.h"
 #include "serve/engine.h"
 #include "serve/live.h"
 #include "serve/plan_cache.h"
@@ -1169,6 +1172,255 @@ TEST(DifferentialConformance, LiveTwoRootVsRebuiltUnionTree) {
         }
       }
     }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The fused-leaf-loop wall (DESIGN.md Sec. 17): the JIT's whole-tile entry
+// points claim *bitwise* parity with the interpreted paths they replace.
+// ---------------------------------------------------------------------------
+
+/// mkdtemp-backed artifact-cache directory, removed on scope exit.
+struct TempCacheDir {
+  std::string path;
+  TempCacheDir() {
+    std::string tpl = "/tmp/portal_fuzz_cache_XXXXXX";
+    std::vector<char> buf(tpl.begin(), tpl.end());
+    buf.push_back('\0');
+    if (mkdtemp(buf.data()) == nullptr)
+      throw std::runtime_error("cannot create temp cache dir");
+    path.assign(buf.data());
+  }
+  ~TempCacheDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path, ec);
+  }
+};
+
+// portal_fused_batch vs VmProgram::run_batch and portal_fused_values vs
+// batch::natural_dists + envelope, lane by lane at ZERO ULP: the specialized
+// dimension-unrolled tile loops must reproduce the interpreted tile bit for
+// bit (ragged counts around the 16-lane block, nonzero tile offset, padded
+// stride) -- that is what lets the executor and the serve engine swap them in
+// without changing a single answer.
+TEST(CodegenFuzz, FusedTileEntriesMatchVmPerLane) {
+  if (!jit_available()) GTEST_SKIP() << "no system compiler";
+  const std::uint64_t seed = fuzz_seed();
+  std::printf("PORTAL_FUZZ_SEED=%llu\n", static_cast<unsigned long long>(seed));
+  Rng rng(seed ^ 0xf05edull);
+
+  Storage data(make_gaussian_mixture(40, 3, 2, seed ^ 0x77));
+  const index_t dim = 3;
+  const index_t counts[] = {1, 15, 16, 17};
+
+  // Normalized plans (metric + envelope: fused_values applies) and custom
+  // kernels (opaque IR: fused_batch only).
+  std::vector<std::pair<std::string, ProblemPlan>> plans;
+  const auto add_func = [&](const char* label, const PortalFunc& func) {
+    std::vector<LayerSpec> layers(2);
+    layers[0].op = OpSpec(PortalOp::FORALL);
+    layers[0].storage = data;
+    layers[1].op = OpSpec(PortalOp::SUM);
+    layers[1].storage = data;
+    layers[1].func = func;
+    plans.emplace_back(label, analyze_layers(layers, PortalConfig{}));
+  };
+  add_func("gaussian", PortalFunc::gaussian(0.9));
+  add_func("euclidean", PortalFunc::EUCLIDEAN);
+  add_func("manhattan", PortalFunc::MANHATTAN);
+  add_func("chebyshev", PortalFunc::CHEBYSHEV);
+  add_func("gaussian-maha", PortalFunc::gaussian_maha(random_spd3(rng)));
+  add_func("indicator", PortalFunc::indicator(1e-9, 1.1));
+  for (int t = 0; t < 3; ++t) {
+    Var q, r;
+    AstFuzzer fuzzer(seed + 90 * t, q, r);
+    const Expr kernel = fuzzer.scalar_kernel();
+    std::vector<LayerSpec> layers(2);
+    layers[0].op = OpSpec(PortalOp::FORALL);
+    layers[0].storage = data;
+    layers[0].var_id = q.id();
+    layers[1].op = OpSpec(PortalOp::SUM);
+    layers[1].storage = data;
+    layers[1].var_id = r.id();
+    layers[1].custom_kernel = kernel;
+    plans.emplace_back("custom: " + kernel.to_string(),
+                       analyze_layers(layers, PortalConfig{}));
+  }
+
+  for (const auto& [label, plan] : plans) {
+    SCOPED_TRACE(label);
+    const auto module = JitModule::compile(plan);
+    ASSERT_NE(module, nullptr);
+    ASSERT_NE(module->fused_batch_fn(), nullptr);
+    const VmProgram kernel_vm = VmProgram::compile(plan.kernel.kernel_ir);
+    const bool have_values =
+        plan.kernel.normalized && plan.kernel.envelope_ir != nullptr;
+    if (have_values)
+      ASSERT_NE(module->fused_values_fn(), nullptr)
+          << "normalized plan must emit portal_fused_values";
+    const VmProgram env_vm = have_values
+                                 ? VmProgram::compile(plan.kernel.envelope_ir)
+                                 : VmProgram();
+
+    for (const index_t count : counts) {
+      SCOPED_TRACE("count=" + std::to_string(count));
+      const index_t rbegin = 3;
+      const index_t stride = rbegin + count + 5;
+      std::vector<real_t> lanes(static_cast<std::size_t>(dim) * stride, -7);
+      std::vector<real_t> qpt(dim);
+      for (index_t d = 0; d < dim; ++d) {
+        qpt[d] = rng.uniform(-3, 3);
+        for (index_t j = 0; j < count; ++j)
+          lanes[d * stride + rbegin + j] = rng.uniform(-3, 3);
+      }
+      const std::size_t scratch_size = static_cast<std::size_t>(
+          std::max<index_t>(4 * dim + 4, 2 * dim * batch::kMahaBlock));
+      std::vector<real_t> scratch(scratch_size), want_scratch(scratch_size);
+      std::vector<real_t> got(count), want(count);
+
+      // Axis 1: the opaque-kernel tile vs the VM's SoA interpreter.
+      VmProgram::BatchContext bctx;
+      bctx.q = qpt.data();
+      bctx.rlanes = lanes.data();
+      bctx.rstride = stride;
+      bctx.rbegin = rbegin;
+      bctx.count = count;
+      bctx.dim = dim;
+      bctx.scratch = want_scratch.data();
+      kernel_vm.run_batch(bctx, want.data());
+      module->fused_batch_fn()(qpt.data(), lanes.data(), stride, rbegin, count,
+                               dim, scratch.data(), got.data());
+      for (index_t j = 0; j < count; ++j)
+        EXPECT_EQ(ulp_distance(want[j], got[j]), 0)
+            << "fused_batch lane " << j << ": run_batch=" << want[j]
+            << " fused=" << got[j];
+
+      // Axis 2: the specialized metric+envelope tile vs the interpreted
+      // leaf pipeline it replaces (batch::natural_dists, then the envelope
+      // program per lane).
+      if (!have_values) continue;
+      batch::Tile tile{lanes.data(), stride, rbegin, count, dim};
+      batch::natural_dists(plan.kernel.metric, tile, qpt.data(),
+                           plan.kernel.maha.get(), want_scratch.data(),
+                           want.data());
+      for (index_t j = 0; j < count; ++j)
+        want[j] = env_vm.run_envelope(want[j]);
+      module->fused_values_fn()(qpt.data(), lanes.data(), stride, rbegin,
+                                count, dim, scratch.data(), got.data());
+      for (index_t j = 0; j < count; ++j)
+        EXPECT_EQ(ulp_distance(want[j], got[j]), 0)
+            << "fused_values lane " << j << ": interpreted=" << want[j]
+            << " fused=" << got[j];
+    }
+  }
+}
+
+// Random chains end to end at tolerance ZERO: the JIT engine -- now running
+// its fused tile loops on every batched leaf -- must agree with the VM engine
+// bit for bit, batched and scalar, warm cache and cold. The pattern engine
+// and the brute-force oracle ride along at their documented tolerances
+// (validate=true self-checks every run against brute force); VM-vs-JIT is the
+// pair the fused-loop refactor could have broken, so that pair is pinned at
+// zero.
+TEST(DifferentialConformance, FusedLeafLoopBitwiseIdentical) {
+  if (!jit_available()) GTEST_SKIP() << "no system compiler";
+  const std::uint64_t seed = fuzz_seed();
+  std::printf("PORTAL_FUZZ_SEED=%llu\n", static_cast<unsigned long long>(seed));
+  Rng rng(seed ^ 0xf00d5ca1eull);
+
+  constexpr int kChains = 30;
+  TempCacheDir cache_dir;
+
+  for (int chain = 0; chain < kChains; ++chain) {
+    Var q, r;
+    const ChainSpec spec = draw_chain(rng, q, r, chain, seed);
+    const index_t nq = 16 + static_cast<index_t>(rng.uniform_index(24));
+    const index_t nr = 24 + static_cast<index_t>(rng.uniform_index(40));
+    const index_t leaf = 1 + static_cast<index_t>(rng.uniform_index(16));
+    Storage query(make_gaussian_mixture(nq, 3, 3, seed + 37 * chain));
+    Storage reference = spec.self_join
+                            ? query
+                            : Storage(make_gaussian_mixture(
+                                  nr, 3, 3, seed + 37 * chain + 19));
+    SCOPED_TRACE("chain " + std::to_string(chain) + " [" + spec.description +
+                 "] leaf " + std::to_string(leaf) +
+                 " seed=" + std::to_string(seed) +
+                 (spec.use_custom ? " kernel: " + spec.custom_kernel.to_string()
+                                  : ""));
+
+    // tau = 0: every engine answers exactly, so bitwise-identical kernels
+    // imply bitwise-identical outputs (no approximation slack to hide in).
+    const auto run = [&](Engine engine, bool batch, ProblemPlan* plan_out) {
+      PortalExpr expr;
+      if (spec.use_custom) {
+        expr.addLayer(spec.outer, q, query);
+        expr.addLayer(spec.inner, r, reference, spec.custom_kernel);
+      } else {
+        expr.addLayer(spec.outer, query);
+        expr.addLayer(spec.inner, reference, spec.func);
+      }
+      PortalConfig config;
+      config.engine = engine;
+      config.parallel = false;
+      config.validate = true; // brute-force oracle rides along on every run
+      config.tau = 0;
+      config.leaf_size = leaf;
+      config.batch_base_cases = batch;
+      expr.execute(config);
+      if (plan_out != nullptr) *plan_out = expr.plan();
+      return expr.getOutput();
+    };
+
+    Storage vm_batched, vm_scalar, jit_batched, jit_scalar;
+    ProblemPlan plan;
+    ASSERT_NO_THROW(vm_batched = run(Engine::VM, true, nullptr));
+    ASSERT_NO_THROW(vm_scalar = run(Engine::VM, false, nullptr));
+    ASSERT_NO_THROW(jit_batched = run(Engine::JIT, true, &plan));
+    ASSERT_NO_THROW(jit_scalar = run(Engine::JIT, false, nullptr));
+
+    std::string mismatch =
+        compare_outputs(vm_batched.output(), jit_batched.output(), 0);
+    EXPECT_TRUE(mismatch.empty()) << "vm batched vs jit batched: " << mismatch;
+    mismatch = compare_outputs(vm_scalar.output(), jit_scalar.output(), 0);
+    EXPECT_TRUE(mismatch.empty()) << "vm scalar vs jit scalar: " << mismatch;
+    mismatch = compare_outputs(vm_batched.output(), vm_scalar.output(), 0);
+    EXPECT_TRUE(mismatch.empty()) << "vm batched vs vm scalar: " << mismatch;
+
+    // Warm/cold cache axis (every few chains: each compile shells out to the
+    // system compiler, so sampling keeps the wall fast). The artifact
+    // round-trips through the on-disk cache; the warm module's fused entries
+    // must produce the same bits as the cold one's.
+    if (chain % 5 != 0 || !plan.kernel.kernel_ir) continue;
+    ArtifactCache::Options copt;
+    copt.dir = cache_dir.path;
+    ArtifactCache cache(std::move(copt));
+    const auto cold = JitModule::compile(plan, &cache);
+    ASSERT_NE(cold, nullptr);
+    const auto warm = JitModule::compile(plan, &cache);
+    ASSERT_NE(warm, nullptr);
+    EXPECT_TRUE(warm->from_cache());
+
+    const index_t dim = 3, count = 13, rbegin = 2, stride = 21;
+    std::vector<real_t> lanes(static_cast<std::size_t>(dim) * stride, -5);
+    std::vector<real_t> qpt(dim);
+    for (index_t d = 0; d < dim; ++d) {
+      qpt[d] = rng.uniform(-3, 3);
+      for (index_t j = 0; j < count; ++j)
+        lanes[d * stride + rbegin + j] = rng.uniform(-3, 3);
+    }
+    const std::size_t scratch_size = static_cast<std::size_t>(
+        std::max<index_t>(4 * dim + 4, 2 * dim * batch::kMahaBlock));
+    std::vector<real_t> scratch(scratch_size);
+    std::vector<real_t> cold_out(count), warm_out(count);
+    ASSERT_NE(cold->fused_batch_fn(), nullptr);
+    ASSERT_NE(warm->fused_batch_fn(), nullptr);
+    cold->fused_batch_fn()(qpt.data(), lanes.data(), stride, rbegin, count,
+                           dim, scratch.data(), cold_out.data());
+    warm->fused_batch_fn()(qpt.data(), lanes.data(), stride, rbegin, count,
+                           dim, scratch.data(), warm_out.data());
+    for (index_t j = 0; j < count; ++j)
+      EXPECT_EQ(ulp_distance(cold_out[j], warm_out[j]), 0)
+          << "cold vs warm lane " << j;
   }
 }
 

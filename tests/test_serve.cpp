@@ -12,12 +12,15 @@
 #include <chrono>
 #include <cmath>
 #include <cstdint>
+#include <cstdlib>
+#include <filesystem>
 #include <future>
 #include <map>
 #include <mutex>
 #include <thread>
 #include <vector>
 
+#include "core/codegen/jit.h"
 #include "data/generators.h"
 #include "obs/histogram.h"
 #include "obs/trace.h"
@@ -1153,6 +1156,85 @@ TEST(ServeIngest, ConcurrentWritersAndReadersBitwiseAtPinnedViews) {
   ASSERT_TRUE(view);
   EXPECT_EQ(view->live_size(),
             300 + kWriters * (kPerWriter - kPerWriter / 3));
+}
+
+// The warm-start wall (DESIGN.md Sec. 17): two PortalService lifecycles over
+// the same jit_cache_dir. The first pays one compiler invocation per distinct
+// plan and publishes the artifacts; the second -- a restarted server -- must
+// answer bitwise-identically with ZERO compiler invocations, asserted through
+// the jit/artifact/* counters.
+TEST(ServeService, JitWarmStartsWithZeroCompiles) {
+  if (!jit_available()) GTEST_SKIP() << "no system compiler";
+  std::string cache_dir;
+  {
+    char tpl[] = "/tmp/portal_serve_cache_XXXXXX";
+    ASSERT_NE(mkdtemp(tpl), nullptr);
+    cache_dir = tpl;
+  }
+  const Dataset reference = make_gaussian_mixture(400, 3, 3, 20260807);
+
+  obs::set_enabled(true);
+  struct Run {
+    std::vector<QueryResult> kde, knn;
+    std::uint64_t compiles = 0, hits = 0;
+  };
+  const auto lifecycle = [&](Run* run) {
+    obs::reset();
+    ServiceOptions options;
+    options.workers = 2;
+    options.jit = true;
+    options.jit_cache_dir = cache_dir;
+    PortalService service(options);
+    service.publish(reference);
+    PlanHandle kde = service.prepare(PortalOp::SUM, PortalFunc::gaussian(0.7));
+    PlanHandle knn =
+        service.prepare({PortalOp::KARGMIN, 4}, PortalFunc::EUCLIDEAN);
+    ASSERT_TRUE(kde);
+    ASSERT_TRUE(knn);
+    // JIT serving attached fused entry points: the non-identity Gaussian
+    // envelope gets the specialized metric+envelope tile loop.
+    EXPECT_NE(kde->jit, nullptr);
+    EXPECT_NE(kde->fused_values, nullptr);
+    EXPECT_NE(knn->jit, nullptr);
+
+    std::vector<std::future<Response>> futures;
+    for (index_t i = 0; i < 16; ++i)
+      futures.push_back(service.submit(kde, query_point(reference, i)));
+    for (index_t i = 0; i < 16; ++i)
+      futures.push_back(service.submit(knn, query_point(reference, i)));
+    for (std::size_t i = 0; i < futures.size(); ++i) {
+      Response resp = futures[i].get();
+      ASSERT_EQ(resp.status, Status::Ok) << resp.error;
+      (i < 16 ? run->kde : run->knn).push_back(std::move(resp.result));
+    }
+    service.stop();
+    const obs::TraceReport report = obs::collect();
+    run->compiles = report.counter("jit/artifact/compiles");
+    run->hits = report.counter("jit/artifact/hits");
+  };
+
+  Run cold, warm;
+  lifecycle(&cold);
+  EXPECT_EQ(cold.compiles, 2u) << "one compiler invocation per distinct plan";
+  EXPECT_EQ(cold.hits, 0u);
+
+  lifecycle(&warm); // the restarted server
+  EXPECT_EQ(warm.compiles, 0u)
+      << "warm start must not invoke the compiler at all";
+  EXPECT_EQ(warm.hits, 2u);
+  obs::set_enabled(false);
+
+  // Bitwise-equal answers at the pinned view: the cached machine code is the
+  // same bytes, so every value and id matches exactly.
+  ASSERT_EQ(cold.kde.size(), warm.kde.size());
+  for (std::size_t i = 0; i < cold.kde.size(); ++i)
+    expect_bitwise(warm.kde[i], cold.kde[i]);
+  ASSERT_EQ(cold.knn.size(), warm.knn.size());
+  for (std::size_t i = 0; i < cold.knn.size(); ++i)
+    expect_bitwise(warm.knn[i], cold.knn[i]);
+
+  std::error_code ec;
+  std::filesystem::remove_all(cache_dir, ec);
 }
 
 } // namespace

@@ -54,6 +54,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/codegen/artifact_cache.h"
 #include "core/parser.h"
 #include "core/portal.h"
 #include "core/verify/diagnostics.h"
@@ -107,6 +108,8 @@ struct Args {
                "       portal_cli run FILE.portal | verify FILE.portal "
                "[--werror]\n"
                "       portal_cli lint FILE.portal [--json] [--werror]\n"
+               "       portal_cli cache inspect|purge [--dir D]   JIT artifact"
+               " cache (default dir: $PORTAL_JIT_CACHE_DIR)\n"
                "       portal_cli --dump-golden=DIR   regenerate "
                "tests/golden/*.csv\n");
   std::exit(1);
@@ -470,6 +473,45 @@ int run_serve_bench(const Args& args) {
   return 0;
 }
 
+/// `portal_cli cache inspect|purge [--dir D]`: operator's view of the
+/// persistent JIT artifact cache (DESIGN.md Sec. 17). inspect prints one
+/// validated row per entry plus a greppable summary line; purge empties the
+/// directory. Invalid entries (truncated .so, tampered manifest) show as
+/// valid=no -- the serving path rejects and recompiles them, never loads them.
+int run_cache(const Args& args) {
+  const std::string action = args.get("script", "inspect");
+  std::string dir = args.get("dir");
+  if (dir.empty()) {
+    const char* env = std::getenv("PORTAL_JIT_CACHE_DIR");
+    if (env != nullptr) dir = env;
+  }
+  if (dir.empty())
+    usage("cache: pass --dir or set PORTAL_JIT_CACHE_DIR");
+
+  ArtifactCache::Options options;
+  options.dir = dir;
+  options.max_entries = 0; // the CLI never evicts behind the operator's back
+  ArtifactCache cache(std::move(options));
+
+  if (action == "purge") {
+    std::printf("purged %zu entries from %s\n", cache.purge(), dir.c_str());
+    return 0;
+  }
+  if (action != "inspect") usage("cache: action must be inspect or purge");
+
+  const std::vector<ArtifactCache::EntryInfo> entries = cache.list();
+  std::size_t valid = 0;
+  for (const ArtifactCache::EntryInfo& e : entries) {
+    std::printf("k%s  %10llu bytes  valid=%s  %s\n", e.key_hex.c_str(),
+                static_cast<unsigned long long>(e.so_bytes),
+                e.valid ? "yes" : "no", e.compiler.c_str());
+    if (e.valid) ++valid;
+  }
+  std::printf("cache %s: %zu entries, %zu valid\n", dir.c_str(),
+              entries.size(), valid);
+  return 0;
+}
+
 int run(const Args& args) {
   if (args.problem == "run" || args.problem == "verify" ||
       args.problem == "lint") {
@@ -623,6 +665,7 @@ int run(const Args& args) {
   }
 
   if (args.problem == "serve-bench") return run_serve_bench(args);
+  if (args.problem == "cache") return run_cache(args);
 
   usage(("unknown problem '" + args.problem + "'").c_str());
 }
@@ -650,7 +693,7 @@ int main(int argc, char** argv) {
   args.problem = argv[1];
   int first_option = 2;
   if ((args.problem == "run" || args.problem == "verify" ||
-       args.problem == "lint") &&
+       args.problem == "lint" || args.problem == "cache") &&
       argc >= 3 && std::strncmp(argv[2], "--", 2) != 0) {
     args.options["script"] = argv[2];
     first_option = 3;
