@@ -22,7 +22,10 @@
 
 #include "bench/bench_common.h"
 #include "data/generators.h"
+#include "serve/engine.h"
+#include "serve/plan_cache.h"
 #include "serve/service.h"
+#include "tree/snapshot.h"
 
 using namespace portal;
 using namespace portal::bench;
@@ -272,6 +275,129 @@ int main(int argc, char** argv) {
              static_cast<double>(stats.ingest.merges), "count");
     json.add("serve/ingest", "merged_points",
              static_cast<double>(stats.ingest.merged_points), "count");
+  }
+
+  // --- approximate high-dimensional serving (ISSUE PR-10): the nn-descent
+  // --- graph index (src/index, DESIGN.md Sec. 18) vs the exact tree descent
+  // --- at d = 32, measured at the engine level so recall and per-query
+  // --- latency are clean of scheduler noise. Both paths answer through the
+  // --- SAME compiled plan -- approx/beam-width are runtime knobs. Gates:
+  // --- recall@10 at the default beam width (64) must hold 0.9 at any scale;
+  // --- the latency win over the exact path is gated only at full scale
+  // --- (a smoke-sized dataset fits in a handful of leaves, where the exact
+  // --- descent is already near-free and the graph has nothing to skip).
+  {
+    print_header("Serving runtime -- approximate high-dimensional k-NN");
+    const index_t ann_n =
+        std::max<index_t>(4000, static_cast<index_t>(60000 * scale));
+    const index_t ann_dim = 32;
+    const index_t ann_k = 10;
+    const Dataset highd = make_gaussian_mixture(ann_n, ann_dim, 8, 20260807);
+
+    SnapshotOptions sopts;
+    sopts.build_graph = true;
+    const auto snapshot = TreeSnapshot::build(
+        std::make_shared<const Dataset>(highd), 1, sopts);
+    const double graph_build_s = snapshot->graph()->stats().build_seconds;
+
+    LayerSpec knn;
+    knn.op = OpSpec(PortalOp::KARGMIN, ann_k);
+    knn.func = PortalFunc::EUCLIDEAN;
+    serve::PlanCache ann_cache;
+    const serve::PlanHandle plan =
+        ann_cache.get_or_compile(knn, highd, PortalConfig{});
+
+    const int nq = 200;
+    std::uint64_t state = 0x2545f4914f6cdd1dull;
+    const auto next = [&state] {
+      state ^= state << 13; state ^= state >> 7; state ^= state << 17;
+      return state;
+    };
+    std::vector<std::vector<real_t>> queries;
+    for (int q = 0; q < nq; ++q) {
+      std::vector<real_t> pt(static_cast<std::size_t>(ann_dim));
+      const index_t base = static_cast<index_t>(
+          next() % static_cast<std::uint64_t>(ann_n));
+      for (index_t d = 0; d < ann_dim; ++d)
+        pt[static_cast<std::size_t>(d)] =
+            highd.coord(base, d) + static_cast<real_t>(next() % 1000) * 1e-4;
+      queries.push_back(std::move(pt));
+    }
+
+    serve::Workspace ws;
+    std::vector<std::vector<index_t>> exact_ids;
+    auto t0 = std::chrono::steady_clock::now();
+    for (const std::vector<real_t>& pt : queries) {
+      const serve::QueryResult r =
+          serve::run_query(*plan, *snapshot, pt.data(), {}, ws);
+      exact_ids.push_back(r.ids);
+    }
+    const double exact_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    const double exact_qps = nq / exact_s;
+
+    print_row({"path", "QPS", "mean ms", "recall@10"});
+    print_row({"exact-tree", fmt(exact_qps, "%.0f"),
+               fmt(exact_s * 1e3 / nq, "%.4f"), "1.000"});
+    json.add("serve/ann", "points", static_cast<double>(ann_n), "count");
+    json.add("serve/ann", "dim", static_cast<double>(ann_dim), "count");
+    json.add("serve/ann", "graph_build_seconds", graph_build_s);
+    json.add("serve/ann", "exact_qps", exact_qps, "1/s");
+    json.add("serve/ann", "exact_latency_mean", exact_s / nq);
+
+    double default_recall = 0;
+    double best_approx_qps = 0;
+    for (const index_t beam : {index_t{16}, index_t{32}, index_t{64}}) {
+      serve::EngineOptions aopt;
+      aopt.approx = true;
+      aopt.beam_width = beam;
+      std::uint64_t hits = 0;
+      t0 = std::chrono::steady_clock::now();
+      for (int q = 0; q < nq; ++q) {
+        const serve::QueryResult r = serve::run_query(
+            *plan, *snapshot, queries[static_cast<std::size_t>(q)].data(),
+            aopt, ws);
+        for (const index_t id : r.ids)
+          if (std::find(exact_ids[static_cast<std::size_t>(q)].begin(),
+                        exact_ids[static_cast<std::size_t>(q)].end(),
+                        id) != exact_ids[static_cast<std::size_t>(q)].end())
+            ++hits;
+      }
+      const double approx_s =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count();
+      const double qps = nq / approx_s;
+      const double recall = static_cast<double>(hits) /
+                            static_cast<double>(nq * ann_k);
+      best_approx_qps = std::max(best_approx_qps, qps);
+      if (beam == 64) default_recall = recall;
+      const std::string suffix = "_beam" + std::to_string(beam);
+      print_row({"graph-beam" + std::to_string(beam), fmt(qps, "%.0f"),
+                 fmt(approx_s * 1e3 / nq, "%.4f"), fmt(recall, "%.3f")});
+      json.add("serve/ann", "qps" + suffix, qps, "1/s");
+      json.add("serve/ann", "latency_mean" + suffix, approx_s / nq);
+      json.add("serve/ann", "recall_at_10" + suffix, recall, "ratio");
+    }
+    json.add("serve/ann", "recall_at_10", default_recall, "ratio");
+    json.add("serve/ann", "graph_speedup_vs_exact",
+             best_approx_qps / exact_qps, "ratio");
+    std::printf("graph build %.3fs | best graph path %.2fx exact QPS\n",
+                graph_build_s, best_approx_qps / exact_qps);
+
+    if (default_recall < 0.9) {
+      std::printf("  !! recall@10 %.4f < 0.9 at default beam width 64\n",
+                  default_recall);
+      gate_ok = false;
+    }
+    // Latency-win gate, full scale only (see the comment block above).
+    if (ann_n >= 20000 && best_approx_qps <= exact_qps) {
+      std::printf("  !! graph path (%.0f QPS) not beating exact tree descent "
+                  "(%.0f QPS) at n=%lld d=%lld\n",
+                  best_approx_qps, exact_qps, static_cast<long long>(ann_n),
+                  static_cast<long long>(ann_dim));
+      gate_ok = false;
+    }
   }
 
   if (!json_path.empty()) json.write(json_path);

@@ -1,0 +1,429 @@
+#include "index/knn_graph.h"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+#include "kernels/batch.h"
+#include "obs/trace.h"
+#include "util/threading.h"
+
+namespace portal {
+namespace {
+
+/// Gathered-tile chunk width for candidate distance evaluation. Per-pair
+/// results are independent of the chunking (ascending-dimension
+/// accumulation), so this is a throughput knob only.
+constexpr index_t kGatherChunk = 128;
+
+/// splitmix64 finalizer -- the deterministic id stream behind the seeded
+/// random initialization.
+inline std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Per-thread build scratch: candidate pools, the gathered SIMD tile, and
+/// the scored list the row selection sorts. Reused across points.
+struct BuildScratch {
+  std::vector<real_t> qpt;
+  std::vector<index_t> blist;  // B(u) = adj(u) union rev(u)
+  std::vector<index_t> pool;
+  std::vector<real_t> tile;
+  std::vector<real_t> tile_sq;
+  std::vector<std::pair<real_t, index_t>> scored;
+};
+
+} // namespace
+
+KnnGraph::KnnGraph(const Dataset& data, const KnnGraphOptions& options) {
+  if (data.empty())
+    throw std::invalid_argument("KnnGraph: empty dataset");
+  const auto t0 = std::chrono::steady_clock::now();
+  PORTAL_OBS_SCOPE(graph_build_scope, "index/graph/build");
+
+  data_ = data; // original order: neighbor ids are client ids
+  mirror_.build(data_, options.parallel_build);
+  const index_t n = data_.size();
+  const index_t dim = data_.dim();
+  degree_ = std::min<index_t>(std::max<index_t>(options.degree, 0), n - 1);
+  const index_t K = degree_;
+
+  std::uint64_t total_updates = 0;
+  std::uint64_t total_evals = 0;
+  index_t rounds = 0;
+
+  if (K > 0) {
+    adj_.assign(static_cast<std::size_t>(n * K), -1);
+    adj_sq_.assign(static_cast<std::size_t>(n * K),
+                   std::numeric_limits<real_t>::max());
+
+    const bool use_threads =
+        options.parallel_build && !in_parallel_region() && num_threads() > 1;
+
+    // Evaluate every candidate in s.pool (deduped, u excluded) against u and
+    // keep the K smallest by (squared distance, id). Returns the number of
+    // slots that changed versus the previous row. Rows are sorted, so the
+    // positional id comparison is a set comparison.
+    const auto select_row = [&](index_t u, BuildScratch& s, index_t* row_ids,
+                                real_t* row_sq) -> index_t {
+      const index_t m = static_cast<index_t>(s.pool.size());
+      s.qpt.resize(static_cast<std::size_t>(dim));
+      data_.copy_point(u, s.qpt.data());
+      s.tile.resize(static_cast<std::size_t>(dim * kGatherChunk));
+      s.tile_sq.resize(static_cast<std::size_t>(kGatherChunk));
+      s.scored.clear();
+      s.scored.reserve(static_cast<std::size_t>(m));
+      for (index_t b = 0; b < m; b += kGatherChunk) {
+        const index_t w = std::min<index_t>(kGatherChunk, m - b);
+        const batch::Tile t =
+            batch::gather(mirror_.lanes(), mirror_.stride(), dim,
+                          s.pool.data() + b, w, s.tile.data(), kGatherChunk);
+        batch::sq_dists(t, s.qpt.data(), s.tile_sq.data());
+        for (index_t j = 0; j < w; ++j)
+          s.scored.emplace_back(s.tile_sq[static_cast<std::size_t>(j)],
+                                s.pool[static_cast<std::size_t>(b + j)]);
+      }
+      std::partial_sort(s.scored.begin(),
+                        s.scored.begin() + static_cast<std::ptrdiff_t>(K),
+                        s.scored.end());
+      index_t changed = 0;
+      for (index_t slot = 0; slot < K; ++slot) {
+        const auto& best = s.scored[static_cast<std::size_t>(slot)];
+        changed += row_ids[slot] == best.second ? 0 : 1;
+        row_ids[slot] = best.second;
+        row_sq[slot] = best.first;
+      }
+      return changed;
+    };
+
+    // Seeded random initialization: K distinct ids per point from the
+    // splitmix64 stream -- per-point independent, so serial and parallel
+    // agree bitwise.
+    std::uint64_t init_evals = 0;
+#pragma omp parallel if (use_threads)
+    {
+      BuildScratch s;
+#pragma omp for schedule(static) reduction(+ : init_evals)
+      for (index_t u = 0; u < n; ++u) {
+        s.pool.clear();
+        std::uint64_t t = 0;
+        while (static_cast<index_t>(s.pool.size()) < K) {
+          const std::uint64_t h =
+              mix64(options.seed ^
+                    (static_cast<std::uint64_t>(u) * 0x9e3779b97f4a7c15ULL) ^
+                    (t * 0xd1b54a32d192ed03ULL));
+          ++t;
+          const index_t c = static_cast<index_t>(h % static_cast<std::uint64_t>(n));
+          if (c == u ||
+              std::find(s.pool.begin(), s.pool.end(), c) != s.pool.end())
+            continue;
+          s.pool.push_back(c);
+        }
+        init_evals += static_cast<std::uint64_t>(s.pool.size());
+        select_row(u, s, adj_.data() + u * K, adj_sq_.data() + u * K);
+      }
+    }
+    total_evals += init_evals;
+
+    // Jacobi nn-descent rounds: every point rebuilds its own row from the
+    // previous round's graph. The reverse adjacency is materialized once per
+    // round in ascending-u order (capped at K entries per target), so the
+    // candidate pools -- and therefore the result -- are identical however
+    // the point loop is scheduled.
+    std::vector<index_t> next_adj(adj_.size());
+    std::vector<real_t> next_sq(adj_sq_.size());
+    std::vector<index_t> rev_cnt(static_cast<std::size_t>(n));
+    std::vector<index_t> rev_off(static_cast<std::size_t>(n) + 1);
+    std::vector<index_t> rev_ids;
+    std::vector<index_t> rev_cursor(static_cast<std::size_t>(n));
+    const std::uint64_t stop_below = static_cast<std::uint64_t>(
+        options.termination * static_cast<real_t>(n) * static_cast<real_t>(K));
+
+    for (index_t round = 0; round < options.max_rounds; ++round) {
+      std::fill(rev_cnt.begin(), rev_cnt.end(), index_t{0});
+      for (index_t u = 0; u < n; ++u)
+        for (index_t slot = 0; slot < K; ++slot) {
+          const index_t v = adj_[static_cast<std::size_t>(u * K + slot)];
+          if (rev_cnt[static_cast<std::size_t>(v)] < K)
+            ++rev_cnt[static_cast<std::size_t>(v)];
+        }
+      rev_off[0] = 0;
+      for (index_t v = 0; v < n; ++v)
+        rev_off[static_cast<std::size_t>(v) + 1] =
+            rev_off[static_cast<std::size_t>(v)] +
+            rev_cnt[static_cast<std::size_t>(v)];
+      rev_ids.resize(static_cast<std::size_t>(rev_off[static_cast<std::size_t>(n)]));
+      std::copy(rev_off.begin(), rev_off.end() - 1, rev_cursor.begin());
+      for (index_t u = 0; u < n; ++u)
+        for (index_t slot = 0; slot < K; ++slot) {
+          const index_t v = adj_[static_cast<std::size_t>(u * K + slot)];
+          index_t& cur = rev_cursor[static_cast<std::size_t>(v)];
+          if (cur < rev_off[static_cast<std::size_t>(v) + 1])
+            rev_ids[static_cast<std::size_t>(cur++)] = u;
+        }
+
+      std::uint64_t round_updates = 0;
+      std::uint64_t round_evals = 0;
+#pragma omp parallel if (use_threads)
+      {
+        BuildScratch s;
+#pragma omp for schedule(static) reduction(+ : round_updates, round_evals)
+        for (index_t u = 0; u < n; ++u) {
+          s.blist.clear();
+          const index_t* row = adj_.data() + u * K;
+          s.blist.insert(s.blist.end(), row, row + K);
+          for (index_t i = rev_off[static_cast<std::size_t>(u)];
+               i < rev_off[static_cast<std::size_t>(u) + 1]; ++i)
+            s.blist.push_back(rev_ids[static_cast<std::size_t>(i)]);
+
+          s.pool.assign(s.blist.begin(), s.blist.end());
+          for (const index_t v : s.blist) {
+            const index_t* vrow = adj_.data() + v * K;
+            s.pool.insert(s.pool.end(), vrow, vrow + K);
+            for (index_t i = rev_off[static_cast<std::size_t>(v)];
+                 i < rev_off[static_cast<std::size_t>(v) + 1]; ++i)
+              s.pool.push_back(rev_ids[static_cast<std::size_t>(i)]);
+          }
+          std::sort(s.pool.begin(), s.pool.end());
+          s.pool.erase(std::unique(s.pool.begin(), s.pool.end()), s.pool.end());
+          s.pool.erase(std::remove(s.pool.begin(), s.pool.end(), u),
+                       s.pool.end());
+
+          round_evals += static_cast<std::uint64_t>(s.pool.size());
+          std::copy(row, row + K, next_adj.data() + u * K);
+          round_updates += static_cast<std::uint64_t>(
+              select_row(u, s, next_adj.data() + u * K, next_sq.data() + u * K));
+        }
+      }
+      adj_.swap(next_adj);
+      adj_sq_.swap(next_sq);
+      ++rounds;
+      total_updates += round_updates;
+      total_evals += round_evals;
+      if (round_updates <= stop_below) break;
+    }
+
+    // Final reverse-edge CSR for the search (symmetrized expansion), capped
+    // at 2K per target, first occurrences in ascending-u order -- the same
+    // deterministic capping rule the rounds used.
+    const index_t rev_cap = 2 * K;
+    std::fill(rev_cnt.begin(), rev_cnt.end(), index_t{0});
+    for (index_t u = 0; u < n; ++u)
+      for (index_t slot = 0; slot < K; ++slot) {
+        const index_t v = adj_[static_cast<std::size_t>(u * K + slot)];
+        if (rev_cnt[static_cast<std::size_t>(v)] < rev_cap)
+          ++rev_cnt[static_cast<std::size_t>(v)];
+      }
+    rev_off_.resize(static_cast<std::size_t>(n) + 1);
+    rev_off_[0] = 0;
+    for (index_t v = 0; v < n; ++v)
+      rev_off_[static_cast<std::size_t>(v) + 1] =
+          rev_off_[static_cast<std::size_t>(v)] +
+          rev_cnt[static_cast<std::size_t>(v)];
+    rev_ids_.resize(static_cast<std::size_t>(rev_off_[static_cast<std::size_t>(n)]));
+    std::copy(rev_off_.begin(), rev_off_.end() - 1, rev_cursor.begin());
+    for (index_t u = 0; u < n; ++u)
+      for (index_t slot = 0; slot < K; ++slot) {
+        const index_t v = adj_[static_cast<std::size_t>(u * K + slot)];
+        index_t& cur = rev_cursor[static_cast<std::size_t>(v)];
+        if (cur < rev_off_[static_cast<std::size_t>(v) + 1])
+          rev_ids_[static_cast<std::size_t>(cur++)] = u;
+      }
+  } else {
+    rev_off_.assign(static_cast<std::size_t>(n) + 1, 0);
+  }
+
+  // Fixed search-seed permutation: a search with beam width w enters the
+  // graph at the first w entries. A plain id-stride sample here is a trap:
+  // it can alias against the dataset's ordering (observed on clustered
+  // data, where every multiple of the stride missed one cluster) and at
+  // high dimension the graph's components are disconnected, so a component
+  // with no seed is simply unreachable. A seeded Fisher-Yates shuffle is
+  // deterministic, gives distinct ids at every width, still covers the
+  // whole dataset at width == n, and cannot alias with data order.
+  seed_order_.resize(static_cast<std::size_t>(n));
+  for (index_t i = 0; i < n; ++i) seed_order_[static_cast<std::size_t>(i)] = i;
+  for (index_t i = n - 1; i > 0; --i) {
+    const std::uint64_t r =
+        mix64(options.seed ^ 0x5851f42d4c957f2dULL ^
+              static_cast<std::uint64_t>(i) * 0x14057b7ef767814fULL);
+    std::swap(seed_order_[static_cast<std::size_t>(i)],
+              seed_order_[static_cast<std::size_t>(
+                  r % static_cast<std::uint64_t>(i + 1))]);
+  }
+
+  // Component representatives: at high dimension the k-NN graph falls apart
+  // into one component per cluster (no point's row reaches across), and a
+  // component without a seed is unreachable no matter how wide the beam.
+  // A deterministic union-find over the forward edges (reverse edges add no
+  // connectivity: undirected reachability is the same) yields the min-id
+  // representative of every component; search seeds those first, so every
+  // component has an entry point at any beam width.
+  {
+    std::vector<index_t> parent(static_cast<std::size_t>(n));
+    for (index_t i = 0; i < n; ++i) parent[static_cast<std::size_t>(i)] = i;
+    const auto find = [&parent](index_t x) {
+      while (parent[static_cast<std::size_t>(x)] != x) {
+        parent[static_cast<std::size_t>(x)] =
+            parent[static_cast<std::size_t>(parent[static_cast<std::size_t>(x)])];
+        x = parent[static_cast<std::size_t>(x)];
+      }
+      return x;
+    };
+    for (index_t u = 0; u < n; ++u)
+      for (index_t slot = 0; slot < K; ++slot) {
+        const index_t a = find(u);
+        const index_t b = find(adj_[static_cast<std::size_t>(u * K + slot)]);
+        if (a != b) parent[static_cast<std::size_t>(std::max(a, b))] =
+            std::min(a, b);
+      }
+    comp_reps_.clear();
+    for (index_t i = 0; i < n; ++i)
+      if (find(i) == i) comp_reps_.push_back(i);  // ascending => min ids
+  }
+
+  stats_.rounds = rounds;
+  stats_.updates = total_updates;
+  stats_.dist_evals = total_evals;
+  stats_.build_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  PORTAL_OBS_COUNT("index/graph/builds", 1);
+  PORTAL_OBS_COUNT("index/graph/build_rounds",
+                   static_cast<std::uint64_t>(rounds));
+  PORTAL_OBS_COUNT("index/graph/build_dist_evals", total_evals);
+  PORTAL_OBS_COUNT("index/graph/build_points", static_cast<std::uint64_t>(n));
+}
+
+index_t KnnGraph::search(const real_t* query, index_t k, index_t beam,
+                         SearchScratch& scratch, real_t* out_sq,
+                         index_t* out_ids) const {
+  scratch.hops = 0;
+  scratch.dist_evals = 0;
+  const index_t n = size();
+  if (n == 0 || k <= 0) return 0;
+  const index_t width = std::min<index_t>(std::max<index_t>(beam, k), n);
+  const index_t dim = data_.dim();
+
+  if (static_cast<index_t>(scratch.visited.size()) < n) {
+    scratch.visited.assign(static_cast<std::size_t>(n), 0);
+    scratch.generation = 0;
+  }
+  const std::uint64_t gen = ++scratch.generation;
+  scratch.beam_sq.resize(static_cast<std::size_t>(width));
+  scratch.beam_ids.resize(static_cast<std::size_t>(width));
+  scratch.expanded.resize(static_cast<std::size_t>(width));
+  // Expansion gathers one forward row plus up to 2x degree reverse edges.
+  const index_t tile_w = std::max<index_t>(3 * degree_, kGatherChunk);
+  scratch.gather_ids.resize(static_cast<std::size_t>(tile_w));
+  scratch.tile.resize(static_cast<std::size_t>(dim * tile_w));
+  scratch.tile_sq.resize(static_cast<std::size_t>(tile_w));
+
+  index_t count = 0;
+  // Sorted (sq, id) insert; ties break toward the smaller id, so the beam
+  // contents are a deterministic function of the visited set alone.
+  const auto insert = [&](real_t d, index_t id) {
+    if (count == width) {
+      const real_t wd = scratch.beam_sq[static_cast<std::size_t>(width - 1)];
+      const index_t wi = scratch.beam_ids[static_cast<std::size_t>(width - 1)];
+      if (d > wd || (d == wd && id > wi)) return;
+    }
+    index_t pos = count < width ? count : width - 1;
+    while (pos > 0 &&
+           (scratch.beam_sq[static_cast<std::size_t>(pos - 1)] > d ||
+            (scratch.beam_sq[static_cast<std::size_t>(pos - 1)] == d &&
+             scratch.beam_ids[static_cast<std::size_t>(pos - 1)] > id))) {
+      scratch.beam_sq[static_cast<std::size_t>(pos)] =
+          scratch.beam_sq[static_cast<std::size_t>(pos - 1)];
+      scratch.beam_ids[static_cast<std::size_t>(pos)] =
+          scratch.beam_ids[static_cast<std::size_t>(pos - 1)];
+      scratch.expanded[static_cast<std::size_t>(pos)] =
+          scratch.expanded[static_cast<std::size_t>(pos - 1)];
+      --pos;
+    }
+    scratch.beam_sq[static_cast<std::size_t>(pos)] = d;
+    scratch.beam_ids[static_cast<std::size_t>(pos)] = id;
+    scratch.expanded[static_cast<std::size_t>(pos)] = 0;
+    if (count < width) ++count;
+  };
+
+  const auto eval_batch = [&](index_t m) {
+    const batch::Tile t =
+        batch::gather(mirror_.lanes(), mirror_.stride(), dim,
+                      scratch.gather_ids.data(), m, scratch.tile.data(), tile_w);
+    batch::sq_dists(t, query, scratch.tile_sq.data());
+    scratch.dist_evals += static_cast<std::uint64_t>(m);
+    for (index_t j = 0; j < m; ++j)
+      insert(scratch.tile_sq[static_cast<std::size_t>(j)],
+             scratch.gather_ids[static_cast<std::size_t>(j)]);
+  };
+
+  // Query-independent seeds: every component representative first (so no
+  // part of the graph is unreachable at any width), then the build-time
+  // pseudo-random permutation until `width` distinct entry points are in
+  // -- spread across the dataset without aliasing against its ordering.
+  index_t m = 0;
+  index_t seeded = 0;
+  const auto seed = [&](index_t id) {
+    if (scratch.visited[static_cast<std::size_t>(id)] == gen) return;
+    scratch.visited[static_cast<std::size_t>(id)] = gen;
+    scratch.gather_ids[static_cast<std::size_t>(m++)] = id;
+    ++seeded;
+    if (m == tile_w) {
+      eval_batch(m);
+      m = 0;
+    }
+  };
+  for (const index_t rep : comp_reps_) seed(rep);
+  for (index_t j = 0; j < n && seeded < width; ++j)
+    seed(seed_order_[static_cast<std::size_t>(j)]);
+  if (m > 0) eval_batch(m);
+
+  // Best-first expansion: always the nearest unexpanded beam entry; stops
+  // when the whole beam is expanded (anything discovered from here on would
+  // have had to beat the current worst to enter the beam).
+  for (;;) {
+    index_t p = -1;
+    for (index_t i = 0; i < count; ++i)
+      if (!scratch.expanded[static_cast<std::size_t>(i)]) {
+        p = i;
+        break;
+      }
+    if (p < 0) break;
+    scratch.expanded[static_cast<std::size_t>(p)] = 1;
+    ++scratch.hops;
+    // Symmetrized expansion: forward row plus reverse edges. The forward
+    // graph alone is short-range -- without the reverse edges a beam seeded
+    // far from the query cannot walk into its true neighborhood.
+    const index_t v = scratch.beam_ids[static_cast<std::size_t>(p)];
+    const index_t* row = neighbor_ids(v);
+    const index_t* rev = reverse_ids(v);
+    const index_t nrev = reverse_count(v);
+    index_t fresh = 0;
+    const auto visit = [&](index_t c) {
+      if (scratch.visited[static_cast<std::size_t>(c)] == gen) return;
+      scratch.visited[static_cast<std::size_t>(c)] = gen;
+      scratch.gather_ids[static_cast<std::size_t>(fresh++)] = c;
+    };
+    for (index_t slot = 0; slot < degree_; ++slot) visit(row[slot]);
+    for (index_t slot = 0; slot < nrev; ++slot) visit(rev[slot]);
+    if (fresh > 0) eval_batch(fresh);
+  }
+
+  const index_t filled = std::min<index_t>(k, count);
+  for (index_t j = 0; j < filled; ++j) {
+    out_sq[j] = scratch.beam_sq[static_cast<std::size_t>(j)];
+    out_ids[j] = scratch.beam_ids[static_cast<std::size_t>(j)];
+  }
+  PORTAL_OBS_COUNT("index/graph/queries", 1);
+  PORTAL_OBS_COUNT("index/graph/hops", scratch.hops);
+  PORTAL_OBS_COUNT("index/graph/dist_evals", scratch.dist_evals);
+  return filled;
+}
+
+} // namespace portal

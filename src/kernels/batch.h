@@ -43,6 +43,25 @@ struct Tile {
 /// substitution needs caller scratch of 2 * dim * kMahaBlock reals.
 inline constexpr index_t kMahaBlock = 8;
 
+/// Gather `count` scattered mirror points (ids[j] indexes into the
+/// dimension-major `lanes`/`stride` storage of a SoaMirror) into a
+/// caller-owned dimension-major scratch tile of lane width `scratch_stride`
+/// (>= count), and return a Tile viewing it. The graph index uses this to
+/// run the SIMD distance kernels above over beam-search candidate sets whose
+/// ids are not contiguous: the per-pair accumulation still visits dimensions
+/// in ascending order, so gathered results stay bitwise-identical to the
+/// scalar helpers in problems/common.h for every pair.
+inline Tile gather(const real_t* lanes, index_t stride, index_t dim,
+                   const index_t* ids, index_t count, real_t* scratch,
+                   index_t scratch_stride) {
+  for (index_t d = 0; d < dim; ++d) {
+    const real_t* src = lanes + d * stride;
+    real_t* dst = scratch + d * scratch_stride;
+    for (index_t j = 0; j < count; ++j) dst[j] = src[ids[j]];
+  }
+  return Tile{scratch, scratch_stride, 0, count, dim};
+}
+
 inline void count_batch_tile(index_t pairs) {
   PORTAL_OBS_COUNT("base/batch_tiles", 1);
   PORTAL_OBS_COUNT("base/batch_pairs", static_cast<std::uint64_t>(pairs));

@@ -1,6 +1,7 @@
 #include "serve/engine.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <deque>
 #include <limits>
@@ -644,12 +645,70 @@ const KdTree& serving_tree(const CompiledPlan& plan,
   return tree;
 }
 
+/// Approximate reduction through the snapshot's k-NN graph (DESIGN.md
+/// Sec. 18). Beam search returns up to `beam` candidates with squared
+/// Euclidean distances bitwise-equal to the exact engine's accumulation;
+/// this path filters tombstoned candidates against the pinned view, maps to
+/// the plan's value space (sqrt for Euclidean -- the same edge op as the
+/// exact path), folds the visible delta slots in exactly, and reuses
+/// finalize_reduction unchanged. Only completeness is approximate: every
+/// reported (value, id) pair is exact for that pair.
+QueryResult run_query_graph(const CompiledPlan& plan,
+                            const TreeSnapshot& snapshot, const LiveView* view,
+                            const real_t* point, const EngineOptions& options,
+                            Workspace& ws) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const KdTree& tree = serving_tree(plan, snapshot);
+  const KnnGraph& graph = *snapshot.graph();
+  prepare_workspace(plan, tree, point, tree.stats().max_leaf_count, ws);
+  Ctx ctx = make_ctx(plan, tree, point, /*batch=*/false, ws);
+  if (view) attach_view(ctx, *view);
+
+  // Search the full beam (not just k): tombstoned candidates are dropped
+  // below, so the extra slots are the slack that keeps k survivors likely.
+  const index_t beam = std::max<index_t>(options.beam_width, plan.slots);
+  ws.graph_sq.resize(static_cast<std::size_t>(beam));
+  ws.graph_ids.resize(static_cast<std::size_t>(beam));
+  const index_t found = graph.search(point, beam, beam, ws.graph,
+                                     ws.graph_sq.data(), ws.graph_ids.data());
+
+  KnnList list(ws.knn_dists.data(), ws.knn_ids.data(), plan.slots);
+  list.reset();
+  // Graph ids are original-order; the reduction slots hold permuted main
+  // indices (finalize maps them back through perm(), delta ids untouched).
+  const std::vector<index_t>& inv = tree.inverse_perm();
+  for (index_t j = 0; j < found; ++j) {
+    const index_t id = ws.graph_ids[static_cast<std::size_t>(j)];
+    const index_t permuted = inv[static_cast<std::size_t>(id)];
+    if (!main_alive(ctx, permuted)) continue;
+    const real_t sq = ws.graph_sq[static_cast<std::size_t>(j)];
+    const real_t d = ctx.metric == MetricKind::Euclidean ? std::sqrt(sq) : sq;
+    list.insert(plan.sense * d, permuted);
+  }
+  const index_t nr = tree.data().size();
+  for (index_t s = 0; s < ctx.delta_count; ++s) {
+    if (ctx.delta->slot_dead(s, ctx.watermark)) continue;
+    list.insert(plan.sense * delta_value(ctx, s), nr + s);
+  }
+
+  QueryResult result;
+  finalize_reduction(plan, tree, ws, &result);
+  result.stats.pairs_visited = ws.graph.dist_evals;
+  result.stats.base_cases = ws.graph.hops;
+  result.stats.elapsed_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return result;
+}
+
 /// Shared single-query core: snapshot-only callers pass a null view (every
 /// live branch compiles out to the legacy behavior bit for bit).
 QueryResult run_query_impl(const CompiledPlan& plan,
                            const TreeSnapshot& snapshot, const LiveView* view,
                            const real_t* point, const EngineOptions& options,
                            Workspace& ws) {
+  if (routes_to_graph(plan, snapshot, options))
+    return run_query_graph(plan, snapshot, view, point, options, ws);
   const KdTree& tree = serving_tree(plan, snapshot);
   prepare_workspace(plan, tree, point, tree.stats().max_leaf_count, ws);
   const bool batch = options.batch_base_cases && !tree.mirror().empty();
@@ -689,6 +748,16 @@ void run_query_batch_impl(const CompiledPlan& plan,
                           const EngineOptions& options, BatchWorkspace& ws,
                           QueryResult* results) {
   if (count <= 0) return;
+  if (routes_to_graph(plan, snapshot, options)) {
+    // Graph searches are not cursor descents, so there is nothing to
+    // interleave: run the batch sequentially through one workspace. Each
+    // answer equals the single-query path bit for bit.
+    if (ws.per_query.empty()) ws.per_query.resize(1);
+    for (index_t q = 0; q < count; ++q)
+      results[q] = run_query_graph(plan, snapshot, view, points[q], options,
+                                   ws.per_query.front());
+    return;
+  }
   const KdTree& tree = serving_tree(plan, snapshot);
   // Grow the per-query workspace pool up front: rule sets capture Workspace
   // pointers, so no resize may happen once the first descent starts.
@@ -826,6 +895,25 @@ const TreeSnapshot& view_snapshot(const LiveView& view) {
 }
 
 } // namespace
+
+bool routes_to_graph(const CompiledPlan& plan, const TreeSnapshot& snapshot,
+                     const EngineOptions& options) {
+  if (!options.approx || !snapshot.graph()) return false;
+  // Min-sense comparative reductions only: graph candidates arrive in
+  // ascending distance order, which is plan value order exactly when the
+  // envelope is the identity and smaller distance means a better slot.
+  if (!plan.is_reduction || plan.sense <= 0) return false;
+  const KernelInfo& kernel = plan.plan.kernel;
+  if (!kernel.normalized) return false;
+  const bool identity =
+      gated_fact(plan.plan, plan.plan.facts.envelope_identity,
+                 kernel.shape == EnvelopeShape::Identity);
+  if (!identity) return false;
+  // The graph's internal metric is squared Euclidean; Euclidean shares its
+  // ordering (sqrt at the edge, like the exact path).
+  return kernel.metric == MetricKind::SqEuclidean ||
+         kernel.metric == MetricKind::Euclidean;
+}
 
 QueryResult run_query(const CompiledPlan& plan, const TreeSnapshot& snapshot,
                       const real_t* point, const EngineOptions& options,

@@ -37,6 +37,11 @@ struct Workspace {
   std::vector<real_t> knn_dists; // reduction slots (sense space)
   std::vector<index_t> knn_ids;
   BBox qbox; // degenerate query box for non-L2 point-to-node bounds
+  // Approximate-path scratch (graph beam search + its candidate output);
+  // untouched on exact queries.
+  KnnGraph::SearchScratch graph;
+  std::vector<real_t> graph_sq;
+  std::vector<index_t> graph_ids;
 };
 
 /// One answered query. Reductions fill `slots` values (sense applied, NaN
@@ -59,6 +64,13 @@ struct EngineOptions {
   /// only how misses overlap compute.
   index_t interleave_width = 16;
   index_t resume_steps = 32;
+  /// Approximate mode: route eligible KARGMIN/KMIN-family plans to the
+  /// snapshot's k-NN graph (routes_to_graph below). Like tau, these are
+  /// *runtime serving parameters, not plan properties* -- exact and
+  /// approximate callers at any beam width share one compiled plan, and
+  /// turning approx off always restores the exact answer bitwise.
+  bool approx = false;
+  index_t beam_width = 64; // graph beam; clamped up to the plan's k
 };
 
 /// Per-worker scratch for the interleaved batch path: one Workspace per
@@ -69,7 +81,26 @@ struct BatchWorkspace {
   std::vector<Workspace> per_query;
 };
 
-/// Answer one request against the snapshot's kd-tree. Reentrant: any number
+/// Does this (plan, snapshot, options) triple route to the approximate
+/// graph path? True only when the caller asked for approx mode, the
+/// snapshot carries a graph, and the plan is a min-sense comparative
+/// reduction over an identity-envelope L2-family kernel (the shape where
+/// graph distance order provably matches plan value order). Everything else
+/// -- max-sense, shaped envelopes, non-L2 metrics, SUM/UNION plans -- falls
+/// through to the exact descent even with approx on, so enabling the knob
+/// never silently degrades a plan the graph cannot honor. The service layer
+/// uses this same predicate to stamp Response::approximate honestly.
+bool routes_to_graph(const CompiledPlan& plan, const TreeSnapshot& snapshot,
+                     const EngineOptions& options);
+
+/// Answer one request against the snapshot's kd-tree -- or, when
+/// routes_to_graph holds, against its k-NN graph: beam search collects
+/// candidates whose distances are bitwise-equal to the exact engine's
+/// (gathered SoA tiles accumulate dimensions in the same ascending order),
+/// so approximate results are always a subset of the true point set with
+/// exact values; only completeness is approximate, bounded by the beam
+/// width. Live views filter tombstoned candidates and drain the visible
+/// delta slots exactly, like the descent paths. Reentrant: any number
 /// of threads may run queries against the same plan and snapshot, each with
 /// its own Workspace. Throws std::invalid_argument when the snapshot has no
 /// kd-tree or the plan/snapshot dimensions disagree.

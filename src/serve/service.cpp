@@ -16,6 +16,12 @@ ServiceOptions normalize(ServiceOptions options) {
   if (options.workers < 1) options.workers = 1;
   if (options.max_batch < 1) options.max_batch = 1;
   if (options.queue_capacity < 1) options.queue_capacity = 1;
+  if (options.beam_width < 1) options.beam_width = 1;
+  // Asking for approximate mode implies the snapshot must carry the graph;
+  // flipping build_graph here (rather than at each publish) also flows
+  // through the delta-merge rebuilds, which reuse these snapshot options.
+  if (options.approx || options.approx_auto_dim > 0)
+    options.snapshot.build_graph = true;
   return options;
 }
 
@@ -195,6 +201,11 @@ void PortalService::run_batch_interleaved(
   }
   if (live.empty()) return;
 
+  // One routing decision covers the batch: coalescing guarantees every
+  // member shares the head's plan, and the view is pinned for the duration.
+  const bool approx_routed =
+      view->snapshot && routes_to_graph(*live.front()->plan, *view->snapshot, eopt);
+
   std::vector<QueryResult> results(live.size());
   try {
     run_query_batch(*live.front()->plan, *view, points.data(),
@@ -222,6 +233,7 @@ void PortalService::run_batch_interleaved(
     resp.result = std::move(results[i]);
     resp.epoch = view->epoch();
     resp.watermark = view->watermark;
+    resp.approximate = approx_routed;
     if (options_.capture_view) resp.view = view;
     fulfill(pending, std::move(resp));
   }
@@ -271,6 +283,11 @@ void PortalService::worker_loop() {
     eopt.tau = options_.tau;
     eopt.interleave_width = options_.interleave_width;
     eopt.resume_steps = options_.resume_steps;
+    eopt.beam_width = options_.beam_width;
+    eopt.approx =
+        options_.approx ||
+        (options_.approx_auto_dim > 0 && view && view->snapshot &&
+         view->snapshot->dim() >= options_.approx_auto_dim);
 
     if (options_.interleave && view) {
       run_batch_interleaved(batch, view, eopt, bws);
@@ -294,6 +311,9 @@ void PortalService::worker_loop() {
           resp.status = Status::Ok;
           resp.epoch = view->epoch();
           resp.watermark = view->watermark;
+          resp.approximate =
+              view->snapshot &&
+              routes_to_graph(*pending->plan, *view->snapshot, eopt);
           if (options_.capture_view) resp.view = view;
         } catch (const std::exception& e) {
           resp.status = Status::Error;

@@ -58,6 +58,13 @@ struct Response {
   /// attributable to (tree/delta.h).
   std::uint64_t watermark = 0;
   double latency_ms = 0;    // submit() to fulfillment
+  /// True iff this answer came from the approximate graph path
+  /// (engine.h routes_to_graph): exact per-candidate values, completeness
+  /// bounded by the beam width. Always false when the request ran the exact
+  /// descent -- even with approx mode on, plans the graph cannot honor fall
+  /// through to the exact engine, and this flag reports what actually
+  /// happened, not what was asked for.
+  bool approximate = false;
   std::string error;
   /// The pinned view itself, set only when ServiceOptions::capture_view:
   /// lets differential tests brute-force the exact point-set this answer
@@ -90,6 +97,17 @@ struct ServiceOptions {
   bool interleave = true;
   index_t interleave_width = 16;   // in-flight descents per worker
   index_t resume_steps = 32;       // node visits per resume() slice
+  /// --- approximate mode (DESIGN.md Sec. 18, docs/SERVING.md) ---
+  /// Runtime serving parameters like tau: they never enter plan identity,
+  /// so exact and approximate callers at any beam width share one compiled
+  /// plan. `approx` routes every eligible request through the snapshot's
+  /// k-NN graph; `approx_auto_dim` > 0 turns approx on automatically when
+  /// the published dataset's dimensionality reaches the threshold (0 =
+  /// never automatic). Setting either makes publish() build the graph
+  /// (snapshot.build_graph) so the route is available.
+  bool approx = false;
+  index_t approx_auto_dim = 0;
+  index_t beam_width = 64;         // graph beam; recall/latency knob
   SnapshotOptions snapshot;        // leaf size + which trees publish() builds
   // --- live ingestion (serve/live.h, docs/SERVING.md "Live ingestion") ---
   index_t delta_capacity = 4096;   // slots per delta generation

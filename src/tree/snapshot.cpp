@@ -32,6 +32,9 @@ std::shared_ptr<const TreeSnapshot> TreeSnapshot::build(
     snap->octree_ = std::make_shared<const Octree>(*snap->source_, unit_masses,
                                                    options.leaf_size);
   }
+  if (options.build_graph)
+    snap->graph_ =
+        std::make_shared<const KnnGraph>(*snap->source_, options.graph);
   return snap;
 }
 

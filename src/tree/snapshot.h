@@ -19,6 +19,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "index/knn_graph.h"
 #include "tree/balltree.h"
 #include "tree/kdtree.h"
 #include "tree/octree.h"
@@ -28,12 +29,16 @@ namespace portal {
 /// Which indexes a snapshot materializes. The kd-tree is the serving
 /// default (every supported query runs on it); ball tree and octree are
 /// opt-in for workloads that want them (octree requires 3-D data and is
-/// built with unit masses unless the publisher supplies its own).
+/// built with unit masses unless the publisher supplies its own). The k-NN
+/// graph (index/knn_graph.h) is the opt-in fourth structure for approximate
+/// high-dimensional serving; `graph` holds its build knobs.
 struct SnapshotOptions {
   index_t leaf_size = kDefaultLeafSize;
   bool build_kd = true;
   bool build_ball = false;
   bool build_octree = false;
+  bool build_graph = false;
+  KnnGraphOptions graph;
 };
 
 /// One immutable epoch: the source dataset (original point order, pinned so
@@ -58,6 +63,7 @@ class TreeSnapshot {
   const std::shared_ptr<const KdTree>& kd() const { return kd_; }
   const std::shared_ptr<const BallTree>& ball() const { return ball_; }
   const std::shared_ptr<const Octree>& octree() const { return octree_; }
+  const std::shared_ptr<const KnnGraph>& graph() const { return graph_; }
 
  private:
   TreeSnapshot() = default;
@@ -67,6 +73,7 @@ class TreeSnapshot {
   std::shared_ptr<const KdTree> kd_;
   std::shared_ptr<const BallTree> ball_;
   std::shared_ptr<const Octree> octree_;
+  std::shared_ptr<const KnnGraph> graph_;
 };
 
 /// The single mutable cell of the serving data plane: an epoch-versioned

@@ -36,6 +36,7 @@
 #include "core/verify/verify.h"
 #include "data/generators.h"
 #include "kernels/batch.h"
+#include "problems/common.h"
 #include "serve/engine.h"
 #include "serve/live.h"
 #include "serve/plan_cache.h"
@@ -564,6 +565,93 @@ TEST(DifferentialConformance, ServeEngineGatedPruningBitwiseIdentical) {
         EXPECT_EQ(a.ids[v], b.ids[v]) << "query " << i << " slot " << v;
     }
   }
+}
+
+// Approximate-serving wall: a graph-routed answer is always a SUBSET of the
+// dataset with *exact* values -- only completeness is approximate. Across
+// random sizes, dimensions, k, beam widths, and both L2 metrics the
+// approximate ids must be unique, in range, ascending by (value, id), and
+// every value must be bitwise-equal to a scalar recompute of the distance to
+// that id (sqrt taken at the edge for EUCLIDEAN, exactly like the exact
+// engine). Exactness itself is statistical: recall against the exact engine
+// is asserted only in aggregate, at the default beam width.
+TEST(DifferentialConformance, ApproximateGraphSubsetWithExactDistances) {
+  const std::uint64_t seed = fuzz_seed();
+  std::printf("PORTAL_FUZZ_SEED=%llu\n", (unsigned long long)seed);
+  Rng rng(seed ^ 0xa11ce5ULL);
+
+  std::uint64_t recall_hits = 0;
+  std::uint64_t recall_slots = 0;
+  for (int trial = 0; trial < 6; ++trial) {
+    const index_t n = 300 + static_cast<index_t>(rng.uniform_index(1200));
+    const index_t dim = 8 + static_cast<index_t>(rng.uniform_index(40));
+    const index_t k = 1 + static_cast<index_t>(rng.uniform_index(10));
+    const bool sq_metric = (trial % 2) == 0;
+    SCOPED_TRACE("trial " + std::to_string(trial) + " n=" + std::to_string(n) +
+                 " dim=" + std::to_string(dim) + " k=" + std::to_string(k));
+    const Dataset reference =
+        make_gaussian_mixture(n, dim, 4, seed + 100 * trial);
+    SnapshotOptions sopts;
+    sopts.build_graph = true;
+    const auto snapshot = TreeSnapshot::build(
+        std::make_shared<const Dataset>(reference), 1, sopts);
+
+    LayerSpec knn;
+    knn.op = OpSpec(PortalOp::KARGMIN, k);
+    knn.func = sq_metric ? PortalFunc::SQREUCDIST : PortalFunc::EUCLIDEAN;
+    serve::PlanCache cache;
+    serve::PlanHandle plan =
+        cache.get_or_compile(knn, reference, PortalConfig{});
+    ASSERT_TRUE(plan);
+
+    serve::Workspace ws;
+    for (int q = 0; q < 8; ++q) {
+      std::vector<real_t> pt(dim);
+      for (index_t d = 0; d < dim; ++d) pt[d] = rng.uniform(-1.5, 1.5);
+
+      serve::EngineOptions aopt;
+      aopt.approx = true;
+      aopt.beam_width = 64; // default serving width -- the recall floor's
+      ASSERT_TRUE(serve::routes_to_graph(*plan, *snapshot, aopt));
+      const serve::QueryResult approx =
+          serve::run_query(*plan, *snapshot, pt.data(), aopt, ws);
+      const serve::QueryResult exact =
+          serve::run_query(*plan, *snapshot, pt.data(), {}, ws);
+
+      ASSERT_EQ(approx.values.size(), static_cast<std::size_t>(k));
+      ASSERT_EQ(approx.ids.size(), static_cast<std::size_t>(k));
+      std::vector<char> seen(static_cast<std::size_t>(n), 0);
+      for (index_t s = 0; s < k; ++s) {
+        const index_t id = approx.ids[s];
+        ASSERT_GE(id, 0);
+        ASSERT_LT(id, n);
+        EXPECT_FALSE(seen[static_cast<std::size_t>(id)]) << "dup id " << id;
+        seen[static_cast<std::size_t>(id)] = 1;
+        if (s > 0) {
+          EXPECT_GE(approx.values[s], approx.values[s - 1]) << "slot " << s;
+        }
+        // Bitwise distance recompute through the scalar helper the exact
+        // engine uses (ascending-dimension accumulation).
+        real_t d = 0;
+        sq_dists_to_range(reference, id, id + 1, pt.data(), &d);
+        const real_t want = sq_metric ? d : std::sqrt(d);
+        EXPECT_EQ(approx.values[s], want) << "slot " << s << " id " << id;
+        // Exact per-slot values lower-bound the approximate ones.
+        EXPECT_GE(approx.values[s], exact.values[s]) << "slot " << s;
+        recall_slots++;
+        for (index_t e = 0; e < k; ++e)
+          if (exact.ids[e] == id) {
+            recall_hits++;
+            break;
+          }
+      }
+    }
+  }
+  const double recall =
+      static_cast<double>(recall_hits) / static_cast<double>(recall_slots);
+  std::printf("aggregate recall@k at beam 64: %.4f (%llu/%llu)\n", recall,
+              (unsigned long long)recall_hits, (unsigned long long)recall_slots);
+  EXPECT_GE(recall, 0.9);
 }
 
 // The resumable-traversal wall (traversal/cursor.h): the TraversalCursor and

@@ -218,6 +218,100 @@ TEST(PlanCache, TauIsARuntimeKnobNotAPlanProperty) {
   EXPECT_EQ(cache.stats().misses + cache.stats().hits, 2u);
 }
 
+TEST(PlanCache, ApproxBeamWidthIsARuntimeKnobNotAPlanProperty) {
+  // Approximate mode and the beam width live beside tau in EngineOptions --
+  // runtime serving parameters, never descriptor or fingerprint inputs --
+  // so exact and approximate callers at every beam width share ONE
+  // compiled plan.
+  const Dataset reference = make_gaussian_mixture(400, 16, 4, 7);
+  PlanCache cache;
+  LayerSpec inner = chain({PortalOp::KARGMIN, 5}, PortalFunc::EUCLIDEAN);
+  PlanHandle first = cache.get_or_compile(inner, reference, serve_config());
+  PlanHandle second = cache.get_or_compile(inner, reference, serve_config());
+  EXPECT_EQ(first.get(), second.get());
+  EXPECT_EQ(cache.size(), 1u);
+
+  SnapshotOptions sopts;
+  sopts.build_graph = true;
+  const auto snap = TreeSnapshot::build(
+      std::make_shared<const Dataset>(reference), 1, sopts);
+  Workspace ws;
+  const std::vector<real_t> pt = query_point(reference, 3);
+  const QueryResult exact = run_query(*first, *snap, pt.data(), {}, ws);
+  for (const index_t beam : {index_t{8}, index_t{32}, index_t{64}}) {
+    EngineOptions aopt;
+    aopt.approx = true;
+    aopt.beam_width = beam;
+    ASSERT_TRUE(serve::routes_to_graph(*first, *snap, aopt));
+    const QueryResult approx = run_query(*first, *snap, pt.data(), aopt, ws);
+    ASSERT_EQ(approx.values.size(), exact.values.size());
+    for (std::size_t s = 0; s < approx.values.size(); ++s) {
+      // Exact per-slot values are a lower bound on the approximate ones
+      // (the graph can only miss candidates, never invent closer ones).
+      EXPECT_GE(approx.values[s], exact.values[s]) << "slot " << s;
+      ASSERT_GE(approx.ids[s], 0);
+      ASSERT_LT(approx.ids[s], reference.size());
+    }
+  }
+  // Same options without approx: bitwise the exact path (routing compiled
+  // in changes nothing for exact callers).
+  EngineOptions off;
+  off.beam_width = 8; // ignored without approx
+  EXPECT_FALSE(serve::routes_to_graph(*first, *snap, off));
+  expect_bitwise(run_query(*first, *snap, pt.data(), off, ws), exact);
+}
+
+TEST(ServeService, ApproximateFlagIsHonest) {
+  const index_t dim = 16;
+  const Dataset reference = make_gaussian_mixture(400, dim, 3, 42);
+  {
+    // Exact service: flag stays false.
+    PortalService service;
+    service.publish(reference);
+    PlanHandle plan =
+        service.prepare({PortalOp::KARGMIN, 5}, PortalFunc::EUCLIDEAN);
+    Response r = service.submit(plan, query_point(reference, 1)).get();
+    ASSERT_EQ(r.status, Status::Ok) << r.error;
+    EXPECT_FALSE(r.approximate);
+  }
+  {
+    // Approx service: the reduction routes to the graph and says so; a SUM
+    // plan the graph cannot honor falls through to the exact descent and
+    // the flag honestly stays false.
+    ServiceOptions options;
+    options.approx = true;
+    options.beam_width = 32;
+    PortalService service(options);
+    service.publish(reference);
+    ASSERT_TRUE(service.snapshot()->graph());
+    PlanHandle knn =
+        service.prepare({PortalOp::KARGMIN, 5}, PortalFunc::EUCLIDEAN);
+    Response r = service.submit(knn, query_point(reference, 1)).get();
+    ASSERT_EQ(r.status, Status::Ok) << r.error;
+    EXPECT_TRUE(r.approximate);
+
+    PlanHandle kde =
+        service.prepare(OpSpec(PortalOp::SUM), PortalFunc::gaussian(0.8));
+    Response rs = service.submit(kde, query_point(reference, 2)).get();
+    ASSERT_EQ(rs.status, Status::Ok) << rs.error;
+    EXPECT_FALSE(rs.approximate);
+  }
+  {
+    // approx_auto_dim: fires because dim >= threshold; the recursive
+    // (non-interleaved) path stamps the flag too.
+    ServiceOptions options;
+    options.approx_auto_dim = 8;
+    options.interleave = false;
+    PortalService service(options);
+    service.publish(reference);
+    PlanHandle knn =
+        service.prepare({PortalOp::KARGMIN, 3}, PortalFunc::EUCLIDEAN);
+    Response r = service.submit(knn, query_point(reference, 0)).get();
+    ASSERT_EQ(r.status, Status::Ok) << r.error;
+    EXPECT_TRUE(r.approximate);
+  }
+}
+
 TEST(PlanCache, HitMissCountersReachTraceReport) {
   obs::set_enabled(true);
   obs::reset();

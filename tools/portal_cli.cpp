@@ -43,6 +43,7 @@
 //   2  hard errors (execution failures, IR verification PTL-E errors)
 //   3  warnings promoted by --werror (lint and verify modes): lets CI gate
 //      on warnings without conflating them with verifier failures.
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -59,7 +60,9 @@
 #include "core/portal.h"
 #include "core/verify/diagnostics.h"
 #include "data/generators.h"
+#include "index/knn_graph.h"
 #include "obs/trace.h"
+#include "problems/common.h"
 #include "problems/emst.h"
 #include "problems/golden.h"
 #include "problems/threepoint.h"
@@ -105,6 +108,14 @@ struct Args {
                "[--resume-steps N]\n"
                "           [--ingest-writers W] [--delta-capacity N] "
                "[--merge-threshold N]\n"
+               "           [--dim D] [--approx] [--beam-width N]   "
+               "high-d data + approximate serving\n"
+               "       portal_cli index [--reference F | --demo N[,DIM]] "
+               "[--dim D] [--degree K]\n"
+               "           [--rounds R] [--seed S] [--k K] [--beam-width N] "
+               "[--serial]\n"
+               "           build the nn-descent k-NN graph, print build "
+               "stats + recall/latency probe\n"
                "       portal_cli run FILE.portal | verify FILE.portal "
                "[--werror]\n"
                "       portal_cli lint FILE.portal [--json] [--werror]\n"
@@ -113,6 +124,30 @@ struct Args {
                "       portal_cli --dump-golden=DIR   regenerate "
                "tests/golden/*.csv\n");
   std::exit(1);
+}
+
+Storage load(const Args& args, const std::string& key, std::uint64_t seed);
+
+/// serve-bench / index dataset: --reference F, or a generated Gaussian
+/// mixture. --dim D exists so the high-dimensional regime the graph index
+/// targets is one flag away (`--demo 60000 --dim 48`); it overrides the
+/// DIM half of --demo N[,DIM] when both are present.
+Storage load_highd(const Args& args, std::uint64_t seed) {
+  if (!args.has("reference") && (args.has("dim") || args.has("demo"))) {
+    index_t n = 20000;
+    index_t dim = static_cast<index_t>(args.num("dim", 0));
+    if (args.has("demo")) {
+      const std::string spec = args.get("demo");
+      const auto comma = spec.find(',');
+      n = std::atoll(spec.c_str());
+      if (comma != std::string::npos && dim <= 0)
+        dim = std::atoll(spec.c_str() + comma + 1);
+    }
+    if (dim <= 0) dim = 3;
+    if (n <= 0) usage("--demo needs N[,DIM] with positive values");
+    return Storage(make_gaussian_mixture(n, dim, 5, seed));
+  }
+  return load(args, "reference", seed);
 }
 
 Storage load(const Args& args, const std::string& key, std::uint64_t seed) {
@@ -331,8 +366,13 @@ int run_serve_bench(const Args& args) {
   options.merge_threshold =
       static_cast<index_t>(args.num("merge-threshold", 1024));
   const int ingest_writers = static_cast<int>(args.num("ingest-writers", 0));
+  // Approximate serving knobs (docs/SERVING.md): --approx routes eligible
+  // reductions through the k-NN graph index; --beam-width trades recall
+  // for latency per request at serve time.
+  options.approx = args.has("approx") && args.get("approx") != "0";
+  options.beam_width = static_cast<index_t>(args.num("beam-width", 64));
 
-  Storage reference = load(args, "reference", 31);
+  Storage reference = load_highd(args, 31);
   const index_t dim = reference.dim();
   serve::PortalService service(options);
   service.publish(reference.dataset());
@@ -374,6 +414,9 @@ int run_serve_bench(const Args& args) {
               static_cast<long long>(reference.size()),
               static_cast<long long>(dim), options.workers, clients, seconds,
               mix_spec.c_str());
+  if (options.approx)
+    std::printf("approximate mode: on, beam width %lld\n",
+                static_cast<long long>(options.beam_width));
 
   std::atomic<bool> stop{false};
   std::atomic<std::uint64_t> sent{0}, ok{0}, failed{0};
@@ -470,6 +513,99 @@ int run_serve_bench(const Args& args) {
                 static_cast<unsigned long long>(stats.ingest.merged_points),
                 static_cast<unsigned long long>(stats.ingest.watermark));
   service.stop();
+  return 0;
+}
+
+/// `portal_cli index`: build the nn-descent k-NN graph (src/index, DESIGN.md
+/// Sec. 18) over a dataset, print build stats, then probe recall@k and query
+/// latency against a linear-scan oracle at a few beam widths. This is the
+/// operator's view of the recall/latency tradeoff before flipping --approx
+/// on a serving fleet.
+int run_index(const Args& args) {
+  Storage reference = load_highd(args, 31);
+  const Dataset& data = reference.dataset();
+
+  KnnGraphOptions gopt;
+  gopt.degree = static_cast<index_t>(args.num("degree", 20));
+  gopt.max_rounds = static_cast<index_t>(args.num("rounds", 8));
+  if (args.has("seed"))
+    gopt.seed = static_cast<std::uint64_t>(args.num("seed", 0));
+  if (args.has("serial")) gopt.parallel_build = false;
+  const KnnGraph graph(data, gopt);
+  const KnnGraphStats& gs = graph.stats();
+  std::printf("index: %lld points dim %lld, degree %lld | %lld rounds, "
+              "%llu updates, %llu dist evals | built in %.3fs\n",
+              static_cast<long long>(graph.size()),
+              static_cast<long long>(graph.dim()),
+              static_cast<long long>(graph.degree()),
+              static_cast<long long>(gs.rounds),
+              static_cast<unsigned long long>(gs.updates),
+              static_cast<unsigned long long>(gs.dist_evals),
+              gs.build_seconds);
+
+  // Recall/latency probe: queries jittered off dataset points, the oracle a
+  // linear scan through the same scalar kernel the serve engine uses.
+  const index_t k =
+      std::min<index_t>(static_cast<index_t>(args.num("k", 10)), graph.size());
+  const index_t nq = std::min<index_t>(200, graph.size());
+  std::uint64_t state = 0x9e3779b97f4a7c15ull;
+  const auto next = [&state] {
+    state ^= state << 13; state ^= state >> 7; state ^= state << 17;
+    return state;
+  };
+  std::vector<std::vector<real_t>> queries;
+  std::vector<std::vector<index_t>> oracle;
+  std::vector<real_t> dists(static_cast<std::size_t>(graph.size()));
+  std::vector<index_t> order(static_cast<std::size_t>(graph.size()));
+  for (index_t q = 0; q < nq; ++q) {
+    std::vector<real_t> pt(static_cast<std::size_t>(graph.dim()));
+    const index_t base = static_cast<index_t>(
+        next() % static_cast<std::uint64_t>(graph.size()));
+    for (index_t d = 0; d < graph.dim(); ++d)
+      pt[static_cast<std::size_t>(d)] =
+          data.coord(base, d) + static_cast<real_t>(next() % 1000) * 1e-4;
+    sq_dists_to_range(data, 0, graph.size(), pt.data(), dists.data());
+    for (index_t i = 0; i < graph.size(); ++i)
+      order[static_cast<std::size_t>(i)] = i;
+    std::partial_sort(order.begin(), order.begin() + k, order.end(),
+                      [&dists](index_t a, index_t b) {
+                        const real_t da = dists[static_cast<std::size_t>(a)];
+                        const real_t db = dists[static_cast<std::size_t>(b)];
+                        return da != db ? da < db : a < b;
+                      });
+    oracle.emplace_back(order.begin(), order.begin() + k);
+    queries.push_back(std::move(pt));
+  }
+
+  std::vector<index_t> beams;
+  if (args.has("beam-width"))
+    beams.push_back(static_cast<index_t>(args.num("beam-width", 64)));
+  else
+    beams = {16, 32, 64};
+  KnnGraph::SearchScratch scratch;
+  std::vector<real_t> out_sq(static_cast<std::size_t>(k));
+  std::vector<index_t> out_ids(static_cast<std::size_t>(k));
+  for (const index_t beam : beams) {
+    std::uint64_t hits = 0;
+    Timer probe;
+    for (index_t q = 0; q < nq; ++q) {
+      const index_t got = graph.search(queries[static_cast<std::size_t>(q)].data(),
+                                       k, beam, scratch, out_sq.data(),
+                                       out_ids.data());
+      const std::vector<index_t>& want = oracle[static_cast<std::size_t>(q)];
+      for (index_t s = 0; s < got; ++s)
+        if (std::find(want.begin(), want.end(), out_ids[static_cast<std::size_t>(s)]) !=
+            want.end())
+          ++hits;
+    }
+    const double elapsed = probe.elapsed_s();
+    std::printf("beam %4lld: recall@%lld %.4f | %.4f ms/query (%.0f QPS)\n",
+                static_cast<long long>(beam), static_cast<long long>(k),
+                static_cast<double>(hits) /
+                    static_cast<double>(nq * k),
+                elapsed * 1e3 / static_cast<double>(nq),
+                static_cast<double>(nq) / elapsed);
+  }
   return 0;
 }
 
@@ -665,6 +801,7 @@ int run(const Args& args) {
   }
 
   if (args.problem == "serve-bench") return run_serve_bench(args);
+  if (args.problem == "index") return run_index(args);
   if (args.problem == "cache") return run_cache(args);
 
   usage(("unknown problem '" + args.problem + "'").c_str());
@@ -709,7 +846,7 @@ int main(int argc, char** argv) {
     const std::string key = arg + 2;
     if (key == "validate" || key == "serial" || key == "verify" ||
         key == "no-verify-ir" || key == "trace" || key == "json" ||
-        key == "werror") {
+        key == "werror" || key == "approx") {
       args.options[key] = "1";
     } else {
       if (i + 1 >= argc) usage(("--" + key + " needs a value").c_str());
